@@ -1,0 +1,126 @@
+//! Branch predictors producing per-instance misprediction bits.
+
+/// A dynamic branch predictor.
+pub trait BranchPredictor {
+    /// Predicts the branch at `pc`, updates internal state with the
+    /// actual outcome, and returns the prediction that was made.
+    fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool;
+}
+
+#[inline]
+fn counter_update(c: &mut u8, taken: bool) {
+    if taken {
+        *c = (*c + 1).min(3);
+    } else {
+        *c = c.saturating_sub(1);
+    }
+}
+
+/// A bimodal predictor: a table of 2-bit saturating counters indexed by
+/// PC.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<u8>,
+    mask: u64,
+}
+
+impl Bimodal {
+    /// Creates a predictor with `1 << bits` counters, initialized
+    /// weakly not-taken.
+    pub fn new(bits: u32) -> Self {
+        let n = 1usize << bits;
+        Bimodal { table: vec![1; n], mask: n as u64 - 1 }
+    }
+}
+
+impl BranchPredictor for Bimodal {
+    fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let i = (pc & self.mask) as usize;
+        let pred = self.table[i] >= 2;
+        counter_update(&mut self.table[i], taken);
+        pred
+    }
+}
+
+/// A gshare predictor: global history XOR PC indexes a table of 2-bit
+/// counters.
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    table: Vec<u8>,
+    mask: u64,
+    history: u64,
+    hist_mask: u64,
+}
+
+impl Gshare {
+    /// Creates a gshare predictor with `1 << bits` counters and
+    /// `hist_bits` bits of global history.
+    pub fn new(bits: u32, hist_bits: u32) -> Self {
+        let n = 1usize << bits;
+        Gshare { table: vec![1; n], mask: n as u64 - 1, history: 0, hist_mask: (1u64 << hist_bits) - 1 }
+    }
+}
+
+impl BranchPredictor for Gshare {
+    fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let i = ((pc ^ self.history) & self.mask) as usize;
+        let pred = self.table[i] >= 2;
+        counter_update(&mut self.table[i], taken);
+        self.history = ((self.history << 1) | u64::from(taken)) & self.hist_mask;
+        pred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bimodal_learns_bias() {
+        let mut p = Bimodal::new(8);
+        let mut wrong = 0;
+        for _ in 0..100 {
+            if !p.predict_and_update(0x40, true) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong <= 2, "always-taken branch mispredicted {wrong} times");
+    }
+
+    #[test]
+    fn gshare_learns_alternating_pattern() {
+        let mut p = Gshare::new(10, 8);
+        let mut wrong = 0;
+        for i in 0..500 {
+            let taken = i % 2 == 0;
+            if p.predict_and_update(0x80, taken) != taken {
+                wrong += 1;
+            }
+        }
+        assert!(wrong < 40, "history should capture alternation, wrong = {wrong}");
+    }
+
+    #[test]
+    fn bimodal_cannot_learn_alternation() {
+        let mut p = Bimodal::new(10);
+        let mut wrong = 0;
+        for i in 0..500 {
+            let taken = i % 2 == 0;
+            if p.predict_and_update(0x80, taken) != taken {
+                wrong += 1;
+            }
+        }
+        assert!(wrong > 200, "bimodal has no history; wrong = {wrong}");
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_counters() {
+        let mut p = Bimodal::new(10);
+        for _ in 0..10 {
+            p.predict_and_update(1, true);
+            p.predict_and_update(2, false);
+        }
+        assert!(p.predict_and_update(1, true));
+        assert!(!p.predict_and_update(2, false));
+    }
+}

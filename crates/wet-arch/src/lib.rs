@@ -1,0 +1,265 @@
+//! # wet-arch — architecture-specific execution histories
+//!
+//! The paper's Table 4 shows that WETs "can be augmented with
+//! significant amounts of architecture specific information with modest
+//! increase in WET sizes": one bit per dynamic branch (mispredicted?),
+//! load (cache miss?), and store (cache miss?). This crate provides the
+//! simulators that generate those bits — branch predictors
+//! ([`Bimodal`], [`Gshare`]) and a set-associative LRU data [`Cache`] —
+//! plus [`ArchSink`], a [`TraceSink`] that consumes the interpreter's
+//! event stream and accumulates the three bit histories.
+//!
+//! # Example
+//!
+//! ```
+//! use wet_arch::{ArchConfig, ArchSink};
+//! use wet_interp::{Interp, InterpConfig};
+//! use wet_ir::ballarus::BallLarus;
+//! use wet_ir::builder::ProgramBuilder;
+//! use wet_ir::stmt::{BinOp, Operand};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A loop storing then loading memory; the sink collects miss bits.
+//! let mut pb = ProgramBuilder::new();
+//! let mut f = pb.function("main", 0);
+//! let (e, h, body, x) = (f.entry_block(), f.new_block(), f.new_block(), f.new_block());
+//! let (i, c, v) = (f.reg(), f.reg(), f.reg());
+//! f.block(e).movi(i, 0);
+//! f.block(e).jump(h);
+//! f.block(h).bin(BinOp::Lt, c, i, 100i64);
+//! f.block(h).branch(c, body, x);
+//! f.block(body).store(Operand::Reg(i), i);
+//! f.block(body).load(v, Operand::Reg(i));
+//! f.block(body).bin(BinOp::Add, i, i, 1i64);
+//! f.block(body).jump(h);
+//! f.block(x).ret(None);
+//! let main = f.finish();
+//! let program = pb.finish(main)?;
+//! let bl = BallLarus::new(&program);
+//! let mut arch = ArchSink::new(ArchConfig::default());
+//! Interp::new(&program, &bl, InterpConfig::default()).run(&[], &mut arch)?;
+//! let h = arch.histories();
+//! assert_eq!(h.branch_bits.len(), 101);
+//! assert_eq!(h.load_bits.len(), 100);
+//! assert_eq!(h.store_bits.len(), 100);
+//! # Ok(())
+//! # }
+//! ```
+
+mod branch;
+mod cache;
+
+pub use branch::{Bimodal, BranchPredictor, Gshare};
+pub use cache::{Cache, CacheConfig};
+
+use wet_interp::{StmtEvent, TraceSink};
+
+/// Which branch predictor [`ArchSink`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// PC-indexed 2-bit counters.
+    Bimodal,
+    /// Global-history gshare.
+    Gshare,
+}
+
+/// Configuration for the architecture sink.
+#[derive(Debug, Clone, Copy)]
+pub struct ArchConfig {
+    /// Branch predictor flavor.
+    pub predictor: PredictorKind,
+    /// log2 of the predictor table size.
+    pub predictor_bits: u32,
+    /// Global history length for gshare.
+    pub history_bits: u32,
+    /// Data cache geometry.
+    pub cache: CacheConfig,
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        ArchConfig { predictor: PredictorKind::Gshare, predictor_bits: 14, history_bits: 12, cache: CacheConfig::default() }
+    }
+}
+
+/// An append-only bit history (1 bit per dynamic event).
+#[derive(Debug, Clone, Default)]
+pub struct BitHistory {
+    words: Vec<u64>,
+    len: usize,
+    ones: u64,
+}
+
+impl BitHistory {
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        let (w, b) = (self.len / 64, self.len % 64);
+        if w == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[w] |= 1 << b;
+            self.ones += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Number of recorded bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits (mispredictions / misses).
+    pub fn ones(&self) -> u64 {
+        self.ones
+    }
+
+    /// Storage in bytes (1 bit per event, as the paper's Table 4
+    /// accounts it).
+    pub fn bytes(&self) -> u64 {
+        (self.len as u64).div_ceil(8)
+    }
+}
+
+/// The three architecture-specific bit histories of one run.
+#[derive(Debug, Clone, Default)]
+pub struct ArchHistories {
+    /// Per-branch misprediction bits.
+    pub branch_bits: BitHistory,
+    /// Per-load cache-miss bits.
+    pub load_bits: BitHistory,
+    /// Per-store cache-miss bits.
+    pub store_bits: BitHistory,
+}
+
+impl ArchHistories {
+    /// Total storage in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.branch_bits.bytes() + self.load_bits.bytes() + self.store_bits.bytes()
+    }
+}
+
+/// A [`TraceSink`] that simulates a branch predictor and data cache
+/// over the event stream and records Table 4's bit histories.
+#[derive(Debug, Clone)]
+pub struct ArchSink {
+    bimodal: Bimodal,
+    gshare: Gshare,
+    kind: PredictorKind,
+    cache: Cache,
+    hist: ArchHistories,
+}
+
+impl ArchSink {
+    /// Creates a sink with the given configuration.
+    pub fn new(cfg: ArchConfig) -> Self {
+        ArchSink {
+            bimodal: Bimodal::new(cfg.predictor_bits),
+            gshare: Gshare::new(cfg.predictor_bits, cfg.history_bits),
+            kind: cfg.predictor,
+            cache: Cache::new(cfg.cache),
+            hist: ArchHistories::default(),
+        }
+    }
+
+    /// The collected histories.
+    pub fn histories(&self) -> &ArchHistories {
+        &self.hist
+    }
+
+    /// Consumes the sink, returning the histories.
+    pub fn into_histories(self) -> ArchHistories {
+        self.hist
+    }
+
+    /// The cache simulator (for miss-rate statistics).
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+}
+
+impl TraceSink for ArchSink {
+    fn on_stmt(&mut self, ev: &StmtEvent) {
+        if let Some(taken) = ev.branch_taken {
+            let pc = ev.stmt.0 as u64;
+            let pred = match self.kind {
+                PredictorKind::Bimodal => self.bimodal.predict_and_update(pc, taken),
+                PredictorKind::Gshare => self.gshare.predict_and_update(pc, taken),
+            };
+            self.hist.branch_bits.push(pred != taken);
+        }
+        if let Some(mem) = ev.mem {
+            let hit = self.cache.access(mem.addr);
+            if mem.is_store {
+                self.hist.store_bits.push(!hit);
+            } else {
+                self.hist.load_bits.push(!hit);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_history_roundtrip() {
+        let mut h = BitHistory::default();
+        for i in 0..130 {
+            h.push(i % 3 == 0);
+        }
+        assert_eq!(h.len(), 130);
+        assert_eq!(h.ones(), 44);
+        assert!(h.get(0));
+        assert!(!h.get(1));
+        assert!(h.get(129));
+        assert_eq!(h.bytes(), 17);
+    }
+
+    #[test]
+    fn arch_sink_counts_event_kinds() {
+        use wet_interp::MemAccess;
+        use wet_ir::StmtId;
+        let mut sink = ArchSink::new(ArchConfig::default());
+        let base = StmtEvent {
+            stmt: StmtId(0),
+            instance: 0,
+            ts: 1,
+            value: None,
+            op_deps: [None, None],
+            mem_dep: None,
+            mem: None,
+            branch_taken: None,
+        };
+        let mut b = base;
+        b.branch_taken = Some(true);
+        sink.on_stmt(&b);
+        let mut l = base;
+        l.mem = Some(MemAccess { addr: 5, is_store: false });
+        sink.on_stmt(&l);
+        let mut s = base;
+        s.mem = Some(MemAccess { addr: 5, is_store: true });
+        sink.on_stmt(&s);
+        let h = sink.histories();
+        assert_eq!(h.branch_bits.len(), 1);
+        assert_eq!(h.load_bits.len(), 1);
+        assert_eq!(h.store_bits.len(), 1);
+        assert!(h.load_bits.get(0), "cold miss");
+        assert!(!h.store_bits.get(0), "store hits the loaded line");
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion benchmarks for WET construction: tracing throughput
+//! (statements/second into a tier-1 WET) and tier-2 compression time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wet_core::{WetBuilder, WetConfig};
+use wet_interp::{Interp, InterpConfig, NullSink};
+use wet_ir::ballarus::BallLarus;
+use wet_workloads::Kind;
+
+const TARGET: u64 = 200_000;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction");
+    g.sample_size(10);
+    for kind in [Kind::Gcc, Kind::Mcf, Kind::Bzip2] {
+        let w = wet_workloads::build(kind, TARGET);
+        let bl = BallLarus::new(&w.program);
+        let stmts = {
+            let r = Interp::new(&w.program, &bl, InterpConfig::default())
+                .run(&w.inputs, &mut NullSink)
+                .expect("run");
+            r.stmts_executed
+        };
+        g.throughput(Throughput::Elements(stmts));
+        g.bench_with_input(BenchmarkId::new("interp_only", kind.name()), &w, |b, w| {
+            b.iter(|| {
+                Interp::new(&w.program, &bl, InterpConfig::default())
+                    .run(black_box(&w.inputs), &mut NullSink)
+                    .expect("run")
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("trace_tier1", kind.name()), &w, |b, w| {
+            b.iter(|| {
+                let mut builder = WetBuilder::new(&w.program, &bl, WetConfig::default());
+                Interp::new(&w.program, &bl, InterpConfig::default())
+                    .run(black_box(&w.inputs), &mut builder)
+                    .expect("run");
+                builder.finish()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("tier2", kind.name()), &w, |b, w| {
+            b.iter_batched(
+                || {
+                    let mut builder = WetBuilder::new(&w.program, &bl, WetConfig::default());
+                    Interp::new(&w.program, &bl, InterpConfig::default())
+                        .run(&w.inputs, &mut builder)
+                        .expect("run");
+                    builder.finish()
+                },
+                |mut wet| {
+                    wet.compress();
+                    black_box(wet.sizes().t2_total())
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the paper's ablation.
+fn main() {
+    wet_bench::experiments::ablation(&wet_bench::Scale::from_env());
+}

@@ -1,0 +1,20 @@
+//! Runs every experiment in EXPERIMENTS.md order.
+use wet_bench::experiments as ex;
+fn main() {
+    let scale = wet_bench::Scale::from_env();
+    println!("WET reproduction — full experiment run");
+    println!("scales: tables {} stmts, timing {} stmts, fig9 base {}\n",
+        scale.table_stmts, scale.timing_stmts, scale.fig9_base);
+    ex::table1(&scale);
+    ex::table2_and_3(&scale);
+    ex::table4(&scale);
+    ex::table5(&scale);
+    ex::table6(&scale);
+    ex::table7(&scale);
+    ex::table8(&scale);
+    ex::table9(&scale);
+    ex::fig2(&scale);
+    ex::fig8(&scale);
+    ex::fig9(&scale);
+    ex::ablation(&scale);
+}

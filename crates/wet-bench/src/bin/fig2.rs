@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig2.
+fn main() {
+    wet_bench::experiments::fig2(&wet_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig8.
+fn main() {
+    wet_bench::experiments::fig8(&wet_bench::Scale::from_env());
+}

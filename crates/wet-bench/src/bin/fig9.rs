@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig9.
+fn main() {
+    wet_bench::experiments::fig9(&wet_bench::Scale::from_env());
+}

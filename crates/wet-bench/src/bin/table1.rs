@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 1.
+fn main() {
+    wet_bench::experiments::table1(&wet_bench::Scale::from_env());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Tables 2 and 3 (node and edge labels share
+//! one pass over the workloads).
+fn main() {
+    wet_bench::experiments::table2_and_3(&wet_bench::Scale::from_env());
+}

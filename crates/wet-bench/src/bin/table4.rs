@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 4.
+fn main() {
+    wet_bench::experiments::table4(&wet_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 5.
+fn main() {
+    wet_bench::experiments::table5(&wet_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 6.
+fn main() {
+    wet_bench::experiments::table6(&wet_bench::Scale::from_env());
+}

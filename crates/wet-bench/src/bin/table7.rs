@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 7.
+fn main() {
+    wet_bench::experiments::table7(&wet_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 8.
+fn main() {
+    wet_bench::experiments::table8(&wet_bench::Scale::from_env());
+}

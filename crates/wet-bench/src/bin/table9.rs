@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 9.
+fn main() {
+    wet_bench::experiments::table9(&wet_bench::Scale::from_env());
+}

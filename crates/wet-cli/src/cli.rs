@@ -1,0 +1,299 @@
+//! Command implementations and argument handling.
+
+use std::error::Error;
+use wet_core::{dump, query, WetBuilder, WetConfig};
+use wet_interp::{Interp, InterpConfig};
+use wet_ir::ballarus::BallLarus;
+use wet_ir::{parse::parse_program, pretty, Program, StmtId};
+
+type Result<T> = std::result::Result<T, Box<dyn Error>>;
+
+const USAGE: &str = "\
+usage:
+  wet disasm <file.wet>
+  wet run <file.wet> [--inputs 1,2,3]
+  wet trace <file.wet> [--inputs 1,2,3] [--tier1] [--save out.wetz]
+  wet dump <file.wet> --node N [--inputs 1,2,3] [--max M]
+  wet slice <file.wet> --stmt N [--inputs 1,2,3] [--no-control]
+  wet workload <name> [--target N] [--save out.wetz]
+  wet info <file.wetz>
+      names: go-like gcc-like li-like gzip-like mcf-like parser-like
+             vortex-like bzip2-like twolf-like";
+
+/// Parsed common flags.
+struct Flags {
+    inputs: Vec<i64>,
+    tier1: bool,
+    node: Option<u32>,
+    stmt: Option<u32>,
+    target: u64,
+    max: usize,
+    no_control: bool,
+    save: Option<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags> {
+    let mut f = Flags {
+        inputs: Vec::new(),
+        tier1: false,
+        node: None,
+        stmt: None,
+        target: 200_000,
+        max: 8,
+        no_control: false,
+        save: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--inputs" => {
+                i += 1;
+                let v = args.get(i).ok_or("--inputs needs a value")?;
+                f.inputs = v
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse::<i64>())
+                    .collect::<std::result::Result<_, _>>()?;
+            }
+            "--tier1" => f.tier1 = true,
+            "--no-control" => f.no_control = true,
+            "--node" => {
+                i += 1;
+                f.node = Some(args.get(i).ok_or("--node needs a value")?.parse()?);
+            }
+            "--stmt" => {
+                i += 1;
+                f.stmt = Some(args.get(i).ok_or("--stmt needs a value")?.parse()?);
+            }
+            "--target" => {
+                i += 1;
+                f.target = args.get(i).ok_or("--target needs a value")?.parse()?;
+            }
+            "--max" => {
+                i += 1;
+                f.max = args.get(i).ok_or("--max needs a value")?.parse()?;
+            }
+            "--save" => {
+                i += 1;
+                f.save = Some(args.get(i).ok_or("--save needs a path")?.clone());
+            }
+            other => return Err(format!("unknown flag `{other}`").into()),
+        }
+        i += 1;
+    }
+    Ok(f)
+}
+
+fn load(path: &str) -> Result<Program> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(parse_program(&text)?)
+}
+
+/// Builds a WET (and run stats) for a program.
+fn trace(program: &Program, inputs: &[i64], tier2: bool) -> Result<(wet_core::Wet, wet_interp::RunResult)> {
+    let bl = BallLarus::new(program);
+    let mut builder = WetBuilder::new(program, &bl, WetConfig::default());
+    let run = Interp::new(program, &bl, InterpConfig::default()).run(inputs, &mut builder)?;
+    let mut wet = builder.finish();
+    if tier2 {
+        wet.compress();
+    }
+    Ok((wet, run))
+}
+
+/// Entry point used by `main` (and by the tests).
+pub fn dispatch(args: &[String]) -> Result<()> {
+    let Some(cmd) = args.first() else {
+        return Err(USAGE.into());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "disasm" => {
+            let path = rest.first().ok_or(USAGE)?;
+            let p = load(path)?;
+            print!("{}", pretty::program_to_string(&p));
+            Ok(())
+        }
+        "run" => {
+            let path = rest.first().ok_or(USAGE)?;
+            let flags = parse_flags(&rest[1..])?;
+            let p = load(path)?;
+            let bl = BallLarus::new(&p);
+            let r = Interp::new(&p, &bl, InterpConfig::default()).run(&flags.inputs, &mut wet_interp::NullSink)?;
+            println!("outputs: {:?}", r.outputs);
+            println!("return : {:?}", r.ret);
+            println!(
+                "executed {} statements, {} blocks, {} paths",
+                r.stmts_executed, r.blocks_executed, r.paths_executed
+            );
+            Ok(())
+        }
+        "trace" => {
+            let path = rest.first().ok_or(USAGE)?;
+            let flags = parse_flags(&rest[1..])?;
+            let p = load(path)?;
+            let (wet, run) = trace(&p, &flags.inputs, !flags.tier1)?;
+            print_wet_report(&wet, &run);
+            save_if_requested(&wet, &flags)?;
+            Ok(())
+        }
+        "dump" => {
+            let path = rest.first().ok_or(USAGE)?;
+            let flags = parse_flags(&rest[1..])?;
+            let p = load(path)?;
+            let (mut wet, _) = trace(&p, &flags.inputs, !flags.tier1)?;
+            let node = flags.node.ok_or("dump requires --node N")?;
+            if node as usize >= wet.nodes().len() {
+                return Err(format!("node {node} out of range (0..{})", wet.nodes().len()).into());
+            }
+            print!("{}", dump::dump_node(&mut wet, &p, wet_core::NodeId(node), flags.max));
+            Ok(())
+        }
+        "slice" => {
+            let path = rest.first().ok_or(USAGE)?;
+            let flags = parse_flags(&rest[1..])?;
+            let p = load(path)?;
+            let (mut wet, _) = trace(&p, &flags.inputs, !flags.tier1)?;
+            let stmt = StmtId(flags.stmt.ok_or("slice requires --stmt N")?);
+            // Criterion: the last execution of the statement.
+            let candidates: Vec<(wet_core::NodeId, u32)> = wet
+                .nodes()
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.stmt_pos(stmt).is_some() && n.n_execs > 0)
+                .map(|(i, n)| (wet_core::NodeId(i as u32), n.n_execs - 1))
+                .collect();
+            let Some(&(node, k)) = candidates.last() else {
+                return Err(format!("statement s{} never executed", stmt.0).into());
+            };
+            let spec = query::SliceSpec { data: true, control: !flags.no_control };
+            let slice = query::backward_slice(&mut wet, &p, query::WetSliceElem { node, stmt, k }, spec);
+            println!(
+                "backward slice of {stmt} (execution {k} of node n{}):",
+                node.0
+            );
+            println!("  {} dynamic instances", slice.len());
+            println!("  static statements: {:?}", slice.static_stmts().iter().map(|s| s.0).collect::<Vec<_>>());
+            Ok(())
+        }
+        "workload" => {
+            let name = rest.first().ok_or(USAGE)?;
+            let flags = parse_flags(&rest[1..])?;
+            let kind = wet_workloads::Kind::all()
+                .into_iter()
+                .find(|k| k.name() == name)
+                .ok_or_else(|| format!("unknown workload `{name}`\n{USAGE}"))?;
+            let w = wet_workloads::build(kind, flags.target);
+            let (wet, run) = trace(&w.program, &w.inputs, !flags.tier1)?;
+            print_wet_report(&wet, &run);
+            save_if_requested(&wet, &flags)?;
+            Ok(())
+        }
+        "info" => {
+            let path = rest.first().ok_or(USAGE)?;
+            let mut f = std::io::BufReader::new(
+                std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?,
+            );
+            let wet = wet_core::Wet::read_from(&mut f)?;
+            let run = wet_interp::RunResult {
+                stmts_executed: wet.stats().stmts_executed,
+                paths_executed: wet.stats().paths_executed,
+                blocks_executed: wet.stats().blocks_executed,
+                ..Default::default()
+            };
+            print_wet_report(&wet, &run);
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}").into()),
+    }
+}
+
+fn save_if_requested(wet: &wet_core::Wet, flags: &Flags) -> Result<()> {
+    if let Some(path) = &flags.save {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        wet.write_to(&mut w)?;
+        println!("saved WET to {path}");
+    }
+    Ok(())
+}
+
+fn print_wet_report(wet: &wet_core::Wet, run: &wet_interp::RunResult) {
+    let s = wet.sizes();
+    println!("executed : {} statements, {} paths", run.stmts_executed, run.paths_executed);
+    println!("nodes    : {}", wet.stats().nodes);
+    println!("edges    : {} labeled (+{} inferred intra)", wet.stats().edges, wet.stats().inferred_edges);
+    println!("orig     : {:>12} B  (ts {} / vals {} / edges {})", s.orig_total(), s.orig_ts, s.orig_vals, s.orig_edges);
+    println!("tier-1   : {:>12} B  (ts {} / vals {} / edges {})", s.t1_total(), s.t1_ts, s.t1_vals, s.t1_edges);
+    if wet.is_tier2() {
+        println!("tier-2   : {:>12} B  (ts {} / vals {} / edges {})", s.t2_total(), s.t2_ts, s.t2_vals, s.t2_edges);
+        println!("ratio    : {:.2}", s.ratio());
+        if !wet.stats().methods.is_empty() {
+            let mut parts: Vec<String> =
+                wet.stats().methods.iter().map(|(m, n)| format!("{m}:{n}")).collect();
+            parts.sort();
+            println!("methods  : {}", parts.join(" "));
+        }
+    } else {
+        println!("ratio t1 : {:.2}", s.ratio_t1());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_file() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("wet-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sum.wet");
+        std::fs::write(
+            &path,
+            "func f0 main(params: 0, regs: 4) {\n  b0:\n    r0 = in\n    r1 = #0\n    r2 = #0\n    jump b1\n  b1:\n    r3 = lt r1, r0\n    branch r3 ? b2 : b3\n  b2:\n    r1 = add r1, #1\n    r2 = add r2, r1\n    jump b1\n  b3:\n    out r2\n    ret r2\n}\n",
+        )
+        .unwrap();
+        path
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn run_and_trace_work() {
+        let f = sample_file();
+        let f = f.to_str().unwrap();
+        dispatch(&s(&["run", f, "--inputs", "10"])).expect("run");
+        dispatch(&s(&["trace", f, "--inputs", "10"])).expect("trace");
+        dispatch(&s(&["disasm", f])).expect("disasm");
+        dispatch(&s(&["dump", f, "--node", "0", "--inputs", "10"])).expect("dump");
+        dispatch(&s(&["slice", f, "--stmt", "7", "--inputs", "10"])).expect("slice");
+    }
+
+    #[test]
+    fn workload_command_works() {
+        dispatch(&s(&["workload", "gcc-like", "--target", "20000"])).expect("workload");
+    }
+
+    #[test]
+    fn save_and_info_roundtrip() {
+        let f = sample_file();
+        let f = f.to_str().unwrap();
+        let out = std::env::temp_dir().join("wet-cli-tests").join("saved.wetz");
+        let out = out.to_str().unwrap().to_string();
+        dispatch(&s(&["trace", f, "--inputs", "25", "--save", &out])).expect("trace --save");
+        dispatch(&s(&["info", &out])).expect("info");
+        assert!(dispatch(&s(&["info", f])).is_err(), "a .wet source is not a WETZ file");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(dispatch(&s(&["frobnicate"])).is_err());
+        assert!(dispatch(&s(&["run", "/nonexistent.wet"])).is_err());
+        assert!(dispatch(&s(&["workload", "nope"])).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! `wet` — command-line front end for the Whole Execution Trace tools.
+//!
+//! ```text
+//! wet disasm <file.wet>                         parse + re-print a program
+//! wet run <file.wet> [--inputs 1,2,3]           execute, print outputs
+//! wet trace <file.wet> [--inputs ...] [--tier1] build a WET, print sizes/stats
+//! wet dump <file.wet> --node N [--inputs ...]   Figure-1(b)-style node dump
+//! wet slice <file.wet> --stmt N [--inputs ...]  backward slice from the last
+//!                                               execution of statement N
+//! wet workload <name> [--target N]              trace a bundled workload
+//! ```
+
+use std::process::ExitCode;
+
+mod cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

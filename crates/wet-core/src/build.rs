@@ -1,0 +1,632 @@
+//! WET construction from the interpreter's event stream.
+//!
+//! [`WetBuilder`] is a [`TraceSink`]: it buffers the events of the
+//! current Ball–Larus path execution and, when the path ends and its
+//! identity becomes known, labels the corresponding WET node — one
+//! timestamp for the whole path (§3.1), per-statement values, and
+//! dependence edge instances. [`WetBuilder::finish`] then applies the
+//! remaining tier-1 customized compression: value grouping with shared
+//! patterns (§3.2), local-edge label inference, and label-sequence
+//! sharing (§3.3).
+
+use crate::graph::{
+    Edge, Group, IntraEdge, LabelSeq, Node, NodeId, NodeStmt, TsMode, Wet, WetConfig, SLOT_CD, SLOT_MEM, SLOT_OP0,
+    SLOT_OP1,
+};
+use crate::seq::Seq;
+use crate::sizes::{WetSizes, WetStats};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use wet_interp::{BlockEvent, Producer, StmtEvent, TraceSink};
+use wet_ir::ballarus::BallLarus;
+use wet_ir::stmt::StmtKind;
+use wet_ir::{BlockId, FuncId, Program, StmtId, StmtPos};
+
+/// Identity of a non-local edge: `(src node, src stmt, dst node,
+/// dst stmt, slot)`.
+type EdgeKey = (NodeId, StmtId, NodeId, StmtId, u8);
+
+/// Accumulates executions of one intra-node edge.
+#[derive(Debug, Clone)]
+enum IntraAcc {
+    /// Instances seen so far are exactly `0..count`.
+    Contiguous(u32),
+    /// Arbitrary instance list (after the first gap).
+    Sparse(Vec<u32>),
+}
+
+impl IntraAcc {
+    fn push(&mut self, k: u32) {
+        match self {
+            IntraAcc::Contiguous(c) => {
+                if k == *c {
+                    *c += 1;
+                } else {
+                    let mut v: Vec<u32> = (0..*c).collect();
+                    v.push(k);
+                    *self = IntraAcc::Sparse(v);
+                }
+            }
+            IntraAcc::Sparse(v) => v.push(k),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct PathBuffer {
+    /// `(block, cd)` per executed block.
+    blocks: Vec<(BlockId, Option<Producer>)>,
+    /// Buffered statement events of the current path.
+    stmts: Vec<StmtEvent>,
+    func: Option<FuncId>,
+}
+
+/// Raw (pre-grouping) per-node label storage.
+#[derive(Debug)]
+struct NodeAcc {
+    /// Timestamps, one per execution.
+    ts: Vec<u64>,
+    /// Raw value sequences, one per def-port statement occurrence
+    /// (indexed by def order within the node).
+    values: Vec<Vec<u64>>,
+    cf_succs: BTreeSet<NodeId>,
+    cf_preds: BTreeSet<NodeId>,
+}
+
+/// Builds a [`Wet`] from the interpreter's event stream.
+///
+/// Implements [`TraceSink`]; feed it to
+/// [`wet_interp::Interp::run`] and call [`finish`](Self::finish).
+pub struct WetBuilder<'p> {
+    program: &'p Program,
+    bl: &'p BallLarus,
+    config: WetConfig,
+    nodes: Vec<Node>,
+    accs: Vec<NodeAcc>,
+    node_index: HashMap<(FuncId, u64), NodeId>,
+    /// `(node, k)` per timestamp (construction-time only; index ts-1).
+    ts_map: Vec<(u32, u32)>,
+    buf: PathBuffer,
+    /// Intra-node edge instances: `(node, dst, slot, src)`.
+    intra: HashMap<(NodeId, StmtId, u8, StmtId), IntraAcc>,
+    /// Non-local edge instances keyed by edge identity.
+    nonlocal: HashMap<EdgeKey, Vec<(u64, u64)>>,
+    prev_node: Option<NodeId>,
+    first: Option<(NodeId, u64)>,
+    last: (NodeId, u64),
+    stats: WetStats,
+    // Original-size counters.
+    def_execs: u64,
+    dyn_op_deps: u64,
+    dyn_mem_deps: u64,
+    orig_cd_stmt_deps: u64,
+    block_cd_deps: u64,
+}
+
+impl<'p> WetBuilder<'p> {
+    /// Creates a builder over a program and its path numbering.
+    pub fn new(program: &'p Program, bl: &'p BallLarus, config: WetConfig) -> Self {
+        WetBuilder {
+            program,
+            bl,
+            config,
+            nodes: Vec::new(),
+            accs: Vec::new(),
+            node_index: HashMap::new(),
+            ts_map: Vec::new(),
+            buf: PathBuffer::default(),
+            intra: HashMap::new(),
+            nonlocal: HashMap::new(),
+            prev_node: None,
+            first: None,
+            last: (NodeId(0), 0),
+            stats: WetStats::default(),
+            def_execs: 0,
+            dyn_op_deps: 0,
+            dyn_mem_deps: 0,
+            orig_cd_stmt_deps: 0,
+            block_cd_deps: 0,
+        }
+    }
+
+    fn get_or_create_node(&mut self, func: FuncId, path_id: u64) -> NodeId {
+        if let Some(&id) = self.node_index.get(&(func, path_id)) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        let fp = self.bl.func(func);
+        let blocks = fp.decode(path_id);
+        let fdef = self.program.function(func);
+        let mut stmts = Vec::new();
+        let mut stmt_pos = HashMap::new();
+        let mut n_defs = 0usize;
+        for (bi, &b) in blocks.iter().enumerate() {
+            let bb = fdef.block(b);
+            for s in bb.stmts() {
+                let has_def = s.kind.def().is_some();
+                stmt_pos.insert(s.id, stmts.len() as u32);
+                stmts.push(NodeStmt {
+                    id: s.id,
+                    block_idx: bi as u16,
+                    has_def,
+                    group: if has_def {
+                        let g = n_defs as u32;
+                        n_defs += 1;
+                        g
+                    } else {
+                        u32::MAX
+                    },
+                    member: 0,
+                });
+            }
+            let t = bb.term();
+            if t.kind.counts_as_stmt() {
+                stmt_pos.insert(t.id, stmts.len() as u32);
+                stmts.push(NodeStmt { id: t.id, block_idx: bi as u16, has_def: false, group: u32::MAX, member: 0 });
+            }
+        }
+        self.nodes.push(Node {
+            func,
+            path_id,
+            blocks,
+            stmts,
+            n_execs: 0,
+            ts: Seq::Raw(Vec::new()),
+            ts_first: 0,
+            ts_last: 0,
+            groups: Vec::new(),
+            cf_succs: Vec::new(),
+            cf_preds: Vec::new(),
+            intra: HashMap::new(),
+            stmt_pos,
+        });
+        self.accs.push(NodeAcc {
+            ts: Vec::new(),
+            values: vec![Vec::new(); n_defs],
+            cf_succs: BTreeSet::new(),
+            cf_preds: BTreeSet::new(),
+        });
+        self.node_index.insert((func, path_id), id);
+        id
+    }
+
+    /// Records a dependence instance of `dst_stmt` (slot `slot`) at
+    /// execution `k` of `dst_node`/timestamp `ts`, produced by `p`.
+    fn record_dep(&mut self, dst_node: NodeId, dst_stmt: StmtId, slot: u8, k: u32, ts: u64, p: Producer) {
+        if p.ts == ts {
+            // Intra-node: src executed in the same path execution.
+            debug_assert!(self.nodes[dst_node.index()].stmt_pos(p.stmt).is_some());
+            self.intra
+                .entry((dst_node, dst_stmt, slot, p.stmt))
+                .or_insert(IntraAcc::Contiguous(0))
+                .push(k);
+        } else {
+            debug_assert!(p.ts < ts);
+            let (sn, sk) = self.ts_map[(p.ts - 1) as usize];
+            let src_node = NodeId(sn);
+            debug_assert!(self.nodes[src_node.index()].stmt_pos(p.stmt).is_some());
+            let pair = match self.config.ts_mode {
+                TsMode::Local => (k as u64, sk as u64),
+                TsMode::Global => (ts, p.ts),
+            };
+            self.nonlocal
+                .entry((src_node, p.stmt, dst_node, dst_stmt, slot))
+                .or_default()
+                .push(pair);
+        }
+    }
+
+    /// Finishes construction: applies grouping, inference, and sharing,
+    /// and returns the tier-1 WET (call [`Wet::compress`] for tier-2).
+    pub fn finish(mut self) -> Wet {
+        // Move accumulated ts / raw values into nodes and build groups.
+        let mut t1_vals = 0u64;
+        for (i, acc) in self.accs.iter_mut().enumerate() {
+            let node = &mut self.nodes[i];
+            node.ts = Seq::Raw(std::mem::take(&mut acc.ts));
+            node.cf_succs = acc.cf_succs.iter().copied().collect();
+            node.cf_preds = acc.cf_preds.iter().copied().collect();
+            t1_vals += build_groups(self.program, node, std::mem::take(&mut acc.values), self.config.group_values);
+        }
+        drop(std::mem::take(&mut self.accs));
+
+        // Intra edges: infer complete ones away.
+        let mut t1_edges = 0u64;
+        let mut intra_map: HashMap<(NodeId, StmtId, u8, StmtId), IntraAcc> = std::mem::take(&mut self.intra);
+        let mut intra_sorted: Vec<_> = intra_map.drain().collect();
+        intra_sorted.sort_by_key(|((n, d, s, src), _)| (*n, *d, *s, *src));
+        for ((node_id, dst, slot, src), acc) in intra_sorted {
+            let n_execs = self.nodes[node_id.index()].n_execs;
+            let complete = matches!(acc, IntraAcc::Contiguous(c) if c == n_execs);
+            let infer = self.config.infer_local_edges && complete;
+            let ie = if infer {
+                self.stats.inferred_edges += 1;
+                IntraEdge { src, complete: true, ks: None }
+            } else {
+                let ks: Vec<u64> = match acc {
+                    IntraAcc::Contiguous(c) => (0..c as u64).collect(),
+                    IntraAcc::Sparse(v) => v.into_iter().map(u64::from).collect(),
+                };
+                t1_edges += 16 * ks.len() as u64;
+                IntraEdge { src, complete: false, ks: Some(Seq::Raw(ks)) }
+            };
+            self.nodes[node_id.index()].intra.entry((dst, slot)).or_default().push(ie);
+        }
+
+        // Non-local edges: pool and share label sequences.
+        let mut labels: Vec<LabelSeq> = Vec::new();
+        let mut pool_index: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut raw_pool: Vec<(Vec<u64>, Vec<u64>)> = Vec::new();
+        let mut edges: Vec<Edge> = Vec::new();
+        let mut nonlocal: Vec<_> = std::mem::take(&mut self.nonlocal).into_iter().collect();
+        nonlocal.sort_by_key(|(k, _)| *k);
+        for ((src_node, src_stmt, dst_node, dst_stmt, slot), pairs) in nonlocal {
+            let dst: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+            let src: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+            let label_idx = if self.config.share_edge_labels {
+                let h = hash_pair_seq(&dst, &src);
+                let candidates = pool_index.entry(h).or_default();
+                match candidates.iter().find(|&&i| raw_pool[i as usize].0 == dst && raw_pool[i as usize].1 == src) {
+                    Some(&i) => {
+                        self.stats.shared_label_seqs += 1;
+                        i
+                    }
+                    None => {
+                        let i = labels.len() as u32;
+                        t1_edges += 16 * dst.len() as u64;
+                        labels.push(LabelSeq {
+                            len: dst.len() as u32,
+                            dst: Seq::Raw(dst.clone()),
+                            src: Seq::Raw(src.clone()),
+                        });
+                        raw_pool.push((dst, src));
+                        candidates.push(i);
+                        i
+                    }
+                }
+            } else {
+                let i = labels.len() as u32;
+                t1_edges += 16 * dst.len() as u64;
+                labels.push(LabelSeq { len: dst.len() as u32, dst: Seq::Raw(dst.clone()), src: Seq::Raw(src.clone()) });
+                raw_pool.push((dst, src));
+                i
+            };
+            edges.push(Edge { src_node, src_stmt, dst_node, dst_stmt, slot, labels: label_idx });
+        }
+        drop(raw_pool);
+
+        let mut in_edges: HashMap<(NodeId, StmtId, u8), Vec<u32>> = HashMap::new();
+        let mut out_edges: HashMap<(NodeId, StmtId), Vec<u32>> = HashMap::new();
+        for (i, e) in edges.iter().enumerate() {
+            in_edges.entry((e.dst_node, e.dst_stmt, e.slot)).or_default().push(i as u32);
+            out_edges.entry((e.src_node, e.src_stmt)).or_default().push(i as u32);
+        }
+
+        let sizes = WetSizes {
+            orig_ts: 8 * self.stats.stmts_executed,
+            orig_vals: 8 * self.def_execs,
+            orig_edges: 16 * (self.dyn_op_deps + self.dyn_mem_deps + self.orig_cd_stmt_deps),
+            t1_ts: 8 * self.stats.paths_executed,
+            t1_vals,
+            t1_edges,
+            t2_ts: 0,
+            t2_vals: 0,
+            t2_edges: 0,
+        };
+        self.stats.nodes = self.nodes.len() as u64;
+        self.stats.edges = edges.len() as u64;
+        self.stats.dynamic_deps = self.dyn_op_deps + self.dyn_mem_deps + self.block_cd_deps;
+
+        let first = self.first.unwrap_or((NodeId(0), 0));
+        Wet {
+            config: self.config,
+            nodes: self.nodes,
+            node_index: self.node_index,
+            edges,
+            labels,
+            in_edges,
+            out_edges,
+            first,
+            last: self.last,
+            sizes,
+            stats: self.stats,
+            tier2: false,
+        }
+    }
+}
+
+fn hash_pair_seq(dst: &[u64], src: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &v in dst.iter().chain(src) {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^ (dst.len() as u64)
+}
+
+impl TraceSink for WetBuilder<'_> {
+    fn on_path_start(&mut self, _ts: u64) {
+        debug_assert!(self.buf.blocks.is_empty() && self.buf.stmts.is_empty());
+    }
+
+    fn on_block(&mut self, ev: &BlockEvent) {
+        self.stats.blocks_executed += 1;
+        self.buf.func = Some(ev.func);
+        self.buf.blocks.push((ev.block, ev.cd));
+        if ev.cd.is_some() {
+            // Original WET accounting: CD edges label every statement.
+            self.orig_cd_stmt_deps +=
+                self.program.function(ev.func).block(ev.block).executed_stmt_count();
+        }
+    }
+
+    fn on_stmt(&mut self, ev: &StmtEvent) {
+        self.stats.stmts_executed += 1;
+        if ev.value.is_some() {
+            self.def_execs += 1;
+        }
+        self.buf.stmts.push(*ev);
+    }
+
+    fn on_path_end(&mut self, func: FuncId, path_id: u64, ts: u64) {
+        self.stats.paths_executed += 1;
+        let node_id = self.get_or_create_node(func, path_id);
+        let k = {
+            let acc = &mut self.accs[node_id.index()];
+            acc.ts.push(ts);
+            let node = &mut self.nodes[node_id.index()];
+            if node.n_execs == 0 {
+                node.ts_first = ts;
+            }
+            node.ts_last = ts;
+            node.n_execs += 1;
+            node.n_execs - 1
+        };
+        debug_assert_eq!(self.ts_map.len() as u64, ts - 1, "timestamps must be dense");
+        self.ts_map.push((node_id.0, k));
+
+        // Values: append each def statement's value in node order.
+        let stmts = std::mem::take(&mut self.buf.stmts);
+        {
+            let node = &self.nodes[node_id.index()];
+            debug_assert_eq!(
+                stmts.len(),
+                node.stmts.len(),
+                "buffered events must match node statements ({}, path {})",
+                func,
+                path_id
+            );
+            let acc = &mut self.accs[node_id.index()];
+            let mut def_i = 0usize;
+            for (ev, ns) in stmts.iter().zip(&node.stmts) {
+                debug_assert_eq!(ev.stmt, ns.id);
+                if let Some(v) = ev.value {
+                    acc.values[def_i].push(v as u64);
+                    def_i += 1;
+                }
+            }
+        }
+
+        // Data dependences.
+        for ev in &stmts {
+            for (slot, dep) in [(SLOT_OP0, ev.op_deps[0]), (SLOT_OP1, ev.op_deps[1])] {
+                if let Some(p) = dep {
+                    self.dyn_op_deps += 1;
+                    self.record_dep(node_id, ev.stmt, slot, k, ts, p);
+                }
+            }
+            if let Some(p) = ev.mem_dep {
+                self.dyn_mem_deps += 1;
+                self.record_dep(node_id, ev.stmt, SLOT_MEM, k, ts, p);
+            }
+        }
+
+        // Control dependences, one per block execution, anchored at the
+        // block terminator statement.
+        let blocks = std::mem::take(&mut self.buf.blocks);
+        for (b, cd) in &blocks {
+            if let Some(p) = cd {
+                self.block_cd_deps += 1;
+                let dst_stmt = self.program.function(func).block(*b).term().id;
+                self.record_dep(node_id, dst_stmt, SLOT_CD, k, ts, *p);
+            }
+        }
+
+        // Control-flow edges between consecutively executed nodes.
+        if let Some(prev) = self.prev_node {
+            self.accs[prev.index()].cf_succs.insert(node_id);
+            self.accs[node_id.index()].cf_preds.insert(prev);
+        }
+        self.prev_node = Some(node_id);
+        if self.first.is_none() {
+            self.first = Some((node_id, ts));
+        }
+        self.last = (node_id, ts);
+        self.buf.func = None;
+    }
+}
+
+/// Builds value groups for one node (§3.2) and returns the tier-1 value
+/// bytes. `raw_values` holds one value vector per def statement in node
+/// order.
+fn build_groups(program: &Program, node: &mut Node, raw_values: Vec<Vec<u64>>, group_values: bool) -> u64 {
+    let n_execs = node.n_execs as usize;
+    // Def statement occurrence indices in node order.
+    let def_positions: Vec<usize> =
+        node.stmts.iter().enumerate().filter(|(_, s)| s.has_def).map(|(i, _)| i).collect();
+    debug_assert_eq!(def_positions.len(), raw_values.len());
+
+    // --- Static grouping by transitive input-source sets. ---
+    // Sources: live-in registers, loads, inputs (each its own id).
+    let group_of: Vec<usize> = if !group_values {
+        (0..def_positions.len()).collect()
+    } else {
+        let mut next_source = 0u32;
+        let mut reg_sets: HashMap<u16, BTreeSet<u32>> = HashMap::new();
+        let mut input_sets: Vec<BTreeSet<u32>> = Vec::with_capacity(def_positions.len());
+        let fdef = program.function(node.func);
+        for &pos in &def_positions {
+            let ns = node.stmts[pos];
+            let loc = program.stmt_loc(ns.id);
+            let bb = fdef.block(loc.block);
+            let kind = match loc.pos {
+                StmtPos::At(i) => &bb.stmts()[i as usize].kind,
+                StmtPos::Term => unreachable!("terminators have no def"),
+            };
+            let mut set = BTreeSet::new();
+            let mut own_source = false;
+            match kind {
+                StmtKind::Load { .. } | StmtKind::In { .. } => {
+                    // The produced value is externally determined.
+                    own_source = true;
+                }
+                StmtKind::Bin { lhs, rhs, .. } => {
+                    for op in [lhs, rhs] {
+                        if let Some(r) = op.reg() {
+                            let s = reg_sets.entry(r.0).or_insert_with(|| {
+                                let id = next_source;
+                                next_source += 1;
+                                BTreeSet::from([id])
+                            });
+                            set.extend(s.iter().copied());
+                        }
+                    }
+                }
+                StmtKind::Un { src, .. } | StmtKind::Mov { src, .. } => {
+                    if let Some(r) = src.reg() {
+                        let s = reg_sets.entry(r.0).or_insert_with(|| {
+                            let id = next_source;
+                            next_source += 1;
+                            BTreeSet::from([id])
+                        });
+                        set.extend(s.iter().copied());
+                    }
+                }
+                StmtKind::Store { .. } | StmtKind::Out { .. } => unreachable!("no def"),
+            }
+            if own_source {
+                let id = next_source;
+                next_source += 1;
+                set.insert(id);
+            }
+            // Record the def register's set for downstream statements.
+            if let Some(dreg) = def_reg(kind) {
+                reg_sets.insert(dreg, set.clone());
+            }
+            input_sets.push(set);
+        }
+        // Group by identical sets, then merge proper subsets into
+        // supersets (paper's rule).
+        let mut key_to_group: BTreeMap<Vec<u32>, usize> = BTreeMap::new();
+        let mut group_keys: Vec<BTreeSet<u32>> = Vec::new();
+        let mut assignment: Vec<usize> = Vec::with_capacity(input_sets.len());
+        for set in &input_sets {
+            let key: Vec<u32> = set.iter().copied().collect();
+            let g = *key_to_group.entry(key).or_insert_with(|| {
+                group_keys.push(set.clone());
+                group_keys.len() - 1
+            });
+            assignment.push(g);
+        }
+        // Merge map: group -> representative.
+        let mut redirect: Vec<usize> = (0..group_keys.len()).collect();
+        for a in 0..group_keys.len() {
+            for b in 0..group_keys.len() {
+                if a != b && redirect[a] == a && group_keys[a].is_subset(&group_keys[b]) && group_keys[a].len() < group_keys[b].len()
+                {
+                    redirect[a] = b;
+                    break;
+                }
+            }
+        }
+        // Resolve chains.
+        let resolve = |mut g: usize, redirect: &[usize]| {
+            while redirect[g] != g {
+                g = redirect[g];
+            }
+            g
+        };
+        assignment.iter().map(|&g| resolve(g, &redirect)).collect()
+    };
+
+    // Renumber groups densely and assign members.
+    let mut dense: HashMap<usize, u32> = HashMap::new();
+    let mut members: Vec<Vec<usize>> = Vec::new(); // def index lists
+    for (di, &g) in group_of.iter().enumerate() {
+        let dg = *dense.entry(g).or_insert_with(|| {
+            members.push(Vec::new());
+            (members.len() - 1) as u32
+        });
+        let m = members[dg as usize].len() as u32;
+        members[dg as usize].push(di);
+        let pos = def_positions[di];
+        node.stmts[pos].group = dg;
+        node.stmts[pos].member = m;
+    }
+
+    // --- Patterns: dedupe member value tuples per execution. ---
+    let mut t1_bytes = 0u64;
+    let mut groups = Vec::with_capacity(members.len());
+    for mlist in &members {
+        let mut pattern: Vec<u64> = Vec::with_capacity(n_execs);
+        let mut uvals: Vec<Vec<u64>> = vec![Vec::new(); mlist.len()];
+        let mut seen: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut n_uvals = 0u32;
+        #[allow(clippy::needless_range_loop)] // i is the execution index
+        for i in 0..n_execs {
+            let mut h: u64 = 0x9e3779b97f4a7c15;
+            for &di in mlist {
+                h ^= raw_values[di][i];
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            let cands = seen.entry(h).or_default();
+            let found = cands
+                .iter()
+                .find(|&&u| mlist.iter().enumerate().all(|(mi, &di)| uvals[mi][u as usize] == raw_values[di][i]))
+                .copied();
+            let idx = match found {
+                Some(u) => u,
+                None => {
+                    let u = n_uvals;
+                    n_uvals += 1;
+                    for (mi, &di) in mlist.iter().enumerate() {
+                        uvals[mi].push(raw_values[di][i]);
+                    }
+                    cands.push(u);
+                    u
+                }
+            };
+            pattern.push(idx as u64);
+        }
+        // Keep the pattern only when it pays: a pattern costs
+        // 4 B/execution while deduped values save 8 B per repeated
+        // tuple per member. Otherwise fall back to the identity
+        // pattern with raw value sequences.
+        let m = mlist.len() as u64;
+        let n = n_execs as u64;
+        let pattern_pays = 4 * n + 8 * u64::from(n_uvals) * m < 8 * n * m;
+        if (n_uvals as usize) < n_execs && pattern_pays {
+            t1_bytes += 4 * n + 8 * u64::from(n_uvals) * m;
+            groups.push(Group {
+                pattern: Some(Seq::Raw(pattern)),
+                uvals: uvals.into_iter().map(Seq::Raw).collect(),
+                n_uvals,
+            });
+        } else {
+            t1_bytes += 8 * n * m;
+            groups.push(Group {
+                pattern: None,
+                uvals: mlist
+                    .iter()
+                    .map(|&di| Seq::Raw(raw_values[di].clone()))
+                    .collect(),
+                n_uvals: n_execs as u32,
+            });
+        }
+    }
+    node.groups = groups;
+    t1_bytes
+}
+
+fn def_reg(kind: &StmtKind) -> Option<u16> {
+    kind.def().map(|r| r.0)
+}

@@ -1,0 +1,470 @@
+//! The Whole Execution Trace as a labeled graph (paper §2).
+//!
+//! Nodes correspond to Ball–Larus paths (§3.1); each node carries its
+//! timestamp sequence and, through value groups (§3.2), the value
+//! sequences of its def-port statements. Dependence edges (`DD` and
+//! `CD`) carry timestamp-pair label sequences, pooled and shared
+//! (§3.3); control-flow edges (`CF`) are unlabeled. All label sequences
+//! are [`Seq`]s, so one `Wet` serves queries in tier-1 or tier-2 form.
+
+use crate::seq::Seq;
+use crate::sizes::{WetSizes, WetStats};
+use std::collections::HashMap;
+use wet_stream::StreamConfig;
+use wet_ir::{BlockId, FuncId, StmtId};
+
+/// Dense identifier of a WET node (one distinct executed path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dependence slot: first operand.
+pub const SLOT_OP0: u8 = 0;
+/// Dependence slot: second operand.
+pub const SLOT_OP1: u8 = 1;
+/// Dependence slot: memory (load ← reaching store).
+pub const SLOT_MEM: u8 = 2;
+/// Dependence slot: control dependence (block ← predicate/call).
+pub const SLOT_CD: u8 = 3;
+
+/// Whether dependence-edge labels use global or local timestamps.
+///
+/// The paper's §5: "instead of using global timestamps to identify
+/// statement instances, we use local timestamps for each statement
+/// because this approach yields greater levels of compression". Local
+/// labels are node-execution indexes; global labels are the shared
+/// time counter values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TsMode {
+    /// Edge labels are `(ts_use, ts_def)` global timestamps.
+    Global,
+    /// Edge labels are `(k_use, k_def)` node-execution indexes (the
+    /// default, matching the paper's implementation).
+    #[default]
+    Local,
+}
+
+/// WET construction options.
+#[derive(Debug, Clone)]
+pub struct WetConfig {
+    /// Edge label timestamp mode.
+    pub ts_mode: TsMode,
+    /// Tier-2 stream compression settings.
+    pub stream: StreamConfig,
+    /// Enable §3.2 value grouping (disable for ablation: every def
+    /// statement becomes its own group).
+    pub group_values: bool,
+    /// Enable §3.3 local-edge label inference.
+    pub infer_local_edges: bool,
+    /// Enable §3.3 label-sequence sharing.
+    pub share_edge_labels: bool,
+}
+
+impl Default for WetConfig {
+    fn default() -> Self {
+        WetConfig {
+            ts_mode: TsMode::Local,
+            stream: StreamConfig::default(),
+            group_values: true,
+            infer_local_edges: true,
+            share_edge_labels: true,
+        }
+    }
+}
+
+/// One statement occurrence inside a node.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeStmt {
+    /// The statement.
+    pub id: StmtId,
+    /// Index into the node's block list.
+    pub block_idx: u16,
+    /// True if the statement has a def port (carries values).
+    pub has_def: bool,
+    /// Value group index (meaningful when `has_def`).
+    pub group: u32,
+    /// Member index within the group.
+    pub member: u32,
+}
+
+/// A value group (§3.2): statements sharing one pattern.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Pattern sequence mapping execution index to unique-value index;
+    /// `None` means the identity pattern (all tuples distinct).
+    pub pattern: Option<Seq>,
+    /// Unique-value sequences, one per member statement.
+    pub uvals: Vec<Seq>,
+    /// Number of unique value tuples.
+    pub n_uvals: u32,
+}
+
+/// An intra-node dependence edge (src and use in the same node
+/// execution). Labels are implied: every instance pairs execution `k`
+/// with execution `k`.
+#[derive(Debug, Clone)]
+pub struct IntraEdge {
+    /// Producing statement (same node).
+    pub src: StmtId,
+    /// True when the edge covers every execution of the node — its
+    /// labels are then fully inferred and nothing is stored (§3.3).
+    pub complete: bool,
+    /// Execution indexes covered, when not complete.
+    pub ks: Option<Seq>,
+}
+
+/// A WET node: one Ball–Larus path with its labels.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Containing function.
+    pub func: FuncId,
+    /// Ball–Larus path id within the function.
+    pub path_id: u64,
+    /// The path's block sequence.
+    pub blocks: Vec<BlockId>,
+    /// Statement occurrences in execution order.
+    pub stmts: Vec<NodeStmt>,
+    /// Executions of this node so far.
+    pub n_execs: u32,
+    /// Timestamp sequence (strictly increasing).
+    pub ts: Seq,
+    /// First timestamp (uncompressed metadata; enables range-skipping
+    /// during control-flow traversal without touching the stream).
+    pub ts_first: u64,
+    /// Last timestamp.
+    pub ts_last: u64,
+    /// Value groups.
+    pub groups: Vec<Group>,
+    /// Observed control-flow successor nodes (unlabeled CF edges).
+    pub cf_succs: Vec<NodeId>,
+    /// Observed control-flow predecessor nodes.
+    pub cf_preds: Vec<NodeId>,
+    /// Intra-node dependence edges, keyed by `(use stmt, slot)`.
+    pub intra: HashMap<(StmtId, u8), Vec<IntraEdge>>,
+    pub(crate) stmt_pos: HashMap<StmtId, u32>,
+}
+
+impl Node {
+    /// Position of a statement within the node, if present.
+    pub fn stmt_pos(&self, s: StmtId) -> Option<usize> {
+        self.stmt_pos.get(&s).map(|&i| i as usize)
+    }
+
+    /// The timestamp of execution `k`.
+    ///
+    /// # Panics
+    /// Panics if `k >= n_execs`.
+    pub fn ts_at(&mut self, k: usize) -> u64 {
+        self.ts.get(k)
+    }
+
+    /// The value the statement produced at execution `k`, when it has a
+    /// def port: `Values[k] = UVals[Pattern[k]]`.
+    pub fn value_at(&mut self, stmt: StmtId, k: usize) -> Option<i64> {
+        let pos = self.stmt_pos(stmt)?;
+        let ns = self.stmts[pos];
+        if !ns.has_def {
+            return None;
+        }
+        let g = &mut self.groups[ns.group as usize];
+        let idx = match &mut g.pattern {
+            None => k,
+            Some(p) => p.get(k) as usize,
+        };
+        Some(g.uvals[ns.member as usize].get(idx) as i64)
+    }
+}
+
+/// A non-local dependence edge between statement occurrences.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Producing node.
+    pub src_node: NodeId,
+    /// Producing statement.
+    pub src_stmt: StmtId,
+    /// Consuming node.
+    pub dst_node: NodeId,
+    /// Consuming statement (the block terminator for `SLOT_CD`).
+    pub dst_stmt: StmtId,
+    /// Dependence slot.
+    pub slot: u8,
+    /// Index of the (possibly shared) label sequence in the pool.
+    pub labels: u32,
+}
+
+/// A pooled edge-label sequence: parallel `dst`/`src` streams of pairs.
+#[derive(Debug, Clone)]
+pub struct LabelSeq {
+    /// Pair count.
+    pub len: u32,
+    /// Use-side labels (sorted ascending).
+    pub dst: Seq,
+    /// Def-side labels, parallel to `dst`.
+    pub src: Seq,
+}
+
+/// The Whole Execution Trace.
+#[derive(Debug, Clone)]
+pub struct Wet {
+    pub(crate) config: WetConfig,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) node_index: HashMap<(FuncId, u64), NodeId>,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) labels: Vec<LabelSeq>,
+    /// Incoming labeled edges per `(dst node, dst stmt, slot)`.
+    pub(crate) in_edges: HashMap<(NodeId, StmtId, u8), Vec<u32>>,
+    /// Outgoing labeled edges per `(src node, src stmt)`.
+    pub(crate) out_edges: HashMap<(NodeId, StmtId), Vec<u32>>,
+    /// First executed node and its timestamp (always ts 1).
+    pub(crate) first: (NodeId, u64),
+    /// Last executed node and its timestamp.
+    pub(crate) last: (NodeId, u64),
+    pub(crate) sizes: WetSizes,
+    pub(crate) stats: WetStats,
+    pub(crate) tier2: bool,
+}
+
+impl Wet {
+    /// The construction configuration.
+    pub fn config(&self) -> &WetConfig {
+        &self.config
+    }
+
+    /// All nodes, indexed by [`NodeId`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// A node by id.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable node access (cursor movement).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Looks up the node for `(func, path_id)`.
+    pub fn node_for_path(&self, func: FuncId, path_id: u64) -> Option<NodeId> {
+        self.node_index.get(&(func, path_id)).copied()
+    }
+
+    /// All non-local edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The pooled label sequences.
+    pub fn labels(&self) -> &[LabelSeq] {
+        &self.labels
+    }
+
+    /// Labeled edges into `(node, stmt, slot)`.
+    pub fn in_edges(&self, node: NodeId, stmt: StmtId, slot: u8) -> &[u32] {
+        self.in_edges.get(&(node, stmt, slot)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Labeled edges out of `(node, stmt)` (any slot).
+    pub fn out_edges(&self, node: NodeId, stmt: StmtId) -> &[u32] {
+        self.out_edges.get(&(node, stmt)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The first executed node and its timestamp (1).
+    pub fn first(&self) -> (NodeId, u64) {
+        self.first
+    }
+
+    /// The last executed node and its timestamp.
+    pub fn last(&self) -> (NodeId, u64) {
+        self.last
+    }
+
+    /// Size accounting across tiers.
+    pub fn sizes(&self) -> &WetSizes {
+        &self.sizes
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &WetStats {
+        &self.stats
+    }
+
+    /// True once [`compress`](Self::compress) has run.
+    pub fn is_tier2(&self) -> bool {
+        self.tier2
+    }
+
+    /// Applies tier-2 compression: every label sequence becomes a
+    /// bidirectional compressed stream, and the `t2_*` size fields are
+    /// filled in. Queries keep working through the same interface (at
+    /// the tier-2 response times the paper's Tables 6–9 report).
+    pub fn compress(&mut self) {
+        if self.tier2 {
+            return;
+        }
+        let cfg = self.config.stream.clone();
+        let mut methods: std::collections::BTreeMap<String, u64> = Default::default();
+        let mut note = |s: &Seq, bytes: &mut u64| {
+            if let Seq::Compressed(c) = s {
+                *methods.entry(c.method().name()).or_default() += 1;
+                *bytes += c.compressed_bytes();
+            }
+        };
+        let (mut t2_ts, mut t2_vals, mut t2_edges) = (0u64, 0u64, 0u64);
+        for n in &mut self.nodes {
+            n.ts.compress(&cfg);
+            note(&n.ts, &mut t2_ts);
+            for g in &mut n.groups {
+                if let Some(p) = &mut g.pattern {
+                    p.compress(&cfg);
+                    note(p, &mut t2_vals);
+                }
+                for u in &mut g.uvals {
+                    u.compress(&cfg);
+                    note(u, &mut t2_vals);
+                }
+            }
+            for ies in n.intra.values_mut() {
+                for ie in ies {
+                    if let Some(ks) = &mut ie.ks {
+                        ks.compress(&cfg);
+                        note(ks, &mut t2_edges);
+                    }
+                }
+            }
+        }
+        for l in &mut self.labels {
+            l.dst.compress(&cfg);
+            l.src.compress(&cfg);
+            note(&l.dst, &mut t2_edges);
+            note(&l.src, &mut t2_edges);
+        }
+        self.sizes.t2_ts = t2_ts;
+        self.sizes.t2_vals = t2_vals;
+        self.sizes.t2_edges = t2_edges;
+        self.stats.methods = methods;
+        self.tier2 = true;
+    }
+
+    /// Checks structural integrity — sequence lengths against execution
+    /// counts, edge/label/group references in range, CF edge symmetry.
+    /// Used after deserialization and in tests.
+    ///
+    /// # Errors
+    /// Returns a description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (ni, n) in self.nodes.iter().enumerate() {
+            if n.ts.len() != n.n_execs as usize {
+                return Err(format!("node {ni}: ts length {} != n_execs {}", n.ts.len(), n.n_execs));
+            }
+            for (gi, g) in n.groups.iter().enumerate() {
+                if let Some(p) = &g.pattern {
+                    if p.len() != n.n_execs as usize {
+                        return Err(format!("node {ni} group {gi}: pattern length mismatch"));
+                    }
+                }
+                for (ui, u) in g.uvals.iter().enumerate() {
+                    if u.len() != g.n_uvals as usize {
+                        return Err(format!("node {ni} group {gi} member {ui}: uvals length mismatch"));
+                    }
+                }
+            }
+            for s in &n.stmts {
+                if s.has_def {
+                    let g = n.groups.get(s.group as usize).ok_or_else(|| {
+                        format!("node {ni}: stmt {} references missing group {}", s.id, s.group)
+                    })?;
+                    if s.member as usize >= g.uvals.len() {
+                        return Err(format!("node {ni}: stmt {} member out of range", s.id));
+                    }
+                }
+                if s.block_idx as usize >= n.blocks.len() {
+                    return Err(format!("node {ni}: stmt {} block index out of range", s.id));
+                }
+            }
+            for &s in &n.cf_succs {
+                if s.index() >= self.nodes.len() {
+                    return Err(format!("node {ni}: CF successor out of range"));
+                }
+                if !self.nodes[s.index()].cf_preds.contains(&NodeId(ni as u32)) {
+                    return Err(format!("node {ni}: CF edge to n{} not mirrored", s.0));
+                }
+            }
+        }
+        for (ei, e) in self.edges.iter().enumerate() {
+            if e.src_node.index() >= self.nodes.len() || e.dst_node.index() >= self.nodes.len() {
+                return Err(format!("edge {ei}: node reference out of range"));
+            }
+            let lab = self.labels.get(e.labels as usize).ok_or_else(|| format!("edge {ei}: missing label"))?;
+            if lab.dst.len() != lab.len as usize || lab.src.len() != lab.len as usize {
+                return Err(format!("edge {ei}: label length mismatch"));
+            }
+        }
+        if self.first.0.index() >= self.nodes.len() || self.last.0.index() >= self.nodes.len() {
+            return Err("first/last node out of range".to_string());
+        }
+        Ok(())
+    }
+
+    /// Resolves the producer of dependence slot `slot` of `dst_stmt` at
+    /// execution `k` of `node`: first by intra-node inference, then by
+    /// searching the labeled incoming edges. Returns the producing
+    /// `(node, stmt, execution)` triple.
+    pub fn resolve_producer(
+        &mut self,
+        node: NodeId,
+        dst_stmt: StmtId,
+        slot: u8,
+        k: u32,
+    ) -> Option<(NodeId, StmtId, u32)> {
+        // Intra-node edges: labels inferred (or stored per edge).
+        {
+            let n = &mut self.nodes[node.index()];
+            if let Some(ies) = n.intra.get_mut(&(dst_stmt, slot)) {
+                for ie in ies {
+                    if ie.complete {
+                        return Some((node, ie.src, k));
+                    }
+                    if let Some(ks) = &mut ie.ks {
+                        if ks.find_sorted(k as u64).is_some() {
+                            return Some((node, ie.src, k));
+                        }
+                    }
+                }
+            }
+        }
+        // Non-local labeled edges.
+        let key = match self.config.ts_mode {
+            TsMode::Local => k as u64,
+            TsMode::Global => self.nodes[node.index()].ts.get(k as usize),
+        };
+        // Clone the (small) index list to release the map borrow.
+        let edge_idxs = self.in_edges.get(&(node, dst_stmt, slot))?.clone();
+        for ei in edge_idxs {
+            let e = self.edges[ei as usize];
+            let lab = &mut self.labels[e.labels as usize];
+            if let Some(p) = lab.dst.find_sorted(key) {
+                let srcv = lab.src.get(p);
+                let k_src = match self.config.ts_mode {
+                    TsMode::Local => srcv as u32,
+                    TsMode::Global => {
+                        let sn = &mut self.nodes[e.src_node.index()];
+                        sn.ts.find_sorted(srcv)? as u32
+                    }
+                };
+                return Some((e.src_node, e.src_stmt, k_src));
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,174 @@
+//! Control-flow trace extraction (paper §2: "If a node is labeled with
+//! `<t, −>`, the node that is executed next must be labeled with
+//! `<t + 1, −>`").
+//!
+//! The trace is recovered by combining the unlabeled static CF edges
+//! with the timestamp sequences: from the node execution at time `t`,
+//! the successor is the unique CF-successor node whose timestamp stream
+//! contains `t + 1`. Per-node stream cursors advance monotonically, so
+//! a full extraction costs time linear in the trace in either
+//! direction — the property Table 6 measures.
+
+use crate::graph::{NodeId, Wet};
+use wet_ir::{BlockId, FuncId};
+
+/// One step of the node-level control-flow trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CfStep {
+    /// The executed node (path).
+    pub node: NodeId,
+    /// Its execution index.
+    pub k: u32,
+    /// The timestamp.
+    pub ts: u64,
+}
+
+/// Extracts the full control-flow trace front to back.
+pub fn cf_trace_forward(wet: &mut Wet) -> Vec<CfStep> {
+    let (first, first_ts) = wet.first();
+    let (_, last_ts) = wet.last();
+    let mut steps = Vec::with_capacity((last_ts - first_ts + 1) as usize);
+    let mut node = first;
+    let k0 = wet.node_mut(node).ts.find_sorted(first_ts).expect("first ts present");
+    steps.push(CfStep { node, k: k0 as u32, ts: first_ts });
+    let mut ts = first_ts;
+    while ts < last_ts {
+        let next_ts = ts + 1;
+        let succs: Vec<NodeId> = wet.node(node).cf_succs.clone();
+        let mut found = None;
+        for s in succs {
+            // Range skip: a successor whose timestamp interval excludes
+            // the target needs no stream probe at all.
+            {
+                let n = wet.node(s);
+                if next_ts < n.ts_first || next_ts > n.ts_last {
+                    continue;
+                }
+            }
+            if let Some(k) = wet.node_mut(s).ts.find_sorted(next_ts) {
+                found = Some((s, k));
+                break;
+            }
+        }
+        let (s, k) = found.unwrap_or_else(|| panic!("no successor node holds ts {next_ts}"));
+        steps.push(CfStep { node: s, k: k as u32, ts: next_ts });
+        node = s;
+        ts = next_ts;
+    }
+    steps
+}
+
+/// Extracts the full control-flow trace back to front. The returned
+/// steps are in reverse execution order (last first).
+pub fn cf_trace_backward(wet: &mut Wet) -> Vec<CfStep> {
+    let (last, last_ts) = wet.last();
+    let (_, first_ts) = wet.first();
+    let mut steps = Vec::with_capacity((last_ts - first_ts + 1) as usize);
+    let mut node = last;
+    let k0 = wet.node_mut(node).ts.find_sorted(last_ts).expect("last ts present");
+    steps.push(CfStep { node, k: k0 as u32, ts: last_ts });
+    let mut ts = last_ts;
+    while ts > first_ts {
+        let prev_ts = ts - 1;
+        let preds: Vec<NodeId> = wet.node(node).cf_preds.clone();
+        let mut found = None;
+        for p in preds {
+            {
+                let n = wet.node(p);
+                if prev_ts < n.ts_first || prev_ts > n.ts_last {
+                    continue;
+                }
+            }
+            if let Some(k) = wet.node_mut(p).ts.find_sorted(prev_ts) {
+                found = Some((p, k));
+                break;
+            }
+        }
+        let (p, k) = found.unwrap_or_else(|| panic!("no predecessor node holds ts {prev_ts}"));
+        steps.push(CfStep { node: p, k: k as u32, ts: prev_ts });
+        node = p;
+        ts = prev_ts;
+    }
+    steps
+}
+
+/// Locates the node execution holding timestamp `ts` by checking node
+/// timestamp ranges and probing candidates' streams.
+pub fn locate_ts(wet: &mut Wet, ts: u64) -> Option<CfStep> {
+    let candidates: Vec<NodeId> = wet
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.n_execs > 0 && n.ts_first <= ts && ts <= n.ts_last)
+        .map(|(i, _)| NodeId(i as u32))
+        .collect();
+    for c in candidates {
+        if let Some(k) = wet.node_mut(c).ts.find_sorted(ts) {
+            return Some(CfStep { node: c, k: k as u32, ts });
+        }
+    }
+    None
+}
+
+/// Extracts up to `count` trace steps starting *at any execution
+/// point* (paper §5.2: "Such a request can be made with respect to any
+/// point either along the execution flow (forward) or in the reverse
+/// direction"). `forward` selects the direction; the step at `ts`
+/// itself is included.
+///
+/// Returns an empty vector when `ts` is outside the execution.
+pub fn cf_trace_from(wet: &mut Wet, ts: u64, count: usize, forward: bool) -> Vec<CfStep> {
+    let Some(start) = locate_ts(wet, ts) else { return Vec::new() };
+    let (_, last_ts) = wet.last();
+    let (_, first_ts) = wet.first();
+    let mut steps = vec![start];
+    let mut node = start.node;
+    let mut t = ts;
+    while steps.len() < count {
+        let (next_t, neighbours) = if forward {
+            if t >= last_ts {
+                break;
+            }
+            (t + 1, wet.node(node).cf_succs.clone())
+        } else {
+            if t <= first_ts {
+                break;
+            }
+            (t - 1, wet.node(node).cf_preds.clone())
+        };
+        let mut found = None;
+        for nb in neighbours {
+            {
+                let n = wet.node(nb);
+                if next_t < n.ts_first || next_t > n.ts_last {
+                    continue;
+                }
+            }
+            if let Some(k) = wet.node_mut(nb).ts.find_sorted(next_t) {
+                found = Some(CfStep { node: nb, k: k as u32, ts: next_t });
+                break;
+            }
+        }
+        let step = found.unwrap_or_else(|| panic!("no neighbour holds ts {next_t}"));
+        node = step.node;
+        t = next_t;
+        steps.push(step);
+    }
+    steps
+}
+
+/// Expands a node-level trace into the basic-block trace.
+pub fn expand_blocks(wet: &Wet, steps: &[CfStep]) -> Vec<(FuncId, BlockId)> {
+    let mut out = Vec::new();
+    for s in steps {
+        let n = wet.node(s.node);
+        out.extend(n.blocks.iter().map(|&b| (n.func, b)));
+    }
+    out
+}
+
+/// Size of the block-level trace in bytes (4 bytes per executed block,
+/// the unit Table 6 reports trace sizes in).
+pub fn trace_bytes(wet: &Wet, steps: &[CfStep]) -> u64 {
+    steps.iter().map(|s| 4 * wet.node(s.node).blocks.len() as u64).sum()
+}

@@ -1,0 +1,19 @@
+//! Queries over the compressed WET (paper §2 "Queries" and §5.2).
+//!
+//! Each query works identically against the tier-1 and tier-2 forms of
+//! a [`crate::Wet`]; the paper's Tables 6–9 compare their response
+//! times.
+
+pub mod addresses;
+pub mod cftrace;
+pub mod mine;
+pub mod phases;
+pub mod slice;
+pub mod values;
+
+pub use addresses::address_trace;
+pub use mine::{hot_paths, isomorphic_statements, value_locality, HotPath, ValueLocality};
+pub use phases::{cluster_phases, interval_vectors, IntervalVector, Phases};
+pub use cftrace::{cf_trace_backward, cf_trace_forward, cf_trace_from, expand_blocks, locate_ts, trace_bytes, CfStep};
+pub use slice::{backward_slice, forward_slice, SliceSpec, WetSlice, WetSliceElem};
+pub use values::{value_trace, values_in_node};

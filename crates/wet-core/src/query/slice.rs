@@ -1,0 +1,222 @@
+//! WET slices (paper §2 and §5.2, Table 9).
+//!
+//! A backward WET slice of a statement instance is the subgraph of the
+//! WET reachable backward over data and control dependence edges — the
+//! complete profile history that led to the value. A forward slice
+//! follows the edges the other way. Both traversals run directly on
+//! the (tier-1 or tier-2) compressed representation.
+
+use crate::graph::{NodeId, Wet, SLOT_CD, SLOT_MEM, SLOT_OP0, SLOT_OP1};
+use std::collections::{BTreeSet, HashSet};
+use wet_ir::{Program, StmtId};
+
+/// A dynamic statement instance addressed WET-style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WetSliceElem {
+    /// Containing node.
+    pub node: NodeId,
+    /// The statement.
+    pub stmt: StmtId,
+    /// Node execution index.
+    pub k: u32,
+}
+
+/// Which dependence kinds a slice follows.
+#[derive(Debug, Clone, Copy)]
+pub struct SliceSpec {
+    /// Follow data dependences.
+    pub data: bool,
+    /// Follow control dependences.
+    pub control: bool,
+}
+
+impl Default for SliceSpec {
+    fn default() -> Self {
+        SliceSpec { data: true, control: true }
+    }
+}
+
+/// A computed WET slice.
+#[derive(Debug, Clone)]
+pub struct WetSlice {
+    /// Raw elements visited.
+    pub elems: Vec<WetSliceElem>,
+    /// The slice as `(stmt, ts)` pairs — the stable identity used to
+    /// compare against reference slicers.
+    pub stamped: BTreeSet<(StmtId, u64)>,
+}
+
+impl WetSlice {
+    /// Number of dynamic instances in the slice.
+    pub fn len(&self) -> usize {
+        self.stamped.len()
+    }
+
+    /// True for an empty slice (never, for a valid criterion).
+    pub fn is_empty(&self) -> bool {
+        self.stamped.is_empty()
+    }
+
+    /// Distinct static statements in the slice.
+    pub fn static_stmts(&self) -> BTreeSet<StmtId> {
+        self.stamped.iter().map(|&(s, _)| s).collect()
+    }
+}
+
+/// The CD anchor (block terminator) for a statement occurrence.
+fn cd_anchor(wet: &Wet, program: &Program, node: NodeId, stmt: StmtId) -> Option<StmtId> {
+    let n = wet.node(node);
+    let pos = n.stmt_pos(stmt)?;
+    let block = n.blocks[n.stmts[pos].block_idx as usize];
+    Some(program.function(n.func).block(block).term().id)
+}
+
+/// Computes the backward WET slice from `criterion`.
+///
+/// # Panics
+/// Panics if the criterion statement is not part of the criterion node.
+pub fn backward_slice(wet: &mut Wet, program: &Program, criterion: WetSliceElem, spec: SliceSpec) -> WetSlice {
+    assert!(
+        wet.node(criterion.node).stmt_pos(criterion.stmt).is_some(),
+        "criterion statement not in node"
+    );
+    let mut visited: HashSet<WetSliceElem> = HashSet::new();
+    let mut stamped = BTreeSet::new();
+    let mut work = vec![criterion];
+    while let Some(e) = work.pop() {
+        if !visited.insert(e) {
+            continue;
+        }
+        let ts = wet.node_mut(e.node).ts_at(e.k as usize);
+        stamped.insert((e.stmt, ts));
+        if spec.data {
+            for slot in [SLOT_OP0, SLOT_OP1, SLOT_MEM] {
+                if let Some((pn, ps, pk)) = wet.resolve_producer(e.node, e.stmt, slot, e.k) {
+                    work.push(WetSliceElem { node: pn, stmt: ps, k: pk });
+                }
+            }
+        }
+        if spec.control {
+            if let Some(anchor) = cd_anchor(wet, program, e.node, e.stmt) {
+                if let Some((pn, ps, pk)) = wet.resolve_producer(e.node, anchor, SLOT_CD, e.k) {
+                    work.push(WetSliceElem { node: pn, stmt: ps, k: pk });
+                }
+            }
+        }
+    }
+    WetSlice { elems: visited.into_iter().collect(), stamped }
+}
+
+/// Computes the forward WET slice from `criterion`: every instance
+/// whose computation (or execution) the criterion influenced.
+///
+/// Forward traversal scans outgoing edge labels for the source
+/// instance, and expands control dependences to every statement of the
+/// dependent block, mirroring the dynamic CD semantics.
+pub fn forward_slice(wet: &mut Wet, program: &Program, criterion: WetSliceElem, spec: SliceSpec) -> WetSlice {
+    let mut visited: HashSet<WetSliceElem> = HashSet::new();
+    let mut stamped = BTreeSet::new();
+    let mut work = vec![criterion];
+    while let Some(e) = work.pop() {
+        if !visited.insert(e) {
+            continue;
+        }
+        let ts = wet.node_mut(e.node).ts_at(e.k as usize);
+        stamped.insert((e.stmt, ts));
+
+        // Intra-node consumers.
+        let node = e.node;
+        let intra_hits: Vec<(StmtId, u8)> = {
+            let keys: Vec<(StmtId, u8)> = wet.node(node).intra.keys().copied().collect();
+            let mut hits = Vec::new();
+            for key in keys {
+                let n = wet.node_mut(node);
+                let Some(ies) = n.intra.get_mut(&key) else { continue };
+                for ie in ies {
+                    if ie.src != e.stmt {
+                        continue;
+                    }
+                    let covered = if ie.complete {
+                        true
+                    } else {
+                        ie.ks.as_mut().map(|ks| ks.find_sorted(e.k as u64).is_some()).unwrap_or(false)
+                    };
+                    if covered {
+                        hits.push(key);
+                    }
+                }
+            }
+            hits
+        };
+        for (dst_stmt, slot) in intra_hits {
+            push_consumers(wet, program, node, dst_stmt, slot, e.k, spec, &mut work);
+        }
+
+        // Non-local consumers: scan outgoing edges for the source key.
+        let key = match wet.config().ts_mode {
+            crate::graph::TsMode::Local => e.k as u64,
+            crate::graph::TsMode::Global => ts,
+        };
+        let out: Vec<u32> = wet.out_edges(e.node, e.stmt).to_vec();
+        for ei in out {
+            let edge = wet.edges()[ei as usize];
+            let len = wet.labels()[edge.labels as usize].len as usize;
+            for p in 0..len {
+                let (dv, sv) = {
+                    let lab = &mut wet.labels[edge.labels as usize];
+                    (lab.dst.get(p), lab.src.get(p))
+                };
+                if sv != key {
+                    continue;
+                }
+                let k_dst = match wet.config().ts_mode {
+                    crate::graph::TsMode::Local => dv as u32,
+                    crate::graph::TsMode::Global => {
+                        match wet.node_mut(edge.dst_node).ts.find_sorted(dv) {
+                            Some(k) => k as u32,
+                            None => continue,
+                        }
+                    }
+                };
+                push_consumers(wet, program, edge.dst_node, edge.dst_stmt, edge.slot, k_dst, spec, &mut work);
+            }
+        }
+    }
+    WetSlice { elems: visited.into_iter().collect(), stamped }
+}
+
+/// Pushes the consuming instances of a dependence hit onto the
+/// worklist: the statement itself for data slots, or every statement of
+/// the dependent block for control dependences.
+#[allow(clippy::too_many_arguments)] // mirrors the dependence-edge tuple
+fn push_consumers(
+    wet: &Wet,
+    program: &Program,
+    node: NodeId,
+    dst_stmt: StmtId,
+    slot: u8,
+    k: u32,
+    spec: SliceSpec,
+    work: &mut Vec<WetSliceElem>,
+) {
+    if slot == SLOT_CD {
+        if !spec.control {
+            return;
+        }
+        // dst_stmt anchors the block; all statements of that block at
+        // execution k are control dependent.
+        let loc = program.stmt_loc(dst_stmt);
+        let n = wet.node(node);
+        let bi = n.blocks.iter().position(|&b| b == loc.block).expect("anchor block in node");
+        for ns in &n.stmts {
+            if ns.block_idx as usize == bi {
+                work.push(WetSliceElem { node, stmt: ns.id, k });
+            }
+        }
+    } else {
+        if !spec.data {
+            return;
+        }
+        work.push(WetSliceElem { node, stmt: dst_stmt, k });
+    }
+}

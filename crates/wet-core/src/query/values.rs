@@ -1,0 +1,60 @@
+//! Per-instruction value traces (paper §5.2: "requests for load values
+//! on per instruction basis ... can be useful for designing load value
+//! predictors").
+//!
+//! A statement's values live in the value groups of every node that
+//! contains the statement; the full per-instruction trace merges the
+//! per-node sequences by timestamp.
+//!
+//! Whole-trace extraction decompresses each involved stream *once*
+//! (front to back) rather than through the random-access cursor: the
+//! `Values[k] = UVals[Pattern[k]]` indirection makes unique-value
+//! lookups non-monotonic, which a sliding-window cursor would pay for
+//! quadratically.
+
+use crate::graph::{NodeId, Wet};
+use wet_ir::StmtId;
+
+/// The value sequence of `stmt` within one node, as `(ts, value)`
+/// pairs in execution order. Returns an empty vector when the
+/// statement has no def port or is not in the node.
+pub fn values_in_node(wet: &mut Wet, node: NodeId, stmt: StmtId) -> Vec<(u64, i64)> {
+    let n = wet.node_mut(node);
+    let Some(pos) = n.stmt_pos(stmt) else { return Vec::new() };
+    let ns = n.stmts[pos];
+    if !ns.has_def {
+        return Vec::new();
+    }
+    let ts = n.ts.to_vec();
+    let g = &mut n.groups[ns.group as usize];
+    let uvals = g.uvals[ns.member as usize].to_vec();
+    match &mut g.pattern {
+        None => ts.into_iter().zip(uvals.into_iter().map(|v| v as i64)).collect(),
+        Some(p) => {
+            let pattern = p.to_vec();
+            ts.into_iter().zip(pattern).map(|(t, idx)| (t, uvals[idx as usize] as i64)).collect()
+        }
+    }
+}
+
+/// The ids of nodes containing `stmt`.
+pub fn nodes_with_stmt(wet: &Wet, stmt: StmtId) -> Vec<NodeId> {
+    wet.nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.stmt_pos(stmt).is_some())
+        .map(|(i, _)| NodeId(i as u32))
+        .collect()
+}
+
+/// The complete per-instruction value trace of `stmt` across all nodes,
+/// merged into execution order: `(ts, value)` pairs sorted by
+/// timestamp.
+pub fn value_trace(wet: &mut Wet, stmt: StmtId) -> Vec<(u64, i64)> {
+    let mut out = Vec::new();
+    for node in nodes_with_stmt(wet, stmt) {
+        out.extend(values_in_node(wet, node, stmt));
+    }
+    out.sort_unstable_by_key(|&(ts, _)| ts);
+    out
+}

@@ -1,0 +1,167 @@
+//! Label sequences that exist in tier-1 (raw) or tier-2 (compressed)
+//! form.
+//!
+//! Every WET label — node timestamps, value patterns, unique values,
+//! edge timestamp pairs — is a sequence of integers. After tier-1
+//! (customized) compression the sequences are plain vectors; tier-2
+//! replaces each with a bidirectional [`CompressedStream`]. Queries run
+//! against either form through the same interface, which is how the
+//! paper reports response times "after tier-1 compression and after
+//! tier-2 compression".
+
+use wet_stream::{CompressedStream, StreamConfig};
+
+/// A sequence of `u64` labels in raw (tier-1) or compressed (tier-2)
+/// form.
+#[derive(Debug, Clone)]
+pub enum Seq {
+    /// Tier-1: a plain vector.
+    Raw(Vec<u64>),
+    /// Tier-2: a bidirectional compressed stream.
+    Compressed(CompressedStream),
+}
+
+impl Seq {
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            Seq::Raw(v) => v.len(),
+            Seq::Compressed(s) => s.len(),
+        }
+    }
+
+    /// True when the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads index `i`. Takes `&mut self` because tier-2 reads move the
+    /// stream cursor.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn get(&mut self, i: usize) -> u64 {
+        match self {
+            Seq::Raw(v) => v[i],
+            Seq::Compressed(s) => s.get(i),
+        }
+    }
+
+    /// Decompresses (or clones) the full sequence.
+    pub fn to_vec(&mut self) -> Vec<u64> {
+        match self {
+            Seq::Raw(v) => v.clone(),
+            Seq::Compressed(s) => s.decompress(),
+        }
+    }
+
+    /// Converts to tier-2 form in place (no-op if already compressed).
+    pub fn compress(&mut self, cfg: &StreamConfig) {
+        if let Seq::Raw(v) = self {
+            let s = CompressedStream::compress_auto(v, cfg);
+            *self = Seq::Compressed(s);
+        }
+    }
+
+    /// Tier-2 payload bytes; for raw sequences, the bytes tier-2 would
+    /// be measured at (computed by compressing a clone).
+    pub fn compressed_bytes(&self, cfg: &StreamConfig) -> u64 {
+        match self {
+            Seq::Raw(v) => CompressedStream::compress_auto(v, cfg).compressed_bytes(),
+            Seq::Compressed(s) => s.compressed_bytes(),
+        }
+    }
+
+    /// Searches a **sorted** sequence for `target`, returning its
+    /// position. Walks the cursor from its current position (galloping
+    /// toward the target), so repeated nearby lookups are cheap.
+    pub fn find_sorted(&mut self, target: u64) -> Option<usize> {
+        let n = self.len();
+        if n == 0 {
+            return None;
+        }
+        match self {
+            Seq::Raw(v) => v.binary_search(&target).ok(),
+            Seq::Compressed(s) => {
+                // Start near the cursor, then walk monotonically.
+                let mut i = s.window_start().clamp(0, n as isize - 1) as usize;
+                let mut vi = s.get(i);
+                while vi < target && i + 1 < n {
+                    i += 1;
+                    vi = s.get(i);
+                }
+                while vi > target && i > 0 {
+                    i -= 1;
+                    vi = s.get(i);
+                }
+                (vi == target).then_some(i)
+            }
+        }
+    }
+}
+
+impl From<Vec<u64>> for Seq {
+    fn from(v: Vec<u64>) -> Self {
+        Seq::Raw(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> StreamConfig {
+        StreamConfig::default()
+    }
+
+    #[test]
+    fn raw_and_compressed_agree() {
+        let data: Vec<u64> = (0..500).map(|i| i * 7 % 64).collect();
+        let mut raw = Seq::Raw(data.clone());
+        let mut comp = Seq::Raw(data.clone());
+        comp.compress(&cfg());
+        assert!(matches!(comp, Seq::Compressed(_)));
+        assert_eq!(raw.len(), comp.len());
+        for i in [0usize, 499, 250, 10, 499, 0] {
+            assert_eq!(raw.get(i), comp.get(i), "index {i}");
+        }
+        assert_eq!(comp.to_vec(), data);
+    }
+
+    #[test]
+    fn find_sorted_hits_and_misses() {
+        let data: Vec<u64> = (0..200).map(|i| i * 3).collect();
+        for make in [false, true] {
+            let mut s = Seq::Raw(data.clone());
+            if make {
+                s.compress(&cfg());
+            }
+            assert_eq!(s.find_sorted(0), Some(0));
+            assert_eq!(s.find_sorted(33), Some(11));
+            assert_eq!(s.find_sorted(597), Some(199));
+            assert_eq!(s.find_sorted(34), None);
+            assert_eq!(s.find_sorted(598), None);
+            // Lookups in both directions after a far jump.
+            assert_eq!(s.find_sorted(3), Some(1));
+            assert_eq!(s.find_sorted(300), Some(100));
+        }
+    }
+
+    #[test]
+    fn compress_is_idempotent() {
+        let mut s = Seq::Raw(vec![1, 2, 3]);
+        s.compress(&cfg());
+        let bytes = s.compressed_bytes(&cfg());
+        s.compress(&cfg());
+        assert_eq!(s.compressed_bytes(&cfg()), bytes);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let mut s = Seq::Raw(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.find_sorted(5), None);
+        s.compress(&cfg());
+        assert_eq!(s.len(), 0);
+    }
+}

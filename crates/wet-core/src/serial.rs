@@ -1,0 +1,511 @@
+//! Binary serialization of whole WETs — the `.wetz` file format.
+//!
+//! A serialized WET contains everything needed to resume queries:
+//! the node/edge structure, all label sequences (tier-1 raw or tier-2
+//! compressed, including stream cursor and predictor-table state), and
+//! the size/statistics bookkeeping. Format: magic `WETZ`, version byte,
+//! then length-prefixed little-endian sections with no external
+//! dependencies.
+
+use crate::graph::{Edge, Group, IntraEdge, LabelSeq, Node, NodeId, NodeStmt, TsMode, Wet, WetConfig};
+use crate::seq::Seq;
+use crate::sizes::{WetSizes, WetStats};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use wet_stream::serial::{r_u32, r_u64, r_u64s, r_u8, w_u32, w_u64, w_u64s, w_u8};
+use wet_stream::{CompressedStream, Method, StreamConfig};
+use wet_ir::{BlockId, FuncId, StmtId};
+
+const MAGIC: &[u8; 4] = b"WETZ";
+const VERSION: u8 = 1;
+
+fn corrupt(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn w_seq(w: &mut impl Write, s: &Seq) -> io::Result<()> {
+    match s {
+        Seq::Raw(v) => {
+            w_u8(w, 0)?;
+            w_u64s(w, v)
+        }
+        Seq::Compressed(c) => {
+            w_u8(w, 1)?;
+            c.write_to(w)
+        }
+    }
+}
+
+fn r_seq(r: &mut impl Read) -> io::Result<Seq> {
+    Ok(match r_u8(r)? {
+        0 => Seq::Raw(r_u64s(r)?),
+        1 => Seq::Compressed(CompressedStream::read_from(r)?),
+        _ => return Err(corrupt("bad seq tag")),
+    })
+}
+
+fn w_opt_seq(w: &mut impl Write, s: &Option<Seq>) -> io::Result<()> {
+    match s {
+        None => w_u8(w, 0),
+        Some(s) => {
+            w_u8(w, 1)?;
+            w_seq(w, s)
+        }
+    }
+}
+
+fn r_opt_seq(r: &mut impl Read) -> io::Result<Option<Seq>> {
+    Ok(match r_u8(r)? {
+        0 => None,
+        1 => Some(r_seq(r)?),
+        _ => return Err(corrupt("bad option tag")),
+    })
+}
+
+fn w_method(w: &mut impl Write, m: Method) -> io::Result<()> {
+    let (tag, arg) = match m {
+        Method::Fcm { order } => (0u8, order),
+        Method::Dfcm { order } => (1, order),
+        Method::LastN { n } => (2, n),
+        Method::LastNStride { n } => (3, n),
+    };
+    w_u8(w, tag)?;
+    w_u32(w, arg)
+}
+
+fn r_method(r: &mut impl Read) -> io::Result<Method> {
+    let tag = r_u8(r)?;
+    let arg = r_u32(r)?;
+    Ok(match tag {
+        0 => Method::Fcm { order: arg },
+        1 => Method::Dfcm { order: arg },
+        2 => Method::LastN { n: arg },
+        3 => Method::LastNStride { n: arg },
+        _ => return Err(corrupt("bad method tag")),
+    })
+}
+
+fn w_string(w: &mut impl Write, s: &str) -> io::Result<()> {
+    w_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn r_string(r: &mut impl Read) -> io::Result<String> {
+    let n = r_u32(r)? as usize;
+    if n > 1 << 20 {
+        return Err(corrupt("string too long"));
+    }
+    let mut b = vec![0u8; n];
+    r.read_exact(&mut b)?;
+    String::from_utf8(b).map_err(|_| corrupt("invalid utf-8"))
+}
+
+impl Wet {
+    /// Serializes the WET to a writer.
+    ///
+    /// # Errors
+    /// Propagates writer errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w_u8(w, VERSION)?;
+        // Config.
+        w_u8(w, matches!(self.config.ts_mode, TsMode::Global) as u8)?;
+        w_u32(w, self.config.stream.table_bits_max)?;
+        w_u64(w, self.config.stream.trial_len as u64)?;
+        w_u32(w, self.config.stream.candidates.len() as u32)?;
+        for &m in &self.config.stream.candidates {
+            w_method(w, m)?;
+        }
+        w_u8(w, self.config.group_values as u8)?;
+        w_u8(w, self.config.infer_local_edges as u8)?;
+        w_u8(w, self.config.share_edge_labels as u8)?;
+        w_u8(w, self.tier2 as u8)?;
+        // Nodes.
+        w_u64(w, self.nodes.len() as u64)?;
+        for n in &self.nodes {
+            w_u32(w, n.func.0)?;
+            w_u64(w, n.path_id)?;
+            w_u64s(w, &n.blocks.iter().map(|b| b.0 as u64).collect::<Vec<_>>())?;
+            w_u64(w, n.stmts.len() as u64)?;
+            for s in &n.stmts {
+                w_u32(w, s.id.0)?;
+                w_u32(w, s.block_idx as u32)?;
+                w_u8(w, s.has_def as u8)?;
+                w_u32(w, s.group)?;
+                w_u32(w, s.member)?;
+            }
+            w_u32(w, n.n_execs)?;
+            w_seq(w, &n.ts)?;
+            w_u64(w, n.ts_first)?;
+            w_u64(w, n.ts_last)?;
+            w_u64(w, n.groups.len() as u64)?;
+            for g in &n.groups {
+                w_opt_seq(w, &g.pattern)?;
+                w_u32(w, g.n_uvals)?;
+                w_u64(w, g.uvals.len() as u64)?;
+                for u in &g.uvals {
+                    w_seq(w, u)?;
+                }
+            }
+            w_u64s(w, &n.cf_succs.iter().map(|p| p.0 as u64).collect::<Vec<_>>())?;
+            w_u64s(w, &n.cf_preds.iter().map(|p| p.0 as u64).collect::<Vec<_>>())?;
+            // Intra edges, sorted for deterministic output.
+            let mut keys: Vec<(StmtId, u8)> = n.intra.keys().copied().collect();
+            keys.sort();
+            w_u64(w, keys.len() as u64)?;
+            for key in keys {
+                w_u32(w, key.0 .0)?;
+                w_u8(w, key.1)?;
+                let ies = &n.intra[&key];
+                w_u64(w, ies.len() as u64)?;
+                for ie in ies {
+                    w_u32(w, ie.src.0)?;
+                    w_u8(w, ie.complete as u8)?;
+                    w_opt_seq(w, &ie.ks)?;
+                }
+            }
+        }
+        // Edges and label pool.
+        w_u64(w, self.edges.len() as u64)?;
+        for e in &self.edges {
+            w_u32(w, e.src_node.0)?;
+            w_u32(w, e.src_stmt.0)?;
+            w_u32(w, e.dst_node.0)?;
+            w_u32(w, e.dst_stmt.0)?;
+            w_u8(w, e.slot)?;
+            w_u32(w, e.labels)?;
+        }
+        w_u64(w, self.labels.len() as u64)?;
+        for l in &self.labels {
+            w_u32(w, l.len)?;
+            w_seq(w, &l.dst)?;
+            w_seq(w, &l.src)?;
+        }
+        // First/last, sizes, stats.
+        w_u32(w, self.first.0 .0)?;
+        w_u64(w, self.first.1)?;
+        w_u32(w, self.last.0 .0)?;
+        w_u64(w, self.last.1)?;
+        let s = &self.sizes;
+        for v in [s.orig_ts, s.orig_vals, s.orig_edges, s.t1_ts, s.t1_vals, s.t1_edges, s.t2_ts, s.t2_vals, s.t2_edges]
+        {
+            w_u64(w, v)?;
+        }
+        let st = &self.stats;
+        for v in [
+            st.stmts_executed,
+            st.paths_executed,
+            st.blocks_executed,
+            st.nodes,
+            st.edges,
+            st.inferred_edges,
+            st.shared_label_seqs,
+            st.dynamic_deps,
+        ] {
+            w_u64(w, v)?;
+        }
+        w_u64(w, st.methods.len() as u64)?;
+        for (k, v) in &st.methods {
+            w_string(w, k)?;
+            w_u64(w, *v)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a WET written by [`write_to`](Self::write_to).
+    ///
+    /// # Errors
+    /// Fails on bad magic, unsupported version, or malformed input.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(corrupt("not a WETZ file"));
+        }
+        if r_u8(r)? != VERSION {
+            return Err(corrupt("unsupported WETZ version"));
+        }
+        let ts_mode = if r_u8(r)? == 1 { TsMode::Global } else { TsMode::Local };
+        let table_bits_max = r_u32(r)?;
+        let trial_len = r_u64(r)? as usize;
+        let n_cand = r_u32(r)? as usize;
+        if n_cand > 1024 {
+            return Err(corrupt("too many candidate methods"));
+        }
+        let mut candidates = Vec::with_capacity(n_cand);
+        for _ in 0..n_cand {
+            candidates.push(r_method(r)?);
+        }
+        let group_values = r_u8(r)? == 1;
+        let infer_local_edges = r_u8(r)? == 1;
+        let share_edge_labels = r_u8(r)? == 1;
+        let tier2 = r_u8(r)? == 1;
+        let config = WetConfig {
+            ts_mode,
+            stream: StreamConfig { table_bits_max, trial_len, candidates },
+            group_values,
+            infer_local_edges,
+            share_edge_labels,
+        };
+
+        let n_nodes = r_u64(r)? as usize;
+        if n_nodes > 1 << 28 {
+            return Err(corrupt("node count too large"));
+        }
+        let mut nodes = Vec::with_capacity(n_nodes.min(1 << 16));
+        let mut node_index = HashMap::new();
+        for ni in 0..n_nodes {
+            let func = FuncId(r_u32(r)?);
+            let path_id = r_u64(r)?;
+            let blocks: Vec<BlockId> = r_u64s(r)?.into_iter().map(|b| BlockId(b as u32)).collect();
+            let n_stmts = r_u64(r)? as usize;
+            if n_stmts > 1 << 24 {
+                return Err(corrupt("statement count too large"));
+            }
+            let mut stmts = Vec::with_capacity(n_stmts);
+            let mut stmt_pos = HashMap::new();
+            for si in 0..n_stmts {
+                let id = StmtId(r_u32(r)?);
+                let block_idx = r_u32(r)? as u16;
+                let has_def = r_u8(r)? == 1;
+                let group = r_u32(r)?;
+                let member = r_u32(r)?;
+                stmt_pos.insert(id, si as u32);
+                stmts.push(NodeStmt { id, block_idx, has_def, group, member });
+            }
+            let n_execs = r_u32(r)?;
+            let ts = r_seq(r)?;
+            let ts_first = r_u64(r)?;
+            let ts_last = r_u64(r)?;
+            let n_groups = r_u64(r)? as usize;
+            if n_groups > n_stmts + 1 {
+                return Err(corrupt("group count too large"));
+            }
+            let mut groups = Vec::with_capacity(n_groups);
+            for _ in 0..n_groups {
+                let pattern = r_opt_seq(r)?;
+                let n_uvals = r_u32(r)?;
+                let n_members = r_u64(r)? as usize;
+                if n_members > n_stmts {
+                    return Err(corrupt("member count too large"));
+                }
+                let mut uvals = Vec::with_capacity(n_members);
+                for _ in 0..n_members {
+                    uvals.push(r_seq(r)?);
+                }
+                groups.push(Group { pattern, uvals, n_uvals });
+            }
+            let cf_succs: Vec<NodeId> = r_u64s(r)?.into_iter().map(|p| NodeId(p as u32)).collect();
+            let cf_preds: Vec<NodeId> = r_u64s(r)?.into_iter().map(|p| NodeId(p as u32)).collect();
+            let n_intra = r_u64(r)? as usize;
+            if n_intra > 1 << 24 {
+                return Err(corrupt("intra count too large"));
+            }
+            let mut intra = HashMap::with_capacity(n_intra);
+            for _ in 0..n_intra {
+                let dst = StmtId(r_u32(r)?);
+                let slot = r_u8(r)?;
+                let n_ies = r_u64(r)? as usize;
+                if n_ies > 1 << 20 {
+                    return Err(corrupt("intra edge list too large"));
+                }
+                let mut ies = Vec::with_capacity(n_ies);
+                for _ in 0..n_ies {
+                    let src = StmtId(r_u32(r)?);
+                    let complete = r_u8(r)? == 1;
+                    let ks = r_opt_seq(r)?;
+                    ies.push(IntraEdge { src, complete, ks });
+                }
+                intra.insert((dst, slot), ies);
+            }
+            node_index.insert((func, path_id), NodeId(ni as u32));
+            nodes.push(Node {
+                func,
+                path_id,
+                blocks,
+                stmts,
+                n_execs,
+                ts,
+                ts_first,
+                ts_last,
+                groups,
+                cf_succs,
+                cf_preds,
+                intra,
+                stmt_pos,
+            });
+        }
+
+        let n_edges = r_u64(r)? as usize;
+        if n_edges > 1 << 28 {
+            return Err(corrupt("edge count too large"));
+        }
+        let mut edges = Vec::with_capacity(n_edges.min(1 << 16));
+        for _ in 0..n_edges {
+            edges.push(Edge {
+                src_node: NodeId(r_u32(r)?),
+                src_stmt: StmtId(r_u32(r)?),
+                dst_node: NodeId(r_u32(r)?),
+                dst_stmt: StmtId(r_u32(r)?),
+                slot: r_u8(r)?,
+                labels: r_u32(r)?,
+            });
+        }
+        let n_labels = r_u64(r)? as usize;
+        if n_labels > 1 << 28 {
+            return Err(corrupt("label count too large"));
+        }
+        let mut labels = Vec::with_capacity(n_labels.min(1 << 16));
+        for _ in 0..n_labels {
+            let len = r_u32(r)?;
+            let dst = r_seq(r)?;
+            let src = r_seq(r)?;
+            labels.push(LabelSeq { len, dst, src });
+        }
+        for e in &edges {
+            if e.labels as usize >= labels.len()
+                || e.src_node.index() >= nodes.len()
+                || e.dst_node.index() >= nodes.len()
+            {
+                return Err(corrupt("edge references out of range"));
+            }
+        }
+        let mut in_edges: HashMap<(NodeId, StmtId, u8), Vec<u32>> = HashMap::new();
+        let mut out_edges: HashMap<(NodeId, StmtId), Vec<u32>> = HashMap::new();
+        for (i, e) in edges.iter().enumerate() {
+            in_edges.entry((e.dst_node, e.dst_stmt, e.slot)).or_default().push(i as u32);
+            out_edges.entry((e.src_node, e.src_stmt)).or_default().push(i as u32);
+        }
+
+        let first = (NodeId(r_u32(r)?), r_u64(r)?);
+        let last = (NodeId(r_u32(r)?), r_u64(r)?);
+        let mut sv = [0u64; 9];
+        for v in &mut sv {
+            *v = r_u64(r)?;
+        }
+        let sizes = WetSizes {
+            orig_ts: sv[0],
+            orig_vals: sv[1],
+            orig_edges: sv[2],
+            t1_ts: sv[3],
+            t1_vals: sv[4],
+            t1_edges: sv[5],
+            t2_ts: sv[6],
+            t2_vals: sv[7],
+            t2_edges: sv[8],
+        };
+        let mut tv = [0u64; 8];
+        for v in &mut tv {
+            *v = r_u64(r)?;
+        }
+        let n_methods = r_u64(r)? as usize;
+        if n_methods > 1 << 10 {
+            return Err(corrupt("method histogram too large"));
+        }
+        let mut methods = std::collections::BTreeMap::new();
+        for _ in 0..n_methods {
+            let k = r_string(r)?;
+            let v = r_u64(r)?;
+            methods.insert(k, v);
+        }
+        let stats = WetStats {
+            stmts_executed: tv[0],
+            paths_executed: tv[1],
+            blocks_executed: tv[2],
+            nodes: tv[3],
+            edges: tv[4],
+            inferred_edges: tv[5],
+            shared_label_seqs: tv[6],
+            dynamic_deps: tv[7],
+            methods,
+        };
+
+        let wet =
+            Wet { config, nodes, node_index, edges, labels, in_edges, out_edges, first, last, sizes, stats, tier2 };
+        wet.validate().map_err(|e| corrupt(&e))?;
+        Ok(wet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query;
+    use crate::WetBuilder;
+    use wet_interp::{Interp, InterpConfig};
+    use wet_ir::ballarus::BallLarus;
+
+    fn sample_wet(tier2: bool) -> (wet_ir::Program, Wet) {
+        let p = crate::tests::looping_program();
+        let (mut wet, _) = crate::tests::build_wet(&p, &[70], WetConfig::default());
+        if tier2 {
+            wet.compress();
+        }
+        (p, wet)
+    }
+
+    #[test]
+    fn roundtrip_preserves_queries_both_tiers() {
+        for tier2 in [false, true] {
+            let (p, mut wet) = sample_wet(tier2);
+            let mut bytes = Vec::new();
+            wet.write_to(&mut bytes).unwrap();
+            let mut back = Wet::read_from(&mut bytes.as_slice()).unwrap();
+            assert_eq!(back.is_tier2(), tier2);
+            assert_eq!(back.nodes().len(), wet.nodes().len());
+            assert_eq!(back.sizes(), wet.sizes());
+            let a = query::cf_trace_forward(&mut wet);
+            let b = query::cf_trace_forward(&mut back);
+            assert_eq!(a, b, "tier2={tier2}");
+            for sid in 0..p.stmt_count() as u32 {
+                let s = StmtId(sid);
+                assert_eq!(
+                    query::value_trace(&mut wet, s),
+                    query::value_trace(&mut back, s),
+                    "values of {s} (tier2={tier2})"
+                );
+                assert_eq!(
+                    query::address_trace(&mut wet, &p, s),
+                    query::address_trace(&mut back, &p, s),
+                    "addresses of {s} (tier2={tier2})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let bytes = b"NOPE....".to_vec();
+        assert!(Wet::read_from(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let (_p, wet) = sample_wet(true);
+        let mut bytes = Vec::new();
+        wet.write_to(&mut bytes).unwrap();
+        for cut in [4, 16, bytes.len() / 3, bytes.len() - 1] {
+            assert!(Wet::read_from(&mut &bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_through_disk() {
+        let p = crate::tests::looping_program();
+        let bl = BallLarus::new(&p);
+        let mut builder = WetBuilder::new(&p, &bl, WetConfig::default());
+        Interp::new(&p, &bl, InterpConfig::default()).run(&[40], &mut builder).unwrap();
+        let mut wet = builder.finish();
+        wet.compress();
+        let dir = std::env::temp_dir().join("wet-serial-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.wetz");
+        {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+            wet.write_to(&mut f).unwrap();
+        }
+        let mut f = std::io::BufReader::new(std::fs::File::open(&path).unwrap());
+        let mut back = Wet::read_from(&mut f).unwrap();
+        assert_eq!(query::cf_trace_forward(&mut back).len() as u64, wet.stats().paths_executed);
+    }
+}

@@ -1,0 +1,126 @@
+//! WET size accounting across compression tiers.
+//!
+//! Units follow the paper's conceptual model with 64-bit values: a
+//! timestamp or value costs 8 bytes, a dependence-edge label pair costs
+//! 16 bytes, a value-pattern index costs 4 bytes. "Original" sizes are
+//! what the fully uncompressed WET definition of §2 would occupy (a
+//! `<ts, val>` element per *statement* execution, a labeled edge
+//! instance per dynamic dependence); tier-1 reflects the customized
+//! compression of §3; tier-2 the stream compression of §4.
+
+/// Per-category, per-tier byte counts for one WET.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WetSizes {
+    /// Uncompressed timestamp labels (8 B x statement executions).
+    pub orig_ts: u64,
+    /// Uncompressed value labels (8 B x def-port executions).
+    pub orig_vals: u64,
+    /// Uncompressed edge labels (16 B x dynamic dependences, control
+    /// dependences counted per statement as in the §2 definition).
+    pub orig_edges: u64,
+    /// Tier-1 timestamp bytes (8 B x path executions).
+    pub t1_ts: u64,
+    /// Tier-1 value bytes (patterns at 4 B/index + unique values at 8 B).
+    pub t1_vals: u64,
+    /// Tier-1 edge bytes (16 B per stored pair after local-edge
+    /// inference, block-level aggregation, and label sharing).
+    pub t1_edges: u64,
+    /// Tier-2 timestamp bytes (compressed streams).
+    pub t2_ts: u64,
+    /// Tier-2 value bytes.
+    pub t2_vals: u64,
+    /// Tier-2 edge bytes.
+    pub t2_edges: u64,
+}
+
+impl WetSizes {
+    /// Total original size.
+    pub fn orig_total(&self) -> u64 {
+        self.orig_ts + self.orig_vals + self.orig_edges
+    }
+
+    /// Total after tier-1.
+    pub fn t1_total(&self) -> u64 {
+        self.t1_ts + self.t1_vals + self.t1_edges
+    }
+
+    /// Total after tier-2.
+    pub fn t2_total(&self) -> u64 {
+        self.t2_ts + self.t2_vals + self.t2_edges
+    }
+
+    /// Overall compression ratio original/tier-2 (the paper's
+    /// "Orig./Comp." column of Table 1).
+    pub fn ratio(&self) -> f64 {
+        ratio(self.orig_total(), self.t2_total())
+    }
+
+    /// Ratio original/tier-1.
+    pub fn ratio_t1(&self) -> f64 {
+        ratio(self.orig_total(), self.t1_total())
+    }
+}
+
+/// `a / b` guarding against a zero denominator.
+pub fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+/// Construction/query statistics reported alongside sizes.
+#[derive(Debug, Clone, Default)]
+pub struct WetStats {
+    /// Executed statements covered by the WET.
+    pub stmts_executed: u64,
+    /// Path executions (= timestamps generated).
+    pub paths_executed: u64,
+    /// Block executions (= timestamps a block-granularity WET would
+    /// generate; the Fig. 2 comparison).
+    pub blocks_executed: u64,
+    /// Materialized WET nodes (distinct executed paths).
+    pub nodes: u64,
+    /// Dependence edges stored (after intra-node inference).
+    pub edges: u64,
+    /// Intra-node dependence edges whose labels were fully inferred
+    /// away.
+    pub inferred_edges: u64,
+    /// Label sequences shared away by deduplication.
+    pub shared_label_seqs: u64,
+    /// Total dynamic dependences recorded (DD + CD at block level).
+    pub dynamic_deps: u64,
+    /// Number of tier-2 streams by chosen method name.
+    pub methods: std::collections::BTreeMap<String, u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_ratios() {
+        let s = WetSizes {
+            orig_ts: 800,
+            orig_vals: 100,
+            orig_edges: 100,
+            t1_ts: 80,
+            t1_vals: 60,
+            t1_edges: 40,
+            t2_ts: 8,
+            t2_vals: 30,
+            t2_edges: 12,
+        };
+        assert_eq!(s.orig_total(), 1000);
+        assert_eq!(s.t1_total(), 180);
+        assert_eq!(s.t2_total(), 50);
+        assert!((s.ratio() - 20.0).abs() < 1e-9);
+        assert!((s.ratio_t1() - 1000.0 / 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_denominator_is_zero() {
+        assert_eq!(ratio(5, 0), 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! The dynamic event stream the interpreter produces.
+//!
+//! WET construction, the architecture simulators, and the reference
+//! recorder all consume the same stream through the [`TraceSink`]
+//! observer trait, which mirrors how the paper gathers profiles "on the
+//! simulator which avoids introduction of intrusion".
+
+use wet_ir::{BlockId, FuncId, StmtId};
+
+/// Identifies one dynamic statement instance that produced a value (or
+/// a control decision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Producer {
+    /// The producing statement.
+    pub stmt: StmtId,
+    /// Its local instance index (0-based count of that statement's
+    /// executions — the paper's "local timestamps").
+    pub instance: u64,
+    /// The global timestamp of the path execution containing it.
+    pub ts: u64,
+}
+
+/// A memory access performed by a statement instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Word address.
+    pub addr: u64,
+    /// True for stores, false for loads.
+    pub is_store: bool,
+}
+
+/// One executed statement (or terminator) instance.
+///
+/// Slots are fixed: at most two operand data dependences plus one
+/// memory dependence (a load's reaching store), so no allocation is
+/// needed per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StmtEvent {
+    /// The statement.
+    pub stmt: StmtId,
+    /// Its local instance index (0-based).
+    pub instance: u64,
+    /// Global timestamp of the containing path execution.
+    pub ts: u64,
+    /// Def-port value, if the statement has one.
+    pub value: Option<i64>,
+    /// Producers of operand slots 0 and 1 (register operands only;
+    /// immediates and never-written registers have no producer).
+    pub op_deps: [Option<Producer>; 2],
+    /// For loads: the store instance whose value is being read.
+    pub mem_dep: Option<Producer>,
+    /// Memory access, for loads and stores.
+    pub mem: Option<MemAccess>,
+    /// For branches: whether the true edge was taken.
+    pub branch_taken: Option<bool>,
+}
+
+/// One executed basic block, with its dynamic control dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockEvent {
+    /// Containing function.
+    pub func: FuncId,
+    /// The block.
+    pub block: BlockId,
+    /// Global timestamp of the containing path execution.
+    pub ts: u64,
+    /// The predicate (or call) instance this block's execution is
+    /// control dependent on; `None` only for the entry block of `main`.
+    pub cd: Option<Producer>,
+}
+
+/// Observer of the dynamic event stream.
+///
+/// All methods have empty defaults so sinks implement only what they
+/// need. Events arrive in execution order; a path's `on_path_start`
+/// precedes its block and statement events, and `on_path_end` follows
+/// them and reveals which Ball–Larus path was executed.
+pub trait TraceSink {
+    /// A new acyclic-path execution begins; `ts` is its timestamp.
+    fn on_path_start(&mut self, _ts: u64) {}
+    /// A basic block executes.
+    fn on_block(&mut self, _ev: &BlockEvent) {}
+    /// A statement or terminator executes.
+    fn on_stmt(&mut self, _ev: &StmtEvent) {}
+    /// The current path execution ends with the given Ball–Larus path
+    /// id in `func`.
+    fn on_path_end(&mut self, _func: FuncId, _path_id: u64, _ts: u64) {}
+}
+
+/// A sink that discards everything (useful for timing pure execution).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {}
+
+/// Fans events out to two sinks in order.
+impl<A: TraceSink, B: TraceSink> TraceSink for (A, B) {
+    fn on_path_start(&mut self, ts: u64) {
+        self.0.on_path_start(ts);
+        self.1.on_path_start(ts);
+    }
+    fn on_block(&mut self, ev: &BlockEvent) {
+        self.0.on_block(ev);
+        self.1.on_block(ev);
+    }
+    fn on_stmt(&mut self, ev: &StmtEvent) {
+        self.0.on_stmt(ev);
+        self.1.on_stmt(ev);
+    }
+    fn on_path_end(&mut self, func: FuncId, path_id: u64, ts: u64) {
+        self.0.on_path_end(func, path_id, ts);
+        self.1.on_path_end(func, path_id, ts);
+    }
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    fn on_path_start(&mut self, ts: u64) {
+        (**self).on_path_start(ts);
+    }
+    fn on_block(&mut self, ev: &BlockEvent) {
+        (**self).on_block(ev);
+    }
+    fn on_stmt(&mut self, ev: &StmtEvent) {
+        (**self).on_stmt(ev);
+    }
+    fn on_path_end(&mut self, func: FuncId, path_id: u64, ts: u64) {
+        (**self).on_path_end(func, path_id, ts);
+    }
+}

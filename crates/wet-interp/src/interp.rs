@@ -1,0 +1,509 @@
+//! The IR interpreter with dynamic dependence tracking.
+//!
+//! Plays the role of Trimaran's simulator in the paper's setup: it
+//! executes a program and emits the complete dynamic event stream —
+//! block executions with dynamic control dependences, statement
+//! instances with values and operand/memory producers, and Ball–Larus
+//! path boundaries with timestamps.
+
+use crate::events::{BlockEvent, MemAccess, Producer, StmtEvent, TraceSink};
+use std::collections::HashMap;
+use std::fmt;
+use wet_ir::ballarus::{BallLarus, EdgeAction};
+use wet_ir::cdg::Cdg;
+use wet_ir::stmt::{Operand, StmtKind, Terminator};
+use wet_ir::{BlockId, FuncId, Program, StmtId};
+
+/// Interpreter limits and sizing.
+#[derive(Debug, Clone)]
+pub struct InterpConfig {
+    /// Flat memory size in 64-bit words.
+    pub memory_words: usize,
+    /// Abort after this many executed statements.
+    pub max_stmts: u64,
+    /// Maximum call depth.
+    pub max_frames: usize,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig { memory_words: 1 << 22, max_stmts: u64::MAX, max_frames: 1 << 14 }
+    }
+}
+
+/// Runtime errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InterpError {
+    /// Integer division or remainder by zero.
+    DivByZero {
+        /// The faulting statement.
+        stmt: StmtId,
+    },
+    /// Memory access outside `[0, memory_words)`.
+    OobMemory {
+        /// The faulting statement.
+        stmt: StmtId,
+        /// The word address used.
+        addr: i64,
+    },
+    /// An `in` statement ran with no input left.
+    InputExhausted {
+        /// The faulting statement.
+        stmt: StmtId,
+    },
+    /// The statement budget was exceeded.
+    StmtLimit,
+    /// The call stack exceeded `max_frames`.
+    StackOverflow,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::DivByZero { stmt } => write!(f, "division by zero at {stmt}"),
+            InterpError::OobMemory { stmt, addr } => write!(f, "out-of-bounds memory address {addr} at {stmt}"),
+            InterpError::InputExhausted { stmt } => write!(f, "input exhausted at {stmt}"),
+            InterpError::StmtLimit => write!(f, "statement limit exceeded"),
+            InterpError::StackOverflow => write!(f, "call stack overflow"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Aggregate results of a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunResult {
+    /// Values emitted by `out` statements, in order.
+    pub outputs: Vec<i64>,
+    /// `main`'s return value.
+    pub ret: Option<i64>,
+    /// Executed statements (statements plus non-jump terminators).
+    pub stmts_executed: u64,
+    /// Executed basic blocks.
+    pub blocks_executed: u64,
+    /// Executed Ball–Larus paths (= WET node executions = timestamps).
+    pub paths_executed: u64,
+    /// Final timestamp value.
+    pub last_ts: u64,
+}
+
+struct Frame {
+    func: FuncId,
+    regs: Vec<i64>,
+    reg_prod: Vec<Option<Producer>>,
+    /// Last executed instance of each branch terminator (dense index).
+    branch_last: Vec<Option<Producer>>,
+    /// The call instance that created this frame.
+    call_site: Option<Producer>,
+    ret_dst: Option<wet_ir::Reg>,
+    ret_to: BlockId,
+    /// Ball–Larus restart value to resume the caller's path counter.
+    pending_restart: u64,
+}
+
+struct FuncMeta {
+    cdg: Cdg,
+    /// Dense index per branch terminator StmtId.
+    branch_idx: HashMap<StmtId, usize>,
+    n_branches: usize,
+}
+
+/// The interpreter.
+///
+/// # Example
+///
+/// ```
+/// use wet_ir::builder::ProgramBuilder;
+/// use wet_ir::ballarus::BallLarus;
+/// use wet_ir::stmt::{BinOp, Operand};
+/// use wet_interp::{Interp, InterpConfig, NullSink};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut pb = ProgramBuilder::new();
+/// let mut f = pb.function("main", 0);
+/// let e = f.entry_block();
+/// let r = f.reg();
+/// f.block(e).bin(BinOp::Mul, r, Operand::Imm(6), Operand::Imm(7));
+/// f.block(e).out(Operand::Reg(r));
+/// f.block(e).ret(None);
+/// let main = f.finish();
+/// let program = pb.finish(main)?;
+/// let bl = BallLarus::new(&program);
+/// let result = Interp::new(&program, &bl, InterpConfig::default())
+///     .run(&[], &mut NullSink)?;
+/// assert_eq!(result.outputs, vec![42]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Interp<'p> {
+    program: &'p Program,
+    bl: &'p BallLarus,
+    config: InterpConfig,
+    meta: Vec<FuncMeta>,
+}
+
+impl<'p> Interp<'p> {
+    /// Prepares an interpreter (computes per-function control
+    /// dependence metadata).
+    pub fn new(program: &'p Program, bl: &'p BallLarus, config: InterpConfig) -> Self {
+        let meta = program
+            .functions()
+            .iter()
+            .map(|f| {
+                let cdg = Cdg::new(f);
+                let mut branch_idx = HashMap::new();
+                for b in f.blocks() {
+                    if matches!(b.term().kind, Terminator::Branch { .. }) {
+                        let i = branch_idx.len();
+                        branch_idx.insert(b.term().id, i);
+                    }
+                }
+                let n_branches = branch_idx.len();
+                FuncMeta { cdg, branch_idx, n_branches }
+            })
+            .collect();
+        Interp { program, bl, config, meta }
+    }
+
+    /// Runs the program on `inputs`, streaming events into `sink`.
+    ///
+    /// # Errors
+    /// Returns an [`InterpError`] on runtime faults or exceeded limits.
+    pub fn run<S: TraceSink>(&self, inputs: &[i64], sink: &mut S) -> Result<RunResult, InterpError> {
+        Run {
+            interp: self,
+            mem: vec![0i64; self.config.memory_words],
+            mem_prod: HashMap::new(),
+            instances: vec![0u64; self.program.stmt_count()],
+            inputs,
+            next_input: 0,
+            result: RunResult::default(),
+            time: 0,
+        }
+        .run(sink)
+    }
+}
+
+struct Run<'a, 'p> {
+    interp: &'a Interp<'p>,
+    mem: Vec<i64>,
+    mem_prod: HashMap<u64, Producer>,
+    /// Per-statement execution counts (local timestamps).
+    instances: Vec<u64>,
+    inputs: &'a [i64],
+    next_input: usize,
+    result: RunResult,
+    time: u64,
+}
+
+impl<'a, 'p> Run<'a, 'p> {
+    fn new_frame(&self, func: FuncId, call_site: Option<Producer>) -> Frame {
+        let f = self.interp.program.function(func);
+        Frame {
+            func,
+            regs: vec![0; f.n_regs() as usize],
+            reg_prod: vec![None; f.n_regs() as usize],
+            branch_last: vec![None; self.interp.meta[func.index()].n_branches],
+            call_site,
+            ret_dst: None,
+            ret_to: BlockId(0),
+            pending_restart: 0,
+        }
+    }
+
+    /// Dynamic control dependence of a block: the most recent instance
+    /// of one of its static CD parents in this frame, or the call site.
+    fn block_cd(&self, frame: &Frame, block: BlockId) -> Option<Producer> {
+        let meta = &self.interp.meta[frame.func.index()];
+        let parents = meta.cdg.parent_stmts(block);
+        let mut best: Option<Producer> = None;
+        for p in parents {
+            let idx = meta.branch_idx[p];
+            if let Some(inst) = frame.branch_last[idx] {
+                if best.is_none_or(|b| inst.ts > b.ts || (inst.ts == b.ts && inst.instance > b.instance)) {
+                    best = Some(inst);
+                }
+            }
+        }
+        best.or(frame.call_site)
+    }
+
+    fn run<S: TraceSink>(mut self, sink: &mut S) -> Result<RunResult, InterpError> {
+        let program = self.interp.program;
+        let main = program.main();
+        let mut frames: Vec<Frame> = vec![self.new_frame(main, None)];
+        let mut block = BlockId(0);
+        // Ball–Larus running path id for the current (innermost) path.
+        let mut r: u64 = self.interp.bl.func(main).entry_restart();
+        self.time += 1;
+        let mut path_ts = self.time;
+        sink.on_path_start(path_ts);
+
+        loop {
+            let depth = frames.len();
+            let frame = frames.last_mut().expect("at least one frame");
+            let func = frame.func;
+            let fdef = program.function(func);
+            let fp = self.interp.bl.func(func);
+            let meta = &self.interp.meta[func.index()];
+            let bb = fdef.block(block);
+
+            self.result.blocks_executed += 1;
+            let cd = {
+                // Re-borrow immutably for CD resolution.
+                let frame: &Frame = frames.last().expect("frame");
+                self.block_cd(frame, block)
+            };
+            sink.on_block(&BlockEvent { func, block, ts: path_ts, cd });
+
+            // Straight-line statements.
+            let frame = frames.last_mut().expect("frame");
+            for s in bb.stmts() {
+                self.result.stmts_executed += 1;
+                if self.result.stmts_executed > self.interp.config.max_stmts {
+                    return Err(InterpError::StmtLimit);
+                }
+                let instance = self.instances[s.id.index()];
+                self.instances[s.id.index()] += 1;
+                let me = Producer { stmt: s.id, instance, ts: path_ts };
+                let mut ev = StmtEvent {
+                    stmt: s.id,
+                    instance,
+                    ts: path_ts,
+                    value: None,
+                    op_deps: [None, None],
+                    mem_dep: None,
+                    mem: None,
+                    branch_taken: None,
+                };
+                match &s.kind {
+                    StmtKind::Bin { op, dst, lhs, rhs } => {
+                        let (a, pa) = eval(frame, *lhs);
+                        let (b, pb) = eval(frame, *rhs);
+                        let v = op.eval(a, b).ok_or(InterpError::DivByZero { stmt: s.id })?;
+                        ev.op_deps = [pa, pb];
+                        ev.value = Some(v);
+                        frame.regs[dst.index()] = v;
+                        frame.reg_prod[dst.index()] = Some(me);
+                    }
+                    StmtKind::Un { op, dst, src } => {
+                        let (a, pa) = eval(frame, *src);
+                        let v = op.eval(a);
+                        ev.op_deps = [pa, None];
+                        ev.value = Some(v);
+                        frame.regs[dst.index()] = v;
+                        frame.reg_prod[dst.index()] = Some(me);
+                    }
+                    StmtKind::Mov { dst, src } => {
+                        let (v, pa) = eval(frame, *src);
+                        ev.op_deps = [pa, None];
+                        ev.value = Some(v);
+                        frame.regs[dst.index()] = v;
+                        frame.reg_prod[dst.index()] = Some(me);
+                    }
+                    StmtKind::Load { dst, addr } => {
+                        let (a, pa) = eval(frame, *addr);
+                        let w = self.check_addr(s.id, a)?;
+                        let v = self.mem[w as usize];
+                        ev.op_deps = [pa, None];
+                        ev.mem_dep = self.mem_prod.get(&w).copied();
+                        ev.mem = Some(MemAccess { addr: w, is_store: false });
+                        ev.value = Some(v);
+                        frame.regs[dst.index()] = v;
+                        frame.reg_prod[dst.index()] = Some(me);
+                    }
+                    StmtKind::Store { addr, value } => {
+                        let (a, pa) = eval(frame, *addr);
+                        let (v, pv) = eval(frame, *value);
+                        let w = self.check_addr(s.id, a)?;
+                        self.mem[w as usize] = v;
+                        self.mem_prod.insert(w, me);
+                        ev.op_deps = [pa, pv];
+                        ev.mem = Some(MemAccess { addr: w, is_store: true });
+                    }
+                    StmtKind::In { dst } => {
+                        let v = *self
+                            .inputs
+                            .get(self.next_input)
+                            .ok_or(InterpError::InputExhausted { stmt: s.id })?;
+                        self.next_input += 1;
+                        ev.value = Some(v);
+                        frame.regs[dst.index()] = v;
+                        frame.reg_prod[dst.index()] = Some(me);
+                    }
+                    StmtKind::Out { value } => {
+                        let (v, pv) = eval(frame, *value);
+                        ev.op_deps = [pv, None];
+                        self.result.outputs.push(v);
+                    }
+                }
+                sink.on_stmt(&ev);
+            }
+
+            // Terminator.
+            let t = bb.term();
+            let t_counts = t.kind.counts_as_stmt();
+            if t_counts {
+                self.result.stmts_executed += 1;
+                if self.result.stmts_executed > self.interp.config.max_stmts {
+                    return Err(InterpError::StmtLimit);
+                }
+            }
+            let instance = self.instances[t.id.index()];
+            if t_counts {
+                self.instances[t.id.index()] += 1;
+            }
+            let t_me = Producer { stmt: t.id, instance, ts: path_ts };
+
+            match &t.kind {
+                Terminator::Jump { target } => {
+                    match fp.action(block, 0) {
+                        EdgeAction::Continue { add } => r += add,
+                        EdgeAction::Break { finish, restart } => {
+                            sink.on_path_end(func, r + finish, path_ts);
+                            self.result.paths_executed += 1;
+                            r = restart;
+                            self.time += 1;
+                            path_ts = self.time;
+                            sink.on_path_start(path_ts);
+                        }
+                    }
+                    block = *target;
+                }
+                Terminator::Branch { cond, if_true, if_false } => {
+                    let (c, pc) = eval(frame, *cond);
+                    let taken = c != 0;
+                    let ev = StmtEvent {
+                        stmt: t.id,
+                        instance,
+                        ts: path_ts,
+                        value: None,
+                        op_deps: [pc, None],
+                        mem_dep: None,
+                        mem: None,
+                        branch_taken: Some(taken),
+                    };
+                    sink.on_stmt(&ev);
+                    frame.branch_last[meta.branch_idx[&t.id]] = Some(t_me);
+                    let (succ_idx, target) = if taken { (0, *if_true) } else { (1, *if_false) };
+                    match fp.action(block, succ_idx) {
+                        EdgeAction::Continue { add } => r += add,
+                        EdgeAction::Break { finish, restart } => {
+                            sink.on_path_end(func, r + finish, path_ts);
+                            self.result.paths_executed += 1;
+                            r = restart;
+                            self.time += 1;
+                            path_ts = self.time;
+                            sink.on_path_start(path_ts);
+                        }
+                    }
+                    block = target;
+                }
+                Terminator::Call { callee, args, dst, ret_to } => {
+                    let ev = StmtEvent {
+                        stmt: t.id,
+                        instance,
+                        ts: path_ts,
+                        value: None,
+                        op_deps: [None, None],
+                        mem_dep: None,
+                        mem: None,
+                        branch_taken: None,
+                    };
+                    sink.on_stmt(&ev);
+                    if depth >= self.interp.config.max_frames {
+                        return Err(InterpError::StackOverflow);
+                    }
+                    // The call edge always breaks the path.
+                    let EdgeAction::Break { finish, restart } = fp.action(block, 0) else {
+                        unreachable!("call edges break paths");
+                    };
+                    sink.on_path_end(func, r + finish, path_ts);
+                    self.result.paths_executed += 1;
+
+                    // Evaluate args in the caller frame, then build the
+                    // callee frame with forwarded producers.
+                    let mut callee_frame = self.new_frame(*callee, Some(t_me));
+                    for (i, a) in args.iter().enumerate() {
+                        let (v, p) = eval(frame, *a);
+                        callee_frame.regs[i] = v;
+                        callee_frame.reg_prod[i] = p;
+                    }
+                    frame.ret_dst = *dst;
+                    frame.ret_to = *ret_to;
+                    frame.pending_restart = restart;
+
+                    r = self.interp.bl.func(*callee).entry_restart();
+                    frames.push(callee_frame);
+                    block = BlockId(0);
+                    self.time += 1;
+                    path_ts = self.time;
+                    sink.on_path_start(path_ts);
+                }
+                Terminator::Ret { value } => {
+                    let (v, p) = match value {
+                        Some(op) => {
+                            let (v, p) = eval(frame, *op);
+                            (Some(v), p)
+                        }
+                        None => (None, None),
+                    };
+                    let ev = StmtEvent {
+                        stmt: t.id,
+                        instance,
+                        ts: path_ts,
+                        value: None,
+                        op_deps: [None, None],
+                        mem_dep: None,
+                        mem: None,
+                        branch_taken: None,
+                    };
+                    sink.on_stmt(&ev);
+                    let finish = fp.ret_finish(block).expect("ret block has finish value");
+                    sink.on_path_end(func, r + finish, path_ts);
+                    self.result.paths_executed += 1;
+
+                    frames.pop();
+                    match frames.last_mut() {
+                        None => {
+                            self.result.ret = v;
+                            self.result.last_ts = path_ts;
+                            return Ok(self.result);
+                        }
+                        Some(caller) => {
+                            if let Some(dst) = caller.ret_dst {
+                                caller.regs[dst.index()] = v.unwrap_or(0);
+                                // Forward the return-value producer.
+                                caller.reg_prod[dst.index()] = p;
+                            }
+                            r = caller.pending_restart;
+                            block = caller.ret_to;
+                            self.time += 1;
+                            path_ts = self.time;
+                            sink.on_path_start(path_ts);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_addr(&self, stmt: StmtId, addr: i64) -> Result<u64, InterpError> {
+        if addr < 0 || addr as usize >= self.mem.len() {
+            Err(InterpError::OobMemory { stmt, addr })
+        } else {
+            Ok(addr as u64)
+        }
+    }
+}
+
+/// Free-function operand evaluation so statement handling can borrow
+/// the frame mutably elsewhere.
+fn eval(frame: &Frame, op: Operand) -> (i64, Option<Producer>) {
+    match op {
+        Operand::Imm(v) => (v, None),
+        Operand::Reg(r) => (frame.regs[r.index()], frame.reg_prod[r.index()]),
+    }
+}

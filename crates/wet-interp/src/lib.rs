@@ -1,0 +1,406 @@
+//! # wet-interp — the dynamic substrate for whole execution traces
+//!
+//! The paper profiled SPEC benchmarks "on the simulator which avoids
+//! introduction of intrusion as no instrumentation is needed". This
+//! crate is that simulator for the `wet-ir` intermediate language: an
+//! interpreter that executes a program and emits the complete dynamic
+//! event stream —
+//!
+//! * **path events**: Ball–Larus path start/end with fresh timestamps
+//!   (one timestamp per path execution, the paper's §3.1 scheme);
+//! * **block events**: each executed block with its *dynamic control
+//!   dependence* (the most recent instance of a static CD parent, or
+//!   the calling `call` statement);
+//! * **statement events**: def-port values, operand producers (data
+//!   dependences through registers, forwarded through calls), memory
+//!   producers (load → reaching store), addresses, branch outcomes.
+//!
+//! Consumers implement [`TraceSink`]; WET construction, architecture
+//! simulators, and the [`Recorder`] oracle all observe the same stream.
+//!
+//! [`RefSlicer`] computes dynamic slices directly over the recorded
+//! (uncompressed) trace and serves as the correctness oracle for the
+//! compressed WET slice queries.
+
+mod events;
+mod interp;
+mod recorder;
+mod refslice;
+
+pub use events::{BlockEvent, MemAccess, NullSink, Producer, StmtEvent, TraceSink};
+pub use interp::{Interp, InterpConfig, InterpError, RunResult};
+pub use recorder::{PathRecord, Recorder, StmtRecord};
+pub use refslice::{RefSlicer, Slice, SliceElem, SliceKinds};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wet_ir::ballarus::BallLarus;
+    use wet_ir::builder::ProgramBuilder;
+    use wet_ir::stmt::{BinOp, Operand};
+    use wet_ir::{Program, StmtId};
+
+    fn run_recorded(p: &Program, inputs: &[i64]) -> (RunResult, Recorder) {
+        let bl = BallLarus::new(p);
+        let mut rec = Recorder::new();
+        let r = Interp::new(p, &bl, InterpConfig::default()).run(inputs, &mut rec).expect("run ok");
+        (r, rec)
+    }
+
+    /// sum of 1..=n via a loop.
+    fn loop_sum_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let e = f.entry_block();
+        let (h, body, exit) = (f.new_block(), f.new_block(), f.new_block());
+        let (n, i, acc, c) = (f.reg(), f.reg(), f.reg(), f.reg());
+        f.block(e).input(n);
+        f.block(e).movi(i, 0);
+        f.block(e).movi(acc, 0);
+        f.block(e).jump(h);
+        f.block(h).bin(BinOp::Lt, c, i, n);
+        f.block(h).branch(c, body, exit);
+        f.block(body).bin(BinOp::Add, i, i, 1i64);
+        f.block(body).bin(BinOp::Add, acc, acc, i);
+        f.block(body).jump(h);
+        f.block(exit).out(acc);
+        f.block(exit).ret(Some(Operand::Reg(acc)));
+        let main = f.finish();
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn loop_sum_computes() {
+        let p = loop_sum_program();
+        let (r, rec) = run_recorded(&p, &[10]);
+        assert_eq!(r.outputs, vec![55]);
+        assert_eq!(r.ret, Some(55));
+        assert!(r.stmts_executed > 40);
+        assert_eq!(r.paths_executed as usize, rec.paths.len());
+        // Timestamps are dense 1..=paths.
+        let ts: Vec<u64> = rec.paths.iter().map(|pr| pr.ts).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..=r.paths_executed).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn paths_decode_to_block_trace() {
+        let p = loop_sum_program();
+        let bl = BallLarus::new(&p);
+        let (_, rec) = run_recorded(&p, &[5]);
+        // Concatenating the decoded blocks of each executed path must
+        // reproduce the recorded block trace.
+        let mut decoded = Vec::new();
+        for pr in &rec.paths {
+            for b in bl.func(pr.func).decode(pr.path_id) {
+                decoded.push((pr.func, b));
+            }
+        }
+        assert_eq!(decoded, rec.block_trace());
+    }
+
+    #[test]
+    fn memory_dependences_link_store_to_load() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let e = f.entry_block();
+        let (v, w) = (f.reg(), f.reg());
+        f.block(e).movi(v, 99);
+        f.block(e).store(Operand::Imm(7), v);
+        f.block(e).load(w, Operand::Imm(7));
+        f.block(e).out(w);
+        f.block(e).ret(None);
+        let main = f.finish();
+        let p = pb.finish(main).unwrap();
+        let (r, rec) = run_recorded(&p, &[]);
+        assert_eq!(r.outputs, vec![99]);
+        let load = rec.stmts.iter().find(|s| s.ev.mem.map(|m| !m.is_store).unwrap_or(false)).unwrap();
+        let dep = load.ev.mem_dep.expect("load has memory producer");
+        // The producer is the store statement (id 1: mov=0, store=1).
+        assert_eq!(dep.stmt, StmtId(1));
+        assert_eq!(load.ev.value, Some(99));
+        assert_eq!(load.ev.mem.unwrap().addr, 7);
+    }
+
+    #[test]
+    fn call_forwards_args_and_ret() {
+        let mut pb = ProgramBuilder::new();
+        let mut g = pb.function("double", 1);
+        let ge = g.entry_block();
+        let out = g.reg();
+        let p0 = g.param(0);
+        g.block(ge).bin(BinOp::Add, out, p0, p0);
+        g.block(ge).ret(Some(Operand::Reg(out)));
+        let gid = g.finish();
+
+        let mut f = pb.function("main", 0);
+        let e = f.entry_block();
+        let cont = f.new_block();
+        let (x, y) = (f.reg(), f.reg());
+        f.block(e).input(x);
+        f.block(e).call(gid, vec![Operand::Reg(x)], Some(y), cont);
+        f.block(cont).out(y);
+        f.block(cont).ret(None);
+        let main = f.finish();
+        let p = pb.finish(main).unwrap();
+        let (r, rec) = run_recorded(&p, &[21]);
+        assert_eq!(r.outputs, vec![42]);
+
+        // The add in `double` must depend on the `input` statement of
+        // main (arg forwarding), not on the call.
+        let add = rec
+            .stmts
+            .iter()
+            .find(|s| s.ev.value == Some(42) && s.ev.op_deps[0].is_some())
+            .expect("add event");
+        let input_stmt = rec.stmts.iter().find(|s| s.ev.value == Some(21)).unwrap().ev.stmt;
+        assert_eq!(add.ev.op_deps[0].unwrap().stmt, input_stmt);
+        // The out in main depends on the add in double (ret forwarding).
+        let out_ev = rec.stmts.iter().rev().find(|s| s.ev.op_deps[0].is_some()).unwrap();
+        assert_eq!(out_ev.ev.op_deps[0].unwrap().stmt, add.ev.stmt);
+        // Callee blocks are control dependent on the call site.
+        let callee_block = rec.blocks.iter().find(|b| b.func == gid).unwrap();
+        assert!(callee_block.cd.is_some(), "callee entry depends on the call");
+    }
+
+    #[test]
+    fn recursion_runs_and_terminates() {
+        // fib(15) with memo-free double recursion.
+        let mut pb = ProgramBuilder::new();
+        let fid = pb.declare("fib");
+        let mut f = pb.define(fid, 1);
+        let e = f.entry_block();
+        let (base, rec1, rec2, done) = (f.new_block(), f.new_block(), f.new_block(), f.new_block());
+        let n = f.param(0);
+        let (c, a, b, t) = (f.reg(), f.reg(), f.reg(), f.reg());
+        f.block(e).bin(BinOp::Le, c, n, 1i64);
+        f.block(e).branch(c, base, rec1);
+        f.block(base).ret(Some(Operand::Reg(n)));
+        f.block(rec1).bin(BinOp::Sub, t, n, 1i64);
+        f.block(rec1).call(fid, vec![Operand::Reg(t)], Some(a), rec2);
+        f.block(rec2).bin(BinOp::Sub, t, n, 2i64);
+        f.block(rec2).call(fid, vec![Operand::Reg(t)], Some(b), done);
+        f.block(done).bin(BinOp::Add, a, a, b);
+        f.block(done).ret(Some(Operand::Reg(a)));
+        f.finish();
+
+        let mut m = pb.function("main", 0);
+        let e = m.entry_block();
+        let cont = m.new_block();
+        let r = m.reg();
+        m.block(e).call(fid, vec![Operand::Imm(15)], Some(r), cont);
+        m.block(cont).out(r);
+        m.block(cont).ret(None);
+        let main = m.finish();
+        let p = pb.finish(main).unwrap();
+        let (r, _) = run_recorded(&p, &[]);
+        assert_eq!(r.outputs, vec![610]);
+    }
+
+    #[test]
+    fn control_dependence_inside_branch() {
+        // if (in) { x = 1 } else { x = 2 }; out x
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let e = f.entry_block();
+        let (t, el, j) = (f.new_block(), f.new_block(), f.new_block());
+        let (c, x) = (f.reg(), f.reg());
+        f.block(e).input(c);
+        f.block(e).branch(c, t, el);
+        f.block(t).movi(x, 1);
+        f.block(t).jump(j);
+        f.block(el).movi(x, 2);
+        f.block(el).jump(j);
+        f.block(j).out(x);
+        f.block(j).ret(None);
+        let main = f.finish();
+        let p = pb.finish(main).unwrap();
+        let (r, rec) = run_recorded(&p, &[1]);
+        assert_eq!(r.outputs, vec![1]);
+        // The mov inside the taken branch is control dependent on the
+        // branch terminator.
+        let branch_stmt = rec.stmts.iter().find(|s| s.ev.branch_taken.is_some()).unwrap().ev.stmt;
+        // stmt ids: in=0, branch=1, mov x,1 = 2 (block t).
+        let mov = rec.stmts.iter().find(|s| s.ev.stmt == StmtId(2)).unwrap();
+        assert_eq!(mov.cd.unwrap().stmt, branch_stmt);
+        // The join block is NOT control dependent on the branch.
+        let out_ev = &rec.stmts[rec.stmts.len() - 2];
+        assert!(out_ev.cd.is_none(), "join block cd should fall back to entry (None in main)");
+    }
+
+    #[test]
+    fn backward_slice_excludes_untaken_computation() {
+        // y = in; z = in; if (in) out(y) else out(z)
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let e = f.entry_block();
+        let (t, el, j) = (f.new_block(), f.new_block(), f.new_block());
+        let (y, z, c) = (f.reg(), f.reg(), f.reg());
+        f.block(e).input(y);
+        f.block(e).input(z);
+        f.block(e).input(c);
+        f.block(e).branch(c, t, el);
+        f.block(t).out(y);
+        f.block(t).jump(j);
+        f.block(el).out(z);
+        f.block(el).jump(j);
+        f.block(j).ret(None);
+        let main = f.finish();
+        let p = pb.finish(main).unwrap();
+        let (_, rec) = run_recorded(&p, &[7, 8, 1]);
+        let slicer = RefSlicer::new(&rec);
+        // Criterion: the out(y) instance.
+        let out_y = rec.stmts.iter().find(|s| s.ev.op_deps[0].map(|d| d.stmt == StmtId(0)) == Some(true)).unwrap();
+        let slice = slicer.backward(
+            SliceElem { stmt: out_y.ev.stmt, instance: out_y.ev.instance },
+            SliceKinds::default(),
+        );
+        let stmts = slice.static_stmts();
+        assert!(stmts.contains(&StmtId(0)), "in y is in slice");
+        assert!(!stmts.contains(&StmtId(1)), "in z is NOT in slice");
+        assert!(stmts.contains(&StmtId(2)), "branch input is in slice via control dep");
+    }
+
+    #[test]
+    fn forward_slice_finds_consumers() {
+        let p = loop_sum_program();
+        let (_, rec) = run_recorded(&p, &[3]);
+        let slicer = RefSlicer::new(&rec);
+        // Forward slice of the input reaches the final out.
+        let input = rec.stmts.iter().find(|s| s.ev.stmt == StmtId(0)).unwrap();
+        let fwd = slicer.forward(
+            SliceElem { stmt: input.ev.stmt, instance: 0 },
+            SliceKinds::default(),
+        );
+        let out_stmt = rec.stmts.iter().rev().find(|s| s.ev.op_deps[0].is_some()).unwrap().ev.stmt;
+        assert!(fwd.static_stmts().contains(&out_stmt));
+        assert!(!fwd.is_empty());
+        assert!(fwd.len() > 5);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        // Division by zero.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let e = f.entry_block();
+        let (a, b) = (f.reg(), f.reg());
+        f.block(e).input(a);
+        f.block(e).bin(BinOp::Div, b, 1i64, a);
+        f.block(e).ret(None);
+        let main = f.finish();
+        let p = pb.finish(main).unwrap();
+        let bl = BallLarus::new(&p);
+        let err = Interp::new(&p, &bl, InterpConfig::default()).run(&[0], &mut NullSink).unwrap_err();
+        assert!(matches!(err, InterpError::DivByZero { .. }));
+        // Input exhausted.
+        let err = Interp::new(&p, &bl, InterpConfig::default()).run(&[], &mut NullSink).unwrap_err();
+        assert!(matches!(err, InterpError::InputExhausted { .. }));
+    }
+
+    #[test]
+    fn stmt_limit_enforced() {
+        let p = loop_sum_program();
+        let bl = BallLarus::new(&p);
+        let cfg = InterpConfig { max_stmts: 10, ..Default::default() };
+        let err = Interp::new(&p, &bl, cfg).run(&[1000], &mut NullSink).unwrap_err();
+        assert_eq!(err, InterpError::StmtLimit);
+    }
+
+    #[test]
+    fn oob_memory_detected() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let e = f.entry_block();
+        let a = f.reg();
+        f.block(e).load(a, Operand::Imm(-1));
+        f.block(e).ret(None);
+        let main = f.finish();
+        let p = pb.finish(main).unwrap();
+        let bl = BallLarus::new(&p);
+        let err = Interp::new(&p, &bl, InterpConfig::default()).run(&[], &mut NullSink).unwrap_err();
+        assert!(matches!(err, InterpError::OobMemory { addr: -1, .. }));
+    }
+
+    #[test]
+    fn block_and_path_timestamps_agree() {
+        let p = loop_sum_program();
+        let (_, rec) = run_recorded(&p, &[4]);
+        // Every block event's ts matches a path record covering it.
+        let path_ts: std::collections::HashSet<u64> = rec.paths.iter().map(|p| p.ts).collect();
+        for b in &rec.blocks {
+            assert!(path_ts.contains(&b.ts), "block ts {} not a path ts", b.ts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod sink_tests {
+    use super::*;
+    use wet_ir::ballarus::BallLarus;
+    use wet_ir::builder::ProgramBuilder;
+    use wet_ir::stmt::{BinOp, Operand};
+
+    fn tiny() -> wet_ir::Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let e = f.entry_block();
+        let r = f.reg();
+        f.block(e).bin(BinOp::Add, r, Operand::Imm(1), Operand::Imm(2));
+        f.block(e).out(Operand::Reg(r));
+        f.block(e).ret(None);
+        let main = f.finish();
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn tuple_sink_fans_out_to_both() {
+        let p = tiny();
+        let bl = BallLarus::new(&p);
+        let mut a = Recorder::new();
+        let mut b = Recorder::new();
+        let mut sink = (&mut a, &mut b);
+        Interp::new(&p, &bl, InterpConfig::default()).run(&[], &mut sink).unwrap();
+        assert_eq!(a.stmts.len(), b.stmts.len());
+        assert!(!a.stmts.is_empty());
+        assert_eq!(a.paths.len(), b.paths.len());
+    }
+
+    #[test]
+    fn reruns_are_bit_identical() {
+        let p = tiny();
+        let bl = BallLarus::new(&p);
+        let mut a = Recorder::new();
+        let mut b = Recorder::new();
+        Interp::new(&p, &bl, InterpConfig::default()).run(&[], &mut a).unwrap();
+        Interp::new(&p, &bl, InterpConfig::default()).run(&[], &mut b).unwrap();
+        assert_eq!(a.stmts, b.stmts);
+        assert_eq!(a.blocks, b.blocks);
+        assert_eq!(a.paths, b.paths);
+    }
+
+    #[test]
+    fn stack_overflow_detected() {
+        // Infinite recursion trips max_frames.
+        let mut pb = ProgramBuilder::new();
+        let fid = pb.declare("loopy");
+        let mut g = pb.define(fid, 0);
+        let e = g.entry_block();
+        let cont = g.new_block();
+        g.block(e).call(fid, vec![], None, cont);
+        g.block(cont).ret(None);
+        g.finish();
+        let mut m = pb.function("main", 0);
+        let e = m.entry_block();
+        let cont = m.new_block();
+        m.block(e).call(fid, vec![], None, cont);
+        m.block(cont).ret(None);
+        let main = m.finish();
+        let p = pb.finish(main).unwrap();
+        let bl = BallLarus::new(&p);
+        let cfg = InterpConfig { max_frames: 64, ..Default::default() };
+        let err = Interp::new(&p, &bl, cfg).run(&[], &mut NullSink).unwrap_err();
+        assert_eq!(err, InterpError::StackOverflow);
+    }
+}

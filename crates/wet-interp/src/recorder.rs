@@ -1,0 +1,103 @@
+//! A naive, uncompressed full-trace recorder.
+//!
+//! Materializes every event in `Vec`s. This is the *oracle* the test
+//! suite compares the compressed WET against, and the baseline for
+//! "original WET size" accounting. Only use it for small runs — it is
+//! deliberately memory-hungry.
+
+use crate::events::{BlockEvent, Producer, StmtEvent, TraceSink};
+use std::collections::HashMap;
+use wet_ir::{FuncId, StmtId};
+
+/// One recorded path execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathRecord {
+    /// Function containing the path.
+    pub func: FuncId,
+    /// Ball–Larus path id within the function.
+    pub path_id: u64,
+    /// Timestamp of this path execution.
+    pub ts: u64,
+}
+
+/// A recorded statement instance plus its block's dynamic control
+/// dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StmtRecord {
+    /// The statement event.
+    pub ev: StmtEvent,
+    /// Dynamic control dependence of the containing block.
+    pub cd: Option<Producer>,
+}
+
+/// Records the complete event stream uncompressed.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    /// All block executions in order.
+    pub blocks: Vec<BlockEvent>,
+    /// All statement executions in order, each with its block CD.
+    pub stmts: Vec<StmtRecord>,
+    /// All path executions in order.
+    pub paths: Vec<PathRecord>,
+    cur_cd: Option<Producer>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an index from `(stmt, instance)` to position in
+    /// [`stmts`](Self::stmts).
+    pub fn stmt_index(&self) -> HashMap<(StmtId, u64), usize> {
+        self.stmts
+            .iter()
+            .enumerate()
+            .map(|(i, r)| ((r.ev.stmt, r.ev.instance), i))
+            .collect()
+    }
+
+    /// The value sequence produced by one statement, in instance order.
+    pub fn values_of(&self, stmt: StmtId) -> Vec<i64> {
+        self.stmts
+            .iter()
+            .filter(|r| r.ev.stmt == stmt)
+            .filter_map(|r| r.ev.value)
+            .collect()
+    }
+
+    /// The timestamps at which a statement executed, in instance order.
+    pub fn timestamps_of(&self, stmt: StmtId) -> Vec<u64> {
+        self.stmts.iter().filter(|r| r.ev.stmt == stmt).map(|r| r.ev.ts).collect()
+    }
+
+    /// The address sequence referenced by one load/store statement.
+    pub fn addresses_of(&self, stmt: StmtId) -> Vec<u64> {
+        self.stmts
+            .iter()
+            .filter(|r| r.ev.stmt == stmt)
+            .filter_map(|r| r.ev.mem.map(|m| m.addr))
+            .collect()
+    }
+
+    /// The executed block sequence as `(func, block)` pairs.
+    pub fn block_trace(&self) -> Vec<(FuncId, wet_ir::BlockId)> {
+        self.blocks.iter().map(|b| (b.func, b.block)).collect()
+    }
+}
+
+impl TraceSink for Recorder {
+    fn on_block(&mut self, ev: &BlockEvent) {
+        self.cur_cd = ev.cd;
+        self.blocks.push(*ev);
+    }
+
+    fn on_stmt(&mut self, ev: &StmtEvent) {
+        self.stmts.push(StmtRecord { ev: *ev, cd: self.cur_cd });
+    }
+
+    fn on_path_end(&mut self, func: FuncId, path_id: u64, ts: u64) {
+        self.paths.push(PathRecord { func, path_id, ts });
+    }
+}

@@ -1,0 +1,138 @@
+//! Reference dynamic slicer over the uncompressed recorder trace.
+//!
+//! Computes backward and forward dynamic slices by direct worklist
+//! traversal of the recorded dependences. This is the ground truth the
+//! compressed WET slice query is tested against.
+
+use crate::events::Producer;
+use crate::recorder::Recorder;
+use std::collections::{BTreeSet, HashMap};
+use wet_ir::StmtId;
+
+/// One element of a dynamic slice: a statement instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SliceElem {
+    /// The statement.
+    pub stmt: StmtId,
+    /// Its instance index.
+    pub instance: u64,
+}
+
+/// Which dependence kinds a slice follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceKinds {
+    /// Follow data dependences (operand and memory producers).
+    pub data: bool,
+    /// Follow control dependences.
+    pub control: bool,
+}
+
+impl Default for SliceKinds {
+    fn default() -> Self {
+        SliceKinds { data: true, control: true }
+    }
+}
+
+/// A computed dynamic slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slice {
+    /// The statement instances in the slice, including the criterion.
+    pub elems: BTreeSet<SliceElem>,
+}
+
+impl Slice {
+    /// Number of statement instances in the slice.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// True when the slice has no elements (never, for valid criteria).
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// The set of distinct static statements in the slice.
+    pub fn static_stmts(&self) -> BTreeSet<StmtId> {
+        self.elems.iter().map(|e| e.stmt).collect()
+    }
+}
+
+/// Reference slicer over a [`Recorder`] trace.
+pub struct RefSlicer<'a> {
+    rec: &'a Recorder,
+    index: HashMap<(StmtId, u64), usize>,
+}
+
+impl<'a> RefSlicer<'a> {
+    /// Builds the instance index over a recorded trace.
+    pub fn new(rec: &'a Recorder) -> Self {
+        RefSlicer { rec, index: rec.stmt_index() }
+    }
+
+    /// Computes the backward dynamic slice from `criterion`.
+    ///
+    /// # Panics
+    /// Panics if the criterion instance was never recorded.
+    pub fn backward(&self, criterion: SliceElem, kinds: SliceKinds) -> Slice {
+        let mut elems = BTreeSet::new();
+        let mut work = vec![criterion];
+        while let Some(e) = work.pop() {
+            if !elems.insert(e) {
+                continue;
+            }
+            let i = *self
+                .index
+                .get(&(e.stmt, e.instance))
+                .unwrap_or_else(|| panic!("criterion {}#{} not in trace", e.stmt, e.instance));
+            let r = &self.rec.stmts[i];
+            let mut follow = |p: Option<Producer>| {
+                if let Some(p) = p {
+                    work.push(SliceElem { stmt: p.stmt, instance: p.instance });
+                }
+            };
+            if kinds.data {
+                follow(r.ev.op_deps[0]);
+                follow(r.ev.op_deps[1]);
+                follow(r.ev.mem_dep);
+            }
+            if kinds.control {
+                follow(r.cd);
+            }
+        }
+        Slice { elems }
+    }
+
+    /// Computes the forward dynamic slice from `criterion`: all
+    /// instances whose computation the criterion influenced.
+    pub fn forward(&self, criterion: SliceElem, kinds: SliceKinds) -> Slice {
+        // Build reverse edges once: consumer lists per producer.
+        let mut elems = BTreeSet::new();
+        let mut consumers: HashMap<SliceElem, Vec<SliceElem>> = HashMap::new();
+        for r in &self.rec.stmts {
+            let me = SliceElem { stmt: r.ev.stmt, instance: r.ev.instance };
+            let mut add = |p: Option<Producer>| {
+                if let Some(p) = p {
+                    consumers.entry(SliceElem { stmt: p.stmt, instance: p.instance }).or_default().push(me);
+                }
+            };
+            if kinds.data {
+                add(r.ev.op_deps[0]);
+                add(r.ev.op_deps[1]);
+                add(r.ev.mem_dep);
+            }
+            if kinds.control {
+                add(r.cd);
+            }
+        }
+        let mut work = vec![criterion];
+        while let Some(e) = work.pop() {
+            if !elems.insert(e) {
+                continue;
+            }
+            if let Some(cs) = consumers.get(&e) {
+                work.extend(cs.iter().copied());
+            }
+        }
+        Slice { elems }
+    }
+}

@@ -1,0 +1,578 @@
+//! Ball–Larus path profiling (MICRO 1996), adapted for WET node
+//! formation (paper §3.1).
+//!
+//! The CFG of each function is turned into a DAG by replacing every
+//! *path-breaking* edge `u -> v` (loop back edges, and call edges, since
+//! an acyclic path cannot span a call) with two dummy edges
+//! `u -> SINK` and `SRC -> v`; `Ret` blocks connect to `SINK` and `SRC`
+//! connects to the entry. Each source-to-sink DAG path then receives a
+//! unique id in `0..n_paths` via the classic edge-increment scheme:
+//! `NumPaths(SINK) = 1`, `NumPaths(v) = Σ NumPaths(succ)`, and the `i`-th
+//! outgoing edge of `v` carries the increment `Σ_{j<i} NumPaths(w_j)`.
+//!
+//! At run time the interpreter keeps a running sum `r`; traversing a
+//! real edge adds its increment, and traversing a breaking edge emits
+//! the finished path id and restarts `r`. The emitted unit — one acyclic
+//! path execution — is exactly one WET node execution, so a single
+//! timestamp covers every statement instance in the path (Fig. 2 of the
+//! paper: the 103-block example execution becomes 10 path executions).
+//!
+//! Functions whose path count exceeds [`BallLarusConfig::max_paths`]
+//! (or all functions, when [`NodeGranularity::Block`] is selected) fall
+//! back to *block granularity*: every edge breaks, every block is its
+//! own path, and path ids equal block ids. This doubles as the paper's
+//! "node per basic block" baseline for the Fig. 2 comparison.
+
+use crate::cfg::{reachable, Cfg};
+use crate::ids::{BlockId, FuncId};
+use crate::loops::LoopInfo;
+use crate::program::{Function, Program};
+use crate::stmt::Terminator;
+
+/// Whether WET nodes span Ball–Larus paths or single basic blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeGranularity {
+    /// One node per acyclic Ball–Larus path (the paper's design).
+    #[default]
+    BallLarusPath,
+    /// One node per basic block (baseline / fallback).
+    Block,
+}
+
+/// Configuration for path numbering.
+#[derive(Debug, Clone, Copy)]
+pub struct BallLarusConfig {
+    /// Node granularity; `Block` forces the fallback everywhere.
+    pub granularity: NodeGranularity,
+    /// Functions with more static paths than this fall back to block
+    /// granularity (guards against path explosion).
+    pub max_paths: u64,
+}
+
+impl Default for BallLarusConfig {
+    fn default() -> Self {
+        BallLarusConfig { granularity: NodeGranularity::BallLarusPath, max_paths: 1 << 32 }
+    }
+}
+
+/// What the tracer does when following CFG edge `(block, succ_idx)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeAction {
+    /// Stay on the current path; add the increment to the running id.
+    Continue {
+        /// Ball–Larus edge increment.
+        add: u64,
+    },
+    /// End the current path (emit `r + finish`) and start a new one
+    /// with `r = restart`.
+    Break {
+        /// Increment of the dummy `u -> SINK` edge.
+        finish: u64,
+        /// Increment of the dummy `SRC -> target` edge.
+        restart: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DagEdge {
+    /// DAG node index (`n` = SRC is never a target; `n + 1` = SINK).
+    target: u32,
+    /// Cumulative increment of this edge.
+    val: u64,
+}
+
+/// Path numbering for one function.
+#[derive(Debug, Clone)]
+pub struct FuncPaths {
+    n_paths: u64,
+    entry_restart: u64,
+    /// `[block][succ_idx]` — action per CFG edge.
+    actions: Vec<Vec<EdgeAction>>,
+    /// Per block: increment emitted when the block returns.
+    ret_finish: Vec<Option<u64>>,
+    /// DAG adjacency for decoding (empty in block granularity).
+    dag: Vec<Vec<DagEdge>>,
+    n_blocks: u32,
+    granularity: NodeGranularity,
+}
+
+impl FuncPaths {
+    /// Number of static paths (= number of potential WET nodes for this
+    /// function).
+    #[inline]
+    pub fn n_paths(&self) -> u64 {
+        self.n_paths
+    }
+
+    /// The effective granularity (may be `Block` due to fallback).
+    #[inline]
+    pub fn granularity(&self) -> NodeGranularity {
+        self.granularity
+    }
+
+    /// The running-id value a path starts with when the function is
+    /// entered.
+    #[inline]
+    pub fn entry_restart(&self) -> u64 {
+        self.entry_restart
+    }
+
+    /// The action for CFG edge `(block, succ_idx)`.
+    ///
+    /// # Panics
+    /// Panics if the edge does not exist.
+    #[inline]
+    pub fn action(&self, block: BlockId, succ_idx: usize) -> EdgeAction {
+        self.actions[block.index()][succ_idx]
+    }
+
+    /// The finish increment for a `Ret` block, if `block` returns.
+    #[inline]
+    pub fn ret_finish(&self, block: BlockId) -> Option<u64> {
+        self.ret_finish[block.index()]
+    }
+
+    /// Decodes a path id into its block sequence.
+    ///
+    /// # Panics
+    /// Panics if `id >= n_paths()`.
+    pub fn decode(&self, id: u64) -> Vec<BlockId> {
+        assert!(id < self.n_paths, "path id {id} out of range (n_paths = {})", self.n_paths);
+        match self.granularity {
+            NodeGranularity::Block => vec![BlockId(id as u32)],
+            NodeGranularity::BallLarusPath => {
+                let src = self.n_blocks;
+                let sink = self.n_blocks + 1;
+                let mut r = id;
+                let mut cur = src;
+                let mut seq = Vec::new();
+                loop {
+                    let edges = &self.dag[cur as usize];
+                    // Edges are stored with ascending cumulative vals;
+                    // pick the last one with val <= r.
+                    let i = match edges.binary_search_by(|e| e.val.cmp(&r)) {
+                        Ok(i) => {
+                            // Several parallel edges can share a val
+                            // (e.g. two break edges with NumPaths 1 —
+                            // identical decodes); take the last match.
+                            let mut i = i;
+                            while i + 1 < edges.len() && edges[i + 1].val == r {
+                                i += 1;
+                            }
+                            i
+                        }
+                        Err(i) => i - 1,
+                    };
+                    let e = edges[i];
+                    r -= e.val;
+                    if e.target == sink {
+                        return seq;
+                    }
+                    seq.push(BlockId(e.target));
+                    cur = e.target;
+                }
+            }
+        }
+    }
+}
+
+/// Ball–Larus numbering for every function of a program.
+#[derive(Debug, Clone)]
+pub struct BallLarus {
+    per_func: Vec<FuncPaths>,
+}
+
+impl BallLarus {
+    /// Computes path numbering with the default configuration.
+    pub fn new(program: &Program) -> Self {
+        Self::with_config(program, BallLarusConfig::default())
+    }
+
+    /// Computes path numbering with an explicit configuration.
+    pub fn with_config(program: &Program, config: BallLarusConfig) -> Self {
+        let per_func = program
+            .functions()
+            .iter()
+            .map(|f| match config.granularity {
+                NodeGranularity::Block => block_granularity(f),
+                NodeGranularity::BallLarusPath => {
+                    path_granularity(f, config.max_paths).unwrap_or_else(|| block_granularity(f))
+                }
+            })
+            .collect();
+        BallLarus { per_func }
+    }
+
+    /// The numbering for one function.
+    #[inline]
+    pub fn func(&self, f: FuncId) -> &FuncPaths {
+        &self.per_func[f.index()]
+    }
+
+    /// Total static paths across all functions.
+    pub fn total_paths(&self) -> u64 {
+        self.per_func.iter().map(|p| p.n_paths).sum()
+    }
+}
+
+fn block_granularity(f: &Function) -> FuncPaths {
+    let n = f.blocks().len();
+    let actions = f
+        .blocks()
+        .iter()
+        .map(|b| {
+            b.term()
+                .kind
+                .successors()
+                .iter()
+                .map(|&t| EdgeAction::Break { finish: 0, restart: t.0 as u64 })
+                .collect()
+        })
+        .collect();
+    let ret_finish = f
+        .blocks()
+        .iter()
+        .map(|b| b.term().kind.successors().is_empty().then_some(0))
+        .collect();
+    FuncPaths {
+        n_paths: n as u64,
+        entry_restart: 0,
+        actions,
+        ret_finish,
+        dag: Vec::new(),
+        n_blocks: n as u32,
+        granularity: NodeGranularity::Block,
+    }
+}
+
+/// Returns `None` when the path count exceeds `max_paths`.
+fn path_granularity(f: &Function, max_paths: u64) -> Option<FuncPaths> {
+    let cfg = Cfg::new(f);
+    let n = cfg.len();
+    let src = n as u32;
+    let sink = n as u32 + 1;
+    let reach = reachable(f);
+    let li = LoopInfo::new(f);
+
+    // Classify CFG edges and collect restart targets.
+    #[derive(Clone, Copy)]
+    enum Kind {
+        Real,
+        Breaking,
+    }
+    let mut edge_kind: Vec<Vec<Kind>> = Vec::with_capacity(n);
+    let mut restart_targets: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    restart_targets.insert(0); // function entry
+    for (bi, b) in f.blocks().iter().enumerate() {
+        let u = BlockId(bi as u32);
+        let is_call = matches!(b.term().kind, Terminator::Call { .. });
+        let kinds = cfg
+            .succs(u)
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| {
+                if !reach[bi] {
+                    return Kind::Real; // never executed; arbitrary
+                }
+                if is_call || li.is_back_edge(u, k) {
+                    restart_targets.insert(v.0);
+                    Kind::Breaking
+                } else {
+                    Kind::Real
+                }
+            })
+            .collect();
+        edge_kind.push(kinds);
+    }
+
+    // Build the DAG: per-node list of (target, placeholder val); record
+    // which DAG edge index each CFG edge / ret uses.
+    let mut dag_targets: Vec<Vec<u32>> = vec![Vec::new(); n + 2];
+    // Maps (block, succ_idx) -> dag edge index in dag_targets[block].
+    let mut cfg_edge_slot: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut ret_slot: Vec<Option<usize>> = vec![None; n];
+    let mut restart_slot: std::collections::BTreeMap<u32, usize> = Default::default();
+    for (&t, _) in restart_targets.iter().zip(0..) {
+        let idx = dag_targets[src as usize].len();
+        dag_targets[src as usize].push(t);
+        restart_slot.insert(t, idx);
+    }
+    for bi in 0..n {
+        if !reach[bi] {
+            cfg_edge_slot[bi] = vec![usize::MAX; cfg.succs(BlockId(bi as u32)).len()];
+            continue;
+        }
+        let succs = cfg.succs(BlockId(bi as u32));
+        for (k, &v) in succs.iter().enumerate() {
+            let idx = dag_targets[bi].len();
+            match edge_kind[bi][k] {
+                Kind::Real => dag_targets[bi].push(v.0),
+                Kind::Breaking => dag_targets[bi].push(sink),
+            }
+            cfg_edge_slot[bi].push(idx);
+        }
+        if succs.is_empty() {
+            let idx = dag_targets[bi].len();
+            dag_targets[bi].push(sink);
+            ret_slot[bi] = Some(idx);
+        }
+    }
+
+    // Topological order via DFS postorder from SRC.
+    let total_nodes = n + 2;
+    let mut state = vec![0u8; total_nodes];
+    let mut post: Vec<u32> = Vec::with_capacity(total_nodes);
+    let mut stack: Vec<(u32, usize)> = vec![(src, 0)];
+    state[src as usize] = 1;
+    while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+        if let Some(&w) = dag_targets[v as usize].get(*i) {
+            *i += 1;
+            if state[w as usize] == 0 {
+                state[w as usize] = 1;
+                stack.push((w, 0));
+            } else {
+                debug_assert_ne!(state[w as usize], 1, "DAG must be acyclic");
+            }
+        } else {
+            state[v as usize] = 2;
+            post.push(v);
+            stack.pop();
+        }
+    }
+
+    // NumPaths in (forward) postorder: successors of v appear before v.
+    let mut num_paths = vec![0u128; total_nodes];
+    num_paths[sink as usize] = 1;
+    for &v in &post {
+        if v == sink {
+            continue;
+        }
+        let mut s: u128 = 0;
+        for &w in &dag_targets[v as usize] {
+            s += num_paths[w as usize];
+        }
+        num_paths[v as usize] = s;
+    }
+    let total = num_paths[src as usize];
+    if total > max_paths as u128 || total == 0 {
+        return None;
+    }
+
+    // Edge values: cumulative sums per node in stored order.
+    let mut dag: Vec<Vec<DagEdge>> = Vec::with_capacity(total_nodes);
+    for targets in &dag_targets {
+        let mut cum: u128 = 0;
+        let edges = targets
+            .iter()
+            .map(|&w| {
+                let e = DagEdge { target: w, val: cum as u64 };
+                cum += num_paths[w as usize];
+                e
+            })
+            .collect();
+        dag.push(edges);
+    }
+
+    // Assemble the runtime action table.
+    let mut actions: Vec<Vec<EdgeAction>> = Vec::with_capacity(n);
+    for (bi, b) in f.blocks().iter().enumerate() {
+        let succs = b.term().kind.successors();
+        let acts = succs
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| {
+                if !reach[bi] {
+                    return EdgeAction::Continue { add: 0 };
+                }
+                let slot = cfg_edge_slot[bi][k];
+                match edge_kind[bi][k] {
+                    Kind::Real => EdgeAction::Continue { add: dag[bi][slot].val },
+                    Kind::Breaking => EdgeAction::Break {
+                        finish: dag[bi][slot].val,
+                        restart: dag[src as usize][restart_slot[&v.0]].val,
+                    },
+                }
+            })
+            .collect();
+        actions.push(acts);
+    }
+    let ret_finish = (0..n)
+        .map(|bi| ret_slot[bi].map(|slot| dag[bi][slot].val))
+        .collect();
+    let entry_restart = dag[src as usize][restart_slot[&0]].val;
+
+    Some(FuncPaths {
+        n_paths: total as u64,
+        entry_restart,
+        actions,
+        ret_finish,
+        dag,
+        n_blocks: n as u32,
+        granularity: NodeGranularity::BallLarusPath,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::stmt::{BinOp, Operand};
+
+    fn while_program() -> Program {
+        // 0 -> 1; 1 -> {2, 3}; 2 -> 1 (back edge); 3 ret
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let b0 = f.entry_block();
+        let (b1, b2, b3) = (f.new_block(), f.new_block(), f.new_block());
+        let (i, c) = (f.reg(), f.reg());
+        f.block(b0).movi(i, 0);
+        f.block(b0).jump(b1);
+        f.block(b1).bin(BinOp::Lt, c, i, 10i64);
+        f.block(b1).branch(Operand::Reg(c), b2, b3);
+        f.block(b2).bin(BinOp::Add, i, i, 1i64);
+        f.block(b2).jump(b1);
+        f.block(b3).ret(None);
+        let main = f.finish();
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn while_loop_has_four_paths() {
+        let p = while_program();
+        let bl = BallLarus::new(&p);
+        let fp = bl.func(p.main());
+        assert_eq!(fp.n_paths(), 4);
+        // All four decodes are distinct valid block sequences.
+        let decoded: Vec<Vec<BlockId>> = (0..4).map(|i| fp.decode(i)).collect();
+        assert!(decoded.contains(&vec![BlockId(0), BlockId(1), BlockId(2)]));
+        assert!(decoded.contains(&vec![BlockId(0), BlockId(1), BlockId(3)]));
+        assert!(decoded.contains(&vec![BlockId(1), BlockId(2)]));
+        assert!(decoded.contains(&vec![BlockId(1), BlockId(3)]));
+    }
+
+    #[test]
+    fn runtime_emission_matches_decode() {
+        // Simulate the runtime protocol over the while loop's execution
+        // and check each emitted id decodes to the blocks walked.
+        let p = while_program();
+        let f = p.function(p.main());
+        let bl = BallLarus::new(&p);
+        let fp = bl.func(p.main());
+
+        let mut emitted: Vec<(u64, Vec<BlockId>)> = Vec::new();
+        let mut cur_blocks: Vec<BlockId> = Vec::new();
+        let mut r = fp.entry_restart();
+        let mut i = 0i64;
+        let mut b = BlockId(0);
+        loop {
+            cur_blocks.push(b);
+            // Determine the dynamic successor index.
+            let term = &f.block(b).term().kind;
+            let (next, k) = match term {
+                Terminator::Jump { target } => (*target, 0usize),
+                Terminator::Branch { if_true, if_false, .. } => {
+                    let taken = i < 10;
+                    if b == BlockId(2) {
+                        unreachable!()
+                    }
+                    if taken {
+                        (*if_true, 0)
+                    } else {
+                        (*if_false, 1)
+                    }
+                }
+                Terminator::Ret { .. } => {
+                    let fin = fp.ret_finish(b).unwrap();
+                    emitted.push((r + fin, std::mem::take(&mut cur_blocks)));
+                    break;
+                }
+                Terminator::Call { .. } => unreachable!(),
+            };
+            if b == BlockId(2) {
+                i += 1;
+            }
+            match fp.action(b, k) {
+                EdgeAction::Continue { add } => r += add,
+                EdgeAction::Break { finish, restart } => {
+                    emitted.push((r + finish, std::mem::take(&mut cur_blocks)));
+                    r = restart;
+                }
+            }
+            b = next;
+        }
+        assert_eq!(emitted.len(), 11); // 10 iterations + exit path
+        for (id, blocks) in emitted {
+            assert_eq!(fp.decode(id), blocks, "decode mismatch for path {id}");
+        }
+    }
+
+    #[test]
+    fn calls_break_paths() {
+        let mut pb = ProgramBuilder::new();
+        let mut g = pb.function("g", 0);
+        let ge = g.entry_block();
+        g.block(ge).ret(Some(Operand::Imm(1)));
+        let gid = g.finish();
+
+        let mut f = pb.function("main", 0);
+        let b0 = f.entry_block();
+        let b1 = f.new_block();
+        let r = f.reg();
+        f.block(b0).call(gid, vec![], Some(r), b1);
+        f.block(b1).ret(None);
+        let main = f.finish();
+        let p = pb.finish(main).unwrap();
+        let bl = BallLarus::new(&p);
+        let fp = bl.func(main);
+        // Paths in main: [b0] (ends at call) and [b1] (starts after).
+        assert_eq!(fp.n_paths(), 2);
+        let a = fp.action(BlockId(0), 0);
+        assert!(matches!(a, EdgeAction::Break { .. }));
+    }
+
+    #[test]
+    fn block_granularity_fallback() {
+        let p = while_program();
+        let bl = BallLarus::with_config(
+            &p,
+            BallLarusConfig { granularity: NodeGranularity::Block, max_paths: u64::MAX },
+        );
+        let fp = bl.func(p.main());
+        assert_eq!(fp.granularity(), NodeGranularity::Block);
+        assert_eq!(fp.n_paths(), 4); // 4 blocks
+        assert_eq!(fp.decode(2), vec![BlockId(2)]);
+        assert!(matches!(fp.action(BlockId(0), 0), EdgeAction::Break { finish: 0, restart: 1 }));
+    }
+
+    #[test]
+    fn max_paths_triggers_fallback() {
+        let p = while_program();
+        let bl = BallLarus::with_config(
+            &p,
+            BallLarusConfig { granularity: NodeGranularity::BallLarusPath, max_paths: 2 },
+        );
+        assert_eq!(bl.func(p.main()).granularity(), NodeGranularity::Block);
+    }
+
+    #[test]
+    fn diamond_paths_enumerate() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let b0 = f.entry_block();
+        let (b1, b2, b3) = (f.new_block(), f.new_block(), f.new_block());
+        let c = f.reg();
+        f.block(b0).input(c);
+        f.block(b0).branch(Operand::Reg(c), b1, b2);
+        f.block(b1).jump(b3);
+        f.block(b2).jump(b3);
+        f.block(b3).ret(None);
+        let main = f.finish();
+        let p = pb.finish(main).unwrap();
+        let fp = BallLarus::new(&p);
+        let fp = fp.func(main);
+        assert_eq!(fp.n_paths(), 2);
+        let d: Vec<_> = (0..2).map(|i| fp.decode(i)).collect();
+        assert!(d.contains(&vec![b0, b1, b3]));
+        assert!(d.contains(&vec![b0, b2, b3]));
+    }
+}

@@ -1,0 +1,370 @@
+//! Fluent construction of IR programs.
+//!
+//! [`ProgramBuilder`] hands out [`FunctionBuilder`]s; each function
+//! builder hands out [`BlockCursor`]s that append statements. Statement
+//! ids are assigned globally in program order when the program is
+//! finished.
+//!
+//! Function ids are assigned up front by [`ProgramBuilder::function`],
+//! so mutually recursive functions can call each other: build the callee
+//! id first with [`ProgramBuilder::declare`], then reference it.
+//!
+//! # Example
+//!
+//! ```
+//! use wet_ir::builder::ProgramBuilder;
+//! use wet_ir::stmt::{BinOp, Operand};
+//!
+//! # fn main() -> Result<(), wet_ir::IrError> {
+//! let mut pb = ProgramBuilder::new();
+//! let mut f = pb.function("main", 0);
+//! let (entry, body, exit) = (f.entry_block(), f.new_block(), f.new_block());
+//! let i = f.reg();
+//! f.block(entry).movi(i, 0);
+//! f.block(entry).jump(body);
+//! let c = f.reg();
+//! f.block(body).bin(BinOp::Add, i, Operand::Reg(i), Operand::Imm(1));
+//! f.block(body).bin(BinOp::Lt, c, Operand::Reg(i), Operand::Imm(10));
+//! f.block(body).branch(Operand::Reg(c), body, exit);
+//! f.block(exit).ret(None);
+//! let main = f.finish();
+//! let program = pb.finish(main)?;
+//! assert_eq!(program.functions().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::ids::{BlockId, FuncId, Reg, StmtId};
+use crate::program::{BasicBlock, Function, Program};
+use crate::stmt::{BinOp, Operand, Stmt, StmtKind, TermStmt, Terminator, UnOp};
+use crate::IrError;
+
+/// Builds a [`Program`] function by function.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    built: Vec<Option<PendingFunction>>,
+    names: Vec<String>,
+}
+
+#[derive(Debug)]
+struct PendingFunction {
+    name: String,
+    n_params: u16,
+    n_regs: u16,
+    blocks: Vec<PendingBlock>,
+}
+
+#[derive(Debug, Default)]
+struct PendingBlock {
+    stmts: Vec<StmtKind>,
+    term: Option<Terminator>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves a function id without defining it yet, enabling
+    /// (mutually) recursive call graphs.
+    pub fn declare(&mut self, name: &str) -> FuncId {
+        let id = FuncId(self.built.len() as u32);
+        self.built.push(None);
+        self.names.push(name.to_owned());
+        id
+    }
+
+    /// Starts building a new function with `n_params` parameters
+    /// (received in registers `r0..`).
+    pub fn function(&mut self, name: &str, n_params: u16) -> FunctionBuilder<'_> {
+        let id = self.declare(name);
+        self.define(id, n_params)
+    }
+
+    /// Starts building a previously [`declare`](Self::declare)d function.
+    ///
+    /// # Panics
+    /// Panics if `id` was not declared or is already defined.
+    pub fn define(&mut self, id: FuncId, n_params: u16) -> FunctionBuilder<'_> {
+        assert!(self.built[id.index()].is_none(), "function {id} already defined");
+        FunctionBuilder {
+            owner: self,
+            id,
+            pending: PendingFunction {
+                name: String::new(),
+                n_params,
+                n_regs: n_params,
+                blocks: vec![PendingBlock::default()],
+            },
+        }
+    }
+
+    /// Finishes the program with `main` as the entry function, assigns
+    /// statement ids, and validates.
+    ///
+    /// # Errors
+    /// Returns [`IrError`] if any function was declared but never
+    /// defined, a block was left unterminated, or validation fails.
+    pub fn finish(self, main: FuncId) -> Result<Program, IrError> {
+        let mut funcs = Vec::with_capacity(self.built.len());
+        let mut next_stmt = 0u32;
+        for (fi, pf) in self.built.into_iter().enumerate() {
+            let id = FuncId(fi as u32);
+            let Some(pf) = pf else {
+                return Err(IrError::EmptyFunction { func: id });
+            };
+            let mut blocks = Vec::with_capacity(pf.blocks.len());
+            for (bi, pb) in pf.blocks.into_iter().enumerate() {
+                let Some(term) = pb.term else {
+                    return Err(IrError::OpenBlock { func: id, block: BlockId(bi as u32) });
+                };
+                let stmts = pb
+                    .stmts
+                    .into_iter()
+                    .map(|kind| {
+                        let s = Stmt { id: StmtId(next_stmt), kind };
+                        next_stmt += 1;
+                        s
+                    })
+                    .collect();
+                let term = TermStmt { id: StmtId(next_stmt), kind: term };
+                next_stmt += 1;
+                blocks.push(BasicBlock::new(stmts, term));
+            }
+            funcs.push(Function::new(pf.name, id, pf.n_regs, pf.n_params, blocks));
+        }
+        Program::new(funcs, main)
+    }
+}
+
+/// Builds one function.
+#[derive(Debug)]
+pub struct FunctionBuilder<'p> {
+    owner: &'p mut ProgramBuilder,
+    id: FuncId,
+    pending: PendingFunction,
+}
+
+impl FunctionBuilder<'_> {
+    /// The id of the function being built.
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// The entry block (created automatically; always block 0).
+    pub fn entry_block(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Allocates a new empty basic block and returns its id.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.pending.blocks.len() as u32);
+        self.pending.blocks.push(PendingBlock::default());
+        id
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.pending.n_regs);
+        self.pending.n_regs = self
+            .pending
+            .n_regs
+            .checked_add(1)
+            .expect("register file overflow (max 65535 registers)");
+        r
+    }
+
+    /// The `i`-th parameter register (`r{i}`).
+    ///
+    /// # Panics
+    /// Panics if `i >= n_params`.
+    pub fn param(&self, i: u16) -> Reg {
+        assert!(i < self.pending.n_params, "parameter index {i} out of range");
+        Reg(i)
+    }
+
+    /// Returns a cursor appending statements to block `b`.
+    ///
+    /// # Panics
+    /// Panics if `b` does not exist or is already terminated.
+    pub fn block(&mut self, b: BlockId) -> BlockCursor<'_> {
+        let pb = &mut self.pending.blocks[b.index()];
+        assert!(pb.term.is_none(), "block {b} is already terminated");
+        BlockCursor { block: pb }
+    }
+
+    /// Finishes the function, registering it with the program builder.
+    pub fn finish(mut self) -> FuncId {
+        self.pending.name = std::mem::take(&mut self.owner.names[self.id.index()]);
+        self.owner.built[self.id.index()] = Some(self.pending);
+        self.id
+    }
+}
+
+/// Appends statements and the terminator to one block.
+#[derive(Debug)]
+pub struct BlockCursor<'f> {
+    block: &'f mut PendingBlock,
+}
+
+impl BlockCursor<'_> {
+    /// Appends `dst = lhs <op> rhs`.
+    pub fn bin(&mut self, op: BinOp, dst: Reg, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> &mut Self {
+        self.block.stmts.push(StmtKind::Bin { op, dst, lhs: lhs.into(), rhs: rhs.into() });
+        self
+    }
+
+    /// Appends `dst = <op> src`.
+    pub fn un(&mut self, op: UnOp, dst: Reg, src: impl Into<Operand>) -> &mut Self {
+        self.block.stmts.push(StmtKind::Un { op, dst, src: src.into() });
+        self
+    }
+
+    /// Appends `dst = src`.
+    pub fn mov(&mut self, dst: Reg, src: impl Into<Operand>) -> &mut Self {
+        self.block.stmts.push(StmtKind::Mov { dst, src: src.into() });
+        self
+    }
+
+    /// Appends `dst = imm` (shorthand for an immediate move).
+    pub fn movi(&mut self, dst: Reg, imm: i64) -> &mut Self {
+        self.mov(dst, Operand::Imm(imm))
+    }
+
+    /// Appends `dst = mem[addr]`.
+    pub fn load(&mut self, dst: Reg, addr: impl Into<Operand>) -> &mut Self {
+        self.block.stmts.push(StmtKind::Load { dst, addr: addr.into() });
+        self
+    }
+
+    /// Appends `mem[addr] = value`.
+    pub fn store(&mut self, addr: impl Into<Operand>, value: impl Into<Operand>) -> &mut Self {
+        self.block.stmts.push(StmtKind::Store { addr: addr.into(), value: value.into() });
+        self
+    }
+
+    /// Appends `dst = <next input>`.
+    pub fn input(&mut self, dst: Reg) -> &mut Self {
+        self.block.stmts.push(StmtKind::In { dst });
+        self
+    }
+
+    /// Appends an output statement.
+    pub fn out(&mut self, value: impl Into<Operand>) -> &mut Self {
+        self.block.stmts.push(StmtKind::Out { value: value.into() });
+        self
+    }
+
+    /// Terminates the block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.block.term = Some(Terminator::Jump { target });
+    }
+
+    /// Terminates the block with a two-way branch on `cond != 0`.
+    pub fn branch(&mut self, cond: impl Into<Operand>, if_true: BlockId, if_false: BlockId) {
+        self.block.term = Some(Terminator::Branch { cond: cond.into(), if_true, if_false });
+    }
+
+    /// Terminates the block with a call; execution resumes at `ret_to`.
+    pub fn call(&mut self, callee: FuncId, args: Vec<Operand>, dst: Option<Reg>, ret_to: BlockId) {
+        self.block.term = Some(Terminator::Call { callee, args, dst, ret_to });
+    }
+
+    /// Terminates the block with a return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.block.term = Some(Terminator::Ret { value });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_two_function_program() {
+        let mut pb = ProgramBuilder::new();
+
+        let mut add1 = pb.function("add1", 1);
+        let e = add1.entry_block();
+        let r = add1.reg();
+        let p0 = add1.param(0);
+        add1.block(e).bin(BinOp::Add, r, p0, 1i64);
+        add1.block(e).ret(Some(Operand::Reg(r)));
+        let add1 = add1.finish();
+
+        let mut main = pb.function("main", 0);
+        let e = main.entry_block();
+        let cont = main.new_block();
+        let r = main.reg();
+        main.block(e).call(add1, vec![Operand::Imm(41)], Some(r), cont);
+        main.block(cont).out(r);
+        main.block(cont).ret(None);
+        let main = main.finish();
+
+        let p = pb.finish(main).unwrap();
+        assert_eq!(p.functions().len(), 2);
+        assert_eq!(p.main(), main);
+        assert_eq!(p.function(add1).n_params(), 1);
+        // stmts: add,ret | call,out,ret  => 5 ids
+        assert_eq!(p.stmt_count(), 5);
+    }
+
+    #[test]
+    fn declare_then_define_supports_recursion() {
+        let mut pb = ProgramBuilder::new();
+        let fid = pb.declare("fib");
+        let mut f = pb.define(fid, 1);
+        let e = f.entry_block();
+        let (base, rec, done) = (f.new_block(), f.new_block(), f.new_block());
+        let n = f.param(0);
+        let c = f.reg();
+        let acc = f.reg();
+        let t = f.reg();
+        f.block(e).bin(BinOp::Le, c, n, 1i64);
+        f.block(e).branch(c, base, rec);
+        f.block(base).ret(Some(Operand::Reg(n)));
+        let rec2 = f.new_block();
+        f.block(rec).bin(BinOp::Sub, t, n, 1i64);
+        f.block(rec).call(fid, vec![Operand::Reg(t)], Some(acc), rec2);
+        f.block(rec2).bin(BinOp::Sub, t, n, 2i64);
+        f.block(rec2).call(fid, vec![Operand::Reg(t)], Some(t), done);
+        f.block(done).bin(BinOp::Add, acc, acc, t);
+        f.block(done).ret(Some(Operand::Reg(acc)));
+        let fid2 = f.finish();
+        assert_eq!(fid, fid2);
+
+        let mut m = pb.function("main", 0);
+        let e = m.entry_block();
+        let cont = m.new_block();
+        let r = m.reg();
+        m.block(e).call(fid, vec![Operand::Imm(10)], Some(r), cont);
+        m.block(cont).out(r);
+        m.block(cont).ret(None);
+        let main = m.finish();
+
+        let p = pb.finish(main).unwrap();
+        assert_eq!(p.functions().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn cannot_append_after_terminator() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let e = f.entry_block();
+        f.block(e).ret(None);
+        f.block(e); // panics
+    }
+
+    #[test]
+    fn open_block_is_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let _dangling = f.new_block();
+        let e = f.entry_block();
+        f.block(e).ret(None);
+        let main = f.finish();
+        assert!(matches!(pb.finish(main), Err(IrError::OpenBlock { .. })));
+    }
+}

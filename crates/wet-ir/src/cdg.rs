@@ -1,0 +1,194 @@
+//! Control dependence graph (CDG).
+//!
+//! A block `B` is control dependent on block `A` if `A` has an outgoing
+//! edge `A -> S` such that `B` postdominates `S` but `B` does not
+//! strictly postdominate `A` (Ferrante, Ottenstein, Warren 1987). With
+//! our terminators, only `Branch` blocks can be CD sources (single-
+//! successor terminators are always postdominated by their successor).
+//!
+//! The WET uses the CDG statically (the `CD` edge set of the labeled
+//! graph) and dynamically: when a block executes, its dynamic control
+//! dependence is the most recent execution of one of its static CD
+//! parents in the same frame, or the calling `Call` terminator when it
+//! has no intraprocedural parent.
+
+use crate::cfg::Cfg;
+use crate::dom::postdominators;
+use crate::ids::{BlockId, StmtId};
+use crate::program::Function;
+use crate::stmt::Terminator;
+
+/// The control dependence graph of one function.
+#[derive(Debug, Clone)]
+pub struct Cdg {
+    /// Per block: the blocks it is control dependent on (deduplicated,
+    /// sorted).
+    parents: Vec<Vec<BlockId>>,
+    /// Per block: the terminator statement ids of its CD parents,
+    /// parallel to `parents`.
+    parent_stmts: Vec<Vec<StmtId>>,
+}
+
+impl Cdg {
+    /// Computes the CDG of a function.
+    pub fn new(f: &Function) -> Self {
+        let cfg = Cfg::new(f);
+        let pdom = postdominators(f);
+        let n = cfg.len();
+        let mut parents: Vec<std::collections::BTreeSet<BlockId>> = vec![Default::default(); n];
+        for a in 0..n {
+            let a_id = BlockId(a as u32);
+            let succs = cfg.succs(a_id);
+            if succs.len() < 2 {
+                continue;
+            }
+            let stop = pdom.ipdom(a_id);
+            for &s in succs {
+                // Walk the postdominator tree from S up to (exclusive)
+                // ipdom(A); every visited block is control dependent on A.
+                let mut cur = Some(s);
+                while let Some(b) = cur {
+                    if Some(b) == stop {
+                        break;
+                    }
+                    if b != a_id {
+                        parents[b.index()].insert(a_id);
+                    } else {
+                        // A loop header can be control dependent on itself;
+                        // record it (classic FOW result for self-loops).
+                        parents[b.index()].insert(a_id);
+                    }
+                    cur = pdom.ipdom(b);
+                }
+            }
+        }
+        let parents: Vec<Vec<BlockId>> = parents.into_iter().map(|s| s.into_iter().collect()).collect();
+        let parent_stmts = parents
+            .iter()
+            .map(|ps| ps.iter().map(|&p| f.block(p).term().id).collect())
+            .collect();
+        Cdg { parents, parent_stmts }
+    }
+
+    /// The static CD parent blocks of `b`.
+    #[inline]
+    pub fn parents(&self, b: BlockId) -> &[BlockId] {
+        &self.parents[b.index()]
+    }
+
+    /// The terminator statement ids of the CD parents of `b`, parallel
+    /// to [`parents`](Self::parents).
+    #[inline]
+    pub fn parent_stmts(&self, b: BlockId) -> &[StmtId] {
+        &self.parent_stmts[b.index()]
+    }
+
+    /// True when `b` has no intraprocedural CD parent (its execution is
+    /// implied by function entry); such blocks are dynamically control
+    /// dependent on the calling `Call` statement.
+    #[inline]
+    pub fn depends_on_entry(&self, b: BlockId) -> bool {
+        self.parents[b.index()].is_empty()
+    }
+}
+
+/// Returns the statement ids of all `Branch` terminators of a function —
+/// the possible intraprocedural CD sources.
+pub fn branch_stmts(f: &Function) -> Vec<StmtId> {
+    f.blocks()
+        .iter()
+        .filter(|b| matches!(b.term().kind, Terminator::Branch { .. }))
+        .map(|b| b.term().id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::stmt::{BinOp, Operand};
+    use crate::Program;
+
+    fn if_then_else() -> Program {
+        // 0: branch -> {1,2}; 1 -> 3; 2 -> 3; 3 ret
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let b0 = f.entry_block();
+        let (b1, b2, b3) = (f.new_block(), f.new_block(), f.new_block());
+        let c = f.reg();
+        f.block(b0).input(c);
+        f.block(b0).branch(Operand::Reg(c), b1, b2);
+        f.block(b1).jump(b3);
+        f.block(b2).jump(b3);
+        f.block(b3).ret(None);
+        let main = f.finish();
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn if_then_else_cdg() {
+        let p = if_then_else();
+        let f = p.function(p.main());
+        let cdg = Cdg::new(f);
+        assert!(cdg.depends_on_entry(BlockId(0)));
+        assert_eq!(cdg.parents(BlockId(1)), &[BlockId(0)]);
+        assert_eq!(cdg.parents(BlockId(2)), &[BlockId(0)]);
+        assert!(cdg.depends_on_entry(BlockId(3)), "join point is not control dependent on the branch");
+        assert_eq!(cdg.parent_stmts(BlockId(1)), &[f.block(BlockId(0)).term().id]);
+    }
+
+    #[test]
+    fn loop_header_self_dependence() {
+        // 0 -> 1; 1: branch {2, 3}; 2 -> 1; 3 ret
+        // The loop body (2) and the header (1) are control dependent on 1.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let b0 = f.entry_block();
+        let (b1, b2, b3) = (f.new_block(), f.new_block(), f.new_block());
+        let (i, c) = (f.reg(), f.reg());
+        f.block(b0).movi(i, 0);
+        f.block(b0).jump(b1);
+        f.block(b1).bin(BinOp::Lt, c, i, 5i64);
+        f.block(b1).branch(Operand::Reg(c), b2, b3);
+        f.block(b2).bin(BinOp::Add, i, i, 1i64);
+        f.block(b2).jump(b1);
+        f.block(b3).ret(None);
+        let main = f.finish();
+        let p = pb.finish(main).unwrap();
+        let cdg = Cdg::new(p.function(p.main()));
+        assert_eq!(cdg.parents(BlockId(2)), &[BlockId(1)]);
+        assert_eq!(cdg.parents(BlockId(1)), &[BlockId(1)], "loop header depends on itself");
+        assert!(cdg.depends_on_entry(BlockId(3)));
+    }
+
+    #[test]
+    fn nested_if_chains() {
+        // 0: branch {1, 4}; 1: branch {2, 3}; 2 -> 3; 3 -> 4; 4 ret
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let b0 = f.entry_block();
+        let (b1, b2, b3, b4) = (f.new_block(), f.new_block(), f.new_block(), f.new_block());
+        let c = f.reg();
+        f.block(b0).input(c);
+        f.block(b0).branch(Operand::Reg(c), b1, b4);
+        f.block(b1).input(c);
+        f.block(b1).branch(Operand::Reg(c), b2, b3);
+        f.block(b2).jump(b3);
+        f.block(b3).jump(b4);
+        f.block(b4).ret(None);
+        let main = f.finish();
+        let p = pb.finish(main).unwrap();
+        let cdg = Cdg::new(p.function(p.main()));
+        assert_eq!(cdg.parents(BlockId(1)), &[BlockId(0)]);
+        assert_eq!(cdg.parents(BlockId(2)), &[BlockId(1)]);
+        assert_eq!(cdg.parents(BlockId(3)), &[BlockId(0)], "3 postdominates 1 so depends on 0 only");
+        assert!(cdg.depends_on_entry(BlockId(4)));
+    }
+
+    #[test]
+    fn branch_stmts_lists_branches() {
+        let p = if_then_else();
+        let f = p.function(p.main());
+        assert_eq!(branch_stmts(f), vec![f.block(BlockId(0)).term().id]);
+    }
+}

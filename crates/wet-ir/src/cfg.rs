@@ -1,0 +1,177 @@
+//! Control-flow graph views over a [`Function`].
+
+use crate::ids::BlockId;
+use crate::program::Function;
+
+/// A materialized CFG: successor and predecessor lists per block.
+///
+/// Successor order matches [`crate::stmt::Terminator::successors`], which
+/// is the order the Ball–Larus edge actions are keyed by.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a function.
+    pub fn new(f: &Function) -> Self {
+        let n = f.blocks().len();
+        let mut succs = Vec::with_capacity(n);
+        let mut preds = vec![Vec::new(); n];
+        for (bi, b) in f.blocks().iter().enumerate() {
+            let ss = b.term().kind.successors();
+            for &s in &ss {
+                preds[s.index()].push(BlockId(bi as u32));
+            }
+            succs.push(ss);
+        }
+        Cfg { succs, preds }
+    }
+
+    /// Number of blocks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True if the function has no blocks (never true for valid IR).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Successors of `b` in terminator order (may contain duplicates if
+    /// a branch has identical targets).
+    #[inline]
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of `b` (one entry per incoming edge).
+    #[inline]
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Blocks in reverse postorder from the entry block.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut order = self.postorder();
+        order.reverse();
+        order
+    }
+
+    /// Blocks in postorder from the entry block (unreachable blocks are
+    /// omitted).
+    pub fn postorder(&self) -> Vec<BlockId> {
+        let n = self.len();
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut order = Vec::with_capacity(n);
+        // Iterative DFS storing (block, next-successor-index).
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        state[0] = 1;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if let Some(&s) = self.succs(b).get(*i) {
+                *i += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                order.push(b);
+                stack.pop();
+            }
+        }
+        order
+    }
+}
+
+/// Blocks reachable from the entry block.
+pub fn reachable(f: &Function) -> Vec<bool> {
+    let cfg = Cfg::new(f);
+    let mut seen = vec![false; cfg.len()];
+    let mut stack = vec![BlockId(0)];
+    seen[0] = true;
+    while let Some(b) = stack.pop() {
+        for &s in cfg.succs(b) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Blocks from which some `Ret` block is reachable.
+pub fn reaches_exit(f: &Function) -> Vec<bool> {
+    let cfg = Cfg::new(f);
+    let mut out = vec![false; cfg.len()];
+    let mut stack: Vec<BlockId> = Vec::new();
+    for (bi, b) in f.blocks().iter().enumerate() {
+        if b.term().kind.successors().is_empty() {
+            out[bi] = true;
+            stack.push(BlockId(bi as u32));
+        }
+    }
+    while let Some(b) = stack.pop() {
+        for &p in cfg.preds(b) {
+            if !out[p.index()] {
+                out[p.index()] = true;
+                stack.push(p);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::stmt::Operand;
+
+    fn diamond() -> crate::Program {
+        // 0 -> 1, 2 ; 1 -> 3 ; 2 -> 3 ; 3 ret
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let e = f.entry_block();
+        let (b1, b2, b3) = (f.new_block(), f.new_block(), f.new_block());
+        let c = f.reg();
+        f.block(e).input(c);
+        f.block(e).branch(Operand::Reg(c), b1, b2);
+        f.block(b1).jump(b3);
+        f.block(b2).jump(b3);
+        f.block(b3).ret(None);
+        let main = f.finish();
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn diamond_succs_preds() {
+        let p = diamond();
+        let cfg = Cfg::new(p.function(p.main()));
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert!(cfg.preds(BlockId(0)).is_empty());
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry() {
+        let p = diamond();
+        let cfg = Cfg::new(p.function(p.main()));
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(*rpo.last().unwrap(), BlockId(3));
+    }
+
+    #[test]
+    fn reachability() {
+        let p = diamond();
+        let f = p.function(p.main());
+        assert_eq!(reachable(f), vec![true; 4]);
+        assert_eq!(reaches_exit(f), vec![true; 4]);
+    }
+}

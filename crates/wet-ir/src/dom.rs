@@ -1,0 +1,296 @@
+//! Dominator and postdominator trees.
+//!
+//! Implements Cooper–Harvey–Kennedy's "A Simple, Fast Dominance
+//! Algorithm" over an abstract directed graph so the same code computes
+//! dominators (over the CFG from the entry) and postdominators (over the
+//! reversed CFG from a virtual exit that all `Ret` blocks feed).
+
+use crate::cfg::Cfg;
+use crate::ids::BlockId;
+use crate::program::Function;
+
+/// A dominator (or postdominator) tree over the blocks of one function.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator per node index; `idom[root] == root`;
+    /// `None` for nodes unreachable from the root.
+    idom: Vec<Option<u32>>,
+}
+
+impl DomTree {
+    /// The immediate dominator of `b`, or `None` if `b` is the root or
+    /// unreachable.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        match self.idom[b.index()] {
+            Some(d) if d as usize != b.index() => Some(BlockId(d)),
+            _ => None,
+        }
+    }
+
+    /// True if `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// Whether `b` is reachable from the root of this tree.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.idom[b.index()].is_some()
+    }
+}
+
+/// Generic graph input for the dominance algorithm: nodes `0..n`, a
+/// root, and predecessor lists.
+fn dominators_generic(n: usize, root: usize, preds: &[Vec<usize>], rpo: &[usize]) -> Vec<Option<u32>> {
+    // rpo must start with root and contain each reachable node once.
+    let mut rpo_num = vec![usize::MAX; n];
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_num[b] = i;
+    }
+    let mut idom: Vec<Option<u32>> = vec![None; n];
+    idom[root] = Some(root as u32);
+    let intersect = |idom: &[Option<u32>], mut a: usize, mut b: usize| -> usize {
+        while a != b {
+            while rpo_num[a] > rpo_num[b] {
+                a = idom[a].expect("processed node has idom") as usize;
+            }
+            while rpo_num[b] > rpo_num[a] {
+                b = idom[b].expect("processed node has idom") as usize;
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<usize> = None;
+            for &p in &preds[b] {
+                if idom[p].is_some() {
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, p, cur),
+                    });
+                }
+            }
+            if let Some(ni) = new_idom {
+                if idom[b] != Some(ni as u32) {
+                    idom[b] = Some(ni as u32);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+/// Computes the dominator tree of a function's CFG.
+pub fn dominators(f: &Function) -> DomTree {
+    let cfg = Cfg::new(f);
+    let n = cfg.len();
+    let preds: Vec<Vec<usize>> = (0..n)
+        .map(|b| cfg.preds(BlockId(b as u32)).iter().map(|p| p.index()).collect())
+        .collect();
+    let rpo: Vec<usize> = cfg.reverse_postorder().iter().map(|b| b.index()).collect();
+    DomTree { idom: dominators_generic(n, 0, &preds, &rpo) }
+}
+
+/// A postdominator tree with a virtual exit node.
+///
+/// Node indices `0..n` are the function's blocks; the virtual exit is
+/// index `n`. Every `Ret` block has an edge to the virtual exit.
+#[derive(Debug, Clone)]
+pub struct PostDomTree {
+    idom: Vec<Option<u32>>,
+    n_blocks: usize,
+}
+
+impl PostDomTree {
+    /// The virtual-exit pseudo block id (index == block count).
+    pub fn virtual_exit(&self) -> BlockId {
+        BlockId(self.n_blocks as u32)
+    }
+
+    /// Immediate postdominator of `b`; the virtual exit id for blocks
+    /// whose only postdominator is the exit; `None` if `b` is the
+    /// virtual exit itself or cannot reach an exit.
+    pub fn ipdom(&self, b: BlockId) -> Option<BlockId> {
+        if b.index() == self.n_blocks {
+            return None;
+        }
+        match self.idom[b.index()] {
+            Some(d) if d as usize != b.index() => Some(BlockId(d)),
+            _ => None,
+        }
+    }
+
+    /// True if `a` postdominates `b` (reflexively). The virtual exit
+    /// postdominates everything that reaches an exit.
+    pub fn postdominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur.index() == self.n_blocks {
+                return false;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d as usize != cur.index() => cur = BlockId(d),
+                _ => return false,
+            }
+        }
+    }
+}
+
+/// Computes the postdominator tree of a function's CFG.
+///
+/// Requires every reachable block to reach a `Ret` (enforced by
+/// [`crate::Program::validate`]).
+pub fn postdominators(f: &Function) -> PostDomTree {
+    let cfg = Cfg::new(f);
+    let n = cfg.len();
+    let exit = n; // virtual exit index
+    // Reversed graph: preds in the reversed graph are succs in the CFG,
+    // plus virtual-exit wiring.
+    let mut rpreds: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    #[allow(clippy::needless_range_loop)] // b doubles as the block id
+    for b in 0..n {
+        for &s in cfg.succs(BlockId(b as u32)) {
+            // CFG edge b->s becomes reversed edge s->b.
+            rpreds[b].push(s.index());
+        }
+        if cfg.succs(BlockId(b as u32)).is_empty() {
+            // Ret block: CFG edge b->exit, reversed exit->b.
+            rpreds[b].push(exit);
+        }
+    }
+    // Reverse postorder of the reversed graph starting at exit: DFS over
+    // reversed successors (= CFG preds, plus exit->ret-blocks).
+    let mut rsuccs: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    for (b, ps) in rpreds.iter().enumerate() {
+        for &p in ps {
+            rsuccs[p].push(b);
+        }
+    }
+    let mut state = vec![0u8; n + 1];
+    let mut post = Vec::with_capacity(n + 1);
+    let mut stack: Vec<(usize, usize)> = vec![(exit, 0)];
+    state[exit] = 1;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        if let Some(&s) = rsuccs[b].get(*i) {
+            *i += 1;
+            if state[s] == 0 {
+                state[s] = 1;
+                stack.push((s, 0));
+            }
+        } else {
+            state[b] = 2;
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    let idom = dominators_generic(n + 1, exit, &rpreds, &post);
+    PostDomTree { idom, n_blocks: n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::stmt::Operand;
+    use crate::Program;
+
+    /// Builds a CFG from an adjacency list using dummy branches; the
+    /// last block (no successors listed) returns.
+    fn cfg_program(adj: &[&[u32]]) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let blocks: Vec<_> = (0..adj.len())
+            .map(|i| if i == 0 { f.entry_block() } else { f.new_block() })
+            .collect();
+        let c = f.reg();
+        for (i, succs) in adj.iter().enumerate() {
+            match succs.len() {
+                0 => f.block(blocks[i]).ret(None),
+                1 => f.block(blocks[i]).jump(blocks[succs[0] as usize]),
+                2 => {
+                    f.block(blocks[i]).input(c);
+                    f.block(blocks[i]).branch(Operand::Reg(c), blocks[succs[0] as usize], blocks[succs[1] as usize]);
+                }
+                _ => panic!("at most 2 successors"),
+            }
+        }
+        let main = f.finish();
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        // 0 -> {1,2} -> 3
+        let p = cfg_program(&[&[1, 2], &[3], &[3], &[]]);
+        let f = p.function(p.main());
+        let dom = dominators(f);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let p = cfg_program(&[&[1, 2], &[3], &[3], &[]]);
+        let f = p.function(p.main());
+        let pdom = postdominators(f);
+        assert_eq!(pdom.ipdom(BlockId(0)), Some(BlockId(3)));
+        assert_eq!(pdom.ipdom(BlockId(1)), Some(BlockId(3)));
+        assert_eq!(pdom.ipdom(BlockId(3)), Some(pdom.virtual_exit()));
+        assert!(pdom.postdominates(BlockId(3), BlockId(0)));
+        assert!(!pdom.postdominates(BlockId(1), BlockId(0)));
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // 0 -> 1; 1 -> {2,3}; 2 -> 1; 3 ret   (while loop)
+        let p = cfg_program(&[&[1], &[2, 3], &[1], &[]]);
+        let f = p.function(p.main());
+        let dom = dominators(f);
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(1)));
+        let pdom = postdominators(f);
+        assert_eq!(pdom.ipdom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(pdom.ipdom(BlockId(0)), Some(BlockId(1)));
+        assert_eq!(pdom.ipdom(BlockId(1)), Some(BlockId(3)));
+    }
+
+    #[test]
+    fn cooper_paper_example() {
+        // The example graph from the Cooper–Harvey–Kennedy paper
+        // (nodes renumbered 0..4): 0->{1,2}; 1->3; 2->4; 3->4; 4->3.
+        // The original has no exit, so node 4 gets an extra exit edge to
+        // a fresh node 5; dominator facts for 0..4 are unaffected.
+        let p = cfg_program(&[&[1, 2], &[3], &[4], &[4], &[3, 5], &[]]);
+        let f = p.function(p.main());
+        let dom = dominators(f);
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(4)), Some(BlockId(0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn unterminating_graph_rejected_by_validation() {
+        // 3 <-> 4 infinite cycle with no exit path: validation fails, the
+        // helper unwraps, so we get a panic.
+        cfg_program(&[&[1, 2], &[3], &[4], &[4], &[3]]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Newtype identifiers for IR entities.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident($inner:ty), $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the identifier as a `usize` index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A virtual register, local to one function frame.
+    Reg(u16),
+    "r"
+);
+id_type!(
+    /// A basic block identifier, local to one function.
+    BlockId(u32),
+    "b"
+);
+id_type!(
+    /// A function identifier, global to a program.
+    FuncId(u32),
+    "f"
+);
+id_type!(
+    /// A statement identifier, global to a program.
+    ///
+    /// Every statement *and terminator* in a program gets a distinct,
+    /// dense `StmtId`; WET node/edge labels are keyed by these.
+    StmtId(u32),
+    "s"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(Reg(3).to_string(), "r3");
+        assert_eq!(BlockId(0).to_string(), "b0");
+        assert_eq!(FuncId(7).to_string(), "f7");
+        assert_eq!(StmtId(42).to_string(), "s42");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(StmtId(9).index(), 9);
+        assert_eq!(BlockId::from(4u32), BlockId(4));
+    }
+}

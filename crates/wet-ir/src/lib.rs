@@ -1,0 +1,114 @@
+//! # wet-ir — intermediate representation for whole execution traces
+//!
+//! This crate provides the *static program substrate* that the Whole
+//! Execution Trace (WET) representation of Zhang & Gupta (MICRO 2004) is
+//! built over. The paper used the Trimaran compiler infrastructure; this
+//! crate plays the same role with a compact three-address intermediate
+//! language plus the static analyses the WET construction needs:
+//!
+//! * a register-based, three-address [`Program`] model with functions,
+//!   basic blocks, and explicit terminators ([`stmt`], [`program`]);
+//! * a fluent [`builder`] for constructing programs in Rust;
+//! * control-flow graph views (the `cfg` module);
+//! * dominator and postdominator trees ([`dom`], Cooper–Harvey–Kennedy);
+//! * the control dependence graph ([`cdg`], Ferrante–Ottenstein–Warren);
+//! * loop/back-edge discovery ([`loops`]);
+//! * a text format: disassembler ([`pretty`]) and assembler ([`parse`])
+//!   that round-trip;
+//! * Ball–Larus path numbering and runtime edge actions ([`ballarus`]),
+//!   which the paper's §3.1 uses to make WET nodes span multiple basic
+//!   blocks so that one timestamp covers a whole acyclic path.
+//!
+//! # Example
+//!
+//! ```
+//! use wet_ir::builder::ProgramBuilder;
+//! use wet_ir::stmt::{BinOp, Operand};
+//!
+//! # fn main() -> Result<(), wet_ir::IrError> {
+//! let mut pb = ProgramBuilder::new();
+//! let mut f = pb.function("main", 0);
+//! let entry = f.entry_block();
+//! let r0 = f.reg();
+//! f.block(entry).bin(BinOp::Add, r0, Operand::Imm(1), Operand::Imm(2));
+//! f.block(entry).out(Operand::Reg(r0));
+//! f.block(entry).ret(None);
+//! let main = f.finish();
+//! let program = pb.finish(main)?;
+//! assert_eq!(program.function(main).blocks().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ballarus;
+pub mod builder;
+pub mod cdg;
+pub mod cfg;
+pub mod dom;
+pub mod loops;
+pub mod parse;
+pub mod pretty;
+pub mod program;
+pub mod stmt;
+
+mod ids;
+
+pub use ids::{BlockId, FuncId, Reg, StmtId};
+pub use program::{BasicBlock, Function, Program, StmtLoc, StmtPos};
+
+use std::fmt;
+
+/// Errors produced while constructing or validating IR programs.
+///
+/// Returned by [`builder::ProgramBuilder::finish`] and
+/// [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A terminator names a block that does not exist in its function.
+    BadBlockTarget { func: FuncId, block: BlockId, target: BlockId },
+    /// A statement uses a register outside the function's register count.
+    BadRegister { func: FuncId, block: BlockId, reg: Reg },
+    /// A call passes the wrong number of arguments.
+    BadArity { func: FuncId, block: BlockId, callee: FuncId, expected: usize, got: usize },
+    /// A call names a function that does not exist.
+    BadCallee { func: FuncId, block: BlockId, callee: FuncId },
+    /// A function has no blocks.
+    EmptyFunction { func: FuncId },
+    /// A block has no terminator (builder left it open).
+    OpenBlock { func: FuncId, block: BlockId },
+    /// The designated main function does not exist.
+    NoMain { main: FuncId },
+    /// A block is reachable but cannot reach any `Ret`; postdominance
+    /// (and hence control dependence) would be undefined for it.
+    NoExitPath { func: FuncId, block: BlockId },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            IrError::BadBlockTarget { func, block, target } => {
+                write!(f, "function f{} block b{}: terminator targets missing block b{}", func.0, block.0, target.0)
+            }
+            IrError::BadRegister { func, block, reg } => {
+                write!(f, "function f{} block b{}: register r{} out of range", func.0, block.0, reg.0)
+            }
+            IrError::BadArity { func, block, callee, expected, got } => {
+                write!(f, "function f{} block b{}: call to f{} expects {} args, got {}", func.0, block.0, callee.0, expected, got)
+            }
+            IrError::BadCallee { func, block, callee } => {
+                write!(f, "function f{} block b{}: call to missing function f{}", func.0, block.0, callee.0)
+            }
+            IrError::EmptyFunction { func } => write!(f, "function f{} has no blocks", func.0),
+            IrError::OpenBlock { func, block } => {
+                write!(f, "function f{} block b{} was never terminated", func.0, block.0)
+            }
+            IrError::NoMain { main } => write!(f, "main function f{} does not exist", main.0),
+            IrError::NoExitPath { func, block } => {
+                write!(f, "function f{} block b{} is reachable but cannot reach a ret", func.0, block.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}

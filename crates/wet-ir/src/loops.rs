@@ -1,0 +1,197 @@
+//! Back-edge and natural-loop discovery.
+//!
+//! Back edges are found with a DFS from the entry: an edge `u -> v` is a
+//! back edge when `v` is on the DFS stack when the edge is traversed.
+//! For reducible CFGs this coincides with "`v` dominates `u`"; the
+//! [`LoopInfo::is_reducible`] flag reports whether that stronger
+//! property holds for every back edge.
+
+use crate::cfg::Cfg;
+use crate::dom::dominators;
+use crate::ids::BlockId;
+use crate::program::Function;
+
+/// A natural loop: its header and member blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (target of at least one back edge).
+    pub header: BlockId,
+    /// All blocks in the loop body, including the header.
+    pub blocks: Vec<BlockId>,
+}
+
+/// Loop structure of one function.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// DFS back edges as `(source, successor_index, target)` triples.
+    pub back_edges: Vec<(BlockId, usize, BlockId)>,
+    /// Natural loops, one per distinct header (bodies of back edges
+    /// sharing a header are merged). Only computed for reducible back
+    /// edges.
+    pub loops: Vec<NaturalLoop>,
+    /// True when every back-edge target dominates its source.
+    pub is_reducible: bool,
+}
+
+impl LoopInfo {
+    /// Computes loop info for a function.
+    pub fn new(f: &Function) -> Self {
+        let cfg = Cfg::new(f);
+        let n = cfg.len();
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut back_edges = Vec::new();
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        state[0] = 1;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let succs = cfg.succs(b);
+            if let Some(&s) = succs.get(*i) {
+                let edge_idx = *i;
+                *i += 1;
+                match state[s.index()] {
+                    0 => {
+                        state[s.index()] = 1;
+                        stack.push((s, 0));
+                    }
+                    1 => back_edges.push((b, edge_idx, s)),
+                    _ => {}
+                }
+            } else {
+                state[b.index()] = 2;
+                stack.pop();
+            }
+        }
+
+        let dom = dominators(f);
+        let is_reducible = back_edges.iter().all(|&(u, _, v)| dom.dominates(v, u));
+
+        // Natural loop bodies: reverse-flood from back-edge sources,
+        // stopping at the header.
+        let mut by_header: std::collections::BTreeMap<BlockId, Vec<bool>> = std::collections::BTreeMap::new();
+        if is_reducible {
+            for &(u, _, h) in &back_edges {
+                let body = by_header.entry(h).or_insert_with(|| {
+                    let mut v = vec![false; n];
+                    v[h.index()] = true;
+                    v
+                });
+                let mut work = vec![u];
+                while let Some(b) = work.pop() {
+                    if body[b.index()] {
+                        continue;
+                    }
+                    body[b.index()] = true;
+                    for &p in cfg.preds(b) {
+                        work.push(p);
+                    }
+                }
+            }
+        }
+        let loops = by_header
+            .into_iter()
+            .map(|(header, body)| NaturalLoop {
+                header,
+                blocks: body
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &m)| m.then_some(BlockId(i as u32)))
+                    .collect(),
+            })
+            .collect();
+
+        LoopInfo { back_edges, loops, is_reducible }
+    }
+
+    /// True if edge `(source, successor_index)` is a back edge.
+    pub fn is_back_edge(&self, source: BlockId, succ_idx: usize) -> bool {
+        self.back_edges.iter().any(|&(u, i, _)| u == source && i == succ_idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::stmt::{BinOp, Operand};
+    use crate::Program;
+
+    fn while_loop() -> Program {
+        // 0 -> 1; 1 -> {2,3}; 2 -> 1 (back); 3 ret
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let e = f.entry_block();
+        let (h, body, exit) = (f.new_block(), f.new_block(), f.new_block());
+        let (i, c) = (f.reg(), f.reg());
+        f.block(e).movi(i, 0);
+        f.block(e).jump(h);
+        f.block(h).bin(BinOp::Lt, c, i, 10i64);
+        f.block(h).branch(Operand::Reg(c), body, exit);
+        f.block(body).bin(BinOp::Add, i, i, 1i64);
+        f.block(body).jump(h);
+        f.block(exit).ret(None);
+        let main = f.finish();
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn finds_while_loop() {
+        let p = while_loop();
+        let li = LoopInfo::new(p.function(p.main()));
+        assert!(li.is_reducible);
+        assert_eq!(li.back_edges, vec![(BlockId(2), 0, BlockId(1))]);
+        assert_eq!(li.loops.len(), 1);
+        let l = &li.loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.blocks, vec![BlockId(1), BlockId(2)]);
+        assert!(li.is_back_edge(BlockId(2), 0));
+        assert!(!li.is_back_edge(BlockId(1), 0));
+    }
+
+    #[test]
+    fn nested_loops_share_structure() {
+        // 0->1; 1->{2,5}; 2->3; 3->{2,4} back to 2; 4->1 back to 1; 5 ret
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let b0 = f.entry_block();
+        let (b1, b2, b3, b4, b5) = (f.new_block(), f.new_block(), f.new_block(), f.new_block(), f.new_block());
+        let c = f.reg();
+        f.block(b0).jump(b1);
+        f.block(b1).input(c);
+        f.block(b1).branch(Operand::Reg(c), b2, b5);
+        f.block(b2).jump(b3);
+        f.block(b3).input(c);
+        f.block(b3).branch(Operand::Reg(c), b2, b4);
+        f.block(b4).jump(b1);
+        f.block(b5).ret(None);
+        let main = f.finish();
+        let p = pb.finish(main).unwrap();
+        let li = LoopInfo::new(p.function(p.main()));
+        assert!(li.is_reducible);
+        assert_eq!(li.loops.len(), 2);
+        let inner = li.loops.iter().find(|l| l.header == b2).unwrap();
+        assert_eq!(inner.blocks, vec![b2, b3]);
+        let outer = li.loops.iter().find(|l| l.header == b1).unwrap();
+        assert_eq!(outer.blocks, vec![b1, b2, b3, b4]);
+    }
+
+    #[test]
+    fn irreducible_graph_detected() {
+        // 0 -> {1,2}; 1 -> 2; 2 -> {1,3}; 3 ret — the 1<->2 cycle has two
+        // entries, so one of the DFS back edges fails dominance.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let b0 = f.entry_block();
+        let (b1, b2, b3) = (f.new_block(), f.new_block(), f.new_block());
+        let c = f.reg();
+        f.block(b0).input(c);
+        f.block(b0).branch(Operand::Reg(c), b1, b2);
+        f.block(b1).jump(b2);
+        f.block(b2).input(c);
+        f.block(b2).branch(Operand::Reg(c), b1, b3);
+        f.block(b3).ret(None);
+        let main = f.finish();
+        let p = pb.finish(main).unwrap();
+        let li = LoopInfo::new(p.function(p.main()));
+        assert!(!li.is_reducible);
+        assert_eq!(li.back_edges.len(), 1);
+    }
+}

@@ -1,0 +1,495 @@
+//! Text-format parser (assembler) for IR programs.
+//!
+//! Accepts the syntax [`crate::pretty`] emits, so disassembly and
+//! assembly round-trip. The grammar, line oriented:
+//!
+//! ```text
+//! func f0 main(params: 0, regs: 4) {
+//!   b0:
+//!     s0: r2 = add r0, #1       ; the `sN:` prefix is optional
+//!     r3 = load [r2]
+//!     store [r2] = #5
+//!     r3 = in
+//!     out r3
+//!     branch r3 ? b1 : b2       ; terminators end a block
+//!   b1:
+//!     r1 = call f1(r2, #3) -> b2
+//!   b2:
+//!     ret r1
+//! }
+//! ```
+//!
+//! `;` and `#!`-free `//` comments run to end of line. The designated
+//! main is the function named `main`, or `f0` when none is.
+
+use crate::builder::ProgramBuilder;
+use crate::program::Program;
+use crate::stmt::{BinOp, Operand, UnOp};
+use crate::{BlockId, FuncId, IrError, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse failure with its (1-based) line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<IrError> for ParseError {
+    fn from(e: IrError) -> Self {
+        ParseError { line: 0, message: e.to_string() }
+    }
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+/// A parsed function before construction.
+#[derive(Debug)]
+struct FuncDecl {
+    id: u32,
+    name: String,
+    n_params: u16,
+    n_regs: u16,
+    /// Blocks in declaration order: label index -> statements lines.
+    blocks: Vec<Vec<(usize, String)>>,
+    header_line: usize,
+}
+
+/// Parses a whole program from text.
+///
+/// # Errors
+/// Returns a [`ParseError`] with the offending line, or a wrapped
+/// [`IrError`] if the assembled program fails validation.
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    // ---- Pass 1: split into function decls with raw block bodies ----
+    let mut decls: Vec<FuncDecl> = Vec::new();
+    let mut cur: Option<FuncDecl> = None;
+    for (ln, raw) in text.lines().enumerate() {
+        let line_no = ln + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("func ") {
+            if cur.is_some() {
+                return err(line_no, "nested `func` (missing `}`?)");
+            }
+            let (id, name, n_params, n_regs) = parse_func_header(rest, line_no)?;
+            cur = Some(FuncDecl { id, name, n_params, n_regs, blocks: Vec::new(), header_line: line_no });
+            continue;
+        }
+        if line == "}" {
+            match cur.take() {
+                Some(d) => decls.push(d),
+                None => return err(line_no, "unmatched `}`"),
+            }
+            continue;
+        }
+        let Some(d) = cur.as_mut() else {
+            return err(line_no, format!("statement outside a function: `{line}`"));
+        };
+        if let Some(label) = line.strip_suffix(':') {
+            if let Some(b) = label.strip_prefix('b') {
+                let idx: usize =
+                    b.parse().map_err(|_| ParseError { line: line_no, message: format!("bad block label `{label}`") })?;
+                if idx != d.blocks.len() {
+                    return err(line_no, format!("block labels must be dense; expected b{}, got b{idx}", d.blocks.len()));
+                }
+                d.blocks.push(Vec::new());
+                continue;
+            }
+        }
+        let Some(b) = d.blocks.last_mut() else {
+            return err(line_no, "statement before the first block label");
+        };
+        b.push((line_no, line));
+    }
+    if let Some(d) = cur {
+        return err(d.header_line, format!("function `{}` is missing its closing `}}`", d.name));
+    }
+    if decls.is_empty() {
+        return err(1, "no functions found");
+    }
+
+    // Function ids must be dense and in order.
+    for (i, d) in decls.iter().enumerate() {
+        if d.id as usize != i {
+            return err(d.header_line, format!("function ids must be dense; expected f{i}, got f{}", d.id));
+        }
+    }
+
+    // ---- Pass 2: build ----
+    let mut pb = ProgramBuilder::new();
+    let ids: Vec<FuncId> = decls.iter().map(|d| pb.declare(&d.name)).collect();
+    let mut main: Option<FuncId> = None;
+    for (d, &fid) in decls.iter().zip(&ids) {
+        if d.name == "main" {
+            main = Some(fid);
+        }
+        let mut f = pb.define(fid, d.n_params);
+        // Pre-allocate the register file.
+        let mut regs: Vec<Reg> = (0..d.n_params).map(|i| f.param(i)).collect();
+        while regs.len() < d.n_regs as usize {
+            regs.push(f.reg());
+        }
+        // Pre-allocate blocks.
+        let blocks: Vec<BlockId> =
+            (0..d.blocks.len()).map(|i| if i == 0 { f.entry_block() } else { f.new_block() }).collect();
+        if blocks.is_empty() {
+            return err(d.header_line, format!("function `{}` has no blocks", d.name));
+        }
+        for (bi, body) in d.blocks.iter().enumerate() {
+            for (line_no, line) in body {
+                parse_stmt_line(&mut f, &regs, &blocks, blocks[bi], line, *line_no)?;
+            }
+        }
+        f.finish();
+    }
+    pb.finish(main.unwrap_or(ids[0])).map_err(ParseError::from)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line.find(';').or_else(|| line.find("//")).unwrap_or(line.len());
+    &line[..cut]
+}
+
+/// Parses `f0 main(params: 0, regs: 4) {`.
+fn parse_func_header(rest: &str, line: usize) -> Result<(u32, String, u16, u16), ParseError> {
+    let rest = rest.trim().strip_suffix('{').map(str::trim_end).unwrap_or(rest);
+    let open = rest.find('(').ok_or_else(|| ParseError { line, message: "expected `(` in func header".into() })?;
+    let close = rest.rfind(')').ok_or_else(|| ParseError { line, message: "expected `)` in func header".into() })?;
+    let head = rest[..open].trim();
+    let (id_s, name) = head
+        .split_once(' ')
+        .ok_or_else(|| ParseError { line, message: "expected `func fN name(...)`".into() })?;
+    let id: u32 = id_s
+        .strip_prefix('f')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ParseError { line, message: format!("bad function id `{id_s}`") })?;
+    let mut n_params = 0u16;
+    let mut n_regs = 0u16;
+    for part in rest[open + 1..close].split(',') {
+        let (k, v) = part
+            .split_once(':')
+            .ok_or_else(|| ParseError { line, message: format!("bad header field `{part}`") })?;
+        let v: u16 =
+            v.trim().parse().map_err(|_| ParseError { line, message: format!("bad number `{}`", v.trim()) })?;
+        match k.trim() {
+            "params" => n_params = v,
+            "regs" => n_regs = v,
+            other => return err(line, format!("unknown header field `{other}`")),
+        }
+    }
+    Ok((id, name.trim().to_string(), n_params, n_regs.max(n_params)))
+}
+
+fn parse_reg(tok: &str, regs: &[Reg], line: usize) -> Result<Reg, ParseError> {
+    let idx: usize = tok
+        .strip_prefix('r')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ParseError { line, message: format!("expected register, got `{tok}`") })?;
+    regs.get(idx).copied().ok_or_else(|| ParseError { line, message: format!("register r{idx} out of range") })
+}
+
+fn parse_operand(tok: &str, regs: &[Reg], line: usize) -> Result<Operand, ParseError> {
+    let tok = tok.trim();
+    if let Some(imm) = tok.strip_prefix('#') {
+        let v: i64 =
+            imm.parse().map_err(|_| ParseError { line, message: format!("bad immediate `{imm}`") })?;
+        Ok(Operand::Imm(v))
+    } else {
+        Ok(Operand::Reg(parse_reg(tok, regs, line)?))
+    }
+}
+
+fn parse_block_ref(tok: &str, blocks: &[BlockId], line: usize) -> Result<BlockId, ParseError> {
+    let idx: usize = tok
+        .trim()
+        .strip_prefix('b')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ParseError { line, message: format!("expected block, got `{tok}`") })?;
+    blocks.get(idx).copied().ok_or_else(|| ParseError { line, message: format!("block b{idx} out of range") })
+}
+
+fn binop_table() -> HashMap<&'static str, BinOp> {
+    use BinOp::*;
+    [
+        ("add", Add),
+        ("sub", Sub),
+        ("mul", Mul),
+        ("div", Div),
+        ("rem", Rem),
+        ("and", And),
+        ("or", Or),
+        ("xor", Xor),
+        ("shl", Shl),
+        ("shr", Shr),
+        ("eq", Eq),
+        ("ne", Ne),
+        ("lt", Lt),
+        ("le", Le),
+        ("gt", Gt),
+        ("ge", Ge),
+        ("min", Min),
+        ("max", Max),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// Parses one statement or terminator line into block `block`.
+fn parse_stmt_line(
+    f: &mut crate::builder::FunctionBuilder<'_>,
+    regs: &[Reg],
+    blocks: &[BlockId],
+    block: BlockId,
+    line: &str,
+    line_no: usize,
+) -> Result<(), ParseError> {
+    // Drop an optional `sN:` prefix.
+    let line = match line.split_once(':') {
+        Some((pre, rest)) if pre.trim().starts_with('s') && pre.trim()[1..].chars().all(|c| c.is_ascii_digit()) => {
+            rest.trim()
+        }
+        _ => line.trim(),
+    };
+
+    // Terminators without destination.
+    if let Some(rest) = line.strip_prefix("jump ") {
+        f.block(block).jump(parse_block_ref(rest, blocks, line_no)?);
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("branch ") {
+        // `branch <op> ? bT : bF`
+        let (cond, arms) = rest
+            .split_once('?')
+            .ok_or_else(|| ParseError { line: line_no, message: "expected `branch c ? bT : bF`".into() })?;
+        let (t, e) = arms
+            .split_once(':')
+            .ok_or_else(|| ParseError { line: line_no, message: "expected `: bF` in branch".into() })?;
+        let cond = parse_operand(cond, regs, line_no)?;
+        f.block(block).branch(cond, parse_block_ref(t, blocks, line_no)?, parse_block_ref(e, blocks, line_no)?);
+        return Ok(());
+    }
+    if line == "ret" {
+        f.block(block).ret(None);
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("ret ") {
+        f.block(block).ret(Some(parse_operand(rest, regs, line_no)?));
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("out ") {
+        f.block(block).out(parse_operand(rest, regs, line_no)?);
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("store ") {
+        // `store [addr] = value`
+        let (addr, value) = rest
+            .split_once('=')
+            .ok_or_else(|| ParseError { line: line_no, message: "expected `store [a] = v`".into() })?;
+        let addr = addr.trim().strip_prefix('[').and_then(|s| s.trim_end().strip_suffix(']')).ok_or_else(|| {
+            ParseError { line: line_no, message: "expected `[addr]` in store".into() }
+        })?;
+        let a = parse_operand(addr, regs, line_no)?;
+        let v = parse_operand(value, regs, line_no)?;
+        f.block(block).store(a, v);
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("call ") {
+        return parse_call(f, regs, blocks, block, None, rest, line_no);
+    }
+
+    // Everything else: `rD = <rhs>`.
+    let (dst_s, rhs) = line
+        .split_once('=')
+        .ok_or_else(|| ParseError { line: line_no, message: format!("cannot parse `{line}`") })?;
+    let dst = parse_reg(dst_s.trim(), regs, line_no)?;
+    let rhs = rhs.trim();
+
+    if rhs == "in" {
+        f.block(block).input(dst);
+        return Ok(());
+    }
+    if let Some(rest) = rhs.strip_prefix("load ") {
+        let inner = rest.trim().strip_prefix('[').and_then(|s| s.strip_suffix(']')).ok_or_else(|| {
+            ParseError { line: line_no, message: "expected `[addr]` in load".into() }
+        })?;
+        let a = parse_operand(inner, regs, line_no)?;
+        f.block(block).load(dst, a);
+        return Ok(());
+    }
+    if let Some(rest) = rhs.strip_prefix("call ") {
+        return parse_call(f, regs, blocks, block, Some(dst), rest, line_no);
+    }
+    if let Some(rest) = rhs.strip_prefix("neg ") {
+        f.block(block).un(UnOp::Neg, dst, parse_operand(rest, regs, line_no)?);
+        return Ok(());
+    }
+    if let Some(rest) = rhs.strip_prefix("not ") {
+        f.block(block).un(UnOp::Not, dst, parse_operand(rest, regs, line_no)?);
+        return Ok(());
+    }
+    // Binary op: `<mnemonic> a, b`.
+    if let Some((mn, args)) = rhs.split_once(' ') {
+        if let Some(&op) = binop_table().get(mn) {
+            let (a, b) = args
+                .split_once(',')
+                .ok_or_else(|| ParseError { line: line_no, message: format!("expected two operands for `{mn}`") })?;
+            let a = parse_operand(a, regs, line_no)?;
+            let b = parse_operand(b, regs, line_no)?;
+            f.block(block).bin(op, dst, a, b);
+            return Ok(());
+        }
+    }
+    // Plain move: `rD = <operand>`.
+    let src = parse_operand(rhs, regs, line_no)?;
+    f.block(block).mov(dst, src);
+    Ok(())
+}
+
+/// Parses `fN(a, b, ...) -> bM` with optional destination already
+/// consumed by the caller.
+fn parse_call(
+    f: &mut crate::builder::FunctionBuilder<'_>,
+    regs: &[Reg],
+    blocks: &[BlockId],
+    block: BlockId,
+    dst: Option<Reg>,
+    rest: &str,
+    line_no: usize,
+) -> Result<(), ParseError> {
+    let (callee_args, ret_to) = rest
+        .split_once("->")
+        .ok_or_else(|| ParseError { line: line_no, message: "expected `-> bN` after call".into() })?;
+    let open = callee_args
+        .find('(')
+        .ok_or_else(|| ParseError { line: line_no, message: "expected `(` in call".into() })?;
+    let close = callee_args
+        .rfind(')')
+        .ok_or_else(|| ParseError { line: line_no, message: "expected `)` in call".into() })?;
+    let callee_s = callee_args[..open].trim();
+    let callee: u32 = callee_s
+        .strip_prefix('f')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ParseError { line: line_no, message: format!("bad callee `{callee_s}`") })?;
+    let args_s = callee_args[open + 1..close].trim();
+    let args: Vec<Operand> = if args_s.is_empty() {
+        Vec::new()
+    } else {
+        args_s
+            .split(',')
+            .map(|a| parse_operand(a, regs, line_no))
+            .collect::<Result<_, _>>()?
+    };
+    let ret_to = parse_block_ref(ret_to, blocks, line_no)?;
+    f.block(block).call(FuncId(callee), args, dst, ret_to);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty::program_to_string;
+
+    const SAMPLE: &str = r#"
+; sum of 1..=n, read from input
+func f0 main(params: 0, regs: 4) {
+  b0:
+    r0 = in
+    r1 = #0          ; i
+    r2 = #0          ; acc
+    jump b1
+  b1:
+    r3 = lt r1, r0
+    branch r3 ? b2 : b3
+  b2:
+    r1 = add r1, #1
+    r2 = add r2, r1
+    jump b1
+  b3:
+    out r2
+    ret r2
+}
+"#;
+
+    #[test]
+    fn parses_and_runs() {
+        let p = parse_program(SAMPLE).expect("parse ok");
+        assert_eq!(p.functions().len(), 1);
+        assert_eq!(p.function(p.main()).name(), "main");
+        assert_eq!(p.function(p.main()).blocks().len(), 4);
+    }
+
+    #[test]
+    fn roundtrips_with_pretty() {
+        let p1 = parse_program(SAMPLE).expect("parse ok");
+        let text = program_to_string(&p1);
+        let p2 = parse_program(&text).expect("reparse ok");
+        assert_eq!(program_to_string(&p2), text, "pretty -> parse -> pretty is stable");
+    }
+
+    #[test]
+    fn parses_calls_loads_stores() {
+        let src = r#"
+func f0 main(params: 0, regs: 3) {
+  b0:
+    store [#5] = #42
+    r0 = load [#5]
+    r1 = call f1(r0, #2) -> b1
+  b1:
+    out r1
+    ret
+}
+func f1 mulf(params: 2, regs: 3) {
+  b0:
+    r2 = mul r0, r1
+    ret r2
+}
+"#;
+        let p = parse_program(src).expect("parse ok");
+        let text = program_to_string(&p);
+        let p2 = parse_program(&text).expect("reparse ok");
+        assert_eq!(program_to_string(&p2), text);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let src = "func f0 main(params: 0, regs: 1) {\n  b0:\n    r0 = frob r0, r0\n    ret\n}\n";
+        let e = parse_program(src).unwrap_err();
+        assert_eq!(e.line, 3, "{e}");
+    }
+
+    #[test]
+    fn rejects_sparse_blocks() {
+        let src = "func f0 main(params: 0, regs: 1) {\n  b1:\n    ret\n}\n";
+        assert!(parse_program(src).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_register() {
+        let src = "func f0 main(params: 0, regs: 1) {\n  b0:\n    r5 = #1\n    ret\n}\n";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn optional_stmt_id_prefix_accepted() {
+        let src = "func f0 main(params: 0, regs: 1) {\n  b0:\n    s0: r0 = #7\n    s1: out r0\n    s2: ret\n}\n";
+        let p = parse_program(src).expect("parse ok");
+        assert_eq!(p.stmt_count(), 3);
+    }
+}

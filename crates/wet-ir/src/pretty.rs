@@ -1,0 +1,87 @@
+//! Human-readable disassembly of IR programs.
+
+use crate::program::{Function, Program};
+use crate::stmt::{Operand, StmtKind, Terminator};
+use std::fmt::Write as _;
+
+fn op(o: Operand) -> String {
+    match o {
+        Operand::Reg(r) => r.to_string(),
+        Operand::Imm(v) => format!("#{v}"),
+    }
+}
+
+/// Renders one function as text.
+pub fn function_to_string(f: &Function) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "func {} {}(params: {}, regs: {}) {{", f.id(), f.name(), f.n_params(), f.n_regs());
+    for (bi, b) in f.blocks().iter().enumerate() {
+        let _ = writeln!(s, "  b{bi}:");
+        for st in b.stmts() {
+            let line = match &st.kind {
+                StmtKind::Bin { op: o, dst, lhs, rhs } => {
+                    format!("{dst} = {} {}, {}", o.mnemonic(), op(*lhs), op(*rhs))
+                }
+                StmtKind::Un { op: o, dst, src } => format!("{dst} = {} {}", o.mnemonic(), op(*src)),
+                StmtKind::Mov { dst, src } => format!("{dst} = {}", op(*src)),
+                StmtKind::Load { dst, addr } => format!("{dst} = load [{}]", op(*addr)),
+                StmtKind::Store { addr, value } => format!("store [{}] = {}", op(*addr), op(*value)),
+                StmtKind::In { dst } => format!("{dst} = in"),
+                StmtKind::Out { value } => format!("out {}", op(*value)),
+            };
+            let _ = writeln!(s, "    {}: {line}", st.id);
+        }
+        let t = b.term();
+        let line = match &t.kind {
+            Terminator::Jump { target } => format!("jump {target}"),
+            Terminator::Branch { cond, if_true, if_false } => {
+                format!("branch {} ? {if_true} : {if_false}", op(*cond))
+            }
+            Terminator::Call { callee, args, dst, ret_to } => {
+                let args: Vec<String> = args.iter().map(|a| op(*a)).collect();
+                let dst = dst.map(|d| format!("{d} = ")).unwrap_or_default();
+                format!("{dst}call {callee}({}) -> {ret_to}", args.join(", "))
+            }
+            Terminator::Ret { value } => match value {
+                Some(v) => format!("ret {}", op(*v)),
+                None => "ret".to_owned(),
+            },
+        };
+        let _ = writeln!(s, "    {}: {line}", t.id);
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Renders a whole program as text.
+pub fn program_to_string(p: &Program) -> String {
+    let mut s = String::new();
+    for f in p.functions() {
+        s.push_str(&function_to_string(f));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::stmt::{BinOp, Operand};
+
+    #[test]
+    fn disassembly_contains_expected_lines() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let e = f.entry_block();
+        let r = f.reg();
+        f.block(e).bin(BinOp::Add, r, Operand::Imm(1), Operand::Imm(2));
+        f.block(e).store(Operand::Imm(5), r);
+        f.block(e).ret(None);
+        let main = f.finish();
+        let p = pb.finish(main).unwrap();
+        let text = program_to_string(&p);
+        assert!(text.contains("r0 = add #1, #2"), "{text}");
+        assert!(text.contains("store [#5] = r0"), "{text}");
+        assert!(text.contains("ret"), "{text}");
+    }
+}

@@ -1,0 +1,372 @@
+//! Programs, functions, and basic blocks.
+
+use crate::ids::{BlockId, FuncId, Reg, StmtId};
+use crate::stmt::{Stmt, TermStmt, Terminator};
+use crate::IrError;
+
+/// A basic block: straight-line statements plus one terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    stmts: Vec<Stmt>,
+    term: TermStmt,
+}
+
+impl BasicBlock {
+    pub(crate) fn new(stmts: Vec<Stmt>, term: TermStmt) -> Self {
+        BasicBlock { stmts, term }
+    }
+
+    /// The straight-line statements of the block.
+    #[inline]
+    pub fn stmts(&self) -> &[Stmt] {
+        &self.stmts
+    }
+
+    /// The block terminator.
+    #[inline]
+    pub fn term(&self) -> &TermStmt {
+        &self.term
+    }
+
+    /// Number of executed statements per execution of this block
+    /// (statements plus the terminator unless it is a `Jump`).
+    pub fn executed_stmt_count(&self) -> u64 {
+        self.stmts.len() as u64 + u64::from(self.term.kind.counts_as_stmt())
+    }
+}
+
+/// A function: a register file size, parameter count, and a CFG of
+/// basic blocks rooted at block 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    name: String,
+    id: FuncId,
+    n_regs: u16,
+    n_params: u16,
+    blocks: Vec<BasicBlock>,
+}
+
+impl Function {
+    pub(crate) fn new(name: String, id: FuncId, n_regs: u16, n_params: u16, blocks: Vec<BasicBlock>) -> Self {
+        Function { name, id, n_regs, n_params, blocks }
+    }
+
+    /// The function's display name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The function's id within its program.
+    #[inline]
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// Number of virtual registers in a frame of this function.
+    #[inline]
+    pub fn n_regs(&self) -> u16 {
+        self.n_regs
+    }
+
+    /// Number of parameters (passed in `r0..r{n_params-1}`).
+    #[inline]
+    pub fn n_params(&self) -> u16 {
+        self.n_params
+    }
+
+    /// The function's basic blocks; the entry block is index 0.
+    #[inline]
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The entry block id (always block 0).
+    #[inline]
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Looks up a block by id.
+    ///
+    /// # Panics
+    /// Panics if the block id is out of range.
+    #[inline]
+    pub fn block(&self, b: BlockId) -> &BasicBlock {
+        &self.blocks[b.index()]
+    }
+}
+
+/// Where a statement lives: a block position or the block terminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StmtPos {
+    /// The `n`-th straight-line statement of the block.
+    At(u32),
+    /// The block terminator.
+    Term,
+}
+
+/// The location of a statement within a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StmtLoc {
+    /// Containing function.
+    pub func: FuncId,
+    /// Containing block.
+    pub block: BlockId,
+    /// Position within the block.
+    pub pos: StmtPos,
+}
+
+/// A complete program: functions plus the designated `main`.
+///
+/// Statement ids are dense: `0..program.stmt_count()`, covering every
+/// statement and terminator of every function.
+#[derive(Debug, Clone)]
+pub struct Program {
+    funcs: Vec<Function>,
+    main: FuncId,
+    stmt_locs: Vec<StmtLoc>,
+}
+
+impl Program {
+    pub(crate) fn new(funcs: Vec<Function>, main: FuncId) -> Result<Self, IrError> {
+        let mut stmt_locs = Vec::new();
+        for f in &funcs {
+            for (bi, b) in f.blocks().iter().enumerate() {
+                for (si, s) in b.stmts().iter().enumerate() {
+                    debug_assert_eq!(s.id.index(), stmt_locs.len());
+                    stmt_locs.push(StmtLoc { func: f.id(), block: BlockId(bi as u32), pos: StmtPos::At(si as u32) });
+                }
+                debug_assert_eq!(b.term().id.index(), stmt_locs.len());
+                stmt_locs.push(StmtLoc { func: f.id(), block: BlockId(bi as u32), pos: StmtPos::Term });
+            }
+        }
+        let p = Program { funcs, main, stmt_locs };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// All functions, indexed by [`FuncId`].
+    #[inline]
+    pub fn functions(&self) -> &[Function] {
+        &self.funcs
+    }
+
+    /// Looks up a function by id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn function(&self, f: FuncId) -> &Function {
+        &self.funcs[f.index()]
+    }
+
+    /// The designated entry function.
+    #[inline]
+    pub fn main(&self) -> FuncId {
+        self.main
+    }
+
+    /// Total number of statement ids in the program (statements plus
+    /// terminators).
+    #[inline]
+    pub fn stmt_count(&self) -> usize {
+        self.stmt_locs.len()
+    }
+
+    /// The location of a statement id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn stmt_loc(&self, id: StmtId) -> StmtLoc {
+        self.stmt_locs[id.index()]
+    }
+
+    /// Returns the statement kind for an id, or the terminator if the id
+    /// names one. Useful for diagnostics and queries.
+    pub fn stmt_ref(&self, id: StmtId) -> StmtRef<'_> {
+        let loc = self.stmt_loc(id);
+        let b = self.function(loc.func).block(loc.block);
+        match loc.pos {
+            StmtPos::At(i) => StmtRef::Stmt(&b.stmts()[i as usize]),
+            StmtPos::Term => StmtRef::Term(b.term()),
+        }
+    }
+
+    /// Validates structural invariants; see [`IrError`] for the cases.
+    ///
+    /// # Errors
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), IrError> {
+        if self.main.index() >= self.funcs.len() {
+            return Err(IrError::NoMain { main: self.main });
+        }
+        for f in &self.funcs {
+            if f.blocks().is_empty() {
+                return Err(IrError::EmptyFunction { func: f.id() });
+            }
+            let nb = f.blocks().len() as u32;
+            for (bi, b) in f.blocks().iter().enumerate() {
+                let block = BlockId(bi as u32);
+                let check_reg = |r: Reg| -> Result<(), IrError> {
+                    if r.0 >= f.n_regs() {
+                        Err(IrError::BadRegister { func: f.id(), block, reg: r })
+                    } else {
+                        Ok(())
+                    }
+                };
+                for s in b.stmts() {
+                    if let Some(d) = s.kind.def() {
+                        check_reg(d)?;
+                    }
+                    for u in s.kind.uses() {
+                        if let Some(r) = u.reg() {
+                            check_reg(r)?;
+                        }
+                    }
+                }
+                for t in b.term().kind.successors() {
+                    if t.0 >= nb {
+                        return Err(IrError::BadBlockTarget { func: f.id(), block, target: t });
+                    }
+                }
+                for u in b.term().kind.uses() {
+                    if let Some(r) = u.reg() {
+                        check_reg(r)?;
+                    }
+                }
+                if let Terminator::Call { callee, args, dst, .. } = &b.term().kind {
+                    let Some(cf) = self.funcs.get(callee.index()) else {
+                        return Err(IrError::BadCallee { func: f.id(), block, callee: *callee });
+                    };
+                    if args.len() != cf.n_params() as usize {
+                        return Err(IrError::BadArity {
+                            func: f.id(),
+                            block,
+                            callee: *callee,
+                            expected: cf.n_params() as usize,
+                            got: args.len(),
+                        });
+                    }
+                    if let Some(d) = dst {
+                        check_reg(*d)?;
+                    }
+                }
+            }
+            // Every block reachable from entry must reach a Ret, so that
+            // postdominance is total on the reachable subgraph.
+            let reach = crate::cfg::reachable(f);
+            let to_exit = crate::cfg::reaches_exit(f);
+            for bi in 0..f.blocks().len() {
+                if reach[bi] && !to_exit[bi] {
+                    return Err(IrError::NoExitPath { func: f.id(), block: BlockId(bi as u32) });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sums `executed_stmt_count` over all blocks — a static size proxy.
+    pub fn static_stmt_count(&self) -> u64 {
+        self.funcs
+            .iter()
+            .flat_map(|f| f.blocks())
+            .map(|b| b.executed_stmt_count())
+            .sum()
+    }
+}
+
+/// A reference to either a straight-line statement or a terminator.
+#[derive(Debug, Clone, Copy)]
+pub enum StmtRef<'a> {
+    /// A straight-line statement.
+    Stmt(&'a Stmt),
+    /// A terminator.
+    Term(&'a TermStmt),
+}
+
+impl StmtRef<'_> {
+    /// The register defined, if any (calls define their `dst` in the
+    /// caller, but dataflow is forwarded, so this reports `None` for
+    /// terminators).
+    pub fn def(&self) -> Option<Reg> {
+        match self {
+            StmtRef::Stmt(s) => s.kind.def(),
+            StmtRef::Term(_) => None,
+        }
+    }
+
+    /// True for memory-accessing statements.
+    pub fn is_mem(&self) -> bool {
+        match self {
+            StmtRef::Stmt(s) => s.kind.is_mem(),
+            StmtRef::Term(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+    use crate::stmt::{BinOp, Operand};
+    use crate::{BlockId, IrError, StmtPos};
+
+    #[test]
+    fn stmt_locations_are_dense() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let e = f.entry_block();
+        let b1 = f.new_block();
+        let r = f.reg();
+        f.block(e).bin(BinOp::Add, r, Operand::Imm(1), Operand::Imm(2));
+        f.block(e).jump(b1);
+        f.block(b1).ret(None);
+        let main = f.finish();
+        let p = pb.finish(main).unwrap();
+        assert_eq!(p.stmt_count(), 3); // add, jump, ret
+        assert_eq!(p.stmt_loc(crate::StmtId(0)).pos, StmtPos::At(0));
+        assert_eq!(p.stmt_loc(crate::StmtId(1)).pos, StmtPos::Term);
+        assert_eq!(p.stmt_loc(crate::StmtId(2)).block, BlockId(1));
+    }
+
+    #[test]
+    fn validate_rejects_bad_target() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let e = f.entry_block();
+        f.block(e).jump(BlockId(9));
+        let main = f.finish();
+        match pb.finish(main) {
+            Err(IrError::BadBlockTarget { target, .. }) => assert_eq!(target, BlockId(9)),
+            other => panic!("expected BadBlockTarget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_infinite_loop() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let e = f.entry_block();
+        f.block(e).jump(e);
+        let main = f.finish();
+        assert!(matches!(pb.finish(main), Err(IrError::NoExitPath { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_bad_arity() {
+        let mut pb = ProgramBuilder::new();
+        let mut callee = pb.function("callee", 2);
+        let ce = callee.entry_block();
+        callee.block(ce).ret(Some(Operand::Imm(0)));
+        let callee_id = callee.finish();
+
+        let mut f = pb.function("main", 0);
+        let e = f.entry_block();
+        let cont = f.new_block();
+        f.block(e).call(callee_id, vec![Operand::Imm(1)], None, cont);
+        f.block(cont).ret(None);
+        let main = f.finish();
+        assert!(matches!(pb.finish(main), Err(IrError::BadArity { expected: 2, got: 1, .. })));
+    }
+}

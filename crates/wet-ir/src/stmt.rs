@@ -1,0 +1,335 @@
+//! Statements, operands, and terminators of the intermediate language.
+//!
+//! The language is a classic register-based three-address code: every
+//! basic block holds a list of [`Stmt`]s followed by exactly one
+//! [`Terminator`]. Values are `i64`; memory is a flat array of `i64`
+//! words addressed by non-negative word indices.
+//!
+//! Following the paper's Trimaran setup, statements that have a *def
+//! port* (they write a register) carry dynamic value sequences in the
+//! WET; stores, branches and output statements do not (§5 of the paper:
+//! "we do not maintain result values for intermediate statements that do
+//! not have a def port (e.g., stores and branches)").
+
+use crate::ids::{BlockId, FuncId, Reg, StmtId};
+
+/// Binary arithmetic, logic, and comparison operators.
+///
+/// Comparisons produce `1` for true and `0` for false. `Div` and `Rem`
+/// follow Rust `i64` semantics except that division by zero is a runtime
+/// error reported by the interpreter, and overflow wraps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Min,
+    Max,
+}
+
+impl BinOp {
+    /// Evaluates the operator on two values.
+    ///
+    /// Returns `None` for division or remainder by zero. Shifts mask the
+    /// shift amount to 0..=63; arithmetic wraps on overflow.
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> Option<i64> {
+        Some(match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_div(b)
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_rem(b)
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+            BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+            BinOp::Eq => (a == b) as i64,
+            BinOp::Ne => (a != b) as i64,
+            BinOp::Lt => (a < b) as i64,
+            BinOp::Le => (a <= b) as i64,
+            BinOp::Gt => (a > b) as i64,
+            BinOp::Ge => (a >= b) as i64,
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        })
+    }
+
+    /// The mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Eq => "eq",
+            BinOp::Ne => "ne",
+            BinOp::Lt => "lt",
+            BinOp::Le => "le",
+            BinOp::Gt => "gt",
+            BinOp::Ge => "ge",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Two's-complement negation (wrapping).
+    Neg,
+    /// Bitwise complement.
+    Not,
+}
+
+impl UnOp {
+    /// Evaluates the operator.
+    #[inline]
+    pub fn eval(self, a: i64) -> i64 {
+        match self {
+            UnOp::Neg => a.wrapping_neg(),
+            UnOp::Not => !a,
+        }
+    }
+
+    /// The mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+        }
+    }
+}
+
+/// A statement operand: a register read or an immediate constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Read a virtual register.
+    Reg(Reg),
+    /// An immediate `i64` constant.
+    Imm(i64),
+}
+
+impl Operand {
+    /// Returns the register read by this operand, if any.
+    #[inline]
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+/// The operation performed by a non-terminator statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StmtKind {
+    /// `dst = lhs <op> rhs`
+    Bin { op: BinOp, dst: Reg, lhs: Operand, rhs: Operand },
+    /// `dst = <op> src`
+    Un { op: UnOp, dst: Reg, src: Operand },
+    /// `dst = src`
+    Mov { dst: Reg, src: Operand },
+    /// `dst = mem[addr]` — a load; `dst` carries the loaded value, so
+    /// load value traces are this statement's value sequence.
+    Load { dst: Reg, addr: Operand },
+    /// `mem[addr] = value` — no def port.
+    Store { addr: Operand, value: Operand },
+    /// `dst = next input value` — models external input; the def port
+    /// value is the input read.
+    In { dst: Reg },
+    /// Append a value to the program output — no def port.
+    Out { value: Operand },
+}
+
+impl StmtKind {
+    /// The register defined by this statement, if it has a def port.
+    #[inline]
+    pub fn def(&self) -> Option<Reg> {
+        match *self {
+            StmtKind::Bin { dst, .. }
+            | StmtKind::Un { dst, .. }
+            | StmtKind::Mov { dst, .. }
+            | StmtKind::Load { dst, .. }
+            | StmtKind::In { dst } => Some(dst),
+            StmtKind::Store { .. } | StmtKind::Out { .. } => None,
+        }
+    }
+
+    /// The operands read by this statement, in slot order.
+    pub fn uses(&self) -> Vec<Operand> {
+        match *self {
+            StmtKind::Bin { lhs, rhs, .. } => vec![lhs, rhs],
+            StmtKind::Un { src, .. } | StmtKind::Mov { src, .. } => vec![src],
+            StmtKind::Load { addr, .. } => vec![addr],
+            StmtKind::Store { addr, value } => vec![addr, value],
+            StmtKind::In { .. } => vec![],
+            StmtKind::Out { value } => vec![value],
+        }
+    }
+
+    /// Whether this statement accesses memory.
+    #[inline]
+    pub fn is_mem(&self) -> bool {
+        matches!(self, StmtKind::Load { .. } | StmtKind::Store { .. })
+    }
+}
+
+/// A statement: a program-global id plus its operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Stmt {
+    /// Program-global statement identifier.
+    pub id: StmtId,
+    /// The operation.
+    pub kind: StmtKind,
+}
+
+/// A basic-block terminator.
+///
+/// Terminators get [`StmtId`]s too: `Branch` and `Call` are the sources
+/// of control dependence edges in the WET, and all terminators except
+/// `Jump` count as executed statements.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Terminator {
+    /// Unconditional jump (a pseudo statement; not counted as executed).
+    Jump { target: BlockId },
+    /// Two-way branch on `cond != 0`.
+    Branch { cond: Operand, if_true: BlockId, if_false: BlockId },
+    /// Call `callee` with `args` copied into its parameter registers
+    /// `r0..`; execution resumes at `ret_to` with the callee's return
+    /// value (if any) written to `dst`.
+    ///
+    /// Dataflow is *forwarded* through calls: the WET records the arg
+    /// producers directly as producers of the callee's parameter uses,
+    /// and the return-value producer directly as producer of `dst` uses.
+    /// The call itself is a control-dependence source for callee blocks
+    /// that are not control dependent on any callee branch.
+    Call { callee: FuncId, args: Vec<Operand>, dst: Option<Reg>, ret_to: BlockId },
+    /// Return from the current function.
+    Ret { value: Option<Operand> },
+}
+
+impl Terminator {
+    /// Successor blocks within the same function, in branch-target order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match *self {
+            Terminator::Jump { target } => vec![target],
+            Terminator::Branch { if_true, if_false, .. } => vec![if_true, if_false],
+            Terminator::Call { ret_to, .. } => vec![ret_to],
+            Terminator::Ret { .. } => vec![],
+        }
+    }
+
+    /// The operands read by the terminator, in slot order.
+    pub fn uses(&self) -> Vec<Operand> {
+        match self {
+            Terminator::Jump { .. } => vec![],
+            Terminator::Branch { cond, .. } => vec![*cond],
+            Terminator::Call { args, .. } => args.clone(),
+            Terminator::Ret { value } => value.iter().copied().collect(),
+        }
+    }
+
+    /// Whether this terminator counts as an executed intermediate
+    /// statement (everything but `Jump`, which is control-flow glue).
+    #[inline]
+    pub fn counts_as_stmt(&self) -> bool {
+        !matches!(self, Terminator::Jump { .. })
+    }
+}
+
+/// A terminator paired with its program-global statement id.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TermStmt {
+    /// Program-global statement identifier.
+    pub id: StmtId,
+    /// The terminator operation.
+    pub kind: Terminator,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_basics() {
+        assert_eq!(BinOp::Add.eval(2, 3), Some(5));
+        assert_eq!(BinOp::Div.eval(7, 2), Some(3));
+        assert_eq!(BinOp::Div.eval(7, 0), None);
+        assert_eq!(BinOp::Rem.eval(7, 0), None);
+        assert_eq!(BinOp::Lt.eval(1, 2), Some(1));
+        assert_eq!(BinOp::Ge.eval(1, 2), Some(0));
+        assert_eq!(BinOp::Min.eval(4, -2), Some(-2));
+        assert_eq!(BinOp::Shl.eval(1, 65), Some(2), "shift amount masked");
+    }
+
+    #[test]
+    fn binop_eval_wraps() {
+        assert_eq!(BinOp::Add.eval(i64::MAX, 1), Some(i64::MIN));
+        assert_eq!(BinOp::Mul.eval(i64::MAX, 2), Some(-2));
+        assert_eq!(UnOp::Neg.eval(i64::MIN), i64::MIN);
+    }
+
+    #[test]
+    fn def_and_uses() {
+        let s = StmtKind::Bin { op: BinOp::Add, dst: Reg(1), lhs: Operand::Reg(Reg(2)), rhs: Operand::Imm(4) };
+        assert_eq!(s.def(), Some(Reg(1)));
+        assert_eq!(s.uses(), vec![Operand::Reg(Reg(2)), Operand::Imm(4)]);
+        let st = StmtKind::Store { addr: Operand::Reg(Reg(0)), value: Operand::Reg(Reg(1)) };
+        assert_eq!(st.def(), None);
+        assert!(st.is_mem());
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::Branch { cond: Operand::Imm(1), if_true: BlockId(1), if_false: BlockId(2) };
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(2)]);
+        assert!(t.counts_as_stmt());
+        let j = Terminator::Jump { target: BlockId(3) };
+        assert!(!j.counts_as_stmt());
+        assert!(Terminator::Ret { value: None }.successors().is_empty());
+    }
+}

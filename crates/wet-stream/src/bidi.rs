@@ -1,0 +1,604 @@
+//! Bidirectionally traversable compressed streams (paper §4).
+//!
+//! A compressed stream of `m` values consists of three parts
+//! (`[FR 1..i][U i+1..i+n][BL i+n+1..m]` in the paper's notation):
+//!
+//! * `FR` — values left of the window, forward-compressed using their
+//!   *right* context, stored in a bit stack whose top is the rightmost;
+//! * `U` — an `n`-value uncompressed window (`n` = the predictor's
+//!   context size), the cursor;
+//! * `BL` — values right of the window, backward-compressed using their
+//!   *left* context, stored in a bit stack whose top is the leftmost.
+//!
+//! Moving the window one step right pops/uncompresses the nearest `BL`
+//! entry and compresses the value leaving on the left into `FR`; moving
+//! left is the exact mirror. Because every predictor operation is
+//! reversible (see [`crate::predict`]), `forward ∘ backward` is the
+//! identity on the entire structure — stacks, window, and predictor
+//! tables — which is the property that makes O(1)-per-step traversal in
+//! *either* direction possible.
+//!
+//! The stream is padded with `n` zeros at each end (paper: "we assume
+//! that the stream is extended by n values each at the two ends") so the
+//! window always has full context.
+
+use crate::bitbuf::{BitCounter, BitStack};
+use crate::predict::{Method, PredState, Side};
+use std::collections::VecDeque;
+
+/// Configuration for stream compression.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Upper bound on FCM-family table size (`1 << table_bits_max`
+    /// slots); actual tables are sized to the stream length.
+    pub table_bits_max: u32,
+    /// Number of leading values used to pick a method in
+    /// [`CompressedStream::compress_auto`].
+    pub trial_len: usize,
+    /// Candidate methods for auto selection.
+    pub candidates: Vec<Method>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { table_bits_max: 14, trial_len: 4096, candidates: Method::default_candidates() }
+    }
+}
+
+/// Compression statistics of one stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Predictor hits during initial compression.
+    pub hits: u64,
+    /// Predictor misses during initial compression.
+    pub misses: u64,
+}
+
+/// A compressed stream of `u64` values with a bidirectional cursor.
+///
+/// All read operations take `&mut self` because reading moves the
+/// cursor (the window). Clone the stream to traverse it from several
+/// positions concurrently.
+///
+/// # Example
+///
+/// ```
+/// use wet_stream::{CompressedStream, StreamConfig};
+///
+/// let values: Vec<u64> = (0..1000).map(|i| i * 3).collect();
+/// let mut s = CompressedStream::compress_auto(&values, &StreamConfig::default());
+/// assert_eq!(s.get(500), 1500);
+/// assert_eq!(s.get(499), 1497); // backward step, same cost
+/// assert!(s.compressed_bits() < 64 * 1000 / 8, "stride stream compresses well");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompressedStream {
+    method: Method,
+    w: usize,
+    len: usize,
+    fr: BitStack,
+    bl: BitStack,
+    /// The uncompressed window; `window[0]` is logical index `win_start`.
+    window: VecDeque<u64>,
+    /// Logical index of `window[0]`, in `-w ..= len`.
+    win_start: isize,
+    pred: PredState,
+    stats: StreamStats,
+}
+
+impl CompressedStream {
+    /// Compresses `values` with an explicit method. The cursor starts at
+    /// the **right** end (construction is a forward pass; rewinding or
+    /// any [`get`](Self::get) repositions it as needed).
+    pub fn compress(values: &[u64], method: Method, cfg: &StreamConfig) -> Self {
+        let w = method.window();
+        let table_bits = table_bits_for(values.len(), cfg.table_bits_max);
+        let mut s = CompressedStream {
+            method,
+            w,
+            len: values.len(),
+            fr: BitStack::new(),
+            bl: BitStack::new(),
+            window: std::iter::repeat_n(0u64, w).collect(),
+            win_start: -(w as isize),
+            pred: PredState::new(method, table_bits),
+            stats: StreamStats::default(),
+        };
+        // Build FR left-to-right. This is the op sequence of a real
+        // forward traversal with the BL-uncompress half replaced by raw
+        // reads, so every later traversal step revisits exactly the
+        // table states established here — which is what keeps methods
+        // with a *shared* table (last-n family) decodable.
+        while s.win_start < s.len as isize {
+            let idx = s.win_start + w as isize;
+            let v = if idx >= 0 && (idx as usize) < values.len() { values[idx as usize] } else { 0 };
+            s.window.push_back(v);
+            let ctx = s.ctx_after_front();
+            let leaving = s.window[0];
+            let hit = s.pred.compress(Side::Fr, &ctx, leaving, &mut s.fr);
+            if hit {
+                s.stats.hits += 1;
+            } else {
+                s.stats.misses += 1;
+            }
+            s.window.pop_front();
+            s.win_start += 1;
+        }
+        s
+    }
+
+    /// Compresses `values`, selecting the best method from
+    /// `cfg.candidates` by trial-compressing a prefix (paper §5
+    /// "Selection": "After a certain number of instances we pick the
+    /// method that performs the best up to that point").
+    pub fn compress_auto(values: &[u64], cfg: &StreamConfig) -> Self {
+        let method = choose_method(values, cfg);
+        Self::compress(values, method, cfg)
+    }
+
+    /// Number of values in the stream.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for a zero-length stream.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The compression method in use.
+    #[inline]
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Initial-compression hit/miss statistics.
+    #[inline]
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Bits currently held in the FR and BL stacks (the payload of the
+    /// compressed representation; excludes the window and predictor
+    /// tables, which are bounded per-stream cursor state).
+    #[inline]
+    pub fn compressed_bits(&self) -> u64 {
+        (self.fr.len() + self.bl.len()) as u64
+    }
+
+    /// Compressed payload size in bytes, including the window and a
+    /// small fixed header, matching how the paper accounts WET sizes.
+    pub fn compressed_bytes(&self) -> u64 {
+        self.compressed_bits().div_ceil(8) + (self.w as u64) * 8 + 16
+    }
+
+    /// Total heap footprint including predictor tables — the in-memory
+    /// cost of keeping the stream traversable.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.fr.heap_bytes() + self.bl.heap_bytes() + self.window.capacity() * 8 + self.pred.heap_bytes()) as u64
+            + 64
+    }
+
+    /// Logical index of the first window value (may be negative while
+    /// the window overlaps the left padding).
+    #[inline]
+    pub fn window_start(&self) -> isize {
+        self.win_start
+    }
+
+    /// Moves the window one value to the right. Returns `false` at the
+    /// right end.
+    pub fn step_forward(&mut self) -> bool {
+        if self.win_start >= self.len as isize {
+            return false;
+        }
+        // Uncompress the nearest BL entry using the current window as
+        // (left) context, nearest first.
+        let ctx = self.ctx_right_edge();
+        let v = self.pred.uncompress(Side::Bl, &ctx, &mut self.bl);
+        self.window.push_back(v);
+        // Compress the value leaving on the left using the *shifted*
+        // window as (right) context, nearest first.
+        let ctx = self.ctx_after_front();
+        let leaving = self.window[0];
+        self.pred.compress(Side::Fr, &ctx, leaving, &mut self.fr);
+        self.window.pop_front();
+        self.win_start += 1;
+        true
+    }
+
+    /// Moves the window one value to the left. Returns `false` at the
+    /// left end.
+    pub fn step_backward(&mut self) -> bool {
+        if self.win_start <= -(self.w as isize) {
+            return false;
+        }
+        // Uncompress the nearest FR entry using the current window as
+        // (right) context, nearest first.
+        let ctx = self.ctx_left_edge();
+        let v = self.pred.uncompress(Side::Fr, &ctx, &mut self.fr);
+        self.window.push_front(v);
+        // Compress the value leaving on the right using the shifted
+        // window as (left) context, nearest first.
+        let ctx = self.ctx_left_of_back();
+        let leaving = self.window[self.w];
+        self.pred.compress(Side::Bl, &ctx, leaving, &mut self.bl);
+        self.window.pop_back();
+        self.win_start -= 1;
+        true
+    }
+
+    /// Reads the value at logical index `i`, moving the cursor as
+    /// needed (cost proportional to the distance moved).
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn get(&mut self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let i = i as isize;
+        while i >= self.win_start + self.w as isize {
+            self.step_forward();
+        }
+        while i < self.win_start {
+            self.step_backward();
+        }
+        self.window[(i - self.win_start) as usize]
+    }
+
+    /// Reads index `i` without moving the cursor, if it is inside the
+    /// window.
+    pub fn peek(&self, i: usize) -> Option<u64> {
+        let i = i as isize;
+        if i >= self.win_start && i < self.win_start + self.w as isize && i < self.len as isize {
+            Some(self.window[(i - self.win_start) as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Decompresses the entire stream front to back.
+    pub fn decompress(&mut self) -> Vec<u64> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Moves the cursor so the window starts at the left end.
+    pub fn rewind(&mut self) {
+        while self.win_start > -(self.w as isize) {
+            self.step_backward();
+        }
+    }
+
+    /// Borrowed view of all internal state (for serialization).
+    pub fn raw_parts(&self) -> RawParts<'_> {
+        RawParts {
+            method: self.method,
+            len: self.len,
+            win_start: self.win_start,
+            window: self.window.iter().copied().collect(),
+            fr: &self.fr,
+            bl: &self.bl,
+            pred: &self.pred,
+            hits: self.stats.hits,
+            misses: self.stats.misses,
+        }
+    }
+
+    /// Rebuilds a stream from its raw parts.
+    ///
+    /// # Errors
+    /// Fails when the parts are structurally inconsistent (window size
+    /// vs method, cursor out of range, mismatched predictor).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        method: Method,
+        len: usize,
+        win_start: isize,
+        window: Vec<u64>,
+        fr: BitStack,
+        bl: BitStack,
+        pred: PredState,
+        hits: u64,
+        misses: u64,
+    ) -> Result<Self, &'static str> {
+        let w = method.window();
+        if window.len() != w {
+            return Err("window size does not match method");
+        }
+        if win_start < -(w as isize) || win_start > len as isize {
+            return Err("cursor out of range");
+        }
+        let matches = matches!(
+            (&pred, method),
+            (PredState::Fcm { .. }, Method::Fcm { .. })
+                | (PredState::Dfcm { .. }, Method::Dfcm { .. })
+                | (PredState::LastN { .. }, Method::LastN { .. })
+                | (PredState::LastNStride { .. }, Method::LastNStride { .. })
+        );
+        if !matches {
+            return Err("predictor kind does not match method");
+        }
+        Ok(CompressedStream {
+            method,
+            w,
+            len,
+            fr,
+            bl,
+            window: window.into(),
+            win_start,
+            pred,
+            stats: StreamStats { hits, misses },
+        })
+    }
+}
+
+/// Borrowed internal state of a [`CompressedStream`].
+#[derive(Debug)]
+pub struct RawParts<'a> {
+    /// Compression method.
+    pub method: Method,
+    /// Value count.
+    pub len: usize,
+    /// Cursor position.
+    pub win_start: isize,
+    /// Window contents (front to back; owned — the window is tiny).
+    pub window: Vec<u64>,
+    /// FR bit stack.
+    pub fr: &'a BitStack,
+    /// BL bit stack.
+    pub bl: &'a BitStack,
+    /// Predictor state.
+    pub pred: &'a PredState,
+    /// Construction hits.
+    pub hits: u64,
+    /// Construction misses.
+    pub misses: u64,
+}
+
+// Context-slice helpers. All return nearest-first arrays of exactly `w`
+// values (w <= 4 in practice; the buffer is fixed-size). The indexed
+// loops mirror the paper's window-offset notation on a deque, where
+// iterator chains would obscure the direction.
+#[allow(clippy::needless_range_loop)]
+impl CompressedStream {
+    /// Context for uncompressing the value just right of the window:
+    /// window values right-to-left.
+    fn ctx_right_edge(&self) -> [u64; 4] {
+        let mut c = [0u64; 4];
+        for j in 0..self.w {
+            c[j] = self.window[self.w - 1 - j];
+        }
+        c
+    }
+
+    /// Context for uncompressing the value just left of the window:
+    /// window values left-to-right.
+    fn ctx_left_edge(&self) -> [u64; 4] {
+        let mut c = [0u64; 4];
+        for j in 0..self.w {
+            c[j] = self.window[j];
+        }
+        c
+    }
+
+    /// Context for compressing `window[0]` when the deque temporarily
+    /// holds `w + 1` values: the values after the front, nearest first.
+    fn ctx_after_front(&self) -> [u64; 4] {
+        debug_assert_eq!(self.window.len(), self.w + 1);
+        let mut c = [0u64; 4];
+        for j in 0..self.w {
+            c[j] = self.window[1 + j];
+        }
+        c
+    }
+
+    /// Context for compressing `window[w]` (the back) when the deque
+    /// temporarily holds `w + 1` values: the values before the back,
+    /// nearest first.
+    fn ctx_left_of_back(&self) -> [u64; 4] {
+        debug_assert_eq!(self.window.len(), self.w + 1);
+        let mut c = [0u64; 4];
+        for j in 0..self.w {
+            c[j] = self.window[self.w - 1 - j];
+        }
+        c
+    }
+}
+
+fn table_bits_for(len: usize, max_bits: u32) -> u32 {
+    let want = usize::BITS - len.next_power_of_two().leading_zeros() - 1;
+    want.clamp(4, max_bits.max(4))
+}
+
+/// Trial-compresses a prefix of `values` with every candidate and
+/// returns the method with the fewest bits (ties break toward the
+/// earlier candidate).
+pub fn choose_method(values: &[u64], cfg: &StreamConfig) -> Method {
+    let candidates = if cfg.candidates.is_empty() {
+        Method::default_candidates()
+    } else {
+        cfg.candidates.clone()
+    };
+    let n = values.len().min(cfg.trial_len.max(1));
+    let prefix = &values[..n];
+    let mut best = candidates[0];
+    let mut best_bits = u64::MAX;
+    for &m in &candidates {
+        let bits = trial_bits(prefix, m, table_bits_for(values.len(), cfg.table_bits_max));
+        if bits < best_bits {
+            best_bits = bits;
+            best = m;
+        }
+    }
+    best
+}
+
+/// Counts the bits a method would use on `values` (left-to-right pass;
+/// compression ratios are direction-symmetric in expectation).
+fn trial_bits(values: &[u64], method: Method, table_bits: u32) -> u64 {
+    let w = method.window();
+    let mut st = PredState::new(method, table_bits);
+    let mut counter = BitCounter::new();
+    let mut ctx = [0u64; 4];
+    for (i, &v) in values.iter().enumerate() {
+        for (j, c) in ctx.iter_mut().enumerate().take(w) {
+            let d = j + 1;
+            *c = if i >= d { values[i - d] } else { 0 };
+        }
+        st.compress(Side::Bl, &ctx, v, &mut counter);
+    }
+    counter.bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> StreamConfig {
+        StreamConfig::default()
+    }
+
+    #[test]
+    fn roundtrip_all_methods_small() {
+        let values: Vec<u64> = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4];
+        for m in Method::default_candidates() {
+            let mut s = CompressedStream::compress(&values, m, &cfg());
+            assert_eq!(s.decompress(), values, "method {}", m.name());
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty_and_single() {
+        for m in Method::default_candidates() {
+            let mut s = CompressedStream::compress(&[], m, &cfg());
+            assert!(s.is_empty());
+            assert_eq!(s.decompress(), Vec::<u64>::new());
+            let mut s = CompressedStream::compress(&[42], m, &cfg());
+            assert_eq!(s.decompress(), vec![42]);
+            assert_eq!(s.get(0), 42);
+        }
+    }
+
+    #[test]
+    fn backward_traversal_reads_same_values() {
+        let values: Vec<u64> = (0..500).map(|i| (i * i) % 97).collect();
+        let mut s = CompressedStream::compress_auto(&values, &cfg());
+        // Walk to the right end, then read backwards.
+        let mut back: Vec<u64> = (0..values.len()).rev().map(|i| s.get(i)).collect();
+        back.reverse();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn forward_backward_is_identity() {
+        let values: Vec<u64> = (0..200).map(|i| i % 7 * 1000).collect();
+        for m in Method::default_candidates() {
+            let mut s = CompressedStream::compress(&values, m, &cfg());
+            s.rewind();
+            for _ in 0..50 {
+                s.step_forward();
+            }
+            let snapshot = s.clone();
+            assert!(s.step_forward());
+            assert!(s.step_backward());
+            assert_eq!(s.fr, snapshot.fr, "{}: FR stack differs", m.name());
+            assert_eq!(s.bl, snapshot.bl, "{}: BL stack differs", m.name());
+            assert_eq!(s.window, snapshot.window, "{}", m.name());
+            assert_eq!(s.pred, snapshot.pred, "{}: predictor state differs", m.name());
+        }
+    }
+
+    #[test]
+    fn random_walk_then_full_read() {
+        let values: Vec<u64> = (0..300).map(|i| (i * 31 + 7) % 256).collect();
+        let mut s = CompressedStream::compress_auto(&values, &cfg());
+        // Deterministic pseudo-random walk.
+        let mut x = 12345u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if x & 1 == 0 {
+                s.step_forward();
+            } else {
+                s.step_backward();
+            }
+        }
+        assert_eq!(s.decompress(), values, "stream corrupted by random walk");
+    }
+
+    #[test]
+    fn constant_stream_compresses_hard() {
+        let values = vec![7u64; 10_000];
+        let s = CompressedStream::compress_auto(&values, &cfg());
+        // ~1 bit per value after warmup.
+        assert!(s.compressed_bits() < 16_000, "bits = {}", s.compressed_bits());
+        assert!(s.stats().hits > 9_900);
+    }
+
+    #[test]
+    fn stride_stream_prefers_stride_method() {
+        let values: Vec<u64> = (0..5000).map(|i| 1_000_000 + 12 * i).collect();
+        let m = choose_method(&values, &cfg());
+        assert!(
+            matches!(m, Method::Dfcm { .. } | Method::LastNStride { .. }),
+            "expected a stride-based method, got {}",
+            m.name()
+        );
+        let s = CompressedStream::compress(&values, m, &cfg());
+        assert!(s.compressed_bits() < 10_000, "bits = {}", s.compressed_bits());
+    }
+
+    #[test]
+    fn repeating_pattern_prefers_context_method() {
+        let pat = [10u64, 20, 30, 40, 50, 60, 70];
+        let values: Vec<u64> = (0..5000).map(|i| pat[i % pat.len()]).collect();
+        let s = CompressedStream::compress_auto(&values, &cfg());
+        assert!(s.compressed_bits() < 10_000, "bits = {}", s.compressed_bits());
+    }
+
+    #[test]
+    fn random_stream_stays_near_raw_size() {
+        let mut x = 99u64;
+        let values: Vec<u64> = (0..2000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect();
+        let s = CompressedStream::compress_auto(&values, &cfg());
+        let raw_bits = 64 * 2000;
+        assert!(
+            s.compressed_bits() <= raw_bits + raw_bits / 32,
+            "worst case within ~3% of raw: {} vs {}",
+            s.compressed_bits(),
+            raw_bits
+        );
+    }
+
+    #[test]
+    fn get_panics_out_of_bounds() {
+        let mut s = CompressedStream::compress(&[1, 2, 3], Method::Fcm { order: 1 }, &cfg());
+        assert_eq!(s.get(2), 3);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.get(3)));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rewind_returns_to_left_end() {
+        let values: Vec<u64> = (0..100).collect();
+        let mut s = CompressedStream::compress_auto(&values, &cfg());
+        s.get(99);
+        s.rewind();
+        assert_eq!(s.window_start(), -(s.method().window() as isize));
+        assert_eq!(s.get(0), 0);
+    }
+
+    #[test]
+    fn compressed_bytes_accounts_header() {
+        let s = CompressedStream::compress(&[1, 2, 3], Method::LastN { n: 4 }, &cfg());
+        assert!(s.compressed_bytes() >= 16);
+        assert!(s.heap_bytes() >= s.compressed_bytes());
+    }
+}

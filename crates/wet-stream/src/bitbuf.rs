@@ -1,0 +1,244 @@
+//! Bit-level stacks used to store compressed stream entries.
+//!
+//! The bidirectional stream keeps two bit stacks: `FR` (values left of
+//! the uncompressed window, compressed with right context) and `BL`
+//! (values right of the window, compressed with left context). Cursor
+//! movement pushes entries onto one stack and pops from the other, so a
+//! LIFO bit container is exactly what is needed.
+//!
+//! Entries are written *payload first, flag last*, so that popping reads
+//! the 1-bit hit/miss flag first and then knows how many payload bits to
+//! pop.
+
+/// Anything that accepts pushed bits. Implemented by [`BitStack`] (real
+/// storage) and [`BitCounter`] (size-only trial runs).
+pub trait BitSink {
+    /// Pushes a single bit.
+    fn push_bit(&mut self, bit: bool);
+    /// Pushes the low `width` bits of `value` (LSB pushed first).
+    fn push_bits(&mut self, value: u64, width: u32);
+}
+
+/// A growable stack of bits with LIFO semantics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitStack {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bits are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pops a single bit.
+    ///
+    /// # Panics
+    /// Panics if the stack is empty.
+    #[inline]
+    pub fn pop_bit(&mut self) -> bool {
+        assert!(self.len > 0, "pop from empty BitStack");
+        self.len -= 1;
+        let (w, b) = (self.len / 64, self.len % 64);
+        let bit = (self.words[w] >> b) & 1 == 1;
+        // Clear so Eq/Debug stay canonical.
+        self.words[w] &= !(1u64 << b);
+        if b == 0 {
+            self.words.pop();
+        }
+        bit
+    }
+
+    /// Pops `width` bits pushed by a matching
+    /// [`push_bits`](BitSink::push_bits) call, reconstructing the value.
+    ///
+    /// # Panics
+    /// Panics if fewer than `width` bits are stored or `width > 64`.
+    #[inline]
+    pub fn pop_bits(&mut self, width: u32) -> u64 {
+        assert!(width <= 64);
+        let mut v = 0u64;
+        // push_bits pushed LSB first, so the MSB is on top: pop from
+        // high bit index down.
+        for i in (0..width).rev() {
+            if self.pop_bit() {
+                v |= 1u64 << i;
+            }
+        }
+        v
+    }
+
+    /// Heap bytes used by the backing storage.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+
+    /// The backing words and bit length (for serialization).
+    pub fn raw_parts(&self) -> (&[u64], usize) {
+        (&self.words, self.len)
+    }
+
+    /// Rebuilds a stack from its raw parts.
+    ///
+    /// # Errors
+    /// Fails if the word count does not match the bit length or the
+    /// unused high bits are not zero (non-canonical form).
+    pub fn from_raw_parts(words: Vec<u64>, len: usize) -> Result<Self, &'static str> {
+        if words.len() != len.div_ceil(64) {
+            return Err("bit length does not match word count");
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                if last >> (len % 64) != 0 {
+                    return Err("non-canonical bits above the stack top");
+                }
+            }
+        }
+        Ok(BitStack { words, len })
+    }
+}
+
+impl BitSink for BitStack {
+    #[inline]
+    fn push_bit(&mut self, bit: bool) {
+        let (w, b) = (self.len / 64, self.len % 64);
+        if w == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[w] |= 1u64 << b;
+        }
+        self.len += 1;
+    }
+
+    #[inline]
+    fn push_bits(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 64);
+        for i in 0..width {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+}
+
+/// A [`BitSink`] that only counts bits — used for trial compression
+/// during method selection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BitCounter {
+    bits: u64,
+}
+
+impl BitCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bits pushed so far.
+    #[inline]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+}
+
+impl BitSink for BitCounter {
+    #[inline]
+    fn push_bit(&mut self, _bit: bool) {
+        self.bits += 1;
+    }
+
+    #[inline]
+    fn push_bits(&mut self, _value: u64, width: u32) {
+        self.bits += u64::from(width);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip_lifo() {
+        let mut s = BitStack::new();
+        s.push_bit(true);
+        s.push_bit(false);
+        s.push_bit(true);
+        assert_eq!(s.len(), 3);
+        assert!(s.pop_bit());
+        assert!(!s.pop_bit());
+        assert!(s.pop_bit());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn multibit_roundtrip() {
+        let mut s = BitStack::new();
+        s.push_bits(0xDEAD_BEEF_CAFE_F00D, 64);
+        s.push_bits(0b101, 3);
+        assert_eq!(s.pop_bits(3), 0b101);
+        assert_eq!(s.pop_bits(64), 0xDEAD_BEEF_CAFE_F00D);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn interleaved_entries_pop_in_reverse() {
+        // Simulates entry format: payload then flag.
+        let mut s = BitStack::new();
+        s.push_bits(42, 64);
+        s.push_bit(false); // miss entry
+        s.push_bit(true); // hit entry
+        assert!(s.pop_bit()); // hit
+        assert!(!s.pop_bit()); // miss flag
+        assert_eq!(s.pop_bits(64), 42);
+    }
+
+    #[test]
+    fn word_boundary_crossing() {
+        let mut s = BitStack::new();
+        for i in 0..200u64 {
+            s.push_bits(i, 7);
+        }
+        assert_eq!(s.len(), 1400);
+        for i in (0..200u64).rev() {
+            assert_eq!(s.pop_bits(7), i & 0x7f);
+        }
+        assert!(s.is_empty());
+        assert!(s.words.is_empty(), "popped words are released");
+    }
+
+    #[test]
+    #[should_panic(expected = "pop from empty")]
+    fn pop_empty_panics() {
+        BitStack::new().pop_bit();
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut c = BitCounter::new();
+        c.push_bit(true);
+        c.push_bits(7, 9);
+        assert_eq!(c.bits(), 10);
+    }
+
+    #[test]
+    fn canonical_equality_after_pop() {
+        let mut a = BitStack::new();
+        a.push_bits(0xFFFF, 16);
+        let mut b = a.clone();
+        b.push_bit(true);
+        b.pop_bit();
+        assert_eq!(a, b, "popping restores canonical representation");
+    }
+}

@@ -1,0 +1,67 @@
+//! # wet-stream — bidirectional generic stream compression (paper §4)
+//!
+//! The second compression tier of the Whole Execution Trace views every
+//! remaining label sequence — node timestamps, node values, dependence
+//! edge timestamp pairs — as a stream of integers and compresses each
+//! with a value-predictor-derived algorithm that remains traversable in
+//! **both** directions.
+//!
+//! Classic predictor-based trace compressors (VPC-style) are
+//! unidirectional: the stream can only be decoded front to back. The
+//! paper's construction keeps an `n`-value *uncompressed window* inside
+//! the stream; values left of the window are compressed against their
+//! right context, values right of it against their left context, and an
+//! *evict-swap* table-update rule makes every predictor step invertible,
+//! so the window slides either way in O(1) per step.
+//!
+//! * [`CompressedStream`] — the bidirectional container with cursor.
+//! * [`Method`] — FCM, differential FCM, last-*n*, last-*n*-stride; the
+//!   best method per stream is picked by trial compression
+//!   ([`CompressedStream::compress_auto`]).
+//! * [`sequitur`] — the Sequitur baseline the paper compares against.
+//! * [`unidir`] — a classic unidirectional (VPC-style) compressor that
+//!   demonstrates why bidirectionality matters: backward reads restart
+//!   decoding from the front.
+//!
+//! # Example
+//!
+//! ```
+//! use wet_stream::{CompressedStream, StreamConfig};
+//!
+//! // A timestamp-like stream: strictly increasing with regular strides.
+//! let ts: Vec<u64> = (0..10_000u64).map(|i| 5 * i + 3).collect();
+//! let mut s = CompressedStream::compress_auto(&ts, &StreamConfig::default());
+//! assert_eq!(s.get(1234), 5 * 1234 + 3);
+//! // Regular strides compress to far below raw size.
+//! assert!(s.compressed_bits() < 64 * 10_000 / 10);
+//! ```
+
+pub mod bitbuf;
+pub mod sequitur;
+pub mod serial;
+pub mod unidir;
+
+mod bidi;
+mod predict;
+
+pub use bidi::{choose_method, CompressedStream, RawParts, StreamConfig, StreamStats};
+pub use predict::{Method, PredState, Side};
+
+/// Convenience: compresses a slice of `i64` values (bit-cast to `u64`).
+pub fn compress_i64_auto(values: &[i64], cfg: &StreamConfig) -> CompressedStream {
+    let u: Vec<u64> = values.iter().map(|&v| v as u64).collect();
+    CompressedStream::compress_auto(&u, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i64_helper_roundtrips() {
+        let values: Vec<i64> = vec![-5, 3, -5, 3, i64::MIN, i64::MAX, 0];
+        let mut s = compress_i64_auto(&values, &StreamConfig::default());
+        let back: Vec<i64> = s.decompress().into_iter().map(|v| v as i64).collect();
+        assert_eq!(back, values);
+    }
+}

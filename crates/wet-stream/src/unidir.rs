@@ -1,0 +1,241 @@
+//! Classic **unidirectional** predictor-based compression — the
+//! baseline the paper's bidirectional scheme replaces.
+//!
+//! A VPC-style forward FCM compressor: values are encoded front to
+//! back against a zero-initialized table; on a miss the *actual* value
+//! is stored and the table updated. Decoding therefore only works
+//! front to back. "The problem with using a unidirectional predictor
+//! is that while it is easy to traverse the value stream in the
+//! direction corresponding to the order in which values were
+//! compressed, traversing the stream in the reverse direction is
+//! expensive" (§4) — a backward read here must restart decoding from
+//! the beginning for every step, which [`UnidirStream::restarts`]
+//! makes measurable.
+
+use crate::bitbuf::BitSink;
+
+const CTX: usize = 2;
+
+#[derive(Debug, Clone)]
+struct FwdTable {
+    slots: Vec<u64>,
+    mask: u64,
+}
+
+impl FwdTable {
+    fn new(bits: u32) -> Self {
+        let n = 1usize << bits;
+        FwdTable { slots: vec![0; n], mask: n as u64 - 1 }
+    }
+
+    #[inline]
+    fn idx(&self, ctx: &[u64; CTX]) -> usize {
+        let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+        for &v in ctx {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01B3);
+            h ^= h >> 29;
+        }
+        (h & self.mask) as usize
+    }
+}
+
+/// A forward-only compressed stream of `u64` values.
+///
+/// # Example
+///
+/// ```
+/// use wet_stream::unidir::UnidirStream;
+///
+/// let data: Vec<u64> = (0..1000).map(|i| i % 5).collect();
+/// let mut s = UnidirStream::compress(&data, 10);
+/// assert_eq!(s.get(500), 0);
+/// assert_eq!(s.get(499), 4); // works, but restarts decoding
+/// assert!(s.restarts() >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnidirStream {
+    /// Entry bits in *forward* order (not a stack; indexed by a read
+    /// pointer during decoding).
+    bits: Vec<bool>,
+    len: usize,
+    table_bits: u32,
+    // Decoder state.
+    table: FwdTable,
+    ctx: [u64; CTX],
+    bit_pos: usize,
+    next_index: usize,
+    window: u64,
+    restarts: u64,
+}
+
+/// A simple forward-order bit buffer.
+#[derive(Debug, Default)]
+struct BitVecSink(Vec<bool>);
+
+impl BitSink for BitVecSink {
+    fn push_bit(&mut self, bit: bool) {
+        self.0.push(bit);
+    }
+    fn push_bits(&mut self, value: u64, width: u32) {
+        for i in 0..width {
+            self.0.push((value >> i) & 1 == 1);
+        }
+    }
+}
+
+impl UnidirStream {
+    /// Compresses `values` with a forward FCM of order 2 and
+    /// `1 << table_bits` table slots.
+    pub fn compress(values: &[u64], table_bits: u32) -> Self {
+        let mut table = FwdTable::new(table_bits);
+        let mut ctx = [0u64; CTX];
+        let mut sink = BitVecSink::default();
+        for &v in values {
+            let i = table.idx(&ctx);
+            if table.slots[i] == v {
+                sink.push_bit(true);
+            } else {
+                sink.push_bit(false);
+                sink.push_bits(v, 64);
+                table.slots[i] = v;
+            }
+            ctx = [v, ctx[0]];
+        }
+        UnidirStream {
+            bits: sink.0,
+            len: values.len(),
+            table_bits,
+            table: FwdTable::new(table_bits),
+            ctx: [0; CTX],
+            bit_pos: 0,
+            next_index: 0,
+            window: 0,
+            restarts: 0,
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the stream holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Compressed payload size in bits.
+    pub fn compressed_bits(&self) -> u64 {
+        self.bits.len() as u64
+    }
+
+    /// Times the decoder had to restart from position 0 because a read
+    /// went backward — the cost the bidirectional scheme eliminates.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    fn reset(&mut self) {
+        self.table = FwdTable::new(self.table_bits);
+        self.ctx = [0; CTX];
+        self.bit_pos = 0;
+        self.next_index = 0;
+    }
+
+    fn decode_next(&mut self) -> u64 {
+        let i = self.table.idx(&self.ctx);
+        let hit = self.bits[self.bit_pos];
+        self.bit_pos += 1;
+        let v = if hit {
+            self.table.slots[i]
+        } else {
+            let mut v = 0u64;
+            for b in 0..64 {
+                if self.bits[self.bit_pos + b] {
+                    v |= 1 << b;
+                }
+            }
+            self.bit_pos += 64;
+            self.table.slots[i] = v;
+            v
+        };
+        self.ctx = [v, self.ctx[0]];
+        self.next_index += 1;
+        self.window = v;
+        v
+    }
+
+    /// Reads the value at index `i`. Forward reads are O(distance);
+    /// *backward* reads restart decoding from the beginning.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn get(&mut self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of bounds");
+        if i + 1 < self.next_index {
+            self.restarts += 1;
+            self.reset();
+        }
+        if i + 1 == self.next_index {
+            return self.window;
+        }
+        let mut v = self.window;
+        while self.next_index <= i {
+            v = self.decode_next();
+        }
+        v
+    }
+
+    /// Decompresses everything front to back (cheap direction).
+    pub fn decompress(&mut self) -> Vec<u64> {
+        self.reset();
+        (0..self.len).map(|_| self.decode_next()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u64> = (0..500).map(|i| (i * i) % 37).collect();
+        let mut s = UnidirStream::compress(&data, 8);
+        assert_eq!(s.decompress(), data);
+    }
+
+    #[test]
+    fn forward_reads_are_cheap() {
+        let data: Vec<u64> = (0..1000).collect();
+        let mut s = UnidirStream::compress(&data, 8);
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(s.get(i), v);
+        }
+        assert_eq!(s.restarts(), 0);
+    }
+
+    #[test]
+    fn backward_reads_restart() {
+        let data: Vec<u64> = (0..100).map(|i| i * 3).collect();
+        let mut s = UnidirStream::compress(&data, 8);
+        let mut back: Vec<u64> = (0..100).rev().map(|i| s.get(i)).collect();
+        back.reverse();
+        assert_eq!(back, data);
+        assert!(s.restarts() >= 98, "each backward step restarts: {}", s.restarts());
+    }
+
+    #[test]
+    fn repetitive_data_compresses() {
+        let data: Vec<u64> = (0..10_000).map(|i| [3u64, 1, 4][i % 3]).collect();
+        let s = UnidirStream::compress(&data, 10);
+        assert!(s.compressed_bits() < 20_000, "bits = {}", s.compressed_bits());
+    }
+
+    #[test]
+    fn empty_stream() {
+        let mut s = UnidirStream::compress(&[], 6);
+        assert!(s.is_empty());
+        assert!(s.decompress().is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! `bzip2-like` — move-to-front + run-length coding in the spirit of
+//! `256.bzip2`.
+//!
+//! Each pass MTF-transforms a byte buffer against an in-memory
+//! alphabet table (linear search + shift loops, both with
+//! data-dependent trip counts) and run-length-counts the output.
+//! Because skewed data keeps MTF indexes tiny and repetitive,
+//! `256.bzip2` showed the paper's best tier-2 timestamp ratio
+//! (1171.6 in Table 2); this workload reproduces that extreme
+//! repetitiveness.
+
+use crate::util::{lcg_step, loop_blocks};
+use wet_ir::builder::ProgramBuilder;
+use wet_ir::stmt::{BinOp, Operand};
+use wet_ir::Program;
+
+const ALPHA: i64 = 32; // alphabet size
+const BUF_LEN: i64 = 4096;
+const BUF: i64 = 0;
+const TABLE: i64 = BUF_LEN; // MTF table
+
+/// Builds the program. Inputs: `[passes, seed]`.
+pub fn program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0);
+    let e = f.entry_block();
+    let (passes, x, i, n, c) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    f.block(e).input(passes);
+    f.block(e).input(x);
+
+    // Skewed buffer: long runs (run length 1..16) over a tiny alphabet.
+    let (t, u, addr, run, sym) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    f.block(e).movi(i, 0);
+    f.block(e).movi(run, 0);
+    f.block(e).movi(sym, 0);
+    f.block(e).movi(n, BUF_LEN);
+    let (ih, ib, ix) = loop_blocks(&mut f, i, n, c);
+    f.block(e).jump(ih);
+    let (new_run, write) = (f.new_block(), f.new_block());
+    f.block(ib).bin(BinOp::Le, u, run, 0i64);
+    f.block(ib).branch(u, new_run, write);
+    {
+        let mut b = f.block(new_run);
+        lcg_step(&mut b, x);
+        b.bin(BinOp::Rem, run, x, 16i64);
+        b.bin(BinOp::Add, run, run, 1i64);
+        b.bin(BinOp::Shr, sym, x, 7i64);
+        b.bin(BinOp::Rem, sym, sym, ALPHA);
+        b.jump(write);
+    }
+    {
+        let mut b = f.block(write);
+        b.bin(BinOp::Add, addr, i, BUF);
+        b.store(addr, sym);
+        b.bin(BinOp::Sub, run, run, 1i64);
+        b.bin(BinOp::Add, i, i, 1i64);
+        b.jump(ih);
+    }
+
+    // Pass loop.
+    let (pass, runs, zero_out, cc, prev) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    f.block(ix).movi(pass, 0);
+    f.block(ix).movi(runs, 0);
+    f.block(ix).movi(zero_out, 0);
+    let (ph, pb2, px) = loop_blocks(&mut f, pass, passes, c);
+    f.block(ix).jump(ph);
+
+    // Reset the MTF table: table[j] = j.
+    let j = f.reg();
+    let (th, tb, tx) = {
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.block(head).bin(BinOp::Lt, cc, j, ALPHA);
+        f.block(head).branch(cc, body, exit);
+        (head, body, exit)
+    };
+    f.block(pb2).movi(j, 0);
+    f.block(pb2).jump(th);
+    {
+        let mut b = f.block(tb);
+        b.bin(BinOp::Add, addr, j, TABLE);
+        b.store(addr, j);
+        b.bin(BinOp::Add, j, j, 1i64);
+        b.jump(th);
+    }
+
+    // MTF scan of the buffer.
+    let pos = f.reg();
+    f.block(tx).movi(pos, 0);
+    f.block(tx).movi(prev, -1i64);
+    let (sh, sb, sx) = {
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.block(head).bin(BinOp::Lt, cc, pos, BUF_LEN);
+        f.block(head).branch(cc, body, exit);
+        (head, body, exit)
+    };
+    f.block(tx).jump(sh);
+    {
+        let mut b = f.block(sb);
+        b.bin(BinOp::Add, addr, pos, BUF);
+        b.load(sym, addr);
+        b.movi(j, 0);
+    }
+    // Find j with table[j] == sym (guaranteed to exist).
+    let (fh, fb, fdone) = (f.new_block(), f.new_block(), f.new_block());
+    f.block(sb).jump(fh);
+    {
+        let mut b = f.block(fh);
+        b.bin(BinOp::Add, addr, j, TABLE);
+        b.load(t, addr);
+        b.bin(BinOp::Eq, cc, t, sym);
+        b.branch(cc, fdone, fb);
+    }
+    f.block(fb).bin(BinOp::Add, j, j, 1i64);
+    f.block(fb).jump(fh);
+    // Shift table[0..j] up by one, table[0] = sym; count output runs.
+    let (shift_h, shift_b, shift_done) = (f.new_block(), f.new_block(), f.new_block());
+    let k = f.reg();
+    f.block(fdone).mov(k, Operand::Reg(j));
+    f.block(fdone).jump(shift_h);
+    f.block(shift_h).bin(BinOp::Gt, cc, k, 0i64);
+    f.block(shift_h).branch(cc, shift_b, shift_done);
+    {
+        let mut b = f.block(shift_b);
+        b.bin(BinOp::Sub, t, k, 1i64);
+        b.bin(BinOp::Add, addr, t, TABLE);
+        b.load(u, addr);
+        b.bin(BinOp::Add, addr, k, TABLE);
+        b.store(addr, u);
+        b.bin(BinOp::Sub, k, k, 1i64);
+        b.jump(shift_h);
+    }
+    {
+        let mut b = f.block(shift_done);
+        b.store(TABLE, sym);
+        // RLE over MTF output: count runs of equal indexes and zeros.
+        b.bin(BinOp::Ne, cc, j, prev);
+        b.bin(BinOp::Add, runs, runs, cc);
+        b.mov(prev, Operand::Reg(j));
+        b.bin(BinOp::Eq, cc, j, 0i64);
+        b.bin(BinOp::Add, zero_out, zero_out, cc);
+        b.bin(BinOp::Add, pos, pos, 1i64);
+        b.jump(sh);
+    }
+
+    {
+        let mut b = f.block(sx);
+        b.bin(BinOp::Add, pass, pass, 1i64);
+        b.jump(ph);
+    }
+
+    f.block(px).out(Operand::Reg(runs));
+    f.block(px).out(Operand::Reg(zero_out));
+    f.block(px).ret(Some(Operand::Reg(runs)));
+    let main = f.finish();
+    pb.finish(main).expect("bzip2-like program is valid")
+}
+
+/// Statements per pass (whole-buffer MTF), measured.
+pub const STMTS_PER_ITER: u64 = 120_000;
+
+/// Inputs targeting roughly `target_stmts` executed statements.
+pub fn inputs_for(target_stmts: u64) -> Vec<i64> {
+    let passes = (target_stmts / STMTS_PER_ITER).max(1);
+    vec![passes as i64, 256_256]
+}

@@ -1,0 +1,137 @@
+//! `gcc-like` — table-driven state machine in the spirit of `126.gcc`.
+//!
+//! A synthetic token stream drives a state-transition table held in
+//! memory, plus a branch tree dispatching on token class with
+//! per-class actions (counter updates, stack pushes/pops, emission).
+//! The mix of table loads and irregular branching mimics a compiler
+//! front end's dispatch-heavy behaviour; `126.gcc` showed the paper's
+//! second-best compression ratio thanks to highly repetitive dispatch
+//! paths.
+
+use crate::util::{lcg_step, loop_blocks};
+use wet_ir::builder::ProgramBuilder;
+use wet_ir::stmt::{BinOp, Operand};
+use wet_ir::Program;
+
+const N_STATES: i64 = 12;
+const N_TOKS: i64 = 16;
+const TABLE: i64 = 0; // [0, 192): transition table
+const STACK: i64 = 256; // [256, 1280): operand stack
+const COUNTS: i64 = 1536; // [1536, 1552): per-class counters
+
+/// Builds the program. Inputs: `[tokens, seed]`.
+pub fn program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0);
+    let e = f.entry_block();
+    let (tokens, x, i, n, c) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    f.block(e).input(tokens);
+    f.block(e).input(x);
+
+    // Build the transition table: next = (state * 5 + tok * 3 + 1) % N_STATES.
+    let (t, addr) = (f.reg(), f.reg());
+    f.block(e).movi(i, 0);
+    f.block(e).movi(n, N_STATES * N_TOKS);
+    let (ih, ib, ix) = loop_blocks(&mut f, i, n, c);
+    f.block(e).jump(ih);
+    {
+        let mut b = f.block(ib);
+        b.bin(BinOp::Mul, t, i, 5i64);
+        b.bin(BinOp::Add, t, t, 1i64);
+        b.bin(BinOp::Rem, t, t, N_STATES);
+        b.bin(BinOp::Add, addr, i, TABLE);
+        b.store(addr, t);
+        b.bin(BinOp::Add, i, i, 1i64);
+        b.jump(ih);
+    }
+
+    // Token loop.
+    let (it, state, sp, emitted, tok, cls, cc) =
+        (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    f.block(ix).movi(it, 0);
+    f.block(ix).movi(state, 0);
+    f.block(ix).mov(sp, Operand::Imm(STACK));
+    f.block(ix).movi(emitted, 0);
+    let (mh, mb, mx) = loop_blocks(&mut f, it, tokens, c);
+    f.block(ix).jump(mh);
+
+    {
+        let mut b = f.block(mb);
+        lcg_step(&mut b, x);
+        b.bin(BinOp::Rem, tok, x, N_TOKS);
+        // state = table[state * N_TOKS + tok]
+        b.bin(BinOp::Mul, t, state, N_TOKS);
+        b.bin(BinOp::Add, t, t, tok);
+        b.bin(BinOp::Add, addr, t, TABLE);
+        b.load(state, addr);
+        b.bin(BinOp::Div, cls, tok, 4i64); // 4 token classes
+    }
+    // Class dispatch tree.
+    let (c01, c23, cl0, cl1, cl2, cl3, join) =
+        (f.new_block(), f.new_block(), f.new_block(), f.new_block(), f.new_block(), f.new_block(), f.new_block());
+    f.block(mb).bin(BinOp::Lt, cc, cls, 2i64);
+    f.block(mb).branch(cc, c01, c23);
+    f.block(c01).bin(BinOp::Eq, cc, cls, 0i64);
+    f.block(c01).branch(cc, cl0, cl1);
+    f.block(c23).bin(BinOp::Eq, cc, cls, 2i64);
+    f.block(c23).branch(cc, cl2, cl3);
+
+    // Class 0: bump a per-token counter.
+    {
+        let mut b = f.block(cl0);
+        b.bin(BinOp::Add, addr, tok, COUNTS);
+        b.load(t, addr);
+        b.bin(BinOp::Add, t, t, 1i64);
+        b.store(addr, t);
+        b.jump(join);
+    }
+    // Class 1: push state onto the stack (bounded).
+    let (push, full) = (f.new_block(), f.new_block());
+    f.block(cl1).bin(BinOp::Lt, cc, sp, STACK + 1024);
+    f.block(cl1).branch(cc, push, full);
+    {
+        let mut b = f.block(push);
+        b.store(sp, state);
+        b.bin(BinOp::Add, sp, sp, 1i64);
+        b.jump(join);
+    }
+    f.block(full).mov(sp, Operand::Imm(STACK));
+    f.block(full).jump(join);
+    // Class 2: pop and mix into state.
+    let (pop, empty) = (f.new_block(), f.new_block());
+    f.block(cl2).bin(BinOp::Gt, cc, sp, STACK);
+    f.block(cl2).branch(cc, pop, empty);
+    {
+        let mut b = f.block(pop);
+        b.bin(BinOp::Sub, sp, sp, 1i64);
+        b.load(t, sp);
+        b.bin(BinOp::Xor, state, state, t);
+        b.bin(BinOp::Rem, state, state, N_STATES);
+        b.jump(join);
+    }
+    f.block(empty).jump(join);
+    // Class 3: emit.
+    f.block(cl3).bin(BinOp::Add, emitted, emitted, 1i64);
+    f.block(cl3).jump(join);
+
+    {
+        let mut b = f.block(join);
+        b.bin(BinOp::Add, it, it, 1i64);
+        b.jump(mh);
+    }
+
+    f.block(mx).out(Operand::Reg(emitted));
+    f.block(mx).out(Operand::Reg(state));
+    f.block(mx).ret(Some(Operand::Reg(emitted)));
+    let main = f.finish();
+    pb.finish(main).expect("gcc-like program is valid")
+}
+
+/// Statements per token iteration, measured.
+pub const STMTS_PER_ITER: u64 = 19;
+
+/// Inputs targeting roughly `target_stmts` executed statements.
+pub fn inputs_for(target_stmts: u64) -> Vec<i64> {
+    let tokens = (target_stmts / STMTS_PER_ITER).max(1);
+    vec![tokens as i64, 126_126]
+}

@@ -1,0 +1,127 @@
+//! `go-like` — branchy board evaluation in the spirit of `099.go`.
+//!
+//! A 19x19 board of three-valued cells is initialized pseudo-randomly;
+//! each "move" picks a random position, inspects its four neighbours
+//! through boundary-checked conditional chains, and conditionally
+//! rewrites the cell. The paper notes `099.go`'s "complex control flow
+//! structure" made it the hardest benchmark for WET traversal — this
+//! workload reproduces that shape: many short paths, data-dependent
+//! branching, low value locality.
+
+use crate::util::{lcg_step, loop_blocks};
+use wet_ir::builder::ProgramBuilder;
+use wet_ir::stmt::{BinOp, Operand};
+use wet_ir::Program;
+
+const N: i64 = 19;
+const BOARD: i64 = 0; // board occupies [0, 361)
+
+/// Builds the program. Inputs: `[moves, seed]`.
+pub fn program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0);
+    let e = f.entry_block();
+    let (moves, x, i, n, c) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    f.block(e).input(moves);
+    f.block(e).input(x);
+    f.block(e).movi(i, 0);
+    f.block(e).movi(n, N * N);
+
+    // Board init: board[p] = lcg % 3.
+    let (ih, ib, ix) = loop_blocks(&mut f, i, n, c);
+    f.block(e).jump(ih);
+    let (t, addr) = (f.reg(), f.reg());
+    {
+        let mut b = f.block(ib);
+        lcg_step(&mut b, x);
+        b.bin(BinOp::Rem, t, x, 3i64);
+        b.bin(BinOp::Add, addr, i, BOARD);
+        b.store(addr, t);
+        b.bin(BinOp::Add, i, i, 1i64);
+        b.jump(ih);
+    }
+
+    // Move loop.
+    let (it, score) = (f.reg(), f.reg());
+    f.block(ix).movi(it, 0);
+    f.block(ix).movi(score, 0);
+    let (mh, mb, mx) = loop_blocks(&mut f, it, moves, c);
+    f.block(ix).jump(mh);
+
+    let (p, cell, row, col, neigh, w, cc) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    {
+        let mut b = f.block(mb);
+        lcg_step(&mut b, x);
+        b.bin(BinOp::Rem, p, x, N * N);
+        b.bin(BinOp::Add, addr, p, BOARD);
+        b.load(cell, addr);
+        b.bin(BinOp::Div, row, p, N);
+        b.bin(BinOp::Rem, col, p, N);
+        b.movi(neigh, 0);
+    }
+    // West neighbour: if col > 0 && board[p-1] == cell { neigh += 1 }.
+    let check = |f: &mut wet_ir::builder::FunctionBuilder<'_>, cur: wet_ir::BlockId, coord: wet_ir::Reg, cmp: BinOp, lim: i64, delta: i64| {
+        let (go, inc, done) = (f.new_block(), f.new_block(), f.new_block());
+        f.block(cur).bin(cmp, cc, coord, lim);
+        f.block(cur).branch(cc, go, done);
+        {
+            let mut b = f.block(go);
+            b.bin(BinOp::Add, addr, p, BOARD + delta);
+            b.load(w, addr);
+            b.bin(BinOp::Eq, cc, w, cell);
+            b.branch(cc, inc, done);
+        }
+        f.block(inc).bin(BinOp::Add, neigh, neigh, 1i64);
+        f.block(inc).jump(done);
+        done
+    };
+    let d1 = check(&mut f, mb, col, BinOp::Gt, 0, -1);
+    let d2 = check(&mut f, d1, col, BinOp::Lt, N - 1, 1);
+    let d3 = check(&mut f, d2, row, BinOp::Gt, 0, -N);
+    let d4 = check(&mut f, d3, row, BinOp::Lt, N - 1, N);
+
+    // Capture rule: if neigh >= 2 and cell != 0, clear and score;
+    // else if cell == 0, place a pseudo-random stone.
+    let (cap1, cap2, place_q, place, cont) = (f.new_block(), f.new_block(), f.new_block(), f.new_block(), f.new_block());
+    f.block(d4).bin(BinOp::Ge, cc, neigh, 2i64);
+    f.block(d4).branch(cc, cap1, place_q);
+    f.block(cap1).bin(BinOp::Ne, cc, cell, 0i64);
+    f.block(cap1).branch(cc, cap2, place_q);
+    {
+        let mut b = f.block(cap2);
+        b.bin(BinOp::Add, addr, p, BOARD);
+        b.store(addr, 0i64);
+        b.bin(BinOp::Add, score, score, neigh);
+        b.jump(cont);
+    }
+    f.block(place_q).bin(BinOp::Eq, cc, cell, 0i64);
+    f.block(place_q).branch(cc, place, cont);
+    {
+        let mut b = f.block(place);
+        b.bin(BinOp::Shr, t, x, 8i64);
+        b.bin(BinOp::Rem, t, t, 3i64);
+        b.bin(BinOp::Add, addr, p, BOARD);
+        b.store(addr, t);
+        b.jump(cont);
+    }
+    {
+        let mut b = f.block(cont);
+        b.bin(BinOp::Add, score, score, cell);
+        b.bin(BinOp::Add, it, it, 1i64);
+        b.jump(mh);
+    }
+
+    f.block(mx).out(Operand::Reg(score));
+    f.block(mx).ret(Some(Operand::Reg(score)));
+    let main = f.finish();
+    pb.finish(main).expect("go-like program is valid")
+}
+
+/// Statements per move iteration, measured (see crate tests).
+pub const STMTS_PER_ITER: u64 = 33;
+
+/// Inputs targeting roughly `target_stmts` executed statements.
+pub fn inputs_for(target_stmts: u64) -> Vec<i64> {
+    let moves = (target_stmts / STMTS_PER_ITER).max(1);
+    vec![moves as i64, 20_040_615]
+}

@@ -1,0 +1,175 @@
+//! `gzip-like` — LZ77-style compression in the spirit of `164.gzip`.
+//!
+//! A synthetic byte buffer with planted repetitions is scanned with a
+//! rolling 3-byte hash into a head table; candidate matches are
+//! extended by an inner comparison loop, emitting matches or literals.
+//! Inner-loop trip counts vary with the data, producing the diverse
+//! path mix and address-register traffic that made `164.gzip` one of
+//! the harder-to-compress rows of Table 1.
+
+use crate::util::{lcg_step, loop_blocks};
+use wet_ir::builder::ProgramBuilder;
+use wet_ir::stmt::{BinOp, Operand};
+use wet_ir::Program;
+
+const BUF_LEN: i64 = 8192;
+const BUF: i64 = 0;
+const HEADS: i64 = BUF_LEN; // hash-head table, 1024 entries
+const OUT: i64 = BUF_LEN + 1024;
+
+/// Builds the program. Inputs: `[passes, seed]` — the buffer is
+/// compressed `passes` times (the head table persists, changing match
+/// behaviour across passes).
+pub fn program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0);
+    let e = f.entry_block();
+    let (passes, x, i, n, c) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    f.block(e).input(passes);
+    f.block(e).input(x);
+
+    // Fill the buffer with skewed bytes: runs of a small alphabet so
+    // matches exist. buf[i] = ((i / 13) * 7 + lcg % 4) % 64.
+    let (t, u, addr) = (f.reg(), f.reg(), f.reg());
+    f.block(e).movi(i, 0);
+    f.block(e).movi(n, BUF_LEN);
+    let (ih, ib, ix) = loop_blocks(&mut f, i, n, c);
+    f.block(e).jump(ih);
+    {
+        let mut b = f.block(ib);
+        lcg_step(&mut b, x);
+        b.bin(BinOp::Div, t, i, 7i64);
+        b.bin(BinOp::Mul, t, t, 7i64);
+        b.bin(BinOp::Rem, u, x, 96i64);
+        b.bin(BinOp::Add, t, t, u);
+        b.bin(BinOp::Rem, t, t, 192i64);
+        b.bin(BinOp::Add, addr, i, BUF);
+        b.store(addr, t);
+        b.bin(BinOp::Add, i, i, 1i64);
+        b.jump(ih);
+    }
+    // Clear the head table (-1 = empty).
+    let hn = f.reg();
+    f.block(ix).movi(i, 0);
+    f.block(ix).movi(hn, 1024);
+    let (hh, hb, hx) = loop_blocks(&mut f, i, hn, c);
+    f.block(ix).jump(hh);
+    {
+        let mut b = f.block(hb);
+        b.bin(BinOp::Add, addr, i, HEADS);
+        b.store(addr, -1i64);
+        b.bin(BinOp::Add, i, i, 1i64);
+        b.jump(hh);
+    }
+
+    // Pass loop around the scan loop.
+    let (pass, pos, emitted, cc, h, cand, len, b0, b1) =
+        (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    f.block(hx).movi(pass, 0);
+    f.block(hx).movi(emitted, 0);
+    let (ph, pb2, px) = loop_blocks(&mut f, pass, passes, c);
+    f.block(hx).jump(ph);
+
+    let scan_head = f.new_block();
+    f.block(pb2).movi(pos, 0);
+    f.block(pb2).jump(scan_head);
+
+    // Scan while pos < BUF_LEN - 4.
+    let (scan_body, scan_done) = (f.new_block(), f.new_block());
+    f.block(scan_head).bin(BinOp::Lt, cc, pos, BUF_LEN - 4);
+    f.block(scan_head).branch(cc, scan_body, scan_done);
+
+    {
+        let mut b = f.block(scan_body);
+        // h = (buf[pos]*33 + buf[pos+1]*7 + buf[pos+2]) % 1024
+        b.bin(BinOp::Add, addr, pos, BUF);
+        b.load(b0, addr);
+        b.bin(BinOp::Add, addr, addr, 1i64);
+        b.load(b1, addr);
+        b.bin(BinOp::Add, addr, addr, 1i64);
+        b.load(t, addr);
+        b.bin(BinOp::Mul, h, b0, 33i64);
+        b.bin(BinOp::Mul, u, b1, 7i64);
+        b.bin(BinOp::Add, h, h, u);
+        b.bin(BinOp::Add, h, h, t);
+        b.bin(BinOp::Rem, h, h, 1024i64);
+        // cand = heads[h]; heads[h] = pos
+        b.bin(BinOp::Add, addr, h, HEADS);
+        b.load(cand, addr);
+        b.store(addr, pos);
+    }
+    // If cand >= 0 and cand < pos: try to extend a match.
+    let (try1, try2, extend, literal, have_match, emit_match, advance) = (
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+    );
+    f.block(scan_body).bin(BinOp::Ge, cc, cand, 0i64);
+    f.block(scan_body).branch(cc, try1, literal);
+    f.block(try1).bin(BinOp::Lt, cc, cand, pos);
+    f.block(try1).branch(cc, try2, literal);
+    f.block(try2).movi(len, 0);
+    f.block(try2).jump(extend);
+    // while len < 8 && buf[cand+len] == buf[pos+len] { len++ }
+    let (ext_chk, ext_inc) = (f.new_block(), f.new_block());
+    f.block(extend).bin(BinOp::Lt, cc, len, 8i64);
+    f.block(extend).branch(cc, ext_chk, have_match);
+    {
+        let mut b = f.block(ext_chk);
+        b.bin(BinOp::Add, addr, cand, len);
+        b.load(t, addr);
+        b.bin(BinOp::Add, addr, pos, len);
+        b.load(u, addr);
+        b.bin(BinOp::Eq, cc, t, u);
+        b.branch(cc, ext_inc, have_match);
+    }
+    f.block(ext_inc).bin(BinOp::Add, len, len, 1i64);
+    f.block(ext_inc).jump(extend);
+    // Match of >= 3 is emitted; otherwise literal.
+    f.block(have_match).bin(BinOp::Ge, cc, len, 3i64);
+    f.block(have_match).branch(cc, emit_match, literal);
+    {
+        let mut b = f.block(emit_match);
+        b.bin(BinOp::Rem, addr, emitted, 512i64);
+        b.bin(BinOp::Add, addr, addr, OUT);
+        b.bin(BinOp::Sub, t, pos, cand); // distance
+        b.store(addr, t);
+        b.bin(BinOp::Add, emitted, emitted, 1i64);
+        b.bin(BinOp::Add, pos, pos, len);
+        b.jump(advance);
+    }
+    {
+        let mut b = f.block(literal);
+        b.bin(BinOp::Rem, addr, emitted, 512i64);
+        b.bin(BinOp::Add, addr, addr, OUT);
+        b.store(addr, b0);
+        b.bin(BinOp::Add, emitted, emitted, 1i64);
+        b.bin(BinOp::Add, pos, pos, 1i64);
+        b.jump(advance);
+    }
+    f.block(advance).jump(scan_head);
+
+    {
+        let mut b = f.block(scan_done);
+        b.bin(BinOp::Add, pass, pass, 1i64);
+        b.jump(ph);
+    }
+
+    f.block(px).out(Operand::Reg(emitted));
+    f.block(px).ret(Some(Operand::Reg(emitted)));
+    let main = f.finish();
+    pb.finish(main).expect("gzip-like program is valid")
+}
+
+/// Statements per pass (whole-buffer scan), measured.
+pub const STMTS_PER_ITER: u64 = 120_000;
+
+/// Inputs targeting roughly `target_stmts` executed statements.
+pub fn inputs_for(target_stmts: u64) -> Vec<i64> {
+    let passes = (target_stmts / STMTS_PER_ITER).max(1);
+    vec![passes as i64, 164_164]
+}

@@ -1,0 +1,192 @@
+//! `li-like` — a bytecode interpreter in the spirit of `130.li`.
+//!
+//! A tiny stack-machine program (compiled into memory at startup) is
+//! executed repeatedly by a dispatch loop, and a recursive IR function
+//! is invoked periodically — interpreters exhibit extreme path
+//! repetition (dispatch loop) plus deep call activity, which is the
+//! behaviour that gave `130.li` strong timestamp compression in the
+//! paper.
+
+use crate::util::loop_blocks;
+use wet_ir::builder::ProgramBuilder;
+use wet_ir::stmt::{BinOp, Operand};
+use wet_ir::Program;
+
+const CODE: i64 = 0; // bytecode region
+const STACK: i64 = 128; // operand stack
+
+// Opcodes of the interpreted machine.
+const OP_PUSH: i64 = 0; // push immediate (next word)
+const OP_ADD: i64 = 1;
+const OP_DUP: i64 = 2;
+const OP_JNZ: i64 = 3; // decrement TOS; jump to target (next word) if nonzero
+const OP_HALT: i64 = 4;
+
+/// Builds the program. Inputs: `[rounds, depth]` — `rounds` executions
+/// of the bytecode, and every round calls `sum_rec(depth)`.
+pub fn program() -> Program {
+    let mut pb = ProgramBuilder::new();
+
+    // Recursive helper: sum_rec(d) = d <= 0 ? 0 : d + sum_rec(d - 1).
+    let sum_rec = pb.declare("sum_rec");
+    {
+        let mut g = pb.define(sum_rec, 1);
+        let e = g.entry_block();
+        let (base, rec, done) = (g.new_block(), g.new_block(), g.new_block());
+        let d = g.param(0);
+        let (c, t, r) = (g.reg(), g.reg(), g.reg());
+        g.block(e).bin(BinOp::Le, c, d, 0i64);
+        g.block(e).branch(c, base, rec);
+        g.block(base).ret(Some(Operand::Imm(0)));
+        g.block(rec).bin(BinOp::Sub, t, d, 1i64);
+        g.block(rec).call(sum_rec, vec![Operand::Reg(t)], Some(r), done);
+        g.block(done).bin(BinOp::Add, r, r, d);
+        g.block(done).ret(Some(Operand::Reg(r)));
+        g.finish();
+    }
+
+    let mut f = pb.function("main", 0);
+    let e = f.entry_block();
+    let (rounds, depth) = (f.reg(), f.reg());
+    f.block(e).input(rounds);
+    f.block(e).input(depth);
+
+    // Assemble the bytecode: push 25; loop { dup; add; jnz back } halt.
+    // Encoded program: [PUSH, 25, PUSH, 6, DUP, ADD, JNZ, 2, HALT]
+    // (operand meanings are interpreted below; the exact program is a
+    // counted inner loop of arithmetic.)
+    {
+        let mut b = f.block(e);
+        let prog: [i64; 9] = [OP_PUSH, 40, OP_PUSH, 12, OP_DUP, OP_ADD, OP_JNZ, 4, OP_HALT];
+        for (i, w) in prog.iter().enumerate() {
+            b.store(CODE + i as i64, *w);
+        }
+    }
+
+    // Outer rounds loop.
+    let (it, c, acc) = (f.reg(), f.reg(), f.reg());
+    f.block(e).movi(it, 0);
+    f.block(e).movi(acc, 0);
+    let (rh, rb, rx) = loop_blocks(&mut f, it, rounds, c);
+    f.block(e).jump(rh);
+
+    // One bytecode execution: dispatch loop.
+    let (pc, sp, op, t, u, cc) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    let dispatch = f.new_block();
+    // Vary the interpreted loop's trip count and the arithmetic seed
+    // per round so neither the path stream nor the value stream is
+    // identical across rounds (real Lisp workloads interleave data).
+    f.block(rb).bin(BinOp::Rem, t, it, 23i64);
+    f.block(rb).bin(BinOp::Add, t, t, 20i64);
+    f.block(rb).store(CODE + 1, t);
+    f.block(rb).bin(BinOp::Mul, u, it, 2654435761i64);
+    f.block(rb).bin(BinOp::And, u, u, 0xffffi64);
+    f.block(rb).store(CODE + 3, u);
+    f.block(rb).movi(pc, CODE);
+    f.block(rb).mov(sp, Operand::Imm(STACK));
+    f.block(rb).jump(dispatch);
+
+    let (d_push, n0, d_add, n1, d_dup, n2, d_jnz, d_halt) = (
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+    );
+    // Dispatch tree on op.
+    f.block(dispatch).load(op, pc);
+    f.block(dispatch).bin(BinOp::Add, pc, pc, 1i64);
+    f.block(dispatch).bin(BinOp::Eq, cc, op, OP_PUSH);
+    f.block(dispatch).branch(cc, d_push, n0);
+    f.block(n0).bin(BinOp::Eq, cc, op, OP_ADD);
+    f.block(n0).branch(cc, d_add, n1);
+    f.block(n1).bin(BinOp::Eq, cc, op, OP_DUP);
+    f.block(n1).branch(cc, d_dup, n2);
+    f.block(n2).bin(BinOp::Eq, cc, op, OP_JNZ);
+    f.block(n2).branch(cc, d_jnz, d_halt);
+
+    // PUSH imm: stack[sp++] = code[pc++]
+    {
+        let mut b = f.block(d_push);
+        b.load(t, pc);
+        b.bin(BinOp::Add, pc, pc, 1i64);
+        b.store(sp, t);
+        b.bin(BinOp::Add, sp, sp, 1i64);
+        b.jump(dispatch);
+    }
+    // ADD: TOS' = pop + pop, push
+    {
+        let mut b = f.block(d_add);
+        b.bin(BinOp::Sub, sp, sp, 1i64);
+        b.load(t, sp);
+        b.bin(BinOp::Sub, sp, sp, 1i64);
+        b.load(u, sp);
+        b.bin(BinOp::Add, t, t, u);
+        b.bin(BinOp::And, t, t, 0xffffi64);
+        b.store(sp, t);
+        b.bin(BinOp::Add, sp, sp, 1i64);
+        b.jump(dispatch);
+    }
+    // DUP
+    {
+        let mut b = f.block(d_dup);
+        b.bin(BinOp::Sub, t, sp, 1i64);
+        b.load(u, t);
+        b.store(sp, u);
+        b.bin(BinOp::Add, sp, sp, 1i64);
+        b.jump(dispatch);
+    }
+    // JNZ target: decrement the value *below* TOS (the loop counter);
+    // jump back if nonzero.
+    let (taken, fall) = (f.new_block(), f.new_block());
+    {
+        let mut b = f.block(d_jnz);
+        b.bin(BinOp::Sub, t, sp, 2i64);
+        b.load(u, t);
+        b.bin(BinOp::Sub, u, u, 1i64);
+        b.store(t, u);
+        b.bin(BinOp::Ne, cc, u, 0i64);
+        b.branch(cc, taken, fall);
+    }
+    {
+        let mut b = f.block(taken);
+        b.load(t, pc); // target operand
+        b.bin(BinOp::Add, pc, t, CODE);
+        b.jump(dispatch);
+    }
+    f.block(fall).bin(BinOp::Add, pc, pc, 1i64);
+    f.block(fall).jump(dispatch);
+
+    // HALT: accumulate TOS, call the recursive helper, next round.
+    let after_call = f.new_block();
+    {
+        let mut b = f.block(d_halt);
+        b.bin(BinOp::Sub, t, sp, 1i64);
+        b.load(u, t);
+        b.bin(BinOp::Add, acc, acc, u);
+        b.call(sum_rec, vec![Operand::Reg(depth)], Some(t), after_call);
+    }
+    {
+        let mut b = f.block(after_call);
+        b.bin(BinOp::Add, acc, acc, t);
+        b.bin(BinOp::Add, it, it, 1i64);
+        b.jump(rh);
+    }
+
+    f.block(rx).out(Operand::Reg(acc));
+    f.block(rx).ret(Some(Operand::Reg(acc)));
+    let main = f.finish();
+    pb.finish(main).expect("li-like program is valid")
+}
+
+/// Statements per round (bytecode run + recursion), measured.
+pub const STMTS_PER_ITER: u64 = 1900;
+
+/// Inputs targeting roughly `target_stmts` executed statements.
+pub fn inputs_for(target_stmts: u64) -> Vec<i64> {
+    let rounds = (target_stmts / STMTS_PER_ITER).max(1);
+    vec![rounds as i64, 24]
+}

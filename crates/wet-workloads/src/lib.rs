@@ -1,0 +1,251 @@
+//! # wet-workloads — synthetic SPEC-like benchmark programs
+//!
+//! The paper evaluates WETs on nine SpecInt 95/2000 benchmarks run
+//! under Trimaran. SPEC sources and inputs cannot be redistributed, so
+//! this crate provides nine synthetic programs written in the `wet-ir`
+//! intermediate language, one per paper row, each engineered to
+//! reproduce its counterpart's *dominant dynamic behaviour* — the
+//! property that determines WET stream compressibility:
+//!
+//! | Workload | Mimics | Behaviour |
+//! |---|---|---|
+//! | [`go_like`] | `099.go` | branchy board evaluation, complex control flow |
+//! | [`gcc_like`] | `126.gcc` | table-driven state machine, dispatch-heavy |
+//! | [`li_like`] | `130.li` | bytecode interpreter loop plus recursion |
+//! | [`gzip_like`] | `164.gzip` | LZ77 hashing and match extension |
+//! | [`mcf_like`] | `181.mcf` | pointer chasing, poor locality |
+//! | [`parser_like`] | `197.parser` | tokenizer runs plus recursive descent |
+//! | [`vortex_like`] | `255.vortex` | hash-table object store transactions |
+//! | [`bzip2_like`] | `256.bzip2` | move-to-front + RLE transform |
+//! | [`twolf_like`] | `300.twolf` | annealing swaps with random accepts |
+//!
+//! Each module exposes `program()` and `inputs_for(target_stmts)`; the
+//! [`Workload`] catalog wraps both for the bench harness.
+
+pub mod bzip2_like;
+pub mod gcc_like;
+pub mod go_like;
+pub mod gzip_like;
+pub mod li_like;
+pub mod mcf_like;
+pub mod parser_like;
+pub mod twolf_like;
+pub mod util;
+pub mod vortex_like;
+
+use wet_ir::Program;
+
+/// The nine workload kinds, in the paper's Table 1 row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Kind {
+    /// `099.go`-like.
+    Go,
+    /// `126.gcc`-like.
+    Gcc,
+    /// `130.li`-like.
+    Li,
+    /// `164.gzip`-like.
+    Gzip,
+    /// `181.mcf`-like.
+    Mcf,
+    /// `197.parser`-like.
+    Parser,
+    /// `255.vortex`-like.
+    Vortex,
+    /// `256.bzip2`-like.
+    Bzip2,
+    /// `300.twolf`-like.
+    Twolf,
+}
+
+impl Kind {
+    /// All kinds in Table 1 row order.
+    pub fn all() -> [Kind; 9] {
+        [
+            Kind::Go,
+            Kind::Gcc,
+            Kind::Li,
+            Kind::Gzip,
+            Kind::Mcf,
+            Kind::Parser,
+            Kind::Vortex,
+            Kind::Bzip2,
+            Kind::Twolf,
+        ]
+    }
+
+    /// The display name used in bench tables (echoing the paper rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Go => "go-like",
+            Kind::Gcc => "gcc-like",
+            Kind::Li => "li-like",
+            Kind::Gzip => "gzip-like",
+            Kind::Mcf => "mcf-like",
+            Kind::Parser => "parser-like",
+            Kind::Vortex => "vortex-like",
+            Kind::Bzip2 => "bzip2-like",
+            Kind::Twolf => "twolf-like",
+        }
+    }
+
+    /// Builds the program for this kind.
+    pub fn program(self) -> Program {
+        match self {
+            Kind::Go => go_like::program(),
+            Kind::Gcc => gcc_like::program(),
+            Kind::Li => li_like::program(),
+            Kind::Gzip => gzip_like::program(),
+            Kind::Mcf => mcf_like::program(),
+            Kind::Parser => parser_like::program(),
+            Kind::Vortex => vortex_like::program(),
+            Kind::Bzip2 => bzip2_like::program(),
+            Kind::Twolf => twolf_like::program(),
+        }
+    }
+
+    /// Inputs targeting roughly `target_stmts` executed statements.
+    pub fn inputs_for(self, target_stmts: u64) -> Vec<i64> {
+        match self {
+            Kind::Go => go_like::inputs_for(target_stmts),
+            Kind::Gcc => gcc_like::inputs_for(target_stmts),
+            Kind::Li => li_like::inputs_for(target_stmts),
+            Kind::Gzip => gzip_like::inputs_for(target_stmts),
+            Kind::Mcf => mcf_like::inputs_for(target_stmts),
+            Kind::Parser => parser_like::inputs_for(target_stmts),
+            Kind::Vortex => vortex_like::inputs_for(target_stmts),
+            Kind::Bzip2 => bzip2_like::inputs_for(target_stmts),
+            Kind::Twolf => twolf_like::inputs_for(target_stmts),
+        }
+    }
+}
+
+/// A ready-to-run workload: program plus inputs.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Which benchmark this mimics.
+    pub kind: Kind,
+    /// The program.
+    pub program: Program,
+    /// Inputs sized for the requested statement target.
+    pub inputs: Vec<i64>,
+}
+
+/// Builds one workload targeting roughly `target_stmts` executed
+/// statements.
+pub fn build(kind: Kind, target_stmts: u64) -> Workload {
+    Workload { kind, program: kind.program(), inputs: kind.inputs_for(target_stmts) }
+}
+
+/// Builds all nine workloads at the same statement target.
+pub fn all(target_stmts: u64) -> Vec<Workload> {
+    Kind::all().into_iter().map(|k| build(k, target_stmts)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wet_interp::{Interp, InterpConfig, NullSink, RunResult};
+    use wet_ir::ballarus::BallLarus;
+
+    fn run(kind: Kind, target: u64) -> RunResult {
+        let w = build(kind, target);
+        let bl = BallLarus::new(&w.program);
+        Interp::new(&w.program, &bl, InterpConfig::default())
+            .run(&w.inputs, &mut NullSink)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()))
+    }
+
+    #[test]
+    fn all_workloads_run_and_terminate() {
+        for kind in Kind::all() {
+            let r = run(kind, 50_000);
+            assert!(r.stmts_executed > 0, "{}", kind.name());
+            assert!(!r.outputs.is_empty(), "{} must produce output", kind.name());
+        }
+    }
+
+    #[test]
+    fn deterministic_outputs() {
+        for kind in Kind::all() {
+            let a = run(kind, 30_000);
+            let b = run(kind, 30_000);
+            assert_eq!(a.outputs, b.outputs, "{} must be deterministic", kind.name());
+        }
+    }
+
+    #[test]
+    fn statement_targets_are_roughly_met() {
+        for kind in Kind::all() {
+            let target = 300_000;
+            let r = run(kind, target);
+            let ratio = r.stmts_executed as f64 / target as f64;
+            assert!(
+                (0.3..3.5).contains(&ratio),
+                "{}: executed {} for target {target} (ratio {ratio:.2})",
+                kind.name(),
+                r.stmts_executed
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_increases_work() {
+        for kind in Kind::all() {
+            let small = run(kind, 30_000);
+            let large = run(kind, 300_000);
+            assert!(
+                large.stmts_executed > small.stmts_executed,
+                "{}: {} !> {}",
+                kind.name(),
+                large.stmts_executed,
+                small.stmts_executed
+            );
+        }
+    }
+
+    #[test]
+    fn workloads_exercise_memory_and_branches() {
+        use wet_interp::{StmtEvent, TraceSink};
+        #[derive(Default)]
+        struct Counter {
+            loads: u64,
+            stores: u64,
+            branches: u64,
+        }
+        impl TraceSink for Counter {
+            fn on_stmt(&mut self, ev: &StmtEvent) {
+                if let Some(m) = ev.mem {
+                    if m.is_store {
+                        self.stores += 1;
+                    } else {
+                        self.loads += 1;
+                    }
+                }
+                if ev.branch_taken.is_some() {
+                    self.branches += 1;
+                }
+            }
+        }
+        for kind in Kind::all() {
+            let w = build(kind, 50_000);
+            let bl = BallLarus::new(&w.program);
+            let mut c = Counter::default();
+            Interp::new(&w.program, &bl, InterpConfig::default()).run(&w.inputs, &mut c).unwrap();
+            assert!(c.loads > 0, "{} has no loads", kind.name());
+            assert!(c.stores > 0, "{} has no stores", kind.name());
+            assert!(c.branches > 100, "{} has too few branches", kind.name());
+        }
+    }
+
+    /// Prints the measured statements-per-iteration so the calibration
+    /// constants can be updated (run with --nocapture).
+    #[test]
+    fn calibration_report() {
+        for kind in Kind::all() {
+            let target = 200_000u64;
+            let r = run(kind, target);
+            println!("{:12} target {} executed {}", kind.name(), target, r.stmts_executed);
+        }
+    }
+}

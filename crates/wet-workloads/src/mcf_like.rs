@@ -1,0 +1,104 @@
+//! `mcf-like` — pointer chasing in the spirit of `181.mcf`.
+//!
+//! A successor array forms a long pseudo-random cycle; the main loop
+//! chases it, loading data-dependent addresses with essentially no
+//! spatial locality and accumulating costs. `181.mcf` is the classic
+//! memory-bound SPEC benchmark; its WET showed weaker timestamp
+//! compression (irregular dependence distances) in the paper.
+
+use crate::util::loop_blocks;
+use wet_ir::builder::ProgramBuilder;
+use wet_ir::stmt::{BinOp, Operand};
+use wet_ir::Program;
+
+const NODES: i64 = 16_384;
+const NEXT: i64 = 0; // successor array
+const COST: i64 = NODES; // cost array
+
+/// Builds the program. Inputs: `[hops, seed]`.
+pub fn program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0);
+    let e = f.entry_block();
+    let (hops, seed, i, n, c) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    f.block(e).input(hops);
+    f.block(e).input(seed);
+
+    // next[i] = (i * 7919 + seed) % NODES  (7919 is coprime with 2^14
+    // only when odd offsets avoid short cycles; good enough scatter),
+    // cost[i] = (i * 31) & 0xff.
+    let (t, addr) = (f.reg(), f.reg());
+    f.block(e).movi(i, 0);
+    f.block(e).movi(n, NODES);
+    let (ih, ib, ix) = loop_blocks(&mut f, i, n, c);
+    f.block(e).jump(ih);
+    {
+        let mut b = f.block(ib);
+        b.bin(BinOp::Mul, t, i, 7919i64);
+        b.bin(BinOp::Add, t, t, seed);
+        b.bin(BinOp::Rem, t, t, NODES);
+        b.bin(BinOp::Add, addr, i, NEXT);
+        b.store(addr, t);
+        b.bin(BinOp::Mul, t, i, 31i64);
+        b.bin(BinOp::And, t, t, 0xffi64);
+        b.bin(BinOp::Add, addr, i, COST);
+        b.store(addr, t);
+        b.bin(BinOp::Add, i, i, 1i64);
+        b.jump(ih);
+    }
+
+    // Chase loop.
+    let (it, cur, acc, cc) = (f.reg(), f.reg(), f.reg(), f.reg());
+    f.block(ix).bin(BinOp::Rem, cur, seed, NODES);
+    f.block(ix).movi(it, 0);
+    f.block(ix).movi(acc, 0);
+    let (mh, mb, mx) = loop_blocks(&mut f, it, hops, c);
+    f.block(ix).jump(mh);
+
+    let (update, cont) = (f.new_block(), f.new_block());
+    {
+        let mut b = f.block(mb);
+        b.bin(BinOp::Add, addr, cur, NEXT);
+        b.load(cur, addr);
+        b.bin(BinOp::Add, addr, cur, COST);
+        b.load(t, addr);
+        b.bin(BinOp::Add, acc, acc, t);
+        // Every 16th hop, write back a reduced cost (stores with poor
+        // locality).
+        b.bin(BinOp::And, cc, it, 15i64);
+        b.bin(BinOp::Eq, cc, cc, 0i64);
+        b.branch(cc, update, cont);
+    }
+    {
+        let mut b = f.block(update);
+        b.bin(BinOp::And, t, acc, 0xffi64);
+        b.store(addr, t);
+        // Rewire this node's successor so the chase never settles into
+        // a fixed cycle (181.mcf's access stream is aperiodic).
+        b.bin(BinOp::Mul, t, cur, 7919i64);
+        b.bin(BinOp::Add, t, t, acc);
+        b.bin(BinOp::Rem, t, t, NODES);
+        b.bin(BinOp::Add, addr, cur, NEXT);
+        b.store(addr, t);
+        b.jump(cont);
+    }
+    {
+        let mut b = f.block(cont);
+        b.bin(BinOp::Add, it, it, 1i64);
+        b.jump(mh);
+    }
+
+    f.block(mx).out(Operand::Reg(acc));
+    f.block(mx).ret(Some(Operand::Reg(acc)));
+    let main = f.finish();
+    pb.finish(main).expect("mcf-like program is valid")
+}
+
+/// Statements per hop, measured.
+pub const STMTS_PER_ITER: u64 = 11;
+
+/// Inputs targeting roughly `target_stmts` executed statements.
+pub fn inputs_for(target_stmts: u64) -> Vec<i64> {
+    let hops = (target_stmts / STMTS_PER_ITER).max(1);
+    vec![hops as i64, 181_181]
+}

@@ -1,0 +1,243 @@
+//! `parser-like` — tokenizer plus recursive descent in the spirit of
+//! `197.parser`.
+//!
+//! A synthetic character buffer (letters, digits, spaces, brackets) is
+//! tokenized with run-consuming inner loops, and a recursive IR
+//! function walks the bracket nesting — the call-heavy, short-path
+//! profile typical of parsers, which compressed well in the paper.
+
+use crate::util::{lcg_step, loop_blocks};
+use wet_ir::builder::ProgramBuilder;
+use wet_ir::stmt::{BinOp, Operand};
+use wet_ir::Program;
+
+const TEXT_LEN: i64 = 4096;
+const TEXT: i64 = 0;
+
+// Character classes stored directly in the buffer.
+const CH_LETTER: i64 = 0;
+const CH_DIGIT: i64 = 1;
+const CH_SPACE: i64 = 2;
+const CH_OPEN: i64 = 3;
+const CH_CLOSE: i64 = 4;
+
+/// Builds the program. Inputs: `[passes, seed]`.
+pub fn program() -> Program {
+    let mut pb = ProgramBuilder::new();
+
+    // Recursive bracket walker: `descend(pos)` consumes a balanced
+    // group starting at an open bracket and returns the position after
+    // it. Recursion depth follows the generated nesting.
+    let descend = pb.declare("descend");
+    {
+        let mut g = pb.define(descend, 1);
+        let e = g.entry_block();
+        let pos = g.param(0);
+        let (ch, cc, p) = (g.reg(), g.reg(), g.reg());
+        let (loop_h, body, fin) = (g.new_block(), g.new_block(), g.new_block());
+        // p = pos + 1 (skip the open bracket)
+        g.block(e).bin(BinOp::Add, p, pos, 1i64);
+        g.block(e).jump(loop_h);
+        // while p < TEXT_LEN
+        let (chk, out_of_range) = (g.new_block(), g.new_block());
+        g.block(loop_h).bin(BinOp::Lt, cc, p, TEXT_LEN);
+        g.block(loop_h).branch(cc, chk, out_of_range);
+        g.block(chk).bin(BinOp::Add, ch, p, TEXT);
+        g.block(chk).load(ch, ch);
+        g.block(chk).jump(body);
+        // if ch == CLOSE: return p + 1
+        let (not_close, is_open, next) = (g.new_block(), g.new_block(), g.new_block());
+        g.block(body).bin(BinOp::Eq, cc, ch, CH_CLOSE);
+        g.block(body).branch(cc, fin, not_close);
+        // if ch == OPEN: p = descend(p) else p += 1
+        g.block(not_close).bin(BinOp::Eq, cc, ch, CH_OPEN);
+        g.block(not_close).branch(cc, is_open, next);
+        g.block(is_open).call(descend, vec![Operand::Reg(p)], Some(p), loop_h);
+        g.block(next).bin(BinOp::Add, p, p, 1i64);
+        g.block(next).jump(loop_h);
+        g.block(fin).bin(BinOp::Add, p, p, 1i64);
+        g.block(fin).ret(Some(Operand::Reg(p)));
+        g.block(out_of_range).ret(Some(Operand::Reg(p)));
+        g.finish();
+    }
+
+    let mut f = pb.function("main", 0);
+    let e = f.entry_block();
+    let (passes, x, i, n, c) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    f.block(e).input(passes);
+    f.block(e).input(x);
+
+    // Generate text: mostly letters/digits/spaces; brackets open with
+    // bounded nesting (a matching close is planted 5 cells later when
+    // possible, keeping groups balanced enough for bounded recursion).
+    let (t, u, addr) = (f.reg(), f.reg(), f.reg());
+    f.block(e).movi(i, 0);
+    f.block(e).movi(n, TEXT_LEN);
+    let (ih, ib, ix) = loop_blocks(&mut f, i, n, c);
+    f.block(e).jump(ih);
+    {
+        let mut b = f.block(ib);
+        lcg_step(&mut b, x);
+        b.bin(BinOp::Rem, t, x, 16i64);
+        // 0..7 -> letter, 8..11 -> digit, 12..13 -> space,
+        // 14 -> open, 15 -> close
+        b.bin(BinOp::Lt, u, t, 8i64);
+    }
+    let (letter, not_letter, digit, not_digit, space, bracket, op, cl, stored) = (
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+    );
+    let cls = f.reg();
+    f.block(ib).branch(u, letter, not_letter);
+    f.block(letter).movi(cls, CH_LETTER);
+    f.block(letter).jump(stored);
+    f.block(not_letter).bin(BinOp::Lt, u, t, 12i64);
+    f.block(not_letter).branch(u, digit, not_digit);
+    f.block(digit).movi(cls, CH_DIGIT);
+    f.block(digit).jump(stored);
+    f.block(not_digit).bin(BinOp::Lt, u, t, 14i64);
+    f.block(not_digit).branch(u, space, bracket);
+    f.block(space).movi(cls, CH_SPACE);
+    f.block(space).jump(stored);
+    f.block(bracket).bin(BinOp::Eq, u, t, 14i64);
+    f.block(bracket).branch(u, op, cl);
+    f.block(op).movi(cls, CH_OPEN);
+    f.block(op).jump(stored);
+    f.block(cl).movi(cls, CH_CLOSE);
+    f.block(cl).jump(stored);
+    {
+        let mut b = f.block(stored);
+        b.bin(BinOp::Add, addr, i, TEXT);
+        b.store(addr, cls);
+        b.bin(BinOp::Add, i, i, 1i64);
+        b.jump(ih);
+    }
+
+    // Pass loop: tokenize, and descend into each top-level bracket.
+    let (pass, words, numbers, groups, pos, ch, cc) =
+        (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    f.block(ix).movi(pass, 0);
+    f.block(ix).movi(words, 0);
+    f.block(ix).movi(numbers, 0);
+    f.block(ix).movi(groups, 0);
+    let (ph, pb2, px) = loop_blocks(&mut f, pass, passes, c);
+    f.block(ix).jump(ph);
+
+    // Drift the text: rewrite 64 pseudo-random cells each pass so the
+    // token stream differs from pass to pass.
+    let (drift_i, dh, db, dx) = {
+        let di = f.reg();
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.block(head).bin(BinOp::Lt, cc, di, 64i64);
+        f.block(head).branch(cc, body, exit);
+        (di, head, body, exit)
+    };
+    f.block(pb2).movi(drift_i, 0);
+    f.block(pb2).jump(dh);
+    {
+        let mut b = f.block(db);
+        lcg_step(&mut b, x);
+        b.bin(BinOp::Rem, addr, x, TEXT_LEN);
+        b.bin(BinOp::Add, addr, addr, TEXT);
+        b.bin(BinOp::Shr, t, x, 9i64);
+        b.bin(BinOp::Rem, t, t, 3i64);
+        b.store(addr, t);
+        b.bin(BinOp::Add, drift_i, drift_i, 1i64);
+        b.jump(dh);
+    }
+    let scan = f.new_block();
+    f.block(dx).movi(pos, 0);
+    f.block(dx).jump(scan);
+    let (scan_body, scan_done) = (f.new_block(), f.new_block());
+    f.block(scan).bin(BinOp::Lt, cc, pos, TEXT_LEN);
+    f.block(scan).branch(cc, scan_body, scan_done);
+    f.block(scan_body).bin(BinOp::Add, addr, pos, TEXT);
+    f.block(scan_body).load(ch, addr);
+
+    // Dispatch on class; letters and digits consume runs.
+    let (is_letter, not_l, is_digit, not_d, is_open, skip) =
+        (f.new_block(), f.new_block(), f.new_block(), f.new_block(), f.new_block(), f.new_block());
+    f.block(scan_body).bin(BinOp::Eq, cc, ch, CH_LETTER);
+    f.block(scan_body).branch(cc, is_letter, not_l);
+    // Word: consume letter run.
+    let (wl, wl_chk, wl_done) = (f.new_block(), f.new_block(), f.new_block());
+    f.block(is_letter).bin(BinOp::Add, words, words, 1i64);
+    f.block(is_letter).jump(wl);
+    f.block(wl).bin(BinOp::Lt, cc, pos, TEXT_LEN);
+    f.block(wl).branch(cc, wl_chk, wl_done);
+    {
+        let mut b = f.block(wl_chk);
+        b.bin(BinOp::Add, addr, pos, TEXT);
+        b.load(ch, addr);
+        b.bin(BinOp::Eq, cc, ch, CH_LETTER);
+        b.branch(cc, skip, wl_done);
+    }
+    f.block(skip).bin(BinOp::Add, pos, pos, 1i64);
+    f.block(skip).jump(wl);
+    f.block(wl_done).jump(scan);
+    // Number: consume digit run (shares the word machinery shape).
+    let (dl, dl_chk, dl_skip, dl_done) = (f.new_block(), f.new_block(), f.new_block(), f.new_block());
+    f.block(not_l).bin(BinOp::Eq, cc, ch, CH_DIGIT);
+    f.block(not_l).branch(cc, is_digit, not_d);
+    f.block(is_digit).bin(BinOp::Add, numbers, numbers, 1i64);
+    f.block(is_digit).jump(dl);
+    f.block(dl).bin(BinOp::Lt, cc, pos, TEXT_LEN);
+    f.block(dl).branch(cc, dl_chk, dl_done);
+    {
+        let mut b = f.block(dl_chk);
+        b.bin(BinOp::Add, addr, pos, TEXT);
+        b.load(ch, addr);
+        b.bin(BinOp::Eq, cc, ch, CH_DIGIT);
+        b.branch(cc, dl_skip, dl_done);
+    }
+    f.block(dl_skip).bin(BinOp::Add, pos, pos, 1i64);
+    f.block(dl_skip).jump(dl);
+    f.block(dl_done).jump(scan);
+    // Open bracket: recursive descent.
+    let after_descend = f.new_block();
+    let advance_one = skip2(&mut f, pos, scan);
+    f.block(not_d).bin(BinOp::Eq, cc, ch, CH_OPEN);
+    f.block(not_d).branch(cc, is_open, advance_one);
+    f.block(is_open).bin(BinOp::Add, groups, groups, 1i64);
+    f.block(is_open).call(descend, vec![Operand::Reg(pos)], Some(pos), after_descend);
+    f.block(after_descend).jump(scan);
+
+    {
+        let mut b = f.block(scan_done);
+        b.bin(BinOp::Add, pass, pass, 1i64);
+        b.jump(ph);
+    }
+
+    f.block(px).out(Operand::Reg(words));
+    f.block(px).out(Operand::Reg(numbers));
+    f.block(px).out(Operand::Reg(groups));
+    f.block(px).ret(Some(Operand::Reg(words)));
+    let main = f.finish();
+    pb.finish(main).expect("parser-like program is valid")
+}
+
+/// Emits a tiny "advance one char" block and returns it.
+fn skip2(f: &mut wet_ir::builder::FunctionBuilder<'_>, pos: wet_ir::Reg, scan: wet_ir::BlockId) -> wet_ir::BlockId {
+    let b = f.new_block();
+    f.block(b).bin(BinOp::Add, pos, pos, 1i64);
+    f.block(b).jump(scan);
+    b
+}
+
+/// Statements per pass (tokenize whole buffer), measured.
+pub const STMTS_PER_ITER: u64 = 42_000;
+
+/// Inputs targeting roughly `target_stmts` executed statements.
+pub fn inputs_for(target_stmts: u64) -> Vec<i64> {
+    let passes = (target_stmts / STMTS_PER_ITER).max(1);
+    vec![passes as i64, 197_197]
+}

@@ -1,0 +1,152 @@
+//! `twolf-like` — simulated-annealing placement in the spirit of
+//! `300.twolf`.
+//!
+//! Cells live at grid positions; each step proposes swapping two random
+//! cells, evaluates the wirelength delta against four pseudo-nets per
+//! cell, and accepts improving (or occasionally worsening) swaps.
+//! Random accept/reject decisions and scattered grid reads give this
+//! workload the weakest compression of the nine — matching
+//! `300.twolf`'s bottom-row ratio (16.49) in Table 1.
+
+use crate::util::{lcg_step, loop_blocks};
+use wet_ir::builder::ProgramBuilder;
+use wet_ir::stmt::{BinOp, Operand, UnOp};
+use wet_ir::Program;
+
+const CELLS: i64 = 1024;
+const POS: i64 = 0; // cell -> position
+const NET: i64 = CELLS; // cell -> first connected cell (net partner)
+
+/// Builds the program. Inputs: `[steps, seed]`.
+pub fn program() -> Program {
+    let mut pb = ProgramBuilder::new();
+
+    // |a - b| helper.
+    let absdiff = {
+        let mut g = pb.function("absdiff", 2);
+        let e = g.entry_block();
+        let (neg, pos_b) = (g.new_block(), g.new_block());
+        let (a, b) = (g.param(0), g.param(1));
+        let (d, c) = (g.reg(), g.reg());
+        g.block(e).bin(BinOp::Sub, d, a, b);
+        g.block(e).bin(BinOp::Lt, c, d, 0i64);
+        g.block(e).branch(c, neg, pos_b);
+        g.block(neg).un(UnOp::Neg, d, d);
+        g.block(neg).ret(Some(Operand::Reg(d)));
+        g.block(pos_b).ret(Some(Operand::Reg(d)));
+        g.finish()
+    };
+
+    let mut f = pb.function("main", 0);
+    let e = f.entry_block();
+    let (steps, x, i, n, c) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    f.block(e).input(steps);
+    f.block(e).input(x);
+
+    // Initial placement: pos[i] = (i * 37) % 4096; net[i] = lcg % CELLS.
+    let (t, addr) = (f.reg(), f.reg());
+    f.block(e).movi(i, 0);
+    f.block(e).movi(n, CELLS);
+    let (ih, ib, ix) = loop_blocks(&mut f, i, n, c);
+    f.block(e).jump(ih);
+    {
+        let mut b = f.block(ib);
+        b.bin(BinOp::Mul, t, i, 37i64);
+        b.bin(BinOp::Rem, t, t, 4096i64);
+        b.bin(BinOp::Add, addr, i, POS);
+        b.store(addr, t);
+        lcg_step(&mut b, x);
+        b.bin(BinOp::Rem, t, x, CELLS);
+        b.bin(BinOp::Add, addr, i, NET);
+        b.store(addr, t);
+        b.bin(BinOp::Add, i, i, 1i64);
+        b.jump(ih);
+    }
+
+    // Annealing loop.
+    let (it, accepted, cost, ca, cb, pa, pb_, na, nb, pna, pnb, old, new, cc) = (
+        f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(),
+        f.reg(), f.reg(), f.reg(),
+    );
+    f.block(ix).movi(it, 0);
+    f.block(ix).movi(accepted, 0);
+    f.block(ix).movi(cost, 0);
+    let (mh, mb, mx) = loop_blocks(&mut f, it, steps, c);
+    f.block(ix).jump(mh);
+
+    let (c1, c2, c3, c4) = (f.new_block(), f.new_block(), f.new_block(), f.new_block());
+    {
+        let mut b = f.block(mb);
+        lcg_step(&mut b, x);
+        b.bin(BinOp::Rem, ca, x, CELLS);
+        lcg_step(&mut b, x);
+        b.bin(BinOp::Rem, cb, x, CELLS);
+        // Load both positions and both net partners' positions.
+        b.bin(BinOp::Add, addr, ca, POS);
+        b.load(pa, addr);
+        b.bin(BinOp::Add, addr, cb, POS);
+        b.load(pb_, addr);
+        b.bin(BinOp::Add, addr, ca, NET);
+        b.load(na, addr);
+        b.bin(BinOp::Add, addr, cb, NET);
+        b.load(nb, addr);
+        b.bin(BinOp::Add, addr, na, POS);
+        b.load(pna, addr);
+        b.bin(BinOp::Add, addr, nb, POS);
+        b.load(pnb, addr);
+        // old = |pa - pna| + |pb - pnb|
+        b.call(absdiff, vec![Operand::Reg(pa), Operand::Reg(pna)], Some(old), c1);
+    }
+    f.block(c1).call(absdiff, vec![Operand::Reg(pb_), Operand::Reg(pnb)], Some(t), c2);
+    f.block(c2).bin(BinOp::Add, old, old, t);
+    // new = |pb - pna| + |pa - pnb|  (cost if we swap)
+    f.block(c2).call(absdiff, vec![Operand::Reg(pb_), Operand::Reg(pna)], Some(new), c3);
+    f.block(c3).call(absdiff, vec![Operand::Reg(pa), Operand::Reg(pnb)], Some(t), c4);
+    f.block(c4).bin(BinOp::Add, new, new, t);
+
+    // Accept if new < old, or with ~10% probability.
+    let (decide, lucky_q, accept, reject, cont) =
+        (f.new_block(), f.new_block(), f.new_block(), f.new_block(), f.new_block());
+    f.block(c4).jump(decide);
+    f.block(decide).bin(BinOp::Lt, cc, new, old);
+    f.block(decide).branch(cc, accept, lucky_q);
+    {
+        let mut b = f.block(lucky_q);
+        lcg_step(&mut b, x);
+        b.bin(BinOp::Rem, cc, x, 100i64);
+        b.bin(BinOp::Lt, cc, cc, 10i64);
+        b.branch(cc, accept, reject);
+    }
+    {
+        let mut b = f.block(accept);
+        b.bin(BinOp::Add, addr, ca, POS);
+        b.store(addr, pb_);
+        b.bin(BinOp::Add, addr, cb, POS);
+        b.store(addr, pa);
+        b.bin(BinOp::Add, accepted, accepted, 1i64);
+        b.bin(BinOp::Add, cost, cost, new);
+        b.jump(cont);
+    }
+    f.block(reject).bin(BinOp::Add, cost, cost, old);
+    f.block(reject).jump(cont);
+    {
+        let mut b = f.block(cont);
+        b.bin(BinOp::Add, it, it, 1i64);
+        b.jump(mh);
+    }
+
+    f.block(mx).out(Operand::Reg(accepted));
+    f.block(mx).out(Operand::Reg(cost));
+    f.block(mx).ret(Some(Operand::Reg(accepted)));
+    let main = f.finish();
+    pb.finish(main).expect("twolf-like program is valid")
+}
+
+/// Statements per annealing step, measured.
+pub const STMTS_PER_ITER: u64 = 55;
+
+/// Inputs targeting roughly `target_stmts` executed statements.
+pub fn inputs_for(target_stmts: u64) -> Vec<i64> {
+    let steps = (target_stmts / STMTS_PER_ITER).max(1);
+    vec![steps as i64, 300_300]
+}

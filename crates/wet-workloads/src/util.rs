@@ -1,0 +1,74 @@
+//! Shared IR-construction idioms for the synthetic workloads.
+
+use wet_ir::builder::{BlockCursor, FunctionBuilder};
+use wet_ir::stmt::BinOp;
+use wet_ir::{BlockId, Reg};
+
+/// Emits `x = (x * 1103515245 + 12345) & 0x7fffffff` — the classic LCG
+/// step, the workloads' deterministic randomness source.
+pub fn lcg_step(b: &mut BlockCursor<'_>, x: Reg) {
+    b.bin(BinOp::Mul, x, x, 1103515245i64);
+    b.bin(BinOp::Add, x, x, 12345i64);
+    b.bin(BinOp::And, x, x, 0x7fffffffi64);
+}
+
+/// The canonical counted-loop skeleton:
+///
+/// ```text
+/// head: c = i < n; branch c ? body : exit
+/// ...   caller fills body ...
+/// body_end -> jump head (caller emits the back edge after
+///             incrementing i)
+/// ```
+///
+/// Returns `(head, body, exit)` block ids; the caller must terminate
+/// `body` (typically jumping back to `head` after `i += 1`).
+pub fn loop_blocks(f: &mut FunctionBuilder<'_>, i: Reg, n: Reg, c: Reg) -> (BlockId, BlockId, BlockId) {
+    let head = f.new_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+    f.block(head).bin(BinOp::Lt, c, i, n);
+    f.block(head).branch(c, body, exit);
+    (head, body, exit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wet_ir::builder::ProgramBuilder;
+    use wet_ir::stmt::Operand;
+
+    #[test]
+    fn lcg_loop_runs() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let e = f.entry_block();
+        let (x, i, n, c) = (f.reg(), f.reg(), f.reg(), f.reg());
+        f.block(e).movi(x, 42);
+        f.block(e).movi(i, 0);
+        f.block(e).movi(n, 10);
+        let (head, body, exit) = loop_blocks(&mut f, i, n, c);
+        f.block(e).jump(head);
+        {
+            let mut b = f.block(body);
+            lcg_step(&mut b, x);
+            b.bin(BinOp::Add, i, i, 1i64);
+            b.jump(head);
+        }
+        f.block(exit).out(Operand::Reg(x));
+        f.block(exit).ret(None);
+        let main = f.finish();
+        let p = pb.finish(main).unwrap();
+
+        let bl = wet_ir::ballarus::BallLarus::new(&p);
+        let r = wet_interp::Interp::new(&p, &bl, wet_interp::InterpConfig::default())
+            .run(&[], &mut wet_interp::NullSink)
+            .unwrap();
+        // 10 LCG steps from 42, all within 31 bits.
+        let mut x = 42i64;
+        for _ in 0..10 {
+            x = (x.wrapping_mul(1103515245).wrapping_add(12345)) & 0x7fffffff;
+        }
+        assert_eq!(r.outputs, vec![x]);
+    }
+}

@@ -1,0 +1,147 @@
+//! `vortex-like` — an in-memory object store in the spirit of
+//! `255.vortex`.
+//!
+//! An open-addressing hash table of `(key, value)` records serves a
+//! mixed insert/lookup transaction stream. Probe loops have
+//! data-dependent trip counts; the table region dominates memory
+//! traffic. `255.vortex` had the paper's best compression ratio
+//! (83.63) — database-style record handling is extremely repetitive.
+
+use crate::util::{lcg_step, loop_blocks};
+use wet_ir::builder::ProgramBuilder;
+use wet_ir::stmt::{BinOp, Operand};
+use wet_ir::Program;
+
+const SLOTS: i64 = 8192; // power of two
+const KEYS: i64 = 0;
+const VALS: i64 = SLOTS;
+
+/// Builds the program. Inputs: `[transactions, seed]`.
+pub fn program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0);
+    let e = f.entry_block();
+    let (txns, x, i, n, c) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    f.block(e).input(txns);
+    f.block(e).input(x);
+
+    // Clear the key table (0 = empty; keys are made nonzero below).
+    let addr = f.reg();
+    f.block(e).movi(i, 0);
+    f.block(e).movi(n, SLOTS);
+    let (ih, ib, ix) = loop_blocks(&mut f, i, n, c);
+    f.block(e).jump(ih);
+    {
+        let mut b = f.block(ib);
+        b.bin(BinOp::Add, addr, i, KEYS);
+        b.store(addr, 0i64);
+        b.bin(BinOp::Add, i, i, 1i64);
+        b.jump(ih);
+    }
+
+    // Transaction loop.
+    let (it, key, h, probe, found, hits, inserts, t, cc) =
+        (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    f.block(ix).movi(it, 0);
+    f.block(ix).movi(hits, 0);
+    f.block(ix).movi(inserts, 0);
+    let (mh, mb, mx) = loop_blocks(&mut f, it, txns, c);
+    f.block(ix).jump(mh);
+
+    // Key selection: fifteen of sixteen transactions walk keys
+    // sequentially (object stores see strong temporal locality, which
+    // is why 255.vortex compressed best in the paper); every sixteenth
+    // key is random.
+    let (seq_key, rand_key, have_key) = (f.new_block(), f.new_block(), f.new_block());
+    {
+        let mut b = f.block(mb);
+        b.bin(BinOp::And, cc, it, 15i64);
+        b.bin(BinOp::Eq, cc, cc, 15i64);
+        b.branch(cc, rand_key, seq_key);
+    }
+    {
+        let mut b = f.block(seq_key);
+        b.bin(BinOp::Rem, key, it, 509i64);
+        b.bin(BinOp::Add, key, key, 1i64);
+        b.jump(have_key);
+    }
+    {
+        let mut b = f.block(rand_key);
+        lcg_step(&mut b, x);
+        b.bin(BinOp::Rem, key, x, 4095i64);
+        b.bin(BinOp::Add, key, key, 1i64);
+        b.jump(have_key);
+    }
+    {
+        let mut b = f.block(have_key);
+        b.bin(BinOp::Mul, h, key, 2654435761i64);
+        b.bin(BinOp::And, h, h, SLOTS - 1);
+        b.movi(probe, 0);
+    }
+    // Probe loop: scan until key found or empty slot (bounded probes).
+    let (probe_h, probe_chk, probe_next, probe_done) =
+        (f.new_block(), f.new_block(), f.new_block(), f.new_block());
+    f.block(have_key).jump(probe_h);
+    f.block(probe_h).bin(BinOp::Lt, cc, probe, 64i64);
+    f.block(probe_h).branch(cc, probe_chk, probe_done);
+    {
+        let mut b = f.block(probe_chk);
+        b.bin(BinOp::Add, t, h, probe);
+        b.bin(BinOp::And, t, t, SLOTS - 1);
+        b.bin(BinOp::Add, addr, t, KEYS);
+        b.load(found, addr);
+        // found == key -> hit; found == 0 -> empty; else next probe
+        b.bin(BinOp::Eq, cc, found, key);
+    }
+    let (hit, chk_empty, empty) = (f.new_block(), f.new_block(), f.new_block());
+    f.block(probe_chk).branch(cc, hit, chk_empty);
+    f.block(chk_empty).bin(BinOp::Eq, cc, found, 0i64);
+    f.block(chk_empty).branch(cc, empty, probe_next);
+    f.block(probe_next).bin(BinOp::Add, probe, probe, 1i64);
+    f.block(probe_next).jump(probe_h);
+
+    // Hit: read the value, fold into checksum register x2 (reuse t).
+    let (next_txn, chks) = (f.new_block(), f.reg());
+    {
+        let mut b = f.block(hit);
+        b.bin(BinOp::Add, addr, t, VALS);
+        b.load(t, addr);
+        b.bin(BinOp::Add, hits, hits, 1i64);
+        b.bin(BinOp::Xor, chks, chks, t);
+        b.jump(next_txn);
+    }
+    // Empty slot: insert (key, value).
+    {
+        let mut b = f.block(empty);
+        b.bin(BinOp::Add, addr, t, KEYS);
+        b.store(addr, key);
+        b.bin(BinOp::Add, addr, t, VALS);
+        b.bin(BinOp::Mul, t, key, 17i64);
+        b.store(addr, t);
+        b.bin(BinOp::Add, inserts, inserts, 1i64);
+        b.jump(next_txn);
+    }
+    // Probe limit exhausted: treat as a dropped transaction.
+    f.block(probe_done).jump(next_txn);
+    {
+        let mut b = f.block(next_txn);
+        b.bin(BinOp::Add, it, it, 1i64);
+        b.jump(mh);
+    }
+
+    f.block(mx).out(Operand::Reg(hits));
+    f.block(mx).out(Operand::Reg(inserts));
+    f.block(mx).out(Operand::Reg(chks));
+    f.block(mx).ret(Some(Operand::Reg(hits)));
+    let main = f.finish();
+    pb.finish(main).expect("vortex-like program is valid")
+}
+
+/// Statements per transaction, measured.
+pub const STMTS_PER_ITER: u64 = 24;
+
+/// Inputs targeting roughly `target_stmts` executed statements.
+pub fn inputs_for(target_stmts: u64) -> Vec<i64> {
+    let txns = (target_stmts / STMTS_PER_ITER).max(1);
+    vec![txns as i64, 255_255]
+}
