@@ -1,0 +1,19 @@
+#!/bin/sh
+# Offline CI: release build, full test suite, and lint gate.
+#
+# The workspace has no network dependencies — rand/proptest/criterion
+# are vendored as in-tree path crates under vendor/ — so everything
+# runs with --offline and the committed Cargo.lock.
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --offline --locked --workspace
+
+echo "==> cargo test"
+cargo test -q --offline --locked --workspace
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --locked --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -1,0 +1,66 @@
+//! Tier-2 compression scaling with worker count.
+//!
+//! Builds one tier-1 WET per workload and measures `Wet::compress`
+//! across a sweep of thread counts (1, 2, 4, 8, and all cores). The
+//! compressed output is byte-identical at every point of the sweep —
+//! only wall-clock time changes — so the ratio between the
+//! `threads/1` and `threads/N` rows is the parallel speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wet_core::{WetBuilder, WetConfig};
+use wet_interp::{Interp, InterpConfig};
+use wet_ir::ballarus::BallLarus;
+use wet_workloads::Kind;
+
+const TARGET: u64 = 400_000;
+
+fn tier1_wet(kind: Kind, threads: usize) -> wet_core::Wet {
+    let w = wet_workloads::build(kind, TARGET);
+    let bl = BallLarus::new(&w.program);
+    let mut config = WetConfig::default();
+    config.stream.num_threads = threads;
+    let mut builder = WetBuilder::new(&w.program, &bl, config);
+    Interp::new(&w.program, &bl, InterpConfig::default())
+        .run(&w.inputs, &mut builder)
+        .expect("run");
+    builder.finish()
+}
+
+fn bench_compress_scaling(c: &mut Criterion) {
+    let all = wet_core::par::effective_threads(0);
+    let mut sweep = vec![1usize, 2, 4, 8];
+    if !sweep.contains(&all) {
+        sweep.push(all);
+    }
+    let mut g = c.benchmark_group("compress_scaling");
+    g.sample_size(10);
+    for kind in [Kind::Gcc, Kind::Mcf] {
+        let orig = {
+            let mut wet = tier1_wet(kind, 1);
+            wet.compress();
+            wet.sizes().orig_total()
+        };
+        g.throughput(Throughput::Bytes(orig));
+        for &threads in &sweep {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{}/threads", kind.name()), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter_batched(
+                        || tier1_wet(kind, threads),
+                        |mut wet| {
+                            wet.compress();
+                            black_box(wet.sizes().t2_total())
+                        },
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress_scaling);
+criterion_main!(benches);

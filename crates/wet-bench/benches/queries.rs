@@ -59,7 +59,7 @@ fn bench_queries(c: &mut Criterion) {
                 |b, w| {
                     b.iter_batched(
                         || w.clone(),
-                        |mut w| black_box(value_trace(&mut w, load).len()),
+                        |w| black_box(value_trace(&w, load).len()),
                         criterion::BatchSize::LargeInput,
                     );
                 },
@@ -70,7 +70,7 @@ fn bench_queries(c: &mut Criterion) {
                 |b, w| {
                     b.iter_batched(
                         || w.clone(),
-                        |mut w| black_box(address_trace(&mut w, &program, load).len()),
+                        |w| black_box(address_trace(&w, &program, load).len()),
                         criterion::BatchSize::LargeInput,
                     );
                 },

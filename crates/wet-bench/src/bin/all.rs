@@ -1,10 +1,15 @@
 //! Runs every experiment in EXPERIMENTS.md order.
+//!
+//! With `--json`, additionally writes machine-readable compression
+//! results (sizes, ratios, and sequential-vs-parallel tier-2 times)
+//! to `results/BENCH_compression.json`.
 use wet_bench::experiments as ex;
 fn main() {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
     let scale = wet_bench::Scale::from_env();
     println!("WET reproduction — full experiment run");
-    println!("scales: tables {} stmts, timing {} stmts, fig9 base {}\n",
-        scale.table_stmts, scale.timing_stmts, scale.fig9_base);
+    println!("scales: tables {} stmts, timing {} stmts, fig9 base {}, {} thread(s)\n",
+        scale.table_stmts, scale.timing_stmts, scale.fig9_base, scale.effective_threads());
     ex::table1(&scale);
     ex::table2_and_3(&scale);
     ex::table4(&scale);
@@ -17,4 +22,9 @@ fn main() {
     ex::fig8(&scale);
     ex::fig9(&scale);
     ex::ablation(&scale);
+    if json {
+        let path = std::path::Path::new("results/BENCH_compression.json");
+        ex::write_compression_json(&scale, path).expect("write compression json");
+        println!("wrote {}", path.display());
+    }
 }

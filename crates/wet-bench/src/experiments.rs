@@ -2,8 +2,19 @@
 //!
 //! Each function prints a text table echoing the paper's layout and is
 //! callable from the per-experiment binaries or the `all` runner.
+//!
+//! Parallelism policy (`WET_THREADS`, default all cores): the
+//! size/structure experiments (Tables 1–4, Figs. 2/8/9, ablations)
+//! fan their nine workloads across the worker pool via
+//! [`crate::per_workload`] and print the collected rows in workload
+//! order, so output is identical to the sequential run. The *timing*
+//! experiments (Tables 5–9) keep the workload loop sequential —
+//! concurrent workloads would contend for cores and distort the very
+//! times being measured — and instead hand the worker pool to the
+//! phase being timed: Table 5 compresses each WET on all workers,
+//! Tables 7–8 extract whole traces through the parallel query engine.
 
-use crate::{build_wet, build_wet_with, mb, millions, pick_slice_criteria, rule, timed, Scale};
+use crate::{build_wet, build_wet_with, mb, millions, per_workload, pick_slice_criteria, rule, timed, Scale};
 use wet_arch::{ArchConfig, ArchSink};
 use wet_core::query::{
     address_trace, backward_slice, cf_trace_backward, cf_trace_forward, trace_bytes, value_trace, SliceSpec,
@@ -40,17 +51,19 @@ pub fn table1(scale: &Scale) {
         "Benchmark", "Stmts (M)", "Orig (MB)", "Comp (MB)", "Orig/Comp"
     );
     rule(64);
-    let mut sum = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    for kind in Kind::all() {
+    let rows = per_workload(scale, |kind| {
         let mut b = build_wet(kind, scale.table_stmts, WetConfig::default());
         b.wet.compress();
-        let s = b.wet.sizes();
-        let (stmts, orig, comp) = (millions(b.run.stmts_executed), mb(s.orig_total()), mb(s.t2_total()));
-        println!("{:<14} {:>12.2} {:>12.2} {:>12.2} {:>10.2}", kind.name(), stmts, orig, comp, s.ratio());
+        let s = *b.wet.sizes();
+        (millions(b.run.stmts_executed), mb(s.orig_total()), mb(s.t2_total()), s.ratio())
+    });
+    let mut sum = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (kind, (stmts, orig, comp, ratio)) in rows {
+        println!("{:<14} {:>12.2} {:>12.2} {:>12.2} {:>10.2}", kind.name(), stmts, orig, comp, ratio);
         sum.0 += stmts;
         sum.1 += orig;
         sum.2 += comp;
-        sum.3 += s.ratio();
+        sum.3 += ratio;
     }
     rule(64);
     println!(
@@ -72,13 +85,15 @@ pub fn table2_and_3(scale: &Scale) {
         "Benchmark", "ts (MB)", "O/T1", "O/T2", "vals (MB)", "O/T1", "O/T2"
     );
     rule(80);
+    let sizes = per_workload(scale, |kind| {
+        let mut b = build_wet(kind, scale.table_stmts, WetConfig::default());
+        b.wet.compress();
+        *b.wet.sizes()
+    });
     let mut edge_rows = Vec::new();
     let mut avg = [0.0f64; 6];
     let mut avg_e = [0.0f64; 3];
-    for kind in Kind::all() {
-        let mut b = build_wet(kind, scale.table_stmts, WetConfig::default());
-        b.wet.compress();
-        let s = *b.wet.sizes();
+    for (kind, s) in sizes {
         let r = |a: u64, b: u64| wet_core::ratio(a, b);
         println!(
             "{:<14} {:>10.2} {:>9.2} {:>9.2} | {:>10.2} {:>9.2} {:>9.2}",
@@ -132,7 +147,7 @@ pub fn table4(scale: &Scale) {
         "Benchmark", "Branch (MB)", "Load (MB)", "Store (MB)", "mispred%", "miss%"
     );
     rule(76);
-    for kind in Kind::all() {
+    let rows = per_workload(scale, |kind| {
         let w = wet_workloads::build(kind, scale.table_stmts);
         let bl = wet_ir::ballarus::BallLarus::new(&w.program);
         let mut arch = ArchSink::new(ArchConfig::default());
@@ -142,12 +157,15 @@ pub fn table4(scale: &Scale) {
         let miss = 100.0
             * (h.load_bits.ones() + h.store_bits.ones()) as f64
             / (h.load_bits.len() + h.store_bits.len()).max(1) as f64;
+        (mb(h.branch_bits.bytes()), mb(h.load_bits.bytes()), mb(h.store_bits.bytes()), mispred, miss)
+    });
+    for (kind, (branch, load, store, mispred, miss)) in rows {
         println!(
             "{:<14} {:>12.3} {:>12.3} {:>12.3} {:>10.2} {:>10.2}",
             kind.name(),
-            mb(h.branch_bits.bytes()),
-            mb(h.load_bits.bytes()),
-            mb(h.store_bits.bytes()),
+            branch,
+            load,
+            store,
             mispred,
             miss
         );
@@ -156,15 +174,23 @@ pub fn table4(scale: &Scale) {
 }
 
 /// Table 5: WET construction times.
+///
+/// Workloads run one at a time (this is a timing table); tier-2
+/// compression inside each workload uses the scale's worker pool, so
+/// the Tier-2 column shows the parallel speedup directly. Output
+/// `.wetz` bytes are identical for every thread count.
 pub fn table5(scale: &Scale) {
-    println!("Table 5. WET construction times (trace + tier-1 + tier-2).");
+    println!(
+        "Table 5. WET construction times (trace + tier-1 + tier-2; {} thread(s)).",
+        scale.effective_threads()
+    );
     println!(
         "{:<14} {:>12} {:>14} {:>14}",
         "Benchmark", "Stmts (M)", "Constr. (s)", "Tier-2 (s)"
     );
     rule(58);
     for kind in Kind::all() {
-        let mut b = build_wet(kind, scale.timing_stmts, WetConfig::default());
+        let mut b = build_wet(kind, scale.timing_stmts, scale.wet_config());
         let (_, compress_secs) = timed(|| b.wet.compress());
         println!(
             "{:<14} {:>12.2} {:>14.2} {:>14.2}",
@@ -220,19 +246,19 @@ pub fn table7(scale: &Scale) {
     );
     rule(70);
     for kind in Kind::all() {
-        let mut b = build_wet(kind, scale.timing_stmts, WetConfig::default());
+        let mut b = build_wet(kind, scale.timing_stmts, scale.wet_config());
         let loads = mem_stmts(&b.program, false);
         let (n_vals, t1) = timed(|| {
             let mut n = 0u64;
             for &s in &loads {
-                n += value_trace(&mut b.wet, s).len() as u64;
+                n += value_trace(&b.wet, s).len() as u64;
             }
             n
         });
         b.wet.compress();
         let (_, t2) = timed(|| {
             for &s in &loads {
-                value_trace(&mut b.wet, s);
+                value_trace(&b.wet, s);
             }
         });
         let m = mb(8 * n_vals);
@@ -258,19 +284,19 @@ pub fn table8(scale: &Scale) {
     );
     rule(70);
     for kind in Kind::all() {
-        let mut b = build_wet(kind, scale.timing_stmts, WetConfig::default());
+        let mut b = build_wet(kind, scale.timing_stmts, scale.wet_config());
         let stmts = mem_stmts(&b.program, true);
         let (n_addrs, t1) = timed(|| {
             let mut n = 0u64;
             for &s in &stmts {
-                n += address_trace(&mut b.wet, &b.program, s).len() as u64;
+                n += address_trace(&b.wet, &b.program, s).len() as u64;
             }
             n
         });
         b.wet.compress();
         let (_, t2) = timed(|| {
             for &s in &stmts {
-                address_trace(&mut b.wet, &b.program, s);
+                address_trace(&b.wet, &b.program, s);
             }
         });
         let m = mb(8 * n_addrs);
@@ -331,17 +357,20 @@ pub fn fig2(scale: &Scale) {
         "Benchmark", "Blocks (M)", "Paths (M)", "Reduction", "WET nodes"
     );
     rule(70);
-    for kind in Kind::all() {
+    let rows = per_workload(scale, |kind| {
         let b = build_wet(kind, scale.timing_stmts, WetConfig::default());
         let blocks = b.wet.stats().blocks_executed;
         let paths = b.wet.stats().paths_executed;
+        (blocks, paths, b.wet.stats().nodes)
+    });
+    for (kind, (blocks, paths, nodes)) in rows {
         println!(
             "{:<14} {:>14.2} {:>14.2} {:>10.2} {:>12}",
             kind.name(),
             millions(blocks),
             millions(paths),
             blocks as f64 / paths.max(1) as f64,
-            b.wet.stats().nodes
+            nodes
         );
     }
     println!();
@@ -356,12 +385,12 @@ pub fn fig8(scale: &Scale) {
     );
     rule(92);
     let mut avg = [0.0f64; 9];
-    for kind in Kind::all() {
+    let rows = per_workload(scale, |kind| {
         let mut b = build_wet(kind, scale.table_stmts, WetConfig::default());
         b.wet.compress();
         let s = *b.wet.sizes();
         let pct = |x: u64, tot: u64| 100.0 * x as f64 / tot.max(1) as f64;
-        let row = [
+        [
             pct(s.orig_ts, s.orig_total()),
             pct(s.orig_vals, s.orig_total()),
             pct(s.orig_edges, s.orig_total()),
@@ -371,7 +400,9 @@ pub fn fig8(scale: &Scale) {
             pct(s.t2_ts, s.t2_total()),
             pct(s.t2_vals, s.t2_total()),
             pct(s.t2_edges, s.t2_total()),
-        ];
+        ]
+    });
+    for (kind, row) in rows {
         println!(
             "{:<14} | {:>6.1} {:>6.1} {:>6.1} | {:>6.1} {:>6.1} {:>6.1} | {:>6.1} {:>6.1} {:>6.1}",
             kind.name(),
@@ -407,16 +438,69 @@ pub fn fig9(scale: &Scale) {
     }
     println!();
     rule(14 + 13 * lens.len());
-    for kind in Kind::all() {
+    let rows = per_workload(scale, |kind| {
+        lens.iter()
+            .map(|&l| {
+                let mut b = build_wet(kind, l, WetConfig::default());
+                b.wet.compress();
+                b.wet.sizes().ratio()
+            })
+            .collect::<Vec<f64>>()
+    });
+    for (kind, ratios) in rows {
         print!("{:<14}", kind.name());
-        for &l in &lens {
-            let mut b = build_wet(kind, l, WetConfig::default());
-            b.wet.compress();
-            print!(" {:>12.2}", b.wet.sizes().ratio());
+        for r in ratios {
+            print!(" {:>12.2}", r);
         }
         println!();
     }
     println!();
+}
+
+/// Machine-readable compression results (`all --json`).
+///
+/// For every workload, times tier-2 compression once on a single
+/// worker and once on the scale's worker pool (the outputs are
+/// asserted identical), and writes sizes, ratios, and the parallel
+/// speedup as JSON. Workloads run sequentially so the timings are
+/// undistorted.
+pub fn write_compression_json(scale: &Scale, path: &std::path::Path) -> std::io::Result<()> {
+    let threads = scale.effective_threads();
+    let mut rows = Vec::new();
+    for kind in Kind::all() {
+        let mut seq = build_wet(kind, scale.timing_stmts, WetConfig::default());
+        let (_, secs_1) = timed(|| seq.wet.compress());
+        let mut par = build_wet(kind, scale.timing_stmts, scale.wet_config());
+        let (_, secs_n) = timed(|| par.wet.compress());
+        assert_eq!(par.wet.sizes(), seq.wet.sizes(), "{}: parallel compression diverged", kind.name());
+        let s = *seq.wet.sizes();
+        rows.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"stmts\": {}, \"orig_bytes\": {}, ",
+                "\"t1_bytes\": {}, \"t2_bytes\": {}, \"ratio\": {:.4}, ",
+                "\"compress_secs_1\": {:.6}, \"compress_secs_n\": {:.6}, \"speedup\": {:.3}}}"
+            ),
+            kind.name(),
+            seq.run.stmts_executed,
+            s.orig_total(),
+            s.t1_total(),
+            s.t2_total(),
+            s.ratio(),
+            secs_1,
+            secs_n,
+            secs_1 / secs_n.max(1e-12),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"compression\",\n  \"stmts_target\": {},\n  \"threads\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        scale.timing_stmts,
+        threads,
+        rows.join(",\n")
+    );
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, json)
 }
 
 /// Ablations over the design choices DESIGN.md calls out.
@@ -426,12 +510,14 @@ pub fn ablation(scale: &Scale) {
     println!("Ablation A. Edge-label timestamp mode (local vs global).");
     println!("{:<14} {:>16} {:>16} {:>8}", "Benchmark", "local T2 (MB)", "global T2 (MB)", "gain");
     rule(60);
-    for kind in Kind::all() {
+    let rows = per_workload(scale, |kind| {
         let mut local = build_wet(kind, target, WetConfig { ts_mode: TsMode::Local, ..Default::default() });
         local.wet.compress();
         let mut global = build_wet(kind, target, WetConfig { ts_mode: TsMode::Global, ..Default::default() });
         global.wet.compress();
-        let (l, g) = (local.wet.sizes().t2_edges, global.wet.sizes().t2_edges);
+        (local.wet.sizes().t2_edges, global.wet.sizes().t2_edges)
+    });
+    for (kind, (l, g)) in rows {
         println!(
             "{:<14} {:>16.2} {:>16.2} {:>8.2}",
             kind.name(),
@@ -448,18 +534,21 @@ pub fn ablation(scale: &Scale) {
         "Benchmark", "on T1 (MB)", "off T1 (MB)", "on T2 (MB)", "off T2 (MB)"
     );
     rule(76);
-    for kind in Kind::all() {
+    let rows = per_workload(scale, |kind| {
         let mut on = build_wet(kind, target, WetConfig::default());
         on.wet.compress();
         let mut off = build_wet(kind, target, WetConfig { group_values: false, ..Default::default() });
         off.wet.compress();
+        (*on.wet.sizes(), *off.wet.sizes())
+    });
+    for (kind, (on, off)) in rows {
         println!(
             "{:<14} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
             kind.name(),
-            mb(on.wet.sizes().t1_vals),
-            mb(off.wet.sizes().t1_vals),
-            mb(on.wet.sizes().t2_vals),
-            mb(off.wet.sizes().t2_vals)
+            mb(on.t1_vals),
+            mb(off.t1_vals),
+            mb(on.t2_vals),
+            mb(off.t2_vals)
         );
     }
     println!();
@@ -470,20 +559,28 @@ pub fn ablation(scale: &Scale) {
         "Benchmark", "on T1 (MB)", "off T1 (MB)", "inferred", "shared seqs"
     );
     rule(70);
-    for kind in Kind::all() {
+    let rows = per_workload(scale, |kind| {
         let on = build_wet(kind, target, WetConfig::default());
         let off = build_wet(
             kind,
             target,
             WetConfig { infer_local_edges: false, share_edge_labels: false, ..Default::default() },
         );
+        (
+            on.wet.sizes().t1_edges,
+            off.wet.sizes().t1_edges,
+            on.wet.stats().inferred_edges,
+            on.wet.stats().shared_label_seqs,
+        )
+    });
+    for (kind, (on_e, off_e, inferred, shared)) in rows {
         println!(
             "{:<14} {:>14.2} {:>14.2} {:>10} {:>12}",
             kind.name(),
-            mb(on.wet.sizes().t1_edges),
-            mb(off.wet.sizes().t1_edges),
-            on.wet.stats().inferred_edges,
-            on.wet.stats().shared_label_seqs
+            mb(on_e),
+            mb(off_e),
+            inferred,
+            shared
         );
     }
     println!();
@@ -494,7 +591,7 @@ pub fn ablation(scale: &Scale) {
         "Benchmark", "BL ts T2 (MB)", "Blk ts T2 (MB)", "BL ratio", "Blk ratio"
     );
     rule(72);
-    for kind in Kind::all() {
+    let rows = per_workload(scale, |kind| {
         let mut blp = build_wet(kind, target, WetConfig::default());
         blp.wet.compress();
         let mut blk = build_wet_with(
@@ -504,13 +601,16 @@ pub fn ablation(scale: &Scale) {
             BallLarusConfig { granularity: NodeGranularity::Block, max_paths: u64::MAX },
         );
         blk.wet.compress();
+        (*blp.wet.sizes(), *blk.wet.sizes())
+    });
+    for (kind, (blp, blk)) in rows {
         println!(
             "{:<14} {:>14.3} {:>14.3} {:>12.2} {:>12.2}",
             kind.name(),
-            mb(blp.wet.sizes().t2_ts),
-            mb(blk.wet.sizes().t2_ts),
-            blp.wet.sizes().ratio(),
-            blk.wet.sizes().ratio()
+            mb(blp.t2_ts),
+            mb(blk.t2_ts),
+            blp.ratio(),
+            blk.ratio()
         );
     }
     println!();

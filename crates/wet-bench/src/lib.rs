@@ -21,8 +21,10 @@
 //!
 //! Scales are configurable through environment variables:
 //! `WET_TABLE_STMTS` (size experiments, default 4,000,000),
-//! `WET_TIMING_STMTS` (query-time experiments, default 2,000,000), and
-//! `WET_FIG9_BASE` (scalability sweep base, default 1,000,000).
+//! `WET_TIMING_STMTS` (query-time experiments, default 2,000,000),
+//! `WET_FIG9_BASE` (scalability sweep base, default 1,000,000), and
+//! `WET_THREADS` (worker threads, default 0 = all available cores;
+//! results are byte-identical across thread counts).
 
 use std::time::Instant;
 use wet_core::{Wet, WetBuilder, WetConfig};
@@ -40,11 +42,14 @@ pub struct Scale {
     pub timing_stmts: u64,
     /// Base length for the Fig. 9 sweep (runs at 1x, 2x, 4x, 8x).
     pub fig9_base: u64,
+    /// Worker threads for workload fan-out and parallel compression
+    /// (`0` = all available cores).
+    pub threads: usize,
 }
 
 impl Default for Scale {
     fn default() -> Self {
-        Scale { table_stmts: 4_000_000, timing_stmts: 2_000_000, fig9_base: 1_000_000 }
+        Scale { table_stmts: 4_000_000, timing_stmts: 2_000_000, fig9_base: 1_000_000, threads: 0 }
     }
 }
 
@@ -59,8 +64,33 @@ impl Scale {
             table_stmts: get("WET_TABLE_STMTS", d.table_stmts),
             timing_stmts: get("WET_TIMING_STMTS", d.timing_stmts),
             fig9_base: get("WET_FIG9_BASE", d.fig9_base),
+            threads: get("WET_THREADS", d.threads as u64) as usize,
         }
     }
+
+    /// The resolved worker count (`threads`, with `0` meaning all
+    /// available cores).
+    pub fn effective_threads(&self) -> usize {
+        wet_core::par::effective_threads(self.threads)
+    }
+
+    /// A [`WetConfig`] whose compression/extraction phases use this
+    /// scale's worker count.
+    pub fn wet_config(&self) -> WetConfig {
+        let mut config = WetConfig::default();
+        config.stream.num_threads = self.threads;
+        config
+    }
+}
+
+/// Runs `f` once per workload on this scale's worker pool, returning
+/// the results in [`Kind::all`] order — the harness's workload
+/// fan-out. Each result is computed exactly as the sequential loop
+/// would compute it; only wall-clock changes with thread count.
+pub fn per_workload<R: Send>(scale: &Scale, f: impl Fn(Kind) -> R + Sync) -> Vec<(Kind, R)> {
+    let kinds = Kind::all();
+    let out = wet_core::par::map(scale.effective_threads(), &kinds, |_, &k| f(k));
+    kinds.into_iter().zip(out).collect()
 }
 
 /// A workload traced into a (tier-1) WET, with timings.

@@ -12,13 +12,15 @@ const USAGE: &str = "\
 usage:
   wet disasm <file.wet>
   wet run <file.wet> [--inputs 1,2,3]
-  wet trace <file.wet> [--inputs 1,2,3] [--tier1] [--save out.wetz]
+  wet trace <file.wet> [--inputs 1,2,3] [--tier1] [--threads N] [--save out.wetz]
   wet dump <file.wet> --node N [--inputs 1,2,3] [--max M]
   wet slice <file.wet> --stmt N [--inputs 1,2,3] [--no-control]
-  wet workload <name> [--target N] [--save out.wetz]
+  wet workload <name> [--target N] [--threads N] [--save out.wetz]
   wet info <file.wetz>
       names: go-like gcc-like li-like gzip-like mcf-like parser-like
-             vortex-like bzip2-like twolf-like";
+             vortex-like bzip2-like twolf-like
+      --threads N: worker threads for tier-2 compression
+                   (default 1; 0 = all cores; output is identical)";
 
 /// Parsed common flags.
 struct Flags {
@@ -30,6 +32,7 @@ struct Flags {
     max: usize,
     no_control: bool,
     save: Option<String>,
+    threads: usize,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags> {
@@ -42,6 +45,7 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
         max: 8,
         no_control: false,
         save: None,
+        threads: 1,
     };
     let mut i = 0;
     while i < args.len() {
@@ -77,6 +81,10 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
                 i += 1;
                 f.save = Some(args.get(i).ok_or("--save needs a path")?.clone());
             }
+            "--threads" => {
+                i += 1;
+                f.threads = args.get(i).ok_or("--threads needs a value")?.parse()?;
+            }
             other => return Err(format!("unknown flag `{other}`").into()),
         }
         i += 1;
@@ -89,10 +97,19 @@ fn load(path: &str) -> Result<Program> {
     Ok(parse_program(&text)?)
 }
 
-/// Builds a WET (and run stats) for a program.
-fn trace(program: &Program, inputs: &[i64], tier2: bool) -> Result<(wet_core::Wet, wet_interp::RunResult)> {
+/// Builds a WET (and run stats) for a program. `threads` is the worker
+/// count for value grouping and tier-2 compression (0 = all cores);
+/// the resulting WET is byte-identical for every thread count.
+fn trace(
+    program: &Program,
+    inputs: &[i64],
+    tier2: bool,
+    threads: usize,
+) -> Result<(wet_core::Wet, wet_interp::RunResult)> {
     let bl = BallLarus::new(program);
-    let mut builder = WetBuilder::new(program, &bl, WetConfig::default());
+    let mut config = WetConfig::default();
+    config.stream.num_threads = threads;
+    let mut builder = WetBuilder::new(program, &bl, config);
     let run = Interp::new(program, &bl, InterpConfig::default()).run(inputs, &mut builder)?;
     let mut wet = builder.finish();
     if tier2 {
@@ -132,7 +149,7 @@ pub fn dispatch(args: &[String]) -> Result<()> {
             let path = rest.first().ok_or(USAGE)?;
             let flags = parse_flags(&rest[1..])?;
             let p = load(path)?;
-            let (wet, run) = trace(&p, &flags.inputs, !flags.tier1)?;
+            let (wet, run) = trace(&p, &flags.inputs, !flags.tier1, flags.threads)?;
             print_wet_report(&wet, &run);
             save_if_requested(&wet, &flags)?;
             Ok(())
@@ -141,7 +158,7 @@ pub fn dispatch(args: &[String]) -> Result<()> {
             let path = rest.first().ok_or(USAGE)?;
             let flags = parse_flags(&rest[1..])?;
             let p = load(path)?;
-            let (mut wet, _) = trace(&p, &flags.inputs, !flags.tier1)?;
+            let (mut wet, _) = trace(&p, &flags.inputs, !flags.tier1, flags.threads)?;
             let node = flags.node.ok_or("dump requires --node N")?;
             if node as usize >= wet.nodes().len() {
                 return Err(format!("node {node} out of range (0..{})", wet.nodes().len()).into());
@@ -153,7 +170,7 @@ pub fn dispatch(args: &[String]) -> Result<()> {
             let path = rest.first().ok_or(USAGE)?;
             let flags = parse_flags(&rest[1..])?;
             let p = load(path)?;
-            let (mut wet, _) = trace(&p, &flags.inputs, !flags.tier1)?;
+            let (mut wet, _) = trace(&p, &flags.inputs, !flags.tier1, flags.threads)?;
             let stmt = StmtId(flags.stmt.ok_or("slice requires --stmt N")?);
             // Criterion: the last execution of the statement.
             let candidates: Vec<(wet_core::NodeId, u32)> = wet
@@ -184,7 +201,7 @@ pub fn dispatch(args: &[String]) -> Result<()> {
                 .find(|k| k.name() == name)
                 .ok_or_else(|| format!("unknown workload `{name}`\n{USAGE}"))?;
             let w = wet_workloads::build(kind, flags.target);
-            let (wet, run) = trace(&w.program, &w.inputs, !flags.tier1)?;
+            let (wet, run) = trace(&w.program, &w.inputs, !flags.tier1, flags.threads)?;
             print_wet_report(&wet, &run);
             save_if_requested(&wet, &flags)?;
             Ok(())
@@ -276,6 +293,8 @@ mod tests {
     #[test]
     fn workload_command_works() {
         dispatch(&s(&["workload", "gcc-like", "--target", "20000"])).expect("workload");
+        dispatch(&s(&["workload", "gcc-like", "--target", "20000", "--threads", "2"]))
+            .expect("workload --threads");
     }
 
     #[test]

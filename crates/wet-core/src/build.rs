@@ -218,15 +218,31 @@ impl<'p> WetBuilder<'p> {
     /// Finishes construction: applies grouping, inference, and sharing,
     /// and returns the tier-1 WET (call [`Wet::compress`] for tier-2).
     pub fn finish(mut self) -> Wet {
-        // Move accumulated ts / raw values into nodes and build groups.
-        let mut t1_vals = 0u64;
+        // Move accumulated ts / CF edges into nodes (cheap pointer
+        // moves, sequential), then fan §3.2 value grouping out across
+        // nodes — each node's grouping touches only that node's data,
+        // and the tier-1 byte count reduces by commutative sum, so the
+        // result is identical for every thread count.
         for (i, acc) in self.accs.iter_mut().enumerate() {
             let node = &mut self.nodes[i];
             node.ts = Seq::Raw(std::mem::take(&mut acc.ts));
             node.cf_succs = acc.cf_succs.iter().copied().collect();
             node.cf_preds = acc.cf_preds.iter().copied().collect();
-            t1_vals += build_groups(self.program, node, std::mem::take(&mut acc.values), self.config.group_values);
         }
+        let threads = crate::par::effective_threads(self.config.stream.num_threads);
+        let program = self.program;
+        let group_values = self.config.group_values;
+        let mut work: Vec<(&mut Node, Vec<Vec<u64>>)> = self
+            .nodes
+            .iter_mut()
+            .zip(self.accs.iter_mut().map(|a| std::mem::take(&mut a.values)))
+            .collect();
+        let t1_vals: u64 = crate::par::map_mut(threads, &mut work, |_, (node, raw)| {
+            build_groups(program, node, std::mem::take(raw), group_values)
+        })
+        .into_iter()
+        .sum();
+        drop(work);
         drop(std::mem::take(&mut self.accs));
 
         // Intra edges: infer complete ones away.

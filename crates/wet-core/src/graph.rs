@@ -8,7 +8,7 @@
 //! are [`Seq`]s, so one `Wet` serves queries in tier-1 or tier-2 form.
 
 use crate::seq::Seq;
-use crate::sizes::{WetSizes, WetStats};
+use crate::sizes::{CompressStats, StreamClass, WetSizes, WetStats};
 use std::collections::HashMap;
 use wet_stream::StreamConfig;
 use wet_ir::{BlockId, FuncId, StmtId};
@@ -308,52 +308,78 @@ impl Wet {
     /// bidirectional compressed stream, and the `t2_*` size fields are
     /// filled in. Queries keep working through the same interface (at
     /// the tier-2 response times the paper's Tables 6–9 report).
+    ///
+    /// Streams compress independently on up to
+    /// `config.stream.num_threads` workers ([`crate::par`]); because no
+    /// compression state crosses streams and the accounting is a
+    /// commutative [`CompressStats`] reduction, the result — payload
+    /// bytes, sizes, stats, and any serialized `.wetz` — is
+    /// byte-identical for every thread count.
+    ///
+    /// Re-entering after compression (e.g. on a deserialized tier-2
+    /// WET) recomputes the accounting from the existing streams rather
+    /// than re-accumulating it, so `compress` is idempotent.
     pub fn compress(&mut self) {
         if self.tier2 {
+            self.recount_tier2();
             return;
         }
         let cfg = self.config.stream.clone();
-        let mut methods: std::collections::BTreeMap<String, u64> = Default::default();
-        let mut note = |s: &Seq, bytes: &mut u64| {
-            if let Seq::Compressed(c) = s {
-                *methods.entry(c.method().name()).or_default() += 1;
-                *bytes += c.compressed_bytes();
-            }
-        };
-        let (mut t2_ts, mut t2_vals, mut t2_edges) = (0u64, 0u64, 0u64);
+        let threads = crate::par::effective_threads(cfg.num_threads);
+        let mut units = self.stream_units();
+        let per_unit = crate::par::map_mut(threads, &mut units, |_, (class, seq)| {
+            seq.compress(&cfg);
+            let mut cs = CompressStats::default();
+            cs.note(*class, seq);
+            cs
+        });
+        let mut total = CompressStats::default();
+        for cs in per_unit {
+            total.merge(cs);
+        }
+        total.apply(&mut self.sizes, &mut self.stats);
+        self.tier2 = true;
+    }
+
+    /// Every label sequence in the WET, tagged with its size class.
+    /// One entry per independent tier-2 stream — the unit of parallel
+    /// work in [`compress`](Self::compress).
+    fn stream_units(&mut self) -> Vec<(StreamClass, &mut Seq)> {
+        let mut units: Vec<(StreamClass, &mut Seq)> = Vec::new();
         for n in &mut self.nodes {
-            n.ts.compress(&cfg);
-            note(&n.ts, &mut t2_ts);
+            units.push((StreamClass::Ts, &mut n.ts));
             for g in &mut n.groups {
                 if let Some(p) = &mut g.pattern {
-                    p.compress(&cfg);
-                    note(p, &mut t2_vals);
+                    units.push((StreamClass::Vals, p));
                 }
                 for u in &mut g.uvals {
-                    u.compress(&cfg);
-                    note(u, &mut t2_vals);
+                    units.push((StreamClass::Vals, u));
                 }
             }
             for ies in n.intra.values_mut() {
                 for ie in ies {
                     if let Some(ks) = &mut ie.ks {
-                        ks.compress(&cfg);
-                        note(ks, &mut t2_edges);
+                        units.push((StreamClass::Edges, ks));
                     }
                 }
             }
         }
         for l in &mut self.labels {
-            l.dst.compress(&cfg);
-            l.src.compress(&cfg);
-            note(&l.dst, &mut t2_edges);
-            note(&l.src, &mut t2_edges);
+            units.push((StreamClass::Edges, &mut l.dst));
+            units.push((StreamClass::Edges, &mut l.src));
         }
-        self.sizes.t2_ts = t2_ts;
-        self.sizes.t2_vals = t2_vals;
-        self.sizes.t2_edges = t2_edges;
-        self.stats.methods = methods;
-        self.tier2 = true;
+        units
+    }
+
+    /// Recomputes tier-2 sizes and method stats from the
+    /// already-compressed streams (no compression work), replacing the
+    /// stored accounting.
+    fn recount_tier2(&mut self) {
+        let mut total = CompressStats::default();
+        for (class, seq) in self.stream_units() {
+            total.note(class, seq);
+        }
+        total.apply(&mut self.sizes, &mut self.stats);
     }
 
     /// Checks structural integrity — sequence lengths against execution

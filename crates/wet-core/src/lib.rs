@@ -62,6 +62,7 @@
 //! ```
 
 pub mod dump;
+pub mod par;
 pub mod query;
 pub mod serial;
 
@@ -76,7 +77,7 @@ pub use graph::{
     SLOT_OP1,
 };
 pub use seq::Seq;
-pub use sizes::{ratio, WetSizes, WetStats};
+pub use sizes::{ratio, CompressStats, StreamClass, WetSizes, WetStats};
 
 #[cfg(test)]
 mod tests {
@@ -170,7 +171,7 @@ mod tests {
                 let stmt = wet_ir::StmtId(stmt_id);
                 let expected: Vec<i64> = rec.values_of(stmt);
                 let got: Vec<i64> =
-                    query::value_trace(&mut wet, stmt).into_iter().map(|(_, v)| v).collect();
+                    query::value_trace(&wet, stmt).into_iter().map(|(_, v)| v).collect();
                 assert_eq!(got, expected, "value trace mismatch for {stmt} (group={group})");
             }
         }
@@ -205,7 +206,7 @@ mod tests {
                 let stmt = wet_ir::StmtId(stmt_id);
                 let expected = rec.addresses_of(stmt);
                 let got: Vec<u64> =
-                    query::address_trace(&mut wet, &p, stmt).into_iter().map(|(_, a)| a).collect();
+                    query::address_trace(&wet, &p, stmt).into_iter().map(|(_, a)| a).collect();
                 assert_eq!(got, expected, "address trace mismatch for {stmt} (tier2={tier2})");
             }
         }
@@ -221,7 +222,7 @@ mod tests {
         assert_eq!(query::expand_blocks(&wet, &fwd), rec.block_trace());
         for stmt_id in 0..p.stmt_count() as u32 {
             let stmt = wet_ir::StmtId(stmt_id);
-            let got: Vec<u64> = query::address_trace(&mut wet, &p, stmt).into_iter().map(|(_, a)| a).collect();
+            let got: Vec<u64> = query::address_trace(&wet, &p, stmt).into_iter().map(|(_, a)| a).collect();
             assert_eq!(got, rec.addresses_of(stmt), "{stmt}");
         }
     }

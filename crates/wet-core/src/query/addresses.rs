@@ -9,41 +9,26 @@
 //! Whole-trace extraction caches each producer's decompressed value
 //! sequence, since the dependence labels index producers
 //! non-monotonically (the same effect the paper reports as higher
-//! tier-2 address-trace times in Table 8).
+//! tier-2 address-trace times in Table 8). The per-node slices of a
+//! trace are independent, so extraction fans out across
+//! `config.stream.num_threads` workers through the read-only
+//! [`crate::query::engine`]; results are identical for every thread
+//! count.
 
 use crate::graph::{NodeId, Wet, SLOT_OP0};
-use crate::query::values::{nodes_with_stmt, values_in_node};
-use std::collections::HashMap;
 use wet_ir::program::StmtRef;
 use wet_ir::stmt::{Operand, StmtKind};
 use wet_ir::{Program, StmtId};
 
 /// Returns the address operand of a load/store statement, or `None` if
 /// `stmt` does not access memory.
-fn addr_operand(program: &Program, stmt: StmtId) -> Option<Operand> {
+pub(crate) fn addr_operand(program: &Program, stmt: StmtId) -> Option<Operand> {
     match program.stmt_ref(stmt) {
         StmtRef::Stmt(s) => match s.kind {
             StmtKind::Load { addr, .. } | StmtKind::Store { addr, .. } => Some(addr),
             _ => None,
         },
         StmtRef::Term(_) => None,
-    }
-}
-
-/// A cache of decompressed producer value sequences used while
-/// extracting traces.
-#[derive(Default)]
-struct ValueCache {
-    vals: HashMap<(NodeId, StmtId), Vec<(u64, i64)>>,
-}
-
-impl ValueCache {
-    fn value_at(&mut self, wet: &mut Wet, node: NodeId, stmt: StmtId, k: u32) -> Option<i64> {
-        let seq = self
-            .vals
-            .entry((node, stmt))
-            .or_insert_with(|| values_in_node(wet, node, stmt));
-        seq.get(k as usize).map(|&(_, v)| v)
     }
 }
 
@@ -66,33 +51,11 @@ pub fn address_at(wet: &mut Wet, program: &Program, node: NodeId, stmt: StmtId, 
 }
 
 /// The complete per-instruction address trace of a load/store
-/// statement: `(ts, address)` pairs sorted by timestamp.
+/// statement: `(ts, address)` pairs sorted by timestamp. Extracts on
+/// up to `config.stream.num_threads` workers (one per containing
+/// node).
 ///
 /// Returns an empty trace for statements that do not access memory.
-pub fn address_trace(wet: &mut Wet, program: &Program, stmt: StmtId) -> Vec<(u64, u64)> {
-    let Some(op) = addr_operand(program, stmt) else {
-        return Vec::new();
-    };
-    let mut cache = ValueCache::default();
-    let mut out = Vec::new();
-    for node in nodes_with_stmt(wet, stmt) {
-        let n_execs = wet.node(node).n_execs;
-        let ts = wet.node_mut(node).ts.to_vec();
-        match op {
-            Operand::Imm(v) => {
-                out.extend(ts.into_iter().map(|t| (t, v as u64)));
-            }
-            Operand::Reg(_) => {
-                for k in 0..n_execs {
-                    let a = match wet.resolve_producer(node, stmt, SLOT_OP0, k) {
-                        Some((pn, ps, pk)) => cache.value_at(wet, pn, ps, pk).unwrap_or(0) as u64,
-                        None => 0,
-                    };
-                    out.push((ts[k as usize], a));
-                }
-            }
-        }
-    }
-    out.sort_unstable_by_key(|&(ts, _)| ts);
-    out
+pub fn address_trace(wet: &Wet, program: &Program, stmt: StmtId) -> Vec<(u64, u64)> {
+    crate::query::engine::address_trace(wet, program, stmt, wet.config().stream.num_threads)
 }

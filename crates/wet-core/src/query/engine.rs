@@ -1,0 +1,241 @@
+//! Parallel whole-trace extraction over a shared, read-only WET.
+//!
+//! The per-instruction trace queries (paper §5.2, Tables 7–8) fan out
+//! naturally: every `(statement, node)` pair contributes an
+//! independent slice of the trace, backed by streams that decompress
+//! without reference to any other stream. The cursor-based query path
+//! ([`crate::Wet::resolve_producer`], [`crate::seq::Seq::get`]) takes
+//! `&mut Wet`, which serializes everything; this module instead reads
+//! through **snapshots** ([`crate::seq::Seq::to_vec_snapshot`]
+//! clones a stream and decompresses the clone), so any number of
+//! workers can extract from one `&Wet` concurrently.
+//!
+//! Every lookup here replicates the cursor path's semantics exactly —
+//! same intra-edge preference order, same incoming-edge order, same
+//! sorted-search outcomes (all searched sequences are strictly
+//! sorted) — so for any thread count the extracted traces are
+//! identical to the sequential cursor results. Per-worker
+//! [`EngineCache`]s memoize decompressed label pools, node timestamp
+//! sequences, and producer value sequences; the caches accelerate but
+//! never change results, which is what makes the fan-out safe.
+
+use crate::graph::{NodeId, TsMode, Wet, SLOT_OP0};
+use crate::par;
+use crate::query::values::nodes_with_stmt;
+use std::collections::HashMap;
+use wet_ir::stmt::Operand;
+use wet_ir::{Program, StmtId};
+
+/// Per-worker memoization of decompressed sequences.
+#[derive(Default)]
+pub struct EngineCache {
+    /// Label pools by pool index: `(dst, src)` pair streams.
+    labels: HashMap<u32, (Vec<u64>, Vec<u64>)>,
+    /// Node timestamp sequences (global-mode label mapping).
+    node_ts: HashMap<u32, Vec<u64>>,
+    /// Intra-edge `ks` sequences by `(node, dst stmt, slot, edge pos)`.
+    intra_ks: HashMap<(u32, StmtId, u8, usize), Vec<u64>>,
+    /// Producer `(ts, value)` sequences by `(node, stmt)`.
+    values: HashMap<(u32, StmtId), Vec<(u64, i64)>>,
+}
+
+impl EngineCache {
+    fn node_ts<'a>(ts: &'a mut HashMap<u32, Vec<u64>>, wet: &Wet, node: NodeId) -> &'a [u64] {
+        ts.entry(node.0).or_insert_with(|| wet.node(node).ts.to_vec_snapshot())
+    }
+
+    fn value_at(&mut self, wet: &Wet, node: NodeId, stmt: StmtId, k: u32) -> Option<i64> {
+        let seq = self
+            .values
+            .entry((node.0, stmt))
+            .or_insert_with(|| values_in_node_snapshot(wet, node, stmt));
+        seq.get(k as usize).map(|&(_, v)| v)
+    }
+}
+
+/// The value sequence of `stmt` within one node as `(ts, value)` pairs
+/// — [`crate::query::values::values_in_node`] through snapshots, for
+/// use from shared references.
+pub fn values_in_node_snapshot(wet: &Wet, node: NodeId, stmt: StmtId) -> Vec<(u64, i64)> {
+    let n = wet.node(node);
+    let Some(pos) = n.stmt_pos(stmt) else { return Vec::new() };
+    let ns = n.stmts[pos];
+    if !ns.has_def {
+        return Vec::new();
+    }
+    let ts = n.ts.to_vec_snapshot();
+    let g = &n.groups[ns.group as usize];
+    let uvals = g.uvals[ns.member as usize].to_vec_snapshot();
+    match &g.pattern {
+        None => ts.into_iter().zip(uvals.into_iter().map(|v| v as i64)).collect(),
+        Some(p) => {
+            let pattern = p.to_vec_snapshot();
+            ts.into_iter().zip(pattern).map(|(t, idx)| (t, uvals[idx as usize] as i64)).collect()
+        }
+    }
+}
+
+/// Read-only [`Wet::resolve_producer`]: identical lookup order and
+/// outcomes, but through snapshot/binary searches on cached
+/// decompressions instead of cursor walks. (All searched sequences —
+/// intra `ks`, label `dst`, node `ts` — are strictly increasing, so a
+/// binary search finds exactly the position the cursor walk finds.)
+fn resolve_producer_snapshot(
+    wet: &Wet,
+    cache: &mut EngineCache,
+    node: NodeId,
+    dst_stmt: StmtId,
+    slot: u8,
+    k: u32,
+) -> Option<(NodeId, StmtId, u32)> {
+    // Intra-node edges first, in stored order.
+    let n = wet.node(node);
+    if let Some(ies) = n.intra.get(&(dst_stmt, slot)) {
+        for (ei, ie) in ies.iter().enumerate() {
+            if ie.complete {
+                return Some((node, ie.src, k));
+            }
+            if let Some(ks) = &ie.ks {
+                let v = cache
+                    .intra_ks
+                    .entry((node.0, dst_stmt, slot, ei))
+                    .or_insert_with(|| ks.to_vec_snapshot());
+                if v.binary_search(&(k as u64)).is_ok() {
+                    return Some((node, ie.src, k));
+                }
+            }
+        }
+    }
+    // Non-local labeled edges, in incoming-edge order.
+    let key = match wet.config().ts_mode {
+        TsMode::Local => k as u64,
+        TsMode::Global => EngineCache::node_ts(&mut cache.node_ts, wet, node)[k as usize],
+    };
+    for &ei in wet.in_edges(node, dst_stmt, slot) {
+        let e = wet.edges()[ei as usize];
+        let found = {
+            let (dst_v, src_v) = cache.labels.entry(e.labels).or_insert_with(|| {
+                let lab = &wet.labels()[e.labels as usize];
+                (lab.dst.to_vec_snapshot(), lab.src.to_vec_snapshot())
+            });
+            dst_v.binary_search(&key).ok().map(|p| src_v[p])
+        };
+        if let Some(srcv) = found {
+            let k_src = match wet.config().ts_mode {
+                TsMode::Local => srcv as u32,
+                TsMode::Global => {
+                    let ts = EngineCache::node_ts(&mut cache.node_ts, wet, e.src_node);
+                    ts.binary_search(&srcv).ok()? as u32
+                }
+            };
+            return Some((e.src_node, e.src_stmt, k_src));
+        }
+    }
+    None
+}
+
+/// The slice of `stmt`'s address trace contributed by one node.
+fn addresses_in_node(
+    wet: &Wet,
+    cache: &mut EngineCache,
+    node: NodeId,
+    stmt: StmtId,
+    op: Operand,
+) -> Vec<(u64, u64)> {
+    let n_execs = wet.node(node).n_execs;
+    let ts = wet.node(node).ts.to_vec_snapshot();
+    match op {
+        Operand::Imm(v) => ts.into_iter().map(|t| (t, v as u64)).collect(),
+        Operand::Reg(_) => (0..n_execs)
+            .map(|k| {
+                let a = match resolve_producer_snapshot(wet, cache, node, stmt, SLOT_OP0, k) {
+                    Some((pn, ps, pk)) => cache.value_at(wet, pn, ps, pk).unwrap_or(0) as u64,
+                    // Never-written register: reads as zero.
+                    None => 0,
+                };
+                (ts[k as usize], a)
+            })
+            .collect(),
+    }
+}
+
+/// The complete per-instruction value trace of `stmt`, extracted on up
+/// to `num_threads` workers (one per containing node): `(ts, value)`
+/// pairs sorted by timestamp. Identical to the sequential
+/// [`crate::query::value_trace`] for every thread count.
+pub fn value_trace(wet: &Wet, stmt: StmtId, num_threads: usize) -> Vec<(u64, i64)> {
+    let nodes = nodes_with_stmt(wet, stmt);
+    let threads = par::effective_threads(num_threads);
+    let parts = par::map(threads, &nodes, |_, &node| values_in_node_snapshot(wet, node, stmt));
+    let mut out: Vec<(u64, i64)> = parts.into_iter().flatten().collect();
+    out.sort_unstable_by_key(|&(ts, _)| ts);
+    out
+}
+
+/// Whole-trace value extraction for many statements at once; the work
+/// units are `(statement, node)` streams, so parallelism is available
+/// even when each statement appears in few nodes.
+pub fn value_traces(wet: &Wet, stmts: &[StmtId], num_threads: usize) -> Vec<Vec<(u64, i64)>> {
+    let units: Vec<(usize, NodeId)> = stmts
+        .iter()
+        .enumerate()
+        .flat_map(|(si, &s)| nodes_with_stmt(wet, s).into_iter().map(move |n| (si, n)))
+        .collect();
+    let threads = par::effective_threads(num_threads);
+    let parts = par::map(threads, &units, |_, &(si, node)| values_in_node_snapshot(wet, node, stmts[si]));
+    let mut out: Vec<Vec<(u64, i64)>> = vec![Vec::new(); stmts.len()];
+    for (&(si, _), part) in units.iter().zip(parts) {
+        out[si].extend(part);
+    }
+    for trace in &mut out {
+        trace.sort_unstable_by_key(|&(ts, _)| ts);
+    }
+    out
+}
+
+/// The complete per-instruction address trace of a load/store
+/// statement, extracted on up to `num_threads` workers: `(ts, address)`
+/// pairs sorted by timestamp. Identical to the sequential
+/// [`crate::query::address_trace`] for every thread count; empty for
+/// statements that do not access memory.
+pub fn address_trace(wet: &Wet, program: &Program, stmt: StmtId, num_threads: usize) -> Vec<(u64, u64)> {
+    let Some(op) = crate::query::addresses::addr_operand(program, stmt) else {
+        return Vec::new();
+    };
+    let nodes = nodes_with_stmt(wet, stmt);
+    let threads = par::effective_threads(num_threads);
+    let parts = par::map_ctx(threads, &nodes, EngineCache::default, |cache, _, &node| {
+        addresses_in_node(wet, cache, node, stmt, op)
+    });
+    let mut out: Vec<(u64, u64)> = parts.into_iter().flatten().collect();
+    out.sort_unstable_by_key(|&(ts, _)| ts);
+    out
+}
+
+/// Whole-trace address extraction for many statements at once over
+/// `(statement, node)` work units with per-worker caches.
+pub fn address_traces(
+    wet: &Wet,
+    program: &Program,
+    stmts: &[StmtId],
+    num_threads: usize,
+) -> Vec<Vec<(u64, u64)>> {
+    let units: Vec<(usize, NodeId, Operand)> = stmts
+        .iter()
+        .enumerate()
+        .filter_map(|(si, &s)| crate::query::addresses::addr_operand(program, s).map(|op| (si, s, op)))
+        .flat_map(|(si, s, op)| nodes_with_stmt(wet, s).into_iter().map(move |n| (si, n, op)))
+        .collect();
+    let threads = par::effective_threads(num_threads);
+    let parts = par::map_ctx(threads, &units, EngineCache::default, |cache, _, &(si, node, op)| {
+        addresses_in_node(wet, cache, node, stmts[si], op)
+    });
+    let mut out: Vec<Vec<(u64, u64)>> = vec![Vec::new(); stmts.len()];
+    for (&(si, _, _), part) in units.iter().zip(parts) {
+        out[si].extend(part);
+    }
+    for trace in &mut out {
+        trace.sort_unstable_by_key(|&(ts, _)| ts);
+    }
+    out
+}

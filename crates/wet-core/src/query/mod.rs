@@ -6,6 +6,7 @@
 
 pub mod addresses;
 pub mod cftrace;
+pub mod engine;
 pub mod mine;
 pub mod phases;
 pub mod slice;

@@ -10,7 +10,10 @@
 //! (front to back) rather than through the random-access cursor: the
 //! `Values[k] = UVals[Pattern[k]]` indirection makes unique-value
 //! lookups non-monotonic, which a sliding-window cursor would pay for
-//! quadratically.
+//! quadratically. The per-node streams are independent, so extraction
+//! fans out across `config.stream.num_threads` workers through the
+//! read-only [`crate::query::engine`]; results are identical for
+//! every thread count.
 
 use crate::graph::{NodeId, Wet};
 use wet_ir::StmtId;
@@ -49,12 +52,8 @@ pub fn nodes_with_stmt(wet: &Wet, stmt: StmtId) -> Vec<NodeId> {
 
 /// The complete per-instruction value trace of `stmt` across all nodes,
 /// merged into execution order: `(ts, value)` pairs sorted by
-/// timestamp.
-pub fn value_trace(wet: &mut Wet, stmt: StmtId) -> Vec<(u64, i64)> {
-    let mut out = Vec::new();
-    for node in nodes_with_stmt(wet, stmt) {
-        out.extend(values_in_node(wet, node, stmt));
-    }
-    out.sort_unstable_by_key(|&(ts, _)| ts);
-    out
+/// timestamp. Extracts on up to `config.stream.num_threads` workers
+/// (one per containing node).
+pub fn value_trace(wet: &Wet, stmt: StmtId) -> Vec<(u64, i64)> {
+    crate::query::engine::value_trace(wet, stmt, wet.config().stream.num_threads)
 }

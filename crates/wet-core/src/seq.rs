@@ -55,6 +55,18 @@ impl Seq {
         }
     }
 
+    /// Decompresses the full sequence **without** moving the cursor:
+    /// tier-2 streams are cloned first and the clone is consumed. This
+    /// is what lets the whole-trace query engine extract from a shared
+    /// `&Wet` on many threads at once — every worker snapshots the
+    /// streams it needs instead of fighting over one cursor.
+    pub fn to_vec_snapshot(&self) -> Vec<u64> {
+        match self {
+            Seq::Raw(v) => v.clone(),
+            Seq::Compressed(s) => s.clone().decompress(),
+        }
+    }
+
     /// Converts to tier-2 form in place (no-op if already compressed).
     pub fn compress(&mut self, cfg: &StreamConfig) {
         if let Seq::Raw(v) = self {

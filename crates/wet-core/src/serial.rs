@@ -242,7 +242,11 @@ impl Wet {
         let tier2 = r_u8(r)? == 1;
         let config = WetConfig {
             ts_mode,
-            stream: StreamConfig { table_bits_max, trial_len, candidates },
+            // `num_threads` is an execution knob, not data: it is
+            // deliberately not part of the format (files must be
+            // byte-identical across thread counts), so reading resets
+            // it to the default.
+            stream: StreamConfig { table_bits_max, trial_len, candidates, ..Default::default() },
             group_values,
             infer_local_edges,
             share_edge_labels,
@@ -460,13 +464,13 @@ mod tests {
             for sid in 0..p.stmt_count() as u32 {
                 let s = StmtId(sid);
                 assert_eq!(
-                    query::value_trace(&mut wet, s),
-                    query::value_trace(&mut back, s),
+                    query::value_trace(&wet, s),
+                    query::value_trace(&back, s),
                     "values of {s} (tier2={tier2})"
                 );
                 assert_eq!(
-                    query::address_trace(&mut wet, &p, s),
-                    query::address_trace(&mut back, &p, s),
+                    query::address_trace(&wet, &p, s),
+                    query::address_trace(&back, &p, s),
                     "addresses of {s} (tier2={tier2})"
                 );
             }

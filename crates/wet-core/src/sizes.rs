@@ -70,8 +70,75 @@ pub fn ratio(a: u64, b: u64) -> f64 {
     }
 }
 
+/// Which size category a tier-2 stream is accounted under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamClass {
+    /// Node timestamp sequences → [`WetSizes::t2_ts`].
+    Ts,
+    /// Value patterns and unique values → [`WetSizes::t2_vals`].
+    Vals,
+    /// Edge labels (intra `ks`, pooled `dst`/`src`) → [`WetSizes::t2_edges`].
+    Edges,
+}
+
+/// Reducible tier-2 compression accounting: per-method stream counts
+/// plus compressed bytes per [`StreamClass`].
+///
+/// Accumulated independently per compressed stream (on whichever
+/// worker compressed it) and merged after join; every operation is a
+/// commutative sum, so the merged result is identical no matter how
+/// streams were distributed across workers — including the
+/// one-worker sequential case.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompressStats {
+    /// Number of tier-2 streams by chosen method name.
+    pub methods: std::collections::BTreeMap<String, u64>,
+    /// Compressed timestamp bytes.
+    pub t2_ts: u64,
+    /// Compressed value bytes.
+    pub t2_vals: u64,
+    /// Compressed edge-label bytes.
+    pub t2_edges: u64,
+}
+
+impl CompressStats {
+    /// Accounts one sequence under `class`. Raw (tier-1) sequences are
+    /// ignored — only compressed streams carry a method and a payload.
+    pub fn note(&mut self, class: StreamClass, seq: &crate::seq::Seq) {
+        if let crate::seq::Seq::Compressed(c) = seq {
+            *self.methods.entry(c.method().name()).or_default() += 1;
+            let bytes = c.compressed_bytes();
+            match class {
+                StreamClass::Ts => self.t2_ts += bytes,
+                StreamClass::Vals => self.t2_vals += bytes,
+                StreamClass::Edges => self.t2_edges += bytes,
+            }
+        }
+    }
+
+    /// Folds another accumulation into this one.
+    pub fn merge(&mut self, other: CompressStats) {
+        for (m, c) in other.methods {
+            *self.methods.entry(m).or_default() += c;
+        }
+        self.t2_ts += other.t2_ts;
+        self.t2_vals += other.t2_vals;
+        self.t2_edges += other.t2_edges;
+    }
+
+    /// Writes the totals into size/stat records, **replacing** any
+    /// previous tier-2 accounting (so re-running compression recomputes
+    /// rather than re-accumulates).
+    pub fn apply(self, sizes: &mut WetSizes, stats: &mut WetStats) {
+        sizes.t2_ts = self.t2_ts;
+        sizes.t2_vals = self.t2_vals;
+        sizes.t2_edges = self.t2_edges;
+        stats.methods = self.methods;
+    }
+}
+
 /// Construction/query statistics reported alongside sizes.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WetStats {
     /// Executed statements covered by the WET.
     pub stmts_executed: u64,

@@ -37,11 +37,24 @@ pub struct StreamConfig {
     pub trial_len: usize,
     /// Candidate methods for auto selection.
     pub candidates: Vec<Method>,
+    /// Worker threads used by callers that compress *many* streams in
+    /// bulk (`wet_core`'s tier-2 pass and query engine); `0` means all
+    /// available cores. Compressing a single stream is an inherently
+    /// sequential predictor pass, so this field does not change the
+    /// behavior — or the output bytes — of any function in this crate.
+    /// It is an execution knob, not data: it is never serialized, and
+    /// bulk callers guarantee byte-identical output across values.
+    pub num_threads: usize,
 }
 
 impl Default for StreamConfig {
     fn default() -> Self {
-        StreamConfig { table_bits_max: 14, trial_len: 4096, candidates: Method::default_candidates() }
+        StreamConfig {
+            table_bits_max: 14,
+            trial_len: 4096,
+            candidates: Method::default_candidates(),
+            num_threads: 1,
+        }
     }
 }
 

@@ -6,7 +6,7 @@ use wet_stream::sequitur;
 use wet_stream::{choose_method, CompressedStream, Method, StreamConfig};
 
 fn small_cfg() -> StreamConfig {
-    StreamConfig { table_bits_max: 8, trial_len: 256, candidates: Method::default_candidates() }
+    StreamConfig { table_bits_max: 8, trial_len: 256, candidates: Method::default_candidates(), ..Default::default() }
 }
 
 /// Value generators spanning the stream shapes WET produces: random,

@@ -37,11 +37,11 @@ fn cf_traces_match_for_all_workloads() {
 #[test]
 fn value_traces_match_for_all_workloads() {
     for kind in Kind::all() {
-        let (p, mut wet, rec) = build(kind, 15_000);
+        let (p, wet, rec) = build(kind, 15_000);
         for sid in 0..p.stmt_count() as u32 {
             let stmt = StmtId(sid);
             let expected = rec.values_of(stmt);
-            let got: Vec<i64> = query::value_trace(&mut wet, stmt).into_iter().map(|(_, v)| v).collect();
+            let got: Vec<i64> = query::value_trace(&wet, stmt).into_iter().map(|(_, v)| v).collect();
             assert_eq!(got, expected, "{}: value trace of {stmt}", kind.name());
         }
     }
@@ -50,12 +50,12 @@ fn value_traces_match_for_all_workloads() {
 #[test]
 fn address_traces_match_for_all_workloads() {
     for kind in Kind::all() {
-        let (p, mut wet, rec) = build(kind, 15_000);
+        let (p, wet, rec) = build(kind, 15_000);
         for sid in 0..p.stmt_count() as u32 {
             let stmt = StmtId(sid);
             let expected = rec.addresses_of(stmt);
             let got: Vec<u64> =
-                query::address_trace(&mut wet, &p, stmt).into_iter().map(|(_, a)| a).collect();
+                query::address_trace(&wet, &p, stmt).into_iter().map(|(_, a)| a).collect();
             assert_eq!(got, expected, "{}: address trace of {stmt}", kind.name());
         }
     }
@@ -160,7 +160,7 @@ fn block_granularity_mode_stays_correct() {
 #[test]
 fn global_ts_mode_matches_local_mode_semantics() {
     let kind = Kind::Li;
-    let (p, mut local, _) = build(kind, 10_000);
+    let (p, local, _) = build(kind, 10_000);
     let w = wet::workloads::build(kind, 10_000);
     let bl = BallLarus::new(&w.program);
     let mut builder =
@@ -171,8 +171,8 @@ fn global_ts_mode_matches_local_mode_semantics() {
     for sid in (0..p.stmt_count() as u32).step_by(3) {
         let stmt = StmtId(sid);
         assert_eq!(
-            query::value_trace(&mut local, stmt),
-            query::value_trace(&mut global, stmt),
+            query::value_trace(&local, stmt),
+            query::value_trace(&global, stmt),
             "value traces agree across modes for {stmt}"
         );
     }

@@ -30,13 +30,13 @@ fn random_stmt(rng: &mut SmallRng, f: &mut FunctionBuilder<'_>, block: BlockId, 
     let dst = pick(rng);
     match rng.gen_range(0..10) {
         0..=3 => {
-            let op = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Xor, BinOp::And, BinOp::Min][rng.gen_range(0..6)];
+            let op = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Xor, BinOp::And, BinOp::Min][rng.gen_range(0..6usize)];
             let (a, b) = (operand(rng), operand(rng));
             f.block(block).bin(op, dst, a, b);
         }
         4 => {
             // Safe division by a nonzero constant.
-            let d = *[2i64, 3, 5, 7].get(rng.gen_range(0..4)).unwrap();
+            let d = *[2i64, 3, 5, 7].get(rng.gen_range(0..4usize)).unwrap();
             let a = operand(rng);
             f.block(block).bin(BinOp::Div, dst, a, Operand::Imm(d));
         }
@@ -210,10 +210,10 @@ fn check_program(seed: u64) {
         // Values and addresses per statement.
         for sid in 0..p.stmt_count() as u32 {
             let stmt = StmtId(sid);
-            let got: Vec<i64> = query::value_trace(&mut wet, stmt).into_iter().map(|(_, v)| v).collect();
+            let got: Vec<i64> = query::value_trace(&wet, stmt).into_iter().map(|(_, v)| v).collect();
             assert_eq!(got, rec.values_of(stmt), "seed {seed} tier2={tier2}: values of {stmt}");
             let got: Vec<u64> =
-                query::address_trace(&mut wet, &p, stmt).into_iter().map(|(_, a)| a).collect();
+                query::address_trace(&wet, &p, stmt).into_iter().map(|(_, a)| a).collect();
             assert_eq!(got, rec.addresses_of(stmt), "seed {seed} tier2={tier2}: addrs of {stmt}");
         }
     }

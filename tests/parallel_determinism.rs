@@ -1,0 +1,117 @@
+//! Parallel execution must be invisible in the output: a WET built and
+//! compressed on N workers serializes to exactly the same `.wetz` bytes
+//! as the sequential build, for every workload and every thread count.
+//!
+//! This is the cross-crate determinism invariant of the worker-pool
+//! work (`wet_core::par`): tier-1 value grouping, tier-2 stream
+//! compression, and whole-trace extraction all fan out, but every
+//! worker computes exactly what the sequential loop would have
+//! computed, and reductions are order-independent.
+
+use proptest::prelude::*;
+use wet_core::{WetBuilder, WetConfig};
+use wet_interp::{Interp, InterpConfig};
+use wet_ir::ballarus::BallLarus;
+use wet_workloads::Kind;
+
+/// Builds, compresses, and serializes one workload WET on `threads`
+/// workers.
+fn build_compressed(kind: Kind, target: u64, threads: usize) -> wet_core::Wet {
+    let w = wet_workloads::build(kind, target);
+    let bl = BallLarus::new(&w.program);
+    let mut config = WetConfig::default();
+    config.stream.num_threads = threads;
+    let mut builder = WetBuilder::new(&w.program, &bl, config);
+    Interp::new(&w.program, &bl, InterpConfig::default())
+        .run(&w.inputs, &mut builder)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()));
+    let mut wet = builder.finish();
+    wet.compress();
+    wet
+}
+
+fn wetz_bytes(wet: &wet_core::Wet) -> Vec<u8> {
+    let mut out = Vec::new();
+    wet.write_to(&mut out).expect("serialize");
+    out
+}
+
+/// Exhaustive sweep: all 9 workloads x thread counts {2, 4, 8} against
+/// the single-threaded baseline.
+#[test]
+fn all_workloads_byte_identical_across_thread_counts() {
+    const TARGET: u64 = 8_000;
+    for kind in Kind::all() {
+        let baseline = build_compressed(kind, TARGET, 1);
+        let base_bytes = wetz_bytes(&baseline);
+        for threads in [2usize, 4, 8] {
+            let par = build_compressed(kind, TARGET, threads);
+            assert_eq!(
+                par.sizes(),
+                baseline.sizes(),
+                "{}: sizes diverge at {threads} threads",
+                kind.name()
+            );
+            assert_eq!(
+                par.stats(),
+                baseline.stats(),
+                "{}: stats diverge at {threads} threads",
+                kind.name()
+            );
+            assert_eq!(
+                wetz_bytes(&par),
+                base_bytes,
+                "{}: .wetz bytes diverge at {threads} threads",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// Whole-trace extraction through the parallel query engine returns
+/// the same traces for every thread count.
+#[test]
+fn extraction_identical_across_thread_counts() {
+    let wet = build_compressed(Kind::Gcc, 20_000, 1);
+    let w = wet_workloads::build(Kind::Gcc, 20_000);
+    let stmts: Vec<wet_ir::StmtId> = (0..w.program.stmt_count() as u32).map(wet_ir::StmtId).collect();
+    let mut checked = 0;
+    for &s in &stmts {
+        let seq_v = wet_core::query::engine::value_trace(&wet, s, 1);
+        let seq_a = wet_core::query::engine::address_trace(&wet, &w.program, s, 1);
+        for threads in [2usize, 4] {
+            assert_eq!(wet_core::query::engine::value_trace(&wet, s, threads), seq_v);
+            assert_eq!(wet_core::query::engine::address_trace(&wet, &w.program, s, threads), seq_a);
+        }
+        if !seq_v.is_empty() || !seq_a.is_empty() {
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "sweep must cover at least one non-empty trace");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random (workload, thread count, length) triples: parallel
+    /// compression is byte-for-byte the sequential compression.
+    #[test]
+    fn parallel_compress_matches_sequential(
+        kind_i in 0usize..9,
+        threads in prop_oneof![Just(2usize), Just(4usize), Just(8usize)],
+        target in 1_000u64..12_000,
+    ) {
+        let kind = Kind::all()[kind_i];
+        let seq = wetz_bytes(&build_compressed(kind, target, 1));
+        let par = wetz_bytes(&build_compressed(kind, target, threads));
+        prop_assert!(
+            seq == par,
+            "{} at {} stmts: {} threads produced {} bytes vs {} sequential",
+            kind.name(),
+            target,
+            threads,
+            par.len(),
+            seq.len()
+        );
+    }
+}

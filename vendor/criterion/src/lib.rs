@@ -1,0 +1,235 @@
+//! Offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! The build environment has no network access, so the workspace
+//! vendors the slice of criterion its benches use: `criterion_group!`
+//! / `criterion_main!`, benchmark groups with `sample_size` /
+//! `throughput`, `bench_function` / `bench_with_input`, and `Bencher`
+//! with `iter` / `iter_batched`. Measurement is deliberately simple —
+//! a warmup pass plus `sample_size` timed samples, reporting the
+//! median per-iteration time (and throughput when configured) — which
+//! is enough to compare configurations within one machine without
+//! upstream's statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Two-part benchmark identifier, `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter label.
+    pub fn new<S: ToString, P: ToString>(function: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.to_string(), parameter.to_string()) }
+    }
+}
+
+/// How `iter_batched` amortizes setup cost. The stub runs one setup
+/// per measured iteration regardless of variant, so this is carried
+/// for API compatibility only.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to benchmark closures; runs and times the routine.
+pub struct Bencher<'a> {
+    samples: usize,
+    out: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly, recording one duration per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: one untimed call so lazy init / page faults don't
+        // land in the first sample.
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.out.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.out.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(id: &str, samples: usize, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut out = Vec::with_capacity(samples);
+    let mut b = Bencher { samples, out: &mut out };
+    f(&mut b);
+    if out.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    out.sort_unstable();
+    let median = out[out.len() / 2];
+    let rate = throughput.map(|t| {
+        let secs = median.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => format!("  {:>12.0} elem/s", n as f64 / secs),
+            Throughput::Bytes(n) => format!("  {:>12.0} B/s", n as f64 / secs),
+        }
+    });
+    println!(
+        "{id:<48} median {:>12}  (min {:>12}, {} samples){}",
+        fmt_duration(median),
+        fmt_duration(out[0]),
+        out.len(),
+        rate.unwrap_or_default()
+    );
+}
+
+/// A named group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<S: ToString, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.to_string());
+        run_one(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks a closure that borrows a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: ToString>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        println!("== {name} ==");
+        BenchmarkGroup { name, sample_size: 10, throughput: None, _c: self }
+    }
+}
+
+/// Declares a benchmark group: a runner function invoking each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        let mut calls = 0usize;
+        g.bench_function("iter", |b| b.iter(|| calls += 1));
+        // 1 warmup + 3 samples.
+        assert_eq!(calls, 4);
+        let mut setups = 0usize;
+        g.bench_with_input(BenchmarkId::new("batched", "x"), &5u64, |b, &v| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    v
+                },
+                |x| x * 2,
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!(setups, 4);
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(50)), "50 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.500 ms");
+    }
+}
