@@ -13,6 +13,19 @@ cargo build --release --offline --locked --workspace
 echo "==> cargo test"
 cargo test -q --offline --locked --workspace
 
+echo "==> metrics determinism (thread counts 1/2/4/8)"
+cargo test -q --offline --locked --test parallel_determinism metrics_identical_across_thread_counts
+
+echo "==> wet-cli --profile=json emits valid JSON"
+# Two separate commands (not a pipeline): under `set -eu` a pipeline
+# only propagates the last command's status, which would mask a CLI
+# failure. The JSON doc goes to stdout; the human report to stderr.
+profile_json=$(mktemp)
+trap 'rm -f "$profile_json"' EXIT
+cargo run -q --release --offline --locked -p wet-cli -- \
+    compress examples/data/collatz.wet --inputs 27 --profile=json > "$profile_json"
+cargo run -q --release --offline --locked -p wet-obs --bin jsonv < "$profile_json"
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --locked --workspace --all-targets -- -D warnings
 

@@ -2,7 +2,9 @@
 //!
 //! With `--json`, additionally writes machine-readable compression
 //! results (sizes, ratios, and sequential-vs-parallel tier-2 times)
-//! to `results/BENCH_compression.json`.
+//! to `results/BENCH_compression.json` and a per-workload per-phase
+//! breakdown (span wall-times + tier-2 bytes, collected through
+//! `wet-obs`) to `results/BENCH_phases.json`.
 use wet_bench::experiments as ex;
 fn main() {
     let json = std::env::args().skip(1).any(|a| a == "--json");
@@ -26,5 +28,8 @@ fn main() {
         let path = std::path::Path::new("results/BENCH_compression.json");
         ex::write_compression_json(&scale, path).expect("write compression json");
         println!("wrote {}", path.display());
+        let phases = std::path::Path::new("results/BENCH_phases.json");
+        ex::write_phases_json(&scale, phases).expect("write phases json");
+        println!("wrote {}", phases.display());
     }
 }

@@ -503,6 +503,61 @@ pub fn write_compression_json(scale: &Scale, path: &std::path::Path) -> std::io:
     std::fs::write(path, json)
 }
 
+/// Per-phase breakdown of the construction pipeline (`all --json`).
+///
+/// Rebuilds and compresses every workload with observability enabled
+/// (thread-scoped, so nothing leaks into other bench runs) and writes
+/// the aggregated span wall-times plus tier-2 byte totals to JSON.
+/// Workloads run sequentially so the per-phase times are undistorted;
+/// tier-2 itself still uses the scale's worker pool, whose `par.worker`
+/// spans are merged into the same report at pool join.
+pub fn write_phases_json(scale: &Scale, path: &std::path::Path) -> std::io::Result<()> {
+    let mut rows = Vec::new();
+    for kind in Kind::all() {
+        let _obs = wet_obs::scoped_enable();
+        wet_obs::reset();
+        let mut b = build_wet(kind, scale.timing_stmts, scale.wet_config());
+        b.wet.compress();
+        let report = wet_obs::snapshot();
+        let phases = report
+            .totals_by_name()
+            .into_iter()
+            .map(|(name, count, ns)| {
+                format!(
+                    "      {{\"phase\": \"{}\", \"count\": {}, \"secs\": {:.6}}}",
+                    name,
+                    count,
+                    ns as f64 / 1e9
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let bytes = |n: &str| ["ts", "vals", "edges"].iter().map(|c| report.counter(n, c)).sum::<u64>();
+        rows.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"stmts\": {}, \"tier2_bytes_in\": {}, ",
+                "\"tier2_bytes_out\": {}, \"phases\": [\n{}\n    ]}}"
+            ),
+            kind.name(),
+            b.run.stmts_executed,
+            bytes("tier2.bytes_in"),
+            bytes("tier2.bytes_out"),
+            phases
+        ));
+        wet_obs::reset();
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"phases\",\n  \"stmts_target\": {},\n  \"threads\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        scale.timing_stmts,
+        scale.effective_threads(),
+        rows.join(",\n")
+    );
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, json)
+}
+
 /// Ablations over the design choices DESIGN.md calls out.
 pub fn ablation(scale: &Scale) {
     let target = scale.timing_stmts;

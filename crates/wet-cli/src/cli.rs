@@ -1,6 +1,7 @@
 //! Command implementations and argument handling.
 
 use std::error::Error;
+use std::sync::atomic::{AtomicBool, Ordering};
 use wet_core::{dump, query, WetBuilder, WetConfig};
 use wet_interp::{Interp, InterpConfig};
 use wet_ir::ballarus::BallLarus;
@@ -13,6 +14,7 @@ usage:
   wet disasm <file.wet>
   wet run <file.wet> [--inputs 1,2,3]
   wet trace <file.wet> [--inputs 1,2,3] [--tier1] [--threads N] [--save out.wetz]
+  wet compress <file.wet> ...                    (alias of trace)
   wet dump <file.wet> --node N [--inputs 1,2,3] [--max M]
   wet slice <file.wet> --stmt N [--inputs 1,2,3] [--no-control]
   wet workload <name> [--target N] [--threads N] [--save out.wetz]
@@ -20,7 +22,45 @@ usage:
       names: go-like gcc-like li-like gzip-like mcf-like parser-like
              vortex-like bzip2-like twolf-like
       --threads N: worker threads for tier-2 compression
-                   (default 1; 0 = all cores; output is identical)";
+                   (default 1; 0 = all cores; output is identical)
+      --profile[=pretty|json|prom]: record spans + metrics for the run.
+                   pretty (default) prints a phase tree to stderr;
+                   json prints a wet-obs/1 document to stdout and saves
+                   results/METRICS_<cmd>.json; prom prints Prometheus
+                   text exposition to stdout. With json/prom the human
+                   report moves to stderr so stdout stays parseable.";
+
+/// In `--profile=json|prom` mode the profile document owns stdout and
+/// the human-readable report moves to stderr.
+static STDERR_REPORT: AtomicBool = AtomicBool::new(false);
+
+fn stderr_report() -> bool {
+    STDERR_REPORT.load(Ordering::Relaxed)
+}
+
+/// `println!` that respects [`STDERR_REPORT`].
+macro_rules! say {
+    ($($arg:tt)*) => {
+        if stderr_report() { eprintln!($($arg)*) } else { println!($($arg)*) }
+    };
+}
+
+/// Multi-line (`print!`-style) counterpart of `say!`.
+fn say_block(s: &str) {
+    if stderr_report() {
+        eprint!("{s}");
+    } else {
+        print!("{s}");
+    }
+}
+
+/// Where `--profile` sends the recorded spans and metrics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Profile {
+    Pretty,
+    Json,
+    Prom,
+}
 
 /// Parsed common flags.
 struct Flags {
@@ -118,8 +158,73 @@ fn trace(
     Ok((wet, run))
 }
 
+/// Strips the global `--profile[=sink]` flag (accepted anywhere on the
+/// command line) from `args`.
+fn extract_profile(args: &[String]) -> Result<(Vec<String>, Option<Profile>)> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut profile = None;
+    for a in args {
+        if a == "--profile" {
+            profile = Some(Profile::Pretty);
+        } else if let Some(sink) = a.strip_prefix("--profile=") {
+            profile = Some(match sink {
+                "pretty" => Profile::Pretty,
+                "json" => Profile::Json,
+                "prom" => Profile::Prom,
+                other => return Err(format!("unknown profile sink `{other}` (pretty|json|prom)").into()),
+            });
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((rest, profile))
+}
+
+/// Renders the recorded profile after a successful command. Pretty goes
+/// to stderr (it accompanies the command's stdout); json and prom own
+/// stdout. Json is additionally saved to `results/METRICS_<cmd>.json`.
+fn render_profile(profile: Profile, cmd: &str) -> Result<()> {
+    let report = wet_obs::snapshot();
+    match profile {
+        Profile::Pretty => eprint!("{}", report.render_pretty()),
+        Profile::Json => {
+            let doc = report.render_json();
+            let dir = std::path::Path::new("results");
+            if std::fs::create_dir_all(dir).is_ok() {
+                let name: String =
+                    cmd.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+                let path = dir.join(format!("METRICS_{name}.json"));
+                if let Err(e) = std::fs::write(&path, &doc) {
+                    eprintln!("warning: cannot write {}: {e}", path.display());
+                }
+            }
+            print!("{doc}");
+        }
+        Profile::Prom => print!("{}", report.render_prometheus()),
+    }
+    Ok(())
+}
+
 /// Entry point used by `main` (and by the tests).
 pub fn dispatch(args: &[String]) -> Result<()> {
+    let (args, profile) = extract_profile(args)?;
+    if let Some(p) = profile {
+        wet_obs::enable();
+        wet_obs::reset();
+        if matches!(p, Profile::Json | Profile::Prom) {
+            STDERR_REPORT.store(true, Ordering::Relaxed);
+        }
+    }
+    let result = dispatch_cmd(&args);
+    if let Some(p) = profile {
+        if result.is_ok() {
+            render_profile(p, args.first().map(|s| s.as_str()).unwrap_or("none"))?;
+        }
+    }
+    result
+}
+
+fn dispatch_cmd(args: &[String]) -> Result<()> {
     let Some(cmd) = args.first() else {
         return Err(USAGE.into());
     };
@@ -128,7 +233,7 @@ pub fn dispatch(args: &[String]) -> Result<()> {
         "disasm" => {
             let path = rest.first().ok_or(USAGE)?;
             let p = load(path)?;
-            print!("{}", pretty::program_to_string(&p));
+            say_block(&pretty::program_to_string(&p));
             Ok(())
         }
         "run" => {
@@ -137,15 +242,15 @@ pub fn dispatch(args: &[String]) -> Result<()> {
             let p = load(path)?;
             let bl = BallLarus::new(&p);
             let r = Interp::new(&p, &bl, InterpConfig::default()).run(&flags.inputs, &mut wet_interp::NullSink)?;
-            println!("outputs: {:?}", r.outputs);
-            println!("return : {:?}", r.ret);
-            println!(
+            say!("outputs: {:?}", r.outputs);
+            say!("return : {:?}", r.ret);
+            say!(
                 "executed {} statements, {} blocks, {} paths",
                 r.stmts_executed, r.blocks_executed, r.paths_executed
             );
             Ok(())
         }
-        "trace" => {
+        "trace" | "compress" => {
             let path = rest.first().ok_or(USAGE)?;
             let flags = parse_flags(&rest[1..])?;
             let p = load(path)?;
@@ -163,7 +268,7 @@ pub fn dispatch(args: &[String]) -> Result<()> {
             if node as usize >= wet.nodes().len() {
                 return Err(format!("node {node} out of range (0..{})", wet.nodes().len()).into());
             }
-            print!("{}", dump::dump_node(&mut wet, &p, wet_core::NodeId(node), flags.max));
+            say_block(&dump::dump_node(&mut wet, &p, wet_core::NodeId(node), flags.max));
             Ok(())
         }
         "slice" => {
@@ -185,12 +290,12 @@ pub fn dispatch(args: &[String]) -> Result<()> {
             };
             let spec = query::SliceSpec { data: true, control: !flags.no_control };
             let slice = query::backward_slice(&mut wet, &p, query::WetSliceElem { node, stmt, k }, spec);
-            println!(
+            say!(
                 "backward slice of {stmt} (execution {k} of node n{}):",
                 node.0
             );
-            println!("  {} dynamic instances", slice.len());
-            println!("  static statements: {:?}", slice.static_stmts().iter().map(|s| s.0).collect::<Vec<_>>());
+            say!("  {} dynamic instances", slice.len());
+            say!("  static statements: {:?}", slice.static_stmts().iter().map(|s| s.0).collect::<Vec<_>>());
             Ok(())
         }
         "workload" => {
@@ -233,29 +338,29 @@ fn save_if_requested(wet: &wet_core::Wet, flags: &Flags) -> Result<()> {
     if let Some(path) = &flags.save {
         let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
         wet.write_to(&mut w)?;
-        println!("saved WET to {path}");
+        say!("saved WET to {path}");
     }
     Ok(())
 }
 
 fn print_wet_report(wet: &wet_core::Wet, run: &wet_interp::RunResult) {
     let s = wet.sizes();
-    println!("executed : {} statements, {} paths", run.stmts_executed, run.paths_executed);
-    println!("nodes    : {}", wet.stats().nodes);
-    println!("edges    : {} labeled (+{} inferred intra)", wet.stats().edges, wet.stats().inferred_edges);
-    println!("orig     : {:>12} B  (ts {} / vals {} / edges {})", s.orig_total(), s.orig_ts, s.orig_vals, s.orig_edges);
-    println!("tier-1   : {:>12} B  (ts {} / vals {} / edges {})", s.t1_total(), s.t1_ts, s.t1_vals, s.t1_edges);
+    say!("executed : {} statements, {} paths", run.stmts_executed, run.paths_executed);
+    say!("nodes    : {}", wet.stats().nodes);
+    say!("edges    : {} labeled (+{} inferred intra)", wet.stats().edges, wet.stats().inferred_edges);
+    say!("orig     : {:>12} B  (ts {} / vals {} / edges {})", s.orig_total(), s.orig_ts, s.orig_vals, s.orig_edges);
+    say!("tier-1   : {:>12} B  (ts {} / vals {} / edges {})", s.t1_total(), s.t1_ts, s.t1_vals, s.t1_edges);
     if wet.is_tier2() {
-        println!("tier-2   : {:>12} B  (ts {} / vals {} / edges {})", s.t2_total(), s.t2_ts, s.t2_vals, s.t2_edges);
-        println!("ratio    : {:.2}", s.ratio());
+        say!("tier-2   : {:>12} B  (ts {} / vals {} / edges {})", s.t2_total(), s.t2_ts, s.t2_vals, s.t2_edges);
+        say!("ratio    : {:.2}", s.ratio());
         if !wet.stats().methods.is_empty() {
             let mut parts: Vec<String> =
                 wet.stats().methods.iter().map(|(m, n)| format!("{m}:{n}")).collect();
             parts.sort();
-            println!("methods  : {}", parts.join(" "));
+            say!("methods  : {}", parts.join(" "));
         }
     } else {
-        println!("ratio t1 : {:.2}", s.ratio_t1());
+        say!("ratio t1 : {:.2}", s.ratio_t1());
     }
 }
 
@@ -306,6 +411,26 @@ mod tests {
         dispatch(&s(&["trace", f, "--inputs", "25", "--save", &out])).expect("trace --save");
         dispatch(&s(&["info", &out])).expect("info");
         assert!(dispatch(&s(&["info", f])).is_err(), "a .wet source is not a WETZ file");
+    }
+
+    #[test]
+    fn profile_flag_and_compress_alias() {
+        let f = sample_file();
+        let f = f.to_str().unwrap();
+        // `compress` is an alias of `trace`; --profile is accepted
+        // anywhere on the line, in all three sink forms.
+        dispatch(&s(&["compress", f, "--inputs", "10"])).expect("compress alias");
+        dispatch(&s(&["--profile", "compress", f, "--inputs", "10"])).expect("--profile");
+        dispatch(&s(&["trace", f, "--inputs", "10", "--profile=pretty"])).expect("profile=pretty");
+        dispatch(&s(&["trace", f, "--inputs", "10", "--profile=prom"])).expect("profile=prom");
+        assert!(dispatch(&s(&["trace", f, "--profile=bogus"])).is_err(), "unknown sink rejected");
+        // The profiled run records compression spans and per-method
+        // predictor counters.
+        let report = wet_obs::snapshot();
+        assert!(report.spans.iter().any(|sp| sp.name == "compress.tier2"), "span tree recorded");
+        assert!(!report.predictor_rates().is_empty(), "per-method hit rates recorded");
+        wet_obs::disable();
+        wet_obs::reset();
     }
 
     #[test]

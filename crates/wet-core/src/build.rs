@@ -218,6 +218,7 @@ impl<'p> WetBuilder<'p> {
     /// Finishes construction: applies grouping, inference, and sharing,
     /// and returns the tier-1 WET (call [`Wet::compress`] for tier-2).
     pub fn finish(mut self) -> Wet {
+        let _span = wet_obs::span!("build.finish");
         // Move accumulated ts / CF edges into nodes (cheap pointer
         // moves, sequential), then fan §3.2 value grouping out across
         // nodes — each node's grouping touches only that node's data,
@@ -232,20 +233,23 @@ impl<'p> WetBuilder<'p> {
         let threads = crate::par::effective_threads(self.config.stream.num_threads);
         let program = self.program;
         let group_values = self.config.group_values;
-        let mut work: Vec<(&mut Node, Vec<Vec<u64>>)> = self
-            .nodes
-            .iter_mut()
-            .zip(self.accs.iter_mut().map(|a| std::mem::take(&mut a.values)))
-            .collect();
-        let t1_vals: u64 = crate::par::map_mut(threads, &mut work, |_, (node, raw)| {
-            build_groups(program, node, std::mem::take(raw), group_values)
-        })
-        .into_iter()
-        .sum();
-        drop(work);
+        let t1_vals: u64 = {
+            let _span = wet_obs::span!("build.finish.group_values");
+            let mut work: Vec<(&mut Node, Vec<Vec<u64>>)> = self
+                .nodes
+                .iter_mut()
+                .zip(self.accs.iter_mut().map(|a| std::mem::take(&mut a.values)))
+                .collect();
+            crate::par::map_mut(threads, &mut work, |_, (node, raw)| {
+                build_groups(program, node, std::mem::take(raw), group_values)
+            })
+            .into_iter()
+            .sum()
+        };
         drop(std::mem::take(&mut self.accs));
 
         // Intra edges: infer complete ones away.
+        let span_intra = wet_obs::span!("build.finish.infer_intra_edges");
         let mut t1_edges = 0u64;
         let mut intra_map: HashMap<(NodeId, StmtId, u8, StmtId), IntraAcc> = std::mem::take(&mut self.intra);
         let mut intra_sorted: Vec<_> = intra_map.drain().collect();
@@ -269,6 +273,8 @@ impl<'p> WetBuilder<'p> {
         }
 
         // Non-local edges: pool and share label sequences.
+        drop(span_intra);
+        let span_share = wet_obs::span!("build.finish.share_labels");
         let mut labels: Vec<LabelSeq> = Vec::new();
         let mut pool_index: HashMap<u64, Vec<u32>> = HashMap::new();
         let mut raw_pool: Vec<(Vec<u64>, Vec<u64>)> = Vec::new();
@@ -309,7 +315,9 @@ impl<'p> WetBuilder<'p> {
             edges.push(Edge { src_node, src_stmt, dst_node, dst_stmt, slot, labels: label_idx });
         }
         drop(raw_pool);
+        drop(span_share);
 
+        let _span_index = wet_obs::span!("build.finish.index_edges");
         let mut in_edges: HashMap<(NodeId, StmtId, u8), Vec<u32>> = HashMap::new();
         let mut out_edges: HashMap<(NodeId, StmtId), Vec<u32>> = HashMap::new();
         for (i, e) in edges.iter().enumerate() {
@@ -331,6 +339,7 @@ impl<'p> WetBuilder<'p> {
         self.stats.nodes = self.nodes.len() as u64;
         self.stats.edges = edges.len() as u64;
         self.stats.dynamic_deps = self.dyn_op_deps + self.dyn_mem_deps + self.block_cd_deps;
+        gauge_metrics(&sizes, &self.stats);
 
         let first = self.first.unwrap_or((NodeId(0), 0));
         Wet {
@@ -583,6 +592,9 @@ fn build_groups(program: &Program, node: &mut Node, raw_values: Vec<Vec<u64>>, g
     let mut t1_bytes = 0u64;
     let mut groups = Vec::with_capacity(members.len());
     for mlist in &members {
+        // §3.2 group-size distribution; runs on par workers, which
+        // inherit the caller's profiling enablement via the handoff.
+        wet_obs::hist_record("tier1.group_size", "", mlist.len() as u64);
         let mut pattern: Vec<u64> = Vec::with_capacity(n_execs);
         let mut uvals: Vec<Vec<u64>> = vec![Vec::new(); mlist.len()];
         let mut seen: HashMap<u64, Vec<u32>> = HashMap::new();
@@ -621,6 +633,7 @@ fn build_groups(program: &Program, node: &mut Node, raw_values: Vec<Vec<u64>>, g
         let n = n_execs as u64;
         let pattern_pays = 4 * n + 8 * u64::from(n_uvals) * m < 8 * n * m;
         if (n_uvals as usize) < n_execs && pattern_pays {
+            wet_obs::counter_add("tier1.groups", "pattern", 1);
             t1_bytes += 4 * n + 8 * u64::from(n_uvals) * m;
             groups.push(Group {
                 pattern: Some(Seq::Raw(pattern)),
@@ -628,6 +641,7 @@ fn build_groups(program: &Program, node: &mut Node, raw_values: Vec<Vec<u64>>, g
                 n_uvals,
             });
         } else {
+            wet_obs::counter_add("tier1.groups", "raw", 1);
             t1_bytes += 8 * n * m;
             groups.push(Group {
                 pattern: None,
@@ -645,4 +659,23 @@ fn build_groups(program: &Program, node: &mut Node, raw_values: Vec<Vec<u64>>, g
 
 fn def_reg(kind: &StmtKind) -> Option<u16> {
     kind.def().map(|r| r.0)
+}
+
+/// Publishes tier-1 construction results as gauges (absolute facts
+/// about the built WET, not accumulations — hence gauges).
+fn gauge_metrics(sizes: &WetSizes, stats: &WetStats) {
+    if !wet_obs::enabled() {
+        return;
+    }
+    wet_obs::gauge_set("tier1.bytes", "ts", sizes.t1_ts as i64);
+    wet_obs::gauge_set("tier1.bytes", "vals", sizes.t1_vals as i64);
+    wet_obs::gauge_set("tier1.bytes", "edges", sizes.t1_edges as i64);
+    wet_obs::gauge_set("orig.bytes", "ts", sizes.orig_ts as i64);
+    wet_obs::gauge_set("orig.bytes", "vals", sizes.orig_vals as i64);
+    wet_obs::gauge_set("orig.bytes", "edges", sizes.orig_edges as i64);
+    wet_obs::gauge_set("wet.nodes", "", stats.nodes as i64);
+    wet_obs::gauge_set("wet.edges", "", stats.edges as i64);
+    wet_obs::gauge_set("wet.inferred_edges", "", stats.inferred_edges as i64);
+    wet_obs::gauge_set("wet.shared_label_seqs", "", stats.shared_label_seqs as i64);
+    wet_obs::gauge_set("wet.dynamic_deps", "", stats.dynamic_deps as i64);
 }

@@ -320,25 +320,52 @@ impl Wet {
     /// WET) recomputes the accounting from the existing streams rather
     /// than re-accumulating it, so `compress` is idempotent.
     pub fn compress(&mut self) {
+        let _span = wet_obs::span!("compress.tier2");
         if self.tier2 {
+            let _span = wet_obs::span!("compress.tier2.recount");
             self.recount_tier2();
             return;
         }
         let cfg = self.config.stream.clone();
         let threads = crate::par::effective_threads(cfg.num_threads);
-        let mut units = self.stream_units();
+        let mut units = {
+            let _span = wet_obs::span!("compress.tier2.node_streams");
+            self.stream_units()
+        };
+        wet_obs::gauge_set("tier2.streams", "", units.len() as i64);
         let per_unit = crate::par::map_mut(threads, &mut units, |_, (class, seq)| {
+            let raw_bytes = seq.len() as u64 * 8;
             seq.compress(&cfg);
             let mut cs = CompressStats::default();
             cs.note(*class, seq);
+            wet_obs::counter_add("tier2.bytes_in", class.label(), raw_bytes);
             cs
         });
         let mut total = CompressStats::default();
         for cs in per_unit {
             total.merge(cs);
         }
+        wet_obs::counter_add("tier2.bytes_out", StreamClass::Ts.label(), total.t2_ts);
+        wet_obs::counter_add("tier2.bytes_out", StreamClass::Vals.label(), total.t2_vals);
+        wet_obs::counter_add("tier2.bytes_out", StreamClass::Edges.label(), total.t2_edges);
+        #[cfg(debug_assertions)]
+        let reduced = total.clone();
         total.apply(&mut self.sizes, &mut self.stats);
         self.tier2 = true;
+        // The sequential recount over the finished streams must agree
+        // with the parallel per-stream reduction; stats drift between
+        // the two accounting paths is caught here, not in benches.
+        #[cfg(debug_assertions)]
+        {
+            let mut recount = CompressStats::default();
+            for (class, seq) in self.stream_units() {
+                recount.note(class, seq);
+            }
+            assert_eq!(
+                recount, reduced,
+                "recount_tier2 accounting disagrees with the parallel CompressStats reduction"
+            );
+        }
     }
 
     /// Every label sequence in the WET, tagged with its size class.

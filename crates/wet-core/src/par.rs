@@ -18,6 +18,11 @@
 //! `threads <= 1` the loop runs inline on the caller's thread — the
 //! sequential path is the parallel path with one worker, not separate
 //! code to keep in sync.
+//!
+//! Observability: each spawn captures a [`wet_obs::handoff`] from the
+//! caller so workers inherit its profiling enablement and parent span;
+//! worker spans are buffered thread-locally and merged into the global
+//! collector at pool join (when the scope's threads exit).
 
 use std::sync::Mutex;
 
@@ -63,11 +68,15 @@ where
     // the lock (they borrow the slice, not the guard), so workers
     // process their batch without holding the queue.
     let queue = Mutex::new(items.iter_mut().enumerate());
+    let obs = wet_obs::handoff();
+    let (queue, f) = (&queue, &f);
     let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                s.spawn(|| {
+                s.spawn(move || {
+                    let _obs = wet_obs::attach(obs);
+                    let _span = wet_obs::span!("par.worker");
                     let mut out: Vec<(usize, R)> = Vec::new();
                     let mut batch: Vec<(usize, &mut T)> = Vec::with_capacity(chunk);
                     loop {
@@ -133,11 +142,15 @@ where
     }
     let chunk = chunk_size(n, threads);
     let queue = Mutex::new(items.iter().enumerate());
+    let obs = wet_obs::handoff();
+    let (queue, init, f) = (&queue, &init, &f);
     let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                s.spawn(|| {
+                s.spawn(move || {
+                    let _obs = wet_obs::attach(obs);
+                    let _span = wet_obs::span!("par.worker");
                     let mut ctx = init();
                     let mut out: Vec<(usize, R)> = Vec::new();
                     let mut batch: Vec<(usize, &T)> = Vec::with_capacity(chunk);

@@ -25,6 +25,7 @@ pub struct CfStep {
 
 /// Extracts the full control-flow trace front to back.
 pub fn cf_trace_forward(wet: &mut Wet) -> Vec<CfStep> {
+    let _span = wet_obs::span!("query.cf_trace_forward");
     let (first, first_ts) = wet.first();
     let (_, last_ts) = wet.last();
     let mut steps = Vec::with_capacity((last_ts - first_ts + 1) as usize);
@@ -61,6 +62,7 @@ pub fn cf_trace_forward(wet: &mut Wet) -> Vec<CfStep> {
 /// Extracts the full control-flow trace back to front. The returned
 /// steps are in reverse execution order (last first).
 pub fn cf_trace_backward(wet: &mut Wet) -> Vec<CfStep> {
+    let _span = wet_obs::span!("query.cf_trace_backward");
     let (last, last_ts) = wet.last();
     let (_, first_ts) = wet.first();
     let mut steps = Vec::with_capacity((last_ts - first_ts + 1) as usize);

@@ -37,14 +37,68 @@ pub struct EngineCache {
     intra_ks: HashMap<(u32, StmtId, u8, usize), Vec<u64>>,
     /// Producer `(ts, value)` sequences by `(node, stmt)`.
     values: HashMap<(u32, StmtId), Vec<(u64, i64)>>,
+    /// Decompression-cache hit/miss counts, flushed on drop.
+    stats: CacheStats,
+}
+
+/// Which [`EngineCache`] map a hit/miss belongs to.
+#[derive(Clone, Copy)]
+enum CacheKind {
+    Labels = 0,
+    NodeTs = 1,
+    IntraKs = 2,
+    Values = 3,
+}
+
+const CACHE_KIND_NAMES: [&str; 4] = ["labels", "node_ts", "intra_ks", "values"];
+
+/// Plain per-worker counters — buffered locally (no registry traffic
+/// on the query hot path) and published when the cache drops, i.e. at
+/// worker end. Hit/miss totals depend on how items were distributed
+/// across workers, so these metrics are *not* thread-count
+/// deterministic (the determinism test excludes `query.cache.*`).
+#[derive(Default)]
+struct CacheStats {
+    hits: [u64; 4],
+    misses: [u64; 4],
+}
+
+impl CacheStats {
+    #[inline]
+    fn touch(&mut self, kind: CacheKind, hit: bool) {
+        if hit {
+            self.hits[kind as usize] += 1;
+        } else {
+            self.misses[kind as usize] += 1;
+        }
+    }
+}
+
+impl Drop for EngineCache {
+    fn drop(&mut self) {
+        if !wet_obs::enabled() {
+            return;
+        }
+        for (i, kind) in CACHE_KIND_NAMES.iter().enumerate() {
+            wet_obs::counter_add("query.cache.hits", kind, self.stats.hits[i]);
+            wet_obs::counter_add("query.cache.misses", kind, self.stats.misses[i]);
+        }
+    }
 }
 
 impl EngineCache {
-    fn node_ts<'a>(ts: &'a mut HashMap<u32, Vec<u64>>, wet: &Wet, node: NodeId) -> &'a [u64] {
+    fn node_ts<'a>(
+        ts: &'a mut HashMap<u32, Vec<u64>>,
+        stats: &mut CacheStats,
+        wet: &Wet,
+        node: NodeId,
+    ) -> &'a [u64] {
+        stats.touch(CacheKind::NodeTs, ts.contains_key(&node.0));
         ts.entry(node.0).or_insert_with(|| wet.node(node).ts.to_vec_snapshot())
     }
 
     fn value_at(&mut self, wet: &Wet, node: NodeId, stmt: StmtId, k: u32) -> Option<i64> {
+        self.stats.touch(CacheKind::Values, self.values.contains_key(&(node.0, stmt)));
         let seq = self
             .values
             .entry((node.0, stmt))
@@ -96,10 +150,9 @@ fn resolve_producer_snapshot(
                 return Some((node, ie.src, k));
             }
             if let Some(ks) = &ie.ks {
-                let v = cache
-                    .intra_ks
-                    .entry((node.0, dst_stmt, slot, ei))
-                    .or_insert_with(|| ks.to_vec_snapshot());
+                let key = (node.0, dst_stmt, slot, ei);
+                cache.stats.touch(CacheKind::IntraKs, cache.intra_ks.contains_key(&key));
+                let v = cache.intra_ks.entry(key).or_insert_with(|| ks.to_vec_snapshot());
                 if v.binary_search(&(k as u64)).is_ok() {
                     return Some((node, ie.src, k));
                 }
@@ -109,11 +162,12 @@ fn resolve_producer_snapshot(
     // Non-local labeled edges, in incoming-edge order.
     let key = match wet.config().ts_mode {
         TsMode::Local => k as u64,
-        TsMode::Global => EngineCache::node_ts(&mut cache.node_ts, wet, node)[k as usize],
+        TsMode::Global => EngineCache::node_ts(&mut cache.node_ts, &mut cache.stats, wet, node)[k as usize],
     };
     for &ei in wet.in_edges(node, dst_stmt, slot) {
         let e = wet.edges()[ei as usize];
         let found = {
+            cache.stats.touch(CacheKind::Labels, cache.labels.contains_key(&e.labels));
             let (dst_v, src_v) = cache.labels.entry(e.labels).or_insert_with(|| {
                 let lab = &wet.labels()[e.labels as usize];
                 (lab.dst.to_vec_snapshot(), lab.src.to_vec_snapshot())
@@ -124,7 +178,7 @@ fn resolve_producer_snapshot(
             let k_src = match wet.config().ts_mode {
                 TsMode::Local => srcv as u32,
                 TsMode::Global => {
-                    let ts = EngineCache::node_ts(&mut cache.node_ts, wet, e.src_node);
+                    let ts = EngineCache::node_ts(&mut cache.node_ts, &mut cache.stats, wet, e.src_node);
                     ts.binary_search(&srcv).ok()? as u32
                 }
             };
@@ -164,7 +218,9 @@ fn addresses_in_node(
 /// pairs sorted by timestamp. Identical to the sequential
 /// [`crate::query::value_trace`] for every thread count.
 pub fn value_trace(wet: &Wet, stmt: StmtId, num_threads: usize) -> Vec<(u64, i64)> {
+    let _span = wet_obs::span!("query.value_trace");
     let nodes = nodes_with_stmt(wet, stmt);
+    wet_obs::hist_record("query.node_fanout", "value_trace", nodes.len() as u64);
     let threads = par::effective_threads(num_threads);
     let parts = par::map(threads, &nodes, |_, &node| values_in_node_snapshot(wet, node, stmt));
     let mut out: Vec<(u64, i64)> = parts.into_iter().flatten().collect();
@@ -176,11 +232,13 @@ pub fn value_trace(wet: &Wet, stmt: StmtId, num_threads: usize) -> Vec<(u64, i64
 /// units are `(statement, node)` streams, so parallelism is available
 /// even when each statement appears in few nodes.
 pub fn value_traces(wet: &Wet, stmts: &[StmtId], num_threads: usize) -> Vec<Vec<(u64, i64)>> {
+    let _span = wet_obs::span!("query.value_traces");
     let units: Vec<(usize, NodeId)> = stmts
         .iter()
         .enumerate()
         .flat_map(|(si, &s)| nodes_with_stmt(wet, s).into_iter().map(move |n| (si, n)))
         .collect();
+    wet_obs::hist_record("query.node_fanout", "value_traces", units.len() as u64);
     let threads = par::effective_threads(num_threads);
     let parts = par::map(threads, &units, |_, &(si, node)| values_in_node_snapshot(wet, node, stmts[si]));
     let mut out: Vec<Vec<(u64, i64)>> = vec![Vec::new(); stmts.len()];
@@ -199,10 +257,12 @@ pub fn value_traces(wet: &Wet, stmts: &[StmtId], num_threads: usize) -> Vec<Vec<
 /// [`crate::query::address_trace`] for every thread count; empty for
 /// statements that do not access memory.
 pub fn address_trace(wet: &Wet, program: &Program, stmt: StmtId, num_threads: usize) -> Vec<(u64, u64)> {
+    let _span = wet_obs::span!("query.address_trace");
     let Some(op) = crate::query::addresses::addr_operand(program, stmt) else {
         return Vec::new();
     };
     let nodes = nodes_with_stmt(wet, stmt);
+    wet_obs::hist_record("query.node_fanout", "address_trace", nodes.len() as u64);
     let threads = par::effective_threads(num_threads);
     let parts = par::map_ctx(threads, &nodes, EngineCache::default, |cache, _, &node| {
         addresses_in_node(wet, cache, node, stmt, op)
@@ -220,12 +280,14 @@ pub fn address_traces(
     stmts: &[StmtId],
     num_threads: usize,
 ) -> Vec<Vec<(u64, u64)>> {
+    let _span = wet_obs::span!("query.address_traces");
     let units: Vec<(usize, NodeId, Operand)> = stmts
         .iter()
         .enumerate()
         .filter_map(|(si, &s)| crate::query::addresses::addr_operand(program, s).map(|op| (si, s, op)))
         .flat_map(|(si, s, op)| nodes_with_stmt(wet, s).into_iter().map(move |n| (si, n, op)))
         .collect();
+    wet_obs::hist_record("query.node_fanout", "address_traces", units.len() as u64);
     let threads = par::effective_threads(num_threads);
     let parts = par::map_ctx(threads, &units, EngineCache::default, |cache, _, &(si, node, op)| {
         addresses_in_node(wet, cache, node, stmts[si], op)

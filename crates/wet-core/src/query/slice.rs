@@ -76,6 +76,7 @@ fn cd_anchor(wet: &Wet, program: &Program, node: NodeId, stmt: StmtId) -> Option
 /// # Panics
 /// Panics if the criterion statement is not part of the criterion node.
 pub fn backward_slice(wet: &mut Wet, program: &Program, criterion: WetSliceElem, spec: SliceSpec) -> WetSlice {
+    let _span = wet_obs::span!("query.backward_slice");
     assert!(
         wet.node(criterion.node).stmt_pos(criterion.stmt).is_some(),
         "criterion statement not in node"
@@ -114,6 +115,7 @@ pub fn backward_slice(wet: &mut Wet, program: &Program, criterion: WetSliceElem,
 /// instance, and expands control dependences to every statement of the
 /// dependent block, mirroring the dynamic CD semantics.
 pub fn forward_slice(wet: &mut Wet, program: &Program, criterion: WetSliceElem, spec: SliceSpec) -> WetSlice {
+    let _span = wet_obs::span!("query.forward_slice");
     let mut visited: HashSet<WetSliceElem> = HashSet::new();
     let mut stamped = BTreeSet::new();
     let mut work = vec![criterion];

@@ -81,6 +81,24 @@ pub enum StreamClass {
     Edges,
 }
 
+impl StreamClass {
+    /// Short class name used in metrics labels and size tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamClass::Ts => "ts",
+            StreamClass::Vals => "vals",
+            StreamClass::Edges => "edges",
+        }
+    }
+}
+
+/// Displays as the short class name: `ts`, `vals`, or `edges`.
+impl std::fmt::Display for StreamClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Reducible tier-2 compression accounting: per-method stream counts
 /// plus compressed bytes per [`StreamClass`].
 ///
@@ -134,6 +152,21 @@ impl CompressStats {
         sizes.t2_vals = self.t2_vals;
         sizes.t2_edges = self.t2_edges;
         stats.methods = self.methods;
+    }
+}
+
+/// Human-readable one-line summary, e.g.
+/// `t2 bytes: ts=120 vals=80 edges=40 | methods: fcm1 x3, last8 x2`.
+impl std::fmt::Display for CompressStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t2 bytes: ts={} vals={} edges={}", self.t2_ts, self.t2_vals, self.t2_edges)?;
+        if !self.methods.is_empty() {
+            write!(f, " | methods:")?;
+            for (i, (m, c)) in self.methods.iter().enumerate() {
+                write!(f, "{} {m} x{c}", if i == 0 { "" } else { "," })?;
+            }
+        }
+        Ok(())
     }
 }
 

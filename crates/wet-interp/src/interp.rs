@@ -172,7 +172,8 @@ impl<'p> Interp<'p> {
     /// # Errors
     /// Returns an [`InterpError`] on runtime faults or exceeded limits.
     pub fn run<S: TraceSink>(&self, inputs: &[i64], sink: &mut S) -> Result<RunResult, InterpError> {
-        Run {
+        let _span = wet_obs::span!("interp.run");
+        let result = Run {
             interp: self,
             mem: vec![0i64; self.config.memory_words],
             mem_prod: HashMap::new(),
@@ -182,7 +183,15 @@ impl<'p> Interp<'p> {
             result: RunResult::default(),
             time: 0,
         }
-        .run(sink)
+        .run(sink);
+        // Batch counters from the run totals — one registry touch per
+        // run, nothing in the per-event hot loop.
+        if let Ok(r) = &result {
+            wet_obs::counter_add("interp.stmts", "", r.stmts_executed);
+            wet_obs::counter_add("interp.blocks", "", r.blocks_executed);
+            wet_obs::counter_add("interp.paths", "", r.paths_executed);
+        }
+        result
     }
 }
 

@@ -1,0 +1,23 @@
+//! `jsonv` — validate that stdin is one well-formed JSON document.
+//!
+//! Exit status 0 on success, 1 on invalid JSON (with a byte-offset
+//! diagnostic on stderr). Used by `ci.sh` to gate `wet --profile=json`
+//! output.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("jsonv: failed to read stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+    match wet_obs::json::validate(&input) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("jsonv: invalid JSON: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms
+//! keyed by `(name, label)`.
+//!
+//! Granularity is deliberately coarse — the pipeline records one update
+//! per *stream* or per *phase*, never per trace event — so a global
+//! `Mutex<BTreeMap>` is plenty and keeps the crate dependency-free.
+//! `BTreeMap` (not hash) so every sink iterates in a stable order.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::span::enabled;
+
+/// Number of histogram buckets: bucket `i` counts values `<= 2^i`, and
+/// the last bucket is the overflow (`+Inf`) bucket.
+pub const HIST_BUCKETS: usize = 32;
+
+/// A fixed power-of-two-bucket histogram. Bucket upper bounds are
+/// 1, 2, 4, … 2^30, +Inf — wide enough for group sizes, fan-outs, and
+/// byte counts without any per-histogram configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    pub buckets: [u64; HIST_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl Hist {
+    fn new() -> Self {
+        Hist { buckets: [0; HIST_BUCKETS], count: 0, sum: 0 }
+    }
+
+    fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_for(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Index of the smallest bucket whose bound covers `value`.
+    pub fn bucket_for(value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            // ceil(log2(value)) = bit length of value-1.
+            let bits = (64 - (value - 1).leading_zeros()) as usize;
+            bits.min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Upper bound of bucket `i` as a string ("+Inf" for the last).
+    pub fn bound_label(i: usize) -> String {
+        if i + 1 == HIST_BUCKETS {
+            "+Inf".to_string()
+        } else {
+            (1u64 << i).to_string()
+        }
+    }
+
+    /// Arithmetic mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+type Key = (String, String);
+
+struct Registry {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, i64>,
+    hists: BTreeMap<Key, Hist>,
+}
+
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+    counters: BTreeMap::new(),
+    gauges: BTreeMap::new(),
+    hists: BTreeMap::new(),
+});
+
+fn with_registry(f: impl FnOnce(&mut Registry)) {
+    let mut g = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    f(&mut g);
+}
+
+/// Add `delta` to the counter `name{label}`. No-op when profiling is
+/// disabled on this thread. Use `""` for unlabeled counters.
+pub fn counter_add(name: &str, label: &str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    with_registry(|r| {
+        *r.counters.entry((name.to_string(), label.to_string())).or_insert(0) += delta;
+    });
+}
+
+/// Set the gauge `name{label}` to `value` (last write wins). No-op when
+/// profiling is disabled on this thread.
+pub fn gauge_set(name: &str, label: &str, value: i64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|r| {
+        r.gauges.insert((name.to_string(), label.to_string()), value);
+    });
+}
+
+/// Record one observation into the histogram `name{label}`. No-op when
+/// profiling is disabled on this thread.
+pub fn hist_record(name: &str, label: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|r| {
+        r.hists.entry((name.to_string(), label.to_string())).or_insert_with(Hist::new).record(value);
+    });
+}
+
+pub(crate) type MetricsSnapshot = (BTreeMap<Key, u64>, BTreeMap<Key, i64>, BTreeMap<Key, Hist>);
+
+pub(crate) fn snapshot_metrics() -> MetricsSnapshot {
+    let g = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    (g.counters.clone(), g.gauges.clone(), g.hists.clone())
+}
+
+pub(crate) fn reset_metrics() {
+    with_registry(|r| {
+        r.counters.clear();
+        r.gauges.clear();
+        r.hists.clear();
+    });
+}

@@ -1,0 +1,358 @@
+//! Snapshot of everything recorded, plus the three sinks: a
+//! human-readable phase tree + metrics tables, JSON, and Prometheus
+//! text exposition format.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{Hist, HIST_BUCKETS};
+use crate::span::SpanRec;
+
+/// A consistent snapshot of spans and metrics, produced by
+/// [`snapshot`](crate::snapshot). Plain data: renderable, queryable,
+/// and safe to hold across further recording.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub spans: Vec<SpanRec>,
+    pub counters: BTreeMap<(String, String), u64>,
+    pub gauges: BTreeMap<(String, String), i64>,
+    pub hists: BTreeMap<(String, String), Hist>,
+}
+
+/// One aggregated row of the span tree: siblings with the same name
+/// are merged (`count`, summed `dur_ns`), children concatenated.
+struct TreeRow {
+    name: String,
+    count: u64,
+    dur_ns: u64,
+    children: Vec<TreeRow>,
+}
+
+impl Report {
+    /// Value of counter `name{label}` (0 when absent).
+    pub fn counter(&self, name: &str, label: &str) -> u64 {
+        self.counters.get(&(name.to_string(), label.to_string())).copied().unwrap_or(0)
+    }
+
+    /// Total recorded span time aggregated by name over the whole
+    /// report: `(name, count, total_ns)`, ordered by name.
+    pub fn totals_by_name(&self) -> Vec<(String, u64, u64)> {
+        let mut agg: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        for s in &self.spans {
+            let e = agg.entry(&s.name).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s.dur_ns;
+        }
+        agg.into_iter().map(|(n, (c, d))| (n.to_string(), c, d)).collect()
+    }
+
+    /// Build the aggregated span forest (roots are spans whose parent
+    /// is 0 or was never recorded, e.g. still open at snapshot time).
+    fn tree(&self) -> Vec<TreeRow> {
+        let ids: std::collections::BTreeSet<u64> = self.spans.iter().map(|s| s.id).collect();
+        let mut order: Vec<usize> = (0..self.spans.len()).collect();
+        order.sort_by_key(|&i| (self.spans[i].start_ns, self.spans[i].id));
+        let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        let mut roots: Vec<usize> = Vec::new();
+        for &i in &order {
+            let s = &self.spans[i];
+            if s.parent != 0 && ids.contains(&s.parent) {
+                children.entry(s.parent).or_default().push(i);
+            } else {
+                roots.push(i);
+            }
+        }
+        self.aggregate(&roots, &children)
+    }
+
+    fn aggregate(&self, siblings: &[usize], children: &BTreeMap<u64, Vec<usize>>) -> Vec<TreeRow> {
+        // Group same-named siblings, preserving first-seen order.
+        let mut rows: Vec<(String, u64, u64, Vec<usize>)> = Vec::new();
+        for &i in siblings {
+            let s = &self.spans[i];
+            let kids = children.get(&s.id).map(|v| v.as_slice()).unwrap_or(&[]);
+            match rows.iter_mut().find(|(n, ..)| *n == s.name) {
+                Some((_, count, dur, kid_ids)) => {
+                    *count += 1;
+                    *dur += s.dur_ns;
+                    kid_ids.extend_from_slice(kids);
+                }
+                None => rows.push((s.name.to_string(), 1, s.dur_ns, kids.to_vec())),
+            }
+        }
+        rows.into_iter()
+            .map(|(name, count, dur_ns, kid_ids)| TreeRow {
+                name,
+                count,
+                dur_ns,
+                children: self.aggregate(&kid_ids, children),
+            })
+            .collect()
+    }
+
+    /// Human-readable report: span tree with wall times, then counters,
+    /// gauges, histograms, and a per-predictor hit-rate table.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== profile: span tree (wall time) ==\n");
+        if self.spans.is_empty() {
+            out.push_str("  (no spans recorded)\n");
+        } else {
+            fn walk(out: &mut String, rows: &[TreeRow], depth: usize) {
+                for r in rows {
+                    let label = if r.count > 1 { format!("{} ×{}", r.name, r.count) } else { r.name.clone() };
+                    let indent = "  ".repeat(depth + 1);
+                    let pad = 46usize.saturating_sub(indent.len() + label.len());
+                    let _ = writeln!(out, "{indent}{label}{:pad$} {:>10}", "", fmt_dur(r.dur_ns));
+                    walk(out, &r.children, depth + 1);
+                }
+            }
+            walk(&mut out, &self.tree(), 0);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n== counters ==\n");
+            for ((name, label), v) in &self.counters {
+                let _ = writeln!(out, "  {:<44} {v:>12}", key_display(name, label));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n== gauges ==\n");
+            for ((name, label), v) in &self.gauges {
+                let _ = writeln!(out, "  {:<44} {v:>12}", key_display(name, label));
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("\n== histograms ==\n");
+            let _ = writeln!(out, "  {:<44} {:>10} {:>14} {:>10}", "", "count", "sum", "mean");
+            for ((name, label), h) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "  {:<44} {:>10} {:>14} {:>10.1}",
+                    key_display(name, label),
+                    h.count,
+                    h.sum,
+                    h.mean()
+                );
+            }
+        }
+        rate_table(&mut out, "predictor hit rates (chosen per stream, tier 2)", &self.predictor_rates());
+        rate_table(&mut out, "selection-trial hit rates (every variant, shared prefix)", &self.trial_rates());
+        out
+    }
+
+    /// `(method, hits, misses)` per tier-2 predictor variant that won
+    /// selection, from the `stream.predictor_hits`/`_misses` counters.
+    pub fn predictor_rates(&self) -> Vec<(String, u64, u64)> {
+        self.rates_for("stream.predictor_hits", "stream.predictor_misses")
+    }
+
+    /// `(method, hits, misses)` for *every* candidate variant over the
+    /// selection-trial prefixes, from `stream.trial_hits`/`_misses`.
+    pub fn trial_rates(&self) -> Vec<(String, u64, u64)> {
+        self.rates_for("stream.trial_hits", "stream.trial_misses")
+    }
+
+    fn rates_for(&self, hits_name: &str, misses_name: &str) -> Vec<(String, u64, u64)> {
+        let mut methods: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        for ((name, label), v) in &self.counters {
+            if name == hits_name {
+                methods.entry(label).or_default().0 += v;
+            } else if name == misses_name {
+                methods.entry(label).or_default().1 += v;
+            }
+        }
+        methods.into_iter().map(|(m, (h, mi))| (m.to_string(), h, mi)).collect()
+    }
+
+    /// The whole report as a single JSON document (schema `wet-obs/1`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"wet-obs/1\",\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"id\": {}, \"parent\": {}, \"name\": {}, \"thread\": {}, \"start_ns\": {}, \"dur_ns\": {}}}",
+                if i == 0 { "" } else { "," },
+                s.id,
+                s.parent,
+                json_str(&s.name),
+                s.thread,
+                s.start_ns,
+                s.dur_ns
+            );
+        }
+        out.push_str("\n  ],\n  \"counters\": [");
+        for (i, ((name, label), v)) in self.counters.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"name\": {}, \"label\": {}, \"value\": {v}}}",
+                if i == 0 { "" } else { "," },
+                json_str(name),
+                json_str(label)
+            );
+        }
+        out.push_str("\n  ],\n  \"gauges\": [");
+        for (i, ((name, label), v)) in self.gauges.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"name\": {}, \"label\": {}, \"value\": {v}}}",
+                if i == 0 { "" } else { "," },
+                json_str(name),
+                json_str(label)
+            );
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        for (i, ((name, label), h)) in self.hists.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"name\": {}, \"label\": {}, \"count\": {}, \"sum\": {}, \"buckets\": [",
+                if i == 0 { "" } else { "," },
+                json_str(name),
+                json_str(label),
+                h.count,
+                h.sum
+            );
+            let mut first = true;
+            for (b, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let _ = write!(
+                    out,
+                    "{}{{\"le\": {}, \"count\": {c}}}",
+                    if first { "" } else { ", " },
+                    json_str(&Hist::bound_label(b))
+                );
+                first = false;
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Prometheus text exposition format (counters as `_total`, gauges
+    /// verbatim, histograms with cumulative `_bucket{le=..}` series).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_type: Option<String> = None;
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            if last_type.as_deref() != Some(name) {
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_type = Some(name.to_string());
+            }
+        };
+        for ((name, label), v) in &self.counters {
+            let metric = format!("{}_total", prom_name(name));
+            type_line(&mut out, &metric, "counter");
+            let _ = writeln!(out, "{metric}{} {v}", prom_labels(&[("label", label)]));
+        }
+        for ((name, label), v) in &self.gauges {
+            let metric = prom_name(name);
+            type_line(&mut out, &metric, "gauge");
+            let _ = writeln!(out, "{metric}{} {v}", prom_labels(&[("label", label)]));
+        }
+        for ((name, label), h) in &self.hists {
+            let metric = prom_name(name);
+            type_line(&mut out, &metric, "histogram");
+            let last_nonzero = h.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+            let mut cum = 0u64;
+            for b in 0..=last_nonzero.min(HIST_BUCKETS - 2) {
+                cum += h.buckets[b];
+                let bound = Hist::bound_label(b);
+                let _ = writeln!(
+                    out,
+                    "{metric}_bucket{} {cum}",
+                    prom_labels(&[("label", label), ("le", &bound)])
+                );
+            }
+            let _ = writeln!(out, "{metric}_bucket{} {}", prom_labels(&[("label", label), ("le", "+Inf")]), h.count);
+            let _ = writeln!(out, "{metric}_sum{} {}", prom_labels(&[("label", label)]), h.sum);
+            let _ = writeln!(out, "{metric}_count{} {}", prom_labels(&[("label", label)]), h.count);
+        }
+        out
+    }
+}
+
+fn rate_table(out: &mut String, title: &str, rows: &[(String, u64, u64)]) {
+    if rows.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\n== {title} ==");
+    let _ = writeln!(out, "  {:<12} {:>12} {:>12} {:>8}", "method", "hits", "misses", "rate");
+    for (method, hits, misses) in rows {
+        let total = hits + misses;
+        let rate = if total == 0 { 0.0 } else { 100.0 * *hits as f64 / total as f64 };
+        let _ = writeln!(out, "  {method:<12} {hits:>12} {misses:>12} {rate:>7.1}%");
+    }
+}
+
+fn key_display(name: &str, label: &str) -> String {
+    if label.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}{{{label}}}")
+    }
+}
+
+fn fmt_dur(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Prometheus metric name: `wet_` prefix, non-alphanumerics to `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::from("wet_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// Render a label set, omitting empty-valued labels (and the braces if
+/// nothing remains).
+fn prom_labels(pairs: &[(&str, &str)]) -> String {
+    let mut inner = String::new();
+    for (k, v) in pairs {
+        if v.is_empty() {
+            continue;
+        }
+        if !inner.is_empty() {
+            inner.push(',');
+        }
+        let escaped = v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+        let _ = write!(inner, "{k}=\"{escaped}\"");
+    }
+    if inner.is_empty() {
+        String::new()
+    } else {
+        format!("{{{inner}}}")
+    }
+}

@@ -137,6 +137,16 @@ impl CompressedStream {
             s.window.pop_front();
             s.win_start += 1;
         }
+        // Per-stream (not per-value) metrics: the name() allocation and
+        // registry locking happen once per compressed stream.
+        if wet_obs::enabled() {
+            let label = method.name();
+            wet_obs::counter_add("stream.compressed", &label, 1);
+            wet_obs::counter_add("stream.predictor_hits", &label, s.stats.hits);
+            wet_obs::counter_add("stream.predictor_misses", &label, s.stats.misses);
+            wet_obs::counter_add("stream.values_in", &label, values.len() as u64);
+            wet_obs::counter_add("stream.bytes_out", &label, s.compressed_bytes());
+        }
         s
     }
 
@@ -438,7 +448,15 @@ pub fn choose_method(values: &[u64], cfg: &StreamConfig) -> Method {
     let mut best = candidates[0];
     let mut best_bits = u64::MAX;
     for &m in &candidates {
-        let bits = trial_bits(prefix, m, table_bits_for(values.len(), cfg.table_bits_max));
+        let (bits, hits, misses) = trial_bits(prefix, m, table_bits_for(values.len(), cfg.table_bits_max));
+        // Trial hit rates cover *every* candidate on the same prefix —
+        // the paper's per-variant predictor comparison — where the
+        // post-selection counters only see each stream's winner.
+        if wet_obs::enabled() {
+            let label = m.name();
+            wet_obs::counter_add("stream.trial_hits", &label, hits);
+            wet_obs::counter_add("stream.trial_misses", &label, misses);
+        }
         if bits < best_bits {
             best_bits = bits;
             best = m;
@@ -448,20 +466,22 @@ pub fn choose_method(values: &[u64], cfg: &StreamConfig) -> Method {
 }
 
 /// Counts the bits a method would use on `values` (left-to-right pass;
-/// compression ratios are direction-symmetric in expectation).
-fn trial_bits(values: &[u64], method: Method, table_bits: u32) -> u64 {
+/// compression ratios are direction-symmetric in expectation), along
+/// with the predictor's hit and miss counts.
+fn trial_bits(values: &[u64], method: Method, table_bits: u32) -> (u64, u64, u64) {
     let w = method.window();
     let mut st = PredState::new(method, table_bits);
     let mut counter = BitCounter::new();
     let mut ctx = [0u64; 4];
+    let mut hits = 0u64;
     for (i, &v) in values.iter().enumerate() {
         for (j, c) in ctx.iter_mut().enumerate().take(w) {
             let d = j + 1;
             *c = if i >= d { values[i - d] } else { 0 };
         }
-        st.compress(Side::Bl, &ctx, v, &mut counter);
+        hits += u64::from(st.compress(Side::Bl, &ctx, v, &mut counter));
     }
-    counter.bits()
+    (counter.bits(), hits, values.len() as u64 - hits)
 }
 
 #[cfg(test)]

@@ -229,6 +229,24 @@ impl Method {
     }
 }
 
+/// Displays as the short method name (`fcm2`, `last8`, …) — the form
+/// used for metrics labels and error messages.
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Displays as the paper's stack name: `FR` or `BL`.
+impl std::fmt::Display for Side {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Side::Fr => "FR",
+            Side::Bl => "BL",
+        })
+    }
+}
+
 /// The mutable predictor state of one compressed stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PredState {

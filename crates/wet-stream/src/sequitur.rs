@@ -370,6 +370,9 @@ pub fn compress(values: &[u64]) -> Sequitur {
     for &v in values {
         g.push(v);
     }
+    wet_obs::counter_add("sequitur.streams", "", 1);
+    wet_obs::counter_add("sequitur.rules", "", g.rule_count() as u64);
+    wet_obs::counter_add("sequitur.symbols", "", g.grammar_symbols() as u64);
     g
 }
 

@@ -90,6 +90,43 @@ fn extraction_identical_across_thread_counts() {
     assert!(checked > 0, "sweep must cover at least one non-empty trace");
 }
 
+/// Byte/count metrics recorded through `wet-obs` are commutative sums
+/// of per-item contributions, so the whole registry must be invariant
+/// across thread counts. Span timings and the query-engine cache
+/// hit/miss counters (`query.cache.*`) are scheduling-dependent and
+/// excluded; everything else — stream bytes, predictor hits, group
+/// sizes, fan-outs — must match the single-threaded run exactly.
+#[test]
+fn metrics_identical_across_thread_counts() {
+    type Counters = std::collections::BTreeMap<(String, String), u64>;
+    type Gauges = std::collections::BTreeMap<(String, String), i64>;
+    type Hists = std::collections::BTreeMap<(String, String), wet_obs::Hist>;
+    fn collect(threads: usize) -> (Counters, Gauges, Hists) {
+        let _obs = wet_obs::scoped_enable();
+        wet_obs::reset();
+        let wet = build_compressed(Kind::Gcc, 8_000, threads);
+        // Drive the parallel query engine too: its fan-out histograms
+        // are deterministic even though its cache counters are not.
+        let w = wet_workloads::build(Kind::Gcc, 8_000);
+        for s in (0..w.program.stmt_count() as u32).map(wet_ir::StmtId).take(16) {
+            wet_core::query::engine::value_trace(&wet, s, threads);
+        }
+        let report = wet_obs::snapshot();
+        wet_obs::reset();
+        let counters =
+            report.counters.into_iter().filter(|((name, _), _)| !name.starts_with("query.cache.")).collect();
+        (counters, report.gauges, report.hists)
+    }
+    let (base_c, base_g, base_h) = collect(1);
+    assert!(base_c.keys().any(|(n, _)| n == "tier2.bytes_out"), "compression metrics must be recorded");
+    for threads in [2usize, 4, 8] {
+        let (c, g, h) = collect(threads);
+        assert_eq!(c, base_c, "counters diverge at {threads} threads");
+        assert_eq!(g, base_g, "gauges diverge at {threads} threads");
+        assert_eq!(h, base_h, "histograms diverge at {threads} threads");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
