@@ -21,10 +21,35 @@ echo "==> wet-cli --profile=json emits valid JSON"
 # only propagates the last command's status, which would mask a CLI
 # failure. The JSON doc goes to stdout; the human report to stderr.
 profile_json=$(mktemp)
-trap 'rm -f "$profile_json"' EXIT
+fsck_dir=$(mktemp -d)
+trap 'rm -f "$profile_json"; rm -rf "$fsck_dir"' EXIT
 cargo run -q --release --offline --locked -p wet-cli -- \
     compress examples/data/collatz.wet --inputs 27 --profile=json > "$profile_json"
 cargo run -q --release --offline --locked -p wet-obs --bin jsonv < "$profile_json"
+
+echo "==> fsck gate: seeded fault harness (750+ container mutations)"
+cargo test -q --offline --locked --test fault_injection \
+    seeded_mutations_never_break_the_decoder
+
+echo "==> fsck gate: integrity verdicts and exit codes"
+cargo run -q --release --offline --locked -p wet-cli -- \
+    trace examples/data/collatz.wet --inputs 27 --save "$fsck_dir/fresh.wetz" > /dev/null
+# A fresh trace is clean (exit 0); its metrics JSON must validate and
+# carry the fsck/salvage counters.
+cargo run -q --release --offline --locked -p wet-cli -- \
+    fsck "$fsck_dir/fresh.wetz" --profile=json > "$fsck_dir/fsck.json"
+cargo run -q --release --offline --locked -p wet-obs --bin jsonv < "$fsck_dir/fsck.json"
+grep -q 'fsck.sections_checked' "$fsck_dir/fsck.json"
+grep -q 'salvage.seqs_recovered' "$fsck_dir/fsck.json"
+# A truncated trace must be rejected with the documented exit code 3.
+head -c 512 "$fsck_dir/fresh.wetz" > "$fsck_dir/truncated.wetz"
+fsck_status=0
+cargo run -q --release --offline --locked -p wet-cli -- \
+    fsck "$fsck_dir/truncated.wetz" > /dev/null 2>&1 || fsck_status=$?
+if [ "$fsck_status" -ne 3 ]; then
+    echo "fsck on a truncated trace: expected exit 3, got $fsck_status" >&2
+    exit 1
+fi
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --locked --workspace --all-targets -- -D warnings

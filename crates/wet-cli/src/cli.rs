@@ -1,6 +1,7 @@
 //! Command implementations and argument handling.
 
 use std::error::Error;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use wet_core::{dump, query, WetBuilder, WetConfig};
 use wet_interp::{Interp, InterpConfig};
@@ -8,6 +9,56 @@ use wet_ir::ballarus::BallLarus;
 use wet_ir::{parse::parse_program, pretty, Program, StmtId};
 
 type Result<T> = std::result::Result<T, Box<dyn Error>>;
+
+/// Exit code for bad arguments or unknown commands.
+pub const EXIT_USAGE: u8 = 2;
+/// Exit code for corrupt or unparseable input files.
+pub const EXIT_CORRUPT: u8 = 3;
+/// Exit code for I/O failures (file missing, unreadable, unwritable).
+pub const EXIT_IO: u8 = 4;
+
+/// An error carrying its documented exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// One of [`EXIT_USAGE`], [`EXIT_CORRUPT`], [`EXIT_IO`].
+    pub code: u8,
+    msg: String,
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl Error for CliError {}
+
+fn fail(code: u8, msg: impl Into<String>) -> Box<dyn Error> {
+    Box::new(CliError { code, msg: msg.into() })
+}
+
+/// Classifies a std I/O error: corrupt data vs. plumbing failure.
+fn io_fail(context: &str, e: &std::io::Error) -> Box<dyn Error> {
+    let code = match e.kind() {
+        std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof => EXIT_CORRUPT,
+        _ => EXIT_IO,
+    };
+    fail(code, format!("{context}: {e}"))
+}
+
+/// The exit code an error maps to (documented in `--help`).
+pub fn exit_code_of(e: &(dyn Error + 'static)) -> u8 {
+    if let Some(c) = e.downcast_ref::<CliError>() {
+        return c.code;
+    }
+    if let Some(io) = e.downcast_ref::<std::io::Error>() {
+        return match io.kind() {
+            std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof => EXIT_CORRUPT,
+            _ => EXIT_IO,
+        };
+    }
+    EXIT_USAGE
+}
 
 const USAGE: &str = "\
 usage:
@@ -19,6 +70,7 @@ usage:
   wet slice <file.wet> --stmt N [--inputs 1,2,3] [--no-control]
   wet workload <name> [--target N] [--threads N] [--save out.wetz]
   wet info <file.wetz>
+  wet fsck <file.wetz> [--repair out.wetz]
       names: go-like gcc-like li-like gzip-like mcf-like parser-like
              vortex-like bzip2-like twolf-like
       --threads N: worker threads for tier-2 compression
@@ -28,7 +80,16 @@ usage:
                    json prints a wet-obs/1 document to stdout and saves
                    results/METRICS_<cmd>.json; prom prints Prometheus
                    text exposition to stdout. With json/prom the human
-                   report moves to stderr so stdout stays parseable.";
+                   report moves to stderr so stdout stays parseable.
+      fsck: verify every container section checksum and the decoded
+            structure; --repair writes a salvaged copy keeping every
+            section that verifies (lost label sequences are preserved
+            as explicit `unavailable` placeholders).
+exit codes:
+  0  success (fsck: file is clean)
+  2  usage error (bad flags, unknown command)
+  3  corrupt input (failed checksum, malformed or unparseable file)
+  4  I/O failure (missing, unreadable, or unwritable file)";
 
 /// In `--profile=json|prom` mode the profile document owns stdout and
 /// the human-readable report moves to stderr.
@@ -72,6 +133,7 @@ struct Flags {
     max: usize,
     no_control: bool,
     save: Option<String>,
+    repair: Option<String>,
     threads: usize,
 }
 
@@ -85,6 +147,7 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
         max: 8,
         no_control: false,
         save: None,
+        repair: None,
         threads: 1,
     };
     let mut i = 0;
@@ -120,6 +183,10 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
             "--save" => {
                 i += 1;
                 f.save = Some(args.get(i).ok_or("--save needs a path")?.clone());
+            }
+            "--repair" => {
+                i += 1;
+                f.repair = Some(args.get(i).ok_or("--repair needs a path")?.clone());
             }
             "--threads" => {
                 i += 1;
@@ -216,8 +283,16 @@ pub fn dispatch(args: &[String]) -> Result<()> {
         }
     }
     let result = dispatch_cmd(&args);
+    // A corrupt-input verdict (e.g. `fsck` on a damaged file) is a
+    // completed analysis, not a crash — its metrics still render.
+    let completed = result.is_ok()
+        || result
+            .as_ref()
+            .err()
+            .and_then(|e| e.downcast_ref::<CliError>())
+            .is_some_and(|c| c.code == EXIT_CORRUPT);
     if let Some(p) = profile {
-        if result.is_ok() {
+        if completed {
             render_profile(p, args.first().map(|s| s.as_str()).unwrap_or("none"))?;
         }
     }
@@ -314,9 +389,11 @@ fn dispatch_cmd(args: &[String]) -> Result<()> {
         "info" => {
             let path = rest.first().ok_or(USAGE)?;
             let mut f = std::io::BufReader::new(
-                std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?,
+                std::fs::File::open(path)
+                    .map_err(|e| fail(EXIT_IO, format!("cannot open {path}: {e}")))?,
             );
-            let wet = wet_core::Wet::read_from(&mut f)?;
+            let wet = wet_core::Wet::read_from(&mut f)
+                .map_err(|e| io_fail(&format!("cannot read {path}"), &e))?;
             let run = wet_interp::RunResult {
                 stmts_executed: wet.stats().stmts_executed,
                 paths_executed: wet.stats().paths_executed,
@@ -325,6 +402,55 @@ fn dispatch_cmd(args: &[String]) -> Result<()> {
             };
             print_wet_report(&wet, &run);
             Ok(())
+        }
+        "fsck" => {
+            let path = rest.first().ok_or(USAGE)?;
+            let flags = parse_flags(&rest[1..])?;
+            let open = || {
+                std::fs::File::open(path)
+                    .map(std::io::BufReader::new)
+                    .map_err(|e| fail(EXIT_IO, format!("cannot open {path}: {e}")))
+            };
+            let report = wet_core::Wet::fsck(&mut open()?)
+                .map_err(|e| io_fail(&format!("cannot read {path}"), &e))?;
+            say!("fsck {path}: container v{}", report.version);
+            for sec in &report.sections {
+                say!("  {:<4} {:>10} B  {}", sec.tag, sec.len, sec.status);
+            }
+            if let Some(fatal) = &report.fatal {
+                say!("  fatal    : {fatal}");
+            }
+            if let Some(err) = &report.structure_error {
+                say!("  structure: {err}");
+            }
+            say!(
+                "  sections : {} checked, {} corrupt",
+                report.sections_checked(),
+                report.sections_corrupt()
+            );
+            say!("  sequences: {} recovered, {} lost", report.seqs_recovered, report.seqs_lost);
+            wet_obs::counter_add("fsck.sections_checked", "total", report.sections_checked());
+            wet_obs::counter_add("fsck.sections_corrupt", "total", report.sections_corrupt());
+            wet_obs::counter_add("salvage.seqs_recovered", "total", report.seqs_recovered);
+            wet_obs::counter_add("salvage.seqs_lost", "total", report.seqs_lost);
+            if let Some(out) = &flags.repair {
+                let (wet, _) = wet_core::Wet::read_salvaging(&mut open()?)
+                    .map_err(|e| io_fail(&format!("cannot salvage {path}"), &e))?;
+                let mut w = std::io::BufWriter::new(
+                    std::fs::File::create(out)
+                        .map_err(|e| fail(EXIT_IO, format!("cannot create {out}: {e}")))?,
+                );
+                wet.write_to(&mut w)
+                    .map_err(|e| fail(EXIT_IO, format!("cannot write {out}: {e}")))?;
+                say!("wrote salvaged copy to {out}");
+            }
+            if report.is_clean() {
+                say!("clean");
+                Ok(())
+            } else {
+                let problem = report.first_problem().unwrap_or_else(|| "corrupt".into());
+                Err(fail(EXIT_CORRUPT, format!("{path}: {problem}")))
+            }
         }
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -336,8 +462,11 @@ fn dispatch_cmd(args: &[String]) -> Result<()> {
 
 fn save_if_requested(wet: &wet_core::Wet, flags: &Flags) -> Result<()> {
     if let Some(path) = &flags.save {
-        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
-        wet.write_to(&mut w)?;
+        let mut w = std::io::BufWriter::new(
+            std::fs::File::create(path)
+                .map_err(|e| fail(EXIT_IO, format!("cannot create {path}: {e}")))?,
+        );
+        wet.write_to(&mut w).map_err(|e| fail(EXIT_IO, format!("cannot write {path}: {e}")))?;
         say!("saved WET to {path}");
     }
     Ok(())
@@ -431,6 +560,48 @@ mod tests {
         assert!(!report.predictor_rates().is_empty(), "per-method hit rates recorded");
         wet_obs::disable();
         wet_obs::reset();
+    }
+
+    #[test]
+    fn fsck_detects_repairs_and_classifies_errors() {
+        let f = sample_file();
+        let f = f.to_str().unwrap();
+        let dir = std::env::temp_dir().join("wet-cli-tests");
+        let out = dir.join("fsck.wetz");
+        let out_s = out.to_str().unwrap().to_string();
+        dispatch(&s(&["trace", f, "--inputs", "25", "--save", &out_s])).expect("trace --save");
+        dispatch(&s(&["fsck", &out_s])).expect("fsck on a fresh trace is clean");
+
+        // Flip a bit inside the unique-values section: fsck must report
+        // the file corrupt (exit code 3) but salvage must still work.
+        let mut bytes = std::fs::read(&out).unwrap();
+        let vals = *wet_core::section_spans(&bytes)
+            .unwrap()
+            .iter()
+            .find(|sp| &sp.tag == b"VALS")
+            .unwrap();
+        bytes[vals.payload_start] ^= 1;
+        let bad = dir.join("fsck-bad.wetz");
+        std::fs::write(&bad, &bytes).unwrap();
+        let bad_s = bad.to_str().unwrap().to_string();
+        let e = dispatch(&s(&["fsck", &bad_s])).unwrap_err();
+        assert_eq!(exit_code_of(e.as_ref()), EXIT_CORRUPT);
+
+        // --repair still exits 3 on the damaged original, but its output
+        // passes a second fsck cleanly.
+        let fixed = dir.join("fsck-fixed.wetz");
+        let fixed_s = fixed.to_str().unwrap().to_string();
+        let e = dispatch(&s(&["fsck", &bad_s, "--repair", &fixed_s])).unwrap_err();
+        assert_eq!(exit_code_of(e.as_ref()), EXIT_CORRUPT);
+        dispatch(&s(&["fsck", &fixed_s])).expect("repaired copy is clean");
+
+        // The remaining documented exit codes.
+        let e = dispatch(&s(&["fsck", "/nonexistent.wetz"])).unwrap_err();
+        assert_eq!(exit_code_of(e.as_ref()), EXIT_IO);
+        let e = dispatch(&s(&["frobnicate"])).unwrap_err();
+        assert_eq!(exit_code_of(e.as_ref()), EXIT_USAGE);
+        let e = dispatch(&s(&["info", f])).unwrap_err();
+        assert_eq!(exit_code_of(e.as_ref()), EXIT_CORRUPT, "a .wet source is corrupt input to info");
     }
 
     #[test]

@@ -8,7 +8,12 @@
 //! wet slice <file.wet> --stmt N [--inputs ...]  backward slice from the last
 //!                                               execution of statement N
 //! wet workload <name> [--target N]              trace a bundled workload
+//! wet info <file.wetz>                          print stats of a saved trace
+//! wet fsck <file.wetz> [--repair out.wetz]      verify / salvage a container
 //! ```
+//!
+//! Exit codes: 0 success, 2 usage error, 3 corrupt input, 4 I/O failure
+//! (see `wet --help`).
 
 use std::process::ExitCode;
 
@@ -20,7 +25,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(cli::exit_code_of(e.as_ref()))
         }
     }
 }

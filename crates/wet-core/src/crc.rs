@@ -1,0 +1,99 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) implemented
+//! in-repo — the integrity check of every `.wetz` v2 container section.
+//!
+//! The build environment is offline, so no `crc32fast`; a classic
+//! 256-entry table computed at first use is plenty for the file sizes
+//! involved (one pass per section at write and read time).
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+/// A streaming CRC-32 accumulator.
+#[derive(Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let t = table();
+        for &b in bytes {
+            self.state = t[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// The final checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..=255).cycle().take(10_000).collect();
+        let mut c = Crc32::new();
+        for chunk in data.chunks(97) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = vec![0u8; 256];
+        data.iter_mut().enumerate().for_each(|(i, b)| *b = (i * 7) as u8);
+        let clean = crc32(&data);
+        for i in [0usize, 100, 255] {
+            for bit in [0u8, 3, 7] {
+                let mut d = data.clone();
+                d[i] ^= 1 << bit;
+                assert_ne!(crc32(&d), clean, "flip at {i}.{bit} undetected");
+            }
+        }
+    }
+}

@@ -165,7 +165,8 @@ impl Node {
     }
 
     /// The value the statement produced at execution `k`, when it has a
-    /// def port: `Values[k] = UVals[Pattern[k]]`.
+    /// def port: `Values[k] = UVals[Pattern[k]]`. Returns `None` when
+    /// the backing sequences were lost to salvage.
     pub fn value_at(&mut self, stmt: StmtId, k: usize) -> Option<i64> {
         let pos = self.stmt_pos(stmt)?;
         let ns = self.stmts[pos];
@@ -175,9 +176,24 @@ impl Node {
         let g = &mut self.groups[ns.group as usize];
         let idx = match &mut g.pattern {
             None => k,
-            Some(p) => p.get(k) as usize,
+            Some(p) if p.is_available() => p.get(k) as usize,
+            Some(_) => return None,
         };
-        Some(g.uvals[ns.member as usize].get(idx) as i64)
+        let u = &mut g.uvals[ns.member as usize];
+        if !u.is_available() {
+            return None;
+        }
+        Some(u.get(idx) as i64)
+    }
+
+    /// True when every sequence needed to answer value queries against
+    /// this node survived (always true outside salvage).
+    pub fn values_available(&self) -> bool {
+        self.ts.is_available()
+            && self.groups.iter().all(|g| {
+                g.pattern.as_ref().map(Seq::is_available).unwrap_or(true)
+                    && g.uvals.iter().all(Seq::is_available)
+            })
     }
 }
 
@@ -409,13 +425,31 @@ impl Wet {
         total.apply(&mut self.sizes, &mut self.stats);
     }
 
-    /// Checks structural integrity — sequence lengths against execution
-    /// counts, edge/label/group references in range, CF edge symmetry.
-    /// Used after deserialization and in tests.
+    /// Checks integrity in two passes. The **structural** pass verifies
+    /// sequence lengths against execution counts, edge/label/group
+    /// references in range, and CF edge symmetry. The **stream** pass
+    /// decodes every available sequence once through the checked
+    /// (panic-free) traversal path and verifies the properties queries
+    /// rely on: timestamp sequences strictly increasing and agreeing
+    /// with the `ts_first`/`ts_last` metadata, `Pattern` indices `<
+    /// n_uvals`, intra-edge coverage sets sorted and in execution
+    /// range, label `dst` streams sorted, and — for tier-2 — every
+    /// compressed stream's cursor and payload internally consistent
+    /// (claimed length decodable from the stored bit stacks).
+    ///
+    /// Sequences marked [`Seq::Unavailable`] by salvage are length-
+    /// checked only. Used after deserialization and in tests; a `Wet`
+    /// that validates cannot make queries panic through out-of-range
+    /// label indices or stream underflow.
     ///
     /// # Errors
     /// Returns a description of the first violation found.
     pub fn validate(&self) -> Result<(), String> {
+        self.validate_structure()?;
+        self.validate_streams()
+    }
+
+    fn validate_structure(&self) -> Result<(), String> {
         for (ni, n) in self.nodes.iter().enumerate() {
             if n.ts.len() != n.n_execs as usize {
                 return Err(format!("node {ni}: ts length {} != n_execs {}", n.ts.len(), n.n_execs));
@@ -467,6 +501,92 @@ impl Wet {
             return Err("first/last node out of range".to_string());
         }
         Ok(())
+    }
+
+    /// Decodes one sequence through the checked path, or reports why it
+    /// cannot be decoded. `None` (skip) for unavailable sequences.
+    fn decode_checked(seq: &Seq, what: &str) -> Result<Option<Vec<u64>>, String> {
+        if !seq.is_available() {
+            return Ok(None);
+        }
+        if let Seq::Compressed(s) = seq {
+            let lo = -(s.method().window() as isize);
+            if s.window_start() < lo || s.window_start() > s.len() as isize {
+                return Err(format!("{what}: stream cursor out of range"));
+            }
+        }
+        seq.try_to_vec_snapshot().map(Some).ok_or_else(|| format!("{what}: compressed stream payload inconsistent"))
+    }
+
+    fn validate_streams(&self) -> Result<(), String> {
+        for (ni, n) in self.nodes.iter().enumerate() {
+            if let Some(ts) = Self::decode_checked(&n.ts, &format!("node {ni} ts"))? {
+                if !ts.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(format!("node {ni}: timestamps not strictly increasing"));
+                }
+                if let (Some(&first), Some(&last)) = (ts.first(), ts.last()) {
+                    if first != n.ts_first || last != n.ts_last {
+                        return Err(format!("node {ni}: ts_first/ts_last disagree with ts stream"));
+                    }
+                }
+            }
+            for (gi, g) in n.groups.iter().enumerate() {
+                if let Some(p) = &g.pattern {
+                    if let Some(pv) = Self::decode_checked(p, &format!("node {ni} group {gi} pattern"))? {
+                        if pv.iter().any(|&idx| idx >= g.n_uvals as u64) {
+                            return Err(format!("node {ni} group {gi}: pattern index out of range"));
+                        }
+                    }
+                }
+                for (ui, u) in g.uvals.iter().enumerate() {
+                    Self::decode_checked(u, &format!("node {ni} group {gi} member {ui} uvals"))?;
+                }
+            }
+            for ((dst, slot), ies) in &n.intra {
+                for ie in ies {
+                    if let Some(ks) = &ie.ks {
+                        let what = format!("node {ni} intra ({dst}, slot {slot})");
+                        if let Some(kv) = Self::decode_checked(ks, &what)? {
+                            if !kv.windows(2).all(|w| w[0] < w[1]) {
+                                return Err(format!("{what}: coverage set not sorted"));
+                            }
+                            if kv.last().is_some_and(|&k| k >= n.n_execs as u64) {
+                                return Err(format!("{what}: coverage index out of range"));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (li, l) in self.labels.iter().enumerate() {
+            if let Some(dst) = Self::decode_checked(&l.dst, &format!("label {li} dst"))? {
+                if !dst.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(format!("label {li}: dst labels not sorted"));
+                }
+            }
+            Self::decode_checked(&l.src, &format!("label {li} src"))?;
+        }
+        Ok(())
+    }
+
+    /// Number of label sequences lost to salvage (zero for a cleanly
+    /// loaded or freshly built WET).
+    pub fn unavailable_seqs(&self) -> u64 {
+        let mut n = 0u64;
+        for node in &self.nodes {
+            n += u64::from(!node.ts.is_available());
+            for g in &node.groups {
+                n += u64::from(g.pattern.as_ref().is_some_and(|p| !p.is_available()));
+                n += g.uvals.iter().filter(|u| !u.is_available()).count() as u64;
+            }
+            for ies in node.intra.values() {
+                n += ies.iter().filter(|ie| ie.ks.as_ref().is_some_and(|k| !k.is_available())).count() as u64;
+            }
+        }
+        for l in &self.labels {
+            n += u64::from(!l.dst.is_available()) + u64::from(!l.src.is_available());
+        }
+        n
     }
 
     /// Resolves the producer of dependence slot `slot` of `dst_stmt` at

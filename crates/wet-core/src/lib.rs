@@ -61,9 +61,12 @@
 //! # }
 //! ```
 
+pub mod crc;
 pub mod dump;
+pub mod fault;
 pub mod par;
 pub mod query;
+pub mod salvage;
 pub mod serial;
 
 mod build;
@@ -76,7 +79,9 @@ pub use graph::{
     Edge, Group, IntraEdge, LabelSeq, Node, NodeId, NodeStmt, TsMode, Wet, WetConfig, SLOT_CD, SLOT_MEM, SLOT_OP0,
     SLOT_OP1,
 };
+pub use salvage::{FsckReport, SectionReport, SectionStatus};
 pub use seq::Seq;
+pub use serial::{section_spans, SectionSpan};
 pub use sizes::{ratio, CompressStats, StreamClass, WetSizes, WetStats};
 
 #[cfg(test)]
@@ -234,6 +239,110 @@ mod tests {
         wet.validate().expect("tier-1 valid");
         wet.compress();
         wet.validate().expect("tier-2 valid");
+    }
+
+    #[test]
+    fn degraded_queries_match_strict_on_clean_wets() {
+        let p = looping_program();
+        let (mut wet, _) = build_wet(&p, &[60], WetConfig::default());
+        wet.compress();
+        let strict = query::cf_trace_forward(&mut wet);
+        let (deg_steps, deg) = query::cf_trace_forward_degraded(&wet);
+        assert_eq!(deg_steps, strict);
+        assert!(deg.is_complete());
+        for stmt_id in 0..p.stmt_count() as u32 {
+            let stmt = wet_ir::StmtId(stmt_id);
+            let (vals, dv) = query::value_trace_degraded(&wet, stmt);
+            assert_eq!(vals, query::value_trace(&wet, stmt), "{stmt}");
+            assert!(dv.is_complete());
+        }
+    }
+
+    #[test]
+    fn degraded_queries_report_salvage_losses() {
+        let p = looping_program();
+        let (mut wet, _) = build_wet(&p, &[60], WetConfig::default());
+        wet.compress();
+        let mut bytes = Vec::new();
+        wet.write_to(&mut bytes).unwrap();
+
+        // Damage the value section: control flow survives, values are
+        // reported lost rather than wrong.
+        let spans = serial::section_spans(&bytes).unwrap();
+        let vals = spans.iter().find(|s| s.tag == serial::TAG_VALS).unwrap();
+        let mut m = bytes.clone();
+        m[vals.payload_start + 3] ^= 0x10;
+        let (salvaged, report) = Wet::read_salvaging(&mut m.as_slice()).unwrap();
+        assert!(report.seqs_lost > 0);
+        let (steps, cf_deg) = query::cf_trace_forward_degraded(&salvaged);
+        assert_eq!(steps, query::cf_trace_forward(&mut wet), "cf trace fully recovered");
+        assert!(cf_deg.is_complete());
+        let stmt = wet_ir::StmtId(0);
+        let (vals_deg, dv) = query::value_trace_degraded(&salvaged, stmt);
+        assert!(vals_deg.is_empty());
+        assert!(dv.nodes_skipped > 0);
+
+        // Damage the timestamp section: the cf trace degrades to the
+        // recoverable portion (none, at section granularity) and the
+        // gap accounting covers the whole execution.
+        let tseq = spans.iter().find(|s| s.tag == serial::TAG_TSEQ).unwrap();
+        let mut m2 = bytes.clone();
+        m2[tseq.payload_start + 1] ^= 0x02;
+        let (salvaged2, _) = Wet::read_salvaging(&mut m2.as_slice()).unwrap();
+        let (steps2, deg2) = query::cf_trace_forward_degraded(&salvaged2);
+        assert!(steps2.is_empty());
+        assert!(deg2.gaps > 0);
+        let (_, first_ts) = salvaged2.first();
+        let (_, last_ts) = salvaged2.last();
+        assert_eq!(deg2.steps_missing, last_ts - first_ts + 1);
+    }
+
+    #[test]
+    fn degraded_cf_trace_resyncs_across_one_lost_node() {
+        let p = looping_program();
+        let (mut wet, _) = build_wet(&p, &[60], WetConfig::default());
+        let strict = query::cf_trace_forward(&mut wet);
+        // Knock out a single node's timestamp stream in place —
+        // finer-grained loss than section salvage produces, to prove
+        // the resync logic recovers everything else.
+        let lost = NodeId(1);
+        let lost_execs = wet.node(lost).n_execs as u64;
+        assert!(lost_execs > 0, "test node must execute");
+        wet.node_mut(lost).ts = Seq::Unavailable(lost_execs);
+        let (steps, deg) = query::cf_trace_forward_degraded(&wet);
+        assert_eq!(deg.nodes_skipped, 1);
+        assert_eq!(deg.steps_missing, lost_execs);
+        assert!(deg.gaps >= 1);
+        let kept: Vec<_> = strict.iter().filter(|s| s.node != lost).copied().collect();
+        assert_eq!(steps, kept, "every step outside the lost node survives");
+    }
+
+    #[test]
+    fn degraded_backward_slice_counts_lost_deps() {
+        let p = looping_program();
+        let (mut wet, _) = build_wet(&p, &[40], WetConfig::default());
+        wet.compress();
+        // Criterion on the destination of a labeled (non-local) edge,
+        // so the slice must consult the label pool.
+        let criterion = {
+            let e = wet.edges()[0];
+            query::WetSliceElem { node: e.dst_node, stmt: e.dst_stmt, k: 0 }
+        };
+        let strict = query::backward_slice(&mut wet, &p, criterion, Default::default());
+        let (same, deg) = query::backward_slice_degraded(&mut wet, &p, criterion, Default::default());
+        assert_eq!(same.stamped, strict.stamped);
+        assert!(deg.is_complete());
+        // Lose every edge label: the slice shrinks, the report says so.
+        let mut bytes = Vec::new();
+        wet.write_to(&mut bytes).unwrap();
+        let spans = serial::section_spans(&bytes).unwrap();
+        let edgl = spans.iter().find(|s| s.tag == serial::TAG_EDGL).unwrap();
+        let mut m = bytes.clone();
+        m[edgl.payload_start] ^= 0x01;
+        let (mut salvaged, _) = Wet::read_salvaging(&mut m.as_slice()).unwrap();
+        let (partial, deg2) = query::backward_slice_degraded(&mut salvaged, &p, criterion, Default::default());
+        assert!(partial.stamped.len() <= strict.stamped.len());
+        assert!(deg2.seqs_unavailable > 0);
     }
 
     #[test]

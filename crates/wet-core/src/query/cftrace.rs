@@ -94,6 +94,48 @@ pub fn cf_trace_backward(wet: &mut Wet) -> Vec<CfStep> {
     steps
 }
 
+/// Salvage-tolerant forward control-flow trace: recovers every step
+/// whose node timestamp stream survived, in execution order, and
+/// reports the holes. Where [`cf_trace_forward`] panics if a timestamp
+/// cannot be located (impossible on a validated, fully available WET),
+/// this variant resynchronizes past the missing range and counts it as
+/// a gap — partial results instead of no results, which is the point
+/// of salvage mode.
+pub fn cf_trace_forward_degraded(wet: &Wet) -> (Vec<CfStep>, crate::query::Degraded) {
+    let _span = wet_obs::span!("query.cf_trace_forward_degraded");
+    let mut deg = crate::query::Degraded::default();
+    let mut steps = Vec::new();
+    for (i, n) in wet.nodes().iter().enumerate() {
+        match n.ts.try_to_vec_snapshot() {
+            Some(ts) => {
+                for (k, &t) in ts.iter().enumerate() {
+                    steps.push(CfStep { node: NodeId(i as u32), k: k as u32, ts: t });
+                }
+            }
+            None => deg.nodes_skipped += 1,
+        }
+    }
+    // Timestamps partition the execution across nodes, so sorting by
+    // ts reproduces exactly the successor-chasing order of the strict
+    // extraction — for the steps that survived.
+    steps.sort_unstable_by_key(|s| s.ts);
+    let (_, first_ts) = wet.first();
+    let (_, last_ts) = wet.last();
+    let mut expected = first_ts;
+    for s in &steps {
+        if s.ts > expected {
+            deg.gaps += 1;
+            deg.steps_missing += s.ts - expected;
+        }
+        expected = s.ts + 1;
+    }
+    if expected <= last_ts {
+        deg.gaps += 1;
+        deg.steps_missing += last_ts - expected + 1;
+    }
+    (steps, deg)
+}
+
 /// Locates the node execution holding timestamp `ts` by checking node
 /// timestamp ranges and probing candidates' streams.
 pub fn locate_ts(wet: &mut Wet, ts: u64) -> Option<CfStep> {

@@ -228,6 +228,33 @@ pub fn value_trace(wet: &Wet, stmt: StmtId, num_threads: usize) -> Vec<(u64, i64
     out
 }
 
+/// Salvage-tolerant [`value_trace`]: extracts from every containing
+/// node whose backing sequences (timestamps, pattern, unique values)
+/// survived, skipping — and counting — the rest. Partial results with
+/// an exact account of what is missing; on a fully available WET this
+/// equals the strict trace with a complete report.
+pub fn value_trace_degraded(
+    wet: &Wet,
+    stmt: StmtId,
+    num_threads: usize,
+) -> (Vec<(u64, i64)>, crate::query::Degraded) {
+    let _span = wet_obs::span!("query.value_trace_degraded");
+    let mut deg = crate::query::Degraded::default();
+    let nodes: Vec<NodeId> = nodes_with_stmt(wet, stmt)
+        .into_iter()
+        .filter(|&n| {
+            let ok = wet.node(n).values_available();
+            deg.nodes_skipped += !ok as u64;
+            ok
+        })
+        .collect();
+    let threads = par::effective_threads(num_threads);
+    let parts = par::map(threads, &nodes, |_, &node| values_in_node_snapshot(wet, node, stmt));
+    let mut out: Vec<(u64, i64)> = parts.into_iter().flatten().collect();
+    out.sort_unstable_by_key(|&(ts, _)| ts);
+    (out, deg)
+}
+
 /// Whole-trace value extraction for many statements at once; the work
 /// units are `(statement, node)` streams, so parallelism is available
 /// even when each statement appears in few nodes.

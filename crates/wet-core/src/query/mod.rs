@@ -15,6 +15,46 @@ pub mod values;
 pub use addresses::address_trace;
 pub use mine::{hot_paths, isomorphic_statements, value_locality, HotPath, ValueLocality};
 pub use phases::{cluster_phases, interval_vectors, IntervalVector, Phases};
-pub use cftrace::{cf_trace_backward, cf_trace_forward, cf_trace_from, expand_blocks, locate_ts, trace_bytes, CfStep};
-pub use slice::{backward_slice, forward_slice, SliceSpec, WetSlice, WetSliceElem};
-pub use values::{value_trace, values_in_node};
+pub use cftrace::{
+    cf_trace_backward, cf_trace_forward, cf_trace_forward_degraded, cf_trace_from, expand_blocks, locate_ts,
+    trace_bytes, CfStep,
+};
+pub use slice::{backward_slice, backward_slice_degraded, forward_slice, SliceSpec, WetSlice, WetSliceElem};
+pub use values::{value_trace, value_trace_degraded, values_in_node};
+
+/// What a degraded query could *not* answer. After
+/// [`crate::Wet::read_salvaging`] recovers a damaged container, label
+/// sequences lost with their section are [`crate::Seq::Unavailable`];
+/// the `*_degraded` query variants return every part of the answer the
+/// surviving sequences support, plus this report of the holes. A
+/// default (all-zero) report means the result is complete — on a
+/// cleanly loaded WET the degraded variants agree exactly with their
+/// strict counterparts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Degraded {
+    /// Nodes whose contribution was dropped because a backing sequence
+    /// (timestamps, pattern, unique values) was unavailable.
+    pub nodes_skipped: u64,
+    /// Contiguous timestamp ranges missing from a control-flow trace.
+    pub gaps: u64,
+    /// Node executions lost inside those gaps.
+    pub steps_missing: u64,
+    /// Unavailable sequences encountered while resolving dependences —
+    /// each one is a producer edge the slice may be missing.
+    pub seqs_unavailable: u64,
+}
+
+impl Degraded {
+    /// True when nothing was lost: the result equals the strict query's.
+    pub fn is_complete(&self) -> bool {
+        *self == Degraded::default()
+    }
+
+    /// Accumulates another report (for queries composed of sub-queries).
+    pub fn absorb(&mut self, other: &Degraded) {
+        self.nodes_skipped += other.nodes_skipped;
+        self.gaps += other.gaps;
+        self.steps_missing += other.steps_missing;
+        self.seqs_unavailable += other.seqs_unavailable;
+    }
+}

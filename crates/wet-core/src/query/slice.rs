@@ -108,6 +108,85 @@ pub fn backward_slice(wet: &mut Wet, program: &Program, criterion: WetSliceElem,
     WetSlice { elems: visited.into_iter().collect(), stamped }
 }
 
+/// Salvage-tolerant [`backward_slice`]: follows every dependence the
+/// surviving sequences can resolve and reports what it could not
+/// reach. Instances whose node timestamp stream was lost stay in the
+/// traversal (their `k` is still exact) but cannot be stamped with a
+/// timestamp, so they are absent from `stamped`; every unavailable
+/// sequence consulted while resolving a producer is counted — each is
+/// a dependence edge the slice may be missing. On a fully available
+/// WET the result and report match the strict slice exactly.
+pub fn backward_slice_degraded(
+    wet: &mut Wet,
+    program: &Program,
+    criterion: WetSliceElem,
+    spec: SliceSpec,
+) -> (WetSlice, crate::query::Degraded) {
+    let _span = wet_obs::span!("query.backward_slice_degraded");
+    let mut deg = crate::query::Degraded::default();
+    let mut visited: HashSet<WetSliceElem> = HashSet::new();
+    let mut stamped = BTreeSet::new();
+    if wet.node(criterion.node).stmt_pos(criterion.stmt).is_none() {
+        return (WetSlice { elems: Vec::new(), stamped }, deg);
+    }
+    let mut work = vec![criterion];
+    while let Some(e) = work.pop() {
+        if !visited.insert(e) {
+            continue;
+        }
+        if wet.node(e.node).ts.is_available() {
+            let ts = wet.node_mut(e.node).ts_at(e.k as usize);
+            stamped.insert((e.stmt, ts));
+        } else {
+            deg.seqs_unavailable += 1;
+        }
+        if spec.data {
+            for slot in [SLOT_OP0, SLOT_OP1, SLOT_MEM] {
+                if let Some((pn, ps, pk)) = resolve_producer_degraded(wet, &mut deg, e.node, e.stmt, slot, e.k) {
+                    work.push(WetSliceElem { node: pn, stmt: ps, k: pk });
+                }
+            }
+        }
+        if spec.control {
+            if let Some(anchor) = cd_anchor(wet, program, e.node, e.stmt) {
+                if let Some((pn, ps, pk)) = resolve_producer_degraded(wet, &mut deg, e.node, anchor, SLOT_CD, e.k) {
+                    work.push(WetSliceElem { node: pn, stmt: ps, k: pk });
+                }
+            }
+        }
+    }
+    (WetSlice { elems: visited.into_iter().collect(), stamped }, deg)
+}
+
+/// [`Wet::resolve_producer`] with the unavailable sequences on the
+/// lookup path counted instead of silently treated as "no match", and
+/// with the global-timestamp key guarded (the cursor path would panic
+/// reading a lost stream).
+fn resolve_producer_degraded(
+    wet: &mut Wet,
+    deg: &mut crate::query::Degraded,
+    node: NodeId,
+    dst_stmt: StmtId,
+    slot: u8,
+    k: u32,
+) -> Option<(NodeId, StmtId, u32)> {
+    if let Some(ies) = wet.node(node).intra.get(&(dst_stmt, slot)) {
+        deg.seqs_unavailable +=
+            ies.iter().filter(|ie| ie.ks.as_ref().is_some_and(|ks| !ks.is_available())).count() as u64;
+    }
+    for &ei in wet.in_edges(node, dst_stmt, slot) {
+        let e = wet.edges()[ei as usize];
+        if !wet.labels()[e.labels as usize].dst.is_available() {
+            deg.seqs_unavailable += 1;
+        }
+    }
+    if matches!(wet.config().ts_mode, crate::graph::TsMode::Global) && !wet.node(node).ts.is_available() {
+        deg.seqs_unavailable += 1;
+        return None;
+    }
+    wet.resolve_producer(node, dst_stmt, slot, k)
+}
+
 /// Computes the forward WET slice from `criterion`: every instance
 /// whose computation (or execution) the criterion influenced.
 ///

@@ -57,3 +57,10 @@ pub fn nodes_with_stmt(wet: &Wet, stmt: StmtId) -> Vec<NodeId> {
 pub fn value_trace(wet: &Wet, stmt: StmtId) -> Vec<(u64, i64)> {
     crate::query::engine::value_trace(wet, stmt, wet.config().stream.num_threads)
 }
+
+/// Salvage-tolerant [`value_trace`]: the recoverable part of the trace
+/// plus a report of the nodes whose sequences were lost. See
+/// [`crate::query::engine::value_trace_degraded`].
+pub fn value_trace_degraded(wet: &Wet, stmt: StmtId) -> (Vec<(u64, i64)>, crate::query::Degraded) {
+    crate::query::engine::value_trace_degraded(wet, stmt, wet.config().stream.num_threads)
+}

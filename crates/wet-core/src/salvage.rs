@@ -1,0 +1,117 @@
+//! Integrity reporting for `.wetz` containers.
+//!
+//! Both the strict reader ([`crate::Wet::read_from`]) and the salvage
+//! reader ([`crate::Wet::read_salvaging`]) drive the same section
+//! scanner; what they do with damage differs. The scanner's findings
+//! are captured in a [`FsckReport`]: one [`SectionReport`] per section
+//! encountered (or expected but missing), plus file-level problems that
+//! are not attributable to a single section. `wet-cli fsck` renders the
+//! report; the fault-injection harness asserts on it.
+
+use std::fmt;
+
+/// Integrity status of one container section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SectionStatus {
+    /// Checksum verified and (where parsed) payload well-formed.
+    Ok,
+    /// Stored CRC-32 does not match the section bytes.
+    BadCrc,
+    /// The file ended before the section (or its checksum) did.
+    Truncated,
+    /// Checksum verified but the payload does not parse — or the
+    /// section header itself is implausible (e.g. an inflated length
+    /// prefix larger than any real section).
+    Malformed(String),
+    /// A section the format requires was not present at all.
+    Missing,
+}
+
+impl SectionStatus {
+    /// True only for [`SectionStatus::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, SectionStatus::Ok)
+    }
+}
+
+impl fmt::Display for SectionStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SectionStatus::Ok => write!(f, "ok"),
+            SectionStatus::BadCrc => write!(f, "bad checksum"),
+            SectionStatus::Truncated => write!(f, "truncated"),
+            SectionStatus::Malformed(why) => write!(f, "malformed ({why})"),
+            SectionStatus::Missing => write!(f, "missing"),
+        }
+    }
+}
+
+/// Per-section fsck result.
+#[derive(Debug, Clone)]
+pub struct SectionReport {
+    /// Four-character section tag (`CONF`, `BIND`, …), lossily decoded.
+    pub tag: String,
+    /// Payload length claimed by the section header.
+    pub len: u64,
+    /// What the scanner found.
+    pub status: SectionStatus,
+}
+
+/// Full integrity report for one `.wetz` file.
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    /// Container version byte (1 = legacy un-checksummed, 2 = sectioned).
+    pub version: u8,
+    /// One entry per section encountered, in file order, plus `Missing`
+    /// entries for required sections that never appeared.
+    pub sections: Vec<SectionReport>,
+    /// Set when no usable WET could be assembled at all — bad magic,
+    /// unsupported version, or the structure (`BIND`) section lost.
+    pub fatal: Option<String>,
+    /// A file-level structural problem not tied to one section's
+    /// checksum: sections out of order or duplicated, a bad trailer
+    /// count, trailing bytes, or a failed post-decode validation.
+    /// Salvage may still succeed; the strict reader rejects the file.
+    pub structure_error: Option<String>,
+    /// Label sequences whose bytes were readable (their section's
+    /// checksum verified and payload parsed).
+    pub seqs_recovered: u64,
+    /// Label sequences lost to damaged sections and replaced by
+    /// [`crate::Seq::Unavailable`] placeholders during salvage.
+    pub seqs_lost: u64,
+}
+
+impl FsckReport {
+    /// Sections the scanner examined (including ones found missing).
+    pub fn sections_checked(&self) -> u64 {
+        self.sections.len() as u64
+    }
+
+    /// Sections that failed — anything other than [`SectionStatus::Ok`].
+    pub fn sections_corrupt(&self) -> u64 {
+        self.sections.iter().filter(|s| !s.status.is_ok()).count() as u64
+    }
+
+    /// True when the container itself is sound: every section checks
+    /// out and there is no fatal or structural problem. A clean file
+    /// may still carry `Unavailable` sequences (`seqs_lost > 0`) if it
+    /// was produced by `fsck --repair` — the *container* is intact even
+    /// though some data could not be saved from the original.
+    pub fn is_clean(&self) -> bool {
+        self.fatal.is_none() && self.structure_error.is_none() && self.sections_corrupt() == 0
+    }
+
+    /// First problem worth telling a human about, if any.
+    pub fn first_problem(&self) -> Option<String> {
+        if let Some(f) = &self.fatal {
+            return Some(f.clone());
+        }
+        if let Some(s) = &self.structure_error {
+            return Some(s.clone());
+        }
+        self.sections
+            .iter()
+            .find(|s| !s.status.is_ok())
+            .map(|s| format!("section {}: {}", s.tag, s.status))
+    }
+}

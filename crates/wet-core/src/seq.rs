@@ -12,13 +12,18 @@
 use wet_stream::{CompressedStream, StreamConfig};
 
 /// A sequence of `u64` labels in raw (tier-1) or compressed (tier-2)
-/// form.
+/// form — or a placeholder for data lost to container corruption.
 #[derive(Debug, Clone)]
 pub enum Seq {
     /// Tier-1: a plain vector.
     Raw(Vec<u64>),
     /// Tier-2: a bidirectional compressed stream.
     Compressed(CompressedStream),
+    /// Data lost to a failed section checksum during salvage
+    /// ([`crate::Wet::read_salvaging`]). The length is preserved from
+    /// the (intact) structure section so validation and accounting
+    /// still line up; reads must go through the checked accessors.
+    Unavailable(u64),
 }
 
 impl Seq {
@@ -27,6 +32,7 @@ impl Seq {
         match self {
             Seq::Raw(v) => v.len(),
             Seq::Compressed(s) => s.len(),
+            Seq::Unavailable(n) => *n as usize,
         }
     }
 
@@ -35,23 +41,36 @@ impl Seq {
         self.len() == 0
     }
 
+    /// True when the values can actually be read — `false` only for
+    /// [`Seq::Unavailable`] placeholders left by salvage.
+    pub fn is_available(&self) -> bool {
+        !matches!(self, Seq::Unavailable(_))
+    }
+
     /// Reads index `i`. Takes `&mut self` because tier-2 reads move the
     /// stream cursor.
     ///
     /// # Panics
-    /// Panics if `i` is out of bounds.
+    /// Panics if `i` is out of bounds or the sequence is
+    /// [`Unavailable`](Seq::Unavailable) (degraded query paths check
+    /// [`is_available`](Seq::is_available) first).
     pub fn get(&mut self, i: usize) -> u64 {
         match self {
             Seq::Raw(v) => v[i],
             Seq::Compressed(s) => s.get(i),
+            Seq::Unavailable(_) => panic!("read from unavailable (salvage-lost) sequence"),
         }
     }
 
     /// Decompresses (or clones) the full sequence.
+    ///
+    /// # Panics
+    /// Panics on an [`Unavailable`](Seq::Unavailable) sequence.
     pub fn to_vec(&mut self) -> Vec<u64> {
         match self {
             Seq::Raw(v) => v.clone(),
             Seq::Compressed(s) => s.decompress(),
+            Seq::Unavailable(_) => panic!("read from unavailable (salvage-lost) sequence"),
         }
     }
 
@@ -60,14 +79,33 @@ impl Seq {
     /// is what lets the whole-trace query engine extract from a shared
     /// `&Wet` on many threads at once — every worker snapshots the
     /// streams it needs instead of fighting over one cursor.
+    ///
+    /// # Panics
+    /// Panics on an [`Unavailable`](Seq::Unavailable) sequence.
     pub fn to_vec_snapshot(&self) -> Vec<u64> {
         match self {
             Seq::Raw(v) => v.clone(),
             Seq::Compressed(s) => s.clone().decompress(),
+            Seq::Unavailable(_) => panic!("read from unavailable (salvage-lost) sequence"),
         }
     }
 
-    /// Converts to tier-2 form in place (no-op if already compressed).
+    /// Checked snapshot decompression for untrusted or salvaged data:
+    /// `None` when the sequence is unavailable or its compressed form
+    /// is internally inconsistent (claimed length exceeds stored
+    /// entries). Never panics and never allocates beyond the data
+    /// actually present. The cursor is untouched (tier-2 work happens
+    /// on a clone).
+    pub fn try_to_vec_snapshot(&self) -> Option<Vec<u64>> {
+        match self {
+            Seq::Raw(v) => Some(v.clone()),
+            Seq::Compressed(s) => s.clone().try_decompress(),
+            Seq::Unavailable(_) => None,
+        }
+    }
+
+    /// Converts to tier-2 form in place (no-op if already compressed or
+    /// unavailable).
     pub fn compress(&mut self, cfg: &StreamConfig) {
         if let Seq::Raw(v) = self {
             let s = CompressedStream::compress_auto(v, cfg);
@@ -76,17 +114,20 @@ impl Seq {
     }
 
     /// Tier-2 payload bytes; for raw sequences, the bytes tier-2 would
-    /// be measured at (computed by compressing a clone).
+    /// be measured at (computed by compressing a clone). Unavailable
+    /// sequences account as zero.
     pub fn compressed_bytes(&self, cfg: &StreamConfig) -> u64 {
         match self {
             Seq::Raw(v) => CompressedStream::compress_auto(v, cfg).compressed_bytes(),
             Seq::Compressed(s) => s.compressed_bytes(),
+            Seq::Unavailable(_) => 0,
         }
     }
 
     /// Searches a **sorted** sequence for `target`, returning its
     /// position. Walks the cursor from its current position (galloping
     /// toward the target), so repeated nearby lookups are cheap.
+    /// Unavailable sequences report no match.
     pub fn find_sorted(&mut self, target: u64) -> Option<usize> {
         let n = self.len();
         if n == 0 {
@@ -108,6 +149,7 @@ impl Seq {
                 }
                 (vi == target).then_some(i)
             }
+            Seq::Unavailable(_) => None,
         }
     }
 }

@@ -270,6 +270,86 @@ impl CompressedStream {
         self.window[(i - self.win_start) as usize]
     }
 
+    /// Checked [`step_forward`](Self::step_forward) for untrusted
+    /// streams: `Some(true)` on a step, `Some(false)` at the right end,
+    /// `None` when the BL stack underflows (corrupt stream — the
+    /// claimed length exceeds the stored entries). On `None` the stream
+    /// is partially mutated and must be discarded.
+    pub fn try_step_forward(&mut self) -> Option<bool> {
+        if self.win_start >= self.len as isize {
+            return Some(false);
+        }
+        let ctx = self.ctx_right_edge();
+        let v = self.pred.try_uncompress(Side::Bl, &ctx, &mut self.bl)?;
+        self.window.push_back(v);
+        let ctx = self.ctx_after_front();
+        let leaving = self.window[0];
+        self.pred.compress(Side::Fr, &ctx, leaving, &mut self.fr);
+        self.window.pop_front();
+        self.win_start += 1;
+        Some(true)
+    }
+
+    /// Checked [`step_backward`](Self::step_backward); see
+    /// [`try_step_forward`](Self::try_step_forward).
+    pub fn try_step_backward(&mut self) -> Option<bool> {
+        if self.win_start <= -(self.w as isize) {
+            return Some(false);
+        }
+        let ctx = self.ctx_left_edge();
+        let v = self.pred.try_uncompress(Side::Fr, &ctx, &mut self.fr)?;
+        self.window.push_front(v);
+        let ctx = self.ctx_left_of_back();
+        let leaving = self.window[self.w];
+        self.pred.compress(Side::Bl, &ctx, leaving, &mut self.bl);
+        self.window.pop_back();
+        self.win_start -= 1;
+        Some(true)
+    }
+
+    /// Checked [`get`](Self::get): `None` when `i` is out of bounds or
+    /// the stream is corrupt (stack underflow while moving the cursor).
+    /// On `None` the stream may be partially mutated; discard it.
+    pub fn try_get(&mut self, i: usize) -> Option<u64> {
+        if i >= self.len {
+            return None;
+        }
+        let i = i as isize;
+        while i >= self.win_start + self.w as isize {
+            if !self.try_step_forward()? {
+                return None;
+            }
+        }
+        while i < self.win_start {
+            if !self.try_step_backward()? {
+                return None;
+            }
+        }
+        Some(self.window[(i - self.win_start) as usize])
+    }
+
+    /// Checked [`decompress`](Self::decompress): the full value
+    /// sequence, or `None` if the stream's entries run out before its
+    /// claimed length (corrupt input). The output vector grows
+    /// incrementally — each decoded value consumes at least one stored
+    /// bit, so a forged length cannot force an allocation larger than
+    /// the actual payload. On `None` the stream is partially mutated
+    /// and must be discarded.
+    pub fn try_decompress(&mut self) -> Option<Vec<u64>> {
+        let mut out = Vec::new();
+        for i in 0..self.len {
+            out.push(self.try_get(i)?);
+        }
+        Some(out)
+    }
+
+    /// Verifies the stream decodes over its whole claimed length, on a
+    /// clone so the cursor stays put. This is the tier-2 cursor/payload
+    /// consistency check `Wet::validate` runs on deserialized traces.
+    pub fn check_integrity(&self) -> bool {
+        self.clone().try_decompress().is_some()
+    }
+
     /// Reads index `i` without moving the cursor, if it is inside the
     /// window.
     pub fn peek(&self, i: usize) -> Option<u64> {
@@ -326,6 +406,11 @@ impl CompressedStream {
         misses: u64,
     ) -> Result<Self, &'static str> {
         let w = method.window();
+        if w > 4 {
+            // Context buffers are fixed [u64; 4] arrays; a method with a
+            // larger window would index past them during traversal.
+            return Err("method window too large");
+        }
         if window.len() != w {
             return Err("window size does not match method");
         }

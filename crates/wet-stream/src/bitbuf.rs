@@ -81,6 +81,28 @@ impl BitStack {
         v
     }
 
+    /// [`pop_bit`](Self::pop_bit) that reports underflow instead of
+    /// panicking — the building block of the checked traversal path
+    /// used on untrusted (deserialized) streams.
+    #[inline]
+    pub fn try_pop_bit(&mut self) -> Option<bool> {
+        if self.len == 0 {
+            return None;
+        }
+        Some(self.pop_bit())
+    }
+
+    /// [`pop_bits`](Self::pop_bits) that reports underflow instead of
+    /// panicking. On `None` some bits may already have been consumed;
+    /// the stack must be discarded.
+    #[inline]
+    pub fn try_pop_bits(&mut self, width: u32) -> Option<u64> {
+        if width > 64 || self.len < width as usize {
+            return None;
+        }
+        Some(self.pop_bits(width))
+    }
+
     /// Heap bytes used by the backing storage.
     pub fn heap_bytes(&self) -> usize {
         self.words.capacity() * 8

@@ -159,6 +159,26 @@ impl MtfTable {
             v
         }
     }
+
+    /// [`uncompress`](Self::uncompress) that reports bit-stack
+    /// underflow instead of panicking. On `None` the table and stack
+    /// are partially mutated and must be discarded.
+    fn try_uncompress(&mut self, inp: &mut BitStack) -> Option<u64> {
+        if inp.try_pop_bit()? {
+            let j = inp.try_pop_bits(self.index_bits)? as usize;
+            let v = self.vals[0];
+            self.vals[..=j].rotate_left(1);
+            Some(v)
+        } else {
+            let diff = inp.try_pop_bits(64)?;
+            let v = self.vals[0];
+            let evicted = v.wrapping_sub(diff);
+            self.vals.rotate_left(1);
+            let n = self.vals.len();
+            self.vals[n - 1] = evicted;
+            Some(v)
+        }
+    }
 }
 
 /// The compression method for one stream.
@@ -204,6 +224,34 @@ impl Method {
             Method::Dfcm { order } => format!("dfcm{order}"),
             Method::LastN { n } => format!("last{n}"),
             Method::LastNStride { n } => format!("stride{n}"),
+        }
+    }
+
+    /// Rebuilds a method from its wire encoding (the `(tag, arg)` pair
+    /// the serializers write), rejecting parameters outside the ranges
+    /// this implementation supports. This is the single chokepoint that
+    /// keeps a forged method from requesting an oversized context
+    /// window (`ctx` buffers hold 4 values) or a non-power-of-two MTF
+    /// table (whose constructor would panic).
+    ///
+    /// # Errors
+    /// Fails on an unknown tag, an FCM/DFCM order outside `1..=3`, or a
+    /// last-*n* size that is not a power of two in `2..=65536`.
+    pub fn checked(tag: u8, arg: u32) -> Result<Method, &'static str> {
+        match tag {
+            0 | 1 => {
+                if !(1..=3).contains(&arg) {
+                    return Err("context order out of range");
+                }
+                Ok(if tag == 0 { Method::Fcm { order: arg } } else { Method::Dfcm { order: arg } })
+            }
+            2 | 3 => {
+                if !arg.is_power_of_two() || !(2..=65536).contains(&arg) {
+                    return Err("last-n size must be a power of two in 2..=65536");
+                }
+                Ok(if tag == 2 { Method::LastN { n: arg } } else { Method::LastNStride { n: arg } })
+            }
+            _ => Err("bad method tag"),
         }
     }
 
@@ -391,6 +439,56 @@ impl PredState {
             PredState::LastNStride { fr, bl } => {
                 let tb = if side == Side::Fr { fr } else { bl };
                 ctx[0].wrapping_add(tb.uncompress(inp))
+            }
+        }
+    }
+
+    /// [`uncompress`](Self::uncompress) that reports bit-stack
+    /// underflow instead of panicking. Used by the checked traversal
+    /// path that integrity-verifies deserialized streams. On `None` the
+    /// predictor state and stack are partially mutated and must be
+    /// discarded.
+    pub fn try_uncompress(&mut self, side: Side, ctx: &[u64], inp: &mut BitStack) -> Option<u64> {
+        match self {
+            PredState::Fcm { order, fr, bl } => {
+                let t = if side == Side::Fr { fr } else { bl };
+                let i = t.idx(hash_ctx(ctx.get(..*order as usize)?));
+                if inp.try_pop_bit()? {
+                    Some(t.slots[i])
+                } else {
+                    let evicted = inp.try_pop_bits(64)?;
+                    let v = t.slots[i];
+                    t.slots[i] = evicted;
+                    Some(v)
+                }
+            }
+            PredState::Dfcm { order, fr, bl } => {
+                let t = if side == Side::Fr { fr } else { bl };
+                let k = *order as usize;
+                if k > 3 || ctx.len() < k + 1 {
+                    return None;
+                }
+                let mut strides = [0u64; 4];
+                for j in 0..k {
+                    strides[j] = ctx[j].wrapping_sub(ctx[j + 1]);
+                }
+                let i = t.idx(hash_ctx(&strides[..k]));
+                if inp.try_pop_bit()? {
+                    Some(ctx[0].wrapping_add(t.slots[i]))
+                } else {
+                    let evicted = inp.try_pop_bits(64)?;
+                    let stride = t.slots[i];
+                    t.slots[i] = evicted;
+                    Some(ctx[0].wrapping_add(stride))
+                }
+            }
+            PredState::LastN { fr, bl } => {
+                let tb = if side == Side::Fr { fr } else { bl };
+                tb.try_uncompress(inp)
+            }
+            PredState::LastNStride { fr, bl } => {
+                let tb = if side == Side::Fr { fr } else { bl };
+                Some(ctx.first()?.wrapping_add(tb.try_uncompress(inp)?))
             }
         }
     }

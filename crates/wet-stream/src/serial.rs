@@ -55,15 +55,29 @@ pub fn r_u64(r: &mut impl Read) -> io::Result<u64> {
     Ok(u64::from_le_bytes(b))
 }
 
-/// Reads a length-prefixed `u64` vector (capped to avoid unbounded
-/// allocation on corrupt input).
+/// Upper bound on the elements pre-allocated for any wire-supplied
+/// length prefix (64 KiB of `u64`s). Vectors longer than this grow
+/// incrementally, so allocation tracks bytes actually present in the
+/// input — a forged 8-byte length can never request gigabytes up
+/// front.
+pub const PREALLOC_CAP: usize = 1 << 13;
+
+/// Reads a length-prefixed `u64` vector. Pre-allocation is capped at
+/// [`PREALLOC_CAP`] elements and the vector grows in bounded chunks as
+/// data actually arrives, so a forged length prefix costs at most the
+/// bytes the reader can really produce (plus one chunk).
 pub fn r_u64s(r: &mut impl Read) -> io::Result<Vec<u64>> {
     let n = r_u64(r)? as usize;
     if n > (1 << 34) {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "length prefix too large"));
     }
-    let mut v = Vec::with_capacity(n.min(1 << 20));
-    for _ in 0..n {
+    let mut v = Vec::with_capacity(n.min(PREALLOC_CAP));
+    for i in 0..n {
+        // Reserve in capped steps rather than trusting `n`; a short
+        // read errors out of the loop before the next reservation.
+        if i == v.capacity() {
+            v.reserve((n - i).min(PREALLOC_CAP));
+        }
         v.push(r_u64(r)?);
     }
     Ok(v)
@@ -87,13 +101,7 @@ fn w_method(w: &mut impl Write, m: Method) -> io::Result<()> {
 fn r_method(r: &mut impl Read) -> io::Result<Method> {
     let tag = r_u8(r)?;
     let arg = r_u32(r)?;
-    Ok(match tag {
-        0 => Method::Fcm { order: arg },
-        1 => Method::Dfcm { order: arg },
-        2 => Method::LastN { n: arg },
-        3 => Method::LastNStride { n: arg },
-        _ => return Err(corrupt("bad method tag")),
-    })
+    Method::checked(tag, arg).map_err(corrupt)
 }
 
 impl BitStack {

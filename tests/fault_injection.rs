@@ -1,0 +1,166 @@
+//! Deterministic fault-injection harness for the `.wetz` v2 container.
+//!
+//! Every bundled workload is traced, compressed and serialized, then
+//! attacked with seeded mutations from [`wet_core::fault`]: random bit
+//! flips, truncations at every section boundary, length-prefix
+//! inflation, and section shuffles — well over 500 mutated images in
+//! total. For each image the decoder must fail cleanly (strict read
+//! errors, never panics or over-allocates) and the salvage path must
+//! either recover a validated WET or report a fatal error.
+//!
+//! Single-section damage is additionally checked for *graceful
+//! degradation*: flipping a bit inside one value section must leave
+//! every other section recoverable, with the degraded queries agreeing
+//! with the pristine WET on everything the surviving sequences support.
+
+use wet::prelude::*;
+use wet::workloads::Kind;
+use wet_core::fault::{self, FaultRng};
+use wet_core::query;
+use wet_core::Wet;
+
+const TARGET: u64 = 8_000;
+
+fn build_wet(kind: Kind) -> Wet {
+    let w = wet::workloads::build(kind, TARGET);
+    let bl = BallLarus::new(&w.program);
+    let mut builder = WetBuilder::new(&w.program, &bl, WetConfig::default());
+    Interp::new(&w.program, &bl, InterpConfig::default())
+        .run(&w.inputs, &mut builder)
+        .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+    let mut wet = builder.finish();
+    wet.compress();
+    wet
+}
+
+fn wetz_bytes(wet: &Wet) -> Vec<u8> {
+    let mut buf = Vec::new();
+    wet.write_to(&mut buf).expect("serialize");
+    buf
+}
+
+/// Runs every decode entry point on a mutated image. Nothing here may
+/// panic; `what` names the mutation for failure messages.
+fn decode_must_survive(pristine: &[u8], mutated: &[u8], what: &str, kind: Kind) {
+    let strict = Wet::read_from(&mut &mutated[..]);
+    if mutated != pristine {
+        assert!(
+            strict.is_err(),
+            "{}: {what}: strict read accepted a corrupted image",
+            kind.name()
+        );
+    }
+    // fsck must always produce a report (or a clean I/O error), and a
+    // changed image must never be reported clean.
+    if let Ok(report) = Wet::fsck(&mut &mutated[..]) {
+        if mutated != pristine {
+            assert!(!report.is_clean(), "{}: {what}: fsck reported a corrupted image clean", kind.name());
+        }
+    }
+    // Salvage either yields a WET that passes validation or errors out.
+    if let Ok((wet, report)) = Wet::read_salvaging(&mut &mutated[..]) {
+        wet.validate().unwrap_or_else(|e| {
+            panic!("{}: {what}: salvaged WET fails validation: {e}", kind.name())
+        });
+        assert_eq!(
+            report.seqs_lost,
+            wet.unavailable_seqs(),
+            "{}: {what}: salvage report disagrees with the WET",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn seeded_mutations_never_break_the_decoder() {
+    let mut total = 0u64;
+    for (i, kind) in Kind::all().into_iter().enumerate() {
+        let pristine = wetz_bytes(&build_wet(kind));
+        let mut rng = FaultRng::new(0xC0FFEE + i as u64);
+
+        // Truncation at (and just inside) every section boundary.
+        for (what, mutated) in fault::boundary_truncations(&pristine) {
+            decode_must_survive(&pristine, &mutated, &what, kind);
+            total += 1;
+        }
+        // Seeded random single-bit flips anywhere in the image.
+        for _ in 0..20 {
+            let (what, mutated) = fault::bit_flip(&pristine, &mut rng);
+            decode_must_survive(&pristine, &mutated, &what, kind);
+            total += 1;
+        }
+        // Length-prefix inflation: allocation sizes are attacker
+        // controlled only up to the remaining-input sanity cap.
+        for _ in 0..8 {
+            let (what, mutated) = fault::inflate_length(&pristine, &mut rng);
+            decode_must_survive(&pristine, &mutated, &what, kind);
+            total += 1;
+        }
+        // Section shuffles: strict order violations.
+        for _ in 0..8 {
+            let (what, mutated) = fault::shuffle_sections(&pristine, &mut rng);
+            decode_must_survive(&pristine, &mutated, &what, kind);
+            total += 1;
+        }
+        // Mixed mutations drawn from the whole fault menu.
+        for _ in 0..20 {
+            let (what, mutated) = fault::random_mutation(&pristine, &mut rng);
+            decode_must_survive(&pristine, &mutated, &what, kind);
+            total += 1;
+        }
+    }
+    assert!(total >= 500, "harness only exercised {total} mutations");
+}
+
+/// Flips one bit in the payload of one section and returns the image.
+fn damage_section(bytes: &[u8], tag: &[u8; 4]) -> Vec<u8> {
+    let span = *wet_core::section_spans(bytes)
+        .expect("pristine image dissects")
+        .iter()
+        .find(|s| &s.tag == tag)
+        .expect("section present");
+    let mut out = bytes.to_vec();
+    out[span.payload_start + span.payload_len / 2] ^= 0x10;
+    out
+}
+
+#[test]
+fn salvage_recovers_every_intact_section() {
+    for kind in [Kind::Go, Kind::Gzip, Kind::Twolf] {
+        let mut pristine_wet = build_wet(kind);
+        let bytes = wetz_bytes(&pristine_wet);
+        let strict_cf = query::cf_trace_forward(&mut pristine_wet);
+
+        // Damaged unique-values section: control flow (TSEQ + BIND) is
+        // untouched, so the degraded CF trace must be complete and
+        // exactly the strict one.
+        let (wet, report) =
+            Wet::read_salvaging(&mut &damage_section(&bytes, b"VALS")[..]).expect("salvageable");
+        assert!(report.seqs_lost > 0 && report.seqs_recovered > 0, "{}: VALS damage", kind.name());
+        let (cf, deg) = query::cf_trace_forward_degraded(&wet);
+        assert!(deg.is_complete(), "{}: CF survives VALS damage", kind.name());
+        assert_eq!(cf, strict_cf, "{}: CF equal after VALS damage", kind.name());
+
+        // Damaged timestamp section: values (VALS) are intact, so every
+        // per-node value group still decodes; the timestamped trace is
+        // what degrades.
+        let (wet, report) =
+            Wet::read_salvaging(&mut &damage_section(&bytes, b"TSEQ")[..]).expect("salvageable");
+        assert!(report.seqs_lost > 0, "{}: TSEQ damage loses sequences", kind.name());
+        let (_, deg) = query::cf_trace_forward_degraded(&wet);
+        assert!(!deg.is_complete(), "{}: TSEQ damage degrades CF", kind.name());
+        assert!(
+            wet.nodes().iter().all(|n| n.groups.iter().all(|g| g.uvals.iter().all(|u| u.is_available()))),
+            "{}: VALS sequences survive TSEQ damage",
+            kind.name()
+        );
+
+        // Damaged edge-label section: structure and both value streams
+        // survive; the strict reader still refuses the file.
+        let (wet, _) =
+            Wet::read_salvaging(&mut &damage_section(&bytes, b"EDGL")[..]).expect("salvageable");
+        let (cf, deg) = query::cf_trace_forward_degraded(&wet);
+        assert!(deg.is_complete() && cf == strict_cf, "{}: CF survives EDGL damage", kind.name());
+        assert!(Wet::read_from(&mut &damage_section(&bytes, b"EDGL")[..]).is_err());
+    }
+}
