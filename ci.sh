@@ -51,6 +51,44 @@ if [ "$fsck_status" -ne 3 ]; then
     exit 1
 fi
 
+echo "==> crash-recovery gate: capture under a simulated crash, resume, seal, fsck"
+cap_dir="$fsck_dir/cap.wetz.seg"
+# Uninterrupted capture -> seal: the reference bytes.
+cargo run -q --release --offline --locked -p wet-cli -- \
+    capture examples/data/collatz.wet --inputs 27 --dir "$fsck_dir/ref.wetz.seg" --interval 16 > /dev/null
+cargo run -q --release --offline --locked -p wet-cli -- \
+    seal "$fsck_dir/ref.wetz.seg" -o "$fsck_dir/ref-sealed.wetz" > /dev/null
+# The sealed capture must be byte-identical to the plain trace.
+cmp "$fsck_dir/fresh.wetz" "$fsck_dir/ref-sealed.wetz"
+# Crash at the third durable write (torn tail): exit 4, then resume,
+# seal, and verify the log and the merged container.
+crash_status=0
+WET_CRASH_AT=3 WET_CRASH_MODE=torn:7 \
+    cargo run -q --release --offline --locked -p wet-cli -- \
+    capture examples/data/collatz.wet --inputs 27 --dir "$cap_dir" --interval 16 > /dev/null 2>&1 \
+    || crash_status=$?
+if [ "$crash_status" -ne 4 ]; then
+    echo "capture under simulated crash: expected exit 4, got $crash_status" >&2
+    exit 1
+fi
+cargo run -q --release --offline --locked -p wet-cli -- \
+    capture examples/data/collatz.wet --dir "$cap_dir" > /dev/null
+cargo run -q --release --offline --locked -p wet-cli -- fsck "$cap_dir" > /dev/null
+cargo run -q --release --offline --locked -p wet-cli -- \
+    seal "$cap_dir" -o "$fsck_dir/resumed.wetz" > /dev/null
+cmp "$fsck_dir/fresh.wetz" "$fsck_dir/resumed.wetz"
+cargo run -q --release --offline --locked -p wet-cli -- fsck "$fsck_dir/resumed.wetz" > /dev/null
+# Budget shedding keeps the capture usable end-to-end: the sealed
+# container still passes fsck (shed streams are explicit, not damage).
+cargo run -q --release --offline --locked -p wet-cli -- \
+    capture examples/data/collatz.wet --inputs 27 --dir "$fsck_dir/shed.wetz.seg" --budget 2048 > /dev/null
+cargo run -q --release --offline --locked -p wet-cli -- \
+    seal "$fsck_dir/shed.wetz.seg" -o "$fsck_dir/shed.wetz" > /dev/null
+cargo run -q --release --offline --locked -p wet-cli -- fsck "$fsck_dir/shed.wetz" > /dev/null
+
+echo "==> checkpoint/resume determinism (workloads x threads x crash points)"
+cargo test -q --offline --locked --test capture_resume
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --locked --workspace --all-targets -- -D warnings
 

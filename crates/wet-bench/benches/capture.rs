@@ -1,0 +1,70 @@
+//! Criterion benchmark for the crash-safe segmented capture path:
+//! spooling overhead versus the plain in-memory build, and the seal
+//! (merge) step that turns a finished segment log into a `.wetz`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wet_core::capture::{self, Capture};
+use wet_core::{WetBuilder, WetConfig};
+use wet_interp::{Interp, InterpConfig};
+use wet_ir::ballarus::BallLarus;
+use wet_workloads::Kind;
+
+const TARGET: u64 = 100_000;
+const INTERVAL: u64 = 1_000;
+
+fn bench_capture(c: &mut Criterion) {
+    let mut g = c.benchmark_group("capture");
+    g.sample_size(10);
+    let scratch = std::env::temp_dir().join("wet-capture-bench");
+    for kind in [Kind::Gcc, Kind::Go] {
+        let w = wet_workloads::build(kind, TARGET);
+        let bl = BallLarus::new(&w.program);
+        let stmts = {
+            let mut builder = WetBuilder::new(&w.program, &bl, WetConfig::default());
+            Interp::new(&w.program, &bl, InterpConfig::default())
+                .run(&w.inputs, &mut builder)
+                .expect("run")
+                .stmts_executed
+        };
+        g.throughput(Throughput::Elements(stmts));
+        g.bench_with_input(BenchmarkId::new("plain_tier1", kind.name()), &w, |b, w| {
+            b.iter(|| {
+                let mut builder = WetBuilder::new(&w.program, &bl, WetConfig::default());
+                Interp::new(&w.program, &bl, InterpConfig::default())
+                    .run(black_box(&w.inputs), &mut builder)
+                    .expect("run");
+                builder.finish()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("segmented_spool", kind.name()), &w, |b, w| {
+            b.iter(|| {
+                let dir = scratch.join(kind.name());
+                let _ = std::fs::remove_dir_all(&dir);
+                let mut config = WetConfig::default();
+                config.capture.segment_interval = INTERVAL;
+                let mut cap = Capture::create(&w.program, &bl, config, &dir).expect("create");
+                Interp::new(&w.program, &bl, InterpConfig::default())
+                    .run(black_box(&w.inputs), &mut cap)
+                    .expect("run");
+                cap.finish().expect("finish")
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("seal", kind.name()), &w, |b, w| {
+            let dir = scratch.join(format!("{}-seal", kind.name()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut config = WetConfig::default();
+            config.capture.segment_interval = INTERVAL;
+            let mut cap = Capture::create(&w.program, &bl, config, &dir).expect("create");
+            Interp::new(&w.program, &bl, InterpConfig::default())
+                .run(&w.inputs, &mut cap)
+                .expect("run");
+            cap.finish().expect("finish");
+            b.iter(|| capture::seal(&w.program, &bl, black_box(&dir), 1).expect("seal"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_capture);
+criterion_main!(benches);

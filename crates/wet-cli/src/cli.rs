@@ -70,7 +70,9 @@ usage:
   wet slice <file.wet> --stmt N [--inputs 1,2,3] [--no-control]
   wet workload <name> [--target N] [--threads N] [--save out.wetz]
   wet info <file.wetz>
-  wet fsck <file.wetz> [--repair out.wetz]
+  wet capture <file.wet> --dir DIR [--inputs 1,2,3] [--budget N] [--interval N]
+  wet seal <DIR> -o out.wetz [--threads N] [--tier1]
+  wet fsck <file.wetz|DIR> [--repair out.wetz]
       names: go-like gcc-like li-like gzip-like mcf-like parser-like
              vortex-like bzip2-like twolf-like
       --threads N: worker threads for tier-2 compression
@@ -84,12 +86,30 @@ usage:
       fsck: verify every container section checksum and the decoded
             structure; --repair writes a salvaged copy keeping every
             section that verifies (lost label sequences are preserved
-            as explicit `unavailable` placeholders).
+            as explicit `unavailable` placeholders). On a capture DIR
+            it instead verifies the segment log (config, manifest,
+            per-segment checksums and chain continuity).
+      capture: crash-safe segmented tracing into DIR (a `.wetz.seg`
+            segment log; the program and inputs are stored inside it).
+            If DIR already holds an unfinished capture it is resumed:
+            sealed segments are recovered, any torn tail is discarded,
+            and tracing continues from the last durable checkpoint.
+            --interval N seals a segment every N timestamps (default
+            65536); --budget N bounds builder memory at ~N bytes,
+            shedding value detail (kept as `unavailable` streams)
+            under pressure. WET_CRASH_AT=N with WET_CRASH_MODE=kill or
+            torn:<seed> simulates a crash at the N-th durable write
+            (exit 4) for recovery drills.
+      seal: merge a finished capture DIR into a normal .wetz container
+            — byte-identical to `wet trace --save` of an uninterrupted
+            run (shed value streams excepted).
 exit codes:
   0  success (fsck: file is clean)
   2  usage error (bad flags, unknown command)
-  3  corrupt input (failed checksum, malformed or unparseable file)
-  4  I/O failure (missing, unreadable, or unwritable file)";
+  3  corrupt input (failed checksum, malformed or unparseable file;
+     seal: unfinished capture or a segment failing verification)
+  4  I/O failure (missing, unreadable, or unwritable file; capture:
+     a durable write failed or a simulated crash fired)";
 
 /// In `--profile=json|prom` mode the profile document owns stdout and
 /// the human-readable report moves to stderr.
@@ -135,6 +155,10 @@ struct Flags {
     save: Option<String>,
     repair: Option<String>,
     threads: usize,
+    dir: Option<String>,
+    out: Option<String>,
+    budget: u64,
+    interval: u64,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags> {
@@ -149,6 +173,10 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
         save: None,
         repair: None,
         threads: 1,
+        dir: None,
+        out: None,
+        budget: 0,
+        interval: wet_core::CaptureConfig::default().segment_interval,
     };
     let mut i = 0;
     while i < args.len() {
@@ -192,6 +220,22 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
                 i += 1;
                 f.threads = args.get(i).ok_or("--threads needs a value")?.parse()?;
             }
+            "--dir" => {
+                i += 1;
+                f.dir = Some(args.get(i).ok_or("--dir needs a path")?.clone());
+            }
+            "-o" | "--out" => {
+                i += 1;
+                f.out = Some(args.get(i).ok_or("-o needs a path")?.clone());
+            }
+            "--budget" => {
+                i += 1;
+                f.budget = args.get(i).ok_or("--budget needs a value")?.parse()?;
+            }
+            "--interval" => {
+                i += 1;
+                f.interval = args.get(i).ok_or("--interval needs a value")?.parse()?;
+            }
             other => return Err(format!("unknown flag `{other}`").into()),
         }
         i += 1;
@@ -223,6 +267,131 @@ fn trace(
         wet.compress();
     }
     Ok((wet, run))
+}
+
+/// Reads the `WET_CRASH_AT` / `WET_CRASH_MODE` crash-drill hook.
+fn crash_plan_from_env() -> Result<Option<wet_core::fault::CrashPlan>> {
+    use wet_core::fault::{CrashMode, CrashPlan};
+    let Ok(at) = std::env::var("WET_CRASH_AT") else {
+        return Ok(None);
+    };
+    let at_op: u64 = at.parse().map_err(|_| "WET_CRASH_AT must be a positive integer")?;
+    let mode = match std::env::var("WET_CRASH_MODE").ok().as_deref() {
+        None | Some("kill") => CrashMode::Kill,
+        Some(m) => match m.strip_prefix("torn:") {
+            Some(seed) => CrashMode::Torn {
+                seed: seed.parse().map_err(|_| "WET_CRASH_MODE torn seed must be an integer")?,
+            },
+            None => return Err(format!("unknown WET_CRASH_MODE `{m}` (kill | torn:<seed>)").into()),
+        },
+    };
+    Ok(Some(CrashPlan { at_op, mode }))
+}
+
+/// `wet capture`: crash-safe segmented tracing into a `.wetz.seg`
+/// directory, creating it or resuming an unfinished capture in place.
+fn cmd_capture(src: &str, dir: &std::path::Path, flags: &Flags) -> Result<()> {
+    use wet_core::capture::Capture;
+    let resuming = dir.join("capture.conf").exists();
+    let (text, inputs) = if resuming {
+        // The directory is self-contained: program and inputs come
+        // from the original `wet capture` invocation, so a resume
+        // re-executes exactly the run that crashed.
+        let text = std::fs::read_to_string(dir.join("program.wet"))
+            .map_err(|e| fail(EXIT_IO, format!("cannot read stored program: {e}")))?;
+        let raw = std::fs::read_to_string(dir.join("inputs"))
+            .map_err(|e| fail(EXIT_IO, format!("cannot read stored inputs: {e}")))?;
+        let inputs = raw
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| s.trim().parse::<i64>())
+            .collect::<std::result::Result<Vec<_>, _>>()
+            .map_err(|e| fail(EXIT_CORRUPT, format!("stored inputs malformed: {e}")))?;
+        (text, inputs)
+    } else {
+        // Pretty-print and reparse even for a fresh capture so this
+        // run and any future resume trace the identical program.
+        let text = pretty::program_to_string(&load(src)?);
+        std::fs::create_dir_all(dir).map_err(|e| fail(EXIT_IO, format!("cannot create {}: {e}", dir.display())))?;
+        let csv: Vec<String> = flags.inputs.iter().map(|v| v.to_string()).collect();
+        std::fs::write(dir.join("program.wet"), &text)
+            .and_then(|()| std::fs::write(dir.join("inputs"), csv.join(",")))
+            .map_err(|e| fail(EXIT_IO, format!("cannot populate {}: {e}", dir.display())))?;
+        (text, flags.inputs.clone())
+    };
+    let program = parse_program(&text)?;
+    let bl = BallLarus::new(&program);
+    let mut cap = if resuming {
+        Capture::resume(&program, &bl, dir)
+            .map_err(|e| io_fail(&format!("cannot resume {}", dir.display()), &e))?
+    } else {
+        let mut config = WetConfig::default();
+        config.capture.budget_bytes = flags.budget;
+        config.capture.segment_interval = flags.interval;
+        Capture::create(&program, &bl, config, dir)
+            .map_err(|e| io_fail(&format!("cannot create capture in {}", dir.display()), &e))?
+    };
+    if let Some(plan) = crash_plan_from_env()? {
+        cap.set_crash_plan(plan);
+    }
+    if resuming && cap.resume_ts() > 0 {
+        say!("resuming from checkpoint: {} segments, ts {}", cap.segments(), cap.resume_ts());
+    }
+    Interp::new(&program, &bl, InterpConfig::default()).run(&inputs, &mut cap)?;
+    let sum = cap.finish().map_err(|e| io_fail("capture failed", &e))?;
+    say!(
+        "captured: {} segments, peak ~{} B builder memory{}",
+        sum.segments,
+        sum.peak_bytes,
+        if sum.shed { " (value detail shed under budget)" } else { "" }
+    );
+    say!("seal with: wet seal {} -o out.wetz", dir.display());
+    Ok(())
+}
+
+/// `wet seal`: merge a finished capture directory into a `.wetz`.
+fn cmd_seal(dir: &std::path::Path, out: &str, flags: &Flags) -> Result<()> {
+    let text = std::fs::read_to_string(dir.join("program.wet"))
+        .map_err(|e| fail(EXIT_IO, format!("cannot read stored program: {e}")))?;
+    let program = parse_program(&text)?;
+    let bl = BallLarus::new(&program);
+    let mut wet = wet_core::capture::seal(&program, &bl, dir, flags.threads)
+        .map_err(|e| io_fail(&format!("cannot seal {}", dir.display()), &e))?;
+    if !flags.tier1 {
+        wet.compress();
+    }
+    let mut w = std::io::BufWriter::new(
+        std::fs::File::create(out).map_err(|e| fail(EXIT_IO, format!("cannot create {out}: {e}")))?,
+    );
+    wet.write_to(&mut w).map_err(|e| fail(EXIT_IO, format!("cannot write {out}: {e}")))?;
+    say!("sealed {} into {out}", dir.display());
+    Ok(())
+}
+
+/// `wet fsck` on a capture directory: verify the segment log.
+fn fsck_capture_dir(path: &str) -> Result<()> {
+    let report = wet_core::capture::fsck_dir(std::path::Path::new(path))
+        .map_err(|e| io_fail(&format!("cannot fsck {path}"), &e))?;
+    say!("fsck {path}: capture segment log");
+    say!("  config   : {}", if report.conf_ok { "ok" } else { "damaged" });
+    say!(
+        "  manifest : {}{}",
+        if report.manifest_ok { "ok" } else { "damaged" },
+        if report.finished { " (finished)" } else { "" }
+    );
+    say!("  segments : {} verified", report.segments_ok);
+    for p in &report.problems {
+        say!("  problem  : {p}");
+    }
+    wet_obs::counter_add("fsck.capture_segments_ok", "total", report.segments_ok);
+    wet_obs::counter_add("fsck.capture_problems", "total", report.problems.len() as u64);
+    if report.is_clean() {
+        say!("clean");
+        Ok(())
+    } else {
+        let problem = report.problems.first().cloned().unwrap_or_else(|| "corrupt".into());
+        Err(fail(EXIT_CORRUPT, format!("{path}: {problem}")))
+    }
 }
 
 /// Strips the global `--profile[=sink]` flag (accepted anywhere on the
@@ -386,6 +555,18 @@ fn dispatch_cmd(args: &[String]) -> Result<()> {
             save_if_requested(&wet, &flags)?;
             Ok(())
         }
+        "capture" => {
+            let path = rest.first().ok_or(USAGE)?;
+            let flags = parse_flags(&rest[1..])?;
+            let dir = flags.dir.clone().ok_or("capture requires --dir DIR")?;
+            cmd_capture(path, std::path::Path::new(&dir), &flags)
+        }
+        "seal" => {
+            let dir = rest.first().ok_or(USAGE)?;
+            let flags = parse_flags(&rest[1..])?;
+            let out = flags.out.clone().ok_or("seal requires -o out.wetz")?;
+            cmd_seal(std::path::Path::new(dir), &out, &flags)
+        }
         "info" => {
             let path = rest.first().ok_or(USAGE)?;
             let mut f = std::io::BufReader::new(
@@ -406,6 +587,9 @@ fn dispatch_cmd(args: &[String]) -> Result<()> {
         "fsck" => {
             let path = rest.first().ok_or(USAGE)?;
             let flags = parse_flags(&rest[1..])?;
+            if std::path::Path::new(path).is_dir() {
+                return fsck_capture_dir(path);
+            }
             let open = || {
                 std::fs::File::open(path)
                     .map(std::io::BufReader::new)
@@ -602,6 +786,53 @@ mod tests {
         assert_eq!(exit_code_of(e.as_ref()), EXIT_USAGE);
         let e = dispatch(&s(&["info", f])).unwrap_err();
         assert_eq!(exit_code_of(e.as_ref()), EXIT_CORRUPT, "a .wet source is corrupt input to info");
+    }
+
+    #[test]
+    fn capture_seal_crash_resume_roundtrip() {
+        let f = sample_file();
+        let f = f.to_str().unwrap();
+        let dir = std::env::temp_dir().join("wet-cli-tests");
+        let refz = dir.join("cap-ref.wetz");
+        let refz_s = refz.to_str().unwrap().to_string();
+        dispatch(&s(&["trace", f, "--inputs", "60", "--save", &refz_s])).expect("reference trace");
+
+        // Uninterrupted capture: the sealed container must be
+        // byte-identical to the plain `trace --save`.
+        let cdir = dir.join("cap.wetz.seg");
+        let _ = std::fs::remove_dir_all(&cdir);
+        let cdir_s = cdir.to_str().unwrap().to_string();
+        dispatch(&s(&["capture", f, "--dir", &cdir_s, "--inputs", "60", "--interval", "16"]))
+            .expect("capture");
+        dispatch(&s(&["fsck", &cdir_s])).expect("capture dir fsck is clean");
+        let out = dir.join("cap-sealed.wetz");
+        let out_s = out.to_str().unwrap().to_string();
+        dispatch(&s(&["seal", &cdir_s, "-o", &out_s])).expect("seal");
+        assert_eq!(std::fs::read(&out).unwrap(), std::fs::read(&refz).unwrap());
+        dispatch(&s(&["fsck", &out_s])).expect("sealed container fsck is clean");
+
+        // Crash drill via the env hook: the capture dies at the third
+        // durable write with a torn tail, resumes, and re-seals to the
+        // same bytes.
+        let cdir2 = dir.join("cap-crash.wetz.seg");
+        let _ = std::fs::remove_dir_all(&cdir2);
+        let cdir2_s = cdir2.to_str().unwrap().to_string();
+        std::env::set_var("WET_CRASH_AT", "3");
+        std::env::set_var("WET_CRASH_MODE", "torn:99");
+        let e = dispatch(&s(&["capture", f, "--dir", &cdir2_s, "--inputs", "60", "--interval", "16"]))
+            .unwrap_err();
+        std::env::remove_var("WET_CRASH_AT");
+        std::env::remove_var("WET_CRASH_MODE");
+        assert_eq!(exit_code_of(e.as_ref()), EXIT_IO, "simulated crash is an I/O failure");
+        let e = dispatch(&s(&["seal", &cdir2_s, "-o", &out_s])).unwrap_err();
+        assert_eq!(exit_code_of(e.as_ref()), EXIT_CORRUPT, "an unfinished capture must not seal");
+        dispatch(&s(&["capture", f, "--dir", &cdir2_s])).expect("resume");
+        dispatch(&s(&["seal", &cdir2_s, "-o", &out_s, "--threads", "2"])).expect("seal resumed");
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            std::fs::read(&refz).unwrap(),
+            "resumed capture seals byte-identical to the uninterrupted run"
+        );
     }
 
     #[test]

@@ -23,30 +23,65 @@ use wet_ir::{BlockId, FuncId, Program, StmtId, StmtPos};
 
 /// Identity of a non-local edge: `(src node, src stmt, dst node,
 /// dst stmt, slot)`.
-type EdgeKey = (NodeId, StmtId, NodeId, StmtId, u8);
+pub(crate) type EdgeKey = (NodeId, StmtId, NodeId, StmtId, u8);
+
+/// Identity of an intra-node edge: `(node, dst stmt, slot, src stmt)`.
+pub(crate) type IntraKey = (NodeId, StmtId, u8, StmtId);
 
 /// Accumulates executions of one intra-node edge.
+///
+/// `flushed` is the watermark of instances already emitted into sealed
+/// capture segments; [`IntraAcc::take_unflushed`] drains only what came
+/// after it, so segmented flushing never double-emits an instance while
+/// the contiguity test (`Contiguous(c)` with `c == n_execs`) still sees
+/// the whole history.
 #[derive(Debug, Clone)]
-enum IntraAcc {
+struct IntraAcc {
+    flushed: u32,
+    state: IntraState,
+}
+
+#[derive(Debug, Clone)]
+enum IntraState {
     /// Instances seen so far are exactly `0..count`.
     Contiguous(u32),
-    /// Arbitrary instance list (after the first gap).
+    /// Unflushed instances after the first gap, in arrival order.
     Sparse(Vec<u32>),
 }
 
 impl IntraAcc {
+    fn new() -> Self {
+        IntraAcc { flushed: 0, state: IntraState::Contiguous(0) }
+    }
+
     fn push(&mut self, k: u32) {
-        match self {
-            IntraAcc::Contiguous(c) => {
+        match &mut self.state {
+            IntraState::Contiguous(c) => {
                 if k == *c {
                     *c += 1;
                 } else {
-                    let mut v: Vec<u32> = (0..*c).collect();
+                    let mut v: Vec<u32> = (self.flushed..*c).collect();
                     v.push(k);
-                    *self = IntraAcc::Sparse(v);
+                    self.state = IntraState::Sparse(v);
                 }
             }
-            IntraAcc::Sparse(v) => v.push(k),
+            IntraState::Sparse(v) => v.push(k),
+        }
+    }
+
+    /// Drains instances not yet flushed into a sealed segment.
+    fn take_unflushed(&mut self) -> Vec<u32> {
+        match &mut self.state {
+            IntraState::Contiguous(c) => {
+                let out: Vec<u32> = (self.flushed..*c).collect();
+                self.flushed = *c;
+                out
+            }
+            IntraState::Sparse(v) => {
+                let out = std::mem::take(v);
+                self.flushed += out.len() as u32;
+                out
+            }
         }
     }
 }
@@ -87,7 +122,7 @@ pub struct WetBuilder<'p> {
     ts_map: Vec<(u32, u32)>,
     buf: PathBuffer,
     /// Intra-node edge instances: `(node, dst, slot, src)`.
-    intra: HashMap<(NodeId, StmtId, u8, StmtId), IntraAcc>,
+    intra: HashMap<IntraKey, IntraAcc>,
     /// Non-local edge instances keyed by edge identity.
     nonlocal: HashMap<EdgeKey, Vec<(u64, u64)>>,
     prev_node: Option<NodeId>,
@@ -100,6 +135,49 @@ pub struct WetBuilder<'p> {
     dyn_mem_deps: u64,
     orig_cd_stmt_deps: u64,
     block_cd_deps: u64,
+    // --- Segmented-capture support (unused by plain builds). ---
+    /// Record per-def values? Cleared when the capture layer sheds
+    /// value-profile detail under budget pressure.
+    record_values: bool,
+    /// CF pairs inserted since the last flush, in insertion order.
+    cf_new: Vec<(NodeId, NodeId)>,
+    /// Nodes already described by a flushed segment.
+    nodes_flushed: usize,
+    /// Timestamps already flushed (= `ts_map` prefix length).
+    flushed_ts: u64,
+    /// Counter snapshot at the last flush, in [`Self::stat_vec`] order.
+    flushed_stats: [u64; 8],
+    /// Estimated heap bytes buffered since the last flush (released by
+    /// [`Self::take_delta`]).
+    buffered: u64,
+    /// Estimated heap bytes of carry-over state a flush cannot release
+    /// (node skeletons + the `ts_map` spine).
+    carry: u64,
+}
+
+/// Everything one capture segment records: the builder-state delta
+/// between two flush points. Serialized by `capture` into a sealed
+/// segment file and replayed (in segment order) through
+/// [`WetBuilder::absorb_delta`] on resume and at seal.
+pub(crate) struct SegmentDelta {
+    /// First timestamp covered (timestamps are dense, 1-based).
+    pub(crate) start_ts: u64,
+    /// Value detail was shed for this segment.
+    pub(crate) shed: bool,
+    /// Executed node per timestamp in `start_ts..start_ts + len`.
+    pub(crate) node_by_ts: Vec<u32>,
+    /// Nodes first executed in this segment, in creation order.
+    pub(crate) new_nodes: Vec<(FuncId, u64)>,
+    /// New per-def value suffixes, by node id (ascending).
+    pub(crate) values: Vec<(u32, Vec<Vec<u64>>)>,
+    /// New intra-edge instances, by key (ascending).
+    pub(crate) intra: Vec<(IntraKey, Vec<u32>)>,
+    /// New non-local label pairs, by key (ascending), in ts order.
+    pub(crate) nonlocal: Vec<(EdgeKey, Vec<(u64, u64)>)>,
+    /// CF pairs first observed in this segment, in insertion order.
+    pub(crate) cf: Vec<(NodeId, NodeId)>,
+    /// Counter deltas in [`WetBuilder::stat_vec`] order.
+    pub(crate) stats: [u64; 8],
 }
 
 impl<'p> WetBuilder<'p> {
@@ -125,6 +203,186 @@ impl<'p> WetBuilder<'p> {
             dyn_mem_deps: 0,
             orig_cd_stmt_deps: 0,
             block_cd_deps: 0,
+            record_values: true,
+            cf_new: Vec::new(),
+            nodes_flushed: 0,
+            flushed_ts: 0,
+            flushed_stats: [0; 8],
+            buffered: 0,
+            carry: 0,
+        }
+    }
+
+    /// Flush-relevant counters as one vector (order is part of the
+    /// segment format): blocks, stmts, paths, def execs, op deps, mem
+    /// deps, original CD stmt deps, block CD deps.
+    fn stat_vec(&self) -> [u64; 8] {
+        [
+            self.stats.blocks_executed,
+            self.stats.stmts_executed,
+            self.stats.paths_executed,
+            self.def_execs,
+            self.dyn_op_deps,
+            self.dyn_mem_deps,
+            self.orig_cd_stmt_deps,
+            self.block_cd_deps,
+        ]
+    }
+
+    fn add_stats(&mut self, d: &[u64; 8]) {
+        self.stats.blocks_executed += d[0];
+        self.stats.stmts_executed += d[1];
+        self.stats.paths_executed += d[2];
+        self.def_execs += d[3];
+        self.dyn_op_deps += d[4];
+        self.dyn_mem_deps += d[5];
+        self.orig_cd_stmt_deps += d[6];
+        self.block_cd_deps += d[7];
+    }
+
+    /// Stops (or resumes) recording per-def values. The capture layer
+    /// clears this when shedding value detail under budget pressure.
+    pub fn set_record_values(&mut self, on: bool) {
+        self.record_values = on;
+    }
+
+    /// Estimated heap bytes buffered since the last flush.
+    pub fn buffered_bytes(&self) -> u64 {
+        self.buffered
+    }
+
+    /// Estimated heap bytes of unflushable carry-over state.
+    pub fn carry_bytes(&self) -> u64 {
+        self.carry
+    }
+
+    /// Drains everything recorded since the last flush into a
+    /// [`SegmentDelta`], releasing the buffered memory. The builder
+    /// remains live and keeps accumulating; only `finish` is off the
+    /// table after the first flush (seal reconstructs a fresh builder
+    /// from the segments instead).
+    pub(crate) fn take_delta(&mut self) -> SegmentDelta {
+        let start_ts = self.flushed_ts + 1;
+        let node_by_ts: Vec<u32> =
+            self.ts_map[self.flushed_ts as usize..].iter().map(|&(n, _)| n).collect();
+        self.flushed_ts = self.ts_map.len() as u64;
+
+        let new_nodes: Vec<(FuncId, u64)> =
+            self.nodes[self.nodes_flushed..].iter().map(|n| (n.func, n.path_id)).collect();
+        self.nodes_flushed = self.nodes.len();
+
+        let mut values: Vec<(u32, Vec<Vec<u64>>)> = Vec::new();
+        for (i, acc) in self.accs.iter_mut().enumerate() {
+            // `acc.ts` is never read by the segmented path (timestamps
+            // live in `node_by_ts`); drop it to release memory.
+            drop(std::mem::take(&mut acc.ts));
+            if acc.values.iter().any(|v| !v.is_empty()) {
+                values.push((i as u32, acc.values.iter_mut().map(std::mem::take).collect()));
+            }
+        }
+
+        let mut intra: Vec<(IntraKey, Vec<u32>)> = self
+            .intra
+            .iter_mut()
+            .filter_map(|(k, acc)| {
+                let ks = acc.take_unflushed();
+                if ks.is_empty() { None } else { Some((*k, ks)) }
+            })
+            .collect();
+        intra.sort_by_key(|&(k, _)| k);
+
+        let mut nonlocal: Vec<(EdgeKey, Vec<(u64, u64)>)> =
+            std::mem::take(&mut self.nonlocal).into_iter().collect();
+        nonlocal.sort_by_key(|&(k, _)| k);
+
+        let cf = std::mem::take(&mut self.cf_new);
+
+        let cur = self.stat_vec();
+        let mut stats = [0u64; 8];
+        for i in 0..8 {
+            stats[i] = cur[i] - self.flushed_stats[i];
+        }
+        self.flushed_stats = cur;
+        self.buffered = 0;
+
+        SegmentDelta {
+            start_ts,
+            shed: !self.record_values,
+            node_by_ts,
+            new_nodes,
+            values,
+            intra,
+            nonlocal,
+            cf,
+            stats,
+        }
+    }
+
+    /// Replays one segment's delta, in segment order. With
+    /// `data = false` (resume) only the carry-over frontier is rebuilt
+    /// — node registry, execution counts, `ts_map`, CF sets, intra
+    /// watermarks — and everything replayed is immediately marked
+    /// flushed so a later flush never re-emits it. With `data = true`
+    /// (seal) the full label data is restored so `finish` produces the
+    /// same WET as an uninterrupted build.
+    pub(crate) fn absorb_delta(&mut self, d: &SegmentDelta, data: bool) {
+        for &(func, path_id) in &d.new_nodes {
+            self.get_or_create_node(func, path_id);
+        }
+        for (i, &n) in d.node_by_ts.iter().enumerate() {
+            let ts = d.start_ts + i as u64;
+            let node_id = NodeId(n);
+            let node = &mut self.nodes[node_id.index()];
+            if node.n_execs == 0 {
+                node.ts_first = ts;
+            }
+            node.ts_last = ts;
+            let k = node.n_execs;
+            node.n_execs += 1;
+            debug_assert_eq!(self.ts_map.len() as u64 + 1, ts, "segment timestamps must be dense");
+            self.ts_map.push((n, k));
+            // Keep the carry estimate identical to the run that wrote
+            // the segment, so resumed shed decisions replay exactly.
+            self.carry += 8;
+            if data {
+                self.accs[node_id.index()].ts.push(ts);
+            }
+            if self.first.is_none() {
+                self.first = Some((node_id, ts));
+            }
+            self.last = (node_id, ts);
+            self.prev_node = Some(node_id);
+        }
+        for &(a, b) in &d.cf {
+            self.accs[a.index()].cf_succs.insert(b);
+            self.accs[b.index()].cf_preds.insert(a);
+        }
+        self.add_stats(&d.stats);
+        for (key, ks) in &d.intra {
+            let acc = self.intra.entry(*key).or_insert_with(IntraAcc::new);
+            for &k in ks {
+                acc.push(k);
+            }
+            if !data {
+                acc.take_unflushed();
+            }
+        }
+        if data {
+            for (n, vals) in &d.values {
+                let acc = &mut self.accs[NodeId(*n).index()];
+                debug_assert_eq!(acc.values.len(), vals.len());
+                for (vi, v) in vals.iter().enumerate() {
+                    acc.values[vi].extend_from_slice(v);
+                }
+            }
+            for (key, pairs) in &d.nonlocal {
+                self.nonlocal.entry(*key).or_default().extend_from_slice(pairs);
+            }
+        } else {
+            self.nodes_flushed = self.nodes.len();
+            self.flushed_ts = self.ts_map.len() as u64;
+            self.flushed_stats = self.stat_vec();
+            self.buffered = 0;
         }
     }
 
@@ -164,6 +422,10 @@ impl<'p> WetBuilder<'p> {
                 stmts.push(NodeStmt { id: t.id, block_idx: bi as u16, has_def: false, group: u32::MAX, member: 0 });
             }
         }
+        // Skeletons survive every flush: account them as carry-over
+        // (rough per-entry heap costs; the budget is an engineering
+        // bound, not an exact allocator measurement).
+        self.carry += 128 + 48 * stmts.len() as u64 + 8 * blocks.len() as u64;
         self.nodes.push(Node {
             func,
             path_id,
@@ -195,9 +457,10 @@ impl<'p> WetBuilder<'p> {
         if p.ts == ts {
             // Intra-node: src executed in the same path execution.
             debug_assert!(self.nodes[dst_node.index()].stmt_pos(p.stmt).is_some());
+            self.buffered += 4;
             self.intra
                 .entry((dst_node, dst_stmt, slot, p.stmt))
-                .or_insert(IntraAcc::Contiguous(0))
+                .or_insert_with(IntraAcc::new)
                 .push(k);
         } else {
             debug_assert!(p.ts < ts);
@@ -208,6 +471,7 @@ impl<'p> WetBuilder<'p> {
                 TsMode::Local => (k as u64, sk as u64),
                 TsMode::Global => (ts, p.ts),
             };
+            self.buffered += 16;
             self.nonlocal
                 .entry((src_node, p.stmt, dst_node, dst_stmt, slot))
                 .or_default()
@@ -251,20 +515,23 @@ impl<'p> WetBuilder<'p> {
         // Intra edges: infer complete ones away.
         let span_intra = wet_obs::span!("build.finish.infer_intra_edges");
         let mut t1_edges = 0u64;
-        let mut intra_map: HashMap<(NodeId, StmtId, u8, StmtId), IntraAcc> = std::mem::take(&mut self.intra);
+        let mut intra_map: HashMap<IntraKey, IntraAcc> = std::mem::take(&mut self.intra);
         let mut intra_sorted: Vec<_> = intra_map.drain().collect();
         intra_sorted.sort_by_key(|((n, d, s, src), _)| (*n, *d, *s, *src));
         for ((node_id, dst, slot, src), acc) in intra_sorted {
+            // Only never-flushed builders reach `finish` (plain builds,
+            // and seal builders whose absorbed deltas were re-pushed).
+            debug_assert_eq!(acc.flushed, 0, "finish after a segment flush loses data");
             let n_execs = self.nodes[node_id.index()].n_execs;
-            let complete = matches!(acc, IntraAcc::Contiguous(c) if c == n_execs);
+            let complete = matches!(acc.state, IntraState::Contiguous(c) if c == n_execs);
             let infer = self.config.infer_local_edges && complete;
             let ie = if infer {
                 self.stats.inferred_edges += 1;
                 IntraEdge { src, complete: true, ks: None }
             } else {
-                let ks: Vec<u64> = match acc {
-                    IntraAcc::Contiguous(c) => (0..c as u64).collect(),
-                    IntraAcc::Sparse(v) => v.into_iter().map(u64::from).collect(),
+                let ks: Vec<u64> = match acc.state {
+                    IntraState::Contiguous(c) => (0..c as u64).collect(),
+                    IntraState::Sparse(v) => v.into_iter().map(u64::from).collect(),
                 };
                 t1_edges += 16 * ks.len() as u64;
                 IntraEdge { src, complete: false, ks: Some(Seq::Raw(ks)) }
@@ -408,8 +675,11 @@ impl TraceSink for WetBuilder<'_> {
         };
         debug_assert_eq!(self.ts_map.len() as u64, ts - 1, "timestamps must be dense");
         self.ts_map.push((node_id.0, k));
+        self.buffered += 8; // acc.ts entry
+        self.carry += 8; // ts_map entry (never flushed)
 
-        // Values: append each def statement's value in node order.
+        // Values: append each def statement's value in node order
+        // (skipped entirely once the capture layer sheds value detail).
         let stmts = std::mem::take(&mut self.buf.stmts);
         {
             let node = &self.nodes[node_id.index()];
@@ -420,13 +690,16 @@ impl TraceSink for WetBuilder<'_> {
                 func,
                 path_id
             );
-            let acc = &mut self.accs[node_id.index()];
-            let mut def_i = 0usize;
-            for (ev, ns) in stmts.iter().zip(&node.stmts) {
-                debug_assert_eq!(ev.stmt, ns.id);
-                if let Some(v) = ev.value {
-                    acc.values[def_i].push(v as u64);
-                    def_i += 1;
+            if self.record_values {
+                let acc = &mut self.accs[node_id.index()];
+                let mut def_i = 0usize;
+                for (ev, ns) in stmts.iter().zip(&node.stmts) {
+                    debug_assert_eq!(ev.stmt, ns.id);
+                    if let Some(v) = ev.value {
+                        acc.values[def_i].push(v as u64);
+                        def_i += 1;
+                        self.buffered += 8;
+                    }
                 }
             }
         }
@@ -458,7 +731,10 @@ impl TraceSink for WetBuilder<'_> {
 
         // Control-flow edges between consecutively executed nodes.
         if let Some(prev) = self.prev_node {
-            self.accs[prev.index()].cf_succs.insert(node_id);
+            if self.accs[prev.index()].cf_succs.insert(node_id) {
+                self.cf_new.push((prev, node_id));
+                self.buffered += 16;
+            }
             self.accs[node_id.index()].cf_preds.insert(prev);
         }
         self.prev_node = Some(node_id);
@@ -586,6 +862,27 @@ fn build_groups(program: &Program, node: &mut Node, raw_values: Vec<Vec<u64>>, g
         let pos = def_positions[di];
         node.stmts[pos].group = dg;
         node.stmts[pos].member = m;
+    }
+
+    // Shed captures stop recording values mid-stream, leaving value
+    // vectors shorter than the execution count. Such nodes keep their
+    // (value-independent) group/member assignment but publish every
+    // stream as `Seq::Unavailable`, the same first-class placeholder
+    // the salvage path uses — degraded queries and fsck then apply
+    // unchanged.
+    if raw_values.iter().any(|v| v.len() != n_execs) {
+        node.groups = members
+            .iter()
+            .map(|mlist| {
+                wet_obs::counter_add("tier1.groups", "shed", 1);
+                Group {
+                    pattern: None,
+                    uvals: mlist.iter().map(|_| Seq::Unavailable(n_execs as u64)).collect(),
+                    n_uvals: n_execs as u32,
+                }
+            })
+            .collect();
+        return 0;
     }
 
     // --- Patterns: dedupe member value tuples per execution. ---

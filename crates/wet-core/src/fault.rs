@@ -51,6 +51,34 @@ impl FaultRng {
     }
 }
 
+/// A simulated crash point for the segmented-capture harness
+/// ([`crate::capture`]). Durable writes (segment files and manifest
+/// replacements) are numbered from 1 in the order a capture performs
+/// them; the plan makes the `at_op`-th one fail the way a power loss
+/// would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// 1-based index of the durable write that never completes. Writes
+    /// `1..at_op` land durably; the capture dies at `at_op`.
+    pub at_op: u64,
+    /// What the interrupted write leaves on disk.
+    pub mode: CrashMode,
+}
+
+/// How a crashed durable write manifests on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Nothing lands: the process dies just before the write.
+    Kill,
+    /// A torn write: a seeded-length prefix of the bytes lands (for a
+    /// manifest replacement, the torn temp file is still renamed into
+    /// place — the worst case a non-fsynced rename permits).
+    Torn {
+        /// Seed for the prefix-length choice.
+        seed: u64,
+    },
+}
+
 /// Flips one random bit anywhere in the image.
 pub fn bit_flip(bytes: &[u8], rng: &mut FaultRng) -> (String, Vec<u8>) {
     let mut m = bytes.to_vec();

@@ -50,6 +50,31 @@ pub enum TsMode {
     Local,
 }
 
+/// Crash-safe segmented capture knobs ([`crate::capture`]).
+///
+/// Like `stream.num_threads`, these are execution knobs, not data: they
+/// are never serialized into `.wetz` containers (sealed output must be
+/// byte-identical regardless of how the capture was segmented), but
+/// they *are* recorded in a capture directory's manifest so a resumed
+/// capture replays the exact same flush/shed schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaptureConfig {
+    /// Soft memory budget for the in-progress trace, in bytes.
+    /// `0` means unlimited. The capture flushes a segment once roughly
+    /// half the budget is buffered, and starts shedding value-profile
+    /// detail (sticky) when the unflushable carry-over state alone
+    /// approaches the budget.
+    pub budget_bytes: u64,
+    /// Seal a segment at least every this many timestamps.
+    pub segment_interval: u64,
+}
+
+impl Default for CaptureConfig {
+    fn default() -> Self {
+        CaptureConfig { budget_bytes: 0, segment_interval: 1 << 16 }
+    }
+}
+
 /// WET construction options.
 #[derive(Debug, Clone)]
 pub struct WetConfig {
@@ -64,6 +89,9 @@ pub struct WetConfig {
     pub infer_local_edges: bool,
     /// Enable §3.3 label-sequence sharing.
     pub share_edge_labels: bool,
+    /// Segmented-capture policy (only consulted by [`crate::capture`];
+    /// never serialized into `.wetz` files).
+    pub capture: CaptureConfig,
 }
 
 impl Default for WetConfig {
@@ -74,6 +102,7 @@ impl Default for WetConfig {
             group_values: true,
             infer_local_edges: true,
             share_edge_labels: true,
+            capture: CaptureConfig::default(),
         }
     }
 }

@@ -61,6 +61,7 @@
 //! # }
 //! ```
 
+pub mod capture;
 pub mod crc;
 pub mod dump;
 pub mod fault;
@@ -75,9 +76,10 @@ mod seq;
 mod sizes;
 
 pub use build::WetBuilder;
+pub use capture::{Capture, CaptureFsck, CaptureSummary};
 pub use graph::{
-    Edge, Group, IntraEdge, LabelSeq, Node, NodeId, NodeStmt, TsMode, Wet, WetConfig, SLOT_CD, SLOT_MEM, SLOT_OP0,
-    SLOT_OP1,
+    CaptureConfig, Edge, Group, IntraEdge, LabelSeq, Node, NodeId, NodeStmt, TsMode, Wet, WetConfig, SLOT_CD,
+    SLOT_MEM, SLOT_OP0, SLOT_OP1,
 };
 pub use salvage::{FsckReport, SectionReport, SectionStatus};
 pub use seq::Seq;

@@ -81,7 +81,12 @@ where
                     let mut batch: Vec<(usize, &mut T)> = Vec::with_capacity(chunk);
                     loop {
                         {
-                            let mut q = queue.lock().unwrap();
+                            // A poisoned queue only means another worker
+                            // panicked; the slice iterator holds no
+                            // invariant a panic could break, so keep
+                            // draining — the original panic is the one
+                            // re-raised at pool join.
+                            let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
                             batch.extend(q.by_ref().take(chunk));
                         }
                         if batch.is_empty() {
@@ -156,7 +161,9 @@ where
                     let mut batch: Vec<(usize, &T)> = Vec::with_capacity(chunk);
                     loop {
                         {
-                            let mut q = queue.lock().unwrap();
+                            // See map_mut: ignore poisoning so the first
+                            // panic, not a PoisonError, reaches the caller.
+                            let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
                             batch.extend(q.by_ref().take(chunk));
                         }
                         if batch.is_empty() {
@@ -254,6 +261,21 @@ mod tests {
         assert!(effective_threads(0) >= 1);
         assert_eq!(effective_threads(1), 1);
         assert_eq!(effective_threads(7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "kaboom")]
+    fn map_mut_worker_panics_propagate() {
+        // The panicking worker dies with a claimed batch; the others
+        // must drain the rest and the pool must re-raise the original
+        // panic at join — not deadlock, and not a PoisonError.
+        let mut items: Vec<u32> = (0..256).collect();
+        map_mut(8, &mut items, |_, v| {
+            if *v == 200 {
+                panic!("kaboom");
+            }
+            *v
+        });
     }
 
     #[test]

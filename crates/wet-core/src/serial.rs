@@ -77,7 +77,7 @@ const MAX_SECTION: u64 = 1 << 34;
 /// the file (plus one chunk).
 const CHUNK: usize = 64 * 1024;
 
-fn corrupt(msg: &str) -> io::Error {
+pub(crate) fn corrupt(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
@@ -85,7 +85,7 @@ fn corrupt(msg: &str) -> io::Error {
 /// the section, given a lower bound on the encoded size of one element.
 /// Every `Vec::with_capacity` in the parser goes through this, so no
 /// allocation is attacker-controlled.
-fn cap_count(n: usize, remaining: usize, min_bytes: usize, what: &str) -> io::Result<usize> {
+pub(crate) fn cap_count(n: usize, remaining: usize, min_bytes: usize, what: &str) -> io::Result<usize> {
     if n > remaining / min_bytes {
         return Err(corrupt(&format!("{what} count exceeds remaining input")));
     }
@@ -172,7 +172,7 @@ fn r_string(r: &mut impl Read) -> io::Result<String> {
 // Section framing.
 // ---------------------------------------------------------------------
 
-fn w_section(w: &mut impl Write, tag: [u8; 4], payload: &[u8]) -> io::Result<()> {
+pub(crate) fn w_section(w: &mut impl Write, tag: [u8; 4], payload: &[u8]) -> io::Result<()> {
     let len = (payload.len() as u64).to_le_bytes();
     let mut c = Crc32::new();
     c.update(&tag);
@@ -199,20 +199,33 @@ fn read_full(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
     Ok(n)
 }
 
-struct ScanEntry {
-    tag: [u8; 4],
-    len: u64,
-    status: SectionStatus,
+pub(crate) struct ScanEntry {
+    pub(crate) tag: [u8; 4],
+    pub(crate) len: u64,
+    pub(crate) status: SectionStatus,
 }
 
-struct Scan {
-    entries: Vec<ScanEntry>,
+pub(crate) struct Scan {
+    pub(crate) entries: Vec<ScanEntry>,
     /// CRC-verified payloads, first occurrence per tag.
-    payloads: HashMap<[u8; 4], Vec<u8>>,
+    pub(crate) payloads: HashMap<[u8; 4], Vec<u8>>,
     /// Section count from a verified `ENDW` trailer.
-    trailer: Option<u64>,
-    saw_trailer: bool,
-    trailing_garbage: bool,
+    pub(crate) trailer: Option<u64>,
+    pub(crate) saw_trailer: bool,
+    pub(crate) trailing_garbage: bool,
+}
+
+impl Scan {
+    /// True when every section verified, the trailer is present and
+    /// agrees with the section count, and nothing follows it — the
+    /// "this file was completely and durably written" test the capture
+    /// segment log applies to each sealed segment.
+    pub(crate) fn is_intact(&self) -> bool {
+        self.saw_trailer
+            && !self.trailing_garbage
+            && self.entries.iter().all(|e| e.status.is_ok())
+            && self.trailer == Some(self.entries.len() as u64 - 1)
+    }
 }
 
 /// Walks the section stream after the version byte. Never allocates
@@ -220,7 +233,7 @@ struct Scan {
 /// [`CHUNK`]-sized steps and implausible length prefixes stop the scan
 /// before any payload read. I/O errors other than EOF propagate; damage
 /// is recorded per section instead of failing the scan.
-fn scan_sections(r: &mut impl Read) -> io::Result<Scan> {
+pub(crate) fn scan_sections(r: &mut impl Read) -> io::Result<Scan> {
     let mut scan = Scan {
         entries: Vec::new(),
         payloads: HashMap::new(),
@@ -358,23 +371,31 @@ pub fn section_spans(bytes: &[u8]) -> io::Result<Vec<SectionSpan>> {
 // Section payload codecs.
 // ---------------------------------------------------------------------
 
-fn write_conf(wet: &Wet) -> io::Result<Vec<u8>> {
+/// Serializes a build configuration + tier flag in the `CONF` payload
+/// layout. Shared with the capture manifest writer, which records the
+/// capturing configuration so resumed runs and `seal` reconstruct the
+/// exact same WET.
+pub(crate) fn write_conf_parts(config: &WetConfig, tier2: bool) -> io::Result<Vec<u8>> {
     let mut w = Vec::new();
-    w_u8(&mut w, matches!(wet.config.ts_mode, TsMode::Global) as u8)?;
-    w_u32(&mut w, wet.config.stream.table_bits_max)?;
-    w_u64(&mut w, wet.config.stream.trial_len as u64)?;
-    w_u32(&mut w, wet.config.stream.candidates.len() as u32)?;
-    for &m in &wet.config.stream.candidates {
+    w_u8(&mut w, matches!(config.ts_mode, TsMode::Global) as u8)?;
+    w_u32(&mut w, config.stream.table_bits_max)?;
+    w_u64(&mut w, config.stream.trial_len as u64)?;
+    w_u32(&mut w, config.stream.candidates.len() as u32)?;
+    for &m in &config.stream.candidates {
         w_method(&mut w, m)?;
     }
-    w_u8(&mut w, wet.config.group_values as u8)?;
-    w_u8(&mut w, wet.config.infer_local_edges as u8)?;
-    w_u8(&mut w, wet.config.share_edge_labels as u8)?;
-    w_u8(&mut w, wet.tier2 as u8)?;
+    w_u8(&mut w, config.group_values as u8)?;
+    w_u8(&mut w, config.infer_local_edges as u8)?;
+    w_u8(&mut w, config.share_edge_labels as u8)?;
+    w_u8(&mut w, tier2 as u8)?;
     Ok(w)
 }
 
-fn parse_conf(p: &[u8]) -> io::Result<(WetConfig, bool)> {
+fn write_conf(wet: &Wet) -> io::Result<Vec<u8>> {
+    write_conf_parts(&wet.config, wet.tier2)
+}
+
+pub(crate) fn parse_conf(p: &[u8]) -> io::Result<(WetConfig, bool)> {
     let r = &mut &*p;
     let ts_mode = if r_u8(r)? == 1 { TsMode::Global } else { TsMode::Local };
     let table_bits_max = r_u32(r)?;
@@ -391,15 +412,17 @@ fn parse_conf(p: &[u8]) -> io::Result<(WetConfig, bool)> {
     if !r.is_empty() {
         return Err(corrupt("trailing bytes in CONF"));
     }
-    // `num_threads` is an execution knob, not data: it is deliberately
-    // not part of the format (files must be byte-identical across
-    // thread counts), so reading resets it to the default.
+    // `num_threads` and the capture policy are execution knobs, not
+    // data: they are deliberately not part of the format (files must be
+    // byte-identical across thread counts and capture segmentations),
+    // so reading resets them to the defaults.
     let config = WetConfig {
         ts_mode,
         stream: StreamConfig { table_bits_max, trial_len, candidates, ..Default::default() },
         group_values,
         infer_local_edges,
         share_edge_labels,
+        capture: Default::default(),
     };
     Ok((config, tier2))
 }
@@ -1233,6 +1256,7 @@ fn read_v1(r: &mut impl Read) -> io::Result<Wet> {
         group_values,
         infer_local_edges,
         share_edge_labels,
+        capture: Default::default(),
     };
 
     let n_nodes = r_u64(r)? as usize;

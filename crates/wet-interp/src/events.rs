@@ -85,6 +85,14 @@ pub trait TraceSink {
     /// The current path execution ends with the given Ball–Larus path
     /// id in `func`.
     fn on_path_end(&mut self, _func: FuncId, _path_id: u64, _ts: u64) {}
+    /// Timestamp up to (and including) which this sink has already seen
+    /// the trace. The interpreter re-executes deterministically but
+    /// suppresses event delivery for path executions with
+    /// `ts <= fast_forward_until()` — how a resumed capture replays up
+    /// to its last durable checkpoint without re-recording it.
+    fn fast_forward_until(&self) -> u64 {
+        0
+    }
 }
 
 /// A sink that discards everything (useful for timing pure execution).
@@ -111,6 +119,10 @@ impl<A: TraceSink, B: TraceSink> TraceSink for (A, B) {
         self.0.on_path_end(func, path_id, ts);
         self.1.on_path_end(func, path_id, ts);
     }
+    fn fast_forward_until(&self) -> u64 {
+        // Deliver once any component still needs events.
+        self.0.fast_forward_until().min(self.1.fast_forward_until())
+    }
 }
 
 impl<S: TraceSink + ?Sized> TraceSink for &mut S {
@@ -125,5 +137,8 @@ impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     }
     fn on_path_end(&mut self, func: FuncId, path_id: u64, ts: u64) {
         (**self).on_path_end(func, path_id, ts);
+    }
+    fn fast_forward_until(&self) -> u64 {
+        (**self).fast_forward_until()
     }
 }

@@ -195,6 +195,38 @@ impl<'p> Interp<'p> {
     }
 }
 
+/// Suppresses event delivery for path executions at or before `until`,
+/// implementing [`TraceSink::fast_forward_until`]: the interpreter
+/// re-executes deterministically (all state updates still happen) while
+/// the sink only sees the suffix it has not recorded yet.
+struct FastForward<S> {
+    inner: S,
+    until: u64,
+}
+
+impl<S: TraceSink> TraceSink for FastForward<S> {
+    fn on_path_start(&mut self, ts: u64) {
+        if ts > self.until {
+            self.inner.on_path_start(ts);
+        }
+    }
+    fn on_block(&mut self, ev: &BlockEvent) {
+        if ev.ts > self.until {
+            self.inner.on_block(ev);
+        }
+    }
+    fn on_stmt(&mut self, ev: &StmtEvent) {
+        if ev.ts > self.until {
+            self.inner.on_stmt(ev);
+        }
+    }
+    fn on_path_end(&mut self, func: FuncId, path_id: u64, ts: u64) {
+        if ts > self.until {
+            self.inner.on_path_end(func, path_id, ts);
+        }
+    }
+}
+
 struct Run<'a, 'p> {
     interp: &'a Interp<'p>,
     mem: Vec<i64>,
@@ -240,6 +272,11 @@ impl<'a, 'p> Run<'a, 'p> {
     }
 
     fn run<S: TraceSink>(mut self, sink: &mut S) -> Result<RunResult, InterpError> {
+        // Every event of a path execution carries the same timestamp,
+        // so gating per event (the adapter) gates whole paths.
+        let until = sink.fast_forward_until();
+        let mut sink = FastForward { inner: sink, until };
+        let sink = &mut sink;
         let program = self.interp.program;
         let main = program.main();
         let mut frames: Vec<Frame> = vec![self.new_frame(main, None)];

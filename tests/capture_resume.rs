@@ -1,0 +1,187 @@
+//! Checkpoint/resume determinism for the segmented capture subsystem.
+//!
+//! The contract under test: a capture that crashes at *any* durable
+//! write, is resumed, and runs to completion seals into a `.wetz`
+//! container byte-identical to an uninterrupted (and non-segmented)
+//! run — for every bundled workload and every thread count, with
+//! `wet fsck` passing on the segment log at every stage. Memory
+//! budgets are covered separately: the builder's peak estimated
+//! memory must stay under `budget_bytes`, surfaced through the
+//! `capture.peak_bytes` wet-obs gauge.
+
+use proptest::prelude::*;
+use wet_core::capture::{self, Capture};
+use wet_core::fault::{CrashMode, CrashPlan};
+use wet_core::{WetBuilder, WetConfig};
+use wet_interp::{Interp, InterpConfig};
+use wet_ir::ballarus::BallLarus;
+use wet_workloads::Kind;
+
+const TARGET: u64 = 3_000;
+// Timestamps count path executions, and long-pathed workloads
+// (gcc-like) produce few of them per statement — keep the interval
+// small enough that every workload spans several segments.
+const INTERVAL: u64 = 50;
+
+fn fresh_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("wet-capture-resume").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn capture_config() -> WetConfig {
+    let mut c = WetConfig::default();
+    c.capture.segment_interval = INTERVAL;
+    c
+}
+
+/// The uninterrupted, non-segmented baseline: trace, compress on
+/// `threads` workers, serialize.
+fn reference_bytes(w: &wet_workloads::Workload, threads: usize) -> Vec<u8> {
+    let bl = BallLarus::new(&w.program);
+    let mut config = capture_config();
+    config.stream.num_threads = threads;
+    let mut builder = WetBuilder::new(&w.program, &bl, config);
+    Interp::new(&w.program, &bl, InterpConfig::default()).run(&w.inputs, &mut builder).expect("run");
+    let mut wet = builder.finish();
+    wet.compress();
+    let mut out = Vec::new();
+    wet.write_to(&mut out).expect("serialize");
+    out
+}
+
+/// Runs a capture to completion in `dir`, optionally crashing, and
+/// returns `finish()`'s verdict.
+fn run_capture(
+    w: &wet_workloads::Workload,
+    dir: &std::path::Path,
+    plan: Option<CrashPlan>,
+) -> std::io::Result<capture::CaptureSummary> {
+    let bl = BallLarus::new(&w.program);
+    let mut cap = if dir.join("capture.conf").exists() {
+        Capture::resume(&w.program, &bl, dir)?
+    } else {
+        Capture::create(&w.program, &bl, capture_config(), dir)?
+    };
+    if let Some(p) = plan {
+        cap.set_crash_plan(p);
+    }
+    Interp::new(&w.program, &bl, InterpConfig::default()).run(&w.inputs, &mut cap).expect("interp");
+    cap.finish()
+}
+
+fn seal_bytes(w: &wet_workloads::Workload, dir: &std::path::Path, threads: usize) -> Vec<u8> {
+    let bl = BallLarus::new(&w.program);
+    let mut wet = capture::seal(&w.program, &bl, dir, threads).expect("seal");
+    wet.compress();
+    let mut out = Vec::new();
+    wet.write_to(&mut out).expect("serialize");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One sampled point of the workload x threads x crash-op x mode
+    /// space per case. Every stage is checked: the crash surfaces as
+    /// an error, resume recovers a clean log, and the resumed seal is
+    /// byte-identical to the uninterrupted baseline built on the same
+    /// thread count.
+    #[test]
+    fn crash_resume_seal_byte_identical(
+        kind_i in 0usize..9,
+        threads_i in 0usize..4,
+        crash_sel in any::<u64>(),
+        torn in any::<bool>(),
+    ) {
+        let kind = Kind::all()[kind_i];
+        let threads = [1usize, 2, 4, 8][threads_i];
+        let w = wet_workloads::build(kind, TARGET);
+        let ctx = format!("{} threads={threads} sel={crash_sel} torn={torn}", kind.name());
+        let reference = reference_bytes(&w, threads);
+
+        // Uninterrupted segmented capture: counts the durable writes
+        // (the crash-point universe) and must itself seal identically.
+        let dir = fresh_dir(&format!("base-{kind_i}-{threads_i}-{crash_sel}-{torn}"));
+        let summary = run_capture(&w, &dir, None).expect("uninterrupted capture");
+        prop_assert!(summary.segments > 1, "{ctx}: interval never split the trace");
+        prop_assert!(capture::fsck_dir(&dir).unwrap().is_clean(), "{ctx}: base log dirty");
+        prop_assert!(seal_bytes(&w, &dir, threads) == reference, "{ctx}: segmented != plain");
+
+        // Crash at a sampled durable write, in both failure shapes.
+        let at_op = 1 + crash_sel % summary.ops_done;
+        let mode = if torn { CrashMode::Torn { seed: crash_sel ^ 0xDEAD } } else { CrashMode::Kill };
+        let dir = fresh_dir(&format!("crash-{kind_i}-{threads_i}-{crash_sel}-{torn}"));
+        let err = run_capture(&w, &dir, Some(CrashPlan { at_op, mode })).expect_err("must crash");
+        prop_assert!(err.to_string().contains("simulated crash"), "{ctx}: {err}");
+
+        // Resume: never panics, never loses a sealed segment, and the
+        // continued capture seals byte-identical to the baseline.
+        run_capture(&w, &dir, None).expect("resumed capture");
+        let report = capture::fsck_dir(&dir).unwrap();
+        prop_assert!(report.is_clean() && report.finished, "{ctx}: {report:?}");
+        prop_assert!(
+            seal_bytes(&w, &dir, threads) == reference,
+            "{ctx}: resumed seal diverged (crash at op {at_op}/{})", summary.ops_done
+        );
+    }
+}
+
+/// Exhaustive crash sweep on one workload: every durable write, both
+/// modes. The proptest above samples the full cross-product; this
+/// pins down completeness on a single cheap point.
+#[test]
+fn every_crash_point_recovers_on_go_like() {
+    let w = wet_workloads::build(Kind::Go, 1_500);
+    let reference = reference_bytes(&w, 1);
+    let dir = fresh_dir("go-base");
+    let total = run_capture(&w, &dir, None).expect("uninterrupted").ops_done;
+    for at_op in 1..=total {
+        for (mi, mode) in [CrashMode::Kill, CrashMode::Torn { seed: at_op ^ 0xBEEF }].into_iter().enumerate() {
+            let dir = fresh_dir(&format!("go-{at_op}-{mi}"));
+            run_capture(&w, &dir, Some(CrashPlan { at_op, mode })).expect_err("must crash");
+            run_capture(&w, &dir, None).expect("resume");
+            assert!(capture::fsck_dir(&dir).unwrap().is_clean(), "op {at_op} mode {mi}");
+            assert_eq!(seal_bytes(&w, &dir, 1), reference, "op {at_op} mode {mi}");
+        }
+    }
+}
+
+/// Memory-budget acceptance on gcc-like: the builder's peak estimated
+/// memory (buffered labels + carry-over spine) stays under the budget,
+/// and the `capture.peak_bytes` gauge reports it.
+#[test]
+fn gcc_like_peak_memory_stays_under_budget() {
+    let _obs = wet_obs::scoped_enable();
+    let w = wet_workloads::build(Kind::Gcc, 50_000);
+    let budget: u64 = 1 << 20;
+    let bl = BallLarus::new(&w.program);
+    let mut config = WetConfig::default();
+    config.capture.budget_bytes = budget;
+    let dir = fresh_dir("gcc-budget");
+    let mut cap = Capture::create(&w.program, &bl, config, &dir).unwrap();
+    Interp::new(&w.program, &bl, InterpConfig::default()).run(&w.inputs, &mut cap).expect("run");
+    let summary = cap.finish().expect("finish");
+    assert!(
+        summary.peak_bytes < budget,
+        "peak {} exceeds budget {budget}",
+        summary.peak_bytes
+    );
+    let report = wet_obs::snapshot();
+    let gauge = report.gauges.get(&("capture.peak_bytes".into(), String::new())).copied();
+    assert_eq!(gauge, Some(summary.peak_bytes as i64), "gauge must surface the peak");
+    assert!(report.counter("capture.segments_sealed", "") >= summary.segments);
+    assert!(report.counter("capture.bytes_flushed", "") > 0);
+    assert!(capture::fsck_dir(&dir).unwrap().is_clean());
+    // The budget may or may not force shedding at this size; if it
+    // did, the shed counter and the sealed container must agree.
+    let wet = capture::seal(&w.program, &bl, &dir, 1).expect("seal");
+    let lost = wet.unavailable_seqs();
+    if summary.shed {
+        assert!(report.counter("capture.budget_sheds", "") == 1);
+        assert!(lost > 0, "shed capture must surface Unavailable streams");
+    } else {
+        assert_eq!(lost, 0);
+    }
+}

@@ -112,6 +112,52 @@ fn seeded_mutations_never_break_the_decoder() {
     assert!(total >= 500, "harness only exercised {total} mutations");
 }
 
+/// The v1 compatibility reader faces the same adversary as v2 — but
+/// with no section checksums to hide behind. Its contract is weaker
+/// (a mutation may decode to a *different* trace undetected) yet just
+/// as strict where it matters: no panic, no unbounded allocation, and
+/// anything it does accept must not break downstream consumers.
+#[test]
+fn v1_fixture_mutations_never_panic_the_compat_reader() {
+    for (fi, name) in ["v1-collatz-t1.wetz", "v1-collatz-t2.wetz"].into_iter().enumerate() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+        let pristine = std::fs::read(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+        Wet::read_from(&mut &pristine[..]).unwrap_or_else(|e| panic!("{name}: pristine read: {e}"));
+
+        let mut rng = FaultRng::new(0x51DE_C0DE + fi as u64);
+        let mut images: Vec<(String, Vec<u8>)> = Vec::new();
+        for _ in 0..60 {
+            images.push(fault::bit_flip(&pristine, &mut rng));
+        }
+        for _ in 0..30 {
+            images.push(fault::truncate_random(&pristine, &mut rng));
+        }
+        // Legacy images are unsectioned, so the section-aware families
+        // must degrade to harmless no-ops rather than panic.
+        images.push(fault::inflate_length(&pristine, &mut rng));
+        images.push(fault::shuffle_sections(&pristine, &mut rng));
+        assert!(fault::boundary_truncations(&pristine).is_empty(), "{name}: v1 has no sections");
+
+        for (what, mutated) in images {
+            // Every entry point must fail cleanly or return a WET that
+            // itself survives validation *being run* (a checksum-less
+            // format may accept changed bytes; it may never blow up).
+            let outcome = std::panic::catch_unwind(|| {
+                if let Ok(wet) = Wet::read_from(&mut &mutated[..]) {
+                    let _ = wet.validate();
+                }
+                if let Ok(report) = Wet::fsck(&mut &mutated[..]) {
+                    let _ = report.is_clean();
+                }
+                if let Ok((wet, _)) = Wet::read_salvaging(&mut &mutated[..]) {
+                    let _ = wet.validate();
+                }
+            });
+            assert!(outcome.is_ok(), "{name}: {what}: v1 reader panicked");
+        }
+    }
+}
+
 /// Flips one bit in the payload of one section and returns the image.
 fn damage_section(bytes: &[u8], tag: &[u8; 4]) -> Vec<u8> {
     let span = *wet_core::section_spans(bytes)
