@@ -89,6 +89,119 @@ cargo run -q --release --offline --locked -p wet-cli -- fsck "$fsck_dir/shed.wet
 echo "==> checkpoint/resume determinism (workloads x threads x crash points)"
 cargo test -q --offline --locked --test capture_resume
 
+echo "==> serve gate: daemon lifecycle, typed errors, fault drill, SIGTERM drain"
+wet=./target/release/wet
+serve_dir="$fsck_dir/serve"
+mkdir -p "$serve_dir"
+sock="$serve_dir/wet.sock"
+# Serve the collatz trace with its program so the full op surface
+# (value/address traces, slices) is reachable; a deliberately tiny
+# cache budget forces the engine LRU to evict under the query load.
+rm -f "$sock"
+"$wet" serve "$fsck_dir/fresh.wetz" --program examples/data/collatz.wet \
+    --listen "$sock" --cache-budget 2048 --profile=json \
+    > "$serve_dir/metrics.json" 2> /dev/null &
+serve_pid=$!
+i=0
+while [ ! -S "$sock" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then echo "server never bound $sock" >&2; exit 1; fi
+    sleep 0.1
+done
+"$wet" query ping --remote "$sock" > /dev/null
+for s in 0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15; do
+    "$wet" query address_trace --stmt "$s" --remote "$sock" > /dev/null 2>&1 || true
+done
+# An impossible deadline must come back as a typed retriable error
+# with the documented exit code 5 — never a hang or a dropped socket.
+deadline_status=0
+"$wet" query cf_trace --deadline-ms 0 --remote "$sock" > /dev/null 2>&1 || deadline_status=$?
+if [ "$deadline_status" -ne 5 ]; then
+    echo "deadline-0 query: expected exit 5, got $deadline_status" >&2
+    exit 1
+fi
+# The seeded misbehaving-client drill (slow-loris, mid-frame cuts,
+# garbage frames, hostile lengths, deadline storms, cancel races):
+# exit 0 means the server answered a health probe afterwards.
+"$wet" drill --remote "$sock" --seed 1229 --count 24 > /dev/null
+"$wet" query ping --remote "$sock" > /dev/null
+# Graceful drain: SIGTERM finishes in-flight work and exits 0.
+kill -TERM "$serve_pid"
+drain_status=0
+wait "$serve_pid" || drain_status=$?
+if [ "$drain_status" -ne 0 ]; then
+    echo "SIGTERM drain: expected exit 0, got $drain_status" >&2
+    exit 1
+fi
+# The profile document is a valid wet-obs/1 report carrying the serve
+# counters, the admission-queue gauge, and the cache eviction counter.
+cargo run -q --release --offline --locked -p wet-obs --bin jsonv < "$serve_dir/metrics.json"
+grep -q 'serve.requests_ok' "$serve_dir/metrics.json"
+grep -q 'serve.requests_deadline' "$serve_dir/metrics.json"
+grep -q 'serve.queue_depth' "$serve_dir/metrics.json"
+grep -q 'query.cache.evictions' "$serve_dir/metrics.json"
+
+echo "==> serve gate: corrupt trace -> typed Corrupt, degraded fallback, repair, re-serve"
+# A larger workload trace; a mid-file bit flip lands in a value
+# section, so control flow salvages while value queries degrade.
+"$wet" workload gzip-like --target 60000 --save "$serve_dir/t.wetz" > /dev/null
+cp "$serve_dir/t.wetz" "$serve_dir/flip.wetz"
+sz=$(wc -c < "$serve_dir/t.wetz")
+printf '\125' | dd of="$serve_dir/flip.wetz" bs=1 seek=$((sz / 2)) conv=notrunc 2> /dev/null
+# The damaged container is refused outright by the strict loader...
+flip_status=0
+"$wet" serve "$serve_dir/flip.wetz" --listen "$sock" > /dev/null 2>&1 || flip_status=$?
+if [ "$flip_status" -ne 3 ]; then
+    echo "serving a corrupt trace: expected exit 3, got $flip_status" >&2
+    exit 1
+fi
+# ...and fsck --repair salvages every intact section (exit 3 records
+# that the input was damaged; the salvaged copy is what gets served).
+repair_status=0
+"$wet" fsck "$serve_dir/flip.wetz" --repair "$serve_dir/salvaged.wetz" > /dev/null 2>&1 \
+    || repair_status=$?
+if [ "$repair_status" -ne 3 ]; then
+    echo "fsck --repair on a corrupt trace: expected exit 3, got $repair_status" >&2
+    exit 1
+fi
+rm -f "$sock"
+"$wet" serve "$serve_dir/salvaged.wetz" --listen "$sock" > /dev/null 2>&1 &
+serve_pid=$!
+i=0
+while [ ! -S "$sock" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then echo "salvaged server never bound $sock" >&2; exit 1; fi
+    sleep 0.1
+done
+# Strict queries over the salvaged trace answer normally or with the
+# typed Corrupt error (exit 3) — never a panic, never exit 1 — and at
+# least one query must actually hit the damage.
+corrupt_seen=0
+for s in 1 2 3 5 8; do
+    q_status=0
+    "$wet" query value_trace --stmt "$s" --remote "$sock" > /dev/null 2>&1 || q_status=$?
+    case "$q_status" in
+        0) ;;
+        3) corrupt_seen=1 ;;
+        *) echo "strict value_trace --stmt $s on salvaged trace: exit $q_status" >&2; exit 1 ;;
+    esac
+done
+if [ "$corrupt_seen" -ne 1 ]; then
+    echo "no strict query surfaced the damage as Corrupt" >&2
+    exit 1
+fi
+# Control flow never touched the damaged section: strict CF works,
+# and the degraded value trace stays total on the same server.
+"$wet" query cf_trace --remote "$sock" > /dev/null
+"$wet" query value_trace --stmt 8 --degraded --remote "$sock" > /dev/null
+kill -TERM "$serve_pid"
+drain_status=0
+wait "$serve_pid" || drain_status=$?
+if [ "$drain_status" -ne 0 ]; then
+    echo "salvaged-server drain: expected exit 0, got $drain_status" >&2
+    exit 1
+fi
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --locked --workspace --all-targets -- -D warnings
 

@@ -48,7 +48,7 @@ fn bench_queries(c: &mut Criterion) {
                 |b, w| {
                     b.iter_batched(
                         || w.clone(),
-                        |mut w| black_box(cf_trace_forward(&mut w).len()),
+                        |mut w| black_box(cf_trace_forward(&mut w).unwrap().len()),
                         criterion::BatchSize::LargeInput,
                     );
                 },
@@ -59,7 +59,7 @@ fn bench_queries(c: &mut Criterion) {
                 |b, w| {
                     b.iter_batched(
                         || w.clone(),
-                        |w| black_box(value_trace(&w, load).len()),
+                        |w| black_box(value_trace(&w, load).unwrap().len()),
                         criterion::BatchSize::LargeInput,
                     );
                 },
@@ -70,7 +70,7 @@ fn bench_queries(c: &mut Criterion) {
                 |b, w| {
                     b.iter_batched(
                         || w.clone(),
-                        |w| black_box(address_trace(&w, &program, load).len()),
+                        |w| black_box(address_trace(&w, &program, load).unwrap().len()),
                         criterion::BatchSize::LargeInput,
                     );
                 },
@@ -85,7 +85,7 @@ fn bench_queries(c: &mut Criterion) {
                         |mut w| {
                             let mut n = 0;
                             for &cr in &criteria {
-                                n += backward_slice(&mut w, &program, cr, SliceSpec::default()).len();
+                                n += backward_slice(&mut w, &program, cr, SliceSpec::default()).unwrap().len();
                             }
                             black_box(n)
                         },

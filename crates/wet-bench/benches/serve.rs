@@ -1,0 +1,122 @@
+//! `serve_throughput`: criterion latency benchmarks for the query
+//! daemon over its in-process loopback transport, plus a concurrent
+//! throughput measurement written to `results/BENCH_serve.json`
+//! (requests/sec and p99 latency per op).
+//!
+//! The loopback (`Server::handle_frame`) runs the complete request
+//! pipeline — JSON parse, admission, deadline bookkeeping, panic
+//! isolation, response render — minus the socket, so these numbers
+//! isolate the serving overhead from kernel I/O.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use wet_core::WetConfig;
+use wet_ir::StmtId;
+use wet_serve::json::{self, Value};
+use wet_serve::{Server, ServeOptions};
+use wet_workloads::Kind;
+
+const TARGET: u64 = 150_000;
+
+fn server_for(kind: Kind) -> (Server, Vec<StmtId>) {
+    let b = wet_bench::build_wet(kind, TARGET, WetConfig::default());
+    let mut wet = b.wet;
+    wet.compress();
+    let mut stmts: Vec<StmtId> =
+        wet.nodes().iter().flat_map(|n| n.stmts.iter().map(|s| s.id)).collect();
+    stmts.sort_unstable();
+    stmts.dedup();
+    let server = Server::new(
+        wet,
+        Some(b.program),
+        ServeOptions { threads: 1, max_active: 8, queue_watermark: 32, ..ServeOptions::default() },
+    );
+    (server, stmts)
+}
+
+fn frame(op: &str, stmt: Option<StmtId>) -> Vec<u8> {
+    let mut pairs = vec![("id", Value::Int(1)), ("op", Value::Str(op.into()))];
+    if let Some(s) = stmt {
+        pairs.push(("stmt", Value::Int(s.0 as i64)));
+    }
+    json::obj(pairs).render().into_bytes()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_throughput");
+    g.sample_size(20);
+    let mut rows: Vec<String> = Vec::new();
+    for kind in [Kind::Gcc, Kind::Gzip] {
+        let (server, stmts) = server_for(kind);
+        let cases: Vec<(&str, Vec<u8>)> = vec![
+            ("ping", frame("ping", None)),
+            ("value_trace", frame("value_trace", stmts.first().copied())),
+            ("address_trace", frame("address_trace", stmts.first().copied())),
+        ];
+        for (op, req) in &cases {
+            g.bench_with_input(BenchmarkId::new(*op, kind.name()), req, |b, req| {
+                b.iter(|| black_box(server.handle_frame(req)).len());
+            });
+        }
+        // Concurrent throughput: 4 loopback clients hammering the same
+        // server; per-request latencies feed the p99.
+        for (op, req) in &cases {
+            const CLIENTS: usize = 4;
+            const PER_CLIENT: usize = 250;
+            let t0 = Instant::now();
+            let mut lat_ns: Vec<u64> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..CLIENTS)
+                    .map(|_| {
+                        let server = &server;
+                        scope.spawn(move || {
+                            let mut lats = Vec::with_capacity(PER_CLIENT);
+                            for _ in 0..PER_CLIENT {
+                                let t = Instant::now();
+                                black_box(server.handle_frame(req));
+                                lats.push(t.elapsed().as_nanos() as u64);
+                            }
+                            lats
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("client")).collect()
+            });
+            let secs = t0.elapsed().as_secs_f64();
+            lat_ns.sort_unstable();
+            let total = lat_ns.len();
+            let pct = |p: usize| lat_ns[(total * p / 100).min(total - 1)] as f64 / 1e3;
+            rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"op\": \"{}\", \"clients\": {}, ",
+                    "\"requests\": {}, \"secs\": {:.6}, \"req_per_sec\": {:.1}, ",
+                    "\"p50_us\": {:.2}, \"p99_us\": {:.2}}}"
+                ),
+                kind.name(),
+                op,
+                CLIENTS,
+                total,
+                secs,
+                total as f64 / secs.max(1e-12),
+                pct(50),
+                pct(99),
+            ));
+        }
+    }
+    g.finish();
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"stmts_target\": {TARGET},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    // Criterion benches run with the package as cwd; anchor the output
+    // at the workspace root alongside the other BENCH_*.json files.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_serve.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    println!("wrote {}", path.display());
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -213,12 +213,12 @@ pub fn table6(scale: &Scale) {
     rule(108);
     for kind in Kind::all() {
         let mut b = build_wet(kind, scale.timing_stmts, WetConfig::default());
-        let (steps, t1f) = timed(|| cf_trace_forward(&mut b.wet));
+        let (steps, t1f) = timed(|| cf_trace_forward(&mut b.wet).unwrap());
         let bytes = trace_bytes(&b.wet, &steps);
-        let (_, t1b) = timed(|| cf_trace_backward(&mut b.wet));
+        let (_, t1b) = timed(|| cf_trace_backward(&mut b.wet).unwrap());
         b.wet.compress();
-        let (_, t2f) = timed(|| cf_trace_forward(&mut b.wet));
-        let (_, t2b) = timed(|| cf_trace_backward(&mut b.wet));
+        let (_, t2f) = timed(|| cf_trace_forward(&mut b.wet).unwrap());
+        let (_, t2b) = timed(|| cf_trace_backward(&mut b.wet).unwrap());
         let m = mb(bytes);
         println!(
             "{:<14} {:>9.2} | {:>8.3} {:>8.1} {:>8.3} {:>8.1} | {:>8.3} {:>8.1} {:>8.3} {:>8.1}",
@@ -251,14 +251,14 @@ pub fn table7(scale: &Scale) {
         let (n_vals, t1) = timed(|| {
             let mut n = 0u64;
             for &s in &loads {
-                n += value_trace(&b.wet, s).len() as u64;
+                n += value_trace(&b.wet, s).unwrap().len() as u64;
             }
             n
         });
         b.wet.compress();
         let (_, t2) = timed(|| {
             for &s in &loads {
-                value_trace(&b.wet, s);
+                value_trace(&b.wet, s).unwrap();
             }
         });
         let m = mb(8 * n_vals);
@@ -289,14 +289,14 @@ pub fn table8(scale: &Scale) {
         let (n_addrs, t1) = timed(|| {
             let mut n = 0u64;
             for &s in &stmts {
-                n += address_trace(&b.wet, &b.program, s).len() as u64;
+                n += address_trace(&b.wet, &b.program, s).unwrap().len() as u64;
             }
             n
         });
         b.wet.compress();
         let (_, t2) = timed(|| {
             for &s in &stmts {
-                address_trace(&b.wet, &b.program, s);
+                address_trace(&b.wet, &b.program, s).unwrap();
             }
         });
         let m = mb(8 * n_addrs);
@@ -327,13 +327,13 @@ pub fn table9(scale: &Scale) {
         let (sizes, t1) = timed(|| {
             criteria
                 .iter()
-                .map(|&c| backward_slice(&mut b.wet, &b.program, c, SliceSpec::default()).len() as u64)
+                .map(|&c| backward_slice(&mut b.wet, &b.program, c, SliceSpec::default()).unwrap().len() as u64)
                 .sum::<u64>()
         });
         b.wet.compress();
         let (_, t2) = timed(|| {
             for &c in &criteria {
-                backward_slice(&mut b.wet, &b.program, c, SliceSpec::default());
+                backward_slice(&mut b.wet, &b.program, c, SliceSpec::default()).unwrap();
             }
         });
         let n = criteria.len().max(1) as f64;

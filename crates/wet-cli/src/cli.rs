@@ -16,6 +16,9 @@ pub const EXIT_USAGE: u8 = 2;
 pub const EXIT_CORRUPT: u8 = 3;
 /// Exit code for I/O failures (file missing, unreadable, unwritable).
 pub const EXIT_IO: u8 = 4;
+/// Exit code for a query that could not complete (deadline, cancelled,
+/// shed under overload).
+pub const EXIT_UNAVAILABLE: u8 = 5;
 
 /// An error carrying its documented exit code.
 #[derive(Debug)]
@@ -35,6 +38,16 @@ impl Error for CliError {}
 
 fn fail(code: u8, msg: impl Into<String>) -> Box<dyn Error> {
     Box::new(CliError { code, msg: msg.into() })
+}
+
+/// Maps a query error to its documented exit code: corrupt trace data
+/// is [`EXIT_CORRUPT`]; deadline/cancel/shed are [`EXIT_UNAVAILABLE`].
+fn query_fail(e: query::QueryErr) -> Box<dyn Error> {
+    let code = match e {
+        query::QueryErr::Corrupt(_) => EXIT_CORRUPT,
+        _ => EXIT_UNAVAILABLE,
+    };
+    fail(code, format!("query failed: {e}"))
 }
 
 /// Classifies a std I/O error: corrupt data vs. plumbing failure.
@@ -73,6 +86,11 @@ usage:
   wet capture <file.wet> --dir DIR [--inputs 1,2,3] [--budget N] [--interval N]
   wet seal <DIR> -o out.wetz [--threads N] [--tier1]
   wet fsck <file.wetz|DIR> [--repair out.wetz]
+  wet serve <file.wetz|DIR> --listen ADDR [--program file.wet]
+            [--max-active N] [--queue N] [--cache-budget N] [--threads N]
+  wet query <op> --remote ADDR [--stmt N] [--node N] [--k N] [--backward]
+            [--degraded] [--no-control] [--deadline-ms N] [--retries N]
+  wet drill --remote ADDR [--seed N] [--count N]
       names: go-like gcc-like li-like gzip-like mcf-like parser-like
              vortex-like bzip2-like twolf-like
       --threads N: worker threads for tier-2 compression
@@ -103,13 +121,34 @@ usage:
       seal: merge a finished capture DIR into a normal .wetz container
             — byte-identical to `wet trace --save` of an uninterrupted
             run (shed value streams excepted).
+      serve: long-running query daemon over a sealed trace (or a
+            finished capture DIR, sealed in memory). ADDR with a `:` is
+            TCP, otherwise a unix-socket path. --max-active bounds
+            concurrent queries (default 4), --queue the wait line
+            beyond it (default 8; past it requests are shed with a
+            retriable error). --cache-budget N caps the decompressed-
+            stream cache at ~N bytes (0 = unlimited). SIGTERM (or a
+            `shutdown` request) drains gracefully: in-flight requests
+            finish, new ones are shed, then the process exits 0.
+      query: one request against a running server. Ops: ping, stats,
+            cf_trace, value_trace, address_trace, slice, shutdown.
+            --deadline-ms bounds the query server-side; --retries N
+            retries retriable errors (shed) with capped exponential
+            backoff and jitter. Prints the JSON result.
+      drill: replay a seeded schedule of misbehaving clients
+            (slow-loris, mid-frame cuts, garbage frames, deadline
+            storms, cancel races) against a running server and verify
+            it survives.
 exit codes:
   0  success (fsck: file is clean)
-  2  usage error (bad flags, unknown command)
+  2  usage error (bad flags, unknown command; query: bad request)
   3  corrupt input (failed checksum, malformed or unparseable file;
-     seal: unfinished capture or a segment failing verification)
+     seal: unfinished capture or a segment failing verification;
+     query: the server answered `corrupt`)
   4  I/O failure (missing, unreadable, or unwritable file; capture:
-     a durable write failed or a simulated crash fired)";
+     a durable write failed or a simulated crash fired)
+  5  query could not complete (deadline exceeded, cancelled, or shed
+     under overload; drill: the server did not survive)";
 
 /// In `--profile=json|prom` mode the profile document owns stdout and
 /// the human-readable report moves to stderr.
@@ -159,6 +198,19 @@ struct Flags {
     out: Option<String>,
     budget: u64,
     interval: u64,
+    listen: Option<String>,
+    remote: Option<String>,
+    program: Option<String>,
+    max_active: usize,
+    queue: usize,
+    cache_budget: u64,
+    deadline_ms: Option<u64>,
+    retries: u32,
+    k: Option<u32>,
+    backward: bool,
+    degraded: bool,
+    seed: u64,
+    count: usize,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags> {
@@ -177,6 +229,19 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
         out: None,
         budget: 0,
         interval: wet_core::CaptureConfig::default().segment_interval,
+        listen: None,
+        remote: None,
+        program: None,
+        max_active: 4,
+        queue: 8,
+        cache_budget: 0,
+        deadline_ms: None,
+        retries: 0,
+        k: None,
+        backward: false,
+        degraded: false,
+        seed: 0xd1211,
+        count: 24,
     };
     let mut i = 0;
     while i < args.len() {
@@ -235,6 +300,52 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
             "--interval" => {
                 i += 1;
                 f.interval = args.get(i).ok_or("--interval needs a value")?.parse()?;
+            }
+            "--listen" => {
+                i += 1;
+                f.listen = Some(args.get(i).ok_or("--listen needs an address")?.clone());
+            }
+            "--remote" => {
+                i += 1;
+                f.remote = Some(args.get(i).ok_or("--remote needs an address")?.clone());
+            }
+            "--program" => {
+                i += 1;
+                f.program = Some(args.get(i).ok_or("--program needs a path")?.clone());
+            }
+            "--max-active" => {
+                i += 1;
+                f.max_active = args.get(i).ok_or("--max-active needs a value")?.parse()?;
+            }
+            "--queue" => {
+                i += 1;
+                f.queue = args.get(i).ok_or("--queue needs a value")?.parse()?;
+            }
+            "--cache-budget" => {
+                i += 1;
+                f.cache_budget = args.get(i).ok_or("--cache-budget needs a value")?.parse()?;
+            }
+            "--deadline-ms" => {
+                i += 1;
+                f.deadline_ms = Some(args.get(i).ok_or("--deadline-ms needs a value")?.parse()?);
+            }
+            "--retries" => {
+                i += 1;
+                f.retries = args.get(i).ok_or("--retries needs a value")?.parse()?;
+            }
+            "--k" => {
+                i += 1;
+                f.k = Some(args.get(i).ok_or("--k needs a value")?.parse()?);
+            }
+            "--backward" => f.backward = true,
+            "--degraded" => f.degraded = true,
+            "--seed" => {
+                i += 1;
+                f.seed = args.get(i).ok_or("--seed needs a value")?.parse()?;
+            }
+            "--count" => {
+                i += 1;
+                f.count = args.get(i).ok_or("--count needs a value")?.parse()?;
             }
             other => return Err(format!("unknown flag `{other}`").into()),
         }
@@ -533,7 +644,8 @@ fn dispatch_cmd(args: &[String]) -> Result<()> {
                 return Err(format!("statement s{} never executed", stmt.0).into());
             };
             let spec = query::SliceSpec { data: true, control: !flags.no_control };
-            let slice = query::backward_slice(&mut wet, &p, query::WetSliceElem { node, stmt, k }, spec);
+            let slice = query::backward_slice(&mut wet, &p, query::WetSliceElem { node, stmt, k }, spec)
+                .map_err(query_fail)?;
             say!(
                 "backward slice of {stmt} (execution {k} of node n{}):",
                 node.0
@@ -636,11 +748,146 @@ fn dispatch_cmd(args: &[String]) -> Result<()> {
                 Err(fail(EXIT_CORRUPT, format!("{path}: {problem}")))
             }
         }
+        "serve" => {
+            let path = rest.first().ok_or(USAGE)?;
+            let flags = parse_flags(&rest[1..])?;
+            cmd_serve(path, &flags)
+        }
+        "query" => {
+            let op = rest.first().ok_or(USAGE)?;
+            let flags = parse_flags(&rest[1..])?;
+            cmd_query(op, &flags)
+        }
+        "drill" => {
+            let flags = parse_flags(rest)?;
+            cmd_drill(&flags)
+        }
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}").into()),
+    }
+}
+
+/// Loads the trace (and, when available, the program) a server will
+/// answer queries over: a sealed `.wetz`, or a finished capture
+/// directory sealed in memory (whose stored program comes for free).
+fn load_for_serve(path: &str, flags: &Flags) -> Result<(wet_core::Wet, Option<Program>)> {
+    let p = std::path::Path::new(path);
+    let (mut wet, mut program) = if p.is_dir() {
+        let text = std::fs::read_to_string(p.join("program.wet"))
+            .map_err(|e| fail(EXIT_IO, format!("cannot read stored program: {e}")))?;
+        let program = parse_program(&text)?;
+        let bl = BallLarus::new(&program);
+        let mut wet = wet_core::capture::seal(&program, &bl, p, flags.threads)
+            .map_err(|e| io_fail(&format!("cannot seal {path}"), &e))?;
+        wet.compress();
+        (wet, Some(program))
+    } else {
+        let mut f = std::io::BufReader::new(
+            std::fs::File::open(path).map_err(|e| fail(EXIT_IO, format!("cannot open {path}: {e}")))?,
+        );
+        let wet = wet_core::Wet::read_from(&mut f)
+            .map_err(|e| io_fail(&format!("cannot read {path}"), &e))?;
+        (wet, None)
+    };
+    if let Some(src) = &flags.program {
+        program = Some(load(src)?);
+    }
+    wet.config_mut().serve.cache_budget_bytes = flags.cache_budget;
+    wet.config_mut().stream.num_threads = flags.threads;
+    Ok((wet, program))
+}
+
+/// `wet serve`: run the query daemon until SIGTERM or `shutdown`.
+fn cmd_serve(path: &str, flags: &Flags) -> Result<()> {
+    let listen = flags.listen.clone().ok_or("serve requires --listen ADDR")?;
+    let (wet, program) = load_for_serve(path, flags)?;
+    let opts = wet_serve::ServeOptions {
+        max_active: flags.max_active.max(1),
+        queue_watermark: flags.queue,
+        threads: flags.threads,
+        ..wet_serve::ServeOptions::default()
+    };
+    let server = wet_serve::Server::new(wet, program, opts);
+    let listener = wet_serve::bind(&listen).map_err(|e| io_fail(&format!("cannot bind {listen}"), &e))?;
+    say!("serving {path} on {listen} (max-active {}, queue {})", flags.max_active.max(1), flags.queue);
+    server.serve(listener).map_err(|e| io_fail("serve loop failed", &e))?;
+    say!("drained: {}", server.stats_value().render());
+    Ok(())
+}
+
+/// Maps a server error kind to this CLI's exit-code contract.
+fn remote_fail(kind: &str, message: &str) -> Box<dyn Error> {
+    let code = match kind {
+        "corrupt" => EXIT_CORRUPT,
+        "bad_request" => EXIT_USAGE,
+        _ => EXIT_UNAVAILABLE, // deadline, cancelled, shed, panic, unavailable
+    };
+    fail(code, format!("server answered {kind}: {message}"))
+}
+
+/// `wet query`: one request against a running server.
+fn cmd_query(op: &str, flags: &Flags) -> Result<()> {
+    use wet_serve::json::Value;
+    let remote = flags.remote.clone().ok_or("query requires --remote ADDR")?;
+    let known = ["ping", "stats", "cf_trace", "value_trace", "address_trace", "slice", "shutdown"];
+    if !known.contains(&op) {
+        return Err(format!("unknown op `{op}` (expected one of {})", known.join(", ")).into());
+    }
+    let mut pairs: Vec<(&str, Value)> = vec![("op", Value::Str(op.into()))];
+    if let Some(stmt) = flags.stmt {
+        pairs.push(("stmt", Value::Int(stmt as i64)));
+    }
+    if let Some(node) = flags.node {
+        pairs.push(("node", Value::Int(node as i64)));
+    }
+    if let Some(k) = flags.k {
+        pairs.push(("k", Value::Int(k as i64)));
+    }
+    if flags.backward {
+        pairs.push(("dir", Value::Str("backward".into())));
+    }
+    if flags.degraded {
+        pairs.push(("strict", Value::Bool(false)));
+    }
+    if flags.no_control {
+        pairs.push(("control", Value::Bool(false)));
+    }
+    if let Some(ms) = flags.deadline_ms {
+        pairs.push(("deadline_ms", Value::Int(ms as i64)));
+    }
+    let mut client = wet_serve::Client::connect(&remote)
+        .map_err(|e| io_fail(&format!("cannot connect to {remote}"), &e))?;
+    let reply = client
+        .call_with_retries(pairs, flags.retries)
+        .map_err(|e| io_fail("request failed", &e))?;
+    match reply {
+        wet_serve::Reply::Ok(result) => {
+            say!("{}", result.render());
+            Ok(())
+        }
+        wet_serve::Reply::Err { kind, message, .. } => Err(remote_fail(&kind, &message)),
+    }
+}
+
+/// `wet drill`: replay misbehaving clients against a running server.
+fn cmd_drill(flags: &Flags) -> Result<()> {
+    let remote = flags.remote.clone().ok_or("drill requires --remote ADDR")?;
+    let report = wet_serve::run_drill(&remote, flags.seed, flags.count);
+    say!(
+        "drill: {} clients (seed {}): {} ok, {} deadline, {} cancelled, {} shed, {} other errors, {} conns dropped",
+        report.clients, flags.seed, report.ok, report.deadline, report.cancelled,
+        report.shed, report.other_errors, report.conns_dropped
+    );
+    wet_obs::counter_add("drill.requests_terminated", "total", report.terminated());
+    wet_obs::counter_add("drill.conns_dropped", "total", report.conns_dropped);
+    if report.survived {
+        say!("server survived");
+        Ok(())
+    } else {
+        Err(fail(EXIT_UNAVAILABLE, "server did not answer after the drill"))
     }
 }
 

@@ -178,6 +178,62 @@ pub fn random_mutation(bytes: &[u8], rng: &mut FaultRng) -> (String, Vec<u8>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Server drill: misbehaving-client behaviors for the query daemon.
+// ---------------------------------------------------------------------------
+
+/// One misbehaving client the serve drill throws at a live daemon.
+/// Each variant targets one failure surface: the framing layer, the
+/// slow-sender budget, admission under load, or the cancel path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DrillClient {
+    /// Trickles a valid frame a few bytes at a time with long pauses —
+    /// must either complete or be dropped by the stall budget, never
+    /// wedge the server.
+    SlowLoris { chunk: usize, pause_ms: u64 },
+    /// Sends a frame prefix plus a partial payload, then disconnects.
+    MidFrameCut { keep: usize },
+    /// Sends a correctly framed payload of non-JSON garbage.
+    GarbageFrame { len: usize },
+    /// Claims an absurd frame length and disconnects; the server must
+    /// reject it before allocating.
+    HugeLength,
+    /// Fires a burst of real queries with a deadline too short to meet;
+    /// each must come back as a typed `deadline` (or `shed`) error.
+    DeadlineStorm { n: usize, deadline_ms: u64 },
+    /// Starts a real query, then cancels it after a short pause —
+    /// racing completion is fine, hanging is not.
+    CancelRace { pause_ms: u64 },
+}
+
+/// Deterministic drill schedule: `n` misbehaving clients drawn from all
+/// families, seeded so failures replay exactly.
+pub fn drill_schedule(seed: u64, n: usize) -> Vec<DrillClient> {
+    let mut rng = FaultRng::new(seed);
+    (0..n)
+        .map(|_| match rng.below(6) {
+            0 => DrillClient::SlowLoris {
+                chunk: 1 + rng.below(3) as usize,
+                pause_ms: 5 + rng.below(40),
+            },
+            1 => DrillClient::MidFrameCut {
+                keep: 1 + rng.below(16) as usize,
+            },
+            2 => DrillClient::GarbageFrame {
+                len: 1 + rng.below(256) as usize,
+            },
+            3 => DrillClient::HugeLength,
+            4 => DrillClient::DeadlineStorm {
+                n: 2 + rng.below(6) as usize,
+                deadline_ms: rng.below(3),
+            },
+            _ => DrillClient::CancelRace {
+                pause_ms: rng.below(20),
+            },
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -75,6 +75,22 @@ impl Default for CaptureConfig {
     }
 }
 
+/// Query-serving knobs ([`crate::query::engine`] and `wet-serve`).
+///
+/// Like `stream.num_threads`, these are execution knobs, not data:
+/// they are never serialized into `.wetz` containers — two servers
+/// with different budgets answer queries over byte-identical traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeConfig {
+    /// Byte budget for each query worker's decompression cache
+    /// ([`crate::query::engine::EngineCache`]). `0` means unlimited
+    /// (the library default). When set, the cache evicts
+    /// least-recently-used entries so accounted bytes never exceed the
+    /// budget; streams larger than the whole budget are decompressed
+    /// into a transient scratch slot and never cached.
+    pub cache_budget_bytes: u64,
+}
+
 /// WET construction options.
 #[derive(Debug, Clone)]
 pub struct WetConfig {
@@ -92,6 +108,9 @@ pub struct WetConfig {
     /// Segmented-capture policy (only consulted by [`crate::capture`];
     /// never serialized into `.wetz` files).
     pub capture: CaptureConfig,
+    /// Query-serving policy (only consulted by the query engine and
+    /// `wet-serve`; never serialized into `.wetz` files).
+    pub serve: ServeConfig,
 }
 
 impl Default for WetConfig {
@@ -103,6 +122,7 @@ impl Default for WetConfig {
             infer_local_edges: true,
             share_edge_labels: true,
             capture: CaptureConfig::default(),
+            serve: ServeConfig::default(),
         }
     }
 }
@@ -279,6 +299,13 @@ impl Wet {
     /// The construction configuration.
     pub fn config(&self) -> &WetConfig {
         &self.config
+    }
+
+    /// Mutable access to the configuration — for the runtime-only knobs
+    /// that are never serialized (worker threads, the serve cache
+    /// budget), which a loader may want to adjust after `read_from`.
+    pub fn config_mut(&mut self) -> &mut WetConfig {
+        &mut self.config
     }
 
     /// All nodes, indexed by [`NodeId`].
@@ -668,5 +695,86 @@ impl Wet {
             }
         }
         None
+    }
+
+    /// [`Wet::resolve_producer`] for the strict query path over a
+    /// possibly-salvaged container: every unavailable sequence on the
+    /// lookup path surfaces as a typed
+    /// [`crate::query::QueryErr::Corrupt`] instead of a panic (global
+    /// timestamp keys) or a silent "no match" (intra `ks`, label
+    /// pools). Same lookup order and outcomes on fully available data.
+    pub fn try_resolve_producer(
+        &mut self,
+        node: NodeId,
+        dst_stmt: StmtId,
+        slot: u8,
+        k: u32,
+    ) -> Result<Option<(NodeId, StmtId, u32)>, crate::query::QueryErr> {
+        use crate::query::QueryErr;
+        {
+            let n = &mut self.nodes[node.index()];
+            if let Some(ies) = n.intra.get_mut(&(dst_stmt, slot)) {
+                for ie in ies {
+                    if ie.complete {
+                        return Ok(Some((node, ie.src, k)));
+                    }
+                    if let Some(ks) = &mut ie.ks {
+                        if !ks.is_available() {
+                            return Err(QueryErr::Corrupt(format!(
+                                "intra-edge label sequence unavailable in node {}",
+                                node.0
+                            )));
+                        }
+                        if ks.find_sorted(k as u64).is_some() {
+                            return Ok(Some((node, ie.src, k)));
+                        }
+                    }
+                }
+            }
+        }
+        let key = match self.config.ts_mode {
+            TsMode::Local => k as u64,
+            TsMode::Global => {
+                let ts = &mut self.nodes[node.index()].ts;
+                if !ts.is_available() {
+                    return Err(QueryErr::Corrupt(format!(
+                        "timestamp sequence unavailable in node {}",
+                        node.0
+                    )));
+                }
+                ts.get(k as usize)
+            }
+        };
+        let Some(edge_idxs) = self.in_edges.get(&(node, dst_stmt, slot)).cloned() else {
+            return Ok(None);
+        };
+        for ei in edge_idxs {
+            let e = self.edges[ei as usize];
+            let lab = &mut self.labels[e.labels as usize];
+            if !lab.dst.is_available() || !lab.src.is_available() {
+                return Err(QueryErr::Corrupt(format!("edge label pool {} unavailable", e.labels)));
+            }
+            if let Some(p) = lab.dst.find_sorted(key) {
+                let srcv = lab.src.get(p);
+                let k_src = match self.config.ts_mode {
+                    TsMode::Local => srcv as u32,
+                    TsMode::Global => {
+                        let sn = &mut self.nodes[e.src_node.index()];
+                        if !sn.ts.is_available() {
+                            return Err(QueryErr::Corrupt(format!(
+                                "timestamp sequence unavailable in node {}",
+                                e.src_node.0
+                            )));
+                        }
+                        match sn.ts.find_sorted(srcv) {
+                            Some(p) => p as u32,
+                            None => return Ok(None),
+                        }
+                    }
+                };
+                return Ok(Some((e.src_node, e.src_stmt, k_src)));
+            }
+        }
+        Ok(None)
     }
 }

@@ -54,7 +54,7 @@
 //! wet.compress();
 //!
 //! // The whole control-flow trace is recoverable from the compressed form.
-//! let trace = query::cf_trace_forward(&mut wet);
+//! let trace = query::cf_trace_forward(&mut wet).unwrap();
 //! assert_eq!(trace.len() as u64, wet.stats().paths_executed);
 //! assert!(wet.sizes().ratio() > 1.0);
 //! # Ok(())
@@ -178,7 +178,7 @@ mod tests {
                 let stmt = wet_ir::StmtId(stmt_id);
                 let expected: Vec<i64> = rec.values_of(stmt);
                 let got: Vec<i64> =
-                    query::value_trace(&wet, stmt).into_iter().map(|(_, v)| v).collect();
+                    query::value_trace(&wet, stmt).unwrap().into_iter().map(|(_, v)| v).collect();
                 assert_eq!(got, expected, "value trace mismatch for {stmt} (group={group})");
             }
         }
@@ -192,10 +192,10 @@ mod tests {
             if tier2 {
                 wet.compress();
             }
-            let fwd = query::cf_trace_forward(&mut wet);
+            let fwd = query::cf_trace_forward(&mut wet).unwrap();
             let blocks = query::expand_blocks(&wet, &fwd);
             assert_eq!(blocks, rec.block_trace(), "tier2={tier2}");
-            let mut bwd = query::cf_trace_backward(&mut wet);
+            let mut bwd = query::cf_trace_backward(&mut wet).unwrap();
             bwd.reverse();
             assert_eq!(bwd, fwd, "backward trace must mirror forward (tier2={tier2})");
         }
@@ -213,7 +213,7 @@ mod tests {
                 let stmt = wet_ir::StmtId(stmt_id);
                 let expected = rec.addresses_of(stmt);
                 let got: Vec<u64> =
-                    query::address_trace(&wet, &p, stmt).into_iter().map(|(_, a)| a).collect();
+                    query::address_trace(&wet, &p, stmt).unwrap().into_iter().map(|(_, a)| a).collect();
                 assert_eq!(got, expected, "address trace mismatch for {stmt} (tier2={tier2})");
             }
         }
@@ -225,11 +225,11 @@ mod tests {
         let cfg = WetConfig { ts_mode: TsMode::Global, ..Default::default() };
         let (mut wet, rec) = build_wet(&p, &[60], cfg);
         wet.compress();
-        let fwd = query::cf_trace_forward(&mut wet);
+        let fwd = query::cf_trace_forward(&mut wet).unwrap();
         assert_eq!(query::expand_blocks(&wet, &fwd), rec.block_trace());
         for stmt_id in 0..p.stmt_count() as u32 {
             let stmt = wet_ir::StmtId(stmt_id);
-            let got: Vec<u64> = query::address_trace(&wet, &p, stmt).into_iter().map(|(_, a)| a).collect();
+            let got: Vec<u64> = query::address_trace(&wet, &p, stmt).unwrap().into_iter().map(|(_, a)| a).collect();
             assert_eq!(got, rec.addresses_of(stmt), "{stmt}");
         }
     }
@@ -248,14 +248,14 @@ mod tests {
         let p = looping_program();
         let (mut wet, _) = build_wet(&p, &[60], WetConfig::default());
         wet.compress();
-        let strict = query::cf_trace_forward(&mut wet);
+        let strict = query::cf_trace_forward(&mut wet).unwrap();
         let (deg_steps, deg) = query::cf_trace_forward_degraded(&wet);
         assert_eq!(deg_steps, strict);
         assert!(deg.is_complete());
         for stmt_id in 0..p.stmt_count() as u32 {
             let stmt = wet_ir::StmtId(stmt_id);
             let (vals, dv) = query::value_trace_degraded(&wet, stmt);
-            assert_eq!(vals, query::value_trace(&wet, stmt), "{stmt}");
+            assert_eq!(vals, query::value_trace(&wet, stmt).unwrap(), "{stmt}");
             assert!(dv.is_complete());
         }
     }
@@ -277,7 +277,7 @@ mod tests {
         let (salvaged, report) = Wet::read_salvaging(&mut m.as_slice()).unwrap();
         assert!(report.seqs_lost > 0);
         let (steps, cf_deg) = query::cf_trace_forward_degraded(&salvaged);
-        assert_eq!(steps, query::cf_trace_forward(&mut wet), "cf trace fully recovered");
+        assert_eq!(steps, query::cf_trace_forward(&mut wet).unwrap(), "cf trace fully recovered");
         assert!(cf_deg.is_complete());
         let stmt = wet_ir::StmtId(0);
         let (vals_deg, dv) = query::value_trace_degraded(&salvaged, stmt);
@@ -303,7 +303,7 @@ mod tests {
     fn degraded_cf_trace_resyncs_across_one_lost_node() {
         let p = looping_program();
         let (mut wet, _) = build_wet(&p, &[60], WetConfig::default());
-        let strict = query::cf_trace_forward(&mut wet);
+        let strict = query::cf_trace_forward(&mut wet).unwrap();
         // Knock out a single node's timestamp stream in place —
         // finer-grained loss than section salvage produces, to prove
         // the resync logic recovers everything else.
@@ -330,7 +330,7 @@ mod tests {
             let e = wet.edges()[0];
             query::WetSliceElem { node: e.dst_node, stmt: e.dst_stmt, k: 0 }
         };
-        let strict = query::backward_slice(&mut wet, &p, criterion, Default::default());
+        let strict = query::backward_slice(&mut wet, &p, criterion, Default::default()).unwrap();
         let (same, deg) = query::backward_slice_degraded(&mut wet, &p, criterion, Default::default());
         assert_eq!(same.stamped, strict.stamped);
         assert!(deg.is_complete());
@@ -373,8 +373,8 @@ mod tests {
         // Queries stay correct without the optimizations.
         on.compress();
         off.compress();
-        let a = query::cf_trace_forward(&mut on);
-        let b = query::cf_trace_forward(&mut off);
+        let a = query::cf_trace_forward(&mut on).unwrap();
+        let b = query::cf_trace_forward(&mut off).unwrap();
         assert_eq!(a.len(), b.len());
     }
 }

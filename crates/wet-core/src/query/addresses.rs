@@ -16,6 +16,7 @@
 //! count.
 
 use crate::graph::{NodeId, Wet, SLOT_OP0};
+use crate::query::ctl::{Ctl, QueryErr};
 use wet_ir::program::StmtRef;
 use wet_ir::stmt::{Operand, StmtKind};
 use wet_ir::{Program, StmtId};
@@ -55,7 +56,19 @@ pub fn address_at(wet: &mut Wet, program: &Program, node: NodeId, stmt: StmtId, 
 /// up to `config.stream.num_threads` workers (one per containing
 /// node).
 ///
-/// Returns an empty trace for statements that do not access memory.
-pub fn address_trace(wet: &Wet, program: &Program, stmt: StmtId) -> Vec<(u64, u64)> {
+/// Returns an empty trace for statements that do not access memory,
+/// and [`QueryErr::Corrupt`] when the walk reaches a sequence lost to
+/// salvage.
+pub fn address_trace(wet: &Wet, program: &Program, stmt: StmtId) -> Result<Vec<(u64, u64)>, QueryErr> {
     crate::query::engine::address_trace(wet, program, stmt, wet.config().stream.num_threads)
+}
+
+/// [`address_trace`] with cooperative cancellation.
+pub fn address_trace_ctl(
+    wet: &Wet,
+    program: &Program,
+    stmt: StmtId,
+    ctl: &Ctl,
+) -> Result<Vec<(u64, u64)>, QueryErr> {
+    crate::query::engine::address_trace_ctl(wet, program, stmt, wet.config().stream.num_threads, ctl)
 }

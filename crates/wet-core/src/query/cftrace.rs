@@ -8,8 +8,14 @@
 //! contains `t + 1`. Per-node stream cursors advance monotonically, so
 //! a full extraction costs time linear in the trace in either
 //! direction — the property Table 6 measures.
+//!
+//! Every extraction loop here is a cooperative cancel point (see
+//! [`crate::query::ctl`]): the `*_ctl` entry points honor deadlines and
+//! cancel tokens, and a timestamp no surviving sequence can account for
+//! becomes a typed [`QueryErr::Corrupt`] instead of a panic.
 
 use crate::graph::{NodeId, Wet};
+use crate::query::ctl::{Ctl, QueryErr};
 use wet_ir::{BlockId, FuncId};
 
 /// One step of the node-level control-flow trace.
@@ -24,16 +30,27 @@ pub struct CfStep {
 }
 
 /// Extracts the full control-flow trace front to back.
-pub fn cf_trace_forward(wet: &mut Wet) -> Vec<CfStep> {
+pub fn cf_trace_forward(wet: &mut Wet) -> Result<Vec<CfStep>, QueryErr> {
+    cf_trace_forward_ctl(wet, &Ctl::unbounded())
+}
+
+/// [`cf_trace_forward`] with cooperative cancellation: checks `ctl`
+/// once per [`crate::query::CHECK_INTERVAL`] steps.
+pub fn cf_trace_forward_ctl(wet: &mut Wet, ctl: &Ctl) -> Result<Vec<CfStep>, QueryErr> {
     let _span = wet_obs::span!("query.cf_trace_forward");
     let (first, first_ts) = wet.first();
     let (_, last_ts) = wet.last();
     let mut steps = Vec::with_capacity((last_ts - first_ts + 1) as usize);
     let mut node = first;
-    let k0 = wet.node_mut(node).ts.find_sorted(first_ts).expect("first ts present");
+    let k0 = wet
+        .node_mut(node)
+        .ts
+        .find_sorted(first_ts)
+        .ok_or_else(|| QueryErr::Corrupt(format!("first node does not hold ts {first_ts}")))?;
     steps.push(CfStep { node, k: k0 as u32, ts: first_ts });
     let mut ts = first_ts;
     while ts < last_ts {
+        ctl.check_every(steps.len())?;
         let next_ts = ts + 1;
         let succs: Vec<NodeId> = wet.node(node).cf_succs.clone();
         let mut found = None;
@@ -51,26 +68,37 @@ pub fn cf_trace_forward(wet: &mut Wet) -> Vec<CfStep> {
                 break;
             }
         }
-        let (s, k) = found.unwrap_or_else(|| panic!("no successor node holds ts {next_ts}"));
+        let (s, k) =
+            found.ok_or_else(|| QueryErr::Corrupt(format!("no successor node holds ts {next_ts}")))?;
         steps.push(CfStep { node: s, k: k as u32, ts: next_ts });
         node = s;
         ts = next_ts;
     }
-    steps
+    Ok(steps)
 }
 
 /// Extracts the full control-flow trace back to front. The returned
 /// steps are in reverse execution order (last first).
-pub fn cf_trace_backward(wet: &mut Wet) -> Vec<CfStep> {
+pub fn cf_trace_backward(wet: &mut Wet) -> Result<Vec<CfStep>, QueryErr> {
+    cf_trace_backward_ctl(wet, &Ctl::unbounded())
+}
+
+/// [`cf_trace_backward`] with cooperative cancellation.
+pub fn cf_trace_backward_ctl(wet: &mut Wet, ctl: &Ctl) -> Result<Vec<CfStep>, QueryErr> {
     let _span = wet_obs::span!("query.cf_trace_backward");
     let (last, last_ts) = wet.last();
     let (_, first_ts) = wet.first();
     let mut steps = Vec::with_capacity((last_ts - first_ts + 1) as usize);
     let mut node = last;
-    let k0 = wet.node_mut(node).ts.find_sorted(last_ts).expect("last ts present");
+    let k0 = wet
+        .node_mut(node)
+        .ts
+        .find_sorted(last_ts)
+        .ok_or_else(|| QueryErr::Corrupt(format!("last node does not hold ts {last_ts}")))?;
     steps.push(CfStep { node, k: k0 as u32, ts: last_ts });
     let mut ts = last_ts;
     while ts > first_ts {
+        ctl.check_every(steps.len())?;
         let prev_ts = ts - 1;
         let preds: Vec<NodeId> = wet.node(node).cf_preds.clone();
         let mut found = None;
@@ -86,26 +114,37 @@ pub fn cf_trace_backward(wet: &mut Wet) -> Vec<CfStep> {
                 break;
             }
         }
-        let (p, k) = found.unwrap_or_else(|| panic!("no predecessor node holds ts {prev_ts}"));
+        let (p, k) =
+            found.ok_or_else(|| QueryErr::Corrupt(format!("no predecessor node holds ts {prev_ts}")))?;
         steps.push(CfStep { node: p, k: k as u32, ts: prev_ts });
         node = p;
         ts = prev_ts;
     }
-    steps
+    Ok(steps)
 }
 
 /// Salvage-tolerant forward control-flow trace: recovers every step
 /// whose node timestamp stream survived, in execution order, and
-/// reports the holes. Where [`cf_trace_forward`] panics if a timestamp
-/// cannot be located (impossible on a validated, fully available WET),
-/// this variant resynchronizes past the missing range and counts it as
-/// a gap — partial results instead of no results, which is the point
-/// of salvage mode.
+/// reports the holes. Where [`cf_trace_forward`] returns
+/// [`QueryErr::Corrupt`] if a timestamp cannot be located, this variant
+/// resynchronizes past the missing range and counts it as a gap —
+/// partial results instead of no results, which is the point of
+/// salvage mode.
 pub fn cf_trace_forward_degraded(wet: &Wet) -> (Vec<CfStep>, crate::query::Degraded) {
+    cf_trace_forward_degraded_ctl(wet, &Ctl::unbounded())
+        .expect("unbounded ctl never fails")
+}
+
+/// [`cf_trace_forward_degraded`] with cooperative cancellation.
+pub fn cf_trace_forward_degraded_ctl(
+    wet: &Wet,
+    ctl: &Ctl,
+) -> Result<(Vec<CfStep>, crate::query::Degraded), QueryErr> {
     let _span = wet_obs::span!("query.cf_trace_forward_degraded");
     let mut deg = crate::query::Degraded::default();
     let mut steps = Vec::new();
     for (i, n) in wet.nodes().iter().enumerate() {
+        ctl.check_every(i)?;
         match n.ts.try_to_vec_snapshot() {
             Some(ts) => {
                 for (k, &t) in ts.iter().enumerate() {
@@ -115,6 +154,7 @@ pub fn cf_trace_forward_degraded(wet: &Wet) -> (Vec<CfStep>, crate::query::Degra
             None => deg.nodes_skipped += 1,
         }
     }
+    ctl.check()?;
     // Timestamps partition the execution across nodes, so sorting by
     // ts reproduces exactly the successor-chasing order of the strict
     // extraction — for the steps that survived.
@@ -133,7 +173,7 @@ pub fn cf_trace_forward_degraded(wet: &Wet) -> (Vec<CfStep>, crate::query::Degra
         deg.gaps += 1;
         deg.steps_missing += last_ts - expected + 1;
     }
-    (steps, deg)
+    Ok((steps, deg))
 }
 
 /// Locates the node execution holding timestamp `ts` by checking node
@@ -161,14 +201,26 @@ pub fn locate_ts(wet: &mut Wet, ts: u64) -> Option<CfStep> {
 /// itself is included.
 ///
 /// Returns an empty vector when `ts` is outside the execution.
-pub fn cf_trace_from(wet: &mut Wet, ts: u64, count: usize, forward: bool) -> Vec<CfStep> {
-    let Some(start) = locate_ts(wet, ts) else { return Vec::new() };
+pub fn cf_trace_from(wet: &mut Wet, ts: u64, count: usize, forward: bool) -> Result<Vec<CfStep>, QueryErr> {
+    cf_trace_from_ctl(wet, ts, count, forward, &Ctl::unbounded())
+}
+
+/// [`cf_trace_from`] with cooperative cancellation.
+pub fn cf_trace_from_ctl(
+    wet: &mut Wet,
+    ts: u64,
+    count: usize,
+    forward: bool,
+    ctl: &Ctl,
+) -> Result<Vec<CfStep>, QueryErr> {
+    let Some(start) = locate_ts(wet, ts) else { return Ok(Vec::new()) };
     let (_, last_ts) = wet.last();
     let (_, first_ts) = wet.first();
     let mut steps = vec![start];
     let mut node = start.node;
     let mut t = ts;
     while steps.len() < count {
+        ctl.check_every(steps.len())?;
         let (next_t, neighbours) = if forward {
             if t >= last_ts {
                 break;
@@ -193,12 +245,12 @@ pub fn cf_trace_from(wet: &mut Wet, ts: u64, count: usize, forward: bool) -> Vec
                 break;
             }
         }
-        let step = found.unwrap_or_else(|| panic!("no neighbour holds ts {next_t}"));
+        let step = found.ok_or_else(|| QueryErr::Corrupt(format!("no neighbour holds ts {next_t}")))?;
         node = step.node;
         t = next_t;
         steps.push(step);
     }
-    steps
+    Ok(steps)
 }
 
 /// Expands a node-level trace into the basic-block trace.

@@ -6,7 +6,7 @@
 //! without reference to any other stream. The cursor-based query path
 //! ([`crate::Wet::resolve_producer`], [`crate::seq::Seq::get`]) takes
 //! `&mut Wet`, which serializes everything; this module instead reads
-//! through **snapshots** ([`crate::seq::Seq::to_vec_snapshot`]
+//! through **snapshots** ([`crate::seq::Seq::try_to_vec_snapshot`]
 //! clones a stream and decompresses the clone), so any number of
 //! workers can extract from one `&Wet` concurrently.
 //!
@@ -18,30 +18,79 @@
 //! [`EngineCache`]s memoize decompressed label pools, node timestamp
 //! sequences, and producer value sequences; the caches accelerate but
 //! never change results, which is what makes the fan-out safe.
+//!
+//! ## Memory budget
+//!
+//! Each worker's cache is a byte-accounted LRU bounded by
+//! `WetConfig.serve.cache_budget_bytes` (0 = unlimited, the library
+//! default). On insert the cache first evicts least-recently-used
+//! entries to make room, so the accounted bytes never exceed the
+//! budget — not even transiently; a single stream larger than the
+//! whole budget is decompressed into a transient scratch slot and
+//! never cached at all. Eviction counters and the peak-bytes
+//! high-water mark are published to wet-obs when the cache drops.
+//!
+//! ## Errors and cancellation
+//!
+//! The strict entry points return [`QueryErr::Corrupt`] when a walk
+//! reaches a [`crate::Seq::Unavailable`] placeholder left by salvage
+//! (the `*_degraded` variants keep answering around the holes), and
+//! every extraction loop is a cooperative cancel point for the
+//! `*_ctl` variants (see [`crate::query::ctl`]).
 
 use crate::graph::{NodeId, TsMode, Wet, SLOT_OP0};
 use crate::par;
+use crate::query::ctl::{Ctl, QueryErr};
 use crate::query::values::nodes_with_stmt;
-use std::collections::HashMap;
+use crate::seq::Seq;
+use std::collections::{BTreeMap, HashMap};
 use wet_ir::stmt::Operand;
 use wet_ir::{Program, StmtId};
 
-/// Per-worker memoization of decompressed sequences.
-#[derive(Default)]
-pub struct EngineCache {
-    /// Label pools by pool index: `(dst, src)` pair streams.
-    labels: HashMap<u32, (Vec<u64>, Vec<u64>)>,
-    /// Node timestamp sequences (global-mode label mapping).
-    node_ts: HashMap<u32, Vec<u64>>,
-    /// Intra-edge `ks` sequences by `(node, dst stmt, slot, edge pos)`.
-    intra_ks: HashMap<(u32, StmtId, u8, usize), Vec<u64>>,
-    /// Producer `(ts, value)` sequences by `(node, stmt)`.
-    values: HashMap<(u32, StmtId), Vec<(u64, i64)>>,
-    /// Decompression-cache hit/miss counts, flushed on drop.
-    stats: CacheStats,
+/// Decompresses a snapshot of `seq`, or reports it as corrupt data.
+fn snap(seq: &Seq, what: impl FnOnce() -> String) -> Result<Vec<u64>, QueryErr> {
+    seq.try_to_vec_snapshot().ok_or_else(|| QueryErr::Corrupt(what()))
 }
 
-/// Which [`EngineCache`] map a hit/miss belongs to.
+/// What a cache entry holds. One payload enum (rather than one map per
+/// kind) lets a single recency index order all entries for LRU
+/// eviction under one byte budget.
+#[derive(Debug)]
+enum CacheData {
+    /// A label pool's parallel `(dst, src)` pair streams.
+    Pairs(Vec<u64>, Vec<u64>),
+    /// A node timestamp or intra-edge `ks` sequence.
+    U64s(Vec<u64>),
+    /// A producer's `(ts, value)` sequence.
+    Values(Vec<(u64, i64)>),
+}
+
+impl CacheData {
+    /// Accounted payload size: element bytes of the decompressed
+    /// vectors (the dominant cost; map/index overhead is not charged).
+    fn bytes(&self) -> u64 {
+        match self {
+            CacheData::Pairs(d, s) => 8 * (d.len() + s.len()) as u64,
+            CacheData::U64s(v) => 8 * v.len() as u64,
+            CacheData::Values(v) => 16 * v.len() as u64,
+        }
+    }
+}
+
+/// Cache key — one variant per memoized sequence kind.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum CacheKey {
+    /// Label pool by pool index.
+    Labels(u32),
+    /// Node timestamp sequence.
+    NodeTs(u32),
+    /// Intra-edge `ks` sequence by `(node, dst stmt, slot, edge pos)`.
+    IntraKs(u32, StmtId, u8, u32),
+    /// Producer values by `(node, stmt)`.
+    Values(u32, StmtId),
+}
+
+/// Which [`EngineCache`] entry kind a metric belongs to.
 #[derive(Clone, Copy)]
 enum CacheKind {
     Labels = 0,
@@ -52,15 +101,35 @@ enum CacheKind {
 
 const CACHE_KIND_NAMES: [&str; 4] = ["labels", "node_ts", "intra_ks", "values"];
 
+impl CacheKey {
+    fn kind(&self) -> CacheKind {
+        match self {
+            CacheKey::Labels(_) => CacheKind::Labels,
+            CacheKey::NodeTs(_) => CacheKind::NodeTs,
+            CacheKey::IntraKs(..) => CacheKind::IntraKs,
+            CacheKey::Values(..) => CacheKind::Values,
+        }
+    }
+}
+
+struct Entry {
+    data: CacheData,
+    bytes: u64,
+    tick: u64,
+}
+
 /// Plain per-worker counters — buffered locally (no registry traffic
 /// on the query hot path) and published when the cache drops, i.e. at
-/// worker end. Hit/miss totals depend on how items were distributed
-/// across workers, so these metrics are *not* thread-count
+/// worker end. Hit/miss/eviction totals depend on how items were
+/// distributed across workers, so these metrics are *not* thread-count
 /// deterministic (the determinism test excludes `query.cache.*`).
 #[derive(Default)]
 struct CacheStats {
     hits: [u64; 4],
     misses: [u64; 4],
+    evictions: [u64; 4],
+    oversize: [u64; 4],
+    peak_bytes: u64,
 }
 
 impl CacheStats {
@@ -74,6 +143,34 @@ impl CacheStats {
     }
 }
 
+/// Per-worker memoization of decompressed sequences: a byte-budgeted
+/// LRU over every kind of sequence the engine decompresses.
+pub struct EngineCache {
+    entries: HashMap<CacheKey, Entry>,
+    /// Recency index: tick → key, lowest tick = least recently used.
+    /// Ticks are unique (bumped on every touch), so this is a total
+    /// order and eviction is O(log n).
+    recency: BTreeMap<u64, CacheKey>,
+    tick: u64,
+    /// Accounted bytes currently held. Invariant: `budget == 0` or
+    /// `bytes <= budget`, maintained by evicting *before* inserting.
+    bytes: u64,
+    /// Byte budget; `0` = unlimited.
+    budget: u64,
+    /// Transient home for an entry too large to cache — kept alive so
+    /// [`EngineCache::fetch`] can hand out a reference, replaced on the
+    /// next oversized miss.
+    scratch: Option<CacheData>,
+    stats: CacheStats,
+}
+
+impl Default for EngineCache {
+    /// An unlimited cache (the pre-budget library behavior).
+    fn default() -> Self {
+        EngineCache::with_budget(0)
+    }
+}
+
 impl Drop for EngineCache {
     fn drop(&mut self) {
         if !wet_obs::enabled() {
@@ -82,49 +179,137 @@ impl Drop for EngineCache {
         for (i, kind) in CACHE_KIND_NAMES.iter().enumerate() {
             wet_obs::counter_add("query.cache.hits", kind, self.stats.hits[i]);
             wet_obs::counter_add("query.cache.misses", kind, self.stats.misses[i]);
+            wet_obs::counter_add("query.cache.evictions", kind, self.stats.evictions[i]);
+            wet_obs::counter_add("query.cache.oversize", kind, self.stats.oversize[i]);
         }
+        // Max across workers: the largest any one cache ever held.
+        wet_obs::gauge_max("query.cache.peak_bytes", "", self.stats.peak_bytes as i64);
     }
 }
 
 impl EngineCache {
-    fn node_ts<'a>(
-        ts: &'a mut HashMap<u32, Vec<u64>>,
-        stats: &mut CacheStats,
-        wet: &Wet,
-        node: NodeId,
-    ) -> &'a [u64] {
-        stats.touch(CacheKind::NodeTs, ts.contains_key(&node.0));
-        ts.entry(node.0).or_insert_with(|| wet.node(node).ts.to_vec_snapshot())
+    /// A cache bounded by `budget` accounted bytes (`0` = unlimited).
+    pub fn with_budget(budget: u64) -> EngineCache {
+        EngineCache {
+            entries: HashMap::new(),
+            recency: BTreeMap::new(),
+            tick: 0,
+            bytes: 0,
+            budget,
+            scratch: None,
+            stats: CacheStats::default(),
+        }
     }
 
-    fn value_at(&mut self, wet: &Wet, node: NodeId, stmt: StmtId, k: u32) -> Option<i64> {
-        self.stats.touch(CacheKind::Values, self.values.contains_key(&(node.0, stmt)));
-        let seq = self
-            .values
-            .entry((node.0, stmt))
-            .or_insert_with(|| values_in_node_snapshot(wet, node, stmt));
-        seq.get(k as usize).map(|&(_, v)| v)
+    /// A cache honoring the WET's `serve.cache_budget_bytes` knob.
+    pub fn for_wet(wet: &Wet) -> EngineCache {
+        EngineCache::with_budget(wet.config().serve.cache_budget_bytes)
+    }
+
+    /// Accounted bytes currently held (always ≤ the budget when one is
+    /// set).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// High-water mark of accounted bytes over this cache's lifetime.
+    pub fn peak_bytes(&self) -> u64 {
+        self.stats.peak_bytes
+    }
+
+    /// Looks up `key`, building and (budget permitting) caching the
+    /// entry on a miss. The returned reference is valid until the next
+    /// `fetch`.
+    fn fetch(
+        &mut self,
+        key: CacheKey,
+        build: impl FnOnce() -> Result<CacheData, QueryErr>,
+    ) -> Result<&CacheData, QueryErr> {
+        let kind = key.kind();
+        if let Some(e) = self.entries.get_mut(&key) {
+            self.stats.touch(kind, true);
+            self.tick += 1;
+            self.recency.remove(&e.tick);
+            e.tick = self.tick;
+            self.recency.insert(self.tick, key);
+            return Ok(&self.entries[&key].data);
+        }
+        self.stats.touch(kind, false);
+        let data = build()?;
+        let bytes = data.bytes();
+        if self.budget != 0 && bytes > self.budget {
+            // Larger than the whole budget: never cached, so the
+            // accounted-bytes invariant holds at all times.
+            self.stats.oversize[kind as usize] += 1;
+            return Ok(self.scratch.insert(data));
+        }
+        if self.budget != 0 {
+            // Make room *first*: bytes never exceeds the budget, not
+            // even between insert and eviction.
+            while self.bytes + bytes > self.budget {
+                let (&t, &victim) = self.recency.iter().next().expect("bytes accounted ⇒ recency non-empty");
+                self.recency.remove(&t);
+                let evicted = self.entries.remove(&victim).expect("recency index consistent");
+                self.bytes -= evicted.bytes;
+                self.stats.evictions[victim.kind() as usize] += 1;
+            }
+        }
+        self.tick += 1;
+        self.bytes += bytes;
+        if self.bytes > self.stats.peak_bytes {
+            self.stats.peak_bytes = self.bytes;
+        }
+        self.recency.insert(self.tick, key);
+        self.entries.insert(key, Entry { data, bytes, tick: self.tick });
+        Ok(&self.entries[&key].data)
+    }
+
+    /// The node's decompressed timestamp sequence.
+    fn node_ts(&mut self, wet: &Wet, node: NodeId) -> Result<&[u64], QueryErr> {
+        let data = self.fetch(CacheKey::NodeTs(node.0), || {
+            Ok(CacheData::U64s(snap(&wet.node(node).ts, || {
+                format!("timestamp sequence unavailable in node {}", node.0)
+            })?))
+        })?;
+        match data {
+            CacheData::U64s(v) => Ok(v),
+            _ => unreachable!("NodeTs key holds U64s"),
+        }
+    }
+
+    /// The value the producer `(node, stmt)` computed at execution `k`.
+    fn value_at(&mut self, wet: &Wet, node: NodeId, stmt: StmtId, k: u32) -> Result<Option<i64>, QueryErr> {
+        let data = self.fetch(CacheKey::Values(node.0, stmt), || {
+            Ok(CacheData::Values(values_in_node_snapshot(wet, node, stmt)?))
+        })?;
+        match data {
+            CacheData::Values(v) => Ok(v.get(k as usize).map(|&(_, v)| v)),
+            _ => unreachable!("Values key holds Values"),
+        }
     }
 }
 
 /// The value sequence of `stmt` within one node as `(ts, value)` pairs
 /// — [`crate::query::values::values_in_node`] through snapshots, for
-/// use from shared references.
-pub fn values_in_node_snapshot(wet: &Wet, node: NodeId, stmt: StmtId) -> Vec<(u64, i64)> {
+/// use from shared references. Returns [`QueryErr::Corrupt`] when a
+/// backing sequence was lost to salvage.
+pub fn values_in_node_snapshot(wet: &Wet, node: NodeId, stmt: StmtId) -> Result<Vec<(u64, i64)>, QueryErr> {
     let n = wet.node(node);
-    let Some(pos) = n.stmt_pos(stmt) else { return Vec::new() };
+    let Some(pos) = n.stmt_pos(stmt) else { return Ok(Vec::new()) };
     let ns = n.stmts[pos];
     if !ns.has_def {
-        return Vec::new();
+        return Ok(Vec::new());
     }
-    let ts = n.ts.to_vec_snapshot();
+    let ts = snap(&n.ts, || format!("timestamp sequence unavailable in node {}", node.0))?;
     let g = &n.groups[ns.group as usize];
-    let uvals = g.uvals[ns.member as usize].to_vec_snapshot();
+    let uvals = snap(&g.uvals[ns.member as usize], || {
+        format!("value sequence unavailable in node {}", node.0)
+    })?;
     match &g.pattern {
-        None => ts.into_iter().zip(uvals.into_iter().map(|v| v as i64)).collect(),
+        None => Ok(ts.into_iter().zip(uvals.into_iter().map(|v| v as i64)).collect()),
         Some(p) => {
-            let pattern = p.to_vec_snapshot();
-            ts.into_iter().zip(pattern).map(|(t, idx)| (t, uvals[idx as usize] as i64)).collect()
+            let pattern = snap(p, || format!("pattern sequence unavailable in node {}", node.0))?;
+            Ok(ts.into_iter().zip(pattern).map(|(t, idx)| (t, uvals[idx as usize] as i64)).collect())
         }
     }
 }
@@ -141,20 +326,28 @@ fn resolve_producer_snapshot(
     dst_stmt: StmtId,
     slot: u8,
     k: u32,
-) -> Option<(NodeId, StmtId, u32)> {
+) -> Result<Option<(NodeId, StmtId, u32)>, QueryErr> {
     // Intra-node edges first, in stored order.
     let n = wet.node(node);
     if let Some(ies) = n.intra.get(&(dst_stmt, slot)) {
         for (ei, ie) in ies.iter().enumerate() {
             if ie.complete {
-                return Some((node, ie.src, k));
+                return Ok(Some((node, ie.src, k)));
             }
             if let Some(ks) = &ie.ks {
-                let key = (node.0, dst_stmt, slot, ei);
-                cache.stats.touch(CacheKind::IntraKs, cache.intra_ks.contains_key(&key));
-                let v = cache.intra_ks.entry(key).or_insert_with(|| ks.to_vec_snapshot());
-                if v.binary_search(&(k as u64)).is_ok() {
-                    return Some((node, ie.src, k));
+                let covered = {
+                    let data = cache.fetch(CacheKey::IntraKs(node.0, dst_stmt, slot, ei as u32), || {
+                        Ok(CacheData::U64s(snap(ks, || {
+                            format!("intra-edge label sequence unavailable in node {}", node.0)
+                        })?))
+                    })?;
+                    match data {
+                        CacheData::U64s(v) => v.binary_search(&(k as u64)).is_ok(),
+                        _ => unreachable!("IntraKs key holds U64s"),
+                    }
+                };
+                if covered {
+                    return Ok(Some((node, ie.src, k)));
                 }
             }
         }
@@ -162,54 +355,64 @@ fn resolve_producer_snapshot(
     // Non-local labeled edges, in incoming-edge order.
     let key = match wet.config().ts_mode {
         TsMode::Local => k as u64,
-        TsMode::Global => EngineCache::node_ts(&mut cache.node_ts, &mut cache.stats, wet, node)[k as usize],
+        TsMode::Global => cache.node_ts(wet, node)?[k as usize],
     };
     for &ei in wet.in_edges(node, dst_stmt, slot) {
         let e = wet.edges()[ei as usize];
         let found = {
-            cache.stats.touch(CacheKind::Labels, cache.labels.contains_key(&e.labels));
-            let (dst_v, src_v) = cache.labels.entry(e.labels).or_insert_with(|| {
+            let data = cache.fetch(CacheKey::Labels(e.labels), || {
                 let lab = &wet.labels()[e.labels as usize];
-                (lab.dst.to_vec_snapshot(), lab.src.to_vec_snapshot())
-            });
-            dst_v.binary_search(&key).ok().map(|p| src_v[p])
+                Ok(CacheData::Pairs(
+                    snap(&lab.dst, || format!("edge label pool {} unavailable", e.labels))?,
+                    snap(&lab.src, || format!("edge label pool {} unavailable", e.labels))?,
+                ))
+            })?;
+            match data {
+                CacheData::Pairs(dst_v, src_v) => dst_v.binary_search(&key).ok().map(|p| src_v[p]),
+                _ => unreachable!("Labels key holds Pairs"),
+            }
         };
         if let Some(srcv) = found {
             let k_src = match wet.config().ts_mode {
                 TsMode::Local => srcv as u32,
-                TsMode::Global => {
-                    let ts = EngineCache::node_ts(&mut cache.node_ts, &mut cache.stats, wet, e.src_node);
-                    ts.binary_search(&srcv).ok()? as u32
-                }
+                TsMode::Global => match cache.node_ts(wet, e.src_node)?.binary_search(&srcv) {
+                    Ok(p) => p as u32,
+                    Err(_) => return Ok(None),
+                },
             };
-            return Some((e.src_node, e.src_stmt, k_src));
+            return Ok(Some((e.src_node, e.src_stmt, k_src)));
         }
     }
-    None
+    Ok(None)
 }
 
-/// The slice of `stmt`'s address trace contributed by one node.
+/// The slice of `stmt`'s address trace contributed by one node, with a
+/// cancel point per execution.
 fn addresses_in_node(
     wet: &Wet,
     cache: &mut EngineCache,
+    ctl: &Ctl,
     node: NodeId,
     stmt: StmtId,
     op: Operand,
-) -> Vec<(u64, u64)> {
+) -> Result<Vec<(u64, u64)>, QueryErr> {
     let n_execs = wet.node(node).n_execs;
-    let ts = wet.node(node).ts.to_vec_snapshot();
+    let ts = snap(&wet.node(node).ts, || format!("timestamp sequence unavailable in node {}", node.0))?;
     match op {
-        Operand::Imm(v) => ts.into_iter().map(|t| (t, v as u64)).collect(),
-        Operand::Reg(_) => (0..n_execs)
-            .map(|k| {
-                let a = match resolve_producer_snapshot(wet, cache, node, stmt, SLOT_OP0, k) {
-                    Some((pn, ps, pk)) => cache.value_at(wet, pn, ps, pk).unwrap_or(0) as u64,
+        Operand::Imm(v) => Ok(ts.into_iter().map(|t| (t, v as u64)).collect()),
+        Operand::Reg(_) => {
+            let mut out = Vec::with_capacity(n_execs as usize);
+            for k in 0..n_execs {
+                ctl.check_every(k as usize)?;
+                let a = match resolve_producer_snapshot(wet, cache, node, stmt, SLOT_OP0, k)? {
+                    Some((pn, ps, pk)) => cache.value_at(wet, pn, ps, pk)?.unwrap_or(0) as u64,
                     // Never-written register: reads as zero.
                     None => 0,
                 };
-                (ts[k as usize], a)
-            })
-            .collect(),
+                out.push((ts[k as usize], a));
+            }
+            Ok(out)
+        }
     }
 }
 
@@ -217,15 +420,30 @@ fn addresses_in_node(
 /// to `num_threads` workers (one per containing node): `(ts, value)`
 /// pairs sorted by timestamp. Identical to the sequential
 /// [`crate::query::value_trace`] for every thread count.
-pub fn value_trace(wet: &Wet, stmt: StmtId, num_threads: usize) -> Vec<(u64, i64)> {
+pub fn value_trace(wet: &Wet, stmt: StmtId, num_threads: usize) -> Result<Vec<(u64, i64)>, QueryErr> {
+    value_trace_ctl(wet, stmt, num_threads, &Ctl::unbounded())
+}
+
+/// [`value_trace`] with cooperative cancellation (one check per
+/// extracted node).
+pub fn value_trace_ctl(
+    wet: &Wet,
+    stmt: StmtId,
+    num_threads: usize,
+    ctl: &Ctl,
+) -> Result<Vec<(u64, i64)>, QueryErr> {
     let _span = wet_obs::span!("query.value_trace");
     let nodes = nodes_with_stmt(wet, stmt);
     wet_obs::hist_record("query.node_fanout", "value_trace", nodes.len() as u64);
     let threads = par::effective_threads(num_threads);
-    let parts = par::map(threads, &nodes, |_, &node| values_in_node_snapshot(wet, node, stmt));
+    let parts = par::map(threads, &nodes, |_, &node| {
+        ctl.check()?;
+        values_in_node_snapshot(wet, node, stmt)
+    });
+    let parts: Vec<Vec<(u64, i64)>> = parts.into_iter().collect::<Result<_, _>>()?;
     let mut out: Vec<(u64, i64)> = parts.into_iter().flatten().collect();
     out.sort_unstable_by_key(|&(ts, _)| ts);
-    out
+    Ok(out)
 }
 
 /// Salvage-tolerant [`value_trace`]: extracts from every containing
@@ -238,6 +456,18 @@ pub fn value_trace_degraded(
     stmt: StmtId,
     num_threads: usize,
 ) -> (Vec<(u64, i64)>, crate::query::Degraded) {
+    value_trace_degraded_ctl(wet, stmt, num_threads, &Ctl::unbounded()).expect("unbounded ctl never fails")
+}
+
+/// [`value_trace_degraded`] with cooperative cancellation. Corruption
+/// stays a *report* (skipped nodes), never an error; only
+/// cancellation/deadline aborts the extraction.
+pub fn value_trace_degraded_ctl(
+    wet: &Wet,
+    stmt: StmtId,
+    num_threads: usize,
+    ctl: &Ctl,
+) -> Result<(Vec<(u64, i64)>, crate::query::Degraded), QueryErr> {
     let _span = wet_obs::span!("query.value_trace_degraded");
     let mut deg = crate::query::Degraded::default();
     let nodes: Vec<NodeId> = nodes_with_stmt(wet, stmt)
@@ -249,16 +479,28 @@ pub fn value_trace_degraded(
         })
         .collect();
     let threads = par::effective_threads(num_threads);
-    let parts = par::map(threads, &nodes, |_, &node| values_in_node_snapshot(wet, node, stmt));
-    let mut out: Vec<(u64, i64)> = parts.into_iter().flatten().collect();
+    let parts = par::map(threads, &nodes, |_, &node| {
+        ctl.check()?;
+        values_in_node_snapshot(wet, node, stmt)
+    });
+    let mut out: Vec<(u64, i64)> = Vec::new();
+    for part in parts {
+        match part {
+            Ok(v) => out.extend(v),
+            // A stream that decodes badly despite looking available:
+            // degrade (skip + count) rather than fail.
+            Err(QueryErr::Corrupt(_)) => deg.nodes_skipped += 1,
+            Err(e) => return Err(e),
+        }
+    }
     out.sort_unstable_by_key(|&(ts, _)| ts);
-    (out, deg)
+    Ok((out, deg))
 }
 
 /// Whole-trace value extraction for many statements at once; the work
 /// units are `(statement, node)` streams, so parallelism is available
 /// even when each statement appears in few nodes.
-pub fn value_traces(wet: &Wet, stmts: &[StmtId], num_threads: usize) -> Vec<Vec<(u64, i64)>> {
+pub fn value_traces(wet: &Wet, stmts: &[StmtId], num_threads: usize) -> Result<Vec<Vec<(u64, i64)>>, QueryErr> {
     let _span = wet_obs::span!("query.value_traces");
     let units: Vec<(usize, NodeId)> = stmts
         .iter()
@@ -270,12 +512,12 @@ pub fn value_traces(wet: &Wet, stmts: &[StmtId], num_threads: usize) -> Vec<Vec<
     let parts = par::map(threads, &units, |_, &(si, node)| values_in_node_snapshot(wet, node, stmts[si]));
     let mut out: Vec<Vec<(u64, i64)>> = vec![Vec::new(); stmts.len()];
     for (&(si, _), part) in units.iter().zip(parts) {
-        out[si].extend(part);
+        out[si].extend(part?);
     }
     for trace in &mut out {
         trace.sort_unstable_by_key(|&(ts, _)| ts);
     }
-    out
+    Ok(out)
 }
 
 /// The complete per-instruction address trace of a load/store
@@ -283,20 +525,39 @@ pub fn value_traces(wet: &Wet, stmts: &[StmtId], num_threads: usize) -> Vec<Vec<
 /// pairs sorted by timestamp. Identical to the sequential
 /// [`crate::query::address_trace`] for every thread count; empty for
 /// statements that do not access memory.
-pub fn address_trace(wet: &Wet, program: &Program, stmt: StmtId, num_threads: usize) -> Vec<(u64, u64)> {
+pub fn address_trace(
+    wet: &Wet,
+    program: &Program,
+    stmt: StmtId,
+    num_threads: usize,
+) -> Result<Vec<(u64, u64)>, QueryErr> {
+    address_trace_ctl(wet, program, stmt, num_threads, &Ctl::unbounded())
+}
+
+/// [`address_trace`] with cooperative cancellation (checks inside each
+/// node's per-execution resolution loop).
+pub fn address_trace_ctl(
+    wet: &Wet,
+    program: &Program,
+    stmt: StmtId,
+    num_threads: usize,
+    ctl: &Ctl,
+) -> Result<Vec<(u64, u64)>, QueryErr> {
     let _span = wet_obs::span!("query.address_trace");
     let Some(op) = crate::query::addresses::addr_operand(program, stmt) else {
-        return Vec::new();
+        return Ok(Vec::new());
     };
     let nodes = nodes_with_stmt(wet, stmt);
     wet_obs::hist_record("query.node_fanout", "address_trace", nodes.len() as u64);
     let threads = par::effective_threads(num_threads);
-    let parts = par::map_ctx(threads, &nodes, EngineCache::default, |cache, _, &node| {
-        addresses_in_node(wet, cache, node, stmt, op)
+    let parts = par::map_ctx(threads, &nodes, || EngineCache::for_wet(wet), |cache, _, &node| {
+        ctl.check()?;
+        addresses_in_node(wet, cache, ctl, node, stmt, op)
     });
+    let parts: Vec<Vec<(u64, u64)>> = parts.into_iter().collect::<Result<_, _>>()?;
     let mut out: Vec<(u64, u64)> = parts.into_iter().flatten().collect();
     out.sort_unstable_by_key(|&(ts, _)| ts);
-    out
+    Ok(out)
 }
 
 /// Whole-trace address extraction for many statements at once over
@@ -306,8 +567,9 @@ pub fn address_traces(
     program: &Program,
     stmts: &[StmtId],
     num_threads: usize,
-) -> Vec<Vec<(u64, u64)>> {
+) -> Result<Vec<Vec<(u64, u64)>>, QueryErr> {
     let _span = wet_obs::span!("query.address_traces");
+    let ctl = Ctl::unbounded();
     let units: Vec<(usize, NodeId, Operand)> = stmts
         .iter()
         .enumerate()
@@ -316,15 +578,98 @@ pub fn address_traces(
         .collect();
     wet_obs::hist_record("query.node_fanout", "address_traces", units.len() as u64);
     let threads = par::effective_threads(num_threads);
-    let parts = par::map_ctx(threads, &units, EngineCache::default, |cache, _, &(si, node, op)| {
-        addresses_in_node(wet, cache, node, stmts[si], op)
+    let parts = par::map_ctx(threads, &units, || EngineCache::for_wet(wet), |cache, _, &(si, node, op)| {
+        addresses_in_node(wet, cache, &ctl, node, stmts[si], op)
     });
     let mut out: Vec<Vec<(u64, u64)>> = vec![Vec::new(); stmts.len()];
     for (&(si, _, _), part) in units.iter().zip(parts) {
-        out[si].extend(part);
+        out[si].extend(part?);
     }
     for trace in &mut out {
         trace.sort_unstable_by_key(|&(ts, _)| ts);
     }
-    out
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u64s(n: usize) -> CacheData {
+        CacheData::U64s(vec![0; n])
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_respects_budget_at_all_times() {
+        // Budget of 4 u64 entries (32 bytes); each entry is 8 bytes.
+        let mut c = EngineCache::with_budget(32);
+        for i in 0..4u32 {
+            c.fetch(CacheKey::NodeTs(i), || Ok(u64s(1))).unwrap();
+            assert!(c.bytes() <= 32);
+        }
+        assert_eq!(c.bytes(), 32);
+        // Touch 0 so 1 becomes the LRU victim.
+        c.fetch(CacheKey::NodeTs(0), || panic!("must be a hit")).unwrap();
+        c.fetch(CacheKey::NodeTs(4), || Ok(u64s(1))).unwrap();
+        assert_eq!(c.bytes(), 32, "evicted exactly one entry to fit");
+        assert_eq!(c.stats.evictions[CacheKind::NodeTs as usize], 1);
+        // 1 was evicted (LRU), 0 survived (recently touched).
+        c.fetch(CacheKey::NodeTs(0), || panic!("0 must still be cached")).unwrap();
+        let mut rebuilt = false;
+        c.fetch(CacheKey::NodeTs(1), || {
+            rebuilt = true;
+            Ok(u64s(1))
+        })
+        .unwrap();
+        assert!(rebuilt, "1 was the eviction victim");
+        assert!(c.peak_bytes() <= 32, "never exceeded the budget");
+    }
+
+    #[test]
+    fn oversized_entries_use_the_scratch_slot() {
+        let mut c = EngineCache::with_budget(16);
+        // 3 u64s = 24 bytes > 16: served, not cached.
+        let data = c.fetch(CacheKey::NodeTs(0), || Ok(u64s(3))).unwrap();
+        assert!(matches!(data, CacheData::U64s(v) if v.len() == 3));
+        assert_eq!(c.bytes(), 0, "oversized entry never accounted");
+        assert_eq!(c.stats.oversize[CacheKind::NodeTs as usize], 1);
+        // A second fetch rebuilds (still a miss — scratch is transient).
+        let mut rebuilt = false;
+        c.fetch(CacheKey::NodeTs(0), || {
+            rebuilt = true;
+            Ok(u64s(3))
+        })
+        .unwrap();
+        assert!(rebuilt);
+        assert_eq!(c.peak_bytes(), 0);
+    }
+
+    #[test]
+    fn unlimited_budget_never_evicts() {
+        let mut c = EngineCache::default();
+        for i in 0..100u32 {
+            c.fetch(CacheKey::NodeTs(i), || Ok(u64s(10))).unwrap();
+        }
+        assert_eq!(c.bytes(), 100 * 80);
+        assert_eq!(c.peak_bytes(), 100 * 80);
+        assert_eq!(c.stats.evictions, [0; 4]);
+    }
+
+    #[test]
+    fn fetch_propagates_build_errors_without_caching() {
+        let mut c = EngineCache::with_budget(0);
+        let err = c
+            .fetch(CacheKey::Labels(7), || Err(QueryErr::Corrupt("lost".into())))
+            .unwrap_err();
+        assert_eq!(err, QueryErr::Corrupt("lost".into()));
+        assert_eq!(c.bytes(), 0);
+        // The failed build is not cached: the next fetch retries.
+        let mut rebuilt = false;
+        c.fetch(CacheKey::Labels(7), || {
+            rebuilt = true;
+            Ok(CacheData::Pairs(vec![1], vec![2]))
+        })
+        .unwrap();
+        assert!(rebuilt);
+    }
 }

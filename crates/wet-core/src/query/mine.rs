@@ -61,9 +61,10 @@ pub struct ValueLocality {
 }
 
 /// Computes value locality for a statement, or `None` if it has no
-/// def port or never executed.
+/// def port, never executed, or its value streams were lost to salvage
+/// (use [`crate::query::value_trace_degraded`] to distinguish).
 pub fn value_locality(wet: &mut Wet, stmt: StmtId) -> Option<ValueLocality> {
-    let trace = value_trace(wet, stmt);
+    let trace = value_trace(wet, stmt).ok()?;
     if trace.is_empty() {
         return None;
     }
@@ -93,11 +94,13 @@ pub fn value_locality(wet: &mut Wet, stmt: StmtId) -> Option<ValueLocality> {
 /// instruction isomorphism \[21\]). Returns groups of two or more
 /// statements, largest first.
 ///
-/// Statements with fewer than `min_execs` executions are ignored.
+/// Statements with fewer than `min_execs` executions — or whose value
+/// streams were lost to salvage — are ignored.
 pub fn isomorphic_statements(wet: &mut Wet, stmts: &[StmtId], min_execs: usize) -> Vec<Vec<StmtId>> {
     let mut by_hash: HashMap<u64, Vec<(StmtId, Vec<i64>)>> = HashMap::new();
     for &s in stmts {
-        let vals: Vec<i64> = value_trace(wet, s).into_iter().map(|(_, v)| v).collect();
+        let Ok(trace) = value_trace(wet, s) else { continue };
+        let vals: Vec<i64> = trace.into_iter().map(|(_, v)| v).collect();
         if vals.len() < min_execs {
             continue;
         }

@@ -6,21 +6,29 @@
 
 pub mod addresses;
 pub mod cftrace;
+pub mod ctl;
 pub mod engine;
 pub mod mine;
 pub mod phases;
 pub mod slice;
 pub mod values;
 
-pub use addresses::address_trace;
+pub use addresses::{address_trace, address_trace_ctl};
+pub use ctl::{Ctl, QueryErr, CHECK_INTERVAL};
 pub use mine::{hot_paths, isomorphic_statements, value_locality, HotPath, ValueLocality};
 pub use phases::{cluster_phases, interval_vectors, IntervalVector, Phases};
 pub use cftrace::{
-    cf_trace_backward, cf_trace_forward, cf_trace_forward_degraded, cf_trace_from, expand_blocks, locate_ts,
-    trace_bytes, CfStep,
+    cf_trace_backward, cf_trace_backward_ctl, cf_trace_forward, cf_trace_forward_ctl,
+    cf_trace_forward_degraded, cf_trace_forward_degraded_ctl, cf_trace_from, cf_trace_from_ctl,
+    expand_blocks, locate_ts, trace_bytes, CfStep,
 };
-pub use slice::{backward_slice, backward_slice_degraded, forward_slice, SliceSpec, WetSlice, WetSliceElem};
-pub use values::{value_trace, value_trace_degraded, values_in_node};
+pub use slice::{
+    backward_slice, backward_slice_ctl, backward_slice_degraded, backward_slice_degraded_ctl,
+    forward_slice, forward_slice_ctl, SliceSpec, WetSlice, WetSliceElem,
+};
+pub use values::{
+    value_trace, value_trace_ctl, value_trace_degraded, value_trace_degraded_ctl, values_in_node,
+};
 
 /// What a degraded query could *not* answer. After
 /// [`crate::Wet::read_salvaging`] recovers a damaged container, label

@@ -7,6 +7,7 @@
 //! the (tier-1 or tier-2) compressed representation.
 
 use crate::graph::{NodeId, Wet, SLOT_CD, SLOT_MEM, SLOT_OP0, SLOT_OP1};
+use crate::query::ctl::{Ctl, QueryErr};
 use std::collections::{BTreeSet, HashSet};
 use wet_ir::{Program, StmtId};
 
@@ -71,11 +72,30 @@ fn cd_anchor(wet: &Wet, program: &Program, node: NodeId, stmt: StmtId) -> Option
     Some(program.function(n.func).block(block).term().id)
 }
 
-/// Computes the backward WET slice from `criterion`.
+/// Computes the backward WET slice from `criterion`. Returns
+/// [`QueryErr::Corrupt`] when the traversal reaches a sequence lost to
+/// salvage (use [`backward_slice_degraded`] for partial answers).
 ///
 /// # Panics
 /// Panics if the criterion statement is not part of the criterion node.
-pub fn backward_slice(wet: &mut Wet, program: &Program, criterion: WetSliceElem, spec: SliceSpec) -> WetSlice {
+pub fn backward_slice(
+    wet: &mut Wet,
+    program: &Program,
+    criterion: WetSliceElem,
+    spec: SliceSpec,
+) -> Result<WetSlice, QueryErr> {
+    backward_slice_ctl(wet, program, criterion, spec, &Ctl::unbounded())
+}
+
+/// [`backward_slice`] with cooperative cancellation (one check per
+/// visited instance).
+pub fn backward_slice_ctl(
+    wet: &mut Wet,
+    program: &Program,
+    criterion: WetSliceElem,
+    spec: SliceSpec,
+    ctl: &Ctl,
+) -> Result<WetSlice, QueryErr> {
     let _span = wet_obs::span!("query.backward_slice");
     assert!(
         wet.node(criterion.node).stmt_pos(criterion.stmt).is_some(),
@@ -88,24 +108,31 @@ pub fn backward_slice(wet: &mut Wet, program: &Program, criterion: WetSliceElem,
         if !visited.insert(e) {
             continue;
         }
+        ctl.check_every(visited.len())?;
+        if !wet.node(e.node).ts.is_available() {
+            return Err(QueryErr::Corrupt(format!(
+                "timestamp sequence unavailable in node {}",
+                e.node.0
+            )));
+        }
         let ts = wet.node_mut(e.node).ts_at(e.k as usize);
         stamped.insert((e.stmt, ts));
         if spec.data {
             for slot in [SLOT_OP0, SLOT_OP1, SLOT_MEM] {
-                if let Some((pn, ps, pk)) = wet.resolve_producer(e.node, e.stmt, slot, e.k) {
+                if let Some((pn, ps, pk)) = wet.try_resolve_producer(e.node, e.stmt, slot, e.k)? {
                     work.push(WetSliceElem { node: pn, stmt: ps, k: pk });
                 }
             }
         }
         if spec.control {
             if let Some(anchor) = cd_anchor(wet, program, e.node, e.stmt) {
-                if let Some((pn, ps, pk)) = wet.resolve_producer(e.node, anchor, SLOT_CD, e.k) {
+                if let Some((pn, ps, pk)) = wet.try_resolve_producer(e.node, anchor, SLOT_CD, e.k)? {
                     work.push(WetSliceElem { node: pn, stmt: ps, k: pk });
                 }
             }
         }
     }
-    WetSlice { elems: visited.into_iter().collect(), stamped }
+    Ok(WetSlice { elems: visited.into_iter().collect(), stamped })
 }
 
 /// Salvage-tolerant [`backward_slice`]: follows every dependence the
@@ -122,18 +149,33 @@ pub fn backward_slice_degraded(
     criterion: WetSliceElem,
     spec: SliceSpec,
 ) -> (WetSlice, crate::query::Degraded) {
+    backward_slice_degraded_ctl(wet, program, criterion, spec, &Ctl::unbounded())
+        .expect("unbounded ctl never fails")
+}
+
+/// [`backward_slice_degraded`] with cooperative cancellation.
+/// Corruption stays a *report*, never an error; only
+/// cancellation/deadline aborts the traversal.
+pub fn backward_slice_degraded_ctl(
+    wet: &mut Wet,
+    program: &Program,
+    criterion: WetSliceElem,
+    spec: SliceSpec,
+    ctl: &Ctl,
+) -> Result<(WetSlice, crate::query::Degraded), QueryErr> {
     let _span = wet_obs::span!("query.backward_slice_degraded");
     let mut deg = crate::query::Degraded::default();
     let mut visited: HashSet<WetSliceElem> = HashSet::new();
     let mut stamped = BTreeSet::new();
     if wet.node(criterion.node).stmt_pos(criterion.stmt).is_none() {
-        return (WetSlice { elems: Vec::new(), stamped }, deg);
+        return Ok((WetSlice { elems: Vec::new(), stamped }, deg));
     }
     let mut work = vec![criterion];
     while let Some(e) = work.pop() {
         if !visited.insert(e) {
             continue;
         }
+        ctl.check_every(visited.len())?;
         if wet.node(e.node).ts.is_available() {
             let ts = wet.node_mut(e.node).ts_at(e.k as usize);
             stamped.insert((e.stmt, ts));
@@ -155,7 +197,7 @@ pub fn backward_slice_degraded(
             }
         }
     }
-    (WetSlice { elems: visited.into_iter().collect(), stamped }, deg)
+    Ok((WetSlice { elems: visited.into_iter().collect(), stamped }, deg))
 }
 
 /// [`Wet::resolve_producer`] with the unavailable sequences on the
@@ -188,12 +230,31 @@ fn resolve_producer_degraded(
 }
 
 /// Computes the forward WET slice from `criterion`: every instance
-/// whose computation (or execution) the criterion influenced.
+/// whose computation (or execution) the criterion influenced. Returns
+/// [`QueryErr::Corrupt`] when the traversal reaches a sequence lost to
+/// salvage.
 ///
 /// Forward traversal scans outgoing edge labels for the source
 /// instance, and expands control dependences to every statement of the
 /// dependent block, mirroring the dynamic CD semantics.
-pub fn forward_slice(wet: &mut Wet, program: &Program, criterion: WetSliceElem, spec: SliceSpec) -> WetSlice {
+pub fn forward_slice(
+    wet: &mut Wet,
+    program: &Program,
+    criterion: WetSliceElem,
+    spec: SliceSpec,
+) -> Result<WetSlice, QueryErr> {
+    forward_slice_ctl(wet, program, criterion, spec, &Ctl::unbounded())
+}
+
+/// [`forward_slice`] with cooperative cancellation (one check per
+/// visited instance, plus one per label-scan batch).
+pub fn forward_slice_ctl(
+    wet: &mut Wet,
+    program: &Program,
+    criterion: WetSliceElem,
+    spec: SliceSpec,
+    ctl: &Ctl,
+) -> Result<WetSlice, QueryErr> {
     let _span = wet_obs::span!("query.forward_slice");
     let mut visited: HashSet<WetSliceElem> = HashSet::new();
     let mut stamped = BTreeSet::new();
@@ -201,6 +262,13 @@ pub fn forward_slice(wet: &mut Wet, program: &Program, criterion: WetSliceElem, 
     while let Some(e) = work.pop() {
         if !visited.insert(e) {
             continue;
+        }
+        ctl.check_every(visited.len())?;
+        if !wet.node(e.node).ts.is_available() {
+            return Err(QueryErr::Corrupt(format!(
+                "timestamp sequence unavailable in node {}",
+                e.node.0
+            )));
         }
         let ts = wet.node_mut(e.node).ts_at(e.k as usize);
         stamped.insert((e.stmt, ts));
@@ -216,6 +284,12 @@ pub fn forward_slice(wet: &mut Wet, program: &Program, criterion: WetSliceElem, 
                 for ie in ies {
                     if ie.src != e.stmt {
                         continue;
+                    }
+                    if ie.ks.as_ref().is_some_and(|ks| !ks.is_available()) {
+                        return Err(QueryErr::Corrupt(format!(
+                            "intra-edge label sequence unavailable in node {}",
+                            node.0
+                        )));
                     }
                     let covered = if ie.complete {
                         true
@@ -241,8 +315,15 @@ pub fn forward_slice(wet: &mut Wet, program: &Program, criterion: WetSliceElem, 
         let out: Vec<u32> = wet.out_edges(e.node, e.stmt).to_vec();
         for ei in out {
             let edge = wet.edges()[ei as usize];
+            {
+                let lab = &wet.labels()[edge.labels as usize];
+                if !lab.dst.is_available() || !lab.src.is_available() {
+                    return Err(QueryErr::Corrupt(format!("edge label pool {} unavailable", edge.labels)));
+                }
+            }
             let len = wet.labels()[edge.labels as usize].len as usize;
             for p in 0..len {
+                ctl.check_every(p)?;
                 let (dv, sv) = {
                     let lab = &mut wet.labels[edge.labels as usize];
                     (lab.dst.get(p), lab.src.get(p))
@@ -253,6 +334,12 @@ pub fn forward_slice(wet: &mut Wet, program: &Program, criterion: WetSliceElem, 
                 let k_dst = match wet.config().ts_mode {
                     crate::graph::TsMode::Local => dv as u32,
                     crate::graph::TsMode::Global => {
+                        if !wet.node(edge.dst_node).ts.is_available() {
+                            return Err(QueryErr::Corrupt(format!(
+                                "timestamp sequence unavailable in node {}",
+                                edge.dst_node.0
+                            )));
+                        }
                         match wet.node_mut(edge.dst_node).ts.find_sorted(dv) {
                             Some(k) => k as u32,
                             None => continue,
@@ -263,7 +350,7 @@ pub fn forward_slice(wet: &mut Wet, program: &Program, criterion: WetSliceElem, 
             }
         }
     }
-    WetSlice { elems: visited.into_iter().collect(), stamped }
+    Ok(WetSlice { elems: visited.into_iter().collect(), stamped })
 }
 
 /// Pushes the consuming instances of a dependence hit onto the

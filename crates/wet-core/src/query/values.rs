@@ -16,26 +16,37 @@
 //! every thread count.
 
 use crate::graph::{NodeId, Wet};
+use crate::query::ctl::{Ctl, QueryErr};
 use wet_ir::StmtId;
 
 /// The value sequence of `stmt` within one node, as `(ts, value)`
 /// pairs in execution order. Returns an empty vector when the
-/// statement has no def port or is not in the node.
-pub fn values_in_node(wet: &mut Wet, node: NodeId, stmt: StmtId) -> Vec<(u64, i64)> {
+/// statement has no def port or is not in the node, and
+/// [`QueryErr::Corrupt`] when a backing sequence was lost to salvage.
+pub fn values_in_node(wet: &mut Wet, node: NodeId, stmt: StmtId) -> Result<Vec<(u64, i64)>, QueryErr> {
     let n = wet.node_mut(node);
-    let Some(pos) = n.stmt_pos(stmt) else { return Vec::new() };
+    let Some(pos) = n.stmt_pos(stmt) else { return Ok(Vec::new()) };
     let ns = n.stmts[pos];
     if !ns.has_def {
-        return Vec::new();
+        return Ok(Vec::new());
+    }
+    if !n.ts.is_available() {
+        return Err(QueryErr::Corrupt(format!("timestamp sequence unavailable in node {}", node.0)));
     }
     let ts = n.ts.to_vec();
     let g = &mut n.groups[ns.group as usize];
+    if !g.uvals[ns.member as usize].is_available() {
+        return Err(QueryErr::Corrupt(format!("value sequence unavailable in node {}", node.0)));
+    }
+    if g.pattern.as_ref().is_some_and(|p| !p.is_available()) {
+        return Err(QueryErr::Corrupt(format!("pattern sequence unavailable in node {}", node.0)));
+    }
     let uvals = g.uvals[ns.member as usize].to_vec();
     match &mut g.pattern {
-        None => ts.into_iter().zip(uvals.into_iter().map(|v| v as i64)).collect(),
+        None => Ok(ts.into_iter().zip(uvals.into_iter().map(|v| v as i64)).collect()),
         Some(p) => {
             let pattern = p.to_vec();
-            ts.into_iter().zip(pattern).map(|(t, idx)| (t, uvals[idx as usize] as i64)).collect()
+            Ok(ts.into_iter().zip(pattern).map(|(t, idx)| (t, uvals[idx as usize] as i64)).collect())
         }
     }
 }
@@ -54,8 +65,13 @@ pub fn nodes_with_stmt(wet: &Wet, stmt: StmtId) -> Vec<NodeId> {
 /// merged into execution order: `(ts, value)` pairs sorted by
 /// timestamp. Extracts on up to `config.stream.num_threads` workers
 /// (one per containing node).
-pub fn value_trace(wet: &Wet, stmt: StmtId) -> Vec<(u64, i64)> {
+pub fn value_trace(wet: &Wet, stmt: StmtId) -> Result<Vec<(u64, i64)>, QueryErr> {
     crate::query::engine::value_trace(wet, stmt, wet.config().stream.num_threads)
+}
+
+/// [`value_trace`] with cooperative cancellation.
+pub fn value_trace_ctl(wet: &Wet, stmt: StmtId, ctl: &Ctl) -> Result<Vec<(u64, i64)>, QueryErr> {
+    crate::query::engine::value_trace_ctl(wet, stmt, wet.config().stream.num_threads, ctl)
 }
 
 /// Salvage-tolerant [`value_trace`]: the recoverable part of the trace
@@ -63,4 +79,13 @@ pub fn value_trace(wet: &Wet, stmt: StmtId) -> Vec<(u64, i64)> {
 /// [`crate::query::engine::value_trace_degraded`].
 pub fn value_trace_degraded(wet: &Wet, stmt: StmtId) -> (Vec<(u64, i64)>, crate::query::Degraded) {
     crate::query::engine::value_trace_degraded(wet, stmt, wet.config().stream.num_threads)
+}
+
+/// [`value_trace_degraded`] with cooperative cancellation.
+pub fn value_trace_degraded_ctl(
+    wet: &Wet,
+    stmt: StmtId,
+    ctl: &Ctl,
+) -> Result<(Vec<(u64, i64)>, crate::query::Degraded), QueryErr> {
+    crate::query::engine::value_trace_degraded_ctl(wet, stmt, wet.config().stream.num_threads, ctl)
 }

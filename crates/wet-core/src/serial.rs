@@ -423,6 +423,7 @@ pub(crate) fn parse_conf(p: &[u8]) -> io::Result<(WetConfig, bool)> {
         infer_local_edges,
         share_edge_labels,
         capture: Default::default(),
+        serve: Default::default(),
     };
     Ok((config, tier2))
 }
@@ -1257,6 +1258,7 @@ fn read_v1(r: &mut impl Read) -> io::Result<Wet> {
         infer_local_edges,
         share_edge_labels,
         capture: Default::default(),
+        serve: Default::default(),
     };
 
     let n_nodes = r_u64(r)? as usize;
@@ -1464,19 +1466,19 @@ mod tests {
             assert_eq!(back.is_tier2(), tier2);
             assert_eq!(back.nodes().len(), wet.nodes().len());
             assert_eq!(back.sizes(), wet.sizes());
-            let a = query::cf_trace_forward(&mut wet);
-            let b = query::cf_trace_forward(&mut back);
+            let a = query::cf_trace_forward(&mut wet).unwrap();
+            let b = query::cf_trace_forward(&mut back).unwrap();
             assert_eq!(a, b, "tier2={tier2}");
             for sid in 0..p.stmt_count() as u32 {
                 let s = StmtId(sid);
                 assert_eq!(
-                    query::value_trace(&wet, s),
-                    query::value_trace(&back, s),
+                    query::value_trace(&wet, s).unwrap(),
+                    query::value_trace(&back, s).unwrap(),
                     "values of {s} (tier2={tier2})"
                 );
                 assert_eq!(
-                    query::address_trace(&wet, &p, s),
-                    query::address_trace(&back, &p, s),
+                    query::address_trace(&wet, &p, s).unwrap(),
+                    query::address_trace(&back, &p, s).unwrap(),
                     "addresses of {s} (tier2={tier2})"
                 );
             }
@@ -1491,8 +1493,8 @@ mod tests {
             wet.write_to_v1(&mut bytes).unwrap();
             let mut back = Wet::read_from(&mut bytes.as_slice()).unwrap();
             assert_eq!(back.is_tier2(), tier2);
-            let a = query::cf_trace_forward(&mut wet);
-            let b = query::cf_trace_forward(&mut back);
+            let a = query::cf_trace_forward(&mut wet).unwrap();
+            let b = query::cf_trace_forward(&mut back).unwrap();
             assert_eq!(a, b, "v1 tier2={tier2}");
         }
     }
@@ -1568,8 +1570,8 @@ mod tests {
         assert!(report.seqs_recovered > 0);
         assert_eq!(report.seqs_lost, back.unavailable_seqs());
         // Structure and control flow survive intact.
-        let a = query::cf_trace_forward(&mut wet);
-        let b = query::cf_trace_forward(&mut back);
+        let a = query::cf_trace_forward(&mut wet).unwrap();
+        let b = query::cf_trace_forward(&mut back).unwrap();
         assert_eq!(a, b);
     }
 
@@ -1625,6 +1627,6 @@ mod tests {
         }
         let mut f = std::io::BufReader::new(std::fs::File::open(&path).unwrap());
         let mut back = Wet::read_from(&mut f).unwrap();
-        assert_eq!(query::cf_trace_forward(&mut back).len() as u64, wet.stats().paths_executed);
+        assert_eq!(query::cf_trace_forward(&mut back).unwrap().len() as u64, wet.stats().paths_executed);
     }
 }

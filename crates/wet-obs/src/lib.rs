@@ -65,7 +65,7 @@ mod metrics;
 mod report;
 mod span;
 
-pub use metrics::{counter_add, gauge_set, hist_record, Hist, HIST_BUCKETS};
+pub use metrics::{counter_add, gauge_max, gauge_set, hist_record, Hist, HIST_BUCKETS};
 pub use report::Report;
 pub use span::{
     attach, current_span_id, disable, enable, enabled, handoff, reset, scoped_enable, snapshot, span_dynamic,
@@ -180,6 +180,18 @@ mod tests {
             assert_eq!(h.count, 6);
             assert_eq!(h.sum, 107);
             assert_eq!(h.buckets[0], 3, "values <= 1 (0, 1, 1)");
+        });
+    }
+
+    #[test]
+    fn gauge_max_keeps_the_peak() {
+        isolated(|| {
+            gauge_max("p", "", 5);
+            gauge_max("p", "", 3);
+            gauge_max("p", "", 9);
+            gauge_max("p", "", 7);
+            let r = snapshot();
+            assert_eq!(r.gauges.get(&("p".to_string(), String::new())).copied(), Some(9));
         });
     }
 

@@ -107,6 +107,23 @@ pub fn gauge_set(name: &str, label: &str, value: i64) {
     });
 }
 
+/// Raise the gauge `name{label}` to `value` if `value` is higher —
+/// i.e. record a peak (high-water mark). Unlike [`gauge_set`], this is
+/// order-independent, so concurrent workers can publish their local
+/// peaks and the registry keeps the maximum. No-op when profiling is
+/// disabled on this thread.
+pub fn gauge_max(name: &str, label: &str, value: i64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|r| {
+        let g = r.gauges.entry((name.to_string(), label.to_string())).or_insert(value);
+        if value > *g {
+            *g = value;
+        }
+    });
+}
+
 /// Record one observation into the histogram `name{label}`. No-op when
 /// profiling is disabled on this thread.
 pub fn hist_record(name: &str, label: &str, value: u64) {

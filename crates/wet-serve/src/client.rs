@@ -1,0 +1,177 @@
+//! Client side of the serve protocol: framing, deadlines, and retry
+//! with capped exponential backoff.
+//!
+//! Retry policy: only errors the server marked `retriable` (shed under
+//! overload, deadline exceeded when the caller asked for retries) are
+//! retried, with exponential backoff capped at [`BACKOFF_CAP_MS`] and
+//! full jitter — retrying a shed request immediately would just re-join
+//! the stampede that caused the shedding.
+
+use crate::json::{self, Value};
+use crate::proto::{self, FrameReader, Poll};
+use crate::server::{connect, Stream};
+use std::io;
+use std::time::Duration;
+use wet_core::fault::FaultRng;
+
+/// First backoff step.
+pub const BACKOFF_BASE_MS: u64 = 10;
+/// Backoff ceiling: retries never sleep longer than this.
+pub const BACKOFF_CAP_MS: u64 = 640;
+
+/// One decoded server reply.
+#[derive(Debug, Clone)]
+pub enum Reply {
+    Ok(Value),
+    Err {
+        kind: String,
+        retriable: bool,
+        message: String,
+    },
+}
+
+impl Reply {
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Reply::Ok(_))
+    }
+
+    pub fn kind(&self) -> &str {
+        match self {
+            Reply::Ok(_) => "ok",
+            Reply::Err { kind, .. } => kind,
+        }
+    }
+}
+
+/// A connected protocol client.
+pub struct Client {
+    stream: Stream,
+    reader: FrameReader,
+    next_id: u64,
+    rng: FaultRng,
+}
+
+impl Client {
+    /// Connects to `addr` (`:`-containing means TCP, else unix socket).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        Ok(Client {
+            stream: connect(addr)?,
+            reader: FrameReader::new(),
+            next_id: 1,
+            rng: FaultRng::new(0x5eed_c11e),
+        })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends one request object (an `id` is filled in) and blocks for
+    /// the matching response.
+    pub fn call(&mut self, mut pairs: Vec<(&str, Value)>) -> io::Result<Reply> {
+        let id = self.fresh_id();
+        pairs.insert(0, ("id", Value::Int(id as i64)));
+        let payload = json::obj(pairs).render().into_bytes();
+        proto::write_frame(&mut self.stream, &payload)?;
+        self.read_reply(id)
+    }
+
+    /// Reads frames until the one answering `id` arrives (the server
+    /// multiplexes responses; cancel acks may interleave).
+    fn read_reply(&mut self, id: u64) -> io::Result<Reply> {
+        loop {
+            match self.reader.poll(&mut self.stream)? {
+                Poll::Frame(payload) => {
+                    let text = String::from_utf8(payload)
+                        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response"))?;
+                    let v = json::parse(&text)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response JSON: {e}")))?;
+                    if v.get("id").and_then(Value::as_u64) != Some(id) {
+                        continue;
+                    }
+                    return Ok(decode_reply(&v));
+                }
+                Poll::Eof => {
+                    return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"))
+                }
+                Poll::Pending => continue,
+            }
+        }
+    }
+
+    /// [`call`](Client::call) with up to `retries` additional attempts
+    /// on retriable errors, sleeping `min(cap, base·2^attempt)` with
+    /// full jitter between attempts.
+    pub fn call_with_retries(&mut self, pairs: Vec<(&str, Value)>, retries: u32) -> io::Result<Reply> {
+        let mut attempt = 0u32;
+        loop {
+            let reply = self.call(pairs.clone())?;
+            let retriable = matches!(&reply, Reply::Err { retriable: true, .. });
+            if !retriable || attempt >= retries {
+                return Ok(reply);
+            }
+            let exp = BACKOFF_BASE_MS.saturating_mul(1u64 << attempt.min(16));
+            let cap = exp.min(BACKOFF_CAP_MS);
+            // Full jitter: uniform in [0, cap] decorrelates retry storms.
+            let sleep = self.rng.below(cap + 1);
+            std::thread::sleep(Duration::from_millis(sleep));
+            attempt += 1;
+        }
+    }
+
+    /// Fire-and-forget cancel for an in-flight request id.
+    pub fn cancel(&mut self, target: u64) -> io::Result<()> {
+        let id = self.fresh_id();
+        let payload = json::obj(vec![
+            ("id", Value::Int(id as i64)),
+            ("op", Value::Str("cancel".into())),
+            ("target", Value::Int(target as i64)),
+        ])
+        .render()
+        .into_bytes();
+        proto::write_frame(&mut self.stream, &payload)
+    }
+
+    /// Sends a request without waiting, returning its id so a later
+    /// [`cancel`](Client::cancel) or [`wait`](Client::wait) can refer
+    /// to it.
+    pub fn send(&mut self, mut pairs: Vec<(&str, Value)>) -> io::Result<u64> {
+        let id = self.fresh_id();
+        pairs.insert(0, ("id", Value::Int(id as i64)));
+        let payload = json::obj(pairs).render().into_bytes();
+        proto::write_frame(&mut self.stream, &payload)?;
+        Ok(id)
+    }
+
+    /// Blocks for the response to a previously [`send`](Client::send)t
+    /// request.
+    pub fn wait(&mut self, id: u64) -> io::Result<Reply> {
+        self.read_reply(id)
+    }
+}
+
+/// Decodes a response document into a [`Reply`].
+pub fn decode_reply(v: &Value) -> Reply {
+    if v.get("ok").and_then(Value::as_bool) == Some(true) {
+        return Reply::Ok(v.get("result").cloned().unwrap_or(Value::Null));
+    }
+    let err = v.get("error");
+    Reply::Err {
+        kind: err
+            .and_then(|e| e.get("kind"))
+            .and_then(Value::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+        retriable: err
+            .and_then(|e| e.get("retriable"))
+            .and_then(Value::as_bool)
+            .unwrap_or(false),
+        message: err
+            .and_then(|e| e.get("message"))
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string(),
+    }
+}

@@ -1,0 +1,213 @@
+//! The server drill: replays a deterministic schedule of misbehaving
+//! clients ([`wet_core::fault::DrillClient`]) against a live daemon and
+//! verifies it survives — answers a `ping` at the end, and every real
+//! request in the schedule terminated with an answer or a typed error.
+//!
+//! This is the serve-layer sibling of the container fault harness: the
+//! same seeded-RNG replay discipline, aimed at the network surface
+//! instead of the byte format.
+
+use crate::client::{Client, Reply};
+use crate::json::Value;
+use crate::server::connect;
+use std::io::Write;
+use std::time::Duration;
+use wet_core::fault::{drill_schedule, DrillClient, FaultRng};
+
+/// Outcome counts from one drill run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct DrillReport {
+    pub clients: usize,
+    /// Real queries that completed with a result.
+    pub ok: u64,
+    /// Typed errors by wire kind (deadline, cancelled, shed, ...).
+    pub deadline: u64,
+    pub cancelled: u64,
+    pub shed: u64,
+    pub other_errors: u64,
+    /// Hostile connections that were (correctly) dropped or errored at
+    /// the transport level.
+    pub conns_dropped: u64,
+    /// True if the server answered a ping after the whole schedule.
+    pub survived: bool,
+}
+
+impl DrillReport {
+    /// Total requests that terminated (with answer or typed error).
+    pub fn terminated(&self) -> u64 {
+        self.ok + self.deadline + self.cancelled + self.shed + self.other_errors
+    }
+}
+
+fn classify(report: &mut DrillReport, reply: &Reply) {
+    match reply {
+        Reply::Ok(_) => report.ok += 1,
+        Reply::Err { kind, .. } => match kind.as_str() {
+            "deadline" => report.deadline += 1,
+            "cancelled" => report.cancelled += 1,
+            "shed" => report.shed += 1,
+            _ => report.other_errors += 1,
+        },
+    }
+}
+
+/// A tiny valid request, framed by hand so the hostile clients can
+/// mangle it mid-wire.
+fn framed_ping() -> Vec<u8> {
+    let payload = br#"{"id":1,"op":"ping"}"#;
+    let mut wire = (payload.len() as u32).to_le_bytes().to_vec();
+    wire.extend_from_slice(payload);
+    wire
+}
+
+/// Runs one misbehaving client against `addr`. Transport errors are the
+/// expected outcome for the hostile variants; they only count against
+/// the drill if the *server* stops answering afterwards.
+pub fn run_client(addr: &str, client: &DrillClient, report: &mut DrillReport) {
+    match client {
+        DrillClient::SlowLoris { chunk, pause_ms } => {
+            let Ok(mut s) = connect(addr) else {
+                report.conns_dropped += 1;
+                return;
+            };
+            let wire = framed_ping();
+            let mut sent_all = true;
+            for piece in wire.chunks((*chunk).max(1)) {
+                if s.write_all(piece).is_err() {
+                    sent_all = false;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(*pause_ms));
+            }
+            if !sent_all {
+                // The stall budget dropped us mid-send — a valid outcome.
+                report.conns_dropped += 1;
+                return;
+            }
+            // Frame delivered (slowly); the server owes a response.
+            let mut reader = crate::proto::FrameReader::new();
+            let _ = s.set_read_timeout(Duration::from_millis(50));
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            loop {
+                match reader.poll(&mut s) {
+                    Ok(crate::proto::Poll::Frame(_)) => {
+                        report.ok += 1;
+                        break;
+                    }
+                    Ok(crate::proto::Poll::Pending) => {
+                        if std::time::Instant::now() > deadline {
+                            report.conns_dropped += 1;
+                            break;
+                        }
+                    }
+                    _ => {
+                        report.conns_dropped += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        DrillClient::MidFrameCut { keep } => {
+            if let Ok(mut s) = connect(addr) {
+                let wire = framed_ping();
+                let keep = (*keep).min(wire.len().saturating_sub(1)).max(1);
+                let _ = s.write_all(&wire[..keep]);
+            }
+            // Drop the connection mid-frame.
+            report.conns_dropped += 1;
+        }
+        DrillClient::GarbageFrame { len } => {
+            if let Ok(mut s) = connect(addr) {
+                let mut rng = FaultRng::new(*len as u64);
+                let garbage: Vec<u8> = (0..*len).map(|_| rng.below(256) as u8).collect();
+                let mut wire = (garbage.len() as u32).to_le_bytes().to_vec();
+                wire.extend_from_slice(&garbage);
+                if s.write_all(&wire).is_ok() {
+                    // The server answers garbage with a typed bad_request.
+                    let mut reader = crate::proto::FrameReader::new();
+                    let _ = s.set_read_timeout(Duration::from_millis(2_000));
+                    if let Ok(crate::proto::Poll::Frame(_)) = reader.poll(&mut s) {
+                        report.other_errors += 1;
+                        return;
+                    }
+                }
+            }
+            report.conns_dropped += 1;
+        }
+        DrillClient::HugeLength => {
+            if let Ok(mut s) = connect(addr) {
+                let _ = s.write_all(&u32::MAX.to_le_bytes());
+            }
+            report.conns_dropped += 1;
+        }
+        DrillClient::DeadlineStorm { n, deadline_ms } => {
+            if let Ok(mut c) = Client::connect(addr) {
+                for _ in 0..*n {
+                    match c.call(vec![
+                        ("op", Value::Str("cf_trace".into())),
+                        ("deadline_ms", Value::Int(*deadline_ms as i64)),
+                    ]) {
+                        Ok(reply) => classify(report, &reply),
+                        Err(_) => {
+                            report.conns_dropped += 1;
+                            break;
+                        }
+                    }
+                }
+            } else {
+                report.conns_dropped += 1;
+            }
+        }
+        DrillClient::CancelRace { pause_ms } => {
+            let Ok(mut c) = Client::connect(addr) else {
+                report.conns_dropped += 1;
+                return;
+            };
+            let Ok(id) = c.send(vec![("op", Value::Str("cf_trace".into()))]) else {
+                report.conns_dropped += 1;
+                return;
+            };
+            std::thread::sleep(Duration::from_millis(*pause_ms));
+            let _ = c.cancel(id);
+            match c.wait(id) {
+                Ok(reply) => classify(report, &reply),
+                Err(_) => report.conns_dropped += 1,
+            }
+        }
+    }
+}
+
+/// Replays the seeded schedule against `addr` concurrently, then checks
+/// the server still answers. `n` clients run on up to 8 threads.
+pub fn run_drill(addr: &str, seed: u64, n: usize) -> DrillReport {
+    let schedule = drill_schedule(seed, n);
+    let shared = std::sync::Mutex::new(DrillReport {
+        clients: n,
+        ..DrillReport::default()
+    });
+    std::thread::scope(|scope| {
+        let shared = &shared;
+        for batch in schedule.chunks(schedule.len().div_ceil(8).max(1)) {
+            scope.spawn(move || {
+                let mut local = DrillReport::default();
+                for client in batch {
+                    run_client(addr, client, &mut local);
+                }
+                let mut r = shared.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                r.ok += local.ok;
+                r.deadline += local.deadline;
+                r.cancelled += local.cancelled;
+                r.shed += local.shed;
+                r.other_errors += local.other_errors;
+                r.conns_dropped += local.conns_dropped;
+            });
+        }
+    });
+    let mut report = shared.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    // The survival check: a fresh connection, a real ping, an answer.
+    report.survived = matches!(
+        Client::connect(addr).and_then(|mut c| c.call(vec![("op", Value::Str("ping".into()))])),
+        Ok(Reply::Ok(_))
+    );
+    report
+}

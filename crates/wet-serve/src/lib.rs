@@ -1,0 +1,38 @@
+//! wet-serve: a fault-tolerant concurrent query daemon over whole
+//! execution traces.
+//!
+//! The WET of the paper (Zhang & Gupta, MICRO 2004) is built once and
+//! queried many times; this crate makes the "queried many times" half a
+//! long-running service instead of a per-query CLI process. The design
+//! budget is the same as the rest of the repo — standard library only —
+//! and the robustness contract is explicit:
+//!
+//! * **Every request terminates** with an answer or a typed error
+//!   (`deadline`, `cancelled`, `shed`, `corrupt`, `bad_request`,
+//!   `panic`, `unavailable`). Cancellation is cooperative: the query
+//!   loops in `wet-core` poll a [`wet_core::query::Ctl`] every few
+//!   thousand steps, so a cancel or an expired deadline stops work in
+//!   bounded time without poisoning shared state.
+//! * **Overload sheds instead of queueing unboundedly**: a concurrency
+//!   limit plus a queue watermark; past the watermark the server
+//!   answers a retriable `shed` immediately and the client backs off
+//!   with capped exponential backoff plus jitter.
+//! * **A panicking request costs one response, not the server**: each
+//!   request runs under `catch_unwind`, and every lock acquisition
+//!   recovers from poisoning.
+//! * **SIGTERM drains gracefully**: in-flight requests finish and get
+//!   their responses; new work is shed; then the process exits.
+//!
+//! Module map: [`json`] (deterministic document model), [`proto`]
+//! (length-prefixed framing), [`server`] (daemon), [`client`]
+//! (retrying client), [`drill`] (misbehaving-client fault harness).
+
+pub mod client;
+pub mod drill;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, Reply};
+pub use drill::{run_drill, DrillReport};
+pub use server::{bind, connect, Listener, Server, ServeOptions, Stream};

@@ -1,0 +1,224 @@
+//! Length-prefixed frame transport for the serve protocol.
+//!
+//! A frame is a 4-byte little-endian length followed by that many bytes
+//! of UTF-8 JSON. The length is capped at [`MAX_FRAME`] *before* any
+//! allocation — a two-line framing scheme chosen over newline-delimited
+//! JSON because a length prefix makes slow-loris and mid-frame-cut
+//! handling explicit: the reader always knows whether it is between
+//! frames (clean EOF allowed) or inside one (EOF is a protocol error),
+//! and a hostile length claim is rejected without buffering a byte.
+//! See DESIGN.md §4 decision 10.
+
+use crate::json::Value;
+use std::io::{self, Read, Write};
+
+/// Largest accepted frame payload. Generous for whole-trace answers on
+/// test workloads, small enough that one connection cannot hold a
+/// gigabyte hostage.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&n| n <= MAX_FRAME)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// What one [`FrameReader::poll`] produced.
+#[derive(Debug)]
+pub enum Poll {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The peer closed cleanly *between* frames.
+    Eof,
+    /// No complete frame yet (timeout tick, or partial bytes buffered).
+    Pending,
+}
+
+/// Incremental frame reader that tolerates read timeouts.
+///
+/// The serve connection loop sets a short read timeout on its socket
+/// and calls [`poll`](FrameReader::poll) in a loop, so it can observe
+/// drain/shutdown between ticks and enforce a total-time budget on
+/// slow senders (the slow-loris guard). The reader buffers partial
+/// bytes across ticks; [`mid_frame`](FrameReader::mid_frame) reports
+/// whether a frame is currently half-assembled.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Payload length once the 4-byte prefix has fully arrived.
+    want: Option<usize>,
+}
+
+impl FrameReader {
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// True when a frame prefix or payload is partially buffered — a
+    /// peer disconnect now would be a mid-frame cut, and a stall now
+    /// counts against the slow-sender budget.
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty() || self.want.is_some()
+    }
+
+    /// Reads whatever is available. Timeout-ish errors
+    /// (`WouldBlock`/`TimedOut`/`Interrupted`) surface as
+    /// [`Poll::Pending`]; EOF inside a frame is an `UnexpectedEof`
+    /// error; a hostile length claim is `InvalidData` before any
+    /// payload allocation.
+    pub fn poll(&mut self, r: &mut impl Read) -> io::Result<Poll> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            // Complete a frame from already-buffered bytes if possible.
+            if self.want.is_none() && self.buf.len() >= 4 {
+                let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+                if len > MAX_FRAME {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("frame length {len} exceeds cap {MAX_FRAME}"),
+                    ));
+                }
+                self.buf.drain(..4);
+                self.want = Some(len as usize);
+            }
+            if let Some(want) = self.want {
+                if self.buf.len() >= want {
+                    let payload: Vec<u8> = self.buf.drain(..want).collect();
+                    self.want = None;
+                    return Ok(Poll::Frame(payload));
+                }
+            }
+            match r.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.mid_frame() {
+                        Err(io::Error::new(io::ErrorKind::UnexpectedEof, "disconnect mid-frame"))
+                    } else {
+                        Ok(Poll::Eof)
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    return Ok(Poll::Pending);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Renders a success response frame payload.
+pub fn ok_response(id: u64, result: Value) -> Vec<u8> {
+    crate::json::obj(vec![
+        ("id", Value::Int(id as i64)),
+        ("ok", Value::Bool(true)),
+        ("result", result),
+    ])
+    .render()
+    .into_bytes()
+}
+
+/// Renders an error response frame payload. `kind` is the stable wire
+/// identifier (`deadline`, `cancelled`, `shed`, `corrupt`,
+/// `bad_request`, `panic`, `unavailable`); `retriable` tells the client
+/// whether backing off and retrying the identical request can succeed.
+pub fn err_response(id: u64, kind: &str, retriable: bool, message: &str) -> Vec<u8> {
+    crate::json::obj(vec![
+        ("id", Value::Int(id as i64)),
+        ("ok", Value::Bool(false)),
+        (
+            "error",
+            crate::json::obj(vec![
+                ("kind", Value::Str(kind.into())),
+                ("retriable", Value::Bool(retriable)),
+                ("message", Value::Str(message.into())),
+            ]),
+        ),
+    ])
+    .render()
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_and_chain() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"{\"a\":1}").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"second").unwrap();
+        let mut r = FrameReader::new();
+        let mut src = &wire[..];
+        let mut got = Vec::new();
+        loop {
+            match r.poll(&mut src).unwrap() {
+                Poll::Frame(f) => got.push(f),
+                Poll::Eof => break,
+                Poll::Pending => unreachable!("in-memory source never blocks"),
+            }
+        }
+        assert_eq!(got, vec![b"{\"a\":1}".to_vec(), Vec::new(), b"second".to_vec()]);
+    }
+
+    #[test]
+    fn hostile_length_rejected_before_allocation() {
+        let wire = (MAX_FRAME + 1).to_le_bytes();
+        let mut r = FrameReader::new();
+        let err = r.poll(&mut &wire[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn mid_frame_cut_is_distinguished_from_clean_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        wire.truncate(wire.len() - 3); // cut inside the payload
+        let mut r = FrameReader::new();
+        let err = r.poll(&mut &wire[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // A cut inside the length prefix is also mid-frame.
+        let mut r2 = FrameReader::new();
+        let err2 = r2.poll(&mut &3u32.to_le_bytes()[..2]).unwrap_err();
+        assert_eq!(err2.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn byte_at_a_time_reassembly() {
+        struct OneByte<'a>(&'a [u8], usize);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"slowly").unwrap();
+        let mut src = OneByte(&wire, 0);
+        let mut r = FrameReader::new();
+        loop {
+            match r.poll(&mut src).unwrap() {
+                Poll::Frame(f) => {
+                    assert_eq!(f, b"slowly");
+                    break;
+                }
+                Poll::Pending => continue,
+                Poll::Eof => panic!("frame expected"),
+            }
+        }
+    }
+}

@@ -1,0 +1,822 @@
+//! The query daemon: admission control, per-request panic isolation,
+//! cooperative cancellation, and graceful drain.
+//!
+//! One [`Server`] owns one WET behind an `RwLock`: per-instruction
+//! value/address traces take it shared (they only snapshot streams),
+//! whole-trace and slice queries take it exclusively (they borrow the
+//! graph mutably for decompression). Every request runs under a
+//! [`Ctl`] carrying its deadline and a per-request cancel token, inside
+//! `catch_unwind` — a malformed query or an unexpected panic poisons at
+//! worst one lock acquisition, which every lock site here recovers from
+//! (`unwrap_or_else(PoisonError::into_inner)`, the `par` pattern), and
+//! the client gets a typed `panic` error instead of a dead server.
+
+use crate::json::{self, Value};
+use crate::proto::{self, FrameReader, Poll};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+use wet_core::query::{self, Ctl, QueryErr};
+use wet_core::Wet;
+use wet_ir::{Program, StmtId};
+
+/// Tuning knobs for the daemon. All runtime-only; nothing here is ever
+/// serialized into a trace container.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Concurrent queries actually executing (admission limit).
+    pub max_active: usize,
+    /// Queued (admitted-but-waiting) requests beyond which new ones are
+    /// shed with a retriable error.
+    pub queue_watermark: usize,
+    /// Worker threads for the parallel query engine (0 = all cores).
+    /// Responses are byte-identical for every value.
+    pub threads: usize,
+    /// Socket read-timeout tick; bounds drain reaction latency.
+    pub read_timeout_ms: u64,
+    /// Slow-sender budget: a connection stalled *mid-frame* longer than
+    /// this is dropped (the slow-loris guard).
+    pub stall_timeout_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            max_active: 4,
+            queue_watermark: 8,
+            threads: 1,
+            read_timeout_ms: 25,
+            stall_timeout_ms: 5_000,
+        }
+    }
+}
+
+/// Request outcome counters, mirrored into wet-obs as
+/// `serve.requests_*` when profiling is enabled.
+#[derive(Debug, Default)]
+struct Counters {
+    ok: AtomicU64,
+    shed: AtomicU64,
+    cancelled: AtomicU64,
+    deadline: AtomicU64,
+    panic: AtomicU64,
+    corrupt: AtomicU64,
+    bad_request: AtomicU64,
+}
+
+impl Counters {
+    fn bump(&self, kind: &str) {
+        let c = match kind {
+            "ok" => &self.ok,
+            "shed" => &self.shed,
+            "cancelled" => &self.cancelled,
+            "deadline" => &self.deadline,
+            "panic" => &self.panic,
+            "corrupt" => &self.corrupt,
+            _ => &self.bad_request,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+        wet_obs::counter_add(
+            match kind {
+                "ok" => "serve.requests_ok",
+                "shed" => "serve.requests_shed",
+                "cancelled" => "serve.requests_cancelled",
+                "deadline" => "serve.requests_deadline",
+                "panic" => "serve.requests_panic",
+                "corrupt" => "serve.requests_corrupt",
+                _ => "serve.requests_bad",
+            },
+            "",
+            1,
+        );
+    }
+}
+
+/// Admission state: executing and queued request counts.
+#[derive(Debug, Default)]
+struct AdmState {
+    active: usize,
+    queued: usize,
+}
+
+#[derive(Debug, Default)]
+struct Admission {
+    st: Mutex<AdmState>,
+    cv: Condvar,
+}
+
+struct Shared {
+    wet: RwLock<Wet>,
+    program: Option<Program>,
+    opts: ServeOptions,
+    adm: Admission,
+    draining: AtomicBool,
+    counters: Counters,
+}
+
+/// SIGTERM latch, set asynchronously by the signal handler.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+/// Installs a SIGTERM handler that requests a graceful drain. Uses the
+/// C `signal(2)` entry point directly — std links libc anyway and the
+/// crate stays dependency-free.
+#[cfg(unix)]
+fn install_sigterm() {
+    extern "C" fn on_term(_sig: std::os::raw::c_int) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: std::os::raw::c_int, handler: usize) -> usize;
+    }
+    const SIGTERM: std::os::raw::c_int = 15;
+    unsafe {
+        signal(SIGTERM, on_term as extern "C" fn(std::os::raw::c_int) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm() {}
+
+/// The query daemon. Cheap to clone (shared state behind an `Arc`);
+/// [`handle_frame`](Server::handle_frame) is the in-process loopback
+/// transport the benches use, [`serve`](Server::serve) the socket one.
+#[derive(Clone)]
+pub struct Server {
+    shared: Arc<Shared>,
+}
+
+fn lock_read(wet: &RwLock<Wet>) -> std::sync::RwLockReadGuard<'_, Wet> {
+    wet.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lock_write(wet: &RwLock<Wet>) -> std::sync::RwLockWriteGuard<'_, Wet> {
+    wet.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Server {
+    /// Builds a server over a loaded WET. `program` enables the
+    /// program-dependent queries (address traces, slices); without it
+    /// they answer with a typed `unavailable` error.
+    pub fn new(wet: Wet, program: Option<Program>, opts: ServeOptions) -> Server {
+        wet_obs::gauge_set("serve.queue_depth", "", 0);
+        Server {
+            shared: Arc::new(Shared {
+                wet: RwLock::new(wet),
+                program,
+                opts,
+                adm: Admission::default(),
+                draining: AtomicBool::new(false),
+                counters: Counters::default(),
+            }),
+        }
+    }
+
+    /// Starts a graceful drain: stop admitting, finish in-flight work.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.adm.cv.notify_all();
+    }
+
+    /// True once a drain (SIGTERM or `shutdown` request) has begun.
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst) || TERM.load(Ordering::SeqCst)
+    }
+
+    /// In-process transport: one request frame in, one response frame
+    /// payload out — the exact pipeline the socket path runs (parse,
+    /// admission, deadline, panic isolation), minus the socket.
+    pub fn handle_frame(&self, payload: &[u8]) -> Vec<u8> {
+        let cancel = Arc::new(AtomicBool::new(false));
+        self.process(payload, &cancel)
+    }
+
+    /// Parses and executes one request, producing the response payload.
+    fn process(&self, payload: &[u8], cancel: &Arc<AtomicBool>) -> Vec<u8> {
+        let sh = &*self.shared;
+        let text = match std::str::from_utf8(payload) {
+            Ok(t) => t,
+            Err(_) => {
+                sh.counters.bump("bad_request");
+                return proto::err_response(0, "bad_request", false, "frame is not UTF-8");
+            }
+        };
+        let req = match json::parse(text) {
+            Ok(v) => v,
+            Err(e) => {
+                sh.counters.bump("bad_request");
+                return proto::err_response(0, "bad_request", false, &format!("bad JSON: {e}"));
+            }
+        };
+        let id = req.get("id").and_then(Value::as_u64).unwrap_or(0);
+        let Some(op) = req.get("op").and_then(Value::as_str).map(str::to_owned) else {
+            sh.counters.bump("bad_request");
+            return proto::err_response(id, "bad_request", false, "missing `op`");
+        };
+
+        // Control-plane ops answer without admission: health stays
+        // observable under full load and during drain.
+        match op.as_str() {
+            "ping" => {
+                sh.counters.bump("ok");
+                return proto::ok_response(id, Value::Str("pong".into()));
+            }
+            "stats" => {
+                sh.counters.bump("ok");
+                return proto::ok_response(id, self.stats_value());
+            }
+            "shutdown" => {
+                self.begin_drain();
+                sh.counters.bump("ok");
+                return proto::ok_response(id, Value::Str("draining".into()));
+            }
+            _ => {}
+        }
+
+        let deadline = req
+            .get("deadline_ms")
+            .and_then(Value::as_u64)
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        let ctl = Ctl::with_cancel(cancel.clone(), deadline);
+
+        match self.admit(deadline) {
+            Ok(()) => {}
+            Err(e) => {
+                sh.counters.bump(e.kind());
+                let msg = if self.draining() { "server draining".to_string() } else { e.to_string() };
+                return proto::err_response(id, e.kind(), e.is_retriable(), &msg);
+            }
+        }
+        // A request that sat out its whole deadline in the queue fails
+        // fast instead of starting doomed work.
+        let outcome = match ctl.check() {
+            Err(e) => Ok(Err(Wire::Query(e))),
+            Ok(()) => catch_unwind(AssertUnwindSafe(|| self.run_query(&op, &req, &ctl))),
+        };
+        self.release();
+        match outcome {
+            Ok(Ok(result)) => {
+                sh.counters.bump("ok");
+                proto::ok_response(id, result)
+            }
+            Ok(Err(Wire::Query(e))) => {
+                sh.counters.bump(e.kind());
+                proto::err_response(id, e.kind(), e.is_retriable(), &e.to_string())
+            }
+            Ok(Err(Wire::BadRequest(msg))) => {
+                sh.counters.bump("bad_request");
+                proto::err_response(id, "bad_request", false, &msg)
+            }
+            Ok(Err(Wire::Unavailable(msg))) => {
+                sh.counters.bump("bad_request");
+                proto::err_response(id, "unavailable", false, &msg)
+            }
+            Err(panic) => {
+                sh.counters.bump("panic");
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "query panicked".into());
+                proto::err_response(id, "panic", false, &msg)
+            }
+        }
+    }
+
+    /// Admission: run now, wait in the bounded queue, or shed.
+    fn admit(&self, deadline: Option<Instant>) -> Result<(), QueryErr> {
+        let sh = &*self.shared;
+        if self.draining() {
+            return Err(QueryErr::Shed);
+        }
+        let mut st = sh.adm.st.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.active < sh.opts.max_active {
+            st.active += 1;
+            return Ok(());
+        }
+        if st.queued >= sh.opts.queue_watermark {
+            return Err(QueryErr::Shed);
+        }
+        st.queued += 1;
+        wet_obs::gauge_set("serve.queue_depth", "", st.queued as i64);
+        wet_obs::gauge_max("serve.queue_depth_peak", "", st.queued as i64);
+        loop {
+            if self.draining() {
+                st.queued -= 1;
+                wet_obs::gauge_set("serve.queue_depth", "", st.queued as i64);
+                return Err(QueryErr::Shed);
+            }
+            if st.active < sh.opts.max_active {
+                st.active += 1;
+                st.queued -= 1;
+                wet_obs::gauge_set("serve.queue_depth", "", st.queued as i64);
+                return Ok(());
+            }
+            let wait = match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        st.queued -= 1;
+                        wet_obs::gauge_set("serve.queue_depth", "", st.queued as i64);
+                        return Err(QueryErr::DeadlineExceeded);
+                    }
+                    (d - now).min(Duration::from_millis(100))
+                }
+                None => Duration::from_millis(100),
+            };
+            let (g, _) = sh.adm.cv.wait_timeout(st, wait).unwrap_or_else(PoisonError::into_inner);
+            st = g;
+        }
+    }
+
+    fn release(&self) {
+        let sh = &*self.shared;
+        let mut st = sh.adm.st.lock().unwrap_or_else(PoisonError::into_inner);
+        st.active = st.active.saturating_sub(1);
+        drop(st);
+        sh.adm.cv.notify_one();
+    }
+
+    /// Executes one data-plane query. Validation errors come back as
+    /// `bad_request` — never as panics (the `catch_unwind` above is the
+    /// last line of defense, not the error path).
+    fn run_query(&self, op: &str, req: &Value, ctl: &Ctl) -> Result<Value, Wire> {
+        let sh = &*self.shared;
+        let threads = sh.opts.threads;
+        let strict = req.get("strict").and_then(Value::as_bool).unwrap_or(true);
+        match op {
+            "cf_trace" => {
+                let forward = match req.get("dir").and_then(Value::as_str).unwrap_or("forward") {
+                    "forward" => true,
+                    "backward" => false,
+                    other => return Err(Wire::BadRequest(format!("unknown dir `{other}`"))),
+                };
+                if strict {
+                    let mut wet = lock_write(&sh.wet);
+                    let steps = if forward {
+                        query::cf_trace_forward_ctl(&mut wet, ctl)?
+                    } else {
+                        query::cf_trace_backward_ctl(&mut wet, ctl)?
+                    };
+                    Ok(steps_value(&steps, None))
+                } else {
+                    if !forward {
+                        return Err(Wire::BadRequest("degraded cf_trace is forward-only".into()));
+                    }
+                    let wet = lock_read(&sh.wet);
+                    let (steps, deg) = query::cf_trace_forward_degraded_ctl(&wet, ctl)?;
+                    Ok(steps_value(&steps, Some(&deg)))
+                }
+            }
+            "value_trace" => {
+                let stmt = stmt_of(req)?;
+                let wet = lock_read(&sh.wet);
+                if strict {
+                    let pairs = query::engine::value_trace_ctl(&wet, stmt, threads, ctl)?;
+                    Ok(pairs_value(&pairs, |&(ts, v)| (ts as i64, v), None))
+                } else {
+                    let (pairs, deg) = query::engine::value_trace_degraded_ctl(&wet, stmt, threads, ctl)?;
+                    Ok(pairs_value(&pairs, |&(ts, v)| (ts as i64, v), Some(&deg)))
+                }
+            }
+            "address_trace" => {
+                let stmt = stmt_of(req)?;
+                let program = self.program()?;
+                let wet = lock_read(&sh.wet);
+                let pairs = query::engine::address_trace_ctl(&wet, program, stmt, threads, ctl)?;
+                Ok(pairs_value(&pairs, |&(ts, a)| (ts as i64, a as i64), None))
+            }
+            "slice" => {
+                let stmt = stmt_of(req)?;
+                let program = self.program()?;
+                let node = req
+                    .get("node")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| Wire::BadRequest("slice needs `node`".into()))?;
+                let k = req.get("k").and_then(Value::as_u64).unwrap_or(0) as u32;
+                let control = req.get("control").and_then(Value::as_bool).unwrap_or(true);
+                let mut wet = lock_write(&sh.wet);
+                if node as usize >= wet.nodes().len() {
+                    return Err(Wire::BadRequest(format!("node {node} out of range")));
+                }
+                let node = wet_core::NodeId(node as u32);
+                if wet.node(node).stmt_pos(stmt).is_none() {
+                    return Err(Wire::BadRequest(format!("{stmt} not in node {}", node.0)));
+                }
+                if k >= wet.node(node).n_execs {
+                    return Err(Wire::BadRequest(format!(
+                        "execution {k} out of range (node ran {} times)",
+                        wet.node(node).n_execs
+                    )));
+                }
+                let spec = query::SliceSpec { data: true, control };
+                let criterion = query::WetSliceElem { node, stmt, k };
+                if strict {
+                    let slice = query::backward_slice_ctl(&mut wet, program, criterion, spec, ctl)?;
+                    Ok(slice_value(&slice, None))
+                } else {
+                    let (slice, deg) =
+                        query::backward_slice_degraded_ctl(&mut wet, program, criterion, spec, ctl)?;
+                    Ok(slice_value(&slice, Some(&deg)))
+                }
+            }
+            other => Err(Wire::BadRequest(format!("unknown op `{other}`"))),
+        }
+    }
+
+    fn program(&self) -> Result<&Program, Wire> {
+        self.shared
+            .program
+            .as_ref()
+            .ok_or_else(|| Wire::Unavailable("no program loaded (serve a capture dir or pass --program)".into()))
+    }
+
+    /// The `stats` response: request counters, admission state, and
+    /// the served trace's shape.
+    pub fn stats_value(&self) -> Value {
+        let sh = &*self.shared;
+        let st = sh.adm.st.lock().unwrap_or_else(PoisonError::into_inner);
+        let (active, queued) = (st.active, st.queued);
+        drop(st);
+        let wet = lock_read(&sh.wet);
+        let c = &sh.counters;
+        json::obj(vec![
+            ("ok", Value::Int(c.ok.load(Ordering::Relaxed) as i64)),
+            ("shed", Value::Int(c.shed.load(Ordering::Relaxed) as i64)),
+            ("cancelled", Value::Int(c.cancelled.load(Ordering::Relaxed) as i64)),
+            ("deadline", Value::Int(c.deadline.load(Ordering::Relaxed) as i64)),
+            ("panic", Value::Int(c.panic.load(Ordering::Relaxed) as i64)),
+            ("corrupt", Value::Int(c.corrupt.load(Ordering::Relaxed) as i64)),
+            ("bad_request", Value::Int(c.bad_request.load(Ordering::Relaxed) as i64)),
+            ("active", Value::Int(active as i64)),
+            ("queued", Value::Int(queued as i64)),
+            ("draining", Value::Bool(self.draining())),
+            ("nodes", Value::Int(wet.nodes().len() as i64)),
+            ("paths_executed", Value::Int(wet.stats().paths_executed as i64)),
+            ("tier2", Value::Bool(wet.is_tier2())),
+            ("unavailable_seqs", Value::Int(wet.unavailable_seqs() as i64)),
+        ])
+    }
+
+    /// Accept loop: serves until SIGTERM or a `shutdown` request, then
+    /// drains — in-flight requests finish and get their responses, new
+    /// ones are shed, idle connections close — and returns.
+    pub fn serve(&self, listener: Listener) -> io::Result<()> {
+        install_sigterm();
+        listener.set_nonblocking(true)?;
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.draining() {
+            match listener.accept() {
+                Ok(stream) => {
+                    let srv = self.clone();
+                    conns.push(std::thread::spawn(move || srv.handle_conn(stream)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            conns.retain(|h| !h.is_finished());
+        }
+        self.begin_drain();
+        for h in conns {
+            let _ = h.join();
+        }
+        wet_obs::gauge_set("serve.queue_depth", "", 0);
+        Ok(())
+    }
+
+    /// One connection: reads frames on a timeout tick, runs each
+    /// request on its own worker thread (so a later `cancel` frame can
+    /// reach an in-flight query), and multiplexes responses back under
+    /// a write lock. Exits on peer close, protocol violation, stall
+    /// (slow-loris), or drain completion.
+    fn handle_conn(&self, stream: Stream) {
+        let _ = stream.set_read_timeout(Duration::from_millis(self.shared.opts.read_timeout_ms));
+        let writer: Arc<Mutex<Stream>> = match stream.try_clone() {
+            Ok(w) => Arc::new(Mutex::new(w)),
+            Err(_) => return,
+        };
+        let inflight: Arc<Mutex<HashMap<u64, Arc<AtomicBool>>>> = Arc::new(Mutex::new(HashMap::new()));
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut reader = FrameReader::new();
+        let mut stream = stream;
+        let mut stall_started: Option<Instant> = None;
+        let stall_budget = Duration::from_millis(self.shared.opts.stall_timeout_ms);
+        loop {
+            match reader.poll(&mut stream) {
+                Ok(Poll::Frame(payload)) => {
+                    stall_started = None;
+                    self.dispatch_frame(payload, &writer, &inflight, &mut workers);
+                }
+                Ok(Poll::Pending) => {
+                    if reader.mid_frame() {
+                        let started = *stall_started.get_or_insert_with(Instant::now);
+                        if started.elapsed() > stall_budget {
+                            wet_obs::counter_add("serve.conns_dropped_slow", "", 1);
+                            break;
+                        }
+                    } else {
+                        stall_started = None;
+                        let idle = inflight.lock().unwrap_or_else(PoisonError::into_inner).is_empty();
+                        if self.draining() && idle {
+                            break;
+                        }
+                    }
+                }
+                Ok(Poll::Eof) => break,
+                Err(_) => break, // mid-frame cut, hostile length, transport error
+            }
+        }
+        // The peer is gone (or we are dropping it): cancel whatever it
+        // still has in flight, then let the workers finish cleanly.
+        for flag in inflight.lock().unwrap_or_else(PoisonError::into_inner).values() {
+            flag.store(true, Ordering::Relaxed);
+        }
+        for h in workers {
+            let _ = h.join();
+        }
+        let _ = stream.shutdown();
+    }
+
+    /// Routes one decoded frame: `cancel` acts immediately on the
+    /// connection's in-flight table; everything else gets a worker.
+    fn dispatch_frame(
+        &self,
+        payload: Vec<u8>,
+        writer: &Arc<Mutex<Stream>>,
+        inflight: &Arc<Mutex<HashMap<u64, Arc<AtomicBool>>>>,
+        workers: &mut Vec<std::thread::JoinHandle<()>>,
+    ) {
+        // Peek for the cancel op without spawning.
+        if let Ok(text) = std::str::from_utf8(&payload) {
+            if let Ok(req) = json::parse(text) {
+                if req.get("op").and_then(Value::as_str) == Some("cancel") {
+                    let id = req.get("id").and_then(Value::as_u64).unwrap_or(0);
+                    let target = req.get("target").and_then(Value::as_u64).unwrap_or(0);
+                    let found = inflight
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .get(&target)
+                        .map(|f| f.store(true, Ordering::Relaxed))
+                        .is_some();
+                    let resp = proto::ok_response(
+                        id,
+                        Value::Str(if found { "cancel delivered" } else { "no such request" }.into()),
+                    );
+                    write_response(writer, &resp);
+                    return;
+                }
+                let id = req.get("id").and_then(Value::as_u64).unwrap_or(0);
+                let cancel = Arc::new(AtomicBool::new(false));
+                {
+                    let mut inf = inflight.lock().unwrap_or_else(PoisonError::into_inner);
+                    if inf.contains_key(&id) {
+                        self.shared.counters.bump("bad_request");
+                        let resp =
+                            proto::err_response(id, "bad_request", false, "duplicate in-flight id");
+                        drop(inf);
+                        write_response(writer, &resp);
+                        return;
+                    }
+                    inf.insert(id, cancel.clone());
+                }
+                let srv = self.clone();
+                let writer = writer.clone();
+                let inflight = inflight.clone();
+                workers.push(std::thread::spawn(move || {
+                    let resp = srv.process(&payload, &cancel);
+                    write_response(&writer, &resp);
+                    inflight.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
+                }));
+                workers.retain(|h| !h.is_finished());
+                return;
+            }
+        }
+        // Unparseable frame: answer inline (process() will classify).
+        let cancel = Arc::new(AtomicBool::new(false));
+        let resp = self.process(&payload, &cancel);
+        write_response(writer, &resp);
+    }
+}
+
+fn write_response(writer: &Arc<Mutex<Stream>>, payload: &[u8]) {
+    let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+    // The peer may already be gone; a failed response write is its
+    // problem, not the server's.
+    let _ = proto::write_frame(&mut *w, payload);
+}
+
+/// Internal error channel for [`Server::run_query`].
+enum Wire {
+    Query(QueryErr),
+    BadRequest(String),
+    Unavailable(String),
+}
+
+impl From<QueryErr> for Wire {
+    fn from(e: QueryErr) -> Wire {
+        Wire::Query(e)
+    }
+}
+
+fn stmt_of(req: &Value) -> Result<StmtId, Wire> {
+    req.get("stmt")
+        .and_then(Value::as_u64)
+        .map(|s| StmtId(s as u32))
+        .ok_or_else(|| Wire::BadRequest("missing `stmt`".into()))
+}
+
+fn degraded_value(deg: &query::Degraded) -> Value {
+    json::obj(vec![
+        ("nodes_skipped", Value::Int(deg.nodes_skipped as i64)),
+        ("gaps", Value::Int(deg.gaps as i64)),
+        ("steps_missing", Value::Int(deg.steps_missing as i64)),
+        ("seqs_unavailable", Value::Int(deg.seqs_unavailable as i64)),
+    ])
+}
+
+fn steps_value(steps: &[query::CfStep], deg: Option<&query::Degraded>) -> Value {
+    let arr = Value::Arr(
+        steps
+            .iter()
+            .map(|s| {
+                Value::Arr(vec![
+                    Value::Int(s.node.0 as i64),
+                    Value::Int(s.k as i64),
+                    Value::Int(s.ts as i64),
+                ])
+            })
+            .collect(),
+    );
+    let mut pairs = vec![("count", Value::Int(steps.len() as i64)), ("steps", arr)];
+    if let Some(d) = deg {
+        pairs.push(("degraded", degraded_value(d)));
+    }
+    json::obj(pairs)
+}
+
+fn pairs_value<T>(items: &[T], f: impl Fn(&T) -> (i64, i64), deg: Option<&query::Degraded>) -> Value {
+    let arr = Value::Arr(
+        items
+            .iter()
+            .map(|t| {
+                let (a, b) = f(t);
+                Value::Arr(vec![Value::Int(a), Value::Int(b)])
+            })
+            .collect(),
+    );
+    let mut pairs = vec![("count", Value::Int(items.len() as i64)), ("pairs", arr)];
+    if let Some(d) = deg {
+        pairs.push(("degraded", degraded_value(d)));
+    }
+    json::obj(pairs)
+}
+
+fn slice_value(slice: &query::WetSlice, deg: Option<&query::Degraded>) -> Value {
+    let stamped = Value::Arr(
+        slice
+            .stamped
+            .iter()
+            .map(|&(s, ts)| Value::Arr(vec![Value::Int(s.0 as i64), Value::Int(ts as i64)]))
+            .collect(),
+    );
+    let statics = Value::Arr(slice.static_stmts().iter().map(|s| Value::Int(s.0 as i64)).collect());
+    let mut pairs = vec![
+        ("count", Value::Int(slice.len() as i64)),
+        ("static_stmts", statics),
+        ("stamped", stamped),
+    ];
+    if let Some(d) = deg {
+        pairs.push(("degraded", degraded_value(d)));
+    }
+    json::obj(pairs)
+}
+
+/// A bound listening socket (unix or TCP).
+pub enum Listener {
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+    Tcp(std::net::TcpListener),
+}
+
+/// Binds `addr`: anything containing `:` is a TCP address, everything
+/// else a unix-socket path (a stale socket file is replaced).
+pub fn bind(addr: &str) -> io::Result<Listener> {
+    if addr.contains(':') {
+        return Ok(Listener::Tcp(std::net::TcpListener::bind(addr)?));
+    }
+    #[cfg(unix)]
+    {
+        let path = std::path::Path::new(addr);
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        Ok(Listener::Unix(std::os::unix::net::UnixListener::bind(path)?))
+    }
+    #[cfg(not(unix))]
+    Err(io::Error::new(io::ErrorKind::Unsupported, "unix sockets need a unix platform"))
+}
+
+impl Listener {
+    fn set_nonblocking(&self, on: bool) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(on),
+            Listener::Tcp(l) => l.set_nonblocking(on),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                Ok(Stream::Unix(s))
+            }
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                Ok(Stream::Tcp(s))
+            }
+        }
+    }
+}
+
+/// A connected socket (unix or TCP), unified for the framing layer.
+pub enum Stream {
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+    Tcp(std::net::TcpStream),
+}
+
+/// Connects to `addr` using the same `:`-means-TCP rule as [`bind`].
+pub fn connect(addr: &str) -> io::Result<Stream> {
+    if addr.contains(':') {
+        return Ok(Stream::Tcp(std::net::TcpStream::connect(addr)?));
+    }
+    #[cfg(unix)]
+    {
+        Ok(Stream::Unix(std::os::unix::net::UnixStream::connect(addr)?))
+    }
+    #[cfg(not(unix))]
+    Err(io::Error::new(io::ErrorKind::Unsupported, "unix sockets need a unix platform"))
+}
+
+impl Stream {
+    pub fn set_read_timeout(&self, dur: Duration) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(Some(dur)),
+            Stream::Tcp(s) => s.set_read_timeout(Some(dur)),
+        }
+    }
+
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    pub fn shutdown(&self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}

@@ -14,7 +14,7 @@ use wet_core::query::{mine, phases};
 /// Runs interval/phase analysis; returns (interval count,
 /// per-phase (representative, size) pairs).
 fn mine_phases(wet: &mut wet_core::Wet) -> (usize, Vec<(usize, usize)>) {
-    let vectors = phases::interval_vectors(wet, 500);
+    let vectors = phases::interval_vectors(wet, 500).unwrap();
     let n = vectors.len();
     let ph = phases::cluster_phases(&vectors, 4);
     (n, ph.representatives.iter().copied().zip(ph.sizes.iter().copied()).collect())

@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Query 1: the full control-flow trace, forward and backward.
-    let fwd = query::cf_trace_forward(&mut wet);
+    let fwd = query::cf_trace_forward(&mut wet).unwrap();
     let blocks = query::expand_blocks(&wet, &fwd);
     println!("control-flow trace: {} path steps, {} block executions", fwd.len(), blocks.len());
 
@@ -67,15 +67,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )
         })
         .expect("program has a load");
-    let values = query::value_trace(&wet, load_stmt);
+    let values = query::value_trace(&wet, load_stmt).unwrap();
     println!("load value trace: first five = {:?}", &values[..5.min(values.len())]);
 
     // Query 3: its address trace.
-    let addrs = query::address_trace(&wet, &program, load_stmt);
+    let addrs = query::address_trace(&wet, &program, load_stmt).unwrap();
     println!("load address trace: first five = {:?}", &addrs[..5.min(addrs.len())]);
 
     // Query 4: a backward WET slice from the last total update.
-    let last = query::cf_trace_backward(&mut wet)[0];
+    let last = query::cf_trace_backward(&mut wet).unwrap()[0];
     let criterion = query::WetSliceElem { node: last.node, stmt: StmtId(7), k: last.k };
     // stmt 7 is `total += sq` only if it is in the last node; fall back
     // to any def statement of that node.
@@ -89,7 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &program,
         query::WetSliceElem { stmt, ..criterion },
         query::SliceSpec::default(),
-    );
+    ).unwrap();
     println!(
         "backward WET slice from the end: {} dynamic instances over {} static statements",
         slice.len(),

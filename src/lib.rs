@@ -36,7 +36,7 @@
 //! wet.compress();
 //!
 //! // 3. Query it: full control-flow trace, value traces, slices...
-//! let trace = query::cf_trace_forward(&mut wet);
+//! let trace = query::cf_trace_forward(&mut wet).unwrap();
 //! assert_eq!(trace.len() as u64, wet.stats().paths_executed);
 //! println!("compression ratio: {:.1}", wet.sizes().ratio());
 //! # Ok(())
@@ -47,6 +47,7 @@ pub use wet_arch as arch;
 pub use wet_core as core;
 pub use wet_interp as interp;
 pub use wet_ir as ir;
+pub use wet_serve as serve;
 pub use wet_stream as stream;
 pub use wet_workloads as workloads;
 

@@ -1,0 +1,89 @@
+//! Regression test pinning the query engine's decompression-cache
+//! memory to its configured budget.
+//!
+//! `WetConfig.serve.cache_budget_bytes` bounds the byte-accounted LRU
+//! each engine worker keeps for decompressed label pools, timestamp
+//! sequences, and producer value streams. The contract (DESIGN.md §4,
+//! decision 10): the accounted bytes never exceed the budget *at any
+//! instant* — eviction happens before insert — and the high-water mark
+//! is published to wet-obs as the `query.cache.peak_bytes` gauge when
+//! the caches drop. A long-running `wet serve` holds this budget for
+//! its whole lifetime, so the pin is on the peak, not the average.
+
+use wet::prelude::*;
+use wet::workloads::Kind;
+use wet_core::query::engine;
+use wet_core::Wet;
+use wet_ir::StmtId;
+
+const BUDGET: u64 = 64 * 1024;
+
+fn gcc_like(budget: u64) -> (Wet, wet_ir::Program) {
+    let w = wet::workloads::build(Kind::Gcc, 60_000);
+    let bl = BallLarus::new(&w.program);
+    let mut config = WetConfig::default();
+    config.serve.cache_budget_bytes = budget;
+    let mut builder = WetBuilder::new(&w.program, &bl, config);
+    Interp::new(&w.program, &bl, InterpConfig::default())
+        .run(&w.inputs, &mut builder)
+        .expect("gcc-like runs");
+    let mut wet = builder.finish();
+    wet.compress();
+    (wet, w.program)
+}
+
+/// Every statement the trace saw (the cache-hungry queries walk
+/// dependence edges across all of them).
+fn all_stmts(wet: &Wet) -> Vec<StmtId> {
+    let mut stmts: Vec<StmtId> =
+        wet.nodes().iter().flat_map(|n| n.stmts.iter().map(|s| s.id)).collect();
+    stmts.sort_unstable();
+    stmts.dedup();
+    stmts
+}
+
+/// Runs the cache-exercising whole-trace queries and returns
+/// `(peak_cache_bytes, total_evictions)` as wet-obs observed them.
+fn measure(budget: u64, threads: usize) -> (i64, u64) {
+    let (wet, program) = gcc_like(budget);
+    let stmts = all_stmts(&wet);
+    let _scope = wet_obs::scoped_enable();
+    wet_obs::reset();
+    engine::address_traces(&wet, &program, &stmts, threads).expect("pristine trace");
+    for &s in stmts.iter().take(8) {
+        engine::address_trace(&wet, &program, s, threads).expect("pristine trace");
+    }
+    let report = wet_obs::snapshot();
+    let peak = report
+        .gauges
+        .get(&("query.cache.peak_bytes".to_string(), String::new()))
+        .copied()
+        .unwrap_or(0);
+    let evictions: u64 = report
+        .counters
+        .iter()
+        .filter(|((name, _), _)| name == "query.cache.evictions")
+        .map(|(_, v)| v)
+        .sum();
+    (peak, evictions)
+}
+
+#[test]
+fn peak_cache_bytes_stay_under_budget_on_gcc_like() {
+    let (bounded_peak, bounded_evictions) = measure(BUDGET, 2);
+    assert!(bounded_peak > 0, "cache was exercised (peak gauge recorded)");
+    assert!(
+        bounded_peak as u64 <= BUDGET,
+        "peak cache bytes {bounded_peak} exceeded budget {BUDGET}"
+    );
+
+    // The pin is meaningful only if the budget actually binds: the same
+    // workload with an unlimited cache must exceed it, and the bounded
+    // run must have paid for staying under with evictions.
+    let (unbounded_peak, _) = measure(0, 2);
+    assert!(
+        unbounded_peak as u64 > BUDGET,
+        "workload too small to test the budget (unbounded peak {unbounded_peak})"
+    );
+    assert!(bounded_evictions > 0, "bounded cache never evicted");
+}

@@ -25,10 +25,10 @@ fn build(kind: Kind, target: u64) -> (Program, wet_core::Wet, Recorder) {
 fn cf_traces_match_for_all_workloads() {
     for kind in Kind::all() {
         let (_p, mut wet, rec) = build(kind, 20_000);
-        let fwd = query::cf_trace_forward(&mut wet);
+        let fwd = query::cf_trace_forward(&mut wet).unwrap();
         let blocks = query::expand_blocks(&wet, &fwd);
         assert_eq!(blocks, rec.block_trace(), "{}: forward CF trace", kind.name());
-        let mut bwd = query::cf_trace_backward(&mut wet);
+        let mut bwd = query::cf_trace_backward(&mut wet).unwrap();
         bwd.reverse();
         assert_eq!(bwd, fwd, "{}: backward CF trace", kind.name());
     }
@@ -41,7 +41,7 @@ fn value_traces_match_for_all_workloads() {
         for sid in 0..p.stmt_count() as u32 {
             let stmt = StmtId(sid);
             let expected = rec.values_of(stmt);
-            let got: Vec<i64> = query::value_trace(&wet, stmt).into_iter().map(|(_, v)| v).collect();
+            let got: Vec<i64> = query::value_trace(&wet, stmt).unwrap().into_iter().map(|(_, v)| v).collect();
             assert_eq!(got, expected, "{}: value trace of {stmt}", kind.name());
         }
     }
@@ -55,7 +55,7 @@ fn address_traces_match_for_all_workloads() {
             let stmt = StmtId(sid);
             let expected = rec.addresses_of(stmt);
             let got: Vec<u64> =
-                query::address_trace(&wet, &p, stmt).into_iter().map(|(_, a)| a).collect();
+                query::address_trace(&wet, &p, stmt).unwrap().into_iter().map(|(_, a)| a).collect();
             assert_eq!(got, expected, "{}: address trace of {stmt}", kind.name());
         }
     }
@@ -94,7 +94,7 @@ fn slices_match_reference_for_sampled_criteria() {
                 &p,
                 query::WetSliceElem { node, stmt: r.ev.stmt, k },
                 query::SliceSpec::default(),
-            );
+            ).unwrap();
             assert_eq!(got.stamped, expect, "{}: slice at {}#{}", kind.name(), r.ev.stmt, r.ev.instance);
         }
     }
@@ -152,7 +152,7 @@ fn block_granularity_mode_stays_correct() {
     wet.compress();
     // One timestamp per block execution in this mode.
     assert_eq!(wet.stats().paths_executed, wet.stats().blocks_executed);
-    let fwd = query::cf_trace_forward(&mut wet);
+    let fwd = query::cf_trace_forward(&mut wet).unwrap();
     let blocks = query::expand_blocks(&wet, &fwd);
     assert_eq!(blocks, rec.block_trace());
 }
@@ -171,8 +171,8 @@ fn global_ts_mode_matches_local_mode_semantics() {
     for sid in (0..p.stmt_count() as u32).step_by(3) {
         let stmt = StmtId(sid);
         assert_eq!(
-            query::value_trace(&local, stmt),
-            query::value_trace(&global, stmt),
+            query::value_trace(&local, stmt).unwrap(),
+            query::value_trace(&global, stmt).unwrap(),
             "value traces agree across modes for {stmt}"
         );
     }

@@ -175,7 +175,7 @@ fn salvage_recovers_every_intact_section() {
     for kind in [Kind::Go, Kind::Gzip, Kind::Twolf] {
         let mut pristine_wet = build_wet(kind);
         let bytes = wetz_bytes(&pristine_wet);
-        let strict_cf = query::cf_trace_forward(&mut pristine_wet);
+        let strict_cf = query::cf_trace_forward(&mut pristine_wet).unwrap();
 
         // Damaged unique-values section: control flow (TSEQ + BIND) is
         // untouched, so the degraded CF trace must be complete and
@@ -208,5 +208,61 @@ fn salvage_recovers_every_intact_section() {
         let (cf, deg) = query::cf_trace_forward_degraded(&wet);
         assert!(deg.is_complete() && cf == strict_cf, "{}: CF survives EDGL damage", kind.name());
         assert!(Wet::read_from(&mut &damage_section(&bytes, b"EDGL")[..]).is_err());
+    }
+}
+
+/// Strict queries on a salvaged WET with unavailable sequences must
+/// return `QueryErr::Corrupt` — a typed error, never a panic. (The
+/// degraded variants stay the lossy-but-total alternative.)
+#[test]
+fn strict_queries_report_corrupt_instead_of_panicking() {
+    for kind in [Kind::Go, Kind::Gzip, Kind::Mcf] {
+        let pristine = build_wet(kind);
+        let bytes = wetz_bytes(&pristine);
+        let stmts: Vec<_> = pristine
+            .nodes()
+            .iter()
+            .flat_map(|n| n.stmts.iter().map(|s| s.id))
+            .collect();
+
+        // Damaged VALS: some value group is unavailable, so some strict
+        // value_trace must answer Corrupt — and none may panic.
+        let (mut wet, report) =
+            Wet::read_salvaging(&mut &damage_section(&bytes, b"VALS")[..]).expect("salvageable");
+        assert!(report.seqs_lost > 0, "{}: VALS damage loses sequences", kind.name());
+        let mut corrupt_seen = false;
+        for &s in &stmts {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                query::value_trace(&wet, s)
+            }));
+            match outcome {
+                Ok(Ok(_)) => {}
+                Ok(Err(query::QueryErr::Corrupt(_))) => corrupt_seen = true,
+                Ok(Err(e)) => panic!("{}: s{} unexpected error {e}", kind.name(), s.0),
+                Err(_) => panic!("{}: strict value_trace panicked on s{}", kind.name(), s.0),
+            }
+        }
+        assert!(corrupt_seen, "{}: VALS damage never surfaced as Corrupt", kind.name());
+        // The degraded variant stays total on the same WET.
+        for &s in &stmts {
+            let _ = query::value_trace_degraded(&wet, s);
+        }
+
+        // Damaged TSEQ: the strict whole-trace walk hits an unavailable
+        // timestamp sequence mid-walk and must answer Corrupt.
+        let (mut wet2, _) =
+            Wet::read_salvaging(&mut &damage_section(&bytes, b"TSEQ")[..]).expect("salvageable");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            query::cf_trace_forward(&mut wet2)
+        }));
+        match outcome {
+            Ok(Err(query::QueryErr::Corrupt(_))) => {}
+            Ok(Ok(_)) => panic!("{}: strict CF trace accepted TSEQ damage", kind.name()),
+            Ok(Err(e)) => panic!("{}: unexpected error {e}", kind.name()),
+            Err(_) => panic!("{}: strict CF trace panicked on TSEQ damage", kind.name()),
+        }
+        // And on the VALS-damaged WET the strict CF trace still works
+        // (control flow does not touch value sections).
+        assert!(query::cf_trace_forward(&mut wet).is_ok(), "{}: CF strict over VALS damage", kind.name());
     }
 }

@@ -45,15 +45,15 @@ fn check_reload(original: &mut Wet, bytes: &[u8], ctx: &str) {
     assert_eq!(reread.stats(), original.stats(), "{ctx}: stats differ");
     assert_eq!(reread.is_tier2(), original.is_tier2(), "{ctx}: tier differs");
     assert_eq!(
-        query::cf_trace_forward(&mut reread),
-        query::cf_trace_forward(original),
+        query::cf_trace_forward(&mut reread).unwrap(),
+        query::cf_trace_forward(original).unwrap(),
         "{ctx}: CF trace differs"
     );
     for sid in 0..16 {
         let stmt = StmtId(sid);
         assert_eq!(
-            query::value_trace(&reread, stmt),
-            query::value_trace(original, stmt),
+            query::value_trace(&reread, stmt).unwrap(),
+            query::value_trace(original, stmt).unwrap(),
             "{ctx}: value trace of {stmt} differs"
         );
     }
@@ -139,9 +139,9 @@ fn v1_fixtures_still_load() {
         // The fixture must also round-trip into a clean v2 image.
         let v2 = v2_bytes(&wet);
         let reread = Wet::read_from(&mut &v2[..]).unwrap_or_else(|e| panic!("{name}: v2: {e}"));
-        assert_eq!(query::cf_trace_forward(&mut wet), {
+        assert_eq!(query::cf_trace_forward(&mut wet).unwrap(), {
             let mut r = reread;
-            query::cf_trace_forward(&mut r)
+            query::cf_trace_forward(&mut r).unwrap()
         }, "{name}: CF trace survives migration");
     }
 }

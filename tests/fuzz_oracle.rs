@@ -205,15 +205,15 @@ fn check_program(seed: u64) {
             wet.compress();
         }
         // Control flow.
-        let fwd = query::cf_trace_forward(&mut wet);
+        let fwd = query::cf_trace_forward(&mut wet).unwrap();
         assert_eq!(query::expand_blocks(&wet, &fwd), rec.block_trace(), "seed {seed} tier2={tier2}: CF");
         // Values and addresses per statement.
         for sid in 0..p.stmt_count() as u32 {
             let stmt = StmtId(sid);
-            let got: Vec<i64> = query::value_trace(&wet, stmt).into_iter().map(|(_, v)| v).collect();
+            let got: Vec<i64> = query::value_trace(&wet, stmt).unwrap().into_iter().map(|(_, v)| v).collect();
             assert_eq!(got, rec.values_of(stmt), "seed {seed} tier2={tier2}: values of {stmt}");
             let got: Vec<u64> =
-                query::address_trace(&wet, &p, stmt).into_iter().map(|(_, a)| a).collect();
+                query::address_trace(&wet, &p, stmt).unwrap().into_iter().map(|(_, a)| a).collect();
             assert_eq!(got, rec.addresses_of(stmt), "seed {seed} tier2={tier2}: addrs of {stmt}");
         }
     }
@@ -246,7 +246,7 @@ fn check_program(seed: u64) {
             &p,
             query::WetSliceElem { node, stmt: r.ev.stmt, k },
             query::SliceSpec::default(),
-        );
+        ).unwrap();
         assert_eq!(got.stamped, expect, "seed {seed}: slice at {}#{}", r.ev.stmt, r.ev.instance);
     }
 }

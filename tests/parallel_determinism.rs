@@ -77,11 +77,11 @@ fn extraction_identical_across_thread_counts() {
     let stmts: Vec<wet_ir::StmtId> = (0..w.program.stmt_count() as u32).map(wet_ir::StmtId).collect();
     let mut checked = 0;
     for &s in &stmts {
-        let seq_v = wet_core::query::engine::value_trace(&wet, s, 1);
-        let seq_a = wet_core::query::engine::address_trace(&wet, &w.program, s, 1);
+        let seq_v = wet_core::query::engine::value_trace(&wet, s, 1).unwrap();
+        let seq_a = wet_core::query::engine::address_trace(&wet, &w.program, s, 1).unwrap();
         for threads in [2usize, 4] {
-            assert_eq!(wet_core::query::engine::value_trace(&wet, s, threads), seq_v);
-            assert_eq!(wet_core::query::engine::address_trace(&wet, &w.program, s, threads), seq_a);
+            assert_eq!(wet_core::query::engine::value_trace(&wet, s, threads).unwrap(), seq_v);
+            assert_eq!(wet_core::query::engine::address_trace(&wet, &w.program, s, threads).unwrap(), seq_a);
         }
         if !seq_v.is_empty() || !seq_a.is_empty() {
             checked += 1;
@@ -109,7 +109,7 @@ fn metrics_identical_across_thread_counts() {
         // are deterministic even though its cache counters are not.
         let w = wet_workloads::build(Kind::Gcc, 8_000);
         for s in (0..w.program.stmt_count() as u32).map(wet_ir::StmtId).take(16) {
-            wet_core::query::engine::value_trace(&wet, s, threads);
+            wet_core::query::engine::value_trace(&wet, s, threads).unwrap();
         }
         let report = wet_obs::snapshot();
         wet_obs::reset();
