@@ -202,6 +202,75 @@ if [ "$drain_status" -ne 0 ]; then
     exit 1
 fi
 
+echo "==> store gate: multi-tenant lazy serving under a byte budget"
+store_dir="$fsck_dir/store"
+mkdir -p "$store_dir"
+store_sock="$store_dir/wet.sock"
+# Four distinct workload traces in the store root; the budget is sized
+# from the largest container so one trace always fits (the store only
+# overshoots when everything is pinned) but all four cannot.
+largest=0
+for w in gzip-like mcf-like go-like twolf-like; do
+    "$wet" workload "$w" --target 60000 --save "$store_dir/$w.wetz" > /dev/null
+    sz=$(wc -c < "$store_dir/$w.wetz")
+    if [ "$sz" -gt "$largest" ]; then largest=$sz; fi
+done
+store_budget=$((largest * 2))
+rm -f "$store_sock"
+"$wet" serve --store-root "$store_dir" --store-budget "$store_budget" \
+    --listen "$store_sock" --profile=json \
+    > "$store_dir/metrics.json" 2> /dev/null &
+serve_pid=$!
+i=0
+while [ ! -S "$store_sock" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then echo "store server never bound $store_sock" >&2; exit 1; fi
+    sleep 0.1
+done
+for w in gzip-like mcf-like go-like twolf-like; do
+    "$wet" query open --path "$w.wetz" --trace "$w" --tenant ci --remote "$store_sock" > /dev/null
+done
+"$wet" query list --remote "$store_sock" > /dev/null
+# A path escaping the store root is refused before admission with the
+# typed forbidden error (exit 2).
+esc_status=0
+"$wet" query open --path ../escape.wetz --remote "$store_sock" > /dev/null 2>&1 || esc_status=$?
+if [ "$esc_status" -ne 2 ]; then
+    echo "open outside store root: expected exit 2, got $esc_status" >&2
+    exit 1
+fi
+# Query every open trace twice so lazy per-stream decodes and LRU
+# evictions churn while at least four traces stay open.
+for round in 1 2; do
+    for w in gzip-like mcf-like go-like twolf-like; do
+        "$wet" query cf_trace --trace "$w" --remote "$store_sock" > /dev/null
+        "$wet" query value_trace --stmt 3 --trace "$w" --remote "$store_sock" > /dev/null 2>&1 || true
+    done
+done
+"$wet" query close --trace twolf-like --remote "$store_sock" > /dev/null
+kill -TERM "$serve_pid"
+drain_status=0
+wait "$serve_pid" || drain_status=$?
+if [ "$drain_status" -ne 0 ]; then
+    echo "store-server drain: expected exit 0, got $drain_status" >&2
+    exit 1
+fi
+cargo run -q --release --offline --locked -p wet-obs --bin jsonv < "$store_dir/metrics.json"
+grep -q 'store.cold_opens' "$store_dir/metrics.json"
+grep -q 'store.lazy_decodes' "$store_dir/metrics.json"
+# The peak resident-bytes gauge must respect the budget: extract the
+# "peak"-labelled gauge from the metrics document and compare.
+peak=$(sed -n 's/.*"name": "store.resident_bytes", "label": "peak", "value": \([0-9][0-9]*\).*/\1/p' \
+    "$store_dir/metrics.json" | head -n 1)
+if [ -z "$peak" ]; then
+    echo "store.resident_bytes peak gauge missing from metrics" >&2
+    exit 1
+fi
+if [ "$peak" -gt "$store_budget" ]; then
+    echo "store.resident_bytes peak $peak exceeds budget $store_budget" >&2
+    exit 1
+fi
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --locked --workspace --all-targets -- -D warnings
 

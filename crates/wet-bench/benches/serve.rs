@@ -59,6 +59,38 @@ fn bench_serve(c: &mut Criterion) {
                 b.iter(|| black_box(server.handle_frame(req)).len());
             });
         }
+        // Single-client ping baseline: the serving floor (framing,
+        // dispatch, response render — no query work, no cross-client
+        // contention) that every concurrent row reads against.
+        {
+            let req = &cases[0].1;
+            const PER: usize = 1000;
+            let t0 = Instant::now();
+            let mut lat_ns: Vec<u64> = (0..PER)
+                .map(|_| {
+                    let t = Instant::now();
+                    black_box(server.handle_frame(req));
+                    t.elapsed().as_nanos() as u64
+                })
+                .collect();
+            let secs = t0.elapsed().as_secs_f64();
+            lat_ns.sort_unstable();
+            let total = lat_ns.len();
+            let pct = |p: usize| lat_ns[(total * p / 100).min(total - 1)] as f64 / 1e3;
+            rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"op\": \"ping\", \"clients\": 1, ",
+                    "\"requests\": {}, \"secs\": {:.6}, \"req_per_sec\": {:.1}, ",
+                    "\"p50_us\": {:.2}, \"p99_us\": {:.2}}}"
+                ),
+                kind.name(),
+                total,
+                secs,
+                total as f64 / secs.max(1e-12),
+                pct(50),
+                pct(99),
+            ));
+        }
         // Concurrent throughput: 4 loopback clients hammering the same
         // server; per-request latencies feed the p99.
         for (op, req) in &cases {

@@ -1,0 +1,70 @@
+//! `store_open`: criterion cold-open latency for the multi-tenant
+//! trace store — the lazy section-frame open (CONF+BIND decode only)
+//! against the eager whole-container `Wet::read_from` — plus the
+//! machine-readable per-workload latency and residency/eviction
+//! report written to `results/BENCH_store.json`.
+//!
+//! The lazy path is O(BIND): it scans the v2 section frame table and
+//! decodes just the config and binding sections, leaving TSEQ/VALS/
+//! EDGL as mmap-backed byte ranges that decompress on first touch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::fs::File;
+use std::hint::black_box;
+use std::io::BufReader;
+use wet_core::store::{StoreOptions, TraceStore};
+use wet_core::{Wet, WetConfig};
+use wet_workloads::Kind;
+
+const TARGET: u64 = 150_000;
+
+fn saved_trace(kind: Kind) -> std::path::PathBuf {
+    let mut b = wet_bench::build_wet(kind, TARGET, WetConfig::default());
+    b.wet.compress();
+    let mut bytes = Vec::new();
+    b.wet.write_to(&mut bytes).expect("serialize");
+    let p = std::env::temp_dir()
+        .join(format!("wet-bench-storeopen-{}-{}.wetz", std::process::id(), kind.name()));
+    std::fs::write(&p, bytes).expect("write wetz");
+    p
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_open");
+    g.sample_size(20);
+    let mut paths = Vec::new();
+    for kind in [Kind::Gcc, Kind::Gzip] {
+        let path = saved_trace(kind);
+        g.bench_with_input(BenchmarkId::new("eager", kind.name()), &path, |b, p| {
+            b.iter(|| {
+                let mut r = BufReader::new(File::open(p).expect("open file"));
+                black_box(Wet::read_from(&mut r).expect("eager read"));
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("lazy", kind.name()), &path, |b, p| {
+            let store = TraceStore::new(StoreOptions::default());
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let id = format!("t{i}");
+                black_box(store.open(&id, "bench", p, None).expect("lazy open"));
+                store.close(&id).expect("close");
+            });
+        });
+        paths.push(path);
+    }
+    g.finish();
+    // The per-workload latency table and residency report are shared
+    // with `all --json`; anchor the output at the workspace root
+    // alongside the other BENCH_*.json files.
+    let scale = wet_bench::Scale { timing_stmts: TARGET, ..wet_bench::Scale::from_env() };
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_store.json");
+    wet_bench::experiments::write_store_json(&scale, &out).expect("write BENCH_store.json");
+    println!("wrote {}", out.display());
+    for p in paths {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -2,9 +2,10 @@
 //!
 //! With `--json`, additionally writes machine-readable compression
 //! results (sizes, ratios, and sequential-vs-parallel tier-2 times)
-//! to `results/BENCH_compression.json` and a per-workload per-phase
+//! to `results/BENCH_compression.json`, a per-workload per-phase
 //! breakdown (span wall-times + tier-2 bytes, collected through
-//! `wet-obs`) to `results/BENCH_phases.json`.
+//! `wet-obs`) to `results/BENCH_phases.json`, and the multi-tenant
+//! store cold-open/residency report to `results/BENCH_store.json`.
 use wet_bench::experiments as ex;
 fn main() {
     let json = std::env::args().skip(1).any(|a| a == "--json");
@@ -31,5 +32,8 @@ fn main() {
         let phases = std::path::Path::new("results/BENCH_phases.json");
         ex::write_phases_json(&scale, phases).expect("write phases json");
         println!("wrote {}", phases.display());
+        let store = std::path::Path::new("results/BENCH_store.json");
+        ex::write_store_json(&scale, store).expect("write store json");
+        println!("wrote {}", store.display());
     }
 }

@@ -86,10 +86,12 @@ usage:
   wet capture <file.wet> --dir DIR [--inputs 1,2,3] [--budget N] [--interval N]
   wet seal <DIR> -o out.wetz [--threads N] [--tier1]
   wet fsck <file.wetz|DIR> [--repair out.wetz]
-  wet serve <file.wetz|DIR> --listen ADDR [--program file.wet]
+  wet serve [file.wetz|DIR] --listen ADDR [--program file.wet]
             [--max-active N] [--queue N] [--cache-budget N] [--threads N]
+            [--store-root DIR] [--store-budget N] [--tenant-active N]
   wet query <op> --remote ADDR [--stmt N] [--node N] [--k N] [--backward]
             [--degraded] [--no-control] [--deadline-ms N] [--retries N]
+            [--trace ID] [--tenant NAME] [--path REL]
   wet drill --remote ADDR [--seed N] [--count N]
       names: go-like gcc-like li-like gzip-like mcf-like parser-like
              vortex-like bzip2-like twolf-like
@@ -130,11 +132,22 @@ usage:
             stream cache at ~N bytes (0 = unlimited). SIGTERM (or a
             `shutdown` request) drains gracefully: in-flight requests
             finish, new ones are shed, then the process exits 0.
+            --store-root DIR turns the daemon multi-tenant: `open`
+            requests resolve strictly under DIR (traversal attempts are
+            rejected with a typed `forbidden` error), traces are opened
+            lazily (only CONF+BIND decoded; data sections load on first
+            touch) and the positional trace becomes optional. --store-
+            budget N bounds lazily-resident section bytes across all
+            open traces (LRU eviction; 0 = unlimited); --tenant-active
+            N caps each tenant's concurrent queries under --max-active.
       query: one request against a running server. Ops: ping, stats,
-            cf_trace, value_trace, address_trace, slice, shutdown.
-            --deadline-ms bounds the query server-side; --retries N
-            retries retriable errors (shed) with capped exponential
-            backoff and jitter. Prints the JSON result.
+            cf_trace, value_trace, address_trace, slice, shutdown,
+            open, close, list. --trace ID routes to an open trace
+            (default `default`); open takes --path REL (relative to the
+            server's store root) and optional --trace/--tenant; close
+            takes --trace. --deadline-ms bounds the query server-side;
+            --retries N retries retriable errors (shed) with capped
+            exponential backoff and jitter. Prints the JSON result.
       drill: replay a seeded schedule of misbehaving clients
             (slow-loris, mid-frame cuts, garbage frames, deadline
             storms, cancel races) against a running server and verify
@@ -204,6 +217,12 @@ struct Flags {
     max_active: usize,
     queue: usize,
     cache_budget: u64,
+    store_root: Option<String>,
+    store_budget: u64,
+    tenant_active: usize,
+    trace: Option<String>,
+    tenant: Option<String>,
+    path: Option<String>,
     deadline_ms: Option<u64>,
     retries: u32,
     k: Option<u32>,
@@ -235,6 +254,12 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
         max_active: 4,
         queue: 8,
         cache_budget: 0,
+        store_root: None,
+        store_budget: 0,
+        tenant_active: 0,
+        trace: None,
+        tenant: None,
+        path: None,
         deadline_ms: None,
         retries: 0,
         k: None,
@@ -324,6 +349,30 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
             "--cache-budget" => {
                 i += 1;
                 f.cache_budget = args.get(i).ok_or("--cache-budget needs a value")?.parse()?;
+            }
+            "--store-root" => {
+                i += 1;
+                f.store_root = Some(args.get(i).ok_or("--store-root needs a path")?.clone());
+            }
+            "--store-budget" => {
+                i += 1;
+                f.store_budget = args.get(i).ok_or("--store-budget needs a value")?.parse()?;
+            }
+            "--tenant-active" => {
+                i += 1;
+                f.tenant_active = args.get(i).ok_or("--tenant-active needs a value")?.parse()?;
+            }
+            "--trace" => {
+                i += 1;
+                f.trace = Some(args.get(i).ok_or("--trace needs an id")?.clone());
+            }
+            "--tenant" => {
+                i += 1;
+                f.tenant = Some(args.get(i).ok_or("--tenant needs a name")?.clone());
+            }
+            "--path" => {
+                i += 1;
+                f.path = Some(args.get(i).ok_or("--path needs a value")?.clone());
             }
             "--deadline-ms" => {
                 i += 1;
@@ -749,8 +798,14 @@ fn dispatch_cmd(args: &[String]) -> Result<()> {
             }
         }
         "serve" => {
-            let path = rest.first().ok_or(USAGE)?;
-            let flags = parse_flags(&rest[1..])?;
+            // The positional trace is optional in store mode: a server
+            // started with --store-root can begin empty and have traces
+            // opened over the wire.
+            let (path, flag_args) = match rest.first() {
+                Some(p) if !p.starts_with("--") => (Some(p.as_str()), &rest[1..]),
+                _ => (None, rest),
+            };
+            let flags = parse_flags(flag_args)?;
             cmd_serve(path, &flags)
         }
         "query" => {
@@ -800,19 +855,48 @@ fn load_for_serve(path: &str, flags: &Flags) -> Result<(wet_core::Wet, Option<Pr
     Ok((wet, program))
 }
 
-/// `wet serve`: run the query daemon until SIGTERM or `shutdown`.
-fn cmd_serve(path: &str, flags: &Flags) -> Result<()> {
+/// `wet serve`: run the query daemon until SIGTERM or `shutdown`. With
+/// `--store-root` the daemon is multi-tenant: it may start empty and
+/// serve `open`/`close`/`list` against the root; a positional trace (if
+/// given) is preloaded as the default.
+fn cmd_serve(path: Option<&str>, flags: &Flags) -> Result<()> {
     let listen = flags.listen.clone().ok_or("serve requires --listen ADDR")?;
-    let (wet, program) = load_for_serve(path, flags)?;
     let opts = wet_serve::ServeOptions {
         max_active: flags.max_active.max(1),
         queue_watermark: flags.queue,
         threads: flags.threads,
+        store_root: flags.store_root.clone().map(std::path::PathBuf::from),
+        store_budget: flags.store_budget,
+        tenant_active: flags.tenant_active,
         ..wet_serve::ServeOptions::default()
     };
-    let server = wet_serve::Server::new(wet, program, opts);
+    let server = match path {
+        Some(p) => {
+            let (wet, program) = load_for_serve(p, flags)?;
+            wet_serve::Server::new(wet, program, opts)
+        }
+        None => {
+            if flags.store_root.is_none() {
+                return Err(fail(
+                    EXIT_USAGE,
+                    "serve needs a trace path, or --store-root for an empty multi-tenant store",
+                ));
+            }
+            wet_serve::Server::with_store(opts)
+        }
+    };
     let listener = wet_serve::bind(&listen).map_err(|e| io_fail(&format!("cannot bind {listen}"), &e))?;
-    say!("serving {path} on {listen} (max-active {}, queue {})", flags.max_active.max(1), flags.queue);
+    say!(
+        "serving {} on {listen} (max-active {}, queue {}{})",
+        path.unwrap_or("<store>"),
+        flags.max_active.max(1),
+        flags.queue,
+        flags
+            .store_root
+            .as_deref()
+            .map(|r| format!(", store-root {r}, store-budget {}", flags.store_budget))
+            .unwrap_or_default()
+    );
     server.serve(listener).map_err(|e| io_fail("serve loop failed", &e))?;
     say!("drained: {}", server.stats_value().render());
     Ok(())
@@ -822,7 +906,8 @@ fn cmd_serve(path: &str, flags: &Flags) -> Result<()> {
 fn remote_fail(kind: &str, message: &str) -> Box<dyn Error> {
     let code = match kind {
         "corrupt" => EXIT_CORRUPT,
-        "bad_request" => EXIT_USAGE,
+        "io" => EXIT_IO,
+        "bad_request" | "forbidden" | "not_found" | "conflict" => EXIT_USAGE,
         _ => EXIT_UNAVAILABLE, // deadline, cancelled, shed, panic, unavailable
     };
     fail(code, format!("server answered {kind}: {message}"))
@@ -832,11 +917,23 @@ fn remote_fail(kind: &str, message: &str) -> Box<dyn Error> {
 fn cmd_query(op: &str, flags: &Flags) -> Result<()> {
     use wet_serve::json::Value;
     let remote = flags.remote.clone().ok_or("query requires --remote ADDR")?;
-    let known = ["ping", "stats", "cf_trace", "value_trace", "address_trace", "slice", "shutdown"];
+    let known = [
+        "ping", "stats", "cf_trace", "value_trace", "address_trace", "slice", "shutdown", "open",
+        "close", "list",
+    ];
     if !known.contains(&op) {
         return Err(format!("unknown op `{op}` (expected one of {})", known.join(", ")).into());
     }
     let mut pairs: Vec<(&str, Value)> = vec![("op", Value::Str(op.into()))];
+    if let Some(trace) = &flags.trace {
+        pairs.push(("trace", Value::Str(trace.clone())));
+    }
+    if let Some(tenant) = &flags.tenant {
+        pairs.push(("tenant", Value::Str(tenant.clone())));
+    }
+    if let Some(path) = &flags.path {
+        pairs.push(("path", Value::Str(path.clone())));
+    }
     if let Some(stmt) = flags.stmt {
         pairs.push(("stmt", Value::Int(stmt as i64)));
     }

@@ -622,6 +622,7 @@ impl<'p> WetBuilder<'p> {
             sizes,
             stats: self.stats,
             tier2: false,
+            section_index: None,
         }
     }
 }

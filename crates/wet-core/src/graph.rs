@@ -293,6 +293,11 @@ pub struct Wet {
     pub(crate) sizes: WetSizes,
     pub(crate) stats: WetStats,
     pub(crate) tier2: bool,
+    /// Byte extents of the container sections this WET was loaded from
+    /// (v2 reads only; `None` for built or v1-loaded WETs). Runtime
+    /// provenance, never serialized: the lazy trace store and fsck
+    /// tooling read it instead of re-walking the frame table.
+    pub(crate) section_index: Option<Vec<crate::serial::SectionSpan>>,
 }
 
 impl Wet {
@@ -374,6 +379,14 @@ impl Wet {
     /// True once [`compress`](Self::compress) has run.
     pub fn is_tier2(&self) -> bool {
         self.tier2
+    }
+
+    /// Section extents of the v2 container this WET was read from, if
+    /// it came from one — the scan `read_from` already performed, so
+    /// callers (the trace store, fsck tooling, the fault harness) never
+    /// need to re-read the file to find section boundaries.
+    pub fn section_index(&self) -> Option<&[crate::serial::SectionSpan]> {
+        self.section_index.as_deref()
     }
 
     /// Applies tier-2 compression: every label sequence becomes a

@@ -69,6 +69,7 @@ pub mod par;
 pub mod query;
 pub mod salvage;
 pub mod serial;
+pub mod store;
 
 mod build;
 mod graph;
@@ -84,6 +85,10 @@ pub use graph::{
 pub use salvage::{FsckReport, SectionReport, SectionStatus};
 pub use seq::Seq;
 pub use serial::{section_spans, SectionSpan};
+pub use store::{
+    resolve_under, sections_for_op, LazySection, PinGuard, StoreErr, StoreOptions, StoredTrace,
+    TraceInfo, TraceStore, LAZY_SECTIONS,
+};
 pub use sizes::{ratio, CompressStats, StreamClass, WetSizes, WetStats};
 
 #[cfg(test)]

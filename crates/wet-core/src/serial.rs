@@ -46,9 +46,9 @@ use wet_ir::{BlockId, FuncId, StmtId};
 use wet_stream::serial::{r_u32, r_u64, r_u64s, r_u8, w_u32, w_u64, w_u64s, w_u8};
 use wet_stream::{CompressedStream, Method, StreamConfig};
 
-const MAGIC: &[u8; 4] = b"WETZ";
-const V1: u8 = 1;
-const V2: u8 = 2;
+pub(crate) const MAGIC: &[u8; 4] = b"WETZ";
+pub(crate) const V1: u8 = 1;
+pub(crate) const V2: u8 = 2;
 
 /// Configuration section tag.
 pub const TAG_CONF: [u8; 4] = *b"CONF";
@@ -66,7 +66,7 @@ pub const TAG_STAT: [u8; 4] = *b"STAT";
 pub const TAG_ENDW: [u8; 4] = *b"ENDW";
 
 /// Canonical section order (without the trailer).
-const CANONICAL: [[u8; 4]; 6] = [TAG_CONF, TAG_BIND, TAG_TSEQ, TAG_VALS, TAG_EDGL, TAG_STAT];
+pub(crate) const CANONICAL: [[u8; 4]; 6] = [TAG_CONF, TAG_BIND, TAG_TSEQ, TAG_VALS, TAG_EDGL, TAG_STAT];
 
 /// Largest section any real WET produces, with margin. Length prefixes
 /// beyond this are rejected before a single payload byte is read.
@@ -203,6 +203,10 @@ pub(crate) struct ScanEntry {
     pub(crate) tag: [u8; 4],
     pub(crate) len: u64,
     pub(crate) status: SectionStatus,
+    /// File offset of the tag's first byte (the container header's 5
+    /// bytes included), recorded so one scan yields both payloads and
+    /// [`SectionSpan`]s — the store and `fsck` share this walk.
+    pub(crate) start: u64,
 }
 
 pub(crate) struct Scan {
@@ -226,6 +230,24 @@ impl Scan {
             && self.entries.iter().all(|e| e.status.is_ok())
             && self.trailer == Some(self.entries.len() as u64 - 1)
     }
+
+    /// Byte extents of every fully-framed section (damaged payloads
+    /// included — a CRC failure still has known extents; truncation and
+    /// malformed length prefixes do not).
+    pub(crate) fn spans(&self) -> Vec<SectionSpan> {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.status, SectionStatus::Ok | SectionStatus::BadCrc))
+            .map(|e| SectionSpan {
+                tag: e.tag,
+                start: e.start as usize,
+                len_start: e.start as usize + 4,
+                payload_start: e.start as usize + 12,
+                payload_len: e.len as usize,
+                end: e.start as usize + 12 + e.len as usize + 4,
+            })
+            .collect()
+    }
 }
 
 /// Walks the section stream after the version byte. Never allocates
@@ -241,19 +263,22 @@ pub(crate) fn scan_sections(r: &mut impl Read) -> io::Result<Scan> {
         saw_trailer: false,
         trailing_garbage: false,
     };
+    // The reader sits just past the 5-byte container header.
+    let mut at = 5u64;
     loop {
+        let start = at;
         let mut tag = [0u8; 4];
         let got = read_full(r, &mut tag)?;
         if got == 0 {
             break; // Clean EOF between sections (trailer missing is judged later).
         }
         if got < 4 {
-            scan.entries.push(ScanEntry { tag: *b"????", len: 0, status: SectionStatus::Truncated });
+            scan.entries.push(ScanEntry { tag: *b"????", len: 0, status: SectionStatus::Truncated, start });
             break;
         }
         let mut lenb = [0u8; 8];
         if read_full(r, &mut lenb)? < 8 {
-            scan.entries.push(ScanEntry { tag, len: 0, status: SectionStatus::Truncated });
+            scan.entries.push(ScanEntry { tag, len: 0, status: SectionStatus::Truncated, start });
             break;
         }
         let len = u64::from_le_bytes(lenb);
@@ -262,6 +287,7 @@ pub(crate) fn scan_sections(r: &mut impl Read) -> io::Result<Scan> {
                 tag,
                 len,
                 status: SectionStatus::Malformed("length prefix implausibly large".into()),
+                start,
             });
             break;
         }
@@ -279,14 +305,15 @@ pub(crate) fn scan_sections(r: &mut impl Read) -> io::Result<Scan> {
             }
         }
         if short {
-            scan.entries.push(ScanEntry { tag, len, status: SectionStatus::Truncated });
+            scan.entries.push(ScanEntry { tag, len, status: SectionStatus::Truncated, start });
             break;
         }
         let mut crcb = [0u8; 4];
         if read_full(r, &mut crcb)? < 4 {
-            scan.entries.push(ScanEntry { tag, len, status: SectionStatus::Truncated });
+            scan.entries.push(ScanEntry { tag, len, status: SectionStatus::Truncated, start });
             break;
         }
+        at = start + 12 + len + 4;
         let mut c = Crc32::new();
         c.update(&tag);
         c.update(&lenb);
@@ -298,7 +325,7 @@ pub(crate) fn scan_sections(r: &mut impl Read) -> io::Result<Scan> {
             if crc_ok && payload.len() == 8 {
                 scan.trailer = Some(u64::from_le_bytes(payload[..8].try_into().unwrap()));
             }
-            scan.entries.push(ScanEntry { tag, len, status });
+            scan.entries.push(ScanEntry { tag, len, status, start });
             let mut one = [0u8; 1];
             if read_full(r, &mut one)? > 0 {
                 scan.trailing_garbage = true;
@@ -308,7 +335,7 @@ pub(crate) fn scan_sections(r: &mut impl Read) -> io::Result<Scan> {
         if crc_ok {
             scan.payloads.entry(tag).or_insert(payload);
         }
-        scan.entries.push(ScanEntry { tag, len, status });
+        scan.entries.push(ScanEntry { tag, len, status, start });
     }
     Ok(scan)
 }
@@ -332,6 +359,63 @@ pub struct SectionSpan {
     pub end: usize,
 }
 
+/// Walks a v2 container's section frame table by seeking: only the
+/// 5-byte header and each 12-byte section header are read; payloads are
+/// skipped. This is the O(#sections) scan the store's lazy open and
+/// [`section_spans`] both use — one frame-table walk, shared.
+///
+/// # Errors
+/// Fails on bad magic, a non-v2 version, or malformed framing (a
+/// truncated header/payload or an implausible length prefix). CRCs are
+/// *not* verified — extents are still well-defined over a bit-flipped
+/// payload; checksums are the payload readers' job.
+pub(crate) fn scan_spans(r: &mut (impl Read + io::Seek)) -> io::Result<Vec<SectionSpan>> {
+    let total = r.seek(io::SeekFrom::End(0))?;
+    r.seek(io::SeekFrom::Start(0))?;
+    let mut head = [0u8; 5];
+    if read_full(r, &mut head)? < 5 || &head[..4] != MAGIC {
+        return Err(corrupt("not a WETZ file"));
+    }
+    if head[4] != V2 {
+        return Err(corrupt("section spans need a v2 container"));
+    }
+    let mut spans = Vec::new();
+    let mut at = 5u64;
+    while at < total {
+        if total - at < 12 {
+            return Err(corrupt("truncated section header"));
+        }
+        r.seek(io::SeekFrom::Start(at))?;
+        let mut hdr = [0u8; 12];
+        if read_full(r, &mut hdr)? < 12 {
+            return Err(corrupt("truncated section header"));
+        }
+        let tag: [u8; 4] = hdr[..4].try_into().unwrap();
+        let len = u64::from_le_bytes(hdr[4..12].try_into().unwrap());
+        if len > MAX_SECTION {
+            return Err(corrupt("length prefix implausibly large"));
+        }
+        let payload_start = at + 12;
+        if total - payload_start < len + 4 {
+            return Err(corrupt("truncated section payload"));
+        }
+        let end = payload_start + len + 4;
+        spans.push(SectionSpan {
+            tag,
+            start: at as usize,
+            len_start: at as usize + 4,
+            payload_start: payload_start as usize,
+            payload_len: len as usize,
+            end: end as usize,
+        });
+        at = end;
+        if tag == TAG_ENDW {
+            break;
+        }
+    }
+    Ok(spans)
+}
+
 /// Maps a well-formed v2 container image to its section extents.
 ///
 /// # Errors
@@ -339,32 +423,7 @@ pub struct SectionSpan {
 /// a tool for dissecting *pristine* files before mutating them, not a
 /// hardened parser.
 pub fn section_spans(bytes: &[u8]) -> io::Result<Vec<SectionSpan>> {
-    if bytes.len() < 5 || &bytes[..4] != MAGIC {
-        return Err(corrupt("not a WETZ file"));
-    }
-    if bytes[4] != V2 {
-        return Err(corrupt("section spans need a v2 container"));
-    }
-    let mut spans = Vec::new();
-    let mut at = 5usize;
-    while at < bytes.len() {
-        if bytes.len() - at < 12 {
-            return Err(corrupt("truncated section header"));
-        }
-        let tag: [u8; 4] = bytes[at..at + 4].try_into().unwrap();
-        let len = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap()) as usize;
-        let payload_start = at + 12;
-        if bytes.len() - payload_start < len + 4 {
-            return Err(corrupt("truncated section payload"));
-        }
-        let end = payload_start + len + 4;
-        spans.push(SectionSpan { tag, start: at, len_start: at + 4, payload_start, payload_len: len, end });
-        at = end;
-        if tag == TAG_ENDW {
-            break;
-        }
-    }
-    Ok(spans)
+    scan_spans(&mut io::Cursor::new(bytes))
 }
 
 // ---------------------------------------------------------------------
@@ -499,20 +558,20 @@ fn write_bind(wet: &Wet) -> io::Result<Vec<u8>> {
 /// Structure decoded from `BIND`: a complete WET skeleton whose every
 /// sequence is an [`Seq::Unavailable`] placeholder of the right length,
 /// waiting for the data sections to fill it in.
-struct Bound {
-    nodes: Vec<Node>,
-    node_index: HashMap<(FuncId, u64), NodeId>,
-    edges: Vec<Edge>,
-    labels: Vec<LabelSeq>,
-    in_edges: HashMap<(NodeId, StmtId, u8), Vec<u32>>,
-    out_edges: HashMap<(NodeId, StmtId), Vec<u32>>,
-    first: (NodeId, u64),
-    last: (NodeId, u64),
+pub(crate) struct Bound {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) node_index: HashMap<(FuncId, u64), NodeId>,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) labels: Vec<LabelSeq>,
+    pub(crate) in_edges: HashMap<(NodeId, StmtId, u8), Vec<u32>>,
+    pub(crate) out_edges: HashMap<(NodeId, StmtId), Vec<u32>>,
+    pub(crate) first: (NodeId, u64),
+    pub(crate) last: (NodeId, u64),
     /// Total sequence slots (for recovered/lost accounting).
-    total_seqs: u64,
+    pub(crate) total_seqs: u64,
 }
 
-fn parse_bind(p: &[u8]) -> io::Result<Bound> {
+pub(crate) fn parse_bind(p: &[u8]) -> io::Result<Bound> {
     let r = &mut &*p;
     let n_nodes = cap_count(r_u64(r)? as usize, r.len(), 64, "node")?;
     let mut nodes = Vec::with_capacity(n_nodes);
@@ -660,7 +719,7 @@ fn write_tseq(wet: &Wet) -> io::Result<Vec<u8>> {
     Ok(w)
 }
 
-fn fill_tseq(nodes: &mut [Node], p: &[u8]) -> io::Result<()> {
+pub(crate) fn fill_tseq(nodes: &mut [Node], p: &[u8]) -> io::Result<()> {
     let r = &mut &*p;
     for (ni, n) in nodes.iter_mut().enumerate() {
         let s = r_seq(r)?;
@@ -675,7 +734,7 @@ fn fill_tseq(nodes: &mut [Node], p: &[u8]) -> io::Result<()> {
     Ok(())
 }
 
-fn mark_tseq_lost(nodes: &mut [Node]) {
+pub(crate) fn mark_tseq_lost(nodes: &mut [Node]) {
     for n in nodes {
         n.ts = Seq::Unavailable(n.ts.len() as u64);
     }
@@ -696,7 +755,7 @@ fn write_vals(wet: &Wet) -> io::Result<Vec<u8>> {
     Ok(w)
 }
 
-fn fill_vals(nodes: &mut [Node], p: &[u8]) -> io::Result<()> {
+pub(crate) fn fill_vals(nodes: &mut [Node], p: &[u8]) -> io::Result<()> {
     let r = &mut &*p;
     for n in nodes.iter_mut() {
         for g in &mut n.groups {
@@ -722,7 +781,7 @@ fn fill_vals(nodes: &mut [Node], p: &[u8]) -> io::Result<()> {
     Ok(())
 }
 
-fn mark_vals_lost(nodes: &mut [Node]) {
+pub(crate) fn mark_vals_lost(nodes: &mut [Node]) {
     for n in nodes {
         for g in &mut n.groups {
             if let Some(p) = &mut g.pattern {
@@ -753,7 +812,7 @@ fn write_edgl(wet: &Wet) -> io::Result<Vec<u8>> {
     Ok(w)
 }
 
-fn fill_edgl(nodes: &mut [Node], labels: &mut [LabelSeq], p: &[u8]) -> io::Result<()> {
+pub(crate) fn fill_edgl(nodes: &mut [Node], labels: &mut [LabelSeq], p: &[u8]) -> io::Result<()> {
     let r = &mut &*p;
     for n in nodes.iter_mut() {
         for key in intra_keys(n) {
@@ -783,7 +842,7 @@ fn fill_edgl(nodes: &mut [Node], labels: &mut [LabelSeq], p: &[u8]) -> io::Resul
     Ok(())
 }
 
-fn mark_edgl_lost(nodes: &mut [Node], labels: &mut [LabelSeq]) {
+pub(crate) fn mark_edgl_lost(nodes: &mut [Node], labels: &mut [LabelSeq]) {
     for n in nodes {
         for ies in n.intra.values_mut() {
             for ie in ies {
@@ -826,7 +885,7 @@ fn write_stat(wet: &Wet) -> io::Result<Vec<u8>> {
     Ok(w)
 }
 
-fn parse_stat(p: &[u8]) -> io::Result<(WetSizes, WetStats)> {
+pub(crate) fn parse_stat(p: &[u8]) -> io::Result<(WetSizes, WetStats)> {
     let r = &mut &*p;
     let mut sv = [0u64; 9];
     for v in &mut sv {
@@ -881,6 +940,10 @@ fn parse_stat(p: &[u8]) -> io::Result<(WetSizes, WetStats)> {
 /// was recovered and what the strict reader would object to.
 fn read_v2(r: &mut impl Read) -> io::Result<(Option<Wet>, FsckReport)> {
     let mut scan = scan_sections(r)?;
+    // One scan serves both consumers: the payloads feed the decoder
+    // below, the extents ride along on the loaded WET so fsck tooling
+    // and the lazy trace store never re-walk the frame table.
+    let spans = scan.spans();
     let mut report = FsckReport { version: V2, ..Default::default() };
 
     // Per-section statuses, then Missing entries for absent required
@@ -986,7 +1049,21 @@ fn read_v2(r: &mut impl Read) -> io::Result<(Option<Wet>, FsckReport)> {
         }
     };
 
-    let wet = Wet { config, nodes, node_index, edges, labels, in_edges, out_edges, first, last, sizes, stats, tier2 };
+    let wet = Wet {
+        config,
+        nodes,
+        node_index,
+        edges,
+        labels,
+        in_edges,
+        out_edges,
+        first,
+        last,
+        sizes,
+        stats,
+        tier2,
+        section_index: Some(spans),
+    };
     if let Err(e) = wet.validate() {
         // The skeleton itself is inconsistent — not recoverable.
         report.fatal = Some(format!("validation failed: {e}"));
@@ -1433,8 +1510,21 @@ fn read_v1(r: &mut impl Read) -> io::Result<Wet> {
         methods,
     };
 
-    let wet =
-        Wet { config, nodes, node_index, edges, labels, in_edges, out_edges, first, last, sizes, stats, tier2 };
+    let wet = Wet {
+        config,
+        nodes,
+        node_index,
+        edges,
+        labels,
+        in_edges,
+        out_edges,
+        first,
+        last,
+        sizes,
+        stats,
+        tier2,
+        section_index: None,
+    };
     wet.validate().map_err(|e| corrupt(&e))?;
     Ok(wet)
 }

@@ -150,6 +150,35 @@ impl Client {
     pub fn wait(&mut self, id: u64) -> io::Result<Reply> {
         self.read_reply(id)
     }
+
+    /// Opens a trace from `path` (relative to the server's store root)
+    /// under id `trace` for `tenant` (both optional).
+    pub fn open(&mut self, path: &str, trace: Option<&str>, tenant: Option<&str>) -> io::Result<Reply> {
+        let mut pairs = vec![
+            ("op", Value::Str("open".into())),
+            ("path", Value::Str(path.into())),
+        ];
+        if let Some(t) = trace {
+            pairs.push(("trace", Value::Str(t.into())));
+        }
+        if let Some(t) = tenant {
+            pairs.push(("tenant", Value::Str(t.into())));
+        }
+        self.call(pairs)
+    }
+
+    /// Lists the server's open traces with residency detail.
+    pub fn list(&mut self) -> io::Result<Reply> {
+        self.call(vec![("op", Value::Str("list".into()))])
+    }
+
+    /// Closes an open trace by id.
+    pub fn close(&mut self, trace: &str) -> io::Result<Reply> {
+        self.call(vec![
+            ("op", Value::Str("close".into())),
+            ("trace", Value::Str(trace.into())),
+        ])
+    }
 }
 
 /// Decodes a response document into a [`Reply`].

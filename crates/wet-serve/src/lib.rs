@@ -35,4 +35,4 @@ pub mod server;
 
 pub use client::{Client, Reply};
 pub use drill::{run_drill, DrillReport};
-pub use server::{bind, connect, Listener, Server, ServeOptions, Stream};
+pub use server::{bind, connect, Listener, Server, ServeOptions, Stream, DEFAULT_TRACE};

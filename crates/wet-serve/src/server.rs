@@ -1,25 +1,39 @@
 //! The query daemon: admission control, per-request panic isolation,
 //! cooperative cancellation, and graceful drain.
 //!
-//! One [`Server`] owns one WET behind an `RwLock`: per-instruction
+//! One [`Server`] owns a [`TraceStore`] serving one or many traces.
+//! Each trace sits behind its own `RwLock<Wet>`: per-instruction
 //! value/address traces take it shared (they only snapshot streams),
 //! whole-trace and slice queries take it exclusively (they borrow the
-//! graph mutably for decompression). Every request runs under a
-//! [`Ctl`] carrying its deadline and a per-request cancel token, inside
-//! `catch_unwind` — a malformed query or an unexpected panic poisons at
-//! worst one lock acquisition, which every lock site here recovers from
-//! (`unwrap_or_else(PoisonError::into_inner)`, the `par` pattern), and
-//! the client gets a typed `panic` error instead of a dead server.
+//! graph mutably for decompression). Queries route by the request's
+//! `trace` id (default `"default"`, the single-trace compatibility
+//! path); before a query runs, the store makes the sections it needs
+//! resident and pins them ([`TraceStore::ensure`]) so eviction never
+//! pulls data out from under an executing query. Every request runs
+//! under a [`Ctl`] carrying its deadline and a per-request cancel
+//! token, inside `catch_unwind` — a malformed query or an unexpected
+//! panic poisons at worst one lock acquisition, which every lock site
+//! here recovers from (`unwrap_or_else(PoisonError::into_inner)`, the
+//! `par` pattern), and the client gets a typed `panic` error instead
+//! of a dead server.
+//!
+//! Multi-tenant control plane: `open` (path-traversal-guarded against
+//! the configured store root, rejected *before* admission with a typed
+//! non-retriable `forbidden` error), `close`, and `list`. Per-tenant
+//! admission quotas layer on `--max-active`: a tenant at its cap gets
+//! an immediate retriable shed without consuming queue capacity.
 
 use crate::json::{self, Value};
 use crate::proto::{self, FrameReader, Poll};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 use wet_core::query::{self, Ctl, QueryErr};
+use wet_core::store::{resolve_under, sections_for_op, StoreErr, StoreOptions, StoredTrace, TraceStore};
 use wet_core::Wet;
 use wet_ir::{Program, StmtId};
 
@@ -40,6 +54,16 @@ pub struct ServeOptions {
     /// Slow-sender budget: a connection stalled *mid-frame* longer than
     /// this is dropped (the slow-loris guard).
     pub stall_timeout_ms: u64,
+    /// Directory `open` paths resolve under; `None` disables the `open`
+    /// op entirely (single-trace mode stays closed by default).
+    pub store_root: Option<PathBuf>,
+    /// Byte budget for lazily-decoded sections across all open traces
+    /// (0 = unlimited); shared with the engine's stream cache.
+    pub store_budget: u64,
+    /// Per-tenant concurrent-query cap layered on `max_active`
+    /// (0 = no per-tenant limit). A tenant at its cap is shed
+    /// immediately with a retriable error.
+    pub tenant_active: usize,
 }
 
 impl Default for ServeOptions {
@@ -50,6 +74,9 @@ impl Default for ServeOptions {
             threads: 1,
             read_timeout_ms: 25,
             stall_timeout_ms: 5_000,
+            store_root: None,
+            store_budget: 0,
+            tenant_active: 0,
         }
     }
 }
@@ -95,11 +122,13 @@ impl Counters {
     }
 }
 
-/// Admission state: executing and queued request counts.
+/// Admission state: executing and queued request counts, plus
+/// per-tenant executing counts when quotas are on.
 #[derive(Debug, Default)]
 struct AdmState {
     active: usize,
     queued: usize,
+    per_tenant: HashMap<String, usize>,
 }
 
 #[derive(Debug, Default)]
@@ -109,8 +138,7 @@ struct Admission {
 }
 
 struct Shared {
-    wet: RwLock<Wet>,
-    program: Option<Program>,
+    store: TraceStore,
     opts: ServeOptions,
     adm: Admission,
     draining: AtomicBool,
@@ -156,22 +184,47 @@ fn lock_write(wet: &RwLock<Wet>) -> std::sync::RwLockWriteGuard<'_, Wet> {
     wet.write().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// The trace id requests that name no `trace` route to (the
+/// single-trace compatibility path).
+pub const DEFAULT_TRACE: &str = "default";
+
 impl Server {
-    /// Builds a server over a loaded WET. `program` enables the
-    /// program-dependent queries (address traces, slices); without it
-    /// they answer with a typed `unavailable` error.
+    /// Builds a server over one eagerly-loaded WET, stored as the
+    /// [`DEFAULT_TRACE`]. `program` enables the program-dependent
+    /// queries (address traces, slices); without it they answer with a
+    /// typed `unavailable` error.
     pub fn new(wet: Wet, program: Option<Program>, opts: ServeOptions) -> Server {
+        let srv = Server::with_store(opts);
+        srv.shared
+            .store
+            .insert_resident(DEFAULT_TRACE, "", wet, program)
+            .expect("empty store cannot conflict");
+        srv
+    }
+
+    /// Builds a server over an empty [`TraceStore`]; traces arrive via
+    /// the `open` op (when `store_root` is configured) or
+    /// [`store`](Server::store) inserts.
+    pub fn with_store(opts: ServeOptions) -> Server {
         wet_obs::gauge_set("serve.queue_depth", "", 0);
+        let store = TraceStore::new(StoreOptions {
+            budget_bytes: opts.store_budget,
+            use_mmap: true,
+        });
         Server {
             shared: Arc::new(Shared {
-                wet: RwLock::new(wet),
-                program,
+                store,
                 opts,
                 adm: Admission::default(),
                 draining: AtomicBool::new(false),
                 counters: Counters::default(),
             }),
         }
+    }
+
+    /// The underlying trace store (for in-process embedding and tests).
+    pub fn store(&self) -> &TraceStore {
+        &self.shared.store
     }
 
     /// Starts a graceful drain: stop admitting, finish in-flight work.
@@ -217,7 +270,9 @@ impl Server {
         };
 
         // Control-plane ops answer without admission: health stays
-        // observable under full load and during drain.
+        // observable under full load and during drain. `open` runs its
+        // path-traversal guard here, *before* any admission or I/O —
+        // a hostile path never reaches the queue.
         match op.as_str() {
             "ping" => {
                 sh.counters.bump("ok");
@@ -232,6 +287,9 @@ impl Server {
                 sh.counters.bump("ok");
                 return proto::ok_response(id, Value::Str("draining".into()));
             }
+            "open" => return self.op_open(id, &req),
+            "close" => return self.op_close(id, &req),
+            "list" => return self.op_list(id),
             _ => {}
         }
 
@@ -240,8 +298,9 @@ impl Server {
             .and_then(Value::as_u64)
             .map(|ms| Instant::now() + Duration::from_millis(ms));
         let ctl = Ctl::with_cancel(cancel.clone(), deadline);
+        let tenant = req.get("tenant").and_then(Value::as_str).unwrap_or("").to_owned();
 
-        match self.admit(deadline) {
+        match self.admit(deadline, &tenant) {
             Ok(()) => {}
             Err(e) => {
                 sh.counters.bump(e.kind());
@@ -255,7 +314,7 @@ impl Server {
             Err(e) => Ok(Err(Wire::Query(e))),
             Ok(()) => catch_unwind(AssertUnwindSafe(|| self.run_query(&op, &req, &ctl))),
         };
-        self.release();
+        self.release(&tenant);
         match outcome {
             Ok(Ok(result)) => {
                 sh.counters.bump("ok");
@@ -273,6 +332,10 @@ impl Server {
                 sh.counters.bump("bad_request");
                 proto::err_response(id, "unavailable", false, &msg)
             }
+            Ok(Err(Wire::Store(e))) => {
+                sh.counters.bump(e.kind());
+                proto::err_response(id, e.kind(), false, &e.to_string())
+            }
             Err(panic) => {
                 sh.counters.bump("panic");
                 let msg = panic
@@ -285,15 +348,112 @@ impl Server {
         }
     }
 
-    /// Admission: run now, wait in the bounded queue, or shed.
-    fn admit(&self, deadline: Option<Instant>) -> Result<(), QueryErr> {
+    /// `open`: resolve the path under the store root (traversal guard),
+    /// lazily open the trace, answer with its shape.
+    fn op_open(&self, id: u64, req: &Value) -> Vec<u8> {
+        let sh = &*self.shared;
+        let fail = |kind: &str, retriable: bool, msg: &str| {
+            sh.counters.bump(kind);
+            proto::err_response(id, kind, retriable, msg)
+        };
+        let Some(root) = sh.opts.store_root.as_deref() else {
+            return fail("forbidden", false, "no store root configured (serve with --store-root)");
+        };
+        let Some(rel) = req.get("path").and_then(Value::as_str) else {
+            return fail("bad_request", false, "open needs `path`");
+        };
+        let path = match resolve_under(root, rel) {
+            Ok(p) => p,
+            Err(e) => return fail(e.kind(), false, &e.to_string()),
+        };
+        let trace_id = req
+            .get("trace")
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .or_else(|| Some(path.file_stem()?.to_string_lossy().into_owned()))
+            .unwrap_or_else(|| rel.to_owned());
+        let tenant = req.get("tenant").and_then(Value::as_str).unwrap_or("");
+        match sh.store.open(&trace_id, tenant, &path, None) {
+            Ok(t) => {
+                sh.counters.bump("ok");
+                let wet = lock_read(t.wet());
+                proto::ok_response(
+                    id,
+                    json::obj(vec![
+                        ("trace", Value::Str(trace_id)),
+                        ("nodes", Value::Int(wet.nodes().len() as i64)),
+                        ("tier2", Value::Bool(wet.is_tier2())),
+                    ]),
+                )
+            }
+            Err(e) => fail(e.kind(), false, &e.to_string()),
+        }
+    }
+
+    /// `close`: drop a trace from the store; in-flight queries finish.
+    fn op_close(&self, id: u64, req: &Value) -> Vec<u8> {
+        let sh = &*self.shared;
+        let Some(trace_id) = req.get("trace").and_then(Value::as_str) else {
+            sh.counters.bump("bad_request");
+            return proto::err_response(id, "bad_request", false, "close needs `trace`");
+        };
+        match sh.store.close(trace_id) {
+            Ok(()) => {
+                sh.counters.bump("ok");
+                proto::ok_response(id, Value::Str("closed".into()))
+            }
+            Err(e) => {
+                sh.counters.bump(e.kind());
+                proto::err_response(id, e.kind(), false, &e.to_string())
+            }
+        }
+    }
+
+    /// `list`: every open trace with residency detail, sorted by id.
+    fn op_list(&self, id: u64) -> Vec<u8> {
+        let sh = &*self.shared;
+        sh.counters.bump("ok");
+        let rows = sh
+            .store
+            .list()
+            .into_iter()
+            .map(|t| {
+                json::obj(vec![
+                    ("trace", Value::Str(t.id)),
+                    ("tenant", Value::Str(t.tenant)),
+                    ("lazy", Value::Bool(t.lazy)),
+                    ("mmap", Value::Bool(t.mmap)),
+                    (
+                        "resident",
+                        Value::Arr(t.resident.iter().map(|&r| Value::Bool(r)).collect()),
+                    ),
+                    ("resident_bytes", Value::Int(t.resident_bytes as i64)),
+                    ("pinned_bytes", Value::Int(t.pinned_bytes as i64)),
+                ])
+            })
+            .collect();
+        proto::ok_response(id, Value::Arr(rows))
+    }
+
+    /// Admission: run now, wait in the bounded queue, or shed. A tenant
+    /// at its per-tenant cap is shed immediately (retriable) without
+    /// consuming queue capacity — one tenant's burst cannot starve the
+    /// shared queue.
+    fn admit(&self, deadline: Option<Instant>, tenant: &str) -> Result<(), QueryErr> {
         let sh = &*self.shared;
         if self.draining() {
             return Err(QueryErr::Shed);
         }
+        let cap = sh.opts.tenant_active;
         let mut st = sh.adm.st.lock().unwrap_or_else(PoisonError::into_inner);
+        if cap > 0 && st.per_tenant.get(tenant).copied().unwrap_or(0) >= cap {
+            return Err(QueryErr::Shed);
+        }
         if st.active < sh.opts.max_active {
             st.active += 1;
+            if cap > 0 {
+                *st.per_tenant.entry(tenant.to_owned()).or_insert(0) += 1;
+            }
             return Ok(());
         }
         if st.queued >= sh.opts.queue_watermark {
@@ -308,8 +468,13 @@ impl Server {
                 wet_obs::gauge_set("serve.queue_depth", "", st.queued as i64);
                 return Err(QueryErr::Shed);
             }
-            if st.active < sh.opts.max_active {
+            if st.active < sh.opts.max_active
+                && (cap == 0 || st.per_tenant.get(tenant).copied().unwrap_or(0) < cap)
+            {
                 st.active += 1;
+                if cap > 0 {
+                    *st.per_tenant.entry(tenant.to_owned()).or_insert(0) += 1;
+                }
                 st.queued -= 1;
                 wet_obs::gauge_set("serve.queue_depth", "", st.queued as i64);
                 return Ok(());
@@ -331,10 +496,18 @@ impl Server {
         }
     }
 
-    fn release(&self) {
+    fn release(&self, tenant: &str) {
         let sh = &*self.shared;
         let mut st = sh.adm.st.lock().unwrap_or_else(PoisonError::into_inner);
         st.active = st.active.saturating_sub(1);
+        if sh.opts.tenant_active > 0 {
+            if let Some(n) = st.per_tenant.get_mut(tenant) {
+                *n = n.saturating_sub(1);
+                if *n == 0 {
+                    st.per_tenant.remove(tenant);
+                }
+            }
+        }
         drop(st);
         sh.adm.cv.notify_one();
     }
@@ -346,6 +519,20 @@ impl Server {
         let sh = &*self.shared;
         let threads = sh.opts.threads;
         let strict = req.get("strict").and_then(Value::as_bool).unwrap_or(true);
+        let trace_id = req.get("trace").and_then(Value::as_str).unwrap_or(DEFAULT_TRACE);
+        let trace = sh
+            .store
+            .get(trace_id)
+            .ok_or_else(|| Wire::Store(StoreErr::NotFound(trace_id.to_owned())))?;
+        // Make the sections this op touches resident and pin them for
+        // the query's lifetime. A CRC-bad lazy section surfaces here as
+        // a typed corrupt error on first touch — except for degraded
+        // queries, which by contract answer from whatever survives.
+        let _pin = match sh.store.ensure(&trace, sections_for_op(op)) {
+            Ok(p) => Some(p),
+            Err(StoreErr::Corrupt(_)) if !strict => None,
+            Err(e) => return Err(Wire::Store(e)),
+        };
         match op {
             "cf_trace" => {
                 let forward = match req.get("dir").and_then(Value::as_str).unwrap_or("forward") {
@@ -354,7 +541,7 @@ impl Server {
                     other => return Err(Wire::BadRequest(format!("unknown dir `{other}`"))),
                 };
                 if strict {
-                    let mut wet = lock_write(&sh.wet);
+                    let mut wet = lock_write(trace.wet());
                     let steps = if forward {
                         query::cf_trace_forward_ctl(&mut wet, ctl)?
                     } else {
@@ -365,14 +552,14 @@ impl Server {
                     if !forward {
                         return Err(Wire::BadRequest("degraded cf_trace is forward-only".into()));
                     }
-                    let wet = lock_read(&sh.wet);
+                    let wet = lock_read(trace.wet());
                     let (steps, deg) = query::cf_trace_forward_degraded_ctl(&wet, ctl)?;
                     Ok(steps_value(&steps, Some(&deg)))
                 }
             }
             "value_trace" => {
                 let stmt = stmt_of(req)?;
-                let wet = lock_read(&sh.wet);
+                let wet = lock_read(trace.wet());
                 if strict {
                     let pairs = query::engine::value_trace_ctl(&wet, stmt, threads, ctl)?;
                     Ok(pairs_value(&pairs, |&(ts, v)| (ts as i64, v), None))
@@ -383,21 +570,21 @@ impl Server {
             }
             "address_trace" => {
                 let stmt = stmt_of(req)?;
-                let program = self.program()?;
-                let wet = lock_read(&sh.wet);
+                let program = program_of(&trace)?;
+                let wet = lock_read(trace.wet());
                 let pairs = query::engine::address_trace_ctl(&wet, program, stmt, threads, ctl)?;
                 Ok(pairs_value(&pairs, |&(ts, a)| (ts as i64, a as i64), None))
             }
             "slice" => {
                 let stmt = stmt_of(req)?;
-                let program = self.program()?;
+                let program = program_of(&trace)?;
                 let node = req
                     .get("node")
                     .and_then(Value::as_u64)
                     .ok_or_else(|| Wire::BadRequest("slice needs `node`".into()))?;
                 let k = req.get("k").and_then(Value::as_u64).unwrap_or(0) as u32;
                 let control = req.get("control").and_then(Value::as_bool).unwrap_or(true);
-                let mut wet = lock_write(&sh.wet);
+                let mut wet = lock_write(trace.wet());
                 if node as usize >= wet.nodes().len() {
                     return Err(Wire::BadRequest(format!("node {node} out of range")));
                 }
@@ -426,23 +613,16 @@ impl Server {
         }
     }
 
-    fn program(&self) -> Result<&Program, Wire> {
-        self.shared
-            .program
-            .as_ref()
-            .ok_or_else(|| Wire::Unavailable("no program loaded (serve a capture dir or pass --program)".into()))
-    }
-
-    /// The `stats` response: request counters, admission state, and
-    /// the served trace's shape.
+    /// The `stats` response: request counters, admission state, store
+    /// residency, and — when the [`DEFAULT_TRACE`] is open — its shape
+    /// (the single-trace fields existing dashboards read).
     pub fn stats_value(&self) -> Value {
         let sh = &*self.shared;
         let st = sh.adm.st.lock().unwrap_or_else(PoisonError::into_inner);
         let (active, queued) = (st.active, st.queued);
         drop(st);
-        let wet = lock_read(&sh.wet);
         let c = &sh.counters;
-        json::obj(vec![
+        let mut pairs = vec![
             ("ok", Value::Int(c.ok.load(Ordering::Relaxed) as i64)),
             ("shed", Value::Int(c.shed.load(Ordering::Relaxed) as i64)),
             ("cancelled", Value::Int(c.cancelled.load(Ordering::Relaxed) as i64)),
@@ -453,11 +633,26 @@ impl Server {
             ("active", Value::Int(active as i64)),
             ("queued", Value::Int(queued as i64)),
             ("draining", Value::Bool(self.draining())),
-            ("nodes", Value::Int(wet.nodes().len() as i64)),
-            ("paths_executed", Value::Int(wet.stats().paths_executed as i64)),
-            ("tier2", Value::Bool(wet.is_tier2())),
-            ("unavailable_seqs", Value::Int(wet.unavailable_seqs() as i64)),
-        ])
+        ];
+        if let Some(t) = sh.store.get(DEFAULT_TRACE) {
+            let wet = lock_read(t.wet());
+            pairs.push(("nodes", Value::Int(wet.nodes().len() as i64)));
+            pairs.push(("paths_executed", Value::Int(wet.stats().paths_executed as i64)));
+            pairs.push(("tier2", Value::Bool(wet.is_tier2())));
+            pairs.push(("unavailable_seqs", Value::Int(wet.unavailable_seqs() as i64)));
+        }
+        pairs.push((
+            "store",
+            json::obj(vec![
+                ("traces", Value::Int(sh.store.len() as i64)),
+                ("resident_bytes", Value::Int(sh.store.resident_bytes() as i64)),
+                ("pinned_bytes", Value::Int(sh.store.pinned_bytes() as i64)),
+                ("cold_opens", Value::Int(sh.store.cold_opens() as i64)),
+                ("lazy_decodes", Value::Int(sh.store.lazy_decodes() as i64)),
+                ("evictions", Value::Int(sh.store.evictions() as i64)),
+            ]),
+        ));
+        json::obj(pairs)
     }
 
     /// Accept loop: serves until SIGTERM or a `shutdown` request, then
@@ -615,12 +810,19 @@ enum Wire {
     Query(QueryErr),
     BadRequest(String),
     Unavailable(String),
+    Store(StoreErr),
 }
 
 impl From<QueryErr> for Wire {
     fn from(e: QueryErr) -> Wire {
         Wire::Query(e)
     }
+}
+
+fn program_of(trace: &StoredTrace) -> Result<&Program, Wire> {
+    trace
+        .program()
+        .ok_or_else(|| Wire::Unavailable("no program loaded (serve a capture dir or pass --program)".into()))
 }
 
 fn stmt_of(req: &Value) -> Result<StmtId, Wire> {

@@ -70,7 +70,7 @@ fn measure(budget: u64, threads: usize) -> (i64, u64) {
 
 #[test]
 fn peak_cache_bytes_stay_under_budget_on_gcc_like() {
-    let (bounded_peak, bounded_evictions) = measure(BUDGET, 2);
+    let (bounded_peak, _) = measure(BUDGET, 2);
     assert!(bounded_peak > 0, "cache was exercised (peak gauge recorded)");
     assert!(
         bounded_peak as u64 <= BUDGET,
@@ -79,8 +79,17 @@ fn peak_cache_bytes_stay_under_budget_on_gcc_like() {
 
     // The pin is meaningful only if the budget actually binds: the same
     // workload with an unlimited cache must exceed it, and the bounded
-    // run must have paid for staying under with evictions.
-    let (unbounded_peak, _) = measure(0, 2);
+    // run must have paid for staying under with evictions. Measure the
+    // binding check single-threaded — with two workers the per-worker
+    // share of the unbounded working set lands right at the budget and
+    // the comparison flakes with scheduling; one worker sees the whole
+    // working set deterministically.
+    let (bounded_peak_1, bounded_evictions) = measure(BUDGET, 1);
+    assert!(
+        bounded_peak_1 as u64 <= BUDGET,
+        "peak cache bytes {bounded_peak_1} exceeded budget {BUDGET} (1 thread)"
+    );
+    let (unbounded_peak, _) = measure(0, 1);
     assert!(
         unbounded_peak as u64 > BUDGET,
         "workload too small to test the budget (unbounded peak {unbounded_peak})"
