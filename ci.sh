@@ -271,6 +271,84 @@ if [ "$peak" -gt "$store_budget" ]; then
     exit 1
 fi
 
+echo "==> observability gate: scrape endpoint, request logs, flight recorder, ledger"
+jsonv=./target/release/jsonv
+obs_dir="$fsck_dir/obs"
+mkdir -p "$obs_dir"
+obs_sock="$obs_dir/wet.sock"
+obs_http=127.0.0.1:19741
+rm -f "$obs_sock"
+"$wet" serve "$fsck_dir/fresh.wetz" --program examples/data/collatz.wet \
+    --listen "$obs_sock" --metrics-listen "$obs_http" \
+    --access-log "$obs_dir/access.log" \
+    --slow-ms 0 --slow-log "$obs_dir/slow.log" \
+    --flight-dump "$obs_dir/flight.json" --debug-ops \
+    > /dev/null 2> /dev/null &
+serve_pid=$!
+i=0
+while [ ! -S "$obs_sock" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then echo "obs server never bound $obs_sock" >&2; exit 1; fi
+    sleep 0.1
+done
+# Some traffic so every surface has data to show.
+"$wet" query ping --remote "$obs_sock" > /dev/null
+"$wet" query cf_trace --remote "$obs_sock" > /dev/null
+"$wet" query value_trace --stmt 3 --remote "$obs_sock" > /dev/null
+# The scrape endpoint: Prometheus text on /metrics, liveness on
+# /healthz, 404 elsewhere (wet scrape exits 5 on any non-200).
+"$wet" scrape "$obs_http" /metrics > "$obs_dir/metrics.prom"
+grep -q '^# TYPE' "$obs_dir/metrics.prom"
+grep -q 'serve_requests' "$obs_dir/metrics.prom"
+grep -q 'serve_op_latency_us' "$obs_dir/metrics.prom"
+"$wet" scrape "$obs_http" /healthz > /dev/null
+nf_status=0
+"$wet" scrape "$obs_http" /nope > /dev/null 2>&1 || nf_status=$?
+if [ "$nf_status" -ne 5 ]; then
+    echo "scrape of an unknown path: expected exit 5, got $nf_status" >&2
+    exit 1
+fi
+# Fault injection: debug_panic answers a typed panic error (exit 5)
+# and must leave the panicking request in the flight-recorder dump.
+panic_status=0
+"$wet" query debug_panic --remote "$obs_sock" > /dev/null 2>&1 || panic_status=$?
+if [ "$panic_status" -ne 5 ]; then
+    echo "debug_panic: expected exit 5, got $panic_status" >&2
+    exit 1
+fi
+head -n 1 "$obs_dir/flight.json" | "$jsonv"
+grep -q 'req_panic' "$obs_dir/flight.json"
+# The dump-flight op returns the same document over the wire.
+"$wet" query dump-flight --remote "$obs_sock" > "$obs_dir/dump.json"
+"$jsonv" < "$obs_dir/dump.json"
+grep -q 'wet-flight/1' "$obs_dir/dump.json"
+# The drill, with the ledger audit: every completed request must
+# appear in the access log exactly once.
+"$wet" drill --remote "$obs_sock" --seed 1229 --count 24 \
+    --access-log "$obs_dir/access.log" > /dev/null
+kill -TERM "$serve_pid"
+drain_status=0
+wait "$serve_pid" || drain_status=$?
+if [ "$drain_status" -ne 0 ]; then
+    echo "obs-server drain: expected exit 0, got $drain_status" >&2
+    exit 1
+fi
+# Every access-log and slow-log line is a single valid JSON document
+# (jsonv validates exactly one document per invocation), and
+# --slow-ms 0 must have produced slow-log lines with span events.
+if [ ! -s "$obs_dir/slow.log" ]; then
+    echo "slow log empty under --slow-ms 0" >&2
+    exit 1
+fi
+grep -q 'wet-slow/1' "$obs_dir/slow.log"
+grep -q 'wet-access/1' "$obs_dir/access.log"
+while IFS= read -r line; do
+    printf '%s\n' "$line" | "$jsonv"
+done < "$obs_dir/access.log"
+while IFS= read -r line; do
+    printf '%s\n' "$line" | "$jsonv"
+done < "$obs_dir/slow.log"
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --locked --workspace --all-targets -- -D warnings
 

@@ -19,7 +19,7 @@ use wet_workloads::Kind;
 
 const TARGET: u64 = 150_000;
 
-fn server_for(kind: Kind) -> (Server, Vec<StmtId>) {
+fn server_for(kind: Kind, access_log: Option<std::path::PathBuf>) -> (Server, Vec<StmtId>) {
     let b = wet_bench::build_wet(kind, TARGET, WetConfig::default());
     let mut wet = b.wet;
     wet.compress();
@@ -30,7 +30,13 @@ fn server_for(kind: Kind) -> (Server, Vec<StmtId>) {
     let server = Server::new(
         wet,
         Some(b.program),
-        ServeOptions { threads: 1, max_active: 8, queue_watermark: 32, ..ServeOptions::default() },
+        ServeOptions {
+            threads: 1,
+            max_active: 8,
+            queue_watermark: 32,
+            access_log,
+            ..ServeOptions::default()
+        },
     );
     (server, stmts)
 }
@@ -48,7 +54,7 @@ fn bench_serve(c: &mut Criterion) {
     g.sample_size(20);
     let mut rows: Vec<String> = Vec::new();
     for kind in [Kind::Gcc, Kind::Gzip] {
-        let (server, stmts) = server_for(kind);
+        let (server, stmts) = server_for(kind, None);
         let cases: Vec<(&str, Vec<u8>)> = vec![
             ("ping", frame("ping", None)),
             ("value_trace", frame("value_trace", stmts.first().copied())),
@@ -90,6 +96,44 @@ fn bench_serve(c: &mut Criterion) {
                 pct(50),
                 pct(99),
             ));
+        }
+        // The same single-client ping floor with the observability
+        // layer on — access log, request-scoped tracing, live metrics —
+        // so the cost of `--access-log` is a measured row, not a guess.
+        {
+            let dir = std::env::temp_dir()
+                .join(format!("wet-bench-obs-{}-{}", kind.name(), std::process::id()));
+            let _ = std::fs::create_dir_all(&dir);
+            wet_obs::enable();
+            let (obs_server, _) = server_for(kind, Some(dir.join("access.log")));
+            let req = &cases[0].1;
+            const PER: usize = 1000;
+            let t0 = Instant::now();
+            let mut lat_ns: Vec<u64> = (0..PER)
+                .map(|_| {
+                    let t = Instant::now();
+                    black_box(obs_server.handle_frame(req));
+                    t.elapsed().as_nanos() as u64
+                })
+                .collect();
+            let secs = t0.elapsed().as_secs_f64();
+            lat_ns.sort_unstable();
+            let total = lat_ns.len();
+            let pct = |p: usize| lat_ns[(total * p / 100).min(total - 1)] as f64 / 1e3;
+            rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"op\": \"ping\", \"clients\": 1, ",
+                    "\"obs\": true, \"requests\": {}, \"secs\": {:.6}, ",
+                    "\"req_per_sec\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}}}"
+                ),
+                kind.name(),
+                total,
+                secs,
+                total as f64 / secs.max(1e-12),
+                pct(50),
+                pct(99),
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
         }
         // Concurrent throughput: 4 loopback clients hammering the same
         // server; per-request latencies feed the p99.

@@ -35,5 +35,18 @@ fn main() {
         let store = std::path::Path::new("results/BENCH_store.json");
         ex::write_store_json(&scale, store).expect("write store json");
         println!("wrote {}", store.display());
+        // Fail loudly if any expected results file did not land on
+        // disk with content — a silent partial run poisons comparisons
+        // against committed baselines.
+        let mut missing = Vec::new();
+        for expected in [path, phases, store] {
+            if std::fs::metadata(expected).map(|m| m.len()).unwrap_or(0) == 0 {
+                missing.push(expected.display().to_string());
+            }
+        }
+        if !missing.is_empty() {
+            eprintln!("error: expected results not written: {}", missing.join(", "));
+            std::process::exit(1);
+        }
     }
 }

@@ -89,10 +89,15 @@ usage:
   wet serve [file.wetz|DIR] --listen ADDR [--program file.wet]
             [--max-active N] [--queue N] [--cache-budget N] [--threads N]
             [--store-root DIR] [--store-budget N] [--tenant-active N]
+            [--metrics-listen ADDR] [--access-log PATH]
+            [--access-log-max-bytes N] [--slow-ms N --slow-log PATH]
+            [--flight-dump PATH] [--debug-ops]
   wet query <op> --remote ADDR [--stmt N] [--node N] [--k N] [--backward]
             [--degraded] [--no-control] [--deadline-ms N] [--retries N]
             [--trace ID] [--tenant NAME] [--path REL]
-  wet drill --remote ADDR [--seed N] [--count N]
+  wet drill --remote ADDR [--seed N] [--count N] [--access-log PATH]
+  wet top --remote ADDR [--interval-ms N] [--iters N]
+  wet scrape <host:port> [path]
       names: go-like gcc-like li-like gzip-like mcf-like parser-like
              vortex-like bzip2-like twolf-like
       --threads N: worker threads for tier-2 compression
@@ -142,16 +147,38 @@ usage:
             N caps each tenant's concurrent queries under --max-active.
       query: one request against a running server. Ops: ping, stats,
             cf_trace, value_trace, address_trace, slice, shutdown,
-            open, close, list. --trace ID routes to an open trace
-            (default `default`); open takes --path REL (relative to the
-            server's store root) and optional --trace/--tenant; close
-            takes --trace. --deadline-ms bounds the query server-side;
-            --retries N retries retriable errors (shed) with capped
-            exponential backoff and jitter. Prints the JSON result.
+            open, close, list, dump-flight. --trace ID routes to an
+            open trace (default `default`); open takes --path REL
+            (relative to the server's store root) and optional
+            --trace/--tenant; close takes --trace. --deadline-ms
+            bounds the query server-side; --retries N retries
+            retriable errors (shed) with capped exponential backoff
+            and jitter. Prints the JSON result.
       drill: replay a seeded schedule of misbehaving clients
             (slow-loris, mid-frame cuts, garbage frames, deadline
             storms, cancel races) against a running server and verify
-            it survives.
+            it survives. With --access-log PATH (the server's access
+            log on a shared filesystem) additionally audits that
+            every completed request was logged exactly once.
+      observability (serve): --metrics-listen ADDR answers plain-HTTP
+            GET /metrics (Prometheus text), /healthz and /readyz
+            (503 while draining) on a second listener. --access-log
+            PATH appends one wet-access/1 JSON line per completed
+            request, rotating to PATH.1 past --access-log-max-bytes
+            (default 64 MiB). --slow-ms N with --slow-log PATH logs
+            requests slower than N ms as wet-slow/1 lines carrying
+            the request's span tree. --flight-dump PATH writes the
+            in-memory flight recorder (last 2048 request events) as
+            one wet-flight/1 JSON line on panic, SIGUSR1, or a
+            dump-flight request. --debug-ops enables the fault-
+            injection op debug_panic.
+      top: poll a server's stats every --interval-ms (default 1000)
+            and render req/s, per-op p50/p99, queue depth, store
+            residency, and per-tenant activity. --iters N stops after
+            N polls (0 = run until interrupted).
+      scrape: one HTTP GET against a --metrics-listen endpoint
+            (default path /metrics); prints the body, exits 5 on a
+            non-200 answer.
 exit codes:
   0  success (fsck: file is clean)
   2  usage error (bad flags, unknown command; query: bad request)
@@ -230,6 +257,15 @@ struct Flags {
     degraded: bool,
     seed: u64,
     count: usize,
+    metrics_listen: Option<String>,
+    access_log: Option<String>,
+    access_log_max_bytes: u64,
+    slow_ms: Option<u64>,
+    slow_log: Option<String>,
+    flight_dump: Option<String>,
+    debug_ops: bool,
+    interval_ms: u64,
+    iters: usize,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags> {
@@ -267,6 +303,15 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
         degraded: false,
         seed: 0xd1211,
         count: 24,
+        metrics_listen: None,
+        access_log: None,
+        access_log_max_bytes: wet_serve::DEFAULT_LOG_MAX_BYTES,
+        slow_ms: None,
+        slow_log: None,
+        flight_dump: None,
+        debug_ops: false,
+        interval_ms: 1_000,
+        iters: 0,
     };
     let mut i = 0;
     while i < args.len() {
@@ -395,6 +440,41 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
             "--count" => {
                 i += 1;
                 f.count = args.get(i).ok_or("--count needs a value")?.parse()?;
+            }
+            "--metrics-listen" => {
+                i += 1;
+                f.metrics_listen =
+                    Some(args.get(i).ok_or("--metrics-listen needs an address")?.clone());
+            }
+            "--access-log" => {
+                i += 1;
+                f.access_log = Some(args.get(i).ok_or("--access-log needs a path")?.clone());
+            }
+            "--access-log-max-bytes" => {
+                i += 1;
+                f.access_log_max_bytes =
+                    args.get(i).ok_or("--access-log-max-bytes needs a value")?.parse()?;
+            }
+            "--slow-ms" => {
+                i += 1;
+                f.slow_ms = Some(args.get(i).ok_or("--slow-ms needs a value")?.parse()?);
+            }
+            "--slow-log" => {
+                i += 1;
+                f.slow_log = Some(args.get(i).ok_or("--slow-log needs a path")?.clone());
+            }
+            "--flight-dump" => {
+                i += 1;
+                f.flight_dump = Some(args.get(i).ok_or("--flight-dump needs a path")?.clone());
+            }
+            "--debug-ops" => f.debug_ops = true,
+            "--interval-ms" => {
+                i += 1;
+                f.interval_ms = args.get(i).ok_or("--interval-ms needs a value")?.parse()?;
+            }
+            "--iters" => {
+                i += 1;
+                f.iters = args.get(i).ok_or("--iters needs a value")?.parse()?;
             }
             other => return Err(format!("unknown flag `{other}`").into()),
         }
@@ -817,6 +897,22 @@ fn dispatch_cmd(args: &[String]) -> Result<()> {
             let flags = parse_flags(rest)?;
             cmd_drill(&flags)
         }
+        "top" => {
+            let flags = parse_flags(rest)?;
+            cmd_top(&flags)
+        }
+        "scrape" => {
+            let addr = rest.first().ok_or("scrape needs <host:port> [path]")?;
+            let path = rest.get(1).map(|s| s.as_str()).unwrap_or("/metrics");
+            let (status, body) = wet_serve::http_get(addr, path)
+                .map_err(|e| io_fail(&format!("cannot scrape {addr}{path}"), &e))?;
+            say_block(&body);
+            if status == 200 {
+                Ok(())
+            } else {
+                Err(fail(EXIT_UNAVAILABLE, format!("{addr}{path} answered HTTP {status}")))
+            }
+        }
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -861,6 +957,18 @@ fn load_for_serve(path: &str, flags: &Flags) -> Result<(wet_core::Wet, Option<Pr
 /// given) is preloaded as the default.
 fn cmd_serve(path: Option<&str>, flags: &Flags) -> Result<()> {
     let listen = flags.listen.clone().ok_or("serve requires --listen ADDR")?;
+    if flags.slow_ms.is_some() != flags.slow_log.is_some() {
+        return Err(fail(EXIT_USAGE, "--slow-ms and --slow-log must be given together"));
+    }
+    // Pre-validate log paths so an operator typo is a crisp I/O
+    // failure at startup, not a silently disabled log.
+    for p in [&flags.access_log, &flags.slow_log, &flags.flight_dump].into_iter().flatten() {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(p)
+            .map_err(|e| fail(EXIT_IO, format!("cannot open log path {p}: {e}")))?;
+    }
     let opts = wet_serve::ServeOptions {
         max_active: flags.max_active.max(1),
         queue_watermark: flags.queue,
@@ -868,6 +976,12 @@ fn cmd_serve(path: Option<&str>, flags: &Flags) -> Result<()> {
         store_root: flags.store_root.clone().map(std::path::PathBuf::from),
         store_budget: flags.store_budget,
         tenant_active: flags.tenant_active,
+        access_log: flags.access_log.clone().map(std::path::PathBuf::from),
+        access_log_max_bytes: flags.access_log_max_bytes.max(1),
+        slow_log: flags.slow_log.clone().map(std::path::PathBuf::from),
+        slow_ms: flags.slow_ms,
+        flight_dump: flags.flight_dump.clone().map(std::path::PathBuf::from),
+        debug_ops: flags.debug_ops,
         ..wet_serve::ServeOptions::default()
     };
     let server = match path {
@@ -885,9 +999,22 @@ fn cmd_serve(path: Option<&str>, flags: &Flags) -> Result<()> {
             wet_serve::Server::with_store(opts)
         }
     };
+    // The scrape endpoint reads the live wet-obs registry, so turn
+    // recording on — the daemon's metrics exist to be scraped.
+    let metrics = match &flags.metrics_listen {
+        Some(addr) => {
+            wet_obs::enable();
+            let l = wet_serve::bind_metrics(addr)
+                .map_err(|e| io_fail(&format!("cannot bind metrics listener {addr}"), &e))?;
+            let stop = std::sync::Arc::new(AtomicBool::new(false));
+            let handle = wet_serve::spawn_metrics(server.clone(), l, stop.clone());
+            Some((handle, stop))
+        }
+        None => None,
+    };
     let listener = wet_serve::bind(&listen).map_err(|e| io_fail(&format!("cannot bind {listen}"), &e))?;
     say!(
-        "serving {} on {listen} (max-active {}, queue {}{})",
+        "serving {} on {listen} (max-active {}, queue {}{}{})",
         path.unwrap_or("<store>"),
         flags.max_active.max(1),
         flags.queue,
@@ -895,9 +1022,19 @@ fn cmd_serve(path: Option<&str>, flags: &Flags) -> Result<()> {
             .store_root
             .as_deref()
             .map(|r| format!(", store-root {r}, store-budget {}", flags.store_budget))
+            .unwrap_or_default(),
+        flags
+            .metrics_listen
+            .as_deref()
+            .map(|m| format!(", metrics on http://{m}"))
             .unwrap_or_default()
     );
-    server.serve(listener).map_err(|e| io_fail("serve loop failed", &e))?;
+    let served = server.serve(listener);
+    if let Some((handle, stop)) = metrics {
+        stop.store(true, Ordering::SeqCst);
+        let _ = handle.join();
+    }
+    served.map_err(|e| io_fail("serve loop failed", &e))?;
     say!("drained: {}", server.stats_value().render());
     Ok(())
 }
@@ -919,7 +1056,7 @@ fn cmd_query(op: &str, flags: &Flags) -> Result<()> {
     let remote = flags.remote.clone().ok_or("query requires --remote ADDR")?;
     let known = [
         "ping", "stats", "cf_trace", "value_trace", "address_trace", "slice", "shutdown", "open",
-        "close", "list",
+        "close", "list", "dump-flight", "debug_panic",
     ];
     if !known.contains(&op) {
         return Err(format!("unknown op `{op}` (expected one of {})", known.join(", ")).into());
@@ -970,6 +1107,9 @@ fn cmd_query(op: &str, flags: &Flags) -> Result<()> {
 }
 
 /// `wet drill`: replay misbehaving clients against a running server.
+/// With `--access-log PATH` (pointing at the server's access log on a
+/// shared filesystem) it additionally audits the ledger: every
+/// completed request must appear in the log exactly once.
 fn cmd_drill(flags: &Flags) -> Result<()> {
     let remote = flags.remote.clone().ok_or("drill requires --remote ADDR")?;
     let report = wet_serve::run_drill(&remote, flags.seed, flags.count);
@@ -978,14 +1118,157 @@ fn cmd_drill(flags: &Flags) -> Result<()> {
         report.clients, flags.seed, report.ok, report.deadline, report.cancelled,
         report.shed, report.other_errors, report.conns_dropped
     );
+    say!("  {:<14} {:>5} {:>5} {:>6} {:>7}", "category", "sent", "ok", "typed", "killed");
+    for (kind, row) in &report.by_kind {
+        say!(
+            "  {:<14} {:>5} {:>5} {:>6} {:>7}",
+            kind, row.sent, row.ok, row.typed_error, row.killed
+        );
+    }
     wet_obs::counter_add("drill.requests_terminated", "total", report.terminated());
     wet_obs::counter_add("drill.conns_dropped", "total", report.conns_dropped);
-    if report.survived {
-        say!("server survived");
-        Ok(())
-    } else {
-        Err(fail(EXIT_UNAVAILABLE, "server did not answer after the drill"))
+    if !report.survived {
+        return Err(fail(EXIT_UNAVAILABLE, "server did not answer after the drill"));
     }
+    say!("server survived");
+    if let Some(log) = &flags.access_log {
+        audit_access_log(&remote, log)?;
+    }
+    Ok(())
+}
+
+/// The exactly-once audit: with the server quiescent, the number of
+/// access-log lines (current file plus the rotated `.1`) must equal
+/// the sum of all outcome counters. Lines are counted *before* the
+/// `stats` probe, because a completed request writes its line before
+/// its own bump can be observed by a later request — so at any quiet
+/// point, lines-so-far equals completed-so-far.
+fn audit_access_log(remote: &str, log: &str) -> Result<()> {
+    use wet_serve::json::Value;
+    // Let connection teardown finish server-side (workers for dropped
+    // connections may still be completing their final requests).
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let count_lines = |p: &str| -> Result<i64> {
+        match std::fs::read_to_string(p) {
+            Ok(t) => Ok(t.lines().count() as i64),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(io_fail(&format!("cannot read access log {p}"), &e)),
+        }
+    };
+    let lines = count_lines(log)? + count_lines(&format!("{log}.1"))?;
+    let mut client = wet_serve::Client::connect(remote)
+        .map_err(|e| io_fail(&format!("cannot connect to {remote}"), &e))?;
+    let reply = client
+        .call(vec![("op", Value::Str("stats".into()))])
+        .map_err(|e| io_fail("stats request failed", &e))?;
+    let stats = match reply {
+        wet_serve::Reply::Ok(v) => v,
+        wet_serve::Reply::Err { kind, message, .. } => return Err(remote_fail(&kind, &message)),
+    };
+    let completed: i64 = ["ok", "shed", "cancelled", "deadline", "panic", "corrupt", "bad_request"]
+        .iter()
+        .map(|k| stats.get(k).and_then(Value::as_i64).unwrap_or(0))
+        .sum();
+    if lines != completed {
+        return Err(fail(
+            EXIT_UNAVAILABLE,
+            format!("access-log ledger mismatch: {lines} lines vs {completed} completed requests"),
+        ));
+    }
+    say!("access log: {lines} lines == {completed} completed requests (exactly once)");
+    Ok(())
+}
+
+/// `wet top`: poll a running daemon's `stats` op and render a live
+/// operational view — request rate, per-op latency percentiles, queue
+/// depth, store residency, and per-tenant activity.
+fn cmd_top(flags: &Flags) -> Result<()> {
+    use wet_serve::json::Value;
+    let remote = flags.remote.clone().ok_or("top requires --remote ADDR")?;
+    let mut client = wet_serve::Client::connect(&remote)
+        .map_err(|e| io_fail(&format!("cannot connect to {remote}"), &e))?;
+    let mut prev: Option<(std::time::Instant, i64)> = None;
+    let mut i = 0usize;
+    loop {
+        if i > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(flags.interval_ms.max(50)));
+        }
+        let reply = client
+            .call(vec![("op", Value::Str("stats".into()))])
+            .map_err(|e| io_fail("stats request failed", &e))?;
+        let stats = match reply {
+            wet_serve::Reply::Ok(v) => v,
+            wet_serve::Reply::Err { kind, message, .. } => return Err(remote_fail(&kind, &message)),
+        };
+        let now = std::time::Instant::now();
+        let get = |k: &str| stats.get(k).and_then(Value::as_i64).unwrap_or(0);
+        let total: i64 = ["ok", "shed", "cancelled", "deadline", "panic", "corrupt", "bad_request"]
+            .iter()
+            .map(|k| get(k))
+            .sum();
+        let rate = match prev {
+            Some((t0, n0)) => {
+                let dt = now.duration_since(t0).as_secs_f64();
+                if dt > 0.0 { (total - n0) as f64 / dt } else { 0.0 }
+            }
+            None => 0.0,
+        };
+        prev = Some((now, total));
+        say!(
+            "wet top — {remote}  uptime {:.1}s  draining {}",
+            get("uptime_ms") as f64 / 1000.0,
+            stats.get("draining").and_then(Value::as_bool).unwrap_or(false),
+        );
+        say!(
+            "  req/s {rate:.1}   total {total}  (ok {} shed {} cancelled {} deadline {} panic {} corrupt {} bad {})",
+            get("ok"), get("shed"), get("cancelled"), get("deadline"),
+            get("panic"), get("corrupt"), get("bad_request")
+        );
+        say!("  active {}  queued {}", get("active"), get("queued"));
+        if let Some(store) = stats.get("store") {
+            let sg = |k: &str| store.get(k).and_then(Value::as_i64).unwrap_or(0);
+            say!(
+                "  store: {} traces  resident {} B  pinned {} B  lazy-decodes {}  evictions {}",
+                sg("traces"), sg("resident_bytes"), sg("pinned_bytes"),
+                sg("lazy_decodes"), sg("evictions")
+            );
+        }
+        if let Some(ops) = stats.get("ops").and_then(Value::as_arr) {
+            if !ops.is_empty() {
+                say!("  {:<14} {:>8} {:>9} {:>9}", "op", "count", "p50_us", "p99_us");
+                for row in ops {
+                    let rg = |k: &str| row.get(k).and_then(Value::as_i64).unwrap_or(0);
+                    say!(
+                        "  {:<14} {:>8} {:>9} {:>9}",
+                        row.get("op").and_then(Value::as_str).unwrap_or("?"),
+                        rg("count"),
+                        rg("p50_us"),
+                        rg("p99_us")
+                    );
+                }
+            }
+        }
+        if let Some(tenants) = stats.get("tenants").and_then(Value::as_arr) {
+            if !tenants.is_empty() {
+                let parts: Vec<String> = tenants
+                    .iter()
+                    .map(|t| {
+                        format!(
+                            "{}:{}",
+                            t.get("tenant").and_then(Value::as_str).unwrap_or("?"),
+                            t.get("requests").and_then(Value::as_i64).unwrap_or(0)
+                        )
+                    })
+                    .collect();
+                say!("  tenants: {}", parts.join("  "));
+            }
+        }
+        i += 1;
+        if flags.iters > 0 && i >= flags.iters {
+            break;
+        }
+    }
+    Ok(())
 }
 
 fn save_if_requested(wet: &wet_core::Wet, flags: &Flags) -> Result<()> {

@@ -38,6 +38,7 @@ pub fn cf_trace_forward(wet: &mut Wet) -> Result<Vec<CfStep>, QueryErr> {
 /// once per [`crate::query::CHECK_INTERVAL`] steps.
 pub fn cf_trace_forward_ctl(wet: &mut Wet, ctl: &Ctl) -> Result<Vec<CfStep>, QueryErr> {
     let _span = wet_obs::span!("query.cf_trace_forward");
+    let _p = ctl.phase("engine.cf_trace");
     let (first, first_ts) = wet.first();
     let (_, last_ts) = wet.last();
     let mut steps = Vec::with_capacity((last_ts - first_ts + 1) as usize);
@@ -74,6 +75,7 @@ pub fn cf_trace_forward_ctl(wet: &mut Wet, ctl: &Ctl) -> Result<Vec<CfStep>, Que
         node = s;
         ts = next_ts;
     }
+    ctl.note("cf.steps", steps.len() as u64);
     Ok(steps)
 }
 

@@ -14,7 +14,7 @@ pub mod slice;
 pub mod values;
 
 pub use addresses::{address_trace, address_trace_ctl};
-pub use ctl::{Ctl, QueryErr, CHECK_INTERVAL};
+pub use ctl::{Ctl, PhaseGuard, QueryErr, ReqTrace, TraceEvent, CHECK_INTERVAL, TRACE_EVENT_CAP};
 pub use mine::{hot_paths, isomorphic_statements, value_locality, HotPath, ValueLocality};
 pub use phases::{cluster_phases, interval_vectors, IntervalVector, Phases};
 pub use cftrace::{

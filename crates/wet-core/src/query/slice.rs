@@ -97,6 +97,7 @@ pub fn backward_slice_ctl(
     ctl: &Ctl,
 ) -> Result<WetSlice, QueryErr> {
     let _span = wet_obs::span!("query.backward_slice");
+    let _p = ctl.phase("engine.backward_slice");
     assert!(
         wet.node(criterion.node).stmt_pos(criterion.stmt).is_some(),
         "criterion statement not in node"
@@ -132,6 +133,7 @@ pub fn backward_slice_ctl(
             }
         }
     }
+    ctl.note("slice.elems", visited.len() as u64);
     Ok(WetSlice { elems: visited.into_iter().collect(), stamped })
 }
 

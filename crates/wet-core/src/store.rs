@@ -373,6 +373,14 @@ impl StoredTrace {
     pub fn program(&self) -> Option<&Program> {
         self.program.as_ref()
     }
+
+    /// True when every section in `needs` is already decoded — the
+    /// serve access log's store-hit bit: a query whose sections are
+    /// all resident up front will do no container I/O.
+    pub fn sections_resident(&self, needs: &[LazySection]) -> bool {
+        let lz = lock(&self.lazy);
+        needs.iter().all(|s| lz[s.idx()].resident)
+    }
 }
 
 /// Pins held by an in-flight query; dropping releases them. Keep the

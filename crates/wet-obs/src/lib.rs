@@ -65,7 +65,10 @@ mod metrics;
 mod report;
 mod span;
 
-pub use metrics::{counter_add, gauge_max, gauge_set, hist_record, Hist, HIST_BUCKETS};
+pub use metrics::{
+    counter_add, counter_handle, gauge_handle, gauge_max, gauge_set, hist_handle, hist_record, Counter, Gauge, Hist,
+    LiveHist, HIST_BUCKETS,
+};
 pub use report::Report;
 pub use span::{
     attach, current_span_id, disable, enable, enabled, handoff, reset, scoped_enable, snapshot, span_dynamic,

@@ -232,42 +232,63 @@ impl Report {
 
     /// Prometheus text exposition format (counters as `_total`, gauges
     /// verbatim, histograms with cumulative `_bucket{le=..}` series).
+    ///
+    /// Series are grouped per *family* so every `# TYPE` line appears
+    /// exactly once and all of a family's series are contiguous — the
+    /// format requires both, and distinct raw names can sanitize to
+    /// one family (`a.b` and `a_b` are both `wet_a_b`). If one family
+    /// name is claimed by two metric kinds (say a gauge and a
+    /// histogram both named `foo`), the later kind is disambiguated
+    /// with a `_<kind>` suffix rather than emitting a conflicting
+    /// duplicate declaration.
     pub fn render_prometheus(&self) -> String {
-        let mut out = String::new();
-        let mut last_type: Option<String> = None;
-        let mut type_line = |out: &mut String, name: &str, kind: &str| {
-            if last_type.as_deref() != Some(name) {
-                let _ = writeln!(out, "# TYPE {name} {kind}");
-                last_type = Some(name.to_string());
+        type Fams = BTreeMap<String, (&'static str, Vec<String>)>;
+        let mut fams: Fams = BTreeMap::new();
+        fn claim(fams: &mut Fams, name: String, kind: &'static str) -> String {
+            match fams.get(&name) {
+                Some((k, _)) if *k != kind => {
+                    let alt = format!("{name}_{kind}");
+                    fams.entry(alt.clone()).or_insert_with(|| (kind, Vec::new()));
+                    alt
+                }
+                _ => {
+                    fams.entry(name.clone()).or_insert_with(|| (kind, Vec::new()));
+                    name
+                }
             }
-        };
+        }
         for ((name, label), v) in &self.counters {
-            let metric = format!("{}_total", prom_name(name));
-            type_line(&mut out, &metric, "counter");
-            let _ = writeln!(out, "{metric}{} {v}", prom_labels(&[("label", label)]));
+            let fam = claim(&mut fams, format!("{}_total", prom_name(name)), "counter");
+            let line = format!("{fam}{} {v}", prom_labels(&[("label", label)]));
+            fams.get_mut(&fam).expect("claimed").1.push(line);
         }
         for ((name, label), v) in &self.gauges {
-            let metric = prom_name(name);
-            type_line(&mut out, &metric, "gauge");
-            let _ = writeln!(out, "{metric}{} {v}", prom_labels(&[("label", label)]));
+            let fam = claim(&mut fams, prom_name(name), "gauge");
+            let line = format!("{fam}{} {v}", prom_labels(&[("label", label)]));
+            fams.get_mut(&fam).expect("claimed").1.push(line);
         }
         for ((name, label), h) in &self.hists {
-            let metric = prom_name(name);
-            type_line(&mut out, &metric, "histogram");
+            let fam = claim(&mut fams, prom_name(name), "histogram");
+            let mut lines = Vec::new();
             let last_nonzero = h.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
             let mut cum = 0u64;
             for b in 0..=last_nonzero.min(HIST_BUCKETS - 2) {
                 cum += h.buckets[b];
                 let bound = Hist::bound_label(b);
-                let _ = writeln!(
-                    out,
-                    "{metric}_bucket{} {cum}",
-                    prom_labels(&[("label", label), ("le", &bound)])
-                );
+                lines.push(format!("{fam}_bucket{} {cum}", prom_labels(&[("label", label), ("le", &bound)])));
             }
-            let _ = writeln!(out, "{metric}_bucket{} {}", prom_labels(&[("label", label), ("le", "+Inf")]), h.count);
-            let _ = writeln!(out, "{metric}_sum{} {}", prom_labels(&[("label", label)]), h.sum);
-            let _ = writeln!(out, "{metric}_count{} {}", prom_labels(&[("label", label)]), h.count);
+            lines.push(format!("{fam}_bucket{} {}", prom_labels(&[("label", label), ("le", "+Inf")]), h.count));
+            lines.push(format!("{fam}_sum{} {}", prom_labels(&[("label", label)]), h.sum));
+            lines.push(format!("{fam}_count{} {}", prom_labels(&[("label", label)]), h.count));
+            fams.get_mut(&fam).expect("claimed").1.append(&mut lines);
+        }
+        let mut out = String::new();
+        for (fam, (kind, lines)) in &fams {
+            let _ = writeln!(out, "# TYPE {fam} {kind}");
+            for line in lines {
+                out.push_str(line);
+                out.push('\n');
+            }
         }
         out
     }
@@ -336,6 +357,31 @@ fn prom_name(name: &str) -> String {
     out
 }
 
+/// Unescape a Prometheus label value (the round-trip test's scrape
+/// parser is the consumer).
+#[cfg(test)]
+fn prom_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
 /// Render a label set, omitting empty-valued labels (and the braces if
 /// nothing remains).
 fn prom_labels(pairs: &[(&str, &str)]) -> String {
@@ -354,5 +400,165 @@ fn prom_labels(pairs: &[(&str, &str)]) -> String {
         String::new()
     } else {
         format!("{{{inner}}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal scrape-side parser: `# TYPE` declarations plus
+    /// `name{labels} value` series lines. Strict enough to catch the
+    /// failure modes the exposition format forbids (duplicate or
+    /// conflicting TYPE lines, series outside their family block,
+    /// broken label escaping).
+    struct Scrape {
+        types: BTreeMap<String, String>,
+        // (series name, labels, value) in emission order.
+        series: Vec<(String, BTreeMap<String, String>, i128)>,
+    }
+
+    fn parse_scrape(text: &str) -> Scrape {
+        let mut types = BTreeMap::new();
+        let mut series = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.splitn(2, ' ');
+                let name = it.next().expect("family name").to_string();
+                let kind = it.next().expect("family kind").to_string();
+                assert!(
+                    types.insert(name.clone(), kind).is_none(),
+                    "duplicate # TYPE for {name}"
+                );
+                continue;
+            }
+            assert!(!line.starts_with('#'), "only TYPE comments are emitted: {line}");
+            let (name_labels, value) = line.rsplit_once(' ').expect("series line");
+            let (name, labels) = match name_labels.split_once('{') {
+                Some((n, rest)) => {
+                    let body = rest.strip_suffix('}').expect("closing brace");
+                    let mut map = BTreeMap::new();
+                    // Split on `",` boundaries — label values may
+                    // contain escaped quotes/commas but always end
+                    // with an unescaped quote.
+                    let mut rest = body;
+                    while !rest.is_empty() {
+                        let eq = rest.find("=\"").expect("label assignment");
+                        let key = rest[..eq].to_string();
+                        let mut end = eq + 2;
+                        let bytes = rest.as_bytes();
+                        while end < rest.len() {
+                            if bytes[end] == b'\\' {
+                                end += 2;
+                            } else if bytes[end] == b'"' {
+                                break;
+                            } else {
+                                end += 1;
+                            }
+                        }
+                        assert!(end < rest.len(), "unterminated label value in {line}");
+                        map.insert(key, prom_unescape(&rest[eq + 2..end]));
+                        rest = rest[end + 1..].strip_prefix(',').unwrap_or(&rest[end + 1..]);
+                    }
+                    (n.to_string(), map)
+                }
+                None => (name_labels.to_string(), BTreeMap::new()),
+            };
+            series.push((name, labels, value.parse::<i128>().expect("integer sample")));
+        }
+        Scrape { types, series }
+    }
+
+    fn key(name: &str, label: &str) -> (String, String) {
+        (name.to_string(), label.to_string())
+    }
+
+    #[test]
+    fn prometheus_round_trips_clean() {
+        let mut r = Report::default();
+        // Two raw names sanitizing to the same family, with a third
+        // sorting between them — the old emitter duplicated # TYPE.
+        r.counters.insert(key("a.b", "x"), 3);
+        r.counters.insert(key("a.b2", ""), 5);
+        r.counters.insert(key("a_b", "y"), 7);
+        // A label value needing every escape.
+        r.counters.insert(key("esc", "qu\"ote\\back\nline"), 1);
+        // A gauge and a histogram fighting over one family name.
+        r.gauges.insert(key("contended", ""), -4);
+        let mut h = Hist::new();
+        for v in [1u64, 3, 3, 300] {
+            h.buckets[Hist::bucket_for(v)] += 1;
+            h.count += 1;
+            h.sum += v;
+        }
+        r.hists.insert(key("contended", "op"), h.clone());
+        r.hists.insert(key("lat.us", ""), h);
+
+        let text = r.render_prometheus();
+        let scrape = parse_scrape(&text);
+
+        // Every series belongs to a declared family of the right kind.
+        for (name, _, _) in &scrape.series {
+            let fam = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suf| name.strip_suffix(suf))
+                .filter(|f| scrape.types.get(*f).map(String::as_str) == Some("histogram"))
+                .unwrap_or(name);
+            assert!(scrape.types.contains_key(fam), "series {name} has no # TYPE family in:\n{text}");
+        }
+        // Families are contiguous blocks (series of one family never
+        // interleave with another's).
+        let mut seen_done: Vec<String> = Vec::new();
+        let mut current = String::new();
+        for (name, _, _) in &scrape.series {
+            let fam = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suf| name.strip_suffix(suf))
+                .filter(|f| scrape.types.get(*f).map(String::as_str) == Some("histogram"))
+                .unwrap_or(name)
+                .to_string();
+            if fam != current {
+                assert!(!seen_done.contains(&fam), "family {fam} split into blocks in:\n{text}");
+                if !current.is_empty() {
+                    seen_done.push(current.clone());
+                }
+                current = fam;
+            }
+        }
+
+        // Counter values and label escaping round-trip.
+        let find = |n: &str, lv: Option<&str>| {
+            scrape
+                .series
+                .iter()
+                .find(|(name, labels, _)| name == n && labels.get("label").map(String::as_str) == lv)
+                .unwrap_or_else(|| panic!("series {n}{lv:?} missing in:\n{text}"))
+        };
+        assert_eq!(find("wet_a_b_total", Some("x")).2, 3);
+        assert_eq!(find("wet_a_b_total", Some("y")).2, 7);
+        assert_eq!(find("wet_a_b2_total", None).2, 5);
+        assert_eq!(find("wet_esc_total", Some("qu\"ote\\back\nline")).2, 1);
+        assert_eq!(scrape.types.get("wet_esc_total").map(String::as_str), Some("counter"));
+
+        // The gauge won the family; the histogram got a kind suffix.
+        assert_eq!(scrape.types.get("wet_contended").map(String::as_str), Some("gauge"));
+        assert_eq!(find("wet_contended", None).2, -4);
+        assert_eq!(scrape.types.get("wet_contended_histogram").map(String::as_str), Some("histogram"));
+
+        // Histogram: cumulative non-decreasing buckets, +Inf == count.
+        let buckets: Vec<&(String, BTreeMap<String, String>, i128)> =
+            scrape.series.iter().filter(|(n, ..)| n == "wet_lat_us_bucket").collect();
+        assert!(buckets.len() >= 2);
+        let mut prev = -1i128;
+        for (_, labels, v) in &buckets {
+            assert!(labels.contains_key("le"));
+            assert!(*v >= prev, "buckets must be cumulative in:\n{text}");
+            prev = *v;
+        }
+        let (_, inf_labels, inf) = *buckets.last().expect("inf bucket");
+        assert_eq!(inf_labels.get("le").map(String::as_str), Some("+Inf"));
+        assert_eq!(*inf, 4);
+        assert_eq!(find("wet_lat_us_count", None).2, 4);
+        assert_eq!(find("wet_lat_us_sum", None).2, 307);
     }
 }

@@ -59,10 +59,25 @@ impl Drop for Buf {
     }
 }
 
+/// Cap on retained finished spans. A daemon that stays enabled for
+/// weeks must not grow the collector without bound: past the cap,
+/// flushed spans are counted (`obs.spans_dropped`) and discarded —
+/// metrics, which are fixed-size, keep accumulating regardless.
+const MAX_SPANS: usize = 1 << 16;
+
 fn flush_vec(recs: &mut Vec<SpanRec>) {
     if !recs.is_empty() {
         let mut g = SPANS.lock().unwrap_or_else(|e| e.into_inner());
+        let room = MAX_SPANS.saturating_sub(g.len());
+        if recs.len() > room {
+            let dropped = (recs.len() - room) as u64;
+            recs.truncate(room);
+            drop(g);
+            metrics::counter_add("obs.spans_dropped", "", dropped);
+            g = SPANS.lock().unwrap_or_else(|e| e.into_inner());
+        }
         g.append(recs);
+        recs.clear();
     }
 }
 

@@ -10,9 +10,25 @@
 use crate::client::{Client, Reply};
 use crate::json::Value;
 use crate::server::connect;
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::time::Duration;
 use wet_core::fault::{drill_schedule, DrillClient, FaultRng};
+
+/// Per-misbehaving-client-category outcome row: what happened to the
+/// requests each kind of hostile client managed to send.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CategoryRow {
+    /// Clients of this kind that ran.
+    pub sent: u64,
+    /// Replies that carried a result.
+    pub ok: u64,
+    /// Replies that carried a typed error.
+    pub typed_error: u64,
+    /// Connections dropped or errored at the transport level (the
+    /// correct fate for most hostile variants).
+    pub killed: u64,
+}
 
 /// Outcome counts from one drill run.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -30,12 +46,30 @@ pub struct DrillReport {
     pub conns_dropped: u64,
     /// True if the server answered a ping after the whole schedule.
     pub survived: bool,
+    /// Outcomes broken down by misbehaving-client kind.
+    pub by_kind: BTreeMap<&'static str, CategoryRow>,
 }
 
 impl DrillReport {
     /// Total requests that terminated (with answer or typed error).
     pub fn terminated(&self) -> u64 {
         self.ok + self.deadline + self.cancelled + self.shed + self.other_errors
+    }
+
+    fn typed_errors(&self) -> u64 {
+        self.deadline + self.cancelled + self.shed + self.other_errors
+    }
+}
+
+/// Stable display name of a drill client kind.
+pub fn kind_name(c: &DrillClient) -> &'static str {
+    match c {
+        DrillClient::SlowLoris { .. } => "slow_loris",
+        DrillClient::MidFrameCut { .. } => "mid_frame_cut",
+        DrillClient::GarbageFrame { .. } => "garbage_frame",
+        DrillClient::HugeLength => "huge_length",
+        DrillClient::DeadlineStorm { .. } => "deadline_storm",
+        DrillClient::CancelRace { .. } => "cancel_race",
     }
 }
 
@@ -191,7 +225,21 @@ pub fn run_drill(addr: &str, seed: u64, n: usize) -> DrillReport {
             scope.spawn(move || {
                 let mut local = DrillReport::default();
                 for client in batch {
+                    // Attribute whatever this client provoked to its
+                    // category by diffing the totals around the run.
+                    let (ok0, typed0, killed0) =
+                        (local.ok, local.typed_errors(), local.conns_dropped);
                     run_client(addr, client, &mut local);
+                    let (d_ok, d_typed, d_killed) = (
+                        local.ok - ok0,
+                        local.typed_errors() - typed0,
+                        local.conns_dropped - killed0,
+                    );
+                    let row = local.by_kind.entry(kind_name(client)).or_default();
+                    row.sent += 1;
+                    row.ok += d_ok;
+                    row.typed_error += d_typed;
+                    row.killed += d_killed;
                 }
                 let mut r = shared.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                 r.ok += local.ok;
@@ -200,6 +248,13 @@ pub fn run_drill(addr: &str, seed: u64, n: usize) -> DrillReport {
                 r.shed += local.shed;
                 r.other_errors += local.other_errors;
                 r.conns_dropped += local.conns_dropped;
+                for (k, row) in local.by_kind {
+                    let dst = r.by_kind.entry(k).or_default();
+                    dst.sent += row.sent;
+                    dst.ok += row.ok;
+                    dst.typed_error += row.typed_error;
+                    dst.killed += row.killed;
+                }
             });
         }
     });

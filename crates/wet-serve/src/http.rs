@@ -1,0 +1,115 @@
+//! A deliberately minimal HTTP/1.1 surface for operational scraping:
+//! `GET /metrics` (Prometheus text format), `GET /healthz` (process
+//! liveness) and `GET /readyz` (503 while draining). This is not a web
+//! server — one request per connection, GET only, no keep-alive — just
+//! enough for a scraper or a load balancer health check, with zero new
+//! dependencies.
+//!
+//! The listener runs on its own thread, separate from the query
+//! protocol listener, so a wedged engine never blocks a health probe
+//! and the probe port can be firewalled differently from the data
+//! port.
+
+use crate::server::Server;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Largest request head we will buffer before giving up on a client.
+const MAX_HEAD: usize = 8 * 1024;
+
+/// Binds `addr` (e.g. `127.0.0.1:9920`) for the metrics endpoint.
+pub fn bind_metrics(addr: &str) -> io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}
+
+/// Serves scrape requests until `stop` flips. Returns the join handle;
+/// the caller owns `stop` and sets it after the main serve loop exits.
+pub fn spawn_metrics(
+    server: Server,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        listener.set_nonblocking(true).ok();
+        while !stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((conn, _)) => {
+                    // Scrapes are rare and tiny; serve inline so a
+                    // misbehaving prober can't spawn threads at us.
+                    let _ = answer(conn, &server);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    })
+}
+
+fn answer(mut conn: TcpStream, server: &Server) -> io::Result<()> {
+    conn.set_read_timeout(Some(Duration::from_millis(500))).ok();
+    conn.set_write_timeout(Some(Duration::from_millis(500))).ok();
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    loop {
+        let n = conn.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > MAX_HEAD {
+            break;
+        }
+    }
+    let line = String::from_utf8_lossy(&head);
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, reason, body): (u16, &str, String) = if method != "GET" {
+        (405, "Method Not Allowed", "method not allowed\n".into())
+    } else {
+        match path {
+            "/metrics" => (200, "OK", wet_obs::snapshot().render_prometheus()),
+            "/healthz" => (200, "OK", "ok\n".into()),
+            "/readyz" => {
+                if server.draining() {
+                    (503, "Service Unavailable", "draining\n".into())
+                } else {
+                    (200, "OK", "ready\n".into())
+                }
+            }
+            _ => (404, "Not Found", "not found\n".into()),
+        }
+    };
+    let resp = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    conn.write_all(resp.as_bytes())
+}
+
+/// One-shot HTTP GET — the client half, for `wet scrape` and tests.
+/// Returns `(status, body)`.
+pub fn http_get(addr: &str, path: &str) -> io::Result<(u16, String)> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.set_read_timeout(Some(Duration::from_secs(2))).ok();
+    let req = format!("GET {path} HTTP/1.1\r\nHost: wet\r\nConnection: close\r\n\r\n");
+    conn.write_all(req.as_bytes())?;
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let body = match text.find("\r\n\r\n") {
+        Some(i) => text[i + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}

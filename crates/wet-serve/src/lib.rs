@@ -25,14 +25,23 @@
 //!
 //! Module map: [`json`] (deterministic document model), [`proto`]
 //! (length-prefixed framing), [`server`] (daemon), [`client`]
-//! (retrying client), [`drill`] (misbehaving-client fault harness).
+//! (retrying client), [`drill`] (misbehaving-client fault harness),
+//! [`access`] (rotating structured request logs), [`flight`]
+//! (lock-free in-memory flight recorder), [`http`] (metrics/health
+//! scrape endpoint).
 
+pub mod access;
 pub mod client;
 pub mod drill;
+pub mod flight;
+pub mod http;
 pub mod json;
 pub mod proto;
 pub mod server;
 
+pub use access::{AccessRecord, RotatingLog, DEFAULT_LOG_MAX_BYTES};
 pub use client::{Client, Reply};
 pub use drill::{run_drill, DrillReport};
+pub use flight::{Flight, FlightEvent, FlightKind, FLIGHT_SLOTS};
+pub use http::{bind_metrics, http_get, spawn_metrics};
 pub use server::{bind, connect, Listener, Server, ServeOptions, Stream, DEFAULT_TRACE};

@@ -23,16 +23,18 @@
 //! admission quotas layer on `--max-active`: a tenant at its cap gets
 //! an immediate retriable shed without consuming queue capacity.
 
+use crate::access::{AccessRecord, RotatingLog};
+use crate::flight::{Flight, FlightKind};
 use crate::json::{self, Value};
 use crate::proto::{self, FrameReader, Poll};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{self, Read, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
-use wet_core::query::{self, Ctl, QueryErr};
+use wet_core::query::{self, Ctl, QueryErr, ReqTrace};
 use wet_core::store::{resolve_under, sections_for_op, StoreErr, StoreOptions, StoredTrace, TraceStore};
 use wet_core::Wet;
 use wet_ir::{Program, StmtId};
@@ -64,6 +66,23 @@ pub struct ServeOptions {
     /// (0 = no per-tenant limit). A tenant at its cap is shed
     /// immediately with a retriable error.
     pub tenant_active: usize,
+    /// Structured access log (one JSON line per completed request);
+    /// `None` disables it.
+    pub access_log: Option<PathBuf>,
+    /// Size-based rotation threshold for the access and slow logs.
+    pub access_log_max_bytes: u64,
+    /// Slow-query log (full span tree for requests over `slow_ms`);
+    /// `None` disables it.
+    pub slow_log: Option<PathBuf>,
+    /// Requests whose end-to-end time exceeds this many milliseconds
+    /// go to the slow log. `None` disables the slow path entirely.
+    pub slow_ms: Option<u64>,
+    /// Where flight-recorder dumps land (on panic, SIGUSR1, or a
+    /// `dump-flight` op). `None` keeps dumps response-only.
+    pub flight_dump: Option<PathBuf>,
+    /// Enables fault-injection ops (`debug_panic`) for drills and
+    /// tests. Never enable on a production daemon.
+    pub debug_ops: bool,
 }
 
 impl Default for ServeOptions {
@@ -77,6 +96,12 @@ impl Default for ServeOptions {
             store_root: None,
             store_budget: 0,
             tenant_active: 0,
+            access_log: None,
+            access_log_max_bytes: crate::access::DEFAULT_LOG_MAX_BYTES,
+            slow_log: None,
+            slow_ms: None,
+            flight_dump: None,
+            debug_ops: false,
         }
     }
 }
@@ -122,6 +147,46 @@ impl Counters {
     }
 }
 
+/// The ops the daemon tracks latency for, individually. Anything else
+/// (unknown ops, unparseable frames) lands in the `other` bucket.
+const OPS: [&str; 13] = [
+    "ping",
+    "stats",
+    "shutdown",
+    "open",
+    "close",
+    "list",
+    "dump-flight",
+    "cf_trace",
+    "value_trace",
+    "address_trace",
+    "slice",
+    "debug_panic",
+    "other",
+];
+
+/// Per-op latency histograms, interned once at construction so the
+/// per-request cost is one atomic histogram record. The handles live
+/// in the wet-obs registry, so the same numbers surface in `stats`,
+/// `wet top`, and the Prometheus scrape without a second bookkeeping
+/// path.
+struct OpLat {
+    hists: Vec<(&'static str, wet_obs::LiveHist)>,
+}
+
+impl OpLat {
+    fn new() -> OpLat {
+        OpLat {
+            hists: OPS.iter().map(|&o| (o, wet_obs::hist_handle("serve.op_latency_us", o))).collect(),
+        }
+    }
+
+    fn get(&self, op: &str) -> &wet_obs::LiveHist {
+        let i = OPS.iter().position(|&o| o == op).unwrap_or(OPS.len() - 1);
+        &self.hists[i].1
+    }
+}
+
 /// Admission state: executing and queued request counts, plus
 /// per-tenant executing counts when quotas are on.
 #[derive(Debug, Default)]
@@ -143,10 +208,22 @@ struct Shared {
     adm: Admission,
     draining: AtomicBool,
     counters: Counters,
+    start: Instant,
+    flight: Flight,
+    access: Option<RotatingLog>,
+    slow: Option<RotatingLog>,
+    oplat: OpLat,
+    /// Completed data-plane requests per tenant (the anonymous tenant
+    /// shows as `-`). Control-plane ops don't count — `wet top` shows
+    /// who is *querying*, not who is pinging.
+    tenants: Mutex<BTreeMap<String, u64>>,
 }
 
 /// SIGTERM latch, set asynchronously by the signal handler.
 static TERM: AtomicBool = AtomicBool::new(false);
+
+/// SIGUSR1 latch: an operator asked for a flight-recorder dump.
+static USR1: AtomicBool = AtomicBool::new(false);
 
 /// Installs a SIGTERM handler that requests a graceful drain. Uses the
 /// C `signal(2)` entry point directly — std links libc anyway and the
@@ -168,6 +245,26 @@ fn install_sigterm() {
 #[cfg(not(unix))]
 fn install_sigterm() {}
 
+/// Installs a SIGUSR1 handler that requests a flight-recorder dump on
+/// the next accept-loop tick (the handler itself only flips a latch —
+/// nothing async-signal-unsafe runs in signal context).
+#[cfg(unix)]
+fn install_sigusr1() {
+    extern "C" fn on_usr1(_sig: std::os::raw::c_int) {
+        USR1.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: std::os::raw::c_int, handler: usize) -> usize;
+    }
+    const SIGUSR1: std::os::raw::c_int = 10;
+    unsafe {
+        signal(SIGUSR1, on_usr1 as extern "C" fn(std::os::raw::c_int) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigusr1() {}
+
 /// The query daemon. Cheap to clone (shared state behind an `Arc`);
 /// [`handle_frame`](Server::handle_frame) is the in-process loopback
 /// transport the benches use, [`serve`](Server::serve) the socket one.
@@ -187,6 +284,37 @@ fn lock_write(wet: &RwLock<Wet>) -> std::sync::RwLockWriteGuard<'_, Wet> {
 /// The trace id requests that name no `trace` route to (the
 /// single-trace compatibility path).
 pub const DEFAULT_TRACE: &str = "default";
+
+/// Per-request operational state threaded through the pipeline: the
+/// access-log record being assembled, the optional request-scoped
+/// span, and whether the request panicked.
+struct ReqMeta {
+    rec: AccessRecord,
+    trace: Option<Arc<ReqTrace>>,
+    panicked: bool,
+}
+
+impl ReqMeta {
+    fn new(bytes_in: u64) -> ReqMeta {
+        ReqMeta {
+            rec: AccessRecord { op: "?".into(), bytes_in, ..Default::default() },
+            trace: None,
+            panicked: false,
+        }
+    }
+
+    /// Sets the request outcome — the single source for both the
+    /// counter bump and the access-log `outcome` field.
+    fn outcome(&mut self, kind: &str) {
+        self.rec.outcome = kind.to_owned();
+    }
+}
+
+/// An error return that also stamps the outcome on the request record.
+fn fail(meta: &mut ReqMeta, id: u64, kind: &str, retriable: bool, msg: &str) -> Vec<u8> {
+    meta.outcome(kind);
+    proto::err_response(id, kind, retriable, msg)
+}
 
 impl Server {
     /// Builds a server over one eagerly-loaded WET, stored as the
@@ -211,6 +339,17 @@ impl Server {
             budget_bytes: opts.store_budget,
             use_mmap: true,
         });
+        // Log files that fail to open disable that log rather than
+        // refuse to serve; the CLI pre-validates the paths so an
+        // operator typo still fails fast with an I/O exit code.
+        let access = opts
+            .access_log
+            .as_deref()
+            .and_then(|p| RotatingLog::open(p, opts.access_log_max_bytes).ok());
+        let slow = opts
+            .slow_log
+            .as_deref()
+            .and_then(|p| RotatingLog::open(p, opts.access_log_max_bytes).ok());
         Server {
             shared: Arc::new(Shared {
                 store,
@@ -218,6 +357,12 @@ impl Server {
                 adm: Admission::default(),
                 draining: AtomicBool::new(false),
                 counters: Counters::default(),
+                start: Instant::now(),
+                flight: Flight::new(),
+                access,
+                slow,
+                oplat: OpLat::new(),
+                tenants: Mutex::new(BTreeMap::new()),
             }),
         }
     }
@@ -229,7 +374,9 @@ impl Server {
 
     /// Starts a graceful drain: stop admitting, finish in-flight work.
     pub fn begin_drain(&self) {
-        self.shared.draining.store(true, Ordering::SeqCst);
+        if !self.shared.draining.swap(true, Ordering::SeqCst) {
+            self.shared.flight.record(FlightKind::Drain, 0, "drain", 0);
+        }
         self.shared.adm.cv.notify_all();
     }
 
@@ -247,27 +394,80 @@ impl Server {
     }
 
     /// Parses and executes one request, producing the response payload.
+    ///
+    /// This wrapper owns the request's operational record: timing, the
+    /// single outcome bump, flight-recorder events, per-op latency,
+    /// the access-log line, and the slow-query log. The invariant the
+    /// drill harness asserts lives here — **every call produces
+    /// exactly one outcome bump and (when logging is on) exactly one
+    /// access-log line**, no matter which path the request takes.
     fn process(&self, payload: &[u8], cancel: &Arc<AtomicBool>) -> Vec<u8> {
+        let sh = &*self.shared;
+        let t0 = Instant::now();
+        let mut meta = ReqMeta::new(payload.len() as u64);
+        let resp = self.process_inner(payload, cancel, &mut meta);
+        meta.rec.total_us = t0.elapsed().as_micros() as u64;
+        meta.rec.bytes_out = resp.len() as u64;
+        sh.counters.bump(&meta.rec.outcome);
+        sh.oplat.get(&meta.rec.op).record(meta.rec.total_us);
+        sh.flight.record(
+            if meta.panicked { FlightKind::ReqPanic } else { FlightKind::ReqDone },
+            meta.rec.id,
+            &meta.rec.outcome,
+            meta.rec.total_us,
+        );
+        if let Some(rt) = &meta.trace {
+            let (events, dropped) = rt.events();
+            for e in &events {
+                match e.name {
+                    "cache.hits" => meta.rec.cache_hits += e.n,
+                    "cache.misses" => meta.rec.cache_misses += e.n,
+                    _ => {}
+                }
+            }
+            if let (Some(slow), Some(ms)) = (&sh.slow, sh.opts.slow_ms) {
+                if meta.rec.total_us >= ms.saturating_mul(1000) {
+                    let _ = slow.write_line(&meta.rec.to_slow_value(&events, dropped).render());
+                }
+            }
+        }
+        if let Some(access) = &sh.access {
+            let _ = access.write_line(&meta.rec.to_value().render());
+        }
+        if meta.panicked {
+            self.dump_flight("panic");
+        }
+        resp
+    }
+
+    /// The request pipeline proper. Every return path sets the
+    /// outcome on `meta` exactly once (via [`ReqMeta::outcome`] or
+    /// [`fail`]); the wrapper above turns that into the counter bump
+    /// and the log line.
+    fn process_inner(&self, payload: &[u8], cancel: &Arc<AtomicBool>, meta: &mut ReqMeta) -> Vec<u8> {
         let sh = &*self.shared;
         let text = match std::str::from_utf8(payload) {
             Ok(t) => t,
             Err(_) => {
-                sh.counters.bump("bad_request");
+                meta.outcome("bad_request");
                 return proto::err_response(0, "bad_request", false, "frame is not UTF-8");
             }
         };
         let req = match json::parse(text) {
             Ok(v) => v,
             Err(e) => {
-                sh.counters.bump("bad_request");
+                meta.outcome("bad_request");
                 return proto::err_response(0, "bad_request", false, &format!("bad JSON: {e}"));
             }
         };
         let id = req.get("id").and_then(Value::as_u64).unwrap_or(0);
+        meta.rec.id = id;
         let Some(op) = req.get("op").and_then(Value::as_str).map(str::to_owned) else {
-            sh.counters.bump("bad_request");
+            meta.outcome("bad_request");
             return proto::err_response(id, "bad_request", false, "missing `op`");
         };
+        meta.rec.op = op.clone();
+        sh.flight.record(FlightKind::ReqStart, id, &op, 0);
 
         // Control-plane ops answer without admission: health stays
         // observable under full load and during drain. `open` runs its
@@ -275,21 +475,25 @@ impl Server {
         // a hostile path never reaches the queue.
         match op.as_str() {
             "ping" => {
-                sh.counters.bump("ok");
+                meta.outcome("ok");
                 return proto::ok_response(id, Value::Str("pong".into()));
             }
             "stats" => {
-                sh.counters.bump("ok");
+                meta.outcome("ok");
                 return proto::ok_response(id, self.stats_value());
             }
             "shutdown" => {
                 self.begin_drain();
-                sh.counters.bump("ok");
+                meta.outcome("ok");
                 return proto::ok_response(id, Value::Str("draining".into()));
             }
-            "open" => return self.op_open(id, &req),
-            "close" => return self.op_close(id, &req),
-            "list" => return self.op_list(id),
+            "dump-flight" => {
+                meta.outcome("ok");
+                return proto::ok_response(id, self.dump_flight("op"));
+            }
+            "open" => return self.op_open(id, &req, meta),
+            "close" => return self.op_close(id, &req, meta),
+            "list" => return self.op_list(id, meta),
             _ => {}
         }
 
@@ -297,47 +501,62 @@ impl Server {
             .get("deadline_ms")
             .and_then(Value::as_u64)
             .map(|ms| Instant::now() + Duration::from_millis(ms));
-        let ctl = Ctl::with_cancel(cancel.clone(), deadline);
+        let mut ctl = Ctl::with_cancel(cancel.clone(), deadline);
+        // Request-scoped span: only paid for when a log wants it.
+        if sh.access.is_some() || sh.slow.is_some() {
+            let rt = Arc::new(ReqTrace::new());
+            ctl = ctl.traced(rt.clone());
+            meta.trace = Some(rt);
+        }
         let tenant = req.get("tenant").and_then(Value::as_str).unwrap_or("").to_owned();
+        meta.rec.tenant = tenant.clone();
+        {
+            let mut tn = sh.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+            let name = if tenant.is_empty() { "-" } else { tenant.as_str() };
+            *tn.entry(name.to_owned()).or_insert(0) += 1;
+        }
 
-        match self.admit(deadline, &tenant) {
-            Ok(()) => {}
-            Err(e) => {
-                sh.counters.bump(e.kind());
-                let msg = if self.draining() { "server draining".to_string() } else { e.to_string() };
-                return proto::err_response(id, e.kind(), e.is_retriable(), &msg);
-            }
+        let tq = Instant::now();
+        let admitted = self.admit(deadline, &tenant);
+        meta.rec.queue_us = tq.elapsed().as_micros() as u64;
+        if let Err(e) = admitted {
+            meta.outcome(e.kind());
+            let msg = if self.draining() { "server draining".to_string() } else { e.to_string() };
+            return proto::err_response(id, e.kind(), e.is_retriable(), &msg);
         }
         // A request that sat out its whole deadline in the queue fails
         // fast instead of starting doomed work.
+        let te = Instant::now();
         let outcome = match ctl.check() {
             Err(e) => Ok(Err(Wire::Query(e))),
-            Ok(()) => catch_unwind(AssertUnwindSafe(|| self.run_query(&op, &req, &ctl))),
+            Ok(()) => catch_unwind(AssertUnwindSafe(|| self.run_query(&op, &req, &ctl, meta))),
         };
         self.release(&tenant);
+        meta.rec.engine_us = te.elapsed().as_micros() as u64;
         match outcome {
             Ok(Ok(result)) => {
-                sh.counters.bump("ok");
+                meta.outcome("ok");
                 proto::ok_response(id, result)
             }
             Ok(Err(Wire::Query(e))) => {
-                sh.counters.bump(e.kind());
+                meta.outcome(e.kind());
                 proto::err_response(id, e.kind(), e.is_retriable(), &e.to_string())
             }
             Ok(Err(Wire::BadRequest(msg))) => {
-                sh.counters.bump("bad_request");
+                meta.outcome("bad_request");
                 proto::err_response(id, "bad_request", false, &msg)
             }
             Ok(Err(Wire::Unavailable(msg))) => {
-                sh.counters.bump("bad_request");
+                meta.outcome("unavailable");
                 proto::err_response(id, "unavailable", false, &msg)
             }
             Ok(Err(Wire::Store(e))) => {
-                sh.counters.bump(e.kind());
+                meta.outcome(e.kind());
                 proto::err_response(id, e.kind(), false, &e.to_string())
             }
             Err(panic) => {
-                sh.counters.bump("panic");
+                meta.outcome("panic");
+                meta.panicked = true;
                 let msg = panic
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())
@@ -348,23 +567,46 @@ impl Server {
         }
     }
 
+    /// Dumps the flight ring: returns the JSON document and, when
+    /// `--flight-dump` is configured, also writes it there.
+    fn dump_flight(&self, trigger: &str) -> Value {
+        let sh = &*self.shared;
+        sh.flight.record(FlightKind::Dump, 0, trigger, 0);
+        let v = sh.flight.dump_value(trigger);
+        if let Some(p) = &sh.opts.flight_dump {
+            let _ = std::fs::write(p, v.render() + "\n");
+        }
+        v
+    }
+
+    /// A rejection that never reaches [`process`](Server::process)
+    /// (the duplicate-id guard) still owes the operational ledger its
+    /// counter bump, flight event, and access-log line — otherwise
+    /// "outcome counters == access-log lines" would drift.
+    fn reject_unprocessed(&self, id: u64, op: &str, kind: &str, msg: &str) -> Vec<u8> {
+        let sh = &*self.shared;
+        sh.counters.bump(kind);
+        sh.flight.record(FlightKind::ReqDone, id, kind, 0);
+        if let Some(access) = &sh.access {
+            let rec = AccessRecord { id, op: op.into(), outcome: kind.into(), ..Default::default() };
+            let _ = access.write_line(&rec.to_value().render());
+        }
+        proto::err_response(id, kind, false, msg)
+    }
+
     /// `open`: resolve the path under the store root (traversal guard),
     /// lazily open the trace, answer with its shape.
-    fn op_open(&self, id: u64, req: &Value) -> Vec<u8> {
+    fn op_open(&self, id: u64, req: &Value, meta: &mut ReqMeta) -> Vec<u8> {
         let sh = &*self.shared;
-        let fail = |kind: &str, retriable: bool, msg: &str| {
-            sh.counters.bump(kind);
-            proto::err_response(id, kind, retriable, msg)
-        };
         let Some(root) = sh.opts.store_root.as_deref() else {
-            return fail("forbidden", false, "no store root configured (serve with --store-root)");
+            return fail(meta, id, "forbidden", false, "no store root configured (serve with --store-root)");
         };
         let Some(rel) = req.get("path").and_then(Value::as_str) else {
-            return fail("bad_request", false, "open needs `path`");
+            return fail(meta, id, "bad_request", false, "open needs `path`");
         };
         let path = match resolve_under(root, rel) {
             Ok(p) => p,
-            Err(e) => return fail(e.kind(), false, &e.to_string()),
+            Err(e) => return fail(meta, id, e.kind(), false, &e.to_string()),
         };
         let trace_id = req
             .get("trace")
@@ -373,9 +615,11 @@ impl Server {
             .or_else(|| Some(path.file_stem()?.to_string_lossy().into_owned()))
             .unwrap_or_else(|| rel.to_owned());
         let tenant = req.get("tenant").and_then(Value::as_str).unwrap_or("");
+        meta.rec.tenant = tenant.to_owned();
         match sh.store.open(&trace_id, tenant, &path, None) {
             Ok(t) => {
-                sh.counters.bump("ok");
+                meta.outcome("ok");
+                meta.rec.trace = trace_id.clone();
                 let wet = lock_read(t.wet());
                 proto::ok_response(
                     id,
@@ -386,33 +630,30 @@ impl Server {
                     ]),
                 )
             }
-            Err(e) => fail(e.kind(), false, &e.to_string()),
+            Err(e) => fail(meta, id, e.kind(), false, &e.to_string()),
         }
     }
 
     /// `close`: drop a trace from the store; in-flight queries finish.
-    fn op_close(&self, id: u64, req: &Value) -> Vec<u8> {
+    fn op_close(&self, id: u64, req: &Value, meta: &mut ReqMeta) -> Vec<u8> {
         let sh = &*self.shared;
         let Some(trace_id) = req.get("trace").and_then(Value::as_str) else {
-            sh.counters.bump("bad_request");
-            return proto::err_response(id, "bad_request", false, "close needs `trace`");
+            return fail(meta, id, "bad_request", false, "close needs `trace`");
         };
+        meta.rec.trace = trace_id.to_owned();
         match sh.store.close(trace_id) {
             Ok(()) => {
-                sh.counters.bump("ok");
+                meta.outcome("ok");
                 proto::ok_response(id, Value::Str("closed".into()))
             }
-            Err(e) => {
-                sh.counters.bump(e.kind());
-                proto::err_response(id, e.kind(), false, &e.to_string())
-            }
+            Err(e) => fail(meta, id, e.kind(), false, &e.to_string()),
         }
     }
 
     /// `list`: every open trace with residency detail, sorted by id.
-    fn op_list(&self, id: u64) -> Vec<u8> {
+    fn op_list(&self, id: u64, meta: &mut ReqMeta) -> Vec<u8> {
         let sh = &*self.shared;
-        sh.counters.bump("ok");
+        meta.outcome("ok");
         let rows = sh
             .store
             .list()
@@ -515,11 +756,21 @@ impl Server {
     /// Executes one data-plane query. Validation errors come back as
     /// `bad_request` — never as panics (the `catch_unwind` above is the
     /// last line of defense, not the error path).
-    fn run_query(&self, op: &str, req: &Value, ctl: &Ctl) -> Result<Value, Wire> {
+    fn run_query(&self, op: &str, req: &Value, ctl: &Ctl, meta: &mut ReqMeta) -> Result<Value, Wire> {
         let sh = &*self.shared;
+        // Fault injection for drills: a real panic on a real worker,
+        // caught by the same catch_unwind that guards queries. Gated
+        // so a production daemon never exposes it.
+        if op == "debug_panic" {
+            if sh.opts.debug_ops {
+                panic!("debug_panic requested by client");
+            }
+            return Err(Wire::BadRequest("unknown op `debug_panic`".into()));
+        }
         let threads = sh.opts.threads;
         let strict = req.get("strict").and_then(Value::as_bool).unwrap_or(true);
         let trace_id = req.get("trace").and_then(Value::as_str).unwrap_or(DEFAULT_TRACE);
+        meta.rec.trace = trace_id.to_owned();
         let trace = sh
             .store
             .get(trace_id)
@@ -528,7 +779,9 @@ impl Server {
         // the query's lifetime. A CRC-bad lazy section surfaces here as
         // a typed corrupt error on first touch — except for degraded
         // queries, which by contract answer from whatever survives.
-        let _pin = match sh.store.ensure(&trace, sections_for_op(op)) {
+        let needs = sections_for_op(op);
+        meta.rec.store_hit = trace.sections_resident(needs);
+        let _pin = match sh.store.ensure(&trace, needs) {
             Ok(p) => Some(p),
             Err(StoreErr::Corrupt(_)) if !strict => None,
             Err(e) => return Err(Wire::Store(e)),
@@ -633,7 +886,38 @@ impl Server {
             ("active", Value::Int(active as i64)),
             ("queued", Value::Int(queued as i64)),
             ("draining", Value::Bool(self.draining())),
+            ("uptime_ms", Value::Int(sh.start.elapsed().as_millis() as i64)),
         ];
+        let mut ops = Vec::new();
+        for (name, h) in &sh.oplat.hists {
+            let hist = h.load();
+            if hist.count == 0 {
+                continue;
+            }
+            ops.push(json::obj(vec![
+                ("op", Value::Str((*name).into())),
+                ("count", Value::Int(hist.count.min(i64::MAX as u64) as i64)),
+                ("p50_us", Value::Int(hist.percentile(50.0).min(i64::MAX as u64) as i64)),
+                ("p99_us", Value::Int(hist.percentile(99.0).min(i64::MAX as u64) as i64)),
+            ]));
+        }
+        pairs.push(("ops", Value::Arr(ops)));
+        {
+            let tn = sh.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+            pairs.push((
+                "tenants",
+                Value::Arr(
+                    tn.iter()
+                        .map(|(t, n)| {
+                            json::obj(vec![
+                                ("tenant", Value::Str(t.clone())),
+                                ("requests", Value::Int((*n).min(i64::MAX as u64) as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
         if let Some(t) = sh.store.get(DEFAULT_TRACE) {
             let wet = lock_read(t.wet());
             pairs.push(("nodes", Value::Int(wet.nodes().len() as i64)));
@@ -660,9 +944,13 @@ impl Server {
     /// ones are shed, idle connections close — and returns.
     pub fn serve(&self, listener: Listener) -> io::Result<()> {
         install_sigterm();
+        install_sigusr1();
         listener.set_nonblocking(true)?;
         let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !self.draining() {
+            if USR1.swap(false, Ordering::SeqCst) {
+                self.dump_flight("sigusr1");
+            }
             match listener.accept() {
                 Ok(stream) => {
                     let srv = self.clone();
@@ -712,6 +1000,7 @@ impl Server {
                         let started = *stall_started.get_or_insert_with(Instant::now);
                         if started.elapsed() > stall_budget {
                             wet_obs::counter_add("serve.conns_dropped_slow", "", 1);
+                            self.shared.flight.record(FlightKind::ConnDrop, 0, "slow", 0);
                             break;
                         }
                     } else {
@@ -770,10 +1059,9 @@ impl Server {
                 {
                     let mut inf = inflight.lock().unwrap_or_else(PoisonError::into_inner);
                     if inf.contains_key(&id) {
-                        self.shared.counters.bump("bad_request");
-                        let resp =
-                            proto::err_response(id, "bad_request", false, "duplicate in-flight id");
                         drop(inf);
+                        let op = req.get("op").and_then(Value::as_str).unwrap_or("?");
+                        let resp = self.reject_unprocessed(id, op, "bad_request", "duplicate in-flight id");
                         write_response(writer, &resp);
                         return;
                     }
