@@ -89,6 +89,50 @@ cargo run -q --release --offline --locked -p wet-cli -- fsck "$fsck_dir/shed.wet
 echo "==> checkpoint/resume determinism (workloads x threads x crash points)"
 cargo test -q --offline --locked --test capture_resume
 
+echo "==> replay gate: golden corpus, NDET divergence, torn-record resume"
+wet=./target/release/wet
+# Every checked-in golden recording must replay byte-identically —
+# sealed trace bytes and observable stdout — across engine thread
+# counts 1/2/4/8.
+"$wet" replay golden --check
+# Flipping one recorded NDET value is a *divergence*: typed, reported
+# with the first divergent timestamp, documented exit code 6 — never
+# a panic.
+flip_status=0
+"$wet" replay golden/envgate --flip-ndet 0 > /dev/null 2>&1 || flip_status=$?
+if [ "$flip_status" -ne 6 ]; then
+    echo "replay with a flipped NDET value: expected exit 6, got $flip_status" >&2
+    exit 1
+fi
+# Mutating the recording on disk is *corrupt* (exit 3): the strict
+# container read rejects the damaged NDET stream before any diffing.
+replay_dir="$fsck_dir/replay"
+mkdir -p "$replay_dir"
+cp -r golden/envgate "$replay_dir/mut"
+sz=$(wc -c < "$replay_dir/mut/trace.wetz")
+printf '\125' | dd of="$replay_dir/mut/trace.wetz" bs=1 seek=$((sz / 2)) conv=notrunc 2> /dev/null
+mut_status=0
+"$wet" replay "$replay_dir/mut" > /dev/null 2>&1 || mut_status=$?
+if [ "$mut_status" -ne 3 ]; then
+    echo "replay of a mutated recording: expected exit 3, got $mut_status" >&2
+    exit 1
+fi
+# Torn capture mid-record (exit 4), resume by rerunning the same
+# command, then replay: the re-recorded trace and stdout must be
+# byte-identical to the checked-in fixture.
+torn_status=0
+WET_CRASH_AT=2 WET_CRASH_MODE=torn:41 \
+    "$wet" record envgate --dir "$replay_dir/torn" --seed 1229 --interval 16 \
+    > /dev/null 2>&1 || torn_status=$?
+if [ "$torn_status" -ne 4 ]; then
+    echo "record under simulated crash: expected exit 4, got $torn_status" >&2
+    exit 1
+fi
+"$wet" record envgate --dir "$replay_dir/torn" --seed 1229 --interval 16 > /dev/null
+"$wet" replay "$replay_dir/torn" > /dev/null
+cmp golden/envgate/trace.wetz "$replay_dir/torn/trace.wetz"
+cmp golden/envgate/stdout "$replay_dir/torn/stdout"
+
 echo "==> serve gate: daemon lifecycle, typed errors, fault drill, SIGTERM drain"
 wet=./target/release/wet
 serve_dir="$fsck_dir/serve"
@@ -123,7 +167,7 @@ fi
 # The seeded misbehaving-client drill (slow-loris, mid-frame cuts,
 # garbage frames, hostile lengths, deadline storms, cancel races):
 # exit 0 means the server answered a health probe afterwards.
-"$wet" drill --remote "$sock" --seed 1229 --count 24 > /dev/null
+"$wet" drill --remote "$sock" --seed 1229 --count 24 --idle 150 > /dev/null
 "$wet" query ping --remote "$sock" > /dev/null
 # Graceful drain: SIGTERM finishes in-flight work and exits 0.
 kill -TERM "$serve_pid"

@@ -19,6 +19,9 @@ pub const EXIT_IO: u8 = 4;
 /// Exit code for a query that could not complete (deadline, cancelled,
 /// shed under overload).
 pub const EXIT_UNAVAILABLE: u8 = 5;
+/// Exit code for a replay that did not reproduce its recording (trace,
+/// observable output, or NDET stream mismatch).
+pub const EXIT_DIVERGENCE: u8 = 6;
 
 /// An error carrying its documented exit code.
 #[derive(Debug)]
@@ -36,7 +39,7 @@ impl fmt::Display for CliError {
 
 impl Error for CliError {}
 
-fn fail(code: u8, msg: impl Into<String>) -> Box<dyn Error> {
+pub(crate) fn fail(code: u8, msg: impl Into<String>) -> Box<dyn Error> {
     Box::new(CliError { code, msg: msg.into() })
 }
 
@@ -51,7 +54,7 @@ fn query_fail(e: query::QueryErr) -> Box<dyn Error> {
 }
 
 /// Classifies a std I/O error: corrupt data vs. plumbing failure.
-fn io_fail(context: &str, e: &std::io::Error) -> Box<dyn Error> {
+pub(crate) fn io_fail(context: &str, e: &std::io::Error) -> Box<dyn Error> {
     let code = match e.kind() {
         std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof => EXIT_CORRUPT,
         _ => EXIT_IO,
@@ -85,6 +88,10 @@ usage:
   wet info <file.wetz>
   wet capture <file.wet> --dir DIR [--inputs 1,2,3] [--budget N] [--interval N]
   wet seal <DIR> -o out.wetz [--threads N] [--tier1]
+  wet record <file.wet|ndet-workload> --dir DIR [--inputs 1,2,3] [--seed N]
+             [--interval N] [--threads N]
+  wet replay <DIR> [--threads N] [--flip-ndet I]
+  wet replay <GOLDEN-ROOT> --check [--threads N]
   wet fsck <file.wetz|DIR> [--repair out.wetz]
   wet serve [file.wetz|DIR] --listen ADDR [--program file.wet]
             [--max-active N] [--queue N] [--cache-budget N] [--threads N]
@@ -95,11 +102,12 @@ usage:
   wet query <op> --remote ADDR [--stmt N] [--node N] [--k N] [--backward]
             [--degraded] [--no-control] [--deadline-ms N] [--retries N]
             [--trace ID] [--tenant NAME] [--path REL]
-  wet drill --remote ADDR [--seed N] [--count N] [--access-log PATH]
+  wet drill --remote ADDR [--seed N] [--count N] [--idle N] [--access-log PATH]
   wet top --remote ADDR [--interval-ms N] [--iters N]
   wet scrape <host:port> [path]
       names: go-like gcc-like li-like gzip-like mcf-like parser-like
              vortex-like bzip2-like twolf-like
+      ndet workloads (record): envgate argmix stream
       --threads N: worker threads for tier-2 compression
                    (default 1; 0 = all cores; output is identical)
       --profile[=pretty|json|prom]: record spans + metrics for the run.
@@ -128,6 +136,21 @@ usage:
       seal: merge a finished capture DIR into a normal .wetz container
             — byte-identical to `wet trace --save` of an uninterrupted
             run (shed value streams excepted).
+      record: capture one deterministic run — program, inputs, scripted
+            external world, NDET record stream, sealed trace, and
+            observable output — into a self-contained DIR. Targets are
+            a .wet file or one of the ndet workloads (whose scripted
+            world derives from --seed). SIGINT checkpoints cleanly
+            (exit 0) and rerunning the command resumes; a crashed
+            record resumes the same way.
+      replay: re-execute a recording feeding the recorded NDET values
+            back, then byte-diff the rebuilt trace and the observable
+            output against the recording. Any mismatch is a typed
+            divergence (exit 6) reporting the first divergent
+            timestamp. --flip-ndet I xors recorded value I first (a
+            divergence-injection drill). With --check the argument is
+            a golden-corpus root: every recording under it is replayed
+            at engine thread counts {1,2,4,8}.
       serve: long-running query daemon over a sealed trace (or a
             finished capture DIR, sealed in memory). ADDR with a `:` is
             TCP, otherwise a unix-socket path. --max-active bounds
@@ -160,6 +183,9 @@ usage:
             it survives. With --access-log PATH (the server's access
             log on a shared filesystem) additionally audits that
             every completed request was logged exactly once.
+            With --idle N additionally parks N accepted-but-silent
+            connections and asserts live probes (ping + cf_trace)
+            still answer within a 2 s budget while the storm holds.
       observability (serve): --metrics-listen ADDR answers plain-HTTP
             GET /metrics (Prometheus text), /healthz and /readyz
             (503 while draining) on a second listener. --access-log
@@ -188,7 +214,9 @@ exit codes:
   4  I/O failure (missing, unreadable, or unwritable file; capture:
      a durable write failed or a simulated crash fired)
   5  query could not complete (deadline exceeded, cancelled, or shed
-     under overload; drill: the server did not survive)";
+     under overload; drill: the server did not survive)
+  6  replay diverged from its recording (trace, observable output, or
+     ndet stream mismatch)";
 
 /// In `--profile=json|prom` mode the profile document owns stdout and
 /// the human-readable report moves to stderr.
@@ -203,6 +231,16 @@ macro_rules! say {
     ($($arg:tt)*) => {
         if stderr_report() { eprintln!($($arg)*) } else { println!($($arg)*) }
     };
+}
+
+/// One-line output respecting [`STDERR_REPORT`], for sibling modules
+/// that cannot see the `say!` macro.
+pub(crate) fn say_line(args: fmt::Arguments<'_>) {
+    if stderr_report() {
+        eprintln!("{args}");
+    } else {
+        println!("{args}");
+    }
 }
 
 /// Multi-line (`print!`-style) counterpart of `say!`.
@@ -223,49 +261,52 @@ enum Profile {
 }
 
 /// Parsed common flags.
-struct Flags {
-    inputs: Vec<i64>,
-    tier1: bool,
-    node: Option<u32>,
-    stmt: Option<u32>,
-    target: u64,
-    max: usize,
-    no_control: bool,
-    save: Option<String>,
-    repair: Option<String>,
-    threads: usize,
-    dir: Option<String>,
-    out: Option<String>,
-    budget: u64,
-    interval: u64,
-    listen: Option<String>,
-    remote: Option<String>,
-    program: Option<String>,
-    max_active: usize,
-    queue: usize,
-    cache_budget: u64,
-    store_root: Option<String>,
-    store_budget: u64,
-    tenant_active: usize,
-    trace: Option<String>,
-    tenant: Option<String>,
-    path: Option<String>,
-    deadline_ms: Option<u64>,
-    retries: u32,
-    k: Option<u32>,
-    backward: bool,
-    degraded: bool,
-    seed: u64,
-    count: usize,
-    metrics_listen: Option<String>,
-    access_log: Option<String>,
-    access_log_max_bytes: u64,
-    slow_ms: Option<u64>,
-    slow_log: Option<String>,
-    flight_dump: Option<String>,
-    debug_ops: bool,
-    interval_ms: u64,
-    iters: usize,
+pub(crate) struct Flags {
+    pub(crate) inputs: Vec<i64>,
+    pub(crate) tier1: bool,
+    pub(crate) node: Option<u32>,
+    pub(crate) stmt: Option<u32>,
+    pub(crate) target: u64,
+    pub(crate) max: usize,
+    pub(crate) no_control: bool,
+    pub(crate) save: Option<String>,
+    pub(crate) repair: Option<String>,
+    pub(crate) threads: usize,
+    pub(crate) dir: Option<String>,
+    pub(crate) out: Option<String>,
+    pub(crate) budget: u64,
+    pub(crate) interval: u64,
+    pub(crate) listen: Option<String>,
+    pub(crate) remote: Option<String>,
+    pub(crate) program: Option<String>,
+    pub(crate) max_active: usize,
+    pub(crate) queue: usize,
+    pub(crate) cache_budget: u64,
+    pub(crate) store_root: Option<String>,
+    pub(crate) store_budget: u64,
+    pub(crate) tenant_active: usize,
+    pub(crate) trace: Option<String>,
+    pub(crate) tenant: Option<String>,
+    pub(crate) path: Option<String>,
+    pub(crate) deadline_ms: Option<u64>,
+    pub(crate) retries: u32,
+    pub(crate) k: Option<u32>,
+    pub(crate) backward: bool,
+    pub(crate) degraded: bool,
+    pub(crate) seed: u64,
+    pub(crate) count: usize,
+    pub(crate) idle: usize,
+    pub(crate) metrics_listen: Option<String>,
+    pub(crate) access_log: Option<String>,
+    pub(crate) access_log_max_bytes: u64,
+    pub(crate) slow_ms: Option<u64>,
+    pub(crate) slow_log: Option<String>,
+    pub(crate) flight_dump: Option<String>,
+    pub(crate) debug_ops: bool,
+    pub(crate) interval_ms: u64,
+    pub(crate) iters: usize,
+    pub(crate) check: bool,
+    pub(crate) flip_ndet: Option<usize>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags> {
@@ -303,6 +344,7 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
         degraded: false,
         seed: 0xd1211,
         count: 24,
+        idle: 0,
         metrics_listen: None,
         access_log: None,
         access_log_max_bytes: wet_serve::DEFAULT_LOG_MAX_BYTES,
@@ -312,6 +354,8 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
         debug_ops: false,
         interval_ms: 1_000,
         iters: 0,
+        check: false,
+        flip_ndet: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -441,6 +485,10 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
                 i += 1;
                 f.count = args.get(i).ok_or("--count needs a value")?.parse()?;
             }
+            "--idle" => {
+                i += 1;
+                f.idle = args.get(i).ok_or("--idle needs a value")?.parse()?;
+            }
             "--metrics-listen" => {
                 i += 1;
                 f.metrics_listen =
@@ -476,6 +524,11 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
                 i += 1;
                 f.iters = args.get(i).ok_or("--iters needs a value")?.parse()?;
             }
+            "--check" => f.check = true,
+            "--flip-ndet" => {
+                i += 1;
+                f.flip_ndet = Some(args.get(i).ok_or("--flip-ndet needs a record index")?.parse()?);
+            }
             other => return Err(format!("unknown flag `{other}`").into()),
         }
         i += 1;
@@ -483,7 +536,7 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
     Ok(f)
 }
 
-fn load(path: &str) -> Result<Program> {
+pub(crate) fn load(path: &str) -> Result<Program> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Ok(parse_program(&text)?)
 }
@@ -510,7 +563,7 @@ fn trace(
 }
 
 /// Reads the `WET_CRASH_AT` / `WET_CRASH_MODE` crash-drill hook.
-fn crash_plan_from_env() -> Result<Option<wet_core::fault::CrashPlan>> {
+pub(crate) fn crash_plan_from_env() -> Result<Option<wet_core::fault::CrashPlan>> {
     use wet_core::fault::{CrashMode, CrashPlan};
     let Ok(at) = std::env::var("WET_CRASH_AT") else {
         return Ok(None);
@@ -577,7 +630,19 @@ fn cmd_capture(src: &str, dir: &std::path::Path, flags: &Flags) -> Result<()> {
     if resuming && cap.resume_ts() > 0 {
         say!("resuming from checkpoint: {} segments, ts {}", cap.segments(), cap.resume_ts());
     }
-    Interp::new(&program, &bl, InterpConfig::default()).run(&inputs, &mut cap)?;
+    crate::replay::arm_sigint();
+    let mut sink = (crate::replay::SigintLatch, &mut cap);
+    match Interp::new(&program, &bl, InterpConfig::default()).run(&inputs, &mut sink) {
+        Ok(_) => {}
+        Err(wet_interp::InterpError::Interrupted { ts }) => {
+            // SIGINT: seal the tail and the manifest as a clean
+            // checkpoint; rerunning the command resumes from it.
+            cap.suspend().map_err(|e| io_fail("checkpoint failed", &e))?;
+            say!("interrupted: checkpoint at ts {ts}; rerun the same command to resume");
+            return Ok(());
+        }
+        Err(e) => return Err(e.into()),
+    }
     let sum = cap.finish().map_err(|e| io_fail("capture failed", &e))?;
     say!(
         "captured: {} segments, peak ~{} B builder memory{}",
@@ -699,7 +764,7 @@ pub fn dispatch(args: &[String]) -> Result<()> {
             .as_ref()
             .err()
             .and_then(|e| e.downcast_ref::<CliError>())
-            .is_some_and(|c| c.code == EXIT_CORRUPT);
+            .is_some_and(|c| c.code == EXIT_CORRUPT || c.code == EXIT_DIVERGENCE);
     if let Some(p) = profile {
         if completed {
             render_profile(p, args.first().map(|s| s.as_str()).unwrap_or("none"))?;
@@ -807,6 +872,17 @@ fn dispatch_cmd(args: &[String]) -> Result<()> {
             let flags = parse_flags(&rest[1..])?;
             let out = flags.out.clone().ok_or("seal requires -o out.wetz")?;
             cmd_seal(std::path::Path::new(dir), &out, &flags)
+        }
+        "record" => {
+            let target = rest.first().ok_or(USAGE)?;
+            let flags = parse_flags(&rest[1..])?;
+            let dir = flags.dir.clone().ok_or("record requires --dir DIR")?;
+            crate::replay::cmd_record(target, std::path::Path::new(&dir), &flags)
+        }
+        "replay" => {
+            let dir = rest.first().ok_or(USAGE)?;
+            let flags = parse_flags(&rest[1..])?;
+            crate::replay::cmd_replay(std::path::Path::new(dir), &flags)
         }
         "info" => {
             let path = rest.first().ok_or(USAGE)?;
@@ -1131,6 +1207,24 @@ fn cmd_drill(flags: &Flags) -> Result<()> {
         return Err(fail(EXIT_UNAVAILABLE, "server did not answer after the drill"));
     }
     say!("server survived");
+    if flags.idle > 0 {
+        let storm = wet_serve::run_idle_storm(
+            &remote,
+            flags.idle,
+            32,
+            std::time::Duration::from_secs(2),
+        );
+        say!(
+            "idle storm: {}/{} silent conns parked: {} probes ({} ok, {} typed, {} failed), worst {} us, {} missed the 2 s budget",
+            storm.idle_connected, storm.idle_target, storm.probes, storm.probe_ok,
+            storm.probe_typed, storm.probe_failed, storm.worst_us, storm.deadline_missed
+        );
+        wet_obs::counter_add("drill.idle_parked", "total", storm.idle_connected as u64);
+        if !storm.clean() {
+            return Err(fail(EXIT_UNAVAILABLE, "live requests missed deadlines under the idle storm"));
+        }
+        say!("live requests met deadlines under the idle storm");
+    }
     if let Some(log) = &flags.access_log {
         audit_access_log(&remote, log)?;
     }
@@ -1305,8 +1399,12 @@ fn print_wet_report(wet: &wet_core::Wet, run: &wet_interp::RunResult) {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
+
+    /// Serializes tests that mutate the process-global `WET_CRASH_AT`
+    /// environment hook (shared with the replay module's tests).
+    pub(crate) static CRASH_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn sample_file() -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("wet-cli-tests");
@@ -1417,6 +1515,7 @@ mod tests {
 
     #[test]
     fn capture_seal_crash_resume_roundtrip() {
+        let _g = CRASH_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let f = sample_file();
         let f = f.to_str().unwrap();
         let dir = std::env::temp_dir().join("wet-cli-tests");

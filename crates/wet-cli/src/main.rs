@@ -18,6 +18,7 @@
 use std::process::ExitCode;
 
 mod cli;
+mod replay;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

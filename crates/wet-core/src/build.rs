@@ -10,13 +10,13 @@
 //! sharing (§3.3).
 
 use crate::graph::{
-    Edge, Group, IntraEdge, LabelSeq, Node, NodeId, NodeStmt, TsMode, Wet, WetConfig, SLOT_CD, SLOT_MEM, SLOT_OP0,
-    SLOT_OP1,
+    Edge, Group, IntraEdge, LabelSeq, NdetRec, Node, NodeId, NodeStmt, TsMode, Wet, WetConfig, SLOT_CD, SLOT_MEM,
+    SLOT_OP0, SLOT_OP1,
 };
 use crate::seq::Seq;
 use crate::sizes::{WetSizes, WetStats};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use wet_interp::{BlockEvent, Producer, StmtEvent, TraceSink};
+use wet_interp::{BlockEvent, NdetEvent, Producer, StmtEvent, TraceSink};
 use wet_ir::ballarus::BallLarus;
 use wet_ir::stmt::StmtKind;
 use wet_ir::{BlockId, FuncId, Program, StmtId, StmtPos};
@@ -139,6 +139,10 @@ pub struct WetBuilder<'p> {
     /// Record per-def values? Cleared when the capture layer sheds
     /// value-profile detail under budget pressure.
     record_values: bool,
+    /// NDET records since the last flush, in consumption order. Never
+    /// gated by `record_values`: nondeterministic inputs are the replay
+    /// contract, so budget shedding must not drop them.
+    ndet: Vec<NdetRec>,
     /// CF pairs inserted since the last flush, in insertion order.
     cf_new: Vec<(NodeId, NodeId)>,
     /// Nodes already described by a flushed segment.
@@ -176,6 +180,9 @@ pub(crate) struct SegmentDelta {
     pub(crate) nonlocal: Vec<(EdgeKey, Vec<(u64, u64)>)>,
     /// CF pairs first observed in this segment, in insertion order.
     pub(crate) cf: Vec<(NodeId, NodeId)>,
+    /// NDET records consumed in this segment, in consumption order
+    /// (recorded even in shed segments).
+    pub(crate) ndet: Vec<NdetRec>,
     /// Counter deltas in [`WetBuilder::stat_vec`] order.
     pub(crate) stats: [u64; 8],
 }
@@ -204,6 +211,7 @@ impl<'p> WetBuilder<'p> {
             orig_cd_stmt_deps: 0,
             block_cd_deps: 0,
             record_values: true,
+            ndet: Vec::new(),
             cf_new: Vec::new(),
             nodes_flushed: 0,
             flushed_ts: 0,
@@ -296,6 +304,7 @@ impl<'p> WetBuilder<'p> {
         nonlocal.sort_by_key(|&(k, _)| k);
 
         let cf = std::mem::take(&mut self.cf_new);
+        let ndet = std::mem::take(&mut self.ndet);
 
         let cur = self.stat_vec();
         let mut stats = [0u64; 8];
@@ -314,6 +323,7 @@ impl<'p> WetBuilder<'p> {
             intra,
             nonlocal,
             cf,
+            ndet,
             stats,
         }
     }
@@ -368,6 +378,7 @@ impl<'p> WetBuilder<'p> {
             }
         }
         if data {
+            self.ndet.extend_from_slice(&d.ndet);
             for (n, vals) in &d.values {
                 let acc = &mut self.accs[NodeId(*n).index()];
                 debug_assert_eq!(acc.values.len(), vals.len());
@@ -611,6 +622,7 @@ impl<'p> WetBuilder<'p> {
         let first = self.first.unwrap_or((NodeId(0), 0));
         Wet {
             config: self.config,
+            ndet: Some(self.ndet),
             nodes: self.nodes,
             node_index: self.node_index,
             edges,
@@ -658,6 +670,13 @@ impl TraceSink for WetBuilder<'_> {
             self.def_execs += 1;
         }
         self.buf.stmts.push(*ev);
+    }
+
+    fn on_ndet(&mut self, ev: &NdetEvent) {
+        // Unconditional: NDET is the replay contract and survives value
+        // shedding (`record_values = false` drops value detail only).
+        self.ndet.push(NdetRec { kind: ev.kind, ts: ev.ts, value: ev.value });
+        self.buffered += 24;
     }
 
     fn on_path_end(&mut self, func: FuncId, path_id: u64, ts: u64) {
@@ -777,7 +796,12 @@ fn build_groups(program: &Program, node: &mut Node, raw_values: Vec<Vec<u64>>, g
             let mut set = BTreeSet::new();
             let mut own_source = false;
             match kind {
-                StmtKind::Load { .. } | StmtKind::In { .. } => {
+                StmtKind::Load { .. }
+                | StmtKind::In { .. }
+                | StmtKind::ReadEnv { .. }
+                | StmtKind::ReadArg { .. }
+                | StmtKind::ReadClock { .. }
+                | StmtKind::ReadInput { .. } => {
                     // The produced value is externally determined.
                     own_source = true;
                 }

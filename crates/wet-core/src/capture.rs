@@ -57,13 +57,13 @@
 use crate::build::{EdgeKey, IntraKey, SegmentDelta, WetBuilder};
 use crate::crc::Crc32;
 use crate::fault::{CrashMode, CrashPlan, FaultRng};
-use crate::graph::{NodeId, Wet, WetConfig};
+use crate::graph::{NdetRec, NodeId, Wet, WetConfig};
 use crate::serial::{cap_count, corrupt, parse_conf, scan_sections, w_section, write_conf_parts, TAG_ENDW};
 use std::fs::{self, File};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
-use wet_interp::{BlockEvent, StmtEvent, TraceSink};
+use wet_interp::{BlockEvent, NdetEvent, NdetKind, StmtEvent, TraceSink};
 use wet_ir::ballarus::BallLarus;
 use wet_ir::{FuncId, Program, StmtId};
 use wet_stream::serial::{r_u32, r_u64, r_u64s, r_u8, w_u32, w_u64, w_u64s, w_u8};
@@ -71,7 +71,10 @@ use wet_stream::serial::{r_u32, r_u64, r_u64s, r_u8, w_u32, w_u64, w_u64s, w_u8}
 const SEG_MAGIC: &[u8; 4] = b"WSEG";
 const MAN_MAGIC: &[u8; 4] = b"WMAN";
 const CONF_MAGIC: &[u8; 4] = b"WCNF";
-const VERSION: u8 = 1;
+/// Log format version. v2 added the SNDT (nondeterminism record)
+/// segment section; v1 logs are refused rather than silently replayed
+/// without their nondeterminism.
+const VERSION: u8 = 2;
 
 /// Segment header: index, timestamp range, shed flag, counter deltas.
 const TAG_SGHD: [u8; 4] = *b"SGHD";
@@ -87,6 +90,8 @@ const TAG_SINT: [u8; 4] = *b"SINT";
 const TAG_SNLE: [u8; 4] = *b"SNLE";
 /// Control-flow pairs first observed in the segment.
 const TAG_SCFE: [u8; 4] = *b"SCFE";
+/// Nondeterministic values consumed in the segment (never shed).
+const TAG_SNDT: [u8; 4] = *b"SNDT";
 /// Manifest body.
 const TAG_MANI: [u8; 4] = *b"MANI";
 /// Capture configuration body.
@@ -206,7 +211,16 @@ fn encode_segment(index: u64, d: &SegmentDelta) -> io::Result<Vec<u8>> {
     w_section(&mut out, TAG_SCFE, &p)?;
 
     p.clear();
-    w_u64(&mut p, 7)?;
+    w_u32(&mut p, d.ndet.len() as u32)?;
+    for rec in &d.ndet {
+        w_u8(&mut p, rec.kind as u8)?;
+        w_u64(&mut p, rec.ts)?;
+        w_u64(&mut p, rec.value as u64)?;
+    }
+    w_section(&mut out, TAG_SNDT, &p)?;
+
+    p.clear();
+    w_u64(&mut p, 8)?;
     w_section(&mut out, TAG_ENDW, &p)?;
     Ok(out)
 }
@@ -226,7 +240,7 @@ fn decode_segment(bytes: &[u8]) -> io::Result<(SegHead, SegmentDelta)> {
     if !scan.is_intact() {
         return Err(corrupt("segment damaged (torn or corrupt section)"));
     }
-    let expect = [TAG_SGHD, TAG_SNOD, TAG_STSQ, TAG_SVAL, TAG_SINT, TAG_SNLE, TAG_SCFE, TAG_ENDW];
+    let expect = [TAG_SGHD, TAG_SNOD, TAG_STSQ, TAG_SVAL, TAG_SINT, TAG_SNLE, TAG_SCFE, TAG_SNDT, TAG_ENDW];
     if scan.entries.len() != expect.len() || scan.entries.iter().zip(expect).any(|(e, t)| e.tag != t) {
         return Err(corrupt("segment sections out of order"));
     }
@@ -340,6 +354,24 @@ fn decode_segment(bytes: &[u8]) -> io::Result<(SegHead, SegmentDelta)> {
         v
     };
 
+    let ndet = {
+        let p = payload(TAG_SNDT)?;
+        let mut r = p.as_slice();
+        let n = cap_count(r_u32(&mut r)? as usize, r.len(), 17, "segment ndet record")?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            let kb = r_u8(&mut r)?;
+            // Fail closed on a newer writer's record kinds: replaying a
+            // value through the wrong source would silently diverge.
+            let kind = NdetKind::from_byte(kb)
+                .ok_or_else(|| corrupt(&format!("unknown NDET record kind {kb}")))?;
+            let ts = r_u64(&mut r)?;
+            let value = r_u64(&mut r)? as i64;
+            v.push(NdetRec { kind, ts, value });
+        }
+        v
+    };
+
     let delta = SegmentDelta {
         start_ts: head.start_ts,
         shed: head.shed,
@@ -349,6 +381,7 @@ fn decode_segment(bytes: &[u8]) -> io::Result<(SegHead, SegmentDelta)> {
         intra,
         nonlocal,
         cf,
+        ndet,
         stats: head.stats,
     };
     Ok((head, delta))
@@ -513,6 +546,10 @@ pub struct Capture<'p> {
     crash: Option<CrashPlan>,
     ops_done: u64,
     peak_bytes: u64,
+    /// NDET records recovered from sealed segments on resume, in
+    /// consumption order — the values the re-executed prefix must be
+    /// fed (via a replay source) so it reproduces the recording.
+    recovered_ndet: Vec<NdetRec>,
 }
 
 impl<'p> Capture<'p> {
@@ -545,6 +582,7 @@ impl<'p> Capture<'p> {
             crash: None,
             ops_done: 0,
             peak_bytes: 0,
+            recovered_ndet: Vec::new(),
         })
     }
 
@@ -562,6 +600,7 @@ impl<'p> Capture<'p> {
         }
         let mut builder = WetBuilder::new(program, bl, config.clone());
         let mut metas: Vec<SegMeta> = Vec::new();
+        let mut recovered_ndet: Vec<NdetRec> = Vec::new();
         let mut last_end = 0u64;
         let mut last_shed = false;
         loop {
@@ -571,6 +610,7 @@ impl<'p> Capture<'p> {
             if head.index != index || head.start_ts != last_end + 1 {
                 break;
             }
+            recovered_ndet.extend_from_slice(&delta.ndet);
             builder.absorb_delta(&delta, false);
             last_end = head.end_ts;
             last_shed = head.shed;
@@ -597,6 +637,7 @@ impl<'p> Capture<'p> {
             crash: None,
             ops_done: 0,
             peak_bytes: 0,
+            recovered_ndet,
         };
         if last_shed {
             cap.shed = true;
@@ -618,6 +659,14 @@ impl<'p> Capture<'p> {
     /// Timestamp up to which this capture was recovered (0 if fresh).
     pub fn resume_ts(&self) -> u64 {
         self.resume_ts
+    }
+
+    /// NDET records recovered from sealed segments (empty if fresh), in
+    /// consumption order. Feed them to the re-executed prefix through a
+    /// [`wet_interp::PrefixSource`] so resume reproduces the original
+    /// nondeterminism exactly.
+    pub fn recovered_ndet(&self) -> &[NdetRec] {
+        &self.recovered_ndet
     }
 
     /// Sealed segments so far.
@@ -656,26 +705,35 @@ impl<'p> Capture<'p> {
         }
     }
 
-    /// Seals the accumulated delta (if any) and replaces the manifest.
-    fn flush(&mut self, finished: bool) -> io::Result<()> {
+    /// Seals the accumulated delta into a segment file, if it covers at
+    /// least one timestamp. Returns whether a segment was written.
+    fn seal_delta(&mut self) -> io::Result<bool> {
         wet_obs::gauge_set("capture.buffered_bytes", "", self.builder.buffered_bytes() as i64);
         let delta = self.builder.take_delta();
-        if !delta.node_by_ts.is_empty() {
-            let index = self.metas.len() as u64;
-            let bytes = encode_segment(index, &delta)?;
-            self.durable_write(&seg_path(&self.dir, index), &bytes, false)?;
-            self.metas.push(SegMeta {
-                index,
-                start_ts: delta.start_ts,
-                end_ts: delta.start_ts + delta.node_by_ts.len() as u64 - 1,
-                shed: delta.shed,
-                file_len: bytes.len() as u64,
-                file_crc: crc_of(&bytes),
-            });
-            self.last_end_ts = self.metas.last().expect("just pushed").end_ts;
-            wet_obs::counter_add("capture.segments_sealed", "", 1);
-            wet_obs::counter_add("capture.bytes_flushed", "", bytes.len() as u64);
-        } else if !finished {
+        if delta.node_by_ts.is_empty() {
+            return Ok(false);
+        }
+        let index = self.metas.len() as u64;
+        let bytes = encode_segment(index, &delta)?;
+        self.durable_write(&seg_path(&self.dir, index), &bytes, false)?;
+        self.metas.push(SegMeta {
+            index,
+            start_ts: delta.start_ts,
+            end_ts: delta.start_ts + delta.node_by_ts.len() as u64 - 1,
+            shed: delta.shed,
+            file_len: bytes.len() as u64,
+            file_crc: crc_of(&bytes),
+        });
+        self.last_end_ts = self.metas.last().expect("just pushed").end_ts;
+        wet_obs::counter_add("capture.segments_sealed", "", 1);
+        wet_obs::counter_add("capture.bytes_flushed", "", bytes.len() as u64);
+        Ok(true)
+    }
+
+    /// Seals the accumulated delta (if any) and replaces the manifest.
+    fn flush(&mut self, finished: bool) -> io::Result<()> {
+        let sealed = self.seal_delta()?;
+        if !sealed && !finished {
             return Ok(());
         }
         self.write_manifest(finished)?;
@@ -683,6 +741,28 @@ impl<'p> Capture<'p> {
             self.maybe_shed();
         }
         Ok(())
+    }
+
+    /// Flushes the tail and durably checkpoints the manifest *without*
+    /// marking the capture finished: the interrupted-capture path
+    /// (SIGINT). The directory is left exactly as if the process had
+    /// crashed right after a clean flush, so [`Capture::resume`] picks
+    /// up where the interrupt landed.
+    pub fn suspend(mut self) -> io::Result<CaptureSummary> {
+        if let Some(e) = self.dead.take() {
+            return Err(e);
+        }
+        self.seal_delta()?;
+        self.write_manifest(false)?;
+        wet_obs::gauge_set("capture.peak_bytes", "", self.peak_bytes as i64);
+        wet_obs::gauge_set("capture.segments", "", self.metas.len() as i64);
+        Ok(CaptureSummary {
+            segments: self.metas.len() as u64,
+            ops_done: self.ops_done,
+            peak_bytes: self.peak_bytes,
+            shed: self.shed,
+            resumed_from: self.resume_ts,
+        })
     }
 
     fn write_manifest(&mut self, finished: bool) -> io::Result<()> {
@@ -750,6 +830,12 @@ impl TraceSink for Capture<'_> {
     fn on_stmt(&mut self, ev: &StmtEvent) {
         if self.dead.is_none() {
             self.builder.on_stmt(ev);
+        }
+    }
+
+    fn on_ndet(&mut self, ev: &NdetEvent) {
+        if self.dead.is_none() {
+            self.builder.on_ndet(ev);
         }
     }
 

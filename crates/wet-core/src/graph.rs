@@ -10,6 +10,7 @@
 use crate::seq::Seq;
 use crate::sizes::{CompressStats, StreamClass, WetSizes, WetStats};
 use std::collections::HashMap;
+use wet_interp::NdetKind;
 use wet_stream::StreamConfig;
 use wet_ir::{BlockId, FuncId, StmtId};
 
@@ -274,6 +275,19 @@ pub struct LabelSeq {
     pub src: Seq,
 }
 
+/// One recorded nondeterministic value: the replay contract. The NDET
+/// stream is the complete list of these in consumption order; feeding
+/// them back through a replay source reproduces the run bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NdetRec {
+    /// Which nondeterministic source produced the value.
+    pub kind: NdetKind,
+    /// Global timestamp of the path execution that consumed it.
+    pub ts: u64,
+    /// The value delivered to the program.
+    pub value: i64,
+}
+
 /// The Whole Execution Trace.
 #[derive(Debug, Clone)]
 pub struct Wet {
@@ -293,6 +307,13 @@ pub struct Wet {
     pub(crate) sizes: WetSizes,
     pub(crate) stats: WetStats,
     pub(crate) tier2: bool,
+    /// The recorded NDET stream in consumption order. `Some(vec)` even
+    /// when empty (the program had no nondeterministic reads);
+    /// `None` only when a salvaging read lost the section — replay is
+    /// then impossible and reports the stream as unavailable. Unlike
+    /// value detail, NDET records are never shed under budget pressure:
+    /// they are the replay contract.
+    pub(crate) ndet: Option<Vec<NdetRec>>,
     /// Byte extents of the container sections this WET was loaded from
     /// (v2 reads only; `None` for built or v1-loaded WETs). Runtime
     /// provenance, never serialized: the lazy trace store and fsck
@@ -379,6 +400,12 @@ impl Wet {
     /// True once [`compress`](Self::compress) has run.
     pub fn is_tier2(&self) -> bool {
         self.tier2
+    }
+
+    /// The recorded NDET stream in consumption order, or `None` when a
+    /// salvaging read lost it (replay is then impossible).
+    pub fn ndet(&self) -> Option<&[NdetRec]> {
+        self.ndet.as_deref()
     }
 
     /// Section extents of the v2 container this WET was read from, if

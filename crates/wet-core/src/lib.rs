@@ -79,8 +79,8 @@ mod sizes;
 pub use build::WetBuilder;
 pub use capture::{Capture, CaptureFsck, CaptureSummary};
 pub use graph::{
-    CaptureConfig, Edge, Group, IntraEdge, LabelSeq, Node, NodeId, NodeStmt, TsMode, Wet, WetConfig, SLOT_CD,
-    SLOT_MEM, SLOT_OP0, SLOT_OP1,
+    CaptureConfig, Edge, Group, IntraEdge, LabelSeq, NdetRec, Node, NodeId, NodeStmt, TsMode, Wet, WetConfig,
+    SLOT_CD, SLOT_MEM, SLOT_OP0, SLOT_OP1,
 };
 pub use salvage::{FsckReport, SectionReport, SectionStatus};
 pub use seq::Seq;

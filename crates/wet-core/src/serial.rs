@@ -36,7 +36,7 @@
 //! available for tests and fixtures.
 
 use crate::crc::Crc32;
-use crate::graph::{Edge, Group, IntraEdge, LabelSeq, Node, NodeId, NodeStmt, TsMode, Wet, WetConfig};
+use crate::graph::{Edge, Group, IntraEdge, LabelSeq, NdetRec, Node, NodeId, NodeStmt, TsMode, Wet, WetConfig};
 use crate::salvage::{FsckReport, SectionReport, SectionStatus};
 use crate::seq::Seq;
 use crate::sizes::{WetSizes, WetStats};
@@ -60,13 +60,16 @@ pub const TAG_TSEQ: [u8; 4] = *b"TSEQ";
 pub const TAG_VALS: [u8; 4] = *b"VALS";
 /// Edge-label section tag.
 pub const TAG_EDGL: [u8; 4] = *b"EDGL";
+/// Nondeterminism-record section tag (the replay contract).
+pub const TAG_NDET: [u8; 4] = *b"NDET";
 /// Statistics section tag.
 pub const TAG_STAT: [u8; 4] = *b"STAT";
 /// End-of-file trailer tag.
 pub const TAG_ENDW: [u8; 4] = *b"ENDW";
 
 /// Canonical section order (without the trailer).
-pub(crate) const CANONICAL: [[u8; 4]; 6] = [TAG_CONF, TAG_BIND, TAG_TSEQ, TAG_VALS, TAG_EDGL, TAG_STAT];
+pub(crate) const CANONICAL: [[u8; 4]; 7] =
+    [TAG_CONF, TAG_BIND, TAG_TSEQ, TAG_VALS, TAG_EDGL, TAG_NDET, TAG_STAT];
 
 /// Largest section any real WET produces, with margin. Length prefixes
 /// beyond this are rejected before a single payload byte is read.
@@ -858,6 +861,59 @@ pub(crate) fn mark_edgl_lost(nodes: &mut [Node], labels: &mut [LabelSeq]) {
     }
 }
 
+/// Encodes the NDET stream: a presence flag (`0` = unavailable, the
+/// salvage placeholder; `1` = recorded) then, when present, the record
+/// count and `kind u8 | ts u64 | value u64` triples in consumption
+/// order. The flag lets a rewritten salvaged file round-trip "the
+/// recording was lost" instead of silently claiming "there was none".
+fn write_ndet(wet: &Wet) -> io::Result<Vec<u8>> {
+    let mut w = Vec::new();
+    match &wet.ndet {
+        None => w_u8(&mut w, 0)?,
+        Some(recs) => {
+            w_u8(&mut w, 1)?;
+            w_u64(&mut w, recs.len() as u64)?;
+            for rec in recs {
+                w_u8(&mut w, rec.kind as u8)?;
+                w_u64(&mut w, rec.ts)?;
+                w_u64(&mut w, rec.value as u64)?;
+            }
+        }
+    }
+    Ok(w)
+}
+
+/// Decodes an NDET payload. A kind byte outside the known set fails
+/// closed (a newer writer's records must not replay through the wrong
+/// source); `Ok(None)` means the section says the stream is lost.
+pub(crate) fn parse_ndet(p: &[u8]) -> io::Result<Option<Vec<NdetRec>>> {
+    let r = &mut &*p;
+    let present = match r_u8(r)? {
+        0 => false,
+        1 => true,
+        t => return Err(corrupt(&format!("bad NDET presence flag {t}"))),
+    };
+    let recs = if present {
+        let n = cap_count(r_u64(r)? as usize, r.len(), 17, "ndet record")?;
+        let mut recs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let kb = r_u8(r)?;
+            let kind = wet_interp::NdetKind::from_byte(kb)
+                .ok_or_else(|| corrupt(&format!("unknown NDET record kind {kb}")))?;
+            let ts = r_u64(r)?;
+            let value = r_u64(r)? as i64;
+            recs.push(NdetRec { kind, ts, value });
+        }
+        Some(recs)
+    } else {
+        None
+    };
+    if !r.is_empty() {
+        return Err(corrupt("trailing bytes in NDET"));
+    }
+    Ok(recs)
+}
+
 fn write_stat(wet: &Wet) -> io::Result<Vec<u8>> {
     let mut w = Vec::new();
     let s = &wet.sizes;
@@ -1029,6 +1085,16 @@ fn read_v2(r: &mut impl Read) -> io::Result<(Option<Wet>, FsckReport)> {
         }
         None => {}
     }
+    let ndet = match scan.payloads.remove(&TAG_NDET).map(|p| parse_ndet(&p)) {
+        Some(Ok(v)) => v,
+        Some(Err(e)) => {
+            // Includes unknown record kinds from a newer writer: the
+            // stream is unusable for replay, fail closed to "lost".
+            mark_section(&mut report, TAG_NDET, SectionStatus::Malformed(e.to_string()));
+            None
+        }
+        None => None,
+    };
     let (sizes, stats) = match scan.payloads.remove(&TAG_STAT).map(|p| parse_stat(&p)) {
         Some(Ok(ss)) => ss,
         Some(Err(e)) => {
@@ -1062,6 +1128,7 @@ fn read_v2(r: &mut impl Read) -> io::Result<(Option<Wet>, FsckReport)> {
         sizes,
         stats,
         tier2,
+        ndet,
         section_index: Some(spans),
     };
     if let Err(e) = wet.validate() {
@@ -1094,6 +1161,7 @@ impl Wet {
         w_section(w, TAG_TSEQ, &write_tseq(self)?)?;
         w_section(w, TAG_VALS, &write_vals(self)?)?;
         w_section(w, TAG_EDGL, &write_edgl(self)?)?;
+        w_section(w, TAG_NDET, &write_ndet(self)?)?;
         w_section(w, TAG_STAT, &write_stat(self)?)?;
         let mut trailer = Vec::new();
         w_u64(&mut trailer, CANONICAL.len() as u64)?;
@@ -1193,8 +1261,11 @@ impl Wet {
     /// Propagates writer errors; v1 cannot represent salvage
     /// placeholders, so writing an unavailable sequence fails.
     pub fn write_to_v1(&self, w: &mut impl Write) -> io::Result<()> {
-        if self.unavailable_seqs() > 0 {
+        if self.unavailable_seqs() > 0 || self.ndet.is_none() {
             return Err(corrupt("v1 cannot represent unavailable (salvaged) sequences"));
+        }
+        if self.ndet.as_ref().is_some_and(|v| !v.is_empty()) {
+            return Err(corrupt("v1 cannot represent NDET records"));
         }
         w.write_all(MAGIC)?;
         w_u8(w, V1)?;
@@ -1523,6 +1594,9 @@ fn read_v1(r: &mut impl Read) -> io::Result<Wet> {
         sizes,
         stats,
         tier2,
+        // v1 predates nondeterminism capture; such traces recorded no
+        // ndet reads, so the stream is present and empty.
+        ndet: Some(Vec::new()),
         section_index: None,
     };
     wet.validate().map_err(|e| corrupt(&e))?;
@@ -1606,7 +1680,7 @@ mod tests {
         wet.write_to(&mut bytes).unwrap();
         let spans = section_spans(&bytes).unwrap();
         let tags: Vec<[u8; 4]> = spans.iter().map(|s| s.tag).collect();
-        assert_eq!(tags, vec![TAG_CONF, TAG_BIND, TAG_TSEQ, TAG_VALS, TAG_EDGL, TAG_STAT, TAG_ENDW]);
+        assert_eq!(tags, vec![TAG_CONF, TAG_BIND, TAG_TSEQ, TAG_VALS, TAG_EDGL, TAG_NDET, TAG_STAT, TAG_ENDW]);
         assert_eq!(spans[0].start, 5);
         for w in spans.windows(2) {
             assert_eq!(w[0].end, w[1].start);
@@ -1694,10 +1768,56 @@ mod tests {
         wet.write_to(&mut bytes).unwrap();
         let report = Wet::fsck(&mut bytes.as_slice()).unwrap();
         assert!(report.is_clean());
-        assert_eq!(report.sections_checked(), 7);
+        assert_eq!(report.sections_checked(), 8);
         assert_eq!(report.sections_corrupt(), 0);
         assert_eq!(report.seqs_lost, 0);
         assert!(report.seqs_recovered > 0);
+    }
+
+    #[test]
+    fn ndet_section_roundtrips_and_fails_closed() {
+        let (_p, mut wet) = sample_wet(false);
+        wet.ndet = Some(vec![
+            NdetRec { kind: wet_interp::NdetKind::Env, ts: 1, value: 42 },
+            NdetRec { kind: wet_interp::NdetKind::Clock, ts: 2, value: -7 },
+            NdetRec { kind: wet_interp::NdetKind::Input, ts: 2, value: i64::MIN },
+        ]);
+        let mut bytes = Vec::new();
+        wet.write_to(&mut bytes).unwrap();
+        let back = Wet::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.ndet(), wet.ndet());
+
+        // An unknown kind byte (a newer writer) is a typed corrupt
+        // error on the strict path, never a silent mis-replay.
+        let spans = section_spans(&bytes).unwrap();
+        let nd = spans.iter().find(|s| s.tag == TAG_NDET).unwrap();
+        let mut m = bytes.clone();
+        let kind_off = nd.payload_start + 9; // flag u8 + count u64
+        assert!(wet_interp::NdetKind::from_byte(m[kind_off]).is_some(), "offset must hit a kind byte");
+        m[kind_off] = 250;
+        // Restore the section CRC so only the kind byte is "wrong".
+        let crc = {
+            let mut c = crate::crc::Crc32::new();
+            c.update(&m[nd.start..nd.payload_start + nd.payload_len]);
+            c.finish()
+        };
+        m[nd.payload_start + nd.payload_len..nd.payload_start + nd.payload_len + 4]
+            .copy_from_slice(&crc.to_le_bytes());
+        let err = Wet::read_from(&mut m.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("unknown NDET record kind"), "{err}");
+        // Salvage keeps the rest but reports the stream lost.
+        let (salvaged, report) = Wet::read_salvaging(&mut m.as_slice()).unwrap();
+        assert!(salvaged.ndet().is_none());
+        assert!(!report.is_clean());
+        // The lost stream round-trips as lost, not as "none recorded".
+        let mut repaired = Vec::new();
+        salvaged.write_to(&mut repaired).unwrap();
+        let back = Wet::read_from(&mut repaired.as_slice()).unwrap();
+        assert!(back.ndet().is_none());
+        // v1 can represent neither a lost stream nor records.
+        assert!(salvaged.write_to_v1(&mut Vec::new()).is_err());
+        assert!(wet.write_to_v1(&mut Vec::new()).is_err());
     }
 
     #[test]

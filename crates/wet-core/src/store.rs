@@ -45,7 +45,7 @@
 
 use crate::query::QueryErr;
 use crate::serial::{
-    self, SectionSpan, TAG_BIND, TAG_CONF, TAG_EDGL, TAG_ENDW, TAG_STAT, TAG_TSEQ, TAG_VALS,
+    self, SectionSpan, TAG_BIND, TAG_CONF, TAG_EDGL, TAG_ENDW, TAG_NDET, TAG_STAT, TAG_TSEQ, TAG_VALS,
 };
 use crate::Wet;
 use std::collections::HashMap;
@@ -607,14 +607,19 @@ impl TraceStore {
         let mut scratch = Vec::new();
         let conf = read_verified(&backing, span_of(TAG_CONF), &mut scratch)?.to_vec();
         let bind = read_verified(&backing, span_of(TAG_BIND), &mut scratch)?.to_vec();
+        let ndet_bytes = read_verified(&backing, span_of(TAG_NDET), &mut scratch)?.to_vec();
         let stat = read_verified(&backing, span_of(TAG_STAT), &mut scratch)?.to_vec();
 
         let (config, tier2) = serial::parse_conf(&conf).map_err(io_or_corrupt)?;
         let bound = serial::parse_bind(&bind).map_err(io_or_corrupt)?;
+        // NDET is small (one record per nondeterministic read) and is
+        // the replay contract, so it stays resident rather than lazy.
+        let ndet = serial::parse_ndet(&ndet_bytes).map_err(io_or_corrupt)?;
         let (sizes, stats) = serial::parse_stat(&stat).map_err(io_or_corrupt)?;
-        let pinned_bytes =
-            (span_of(TAG_CONF).payload_len + span_of(TAG_BIND).payload_len + span_of(TAG_STAT).payload_len)
-                as u64;
+        let pinned_bytes = (span_of(TAG_CONF).payload_len
+            + span_of(TAG_BIND).payload_len
+            + span_of(TAG_NDET).payload_len
+            + span_of(TAG_STAT).payload_len) as u64;
 
         let mut wet = Wet {
             config,
@@ -629,6 +634,7 @@ impl TraceStore {
             sizes,
             stats,
             tier2,
+            ndet,
             section_index: Some(spans),
         };
         wet.validate().map_err(StoreErr::Corrupt)?;

@@ -1,0 +1,192 @@
+//! Property test: `Capture::resume` after an arbitrarily torn MANIFEST.
+//!
+//! The manifest is a convenience checkpoint, not the source of truth —
+//! resume trusts the segment files (length + CRC verified) and rewrites
+//! the manifest to match. So *any* damage to MANIFEST while the capture
+//! is interrupted — truncation at any offset, a flipped byte anywhere,
+//! wholesale garbage, or outright deletion — must leave resume able to
+//! finish the capture and seal a trace byte-identical to an
+//! uninterrupted run. The program reads the nondeterministic clock, so
+//! the recovered NDET stream rides through the tear as well.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use wet_core::capture::{fsck_dir, read_manifest, seal, Capture};
+use wet_core::{WetBuilder, WetConfig};
+use wet_interp::{Interp, InterpConfig, NdetSource, ScriptedSource};
+use wet_ir::ballarus::BallLarus;
+use wet_ir::builder::ProgramBuilder;
+use wet_ir::stmt::{BinOp, Operand};
+use wet_ir::Program;
+
+/// A looping program whose body folds the nondeterministic clock into a
+/// small memory table — enough work to span several capture segments.
+fn clocked_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0);
+    let (e, h, b, x) = (f.entry_block(), f.new_block(), f.new_block(), f.new_block());
+    let (n, i, c, a, w, t) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    f.block(e).input(n);
+    f.block(e).movi(i, 0);
+    f.block(e).jump(h);
+    f.block(h).bin(BinOp::Lt, c, i, n);
+    f.block(h).branch(c, b, x);
+    f.block(b).read_clock(t);
+    f.block(b).bin(BinOp::Rem, a, i, 8i64);
+    f.block(b).load(w, a);
+    f.block(b).bin(BinOp::Add, w, w, Operand::Reg(t));
+    f.block(b).store(a, w);
+    f.block(b).bin(BinOp::Add, i, i, 1i64);
+    f.block(b).jump(h);
+    f.block(x).out(i);
+    f.block(x).ret(Some(Operand::Reg(i)));
+    let main = f.finish();
+    pb.finish(main).unwrap()
+}
+
+fn script() -> ScriptedSource {
+    ScriptedSource::new(HashMap::new(), Vec::new(), Vec::new(), 1_000, 3)
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("wet-torn-manifest-tests")
+        .join(format!("{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The damage proptest inflicts on MANIFEST.
+#[derive(Debug, Clone)]
+enum Tear {
+    /// Truncate to `keep_permille/1000` of the original length.
+    Truncate { keep_permille: u16 },
+    /// Flip `bit` of the byte at `pos % len`.
+    FlipByte { pos: u16, bit: u8 },
+    /// Replace the whole file with `len` seeded garbage bytes.
+    Garbage { len: u16, seed: u64 },
+    /// Delete the file entirely.
+    Delete,
+}
+
+fn tear_strategy() -> impl Strategy<Value = Tear> {
+    prop_oneof![
+        (0u16..1000).prop_map(|keep_permille| Tear::Truncate { keep_permille }),
+        (any::<u16>(), 0u8..8).prop_map(|(pos, bit)| Tear::FlipByte { pos, bit }),
+        (0u16..512, any::<u64>()).prop_map(|(len, seed)| Tear::Garbage { len, seed }),
+        Just(Tear::Delete),
+    ]
+}
+
+fn apply_tear(path: &std::path::Path, tear: &Tear) {
+    let bytes = std::fs::read(path).unwrap();
+    assert!(!bytes.is_empty(), "a flushed capture must have a manifest");
+    match tear {
+        Tear::Truncate { keep_permille } => {
+            let keep = bytes.len() * *keep_permille as usize / 1000;
+            std::fs::write(path, &bytes[..keep]).unwrap();
+        }
+        Tear::FlipByte { pos, bit } => {
+            let mut m = bytes;
+            let i = *pos as usize % m.len();
+            m[i] ^= 1 << bit;
+            std::fs::write(path, &m).unwrap();
+        }
+        Tear::Garbage { len, seed } => {
+            let mut rng = wet_core::fault::FaultRng::new(*seed);
+            let junk: Vec<u8> = (0..*len).map(|_| rng.below(256) as u8).collect();
+            std::fs::write(path, &junk).unwrap();
+        }
+        Tear::Delete => std::fs::remove_file(path).unwrap(),
+    }
+}
+
+/// Reference bytes: one uninterrupted in-memory build of the same run.
+fn reference_bytes(p: &Program, inputs: &[i64], config: &WetConfig) -> Vec<u8> {
+    let bl = BallLarus::new(p);
+    let mut b = WetBuilder::new(p, &bl, config.clone());
+    let mut src = script();
+    Interp::new(p, &bl, InterpConfig::default()).run_with(inputs, &mut src, &mut b).unwrap();
+    let mut out = Vec::new();
+    b.finish().write_to(&mut out).unwrap();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn resume_survives_any_manifest_tear(
+        tear in tear_strategy(),
+        n in 40i64..160,
+        case in 0u32..1_000_000,
+    ) {
+        let p = clocked_program();
+        let mut config = WetConfig::default();
+        config.capture.segment_interval = 8;
+        let inputs = [n];
+        let reference = reference_bytes(&p, &inputs, &config);
+        let bl = BallLarus::new(&p);
+
+        let dir = fresh_dir(&format!("case-{case}"));
+        // Interrupted capture: the run completes but the process "dies"
+        // before finish(), so the manifest on disk says unfinished.
+        let mut cap = Capture::create(&p, &bl, config.clone(), &dir).unwrap();
+        let mut src = script();
+        Interp::new(&p, &bl, InterpConfig::default())
+            .run_with(&inputs, &mut src, &mut cap)
+            .unwrap();
+        drop(cap);
+
+        apply_tear(&dir.join("MANIFEST"), &tear);
+
+        // Resume must come back from whatever the tear left behind,
+        // re-derive the checkpoint from the segment files, and land on
+        // the exact bytes of the uninterrupted run.
+        let mut cap = Capture::resume(&p, &bl, &dir).unwrap();
+        let recovered = cap.recovered_ndet().len();
+        prop_assert!(
+            cap.resume_ts() == 0 || recovered > 0,
+            "recovered segments must carry their NDET records"
+        );
+        let mut src = script();
+        Interp::new(&p, &bl, InterpConfig::default())
+            .run_with(&inputs, &mut src, &mut cap)
+            .unwrap();
+        cap.finish().unwrap();
+
+        let report = fsck_dir(&dir).unwrap();
+        prop_assert!(report.is_clean() && report.finished, "{report:?}");
+        prop_assert!(read_manifest(&dir).unwrap().finished, "manifest must be rewritten");
+        let wet = seal(&p, &bl, &dir, 1).unwrap();
+        let mut out = Vec::new();
+        wet.write_to(&mut out).unwrap();
+        prop_assert_eq!(&out, &reference, "tear {:?} broke byte-identity", tear);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The NDET values a resumed capture recovers must be byte-identical to
+/// what the crashed run recorded — spot-check against the scripted
+/// clock, independent of the property above.
+#[test]
+fn recovered_ndet_matches_the_script() {
+    let p = clocked_program();
+    let mut config = WetConfig::default();
+    config.capture.segment_interval = 8;
+    let bl = BallLarus::new(&p);
+    let dir = fresh_dir("ndet-spotcheck");
+    let mut cap = Capture::create(&p, &bl, config.clone(), &dir).unwrap();
+    let mut src = script();
+    Interp::new(&p, &bl, InterpConfig::default()).run_with(&[64], &mut src, &mut cap).unwrap();
+    drop(cap);
+    std::fs::remove_file(dir.join("MANIFEST")).unwrap();
+    let cap = Capture::resume(&p, &bl, &dir).unwrap();
+    let mut expect = script();
+    for rec in cap.recovered_ndet() {
+        assert_eq!(Some(rec.value), expect.read(rec.kind, 0), "at ts {}", rec.ts);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

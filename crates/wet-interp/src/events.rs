@@ -55,6 +55,61 @@ pub struct StmtEvent {
     pub branch_taken: Option<bool>,
 }
 
+/// Which nondeterministic source a value came from. The discriminants
+/// are the on-disk NDET record kind bytes — stable across versions; a
+/// decoder seeing a byte outside this set must fail closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum NdetKind {
+    /// `readenv` — an environment lookup.
+    Env = 0,
+    /// `readarg` — an invocation-argument lookup.
+    Arg = 1,
+    /// `readclock` — a monotonic clock sample.
+    Clock = 2,
+    /// `readinput` — the next external stream value.
+    Input = 3,
+}
+
+impl NdetKind {
+    /// Decodes an on-disk kind byte; unknown bytes (a newer writer's
+    /// kinds) return `None` so readers fail closed instead of replaying
+    /// a value through the wrong source.
+    pub fn from_byte(b: u8) -> Option<NdetKind> {
+        match b {
+            0 => Some(NdetKind::Env),
+            1 => Some(NdetKind::Arg),
+            2 => Some(NdetKind::Clock),
+            3 => Some(NdetKind::Input),
+            _ => None,
+        }
+    }
+
+    /// Stable lower-case name (used in divergence reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            NdetKind::Env => "env",
+            NdetKind::Arg => "arg",
+            NdetKind::Clock => "clock",
+            NdetKind::Input => "input",
+        }
+    }
+}
+
+/// One nondeterministic value entering the execution: the replay
+/// contract. Delivered in consumption order, exactly once per
+/// nondeterministic read, never shed — feeding the recorded values back
+/// in the same order reproduces the run bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NdetEvent {
+    /// Which source produced the value.
+    pub kind: NdetKind,
+    /// Global timestamp of the containing path execution.
+    pub ts: u64,
+    /// The value delivered to the program.
+    pub value: i64,
+}
+
 /// One executed basic block, with its dynamic control dependence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockEvent {
@@ -85,6 +140,15 @@ pub trait TraceSink {
     /// The current path execution ends with the given Ball–Larus path
     /// id in `func`.
     fn on_path_end(&mut self, _func: FuncId, _path_id: u64, _ts: u64) {}
+    /// A nondeterministic value was consumed (delivered immediately,
+    /// before the consuming statement's [`TraceSink::on_stmt`]).
+    fn on_ndet(&mut self, _ev: &NdetEvent) {}
+    /// Polled at path boundaries; returning `true` stops the run with
+    /// [`crate::InterpError::Interrupted`] at a clean checkpoint (how
+    /// the CLI latches SIGINT into a sealable capture).
+    fn should_stop(&self) -> bool {
+        false
+    }
     /// Timestamp up to (and including) which this sink has already seen
     /// the trace. The interpreter re-executes deterministically but
     /// suppresses event delivery for path executions with
@@ -119,6 +183,13 @@ impl<A: TraceSink, B: TraceSink> TraceSink for (A, B) {
         self.0.on_path_end(func, path_id, ts);
         self.1.on_path_end(func, path_id, ts);
     }
+    fn on_ndet(&mut self, ev: &NdetEvent) {
+        self.0.on_ndet(ev);
+        self.1.on_ndet(ev);
+    }
+    fn should_stop(&self) -> bool {
+        self.0.should_stop() || self.1.should_stop()
+    }
     fn fast_forward_until(&self) -> u64 {
         // Deliver once any component still needs events.
         self.0.fast_forward_until().min(self.1.fast_forward_until())
@@ -137,6 +208,12 @@ impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     }
     fn on_path_end(&mut self, func: FuncId, path_id: u64, ts: u64) {
         (**self).on_path_end(func, path_id, ts);
+    }
+    fn on_ndet(&mut self, ev: &NdetEvent) {
+        (**self).on_ndet(ev);
+    }
+    fn should_stop(&self) -> bool {
+        (**self).should_stop()
     }
     fn fast_forward_until(&self) -> u64 {
         (**self).fast_forward_until()

@@ -6,7 +6,8 @@
 //! instances with values and operand/memory producers, and Ball–Larus
 //! path boundaries with timestamps.
 
-use crate::events::{BlockEvent, MemAccess, Producer, StmtEvent, TraceSink};
+use crate::events::{BlockEvent, MemAccess, NdetEvent, NdetKind, Producer, StmtEvent, TraceSink};
+use crate::ndet::{NdetSource, NoNdetSource};
 use std::collections::HashMap;
 use std::fmt;
 use wet_ir::ballarus::{BallLarus, EdgeAction};
@@ -56,6 +57,21 @@ pub enum InterpError {
     StmtLimit,
     /// The call stack exceeded `max_frames`.
     StackOverflow,
+    /// A nondeterministic read had no value: no source installed, a
+    /// scripted stream ran dry, or a replay's recording diverged
+    /// (kind mismatch or exhausted NDET records).
+    NdetUnavailable {
+        /// The faulting statement.
+        stmt: StmtId,
+        /// Which source failed.
+        kind: NdetKind,
+    },
+    /// The sink requested a stop ([`TraceSink::should_stop`]) and the
+    /// run halted at a clean path boundary.
+    Interrupted {
+        /// Timestamp of the last completed path execution.
+        ts: u64,
+    },
 }
 
 impl fmt::Display for InterpError {
@@ -66,6 +82,10 @@ impl fmt::Display for InterpError {
             InterpError::InputExhausted { stmt } => write!(f, "input exhausted at {stmt}"),
             InterpError::StmtLimit => write!(f, "statement limit exceeded"),
             InterpError::StackOverflow => write!(f, "call stack overflow"),
+            InterpError::NdetUnavailable { stmt, kind } => {
+                write!(f, "nondeterministic {} read at {stmt} has no source value", kind.name())
+            }
+            InterpError::Interrupted { ts } => write!(f, "interrupted at path boundary ts {ts}"),
         }
     }
 }
@@ -168,10 +188,30 @@ impl<'p> Interp<'p> {
     }
 
     /// Runs the program on `inputs`, streaming events into `sink`.
+    /// Nondeterministic ops fail with a typed error; use
+    /// [`Interp::run_with`] to install a source for them.
     ///
     /// # Errors
     /// Returns an [`InterpError`] on runtime faults or exceeded limits.
     pub fn run<S: TraceSink>(&self, inputs: &[i64], sink: &mut S) -> Result<RunResult, InterpError> {
+        self.run_with(inputs, &mut NoNdetSource, sink)
+    }
+
+    /// Runs the program on `inputs` with `source` answering the
+    /// nondeterministic ops, streaming events into `sink`. Every value
+    /// the source delivers is also announced through
+    /// [`TraceSink::on_ndet`] in consumption order — the NDET record
+    /// stream that makes the run replayable.
+    ///
+    /// # Errors
+    /// Returns an [`InterpError`] on runtime faults, exceeded limits,
+    /// or a failed nondeterministic read.
+    pub fn run_with<S: TraceSink>(
+        &self,
+        inputs: &[i64],
+        source: &mut dyn NdetSource,
+        sink: &mut S,
+    ) -> Result<RunResult, InterpError> {
         let _span = wet_obs::span!("interp.run");
         let result = Run {
             interp: self,
@@ -180,6 +220,7 @@ impl<'p> Interp<'p> {
             instances: vec![0u64; self.program.stmt_count()],
             inputs,
             next_input: 0,
+            source,
             result: RunResult::default(),
             time: 0,
         }
@@ -225,6 +266,14 @@ impl<S: TraceSink> TraceSink for FastForward<S> {
             self.inner.on_path_end(func, path_id, ts);
         }
     }
+    fn on_ndet(&mut self, ev: &NdetEvent) {
+        if ev.ts > self.until {
+            self.inner.on_ndet(ev);
+        }
+    }
+    fn should_stop(&self) -> bool {
+        self.inner.should_stop()
+    }
 }
 
 struct Run<'a, 'p> {
@@ -235,6 +284,7 @@ struct Run<'a, 'p> {
     instances: Vec<u64>,
     inputs: &'a [i64],
     next_input: usize,
+    source: &'a mut dyn NdetSource,
     result: RunResult,
     time: u64,
 }
@@ -384,6 +434,34 @@ impl<'a, 'p> Run<'a, 'p> {
                         ev.op_deps = [pv, None];
                         self.result.outputs.push(v);
                     }
+                    StmtKind::ReadEnv { dst, key } => {
+                        let (k, pk) = eval(frame, *key);
+                        let v = self.ndet_read(sink, s.id, NdetKind::Env, k, path_ts)?;
+                        ev.op_deps = [pk, None];
+                        ev.value = Some(v);
+                        frame.regs[dst.index()] = v;
+                        frame.reg_prod[dst.index()] = Some(me);
+                    }
+                    StmtKind::ReadArg { dst, idx } => {
+                        let (i, pi) = eval(frame, *idx);
+                        let v = self.ndet_read(sink, s.id, NdetKind::Arg, i, path_ts)?;
+                        ev.op_deps = [pi, None];
+                        ev.value = Some(v);
+                        frame.regs[dst.index()] = v;
+                        frame.reg_prod[dst.index()] = Some(me);
+                    }
+                    StmtKind::ReadClock { dst } => {
+                        let v = self.ndet_read(sink, s.id, NdetKind::Clock, 0, path_ts)?;
+                        ev.value = Some(v);
+                        frame.regs[dst.index()] = v;
+                        frame.reg_prod[dst.index()] = Some(me);
+                    }
+                    StmtKind::ReadInput { dst } => {
+                        let v = self.ndet_read(sink, s.id, NdetKind::Input, 0, path_ts)?;
+                        ev.value = Some(v);
+                        frame.regs[dst.index()] = v;
+                        frame.reg_prod[dst.index()] = Some(me);
+                    }
                 }
                 sink.on_stmt(&ev);
             }
@@ -410,6 +488,9 @@ impl<'a, 'p> Run<'a, 'p> {
                         EdgeAction::Break { finish, restart } => {
                             sink.on_path_end(func, r + finish, path_ts);
                             self.result.paths_executed += 1;
+                            if sink.should_stop() {
+                                return Err(InterpError::Interrupted { ts: path_ts });
+                            }
                             r = restart;
                             self.time += 1;
                             path_ts = self.time;
@@ -439,6 +520,9 @@ impl<'a, 'p> Run<'a, 'p> {
                         EdgeAction::Break { finish, restart } => {
                             sink.on_path_end(func, r + finish, path_ts);
                             self.result.paths_executed += 1;
+                            if sink.should_stop() {
+                                return Err(InterpError::Interrupted { ts: path_ts });
+                            }
                             r = restart;
                             self.time += 1;
                             path_ts = self.time;
@@ -468,6 +552,9 @@ impl<'a, 'p> Run<'a, 'p> {
                     };
                     sink.on_path_end(func, r + finish, path_ts);
                     self.result.paths_executed += 1;
+                    if sink.should_stop() {
+                        return Err(InterpError::Interrupted { ts: path_ts });
+                    }
 
                     // Evaluate args in the caller frame, then build the
                     // callee frame with forwarded producers.
@@ -526,6 +613,9 @@ impl<'a, 'p> Run<'a, 'p> {
                             }
                             r = caller.pending_restart;
                             block = caller.ret_to;
+                            if sink.should_stop() {
+                                return Err(InterpError::Interrupted { ts: path_ts });
+                            }
                             self.time += 1;
                             path_ts = self.time;
                             sink.on_path_start(path_ts);
@@ -534,6 +624,23 @@ impl<'a, 'p> Run<'a, 'p> {
                 }
             }
         }
+    }
+
+    /// One nondeterministic read: pulls a value from the source and
+    /// announces it through [`TraceSink::on_ndet`] before the consuming
+    /// statement's event — the NDET record stream is exactly these
+    /// values in consumption order.
+    fn ndet_read<S: TraceSink>(
+        &mut self,
+        sink: &mut S,
+        stmt: StmtId,
+        kind: NdetKind,
+        arg: i64,
+        ts: u64,
+    ) -> Result<i64, InterpError> {
+        let v = self.source.read(kind, arg).ok_or(InterpError::NdetUnavailable { stmt, kind })?;
+        sink.on_ndet(&NdetEvent { kind, ts, value: v });
+        Ok(v)
     }
 
     fn check_addr(&self, stmt: StmtId, addr: i64) -> Result<u64, InterpError> {

@@ -24,11 +24,13 @@
 
 mod events;
 mod interp;
+mod ndet;
 mod recorder;
 mod refslice;
 
-pub use events::{BlockEvent, MemAccess, NullSink, Producer, StmtEvent, TraceSink};
+pub use events::{BlockEvent, MemAccess, NdetEvent, NdetKind, NullSink, Producer, StmtEvent, TraceSink};
 pub use interp::{Interp, InterpConfig, InterpError, RunResult};
+pub use ndet::{NdetSource, NoNdetSource, PrefixSource, ReplayMismatch, ReplaySource, ScriptedSource};
 pub use recorder::{PathRecord, Recorder, StmtRecord};
 pub use refslice::{RefSlicer, Slice, SliceElem, SliceKinds};
 

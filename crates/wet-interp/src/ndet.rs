@@ -1,0 +1,269 @@
+//! Nondeterminism sources: where `readenv` / `readarg` / `readclock` /
+//! `readinput` values come from.
+//!
+//! The interpreter itself is deterministic; all nondeterminism enters
+//! through one [`NdetSource`] installed per run. A live run points it
+//! at the real environment (the CLI's job); a replay points it at the
+//! recorded NDET stream ([`ReplaySource`]) and thereby re-executes the
+//! original run bit for bit. The source returning `None` is a typed
+//! interpreter error ([`crate::InterpError::NdetUnavailable`]), never a
+//! panic — replay divergence and exhausted scripts both surface that
+//! way.
+
+use crate::events::NdetKind;
+use std::collections::HashMap;
+
+/// Supplies nondeterministic values to the interpreter.
+///
+/// `arg` carries the op's operand: the key for [`NdetKind::Env`], the
+/// index for [`NdetKind::Arg`], and `0` for clock and input reads.
+/// Returning `None` aborts the run with a typed
+/// [`crate::InterpError::NdetUnavailable`].
+pub trait NdetSource {
+    /// Produces the next value for one nondeterministic read.
+    fn read(&mut self, kind: NdetKind, arg: i64) -> Option<i64>;
+}
+
+/// The default source: every nondeterministic read fails. Programs
+/// without ndet ops never notice; programs with them need an explicit
+/// source via [`crate::Interp::run_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoNdetSource;
+
+impl NdetSource for NoNdetSource {
+    fn read(&mut self, _kind: NdetKind, _arg: i64) -> Option<i64> {
+        None
+    }
+}
+
+/// A fully deterministic scripted source for tests, workload
+/// calibration, and golden-corpus generation: a fixed environment
+/// table, a fixed argument vector, a synthetic monotonic clock, and a
+/// finite input stream.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedSource {
+    /// `readenv key` lookup table; missing keys read as `0`.
+    pub env: HashMap<i64, i64>,
+    /// `readarg idx` vector; out-of-range indexes read as `0`.
+    pub args: Vec<i64>,
+    /// `readinput` stream, consumed in order; running dry is a typed
+    /// error (the script under-provisioned the run).
+    pub inputs: Vec<i64>,
+    /// Synthetic clock state: starts at `clock`, advances by
+    /// `clock_step` per read (a step of 0 freezes time).
+    pub clock: i64,
+    /// Clock advance per `readclock`.
+    pub clock_step: i64,
+    next_input: usize,
+}
+
+impl ScriptedSource {
+    /// A source with the given tables and a clock starting at `clock`
+    /// advancing `clock_step` per read.
+    pub fn new(env: HashMap<i64, i64>, args: Vec<i64>, inputs: Vec<i64>, clock: i64, clock_step: i64) -> Self {
+        ScriptedSource { env, args, inputs, clock, clock_step, next_input: 0 }
+    }
+}
+
+impl NdetSource for ScriptedSource {
+    fn read(&mut self, kind: NdetKind, arg: i64) -> Option<i64> {
+        match kind {
+            NdetKind::Env => Some(self.env.get(&arg).copied().unwrap_or(0)),
+            NdetKind::Arg => Some(usize::try_from(arg).ok().and_then(|i| self.args.get(i)).copied().unwrap_or(0)),
+            NdetKind::Clock => {
+                self.clock = self.clock.wrapping_add(self.clock_step);
+                Some(self.clock)
+            }
+            NdetKind::Input => {
+                let v = self.inputs.get(self.next_input).copied()?;
+                self.next_input += 1;
+                Some(v)
+            }
+        }
+    }
+}
+
+/// Why a [`ReplaySource`] stopped delivering values: the re-execution
+/// asked for something the recording does not contain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayMismatch {
+    /// The program consumed more nondeterministic values than were
+    /// recorded.
+    Exhausted {
+        /// Index of the first missing record.
+        at: usize,
+        /// The kind the program asked for.
+        wanted: NdetKind,
+    },
+    /// The program asked for a different kind of value than record
+    /// `at` holds — control flow has already diverged.
+    Kind {
+        /// Index of the mismatching record.
+        at: usize,
+        /// The kind the recording holds at that position.
+        recorded: NdetKind,
+        /// The kind the program asked for.
+        wanted: NdetKind,
+    },
+}
+
+impl std::fmt::Display for ReplayMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayMismatch::Exhausted { at, wanted } => {
+                write!(f, "ndet record {at}: recording exhausted (program wanted a {} value)", wanted.name())
+            }
+            ReplayMismatch::Kind { at, recorded, wanted } => write!(
+                f,
+                "ndet record {at}: recorded kind {} but program wanted {}",
+                recorded.name(),
+                wanted.name()
+            ),
+        }
+    }
+}
+
+/// Feeds a recorded NDET stream back in order. Strict: the requested
+/// kind must match the recorded kind at every step; any mismatch or
+/// exhaustion latches into [`ReplaySource::mismatch`] and fails the
+/// read (→ typed [`crate::InterpError::NdetUnavailable`]), which the
+/// replay engine reports as a divergence.
+#[derive(Debug, Clone)]
+pub struct ReplaySource {
+    recs: Vec<(NdetKind, i64)>,
+    next: usize,
+    /// First source-level divergence, if any read failed.
+    pub mismatch: Option<ReplayMismatch>,
+}
+
+impl ReplaySource {
+    /// A source replaying `recs` (kind, value) pairs in order.
+    pub fn new(recs: Vec<(NdetKind, i64)>) -> Self {
+        ReplaySource { recs, next: 0, mismatch: None }
+    }
+
+    /// Records consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.next
+    }
+
+    /// Records left unconsumed (a successful replay that leaves a tail
+    /// also diverged: the program read fewer values than recorded).
+    pub fn remaining(&self) -> usize {
+        self.recs.len() - self.next
+    }
+}
+
+impl NdetSource for ReplaySource {
+    fn read(&mut self, kind: NdetKind, _arg: i64) -> Option<i64> {
+        if self.mismatch.is_some() {
+            return None;
+        }
+        let Some(&(recorded, value)) = self.recs.get(self.next) else {
+            self.mismatch = Some(ReplayMismatch::Exhausted { at: self.next, wanted: kind });
+            return None;
+        };
+        if recorded != kind {
+            self.mismatch = Some(ReplayMismatch::Kind { at: self.next, recorded, wanted: kind });
+            return None;
+        }
+        self.next += 1;
+        Some(value)
+    }
+}
+
+/// A recorded prefix followed by a live source: how a resumed capture
+/// re-executes its already-durable prefix deterministically (values
+/// from the recovered NDET records) and then switches to live
+/// nondeterminism for the tail. A kind mismatch inside the prefix
+/// fails closed like [`ReplaySource`].
+pub struct PrefixSource<'a> {
+    prefix: ReplaySource,
+    live: &'a mut dyn NdetSource,
+}
+
+impl<'a> PrefixSource<'a> {
+    /// Replays `prefix` first, then delegates to `live`.
+    pub fn new(prefix: Vec<(NdetKind, i64)>, live: &'a mut dyn NdetSource) -> Self {
+        PrefixSource { prefix: ReplaySource::new(prefix), live }
+    }
+
+    /// The prefix divergence, if the re-executed prefix did not match
+    /// the recording (a corrupt or foreign capture directory).
+    pub fn mismatch(&self) -> Option<ReplayMismatch> {
+        self.prefix.mismatch
+    }
+}
+
+impl NdetSource for PrefixSource<'_> {
+    fn read(&mut self, kind: NdetKind, arg: i64) -> Option<i64> {
+        if self.prefix.mismatch.is_none() && self.prefix.remaining() > 0 {
+            return self.prefix.read(kind, arg);
+        }
+        if self.prefix.mismatch.is_some() {
+            return None;
+        }
+        self.live.read(kind, arg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_source_covers_all_kinds() {
+        let mut s = ScriptedSource::new(
+            HashMap::from([(1, 10), (2, 20)]),
+            vec![100, 200],
+            vec![7, 8],
+            1000,
+            3,
+        );
+        assert_eq!(s.read(NdetKind::Env, 1), Some(10));
+        assert_eq!(s.read(NdetKind::Env, 99), Some(0), "missing env key reads 0");
+        assert_eq!(s.read(NdetKind::Arg, 1), Some(200));
+        assert_eq!(s.read(NdetKind::Arg, -5), Some(0), "negative index reads 0");
+        assert_eq!(s.read(NdetKind::Clock, 0), Some(1003));
+        assert_eq!(s.read(NdetKind::Clock, 0), Some(1006), "clock advances");
+        assert_eq!(s.read(NdetKind::Input, 0), Some(7));
+        assert_eq!(s.read(NdetKind::Input, 0), Some(8));
+        assert_eq!(s.read(NdetKind::Input, 0), None, "stream dry is a failed read");
+    }
+
+    #[test]
+    fn replay_source_is_strict() {
+        let mut r = ReplaySource::new(vec![(NdetKind::Clock, 5), (NdetKind::Input, 6)]);
+        assert_eq!(r.read(NdetKind::Clock, 0), Some(5));
+        assert_eq!(r.read(NdetKind::Clock, 0), None, "kind mismatch fails");
+        assert!(matches!(
+            r.mismatch,
+            Some(ReplayMismatch::Kind { at: 1, recorded: NdetKind::Input, wanted: NdetKind::Clock })
+        ));
+        // A latched mismatch stays failed.
+        assert_eq!(r.read(NdetKind::Input, 0), None);
+
+        let mut r = ReplaySource::new(vec![(NdetKind::Env, 1)]);
+        assert_eq!(r.read(NdetKind::Env, 0), Some(1));
+        assert_eq!(r.read(NdetKind::Env, 0), None);
+        assert!(matches!(r.mismatch, Some(ReplayMismatch::Exhausted { at: 1, .. })));
+    }
+
+    #[test]
+    fn prefix_source_hands_over_to_live() {
+        let mut live = ScriptedSource::new(HashMap::new(), vec![], vec![42], 0, 1);
+        let mut p = PrefixSource::new(vec![(NdetKind::Input, 7)], &mut live);
+        assert_eq!(p.read(NdetKind::Input, 0), Some(7), "prefix first");
+        assert_eq!(p.read(NdetKind::Input, 0), Some(42), "then live");
+        assert!(p.mismatch().is_none());
+    }
+
+    #[test]
+    fn ndet_kind_bytes_roundtrip_and_fail_closed() {
+        for k in [NdetKind::Env, NdetKind::Arg, NdetKind::Clock, NdetKind::Input] {
+            assert_eq!(NdetKind::from_byte(k as u8), Some(k));
+        }
+        assert_eq!(NdetKind::from_byte(4), None, "unknown kind byte fails closed");
+        assert_eq!(NdetKind::from_byte(255), None);
+    }
+}

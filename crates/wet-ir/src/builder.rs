@@ -256,6 +256,30 @@ impl BlockCursor<'_> {
         self
     }
 
+    /// Appends `dst = readenv key` (nondeterministic environment read).
+    pub fn read_env(&mut self, dst: Reg, key: impl Into<Operand>) -> &mut Self {
+        self.block.stmts.push(StmtKind::ReadEnv { dst, key: key.into() });
+        self
+    }
+
+    /// Appends `dst = readarg idx` (nondeterministic argument read).
+    pub fn read_arg(&mut self, dst: Reg, idx: impl Into<Operand>) -> &mut Self {
+        self.block.stmts.push(StmtKind::ReadArg { dst, idx: idx.into() });
+        self
+    }
+
+    /// Appends `dst = readclock` (nondeterministic clock read).
+    pub fn read_clock(&mut self, dst: Reg) -> &mut Self {
+        self.block.stmts.push(StmtKind::ReadClock { dst });
+        self
+    }
+
+    /// Appends `dst = readinput` (nondeterministic stream read).
+    pub fn read_input(&mut self, dst: Reg) -> &mut Self {
+        self.block.stmts.push(StmtKind::ReadInput { dst });
+        self
+    }
+
     /// Terminates the block with an unconditional jump.
     pub fn jump(&mut self, target: BlockId) {
         self.block.term = Some(Terminator::Jump { target });

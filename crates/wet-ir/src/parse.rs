@@ -324,6 +324,22 @@ fn parse_stmt_line(
         f.block(block).input(dst);
         return Ok(());
     }
+    if rhs == "readclock" {
+        f.block(block).read_clock(dst);
+        return Ok(());
+    }
+    if rhs == "readinput" {
+        f.block(block).read_input(dst);
+        return Ok(());
+    }
+    if let Some(rest) = rhs.strip_prefix("readenv ") {
+        f.block(block).read_env(dst, parse_operand(rest, regs, line_no)?);
+        return Ok(());
+    }
+    if let Some(rest) = rhs.strip_prefix("readarg ") {
+        f.block(block).read_arg(dst, parse_operand(rest, regs, line_no)?);
+        return Ok(());
+    }
     if let Some(rest) = rhs.strip_prefix("load ") {
         let inner = rest.trim().strip_prefix('[').and_then(|s| s.strip_suffix(']')).ok_or_else(|| {
             ParseError { line: line_no, message: "expected `[addr]` in load".into() }

@@ -28,6 +28,10 @@ pub fn function_to_string(f: &Function) -> String {
                 StmtKind::Store { addr, value } => format!("store [{}] = {}", op(*addr), op(*value)),
                 StmtKind::In { dst } => format!("{dst} = in"),
                 StmtKind::Out { value } => format!("out {}", op(*value)),
+                StmtKind::ReadEnv { dst, key } => format!("{dst} = readenv {}", op(*key)),
+                StmtKind::ReadArg { dst, idx } => format!("{dst} = readarg {}", op(*idx)),
+                StmtKind::ReadClock { dst } => format!("{dst} = readclock"),
+                StmtKind::ReadInput { dst } => format!("{dst} = readinput"),
             };
             let _ = writeln!(s, "    {}: {line}", st.id);
         }

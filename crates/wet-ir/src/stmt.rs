@@ -183,6 +183,20 @@ pub enum StmtKind {
     In { dst: Reg },
     /// Append a value to the program output — no def port.
     Out { value: Operand },
+    /// `dst = readenv key` — a nondeterministic environment read: the
+    /// value is supplied by the run's nondeterminism source and logged
+    /// in the NDET record stream for replay.
+    ReadEnv { dst: Reg, key: Operand },
+    /// `dst = readarg idx` — a nondeterministic argument read (same
+    /// contract as [`StmtKind::ReadEnv`]).
+    ReadArg { dst: Reg, idx: Operand },
+    /// `dst = readclock` — reads a monotonic clock; the canonical
+    /// nondeterministic op (never the same twice outside replay).
+    ReadClock { dst: Reg },
+    /// `dst = readinput` — reads the next value from an external input
+    /// stream not fixed at launch (unlike [`StmtKind::In`], whose
+    /// inputs are part of the program invocation).
+    ReadInput { dst: Reg },
 }
 
 impl StmtKind {
@@ -194,7 +208,11 @@ impl StmtKind {
             | StmtKind::Un { dst, .. }
             | StmtKind::Mov { dst, .. }
             | StmtKind::Load { dst, .. }
-            | StmtKind::In { dst } => Some(dst),
+            | StmtKind::In { dst }
+            | StmtKind::ReadEnv { dst, .. }
+            | StmtKind::ReadArg { dst, .. }
+            | StmtKind::ReadClock { dst }
+            | StmtKind::ReadInput { dst } => Some(dst),
             StmtKind::Store { .. } | StmtKind::Out { .. } => None,
         }
     }
@@ -206,9 +224,24 @@ impl StmtKind {
             StmtKind::Un { src, .. } | StmtKind::Mov { src, .. } => vec![src],
             StmtKind::Load { addr, .. } => vec![addr],
             StmtKind::Store { addr, value } => vec![addr, value],
-            StmtKind::In { .. } => vec![],
+            StmtKind::In { .. } | StmtKind::ReadClock { .. } | StmtKind::ReadInput { .. } => vec![],
             StmtKind::Out { value } => vec![value],
+            StmtKind::ReadEnv { key, .. } => vec![key],
+            StmtKind::ReadArg { idx, .. } => vec![idx],
         }
+    }
+
+    /// Whether this statement reads a nondeterministic source (its value
+    /// cannot be derived from the program and its launch inputs alone).
+    #[inline]
+    pub fn is_ndet(&self) -> bool {
+        matches!(
+            self,
+            StmtKind::ReadEnv { .. }
+                | StmtKind::ReadArg { .. }
+                | StmtKind::ReadClock { .. }
+                | StmtKind::ReadInput { .. }
+        )
     }
 
     /// Whether this statement accesses memory.

@@ -211,6 +211,88 @@ pub fn run_client(addr: &str, client: &DrillClient, report: &mut DrillReport) {
     }
 }
 
+/// Outcome of the idle-connection storm: hundreds of accepted sockets
+/// that never send a byte, parked while live probes must still answer
+/// inside their latency budget.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct IdleStormReport {
+    /// Idle connections requested.
+    pub idle_target: usize,
+    /// Idle connections actually accepted and held open.
+    pub idle_connected: usize,
+    /// Live probe requests issued while the storm was parked.
+    pub probes: usize,
+    /// Probes answered with a result.
+    pub probe_ok: u64,
+    /// Probes answered with a typed error (still a live answer).
+    pub probe_typed: u64,
+    /// Probes that died at the transport level.
+    pub probe_failed: u64,
+    /// Answered probes that blew the latency budget.
+    pub deadline_missed: u64,
+    /// Slowest answered probe, in microseconds.
+    pub worst_us: u64,
+    /// True if the server answered a ping after the storm drained.
+    pub survived: bool,
+}
+
+impl IdleStormReport {
+    /// The drill passes when every probe got a live answer inside the
+    /// budget and the server outlived the storm.
+    pub fn clean(&self) -> bool {
+        self.survived && self.probe_failed == 0 && self.deadline_missed == 0
+    }
+}
+
+/// Parks `idle` accepted-but-silent connections against `addr`, then
+/// issues `probes` live requests (alternating control-plane `ping` and
+/// engine-path `cf_trace`) that must each answer within `budget`.
+/// Idle sockets are held open for the whole probe run and only
+/// released at the end; a final ping checks the server outlived it.
+pub fn run_idle_storm(addr: &str, idle: usize, probes: usize, budget: Duration) -> IdleStormReport {
+    let mut report = IdleStormReport { idle_target: idle, probes, ..IdleStormReport::default() };
+    let mut parked = Vec::with_capacity(idle);
+    for _ in 0..idle {
+        match connect(addr) {
+            Ok(s) => parked.push(s),
+            Err(_) => break, // accept backlog exhausted: park what we got
+        }
+    }
+    report.idle_connected = parked.len();
+    // Give the accept loop a beat to hand every parked socket to its
+    // connection thread before the latency clock starts.
+    std::thread::sleep(Duration::from_millis(50));
+    match Client::connect(addr) {
+        Ok(mut c) => {
+            for i in 0..probes {
+                let op = if i % 2 == 0 { "ping" } else { "cf_trace" };
+                let t0 = std::time::Instant::now();
+                let outcome = c.call(vec![("op", Value::Str(op.into()))]);
+                let took = t0.elapsed();
+                match outcome {
+                    Ok(Reply::Ok(_)) => report.probe_ok += 1,
+                    Ok(Reply::Err { .. }) => report.probe_typed += 1,
+                    Err(_) => {
+                        report.probe_failed += 1;
+                        continue; // no answer: latency is meaningless
+                    }
+                }
+                report.worst_us = report.worst_us.max(took.as_micros() as u64);
+                if took > budget {
+                    report.deadline_missed += 1;
+                }
+            }
+        }
+        Err(_) => report.probe_failed += probes as u64,
+    }
+    drop(parked);
+    report.survived = matches!(
+        Client::connect(addr).and_then(|mut c| c.call(vec![("op", Value::Str("ping".into()))])),
+        Ok(Reply::Ok(_))
+    );
+    report
+}
+
 /// Replays the seeded schedule against `addr` concurrently, then checks
 /// the server still answers. `n` clients run on up to 8 threads.
 pub fn run_drill(addr: &str, seed: u64, n: usize) -> DrillReport {

@@ -41,7 +41,7 @@ pub mod server;
 
 pub use access::{AccessRecord, RotatingLog, DEFAULT_LOG_MAX_BYTES};
 pub use client::{Client, Reply};
-pub use drill::{run_drill, DrillReport};
+pub use drill::{run_drill, run_idle_storm, DrillReport, IdleStormReport};
 pub use flight::{Flight, FlightEvent, FlightKind, FLIGHT_SLOTS};
 pub use http::{bind_metrics, http_get, spawn_metrics};
 pub use server::{bind, connect, Listener, Server, ServeOptions, Stream, DEFAULT_TRACE};

@@ -1,0 +1,43 @@
+//! Idle-connection storm drill: hundreds of accepted-but-silent
+//! sockets must not starve live requests. The server is
+//! thread-per-connection and a socket that never sends a byte is not
+//! "mid-frame", so the stall budget leaves it parked indefinitely —
+//! this test pins down that parked connections cost a waiting thread
+//! each and nothing else: live probes still answer inside their
+//! latency budget, and the server outlives the storm.
+
+use std::time::Duration;
+use wet_core::{WetBuilder, WetConfig};
+use wet_interp::{Interp, InterpConfig};
+use wet_ir::ballarus::BallLarus;
+use wet_serve::server::{bind, ServeOptions, Server};
+use wet_serve::run_idle_storm;
+
+fn small_wet() -> (wet_core::Wet, wet_ir::Program) {
+    let w = wet_workloads::build(wet_workloads::Kind::Go, 20_000);
+    let bl = BallLarus::new(&w.program);
+    let mut b = WetBuilder::new(&w.program, &bl, WetConfig::default());
+    Interp::new(&w.program, &bl, InterpConfig::default()).run(&w.inputs, &mut b).unwrap();
+    (b.finish(), w.program)
+}
+
+#[test]
+fn live_probes_meet_deadlines_under_idle_storm() {
+    let sock = std::env::temp_dir().join(format!("wet-idle-storm-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let addr = sock.to_str().unwrap().to_owned();
+    let (wet, program) = small_wet();
+    let listener = bind(&addr).unwrap();
+    let srv = Server::new(wet, Some(program), ServeOptions::default());
+    std::thread::spawn(move || srv.serve(listener));
+
+    let report = run_idle_storm(&addr, 300, 24, Duration::from_secs(5));
+    assert_eq!(report.idle_connected, 300, "every silent socket must be accepted: {report:?}");
+    assert_eq!(report.probe_failed, 0, "live probes must not be dropped: {report:?}");
+    assert_eq!(report.probe_typed, 0, "ping and cf_trace must both answer ok: {report:?}");
+    assert_eq!(report.probe_ok as usize, report.probes, "{report:?}");
+    assert_eq!(report.deadline_missed, 0, "parked sockets must not add latency: {report:?}");
+    assert!(report.survived, "server must outlive the storm: {report:?}");
+    assert!(report.clean(), "{report:?}");
+    let _ = std::fs::remove_file(&sock);
+}

@@ -28,6 +28,7 @@ pub mod go_like;
 pub mod gzip_like;
 pub mod li_like;
 pub mod mcf_like;
+pub mod ndet;
 pub mod parser_like;
 pub mod twolf_like;
 pub mod util;

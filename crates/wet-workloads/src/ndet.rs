@@ -1,0 +1,378 @@
+//! Nondeterministic workloads — programs whose traces depend on values
+//! read from outside the program (`readenv` / `readarg` / `readclock` /
+//! `readinput`).
+//!
+//! The nine Table-1 workloads are closed: same IR inputs, same trace,
+//! always. These three are deliberately open — every run consumes
+//! environment values, argument vectors, clock samples, and an input
+//! stream, and their *control flow* branches on what it read. That makes
+//! them the test vehicles for the record/replay engine: recording one
+//! run captures its NDET stream, and replaying it must reproduce the
+//! trace bit for bit, while a single flipped recorded value visibly
+//! diverges.
+//!
+//! They live in their own enum ([`NdetWorkload`]) rather than
+//! [`crate::Kind`]: the paper's nine-row table stays nine rows, and
+//! closed-world consumers (the bench harness, compression experiments)
+//! never meet a program that fails without a source.
+//!
+//! This crate depends only on `wet-ir`, so the scripted values a run
+//! should see are described as plain data ([`ScriptSpec`]); the CLI and
+//! tests turn a spec into a `wet_interp::ScriptedSource`.
+
+use crate::util::{lcg_step, loop_blocks};
+use wet_ir::builder::ProgramBuilder;
+use wet_ir::stmt::{BinOp, Operand};
+use wet_ir::Program;
+
+/// Environment key read by [`env_gate_program`] for the round count.
+pub const ENV_ROUNDS: i64 = 1;
+/// Environment key read by [`env_gate_program`] for the accept threshold.
+pub const ENV_THRESH: i64 = 2;
+
+/// A deterministic recipe for one run of a nondeterministic workload:
+/// everything a `ScriptedSource` needs, as plain data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptSpec {
+    /// `readenv` table as (key, value) pairs.
+    pub env: Vec<(i64, i64)>,
+    /// `readarg` vector.
+    pub args: Vec<i64>,
+    /// `readinput` stream, consumed in order.
+    pub inputs: Vec<i64>,
+    /// Synthetic clock start.
+    pub clock0: i64,
+    /// Clock advance per `readclock`.
+    pub clock_step: i64,
+}
+
+/// The nondeterministic workloads, separate from the nine-row
+/// [`crate::Kind`] catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NdetWorkload {
+    /// Environment-configured annealing gate: `readenv` picks the round
+    /// count and accept threshold, `readclock` stamps each round.
+    EnvGate,
+    /// Argument-vector hasher: `readarg 0` is the count, args 1..=n are
+    /// hash-inserted with linear probing.
+    ArgMix,
+    /// Input-stream folder: `readarg 0` says how many `readinput`
+    /// values to fold into sum/min/max, with periodic clock mixing.
+    InputStream,
+}
+
+impl NdetWorkload {
+    /// All nondeterministic workloads.
+    pub fn all() -> [NdetWorkload; 3] {
+        [NdetWorkload::EnvGate, NdetWorkload::ArgMix, NdetWorkload::InputStream]
+    }
+
+    /// Stable display/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NdetWorkload::EnvGate => "envgate",
+            NdetWorkload::ArgMix => "argmix",
+            NdetWorkload::InputStream => "stream",
+        }
+    }
+
+    /// Parses a [`Self::name`] back; `None` for unknown names.
+    pub fn from_name(s: &str) -> Option<NdetWorkload> {
+        NdetWorkload::all().into_iter().find(|w| w.name() == s)
+    }
+
+    /// Builds the program.
+    pub fn program(self) -> Program {
+        match self {
+            NdetWorkload::EnvGate => env_gate_program(),
+            NdetWorkload::ArgMix => arg_mix_program(),
+            NdetWorkload::InputStream => input_stream_program(),
+        }
+    }
+
+    /// A canonical scripted run for this workload, varied by `seed` —
+    /// the recipe behind the golden corpus and the replay drills. Every
+    /// field is derived from `seed` by a fixed LCG so two calls with
+    /// the same seed describe byte-identical runs.
+    pub fn script(self, seed: u64) -> ScriptSpec {
+        let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 33) & 0x7fff_ffff) as i64
+        };
+        match self {
+            NdetWorkload::EnvGate => ScriptSpec {
+                env: vec![(ENV_ROUNDS, 24 + next() % 40), (ENV_THRESH, next() % 0x4000_0000)],
+                args: Vec::new(),
+                inputs: Vec::new(),
+                clock0: next(),
+                clock_step: 1 + next() % 7,
+            },
+            NdetWorkload::ArgMix => {
+                let n = 12 + next() % 20;
+                let mut args = vec![n];
+                args.extend((0..n).map(|_| next()));
+                ScriptSpec { env: Vec::new(), args, inputs: Vec::new(), clock0: 0, clock_step: 1 }
+            }
+            NdetWorkload::InputStream => {
+                let n = 16 + next() % 48;
+                ScriptSpec {
+                    env: Vec::new(),
+                    args: vec![n],
+                    inputs: (0..n).map(|_| next() - 0x3fff_ffff).collect(),
+                    clock0: next(),
+                    clock_step: 1 + next() % 5,
+                }
+            }
+        }
+    }
+}
+
+/// `envgate` — round count and accept threshold come from the
+/// environment, each round is stamped with the clock, and an LCG walk
+/// decides accepts against the threshold. Control flow (accept vs
+/// reject per round) depends on `ENV_THRESH`, so a mutated recorded
+/// value reroutes the trace, not just a value stream.
+pub fn env_gate_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0);
+    let e = f.entry_block();
+    let (rounds, thresh, x, stamp, i, c) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    let (hits, addr, t) = (f.reg(), f.reg(), f.reg());
+    {
+        let mut b = f.block(e);
+        b.read_env(rounds, ENV_ROUNDS);
+        b.read_env(thresh, ENV_THRESH);
+        b.read_clock(stamp);
+        // Seed the walk from the starting clock so the whole trajectory
+        // is nondeterministic, then clamp rounds into a sane band.
+        b.bin(BinOp::And, x, stamp, 0x7fffffffi64);
+        b.bin(BinOp::Rem, rounds, rounds, 256i64);
+        b.bin(BinOp::Add, rounds, rounds, 8i64);
+        b.movi(hits, 0);
+        b.movi(i, 0);
+    }
+    let (head, body, exit) = loop_blocks(&mut f, i, rounds, c);
+    f.block(e).jump(head);
+    let (accept, next) = (f.new_block(), f.new_block());
+    {
+        let mut b = f.block(body);
+        lcg_step(&mut b, x);
+        b.read_clock(stamp);
+        b.bin(BinOp::Xor, x, x, stamp);
+        b.bin(BinOp::And, x, x, 0x7fffffffi64);
+        b.bin(BinOp::Lt, c, x, thresh);
+        b.branch(c, accept, next);
+    }
+    {
+        let mut b = f.block(accept);
+        b.bin(BinOp::Rem, addr, hits, 64i64);
+        b.store(addr, x);
+        b.bin(BinOp::Add, hits, hits, 1i64);
+        b.jump(next);
+    }
+    {
+        let mut b = f.block(next);
+        b.bin(BinOp::Rem, addr, i, 64i64);
+        b.load(t, addr);
+        b.bin(BinOp::Add, x, x, t);
+        b.bin(BinOp::Add, i, i, 1i64);
+        b.jump(head);
+    }
+    f.block(exit).out(Operand::Reg(hits));
+    f.block(exit).out(Operand::Reg(x));
+    f.block(exit).ret(Some(Operand::Reg(hits)));
+    let main = f.finish();
+    pb.finish(main).expect("envgate program is valid")
+}
+
+/// `argmix` — `readarg 0` is the argument count; args `1..=n` are
+/// hash-inserted into a 64-slot open-addressed table. Probe lengths
+/// (and thus the path mix) depend entirely on the argument values.
+pub fn arg_mix_program() -> Program {
+    const TABLE: i64 = 0; // 64 slots, 0 = empty (values are forced nonzero)
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0);
+    let e = f.entry_block();
+    let (n, j, c, v, h, addr, slot, sum) =
+        (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    {
+        let mut b = f.block(e);
+        b.read_arg(n, 0i64);
+        b.bin(BinOp::Rem, n, n, 48i64);
+        b.movi(sum, 0);
+        b.movi(j, 1);
+        b.bin(BinOp::Add, n, n, 1i64);
+    }
+    let (head, body, exit) = loop_blocks(&mut f, j, n, c);
+    f.block(e).jump(head);
+    // Insert v at h = v % 64, probing linearly past occupied slots.
+    let (probe, occupied, place) = (f.new_block(), f.new_block(), f.new_block());
+    {
+        let mut b = f.block(body);
+        b.read_arg(v, j);
+        b.bin(BinOp::And, v, v, 0x7fffffffi64);
+        b.bin(BinOp::Add, v, v, 1i64); // nonzero so 0 means empty
+        b.bin(BinOp::Rem, h, v, 64i64);
+        b.jump(probe);
+    }
+    {
+        let mut b = f.block(probe);
+        b.bin(BinOp::Add, addr, h, TABLE);
+        b.load(slot, addr);
+        b.bin(BinOp::Eq, c, slot, 0i64);
+        b.branch(c, place, occupied);
+    }
+    {
+        let mut b = f.block(occupied);
+        b.bin(BinOp::Add, sum, sum, slot); // collision cost feeds the checksum
+        b.bin(BinOp::Add, h, h, 1i64);
+        b.bin(BinOp::Rem, h, h, 64i64);
+        b.jump(probe);
+    }
+    {
+        let mut b = f.block(place);
+        b.store(addr, v);
+        b.bin(BinOp::Add, sum, sum, h);
+        b.bin(BinOp::Add, j, j, 1i64);
+        b.jump(head);
+    }
+    f.block(exit).out(Operand::Reg(sum));
+    f.block(exit).ret(Some(Operand::Reg(sum)));
+    let main = f.finish();
+    pb.finish(main).expect("argmix program is valid")
+}
+
+/// `stream` — folds `readarg 0` many `readinput` values into
+/// sum/min/max, mixing in a clock sample every fourth element. The
+/// min/max branches flip with the data, so a replayed stream must match
+/// exactly to reproduce the path sequence.
+pub fn input_stream_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0);
+    let e = f.entry_block();
+    let (n, i, c, v, sum, lo, hi, t, addr) =
+        (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    {
+        let mut b = f.block(e);
+        b.read_arg(n, 0i64);
+        b.bin(BinOp::Rem, n, n, 256i64);
+        b.movi(sum, 0);
+        b.movi(lo, i64::MAX);
+        b.movi(hi, i64::MIN);
+        b.movi(i, 0);
+    }
+    let (head, body, exit) = loop_blocks(&mut f, i, n, c);
+    f.block(e).jump(head);
+    let (new_lo, chk_hi, new_hi, tick, step) =
+        (f.new_block(), f.new_block(), f.new_block(), f.new_block(), f.new_block());
+    {
+        let mut b = f.block(body);
+        b.read_input(v);
+        b.bin(BinOp::Add, sum, sum, v);
+        b.bin(BinOp::Rem, addr, i, 32i64);
+        b.store(addr, v);
+        b.bin(BinOp::Lt, c, v, lo);
+        b.branch(c, new_lo, chk_hi);
+    }
+    f.block(new_lo).bin(BinOp::Add, lo, v, 0i64);
+    f.block(new_lo).jump(chk_hi);
+    f.block(chk_hi).bin(BinOp::Gt, c, v, hi);
+    f.block(chk_hi).branch(c, new_hi, tick);
+    f.block(new_hi).bin(BinOp::Add, hi, v, 0i64);
+    f.block(new_hi).jump(tick);
+    // Every fourth element, fold in a clock sample.
+    f.block(tick).bin(BinOp::Rem, t, i, 4i64);
+    f.block(tick).bin(BinOp::Eq, c, t, 3i64);
+    let stamp_b = f.new_block();
+    f.block(tick).branch(c, stamp_b, step);
+    {
+        let mut b = f.block(stamp_b);
+        b.read_clock(t);
+        b.bin(BinOp::Xor, sum, sum, t);
+        b.jump(step);
+    }
+    f.block(step).bin(BinOp::Add, i, i, 1i64);
+    f.block(step).jump(head);
+    f.block(exit).out(Operand::Reg(sum));
+    f.block(exit).out(Operand::Reg(lo));
+    f.block(exit).out(Operand::Reg(hi));
+    f.block(exit).ret(Some(Operand::Reg(sum)));
+    let main = f.finish();
+    pb.finish(main).expect("stream program is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use wet_interp::{Interp, InterpConfig, NullSink, ScriptedSource};
+    use wet_ir::ballarus::BallLarus;
+
+    fn source(spec: &ScriptSpec) -> ScriptedSource {
+        ScriptedSource::new(
+            spec.env.iter().copied().collect::<HashMap<_, _>>(),
+            spec.args.clone(),
+            spec.inputs.clone(),
+            spec.clock0,
+            spec.clock_step,
+        )
+    }
+
+    #[test]
+    fn ndet_workloads_run_and_are_script_deterministic() {
+        for w in NdetWorkload::all() {
+            let p = w.program();
+            let bl = BallLarus::new(&p);
+            let spec = w.script(7);
+            let run = |spec: &ScriptSpec| {
+                Interp::new(&p, &bl, InterpConfig::default())
+                    .run_with(&[], &mut source(spec), &mut NullSink)
+                    .unwrap_or_else(|e| panic!("{} failed: {e}", w.name()))
+            };
+            let a = run(&spec);
+            let b = run(&spec);
+            assert!(a.stmts_executed > 50, "{} did too little work", w.name());
+            assert!(!a.outputs.is_empty(), "{} must produce output", w.name());
+            assert_eq!(a.outputs, b.outputs, "{} same script, same run", w.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_change_behaviour() {
+        for w in NdetWorkload::all() {
+            let p = w.program();
+            let bl = BallLarus::new(&p);
+            let out = |seed| {
+                Interp::new(&p, &bl, InterpConfig::default())
+                    .run_with(&[], &mut source(&w.script(seed)), &mut NullSink)
+                    .unwrap()
+                    .outputs
+            };
+            assert_ne!(out(1), out(2), "{} must react to its script", w.name());
+        }
+    }
+
+    #[test]
+    fn no_source_is_a_typed_error() {
+        let p = env_gate_program();
+        let bl = BallLarus::new(&p);
+        let err = Interp::new(&p, &bl, InterpConfig::default())
+            .run(&[], &mut NullSink)
+            .unwrap_err();
+        assert!(matches!(err, wet_interp::InterpError::NdetUnavailable { .. }), "{err}");
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for w in NdetWorkload::all() {
+            assert_eq!(NdetWorkload::from_name(w.name()), Some(w));
+        }
+        assert_eq!(NdetWorkload::from_name("go-like"), None);
+    }
+
+    #[test]
+    fn table_catalog_is_still_nine() {
+        assert_eq!(crate::Kind::all().len(), 9);
+    }
+}
