@@ -393,6 +393,106 @@ while IFS= read -r line; do
     printf '%s\n' "$line" | "$jsonv"
 done < "$obs_dir/slow.log"
 
+echo "==> chaos gate: seeded fault schedule, live ENOSPC capture, self-healing store"
+chaos_dir="$fsck_dir/chaos"
+mkdir -p "$chaos_dir"
+# The in-process chaos schedule: every fault kind injected into a live
+# capture must fail typed and reseal byte-identical after recovery, a
+# corrupted container must ride quarantine -> repair -> re-admit, and
+# log rotation must survive a torn rename. The profile document must
+# validate and carry the injection and repair ledgers.
+"$wet" drill --chaos --seed 42 --profile=json > "$chaos_dir/metrics.json" 2> /dev/null
+"$jsonv" < "$chaos_dir/metrics.json"
+grep -q 'io.faults_injected' "$chaos_dir/metrics.json"
+grep -q 'store.quarantines' "$chaos_dir/metrics.json"
+grep -q 'store.repairs_ok' "$chaos_dir/metrics.json"
+# Live ENOSPC at the second durable write: the capture exits typed (4)
+# and leaves the durable pressure marker; a rerun clears the marker,
+# resumes, and seals byte-identical to the fault-free reference.
+enospc_status=0
+WET_FAULT_AT=2 WET_FAULT_KIND=enospc \
+    "$wet" capture examples/data/collatz.wet --inputs 27 \
+    --dir "$chaos_dir/cap.wetz.seg" --interval 16 > /dev/null 2>&1 || enospc_status=$?
+if [ "$enospc_status" -ne 4 ]; then
+    echo "capture under ENOSPC: expected exit 4, got $enospc_status" >&2
+    exit 1
+fi
+if [ ! -f "$chaos_dir/cap.wetz.seg/capture.pressure" ]; then
+    echo "ENOSPC stop left no capture.pressure marker" >&2
+    exit 1
+fi
+"$wet" capture examples/data/collatz.wet --dir "$chaos_dir/cap.wetz.seg" > /dev/null
+if [ -f "$chaos_dir/cap.wetz.seg/capture.pressure" ]; then
+    echo "resume did not clear the pressure marker" >&2
+    exit 1
+fi
+"$wet" seal "$chaos_dir/cap.wetz.seg" -o "$chaos_dir/cap.wetz" > /dev/null
+cmp "$fsck_dir/fresh.wetz" "$chaos_dir/cap.wetz"
+# Self-healing store under serve: corrupting a value section and
+# cycling the trace quarantines it — the strict query answers the
+# typed retriable `repairing` error (exit 5) and `list` shows the
+# transition health. Once the disk heals, a client on --retries rides
+# through the repair window and the post-repair answer must be
+# byte-identical to the fault-free baseline.
+heal_dir="$chaos_dir/heal"
+mkdir -p "$heal_dir"
+cp "$serve_dir/t.wetz" "$heal_dir/t.wetz"
+heal_sock="$chaos_dir/heal.sock"
+rm -f "$heal_sock"
+"$wet" serve --store-root "$heal_dir" --listen "$heal_sock" > /dev/null 2> /dev/null &
+serve_pid=$!
+i=0
+while [ ! -S "$heal_sock" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then echo "heal server never bound $heal_sock" >&2; exit 1; fi
+    sleep 0.1
+done
+"$wet" query open --path t.wetz --trace t --remote "$heal_sock" > /dev/null
+"$wet" query value_trace --stmt 3 --trace t --remote "$heal_sock" > "$chaos_dir/base_vt.txt"
+sz=$(wc -c < "$heal_dir/t.wetz")
+printf '\125' | dd of="$heal_dir/t.wetz" bs=1 seek=$((sz / 2)) conv=notrunc 2> /dev/null
+"$wet" query close --trace t --remote "$heal_sock" > /dev/null
+"$wet" query open --path t.wetz --trace t --remote "$heal_sock" > /dev/null
+heal_status=0
+"$wet" query value_trace --stmt 3 --trace t --remote "$heal_sock" > /dev/null 2>&1 \
+    || heal_status=$?
+if [ "$heal_status" -ne 5 ]; then
+    echo "query on a quarantined trace: expected exit 5, got $heal_status" >&2
+    exit 1
+fi
+"$wet" query list --remote "$heal_sock" | grep -Eq '"health":"(quarantined|repairing)"'
+# Heal the disk promptly — the repair worker is already backing off
+# against the damaged file (its final attempt would install a
+# degraded resident copy instead).
+cp "$serve_dir/t.wetz" "$heal_dir/t.wetz"
+i=0
+heal_status=5
+while [ "$i" -lt 40 ]; do
+    heal_status=0
+    "$wet" query value_trace --stmt 3 --trace t --remote "$heal_sock" --retries 4 \
+        > "$chaos_dir/healed_vt.txt" 2> /dev/null || heal_status=$?
+    if [ "$heal_status" -eq 0 ]; then break; fi
+    if [ "$heal_status" -ne 5 ]; then
+        echo "riding through repair: unexpected exit $heal_status" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ "$heal_status" -ne 0 ]; then
+    echo "repair never re-admitted the trace" >&2
+    exit 1
+fi
+cmp "$chaos_dir/base_vt.txt" "$chaos_dir/healed_vt.txt"
+"$wet" query list --remote "$heal_sock" | grep -q '"health":"ok"'
+kill -TERM "$serve_pid"
+drain_status=0
+wait "$serve_pid" || drain_status=$?
+if [ "$drain_status" -ne 0 ]; then
+    echo "heal-server drain: expected exit 0, got $drain_status" >&2
+    exit 1
+fi
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --locked --workspace --all-targets -- -D warnings
 

@@ -62,6 +62,17 @@ pub(crate) fn io_fail(context: &str, e: &std::io::Error) -> Box<dyn Error> {
     fail(code, format!("{context}: {e}"))
 }
 
+/// Classifies a client-side network error: a timed-out connect or an
+/// unanswered request is [`EXIT_UNAVAILABLE`] (retriable — the server
+/// may come back), everything else falls through to [`io_fail`].
+pub(crate) fn net_fail(context: &str, e: &std::io::Error) -> Box<dyn Error> {
+    if wet_serve::is_timeout(e) {
+        fail(EXIT_UNAVAILABLE, format!("{context}: timed out: {e}"))
+    } else {
+        io_fail(context, e)
+    }
+}
+
 /// The exit code an error maps to (documented in `--help`).
 pub fn exit_code_of(e: &(dyn Error + 'static)) -> u8 {
     if let Some(c) = e.downcast_ref::<CliError>() {
@@ -103,6 +114,7 @@ usage:
             [--degraded] [--no-control] [--deadline-ms N] [--retries N]
             [--trace ID] [--tenant NAME] [--path REL]
   wet drill --remote ADDR [--seed N] [--count N] [--idle N] [--access-log PATH]
+  wet drill --chaos [--seed N]
   wet top --remote ADDR [--interval-ms N] [--iters N]
   wet scrape <host:port> [path]
       names: go-like gcc-like li-like gzip-like mcf-like parser-like
@@ -183,6 +195,12 @@ usage:
             it survives. With --access-log PATH (the server's access
             log on a shared filesystem) additionally audits that
             every completed request was logged exactly once.
+            With --chaos (no server needed) runs the seeded syscall-
+            fault schedule instead: every fault kind is injected into
+            a live capture (must fail typed and reseal byte-identical
+            after recovery), a corrupted container is driven through
+            the store's quarantine → repair → re-admit cycle, and the
+            access log survives a torn rotation rename.
             With --idle N additionally parks N accepted-but-silent
             connections and asserts live probes (ping + cf_trace)
             still answer within a 2 s budget while the storm holds.
@@ -307,6 +325,7 @@ pub(crate) struct Flags {
     pub(crate) iters: usize,
     pub(crate) check: bool,
     pub(crate) flip_ndet: Option<usize>,
+    pub(crate) chaos: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags> {
@@ -356,6 +375,7 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
         iters: 0,
         check: false,
         flip_ndet: None,
+        chaos: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -525,6 +545,7 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
                 f.iters = args.get(i).ok_or("--iters needs a value")?.parse()?;
             }
             "--check" => f.check = true,
+            "--chaos" => f.chaos = true,
             "--flip-ndet" => {
                 i += 1;
                 f.flip_ndet = Some(args.get(i).ok_or("--flip-ndet needs a record index")?.parse()?);
@@ -935,13 +956,13 @@ fn dispatch_cmd(args: &[String]) -> Result<()> {
             wet_obs::counter_add("salvage.seqs_recovered", "total", report.seqs_recovered);
             wet_obs::counter_add("salvage.seqs_lost", "total", report.seqs_lost);
             if let Some(out) = &flags.repair {
-                let (wet, _) = wet_core::Wet::read_salvaging(&mut open()?)
+                // Salvage and write through the fault-injectable I/O
+                // layer: the repaired copy lands via tmp+fsync+rename,
+                // and a WET_FAULT_* plan exercises this path too.
+                let vfs = wet_core::fault::Vfs::from_env();
+                let (wet, _) = wet_core::Wet::read_salvaging_path(std::path::Path::new(path), &vfs)
                     .map_err(|e| io_fail(&format!("cannot salvage {path}"), &e))?;
-                let mut w = std::io::BufWriter::new(
-                    std::fs::File::create(out)
-                        .map_err(|e| fail(EXIT_IO, format!("cannot create {out}: {e}")))?,
-                );
-                wet.write_to(&mut w)
+                wet.write_to_path(std::path::Path::new(out), &vfs)
                     .map_err(|e| fail(EXIT_IO, format!("cannot write {out}: {e}")))?;
                 say!("wrote salvaged copy to {out}");
             }
@@ -980,8 +1001,12 @@ fn dispatch_cmd(args: &[String]) -> Result<()> {
         "scrape" => {
             let addr = rest.first().ok_or("scrape needs <host:port> [path]")?;
             let path = rest.get(1).map(|s| s.as_str()).unwrap_or("/metrics");
-            let (status, body) = wet_serve::http_get(addr, path)
-                .map_err(|e| io_fail(&format!("cannot scrape {addr}{path}"), &e))?;
+            // Bounded timeouts plus two retries: a scrape against a
+            // hung or restarting endpoint exits 5 in seconds instead
+            // of wedging the cron job that invoked it.
+            let (status, body) =
+                wet_serve::http_get_with(addr, path, std::time::Duration::from_secs(2), 2)
+                    .map_err(|e| net_fail(&format!("cannot scrape {addr}{path}"), &e))?;
             say_block(&body);
             if status == 200 {
                 Ok(())
@@ -1187,7 +1212,10 @@ fn cmd_query(op: &str, flags: &Flags) -> Result<()> {
 /// shared filesystem) it additionally audits the ledger: every
 /// completed request must appear in the log exactly once.
 fn cmd_drill(flags: &Flags) -> Result<()> {
-    let remote = flags.remote.clone().ok_or("drill requires --remote ADDR")?;
+    if flags.chaos {
+        return crate::chaos::cmd_chaos(flags);
+    }
+    let remote = flags.remote.clone().ok_or("drill requires --remote ADDR (or --chaos)")?;
     let report = wet_serve::run_drill(&remote, flags.seed, flags.count);
     say!(
         "drill: {} clients (seed {}): {} ok, {} deadline, {} cancelled, {} shed, {} other errors, {} conns dropped",
@@ -1250,11 +1278,15 @@ fn audit_access_log(remote: &str, log: &str) -> Result<()> {
         }
     };
     let lines = count_lines(log)? + count_lines(&format!("{log}.1"))?;
-    let mut client = wet_serve::Client::connect(remote)
-        .map_err(|e| io_fail(&format!("cannot connect to {remote}"), &e))?;
+    let mut client = wet_serve::Client::connect_with(
+        remote,
+        std::time::Duration::from_secs(2),
+        std::time::Duration::from_secs(5),
+    )
+    .map_err(|e| net_fail(&format!("cannot connect to {remote}"), &e))?;
     let reply = client
         .call(vec![("op", Value::Str("stats".into()))])
-        .map_err(|e| io_fail("stats request failed", &e))?;
+        .map_err(|e| net_fail("stats request failed", &e))?;
     let stats = match reply {
         wet_serve::Reply::Ok(v) => v,
         wet_serve::Reply::Err { kind, message, .. } => return Err(remote_fail(&kind, &message)),
@@ -1279,8 +1311,15 @@ fn audit_access_log(remote: &str, log: &str) -> Result<()> {
 fn cmd_top(flags: &Flags) -> Result<()> {
     use wet_serve::json::Value;
     let remote = flags.remote.clone().ok_or("top requires --remote ADDR")?;
-    let mut client = wet_serve::Client::connect(&remote)
-        .map_err(|e| io_fail(&format!("cannot connect to {remote}"), &e))?;
+    // A monitoring loop must not wedge on a hung daemon: bound the
+    // connect, give every stats poll a reply budget, and retry a shed
+    // poll a couple of times before exiting 5.
+    let mut client = wet_serve::Client::connect_with(
+        &remote,
+        std::time::Duration::from_secs(2),
+        std::time::Duration::from_secs(5),
+    )
+    .map_err(|e| net_fail(&format!("cannot connect to {remote}"), &e))?;
     let mut prev: Option<(std::time::Instant, i64)> = None;
     let mut i = 0usize;
     loop {
@@ -1288,8 +1327,8 @@ fn cmd_top(flags: &Flags) -> Result<()> {
             std::thread::sleep(std::time::Duration::from_millis(flags.interval_ms.max(50)));
         }
         let reply = client
-            .call(vec![("op", Value::Str("stats".into()))])
-            .map_err(|e| io_fail("stats request failed", &e))?;
+            .call_with_retries(vec![("op", Value::Str("stats".into()))], 2)
+            .map_err(|e| net_fail("stats request failed", &e))?;
         let stats = match reply {
             wet_serve::Reply::Ok(v) => v,
             wet_serve::Reply::Err { kind, message, .. } => return Err(remote_fail(&kind, &message)),
@@ -1431,6 +1470,14 @@ pub(crate) mod tests {
         dispatch(&s(&["disasm", f])).expect("disasm");
         dispatch(&s(&["dump", f, "--node", "0", "--inputs", "10"])).expect("dump");
         dispatch(&s(&["slice", f, "--stmt", "7", "--inputs", "10"])).expect("slice");
+    }
+
+    #[test]
+    fn chaos_drill_passes_end_to_end() {
+        // The full seeded schedule: every fault kind into a capture,
+        // quarantine → repair → re-admit in the store, torn rotation
+        // rename — all in-process, no server. Exit 0 is the assertion.
+        dispatch(&s(&["drill", "--chaos", "--seed", "7"])).expect("chaos drill");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use std::process::ExitCode;
 
+mod chaos;
 mod cli;
 mod replay;
 

@@ -56,12 +56,13 @@
 
 use crate::build::{EdgeKey, IntraKey, SegmentDelta, WetBuilder};
 use crate::crc::Crc32;
-use crate::fault::{CrashMode, CrashPlan, FaultRng};
+use crate::fault::{is_disk_full, CrashMode, CrashPlan, FaultRng, Io, Vfs};
 use crate::graph::{NdetRec, NodeId, Wet, WetConfig};
 use crate::serial::{cap_count, corrupt, parse_conf, scan_sections, w_section, write_conf_parts, TAG_ENDW};
 use std::fs::{self, File};
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 use wet_interp::{BlockEvent, NdetEvent, NdetKind, StmtEvent, TraceSink};
 use wet_ir::ballarus::BallLarus;
@@ -99,6 +100,10 @@ const TAG_CCFG: [u8; 4] = *b"CCFG";
 
 const CONF_FILE: &str = "capture.conf";
 const MANIFEST_FILE: &str = "MANIFEST";
+/// Durable marker left beside the log when a capture stops on disk
+/// pressure (`ENOSPC` during a segment flush). Purely informational —
+/// resume removes it once it runs with space available again.
+pub const PRESSURE_FILE: &str = "capture.pressure";
 
 fn seg_path(dir: &Path, index: u64) -> PathBuf {
     dir.join(format!("seg-{index:05}.seg"))
@@ -412,7 +417,12 @@ fn encode_conf(config: &WetConfig) -> io::Result<Vec<u8>> {
 /// [`Capture::create`]. The `num_threads` execution knob is not part
 /// of it; callers set that on the returned config as needed.
 pub fn read_config(dir: &Path) -> io::Result<WetConfig> {
-    let bytes = fs::read(dir.join(CONF_FILE))?;
+    read_config_with(dir, &Vfs::from_env())
+}
+
+/// [`read_config`] through an explicit [`Io`] layer (fault drills).
+pub fn read_config_with(dir: &Path, io: &dyn Io) -> io::Result<WetConfig> {
+    let bytes = io.read(&dir.join(CONF_FILE))?;
     if bytes.len() < 5 || &bytes[..4] != CONF_MAGIC || bytes[4] != VERSION {
         return Err(corrupt("not a capture config file"));
     }
@@ -481,7 +491,12 @@ fn encode_manifest(finished: bool, segments: &[SegMeta]) -> io::Result<Vec<u8>> 
 
 /// Reads and verifies the checkpoint manifest.
 pub fn read_manifest(dir: &Path) -> io::Result<Manifest> {
-    let bytes = fs::read(dir.join(MANIFEST_FILE))?;
+    read_manifest_with(dir, &Vfs::from_env())
+}
+
+/// [`read_manifest`] through an explicit [`Io`] layer (fault drills).
+pub fn read_manifest_with(dir: &Path, io: &dyn Io) -> io::Result<Manifest> {
+    let bytes = io.read(&dir.join(MANIFEST_FILE))?;
     if bytes.len() < 5 || &bytes[..4] != MAN_MAGIC || bytes[4] != VERSION {
         return Err(corrupt("not a capture manifest"));
     }
@@ -544,6 +559,9 @@ pub struct Capture<'p> {
     /// First I/O (or simulated-crash) failure; the sink goes inert.
     dead: Option<io::Error>,
     crash: Option<CrashPlan>,
+    /// The I/O layer every filesystem call goes through; a plain
+    /// passthrough unless a `WET_FAULT_*` plan (or a drill) armed it.
+    vfs: Arc<Vfs>,
     ops_done: u64,
     peak_bytes: u64,
     /// NDET records recovered from sealed segments on resume, in
@@ -556,6 +574,18 @@ impl<'p> Capture<'p> {
     /// Starts a fresh capture in `dir` (created if absent). Fails if
     /// the directory already holds a capture — resume or remove it.
     pub fn create(program: &'p Program, bl: &'p BallLarus, config: WetConfig, dir: &Path) -> io::Result<Self> {
+        Capture::create_with(program, bl, config, dir, Arc::new(Vfs::from_env()))
+    }
+
+    /// [`Capture::create`] through an explicit [`Io`] layer, so fault
+    /// drills can target the very first durable writes.
+    pub fn create_with(
+        program: &'p Program,
+        bl: &'p BallLarus,
+        config: WetConfig,
+        dir: &Path,
+        vfs: Arc<Vfs>,
+    ) -> io::Result<Self> {
         fs::create_dir_all(dir)?;
         if dir.join(CONF_FILE).exists() || dir.join(MANIFEST_FILE).exists() {
             return Err(corrupt("capture directory already in use (resume it or remove it)"));
@@ -565,9 +595,11 @@ impl<'p> Capture<'p> {
         // capture and `resume` fails cleanly.
         let bytes = encode_conf(&config)?;
         let tmp = dir.join("capture.conf.tmp");
-        fs::write(&tmp, &bytes)?;
-        File::open(&tmp)?.sync_all()?;
-        fs::rename(&tmp, dir.join(CONF_FILE))?;
+        let mut f = vfs.create(&tmp)?;
+        vfs.write(&mut f, &bytes)?;
+        vfs.fsync(&f)?;
+        drop(f);
+        vfs.rename(&tmp, &dir.join(CONF_FILE))?;
         fsync_dir(dir);
         Ok(Capture {
             builder: WetBuilder::new(program, bl, config.clone()),
@@ -580,6 +612,7 @@ impl<'p> Capture<'p> {
             shed: false,
             dead: None,
             crash: None,
+            vfs,
             ops_done: 0,
             peak_bytes: 0,
             recovered_ndet: Vec::new(),
@@ -592,8 +625,18 @@ impl<'p> Capture<'p> {
     /// frontier. Re-run the interpreter with the returned sink — event
     /// delivery fast-forwards past everything already sealed.
     pub fn resume(program: &'p Program, bl: &'p BallLarus, dir: &Path) -> io::Result<Self> {
-        let config = read_config(dir)?;
-        if let Ok(man) = read_manifest(dir) {
+        Capture::resume_with(program, bl, dir, Arc::new(Vfs::from_env()))
+    }
+
+    /// [`Capture::resume`] through an explicit [`Io`] layer.
+    pub fn resume_with(
+        program: &'p Program,
+        bl: &'p BallLarus,
+        dir: &Path,
+        vfs: Arc<Vfs>,
+    ) -> io::Result<Self> {
+        let config = read_config_with(dir, vfs.as_ref())?;
+        if let Ok(man) = read_manifest_with(dir, vfs.as_ref()) {
             if man.finished {
                 return Err(corrupt("capture already finished; seal it instead"));
             }
@@ -605,7 +648,15 @@ impl<'p> Capture<'p> {
         let mut last_shed = false;
         loop {
             let index = metas.len() as u64;
-            let Ok(bytes) = fs::read(seg_path(dir, index)) else { break };
+            // A missing file ends the chain (never-written tail); any
+            // other read failure is a live disk error and must surface
+            // typed rather than silently truncate the recovered prefix
+            // (remove_strays below would then delete good segments).
+            let bytes = match vfs.read(&seg_path(dir, index)) {
+                Ok(b) => b,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => break,
+                Err(e) => return Err(e),
+            };
             let Ok((head, delta)) = decode_segment(&bytes) else { break };
             if head.index != index || head.start_ts != last_end + 1 {
                 break;
@@ -623,7 +674,14 @@ impl<'p> Capture<'p> {
                 file_crc: crc_of(&bytes),
             });
         }
-        remove_strays(dir, metas.len() as u64)?;
+        remove_strays_with(dir, metas.len() as u64, vfs.as_ref())?;
+        // A previous run may have stopped on disk pressure; running at
+        // all means the operator chose to try again, so clear the
+        // marker (it is re-created if pressure persists).
+        if dir.join(PRESSURE_FILE).exists() {
+            let _ = fs::remove_file(dir.join(PRESSURE_FILE));
+            wet_obs::counter_add("capture.pressure_resumes", "", 1);
+        }
         let mut cap = Capture {
             builder,
             dir: dir.to_path_buf(),
@@ -635,6 +693,7 @@ impl<'p> Capture<'p> {
             shed: false,
             dead: None,
             crash: None,
+            vfs,
             ops_done: 0,
             peak_bytes: 0,
             recovered_ndet,
@@ -654,6 +713,12 @@ impl<'p> Capture<'p> {
     /// Arms a simulated crash for the fault harness.
     pub fn set_crash_plan(&mut self, plan: CrashPlan) {
         self.crash = Some(plan);
+    }
+
+    /// The I/O layer this capture runs through (drills inspect its
+    /// injected-fault count).
+    pub fn vfs(&self) -> &Arc<Vfs> {
+        &self.vfs
     }
 
     /// Timestamp up to which this capture was recovered (0 if fresh).
@@ -684,7 +749,9 @@ impl<'p> Capture<'p> {
         if let Some(e) = self.dead.take() {
             return Err(e);
         }
-        self.flush(true)?;
+        if let Err(e) = self.flush(true) {
+            return Err(self.degrade_on_pressure(e));
+        }
         wet_obs::gauge_set("capture.peak_bytes", "", self.peak_bytes as i64);
         wet_obs::gauge_set("capture.segments", "", self.metas.len() as i64);
         Ok(CaptureSummary {
@@ -752,8 +819,9 @@ impl<'p> Capture<'p> {
         if let Some(e) = self.dead.take() {
             return Err(e);
         }
-        self.seal_delta()?;
-        self.write_manifest(false)?;
+        if let Err(e) = self.seal_delta().and_then(|_| self.write_manifest(false)) {
+            return Err(self.degrade_on_pressure(e));
+        }
         wet_obs::gauge_set("capture.peak_bytes", "", self.peak_bytes as i64);
         wet_obs::gauge_set("capture.segments", "", self.metas.len() as i64);
         Ok(CaptureSummary {
@@ -799,18 +867,57 @@ impl<'p> Capture<'p> {
         let t0 = Instant::now();
         if replace {
             let tmp = path.with_extension("tmp");
-            let mut f = File::create(&tmp)?;
-            f.write_all(bytes)?;
-            f.sync_all()?;
-            fs::rename(&tmp, path)?;
+            let mut f = self.vfs.create(&tmp)?;
+            self.vfs.write(&mut f, bytes)?;
+            self.vfs.fsync(&f)?;
+            drop(f);
+            self.vfs.rename(&tmp, path)?;
         } else {
-            let mut f = File::create(path)?;
-            f.write_all(bytes)?;
-            f.sync_all()?;
+            let mut f = self.vfs.create(path)?;
+            self.vfs.write(&mut f, bytes)?;
+            self.vfs.fsync(&f)?;
         }
         fsync_dir(&self.dir);
         wet_obs::hist_record("capture.fsync_micros", "", t0.elapsed().as_micros() as u64);
         Ok(())
+    }
+
+    /// Disk-pressure off-ramp: when a flush fails with `ENOSPC` the
+    /// capture degrades instead of dying anonymously — value detail is
+    /// shed (bounding what a retry would need), a durable
+    /// `capture.pressure` marker is left beside the log, and the
+    /// returned error says exactly how to proceed. Nothing of the
+    /// failed flush landed sealed, so a later resume + seal is
+    /// byte-identical to a run that never hit pressure.
+    fn degrade_on_pressure(&mut self, e: io::Error) -> io::Error {
+        if !is_disk_full(&e) {
+            return e;
+        }
+        if !self.shed {
+            self.shed = true;
+            self.builder.set_record_values(false);
+            wet_obs::counter_add("capture.budget_sheds", "", 1);
+        }
+        wet_obs::counter_add("capture.pressure_stops", "", 1);
+        // Direct fs, not the vfs: the marker must not re-enter the
+        // fault plan, and it is best-effort by design (a disk too full
+        // for 40 bytes still gets the typed error below).
+        let marker = self.dir.join(PRESSURE_FILE);
+        let line = format!("enospc at ts={} after {} sealed segments\n", self.cur_ts, self.metas.len());
+        if fs::write(&marker, line.as_bytes()).is_ok() {
+            if let Ok(f) = File::open(&marker) {
+                let _ = f.sync_all();
+            }
+            fsync_dir(&self.dir);
+        }
+        io::Error::new(
+            io::ErrorKind::StorageFull,
+            format!(
+                "disk full during segment flush ({} segments sealed, checkpoint intact): \
+                 free space and `wet capture --resume` to continue ({e})",
+                self.metas.len()
+            ),
+        )
     }
 }
 
@@ -854,7 +961,7 @@ impl TraceSink for Capture<'_> {
             || (cc.budget_bytes > 0 && mem >= cc.budget_bytes / 2);
         if due {
             if let Err(e) = self.flush(false) {
-                self.dead = Some(e);
+                self.dead = Some(self.degrade_on_pressure(e));
             }
         }
     }
@@ -866,7 +973,7 @@ impl TraceSink for Capture<'_> {
 
 /// Deletes segment files at or beyond `keep` (the recovered prefix
 /// length) plus any leftover temp files.
-fn remove_strays(dir: &Path, keep: u64) -> io::Result<()> {
+fn remove_strays_with(dir: &Path, keep: u64, io: &dyn Io) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let name = entry.file_name();
@@ -876,7 +983,7 @@ fn remove_strays(dir: &Path, keep: u64) -> io::Result<()> {
             None => name.ends_with(".tmp"),
         };
         if stray {
-            fs::remove_file(entry.path())?;
+            io.remove_file(&entry.path())?;
         }
     }
     fsync_dir(dir);
@@ -898,16 +1005,27 @@ fn remove_strays(dir: &Path, keep: u64) -> io::Result<()> {
 /// Fails if the capture is unfinished, the manifest is missing or
 /// damaged, or any sealed segment fails verification.
 pub fn seal(program: &Program, bl: &BallLarus, dir: &Path, num_threads: usize) -> io::Result<Wet> {
-    let mut config = read_config(dir)?;
+    seal_with(program, bl, dir, num_threads, &Vfs::from_env())
+}
+
+/// [`seal`] through an explicit [`Io`] layer (fault drills).
+pub fn seal_with(
+    program: &Program,
+    bl: &BallLarus,
+    dir: &Path,
+    num_threads: usize,
+    io: &dyn Io,
+) -> io::Result<Wet> {
+    let mut config = read_config_with(dir, io)?;
     config.stream.num_threads = num_threads;
-    let man = read_manifest(dir)?;
+    let man = read_manifest_with(dir, io)?;
     if !man.finished {
         return Err(corrupt("capture not finished; resume it to completion before sealing"));
     }
     let mut builder = WetBuilder::new(program, bl, config);
     let mut last_end = 0u64;
     for (i, m) in man.segments.iter().enumerate() {
-        let bytes = fs::read(seg_path(dir, i as u64))?;
+        let bytes = io.read(&seg_path(dir, i as u64))?;
         if bytes.len() as u64 != m.file_len || crc_of(&bytes) != m.file_crc {
             return Err(corrupt("sealed segment does not match the manifest"));
         }
@@ -947,6 +1065,11 @@ impl CaptureFsck {
 /// Verifies every file of a capture directory: config, manifest, and
 /// each sealed segment's CRC'd sections and chain continuity.
 pub fn fsck_dir(dir: &Path) -> io::Result<CaptureFsck> {
+    fsck_dir_with(dir, &Vfs::from_env())
+}
+
+/// [`fsck_dir`] through an explicit [`Io`] layer (fault drills).
+pub fn fsck_dir_with(dir: &Path, io: &dyn Io) -> io::Result<CaptureFsck> {
     let mut report = CaptureFsck {
         conf_ok: false,
         manifest_ok: false,
@@ -954,11 +1077,11 @@ pub fn fsck_dir(dir: &Path) -> io::Result<CaptureFsck> {
         segments_ok: 0,
         problems: Vec::new(),
     };
-    match read_config(dir) {
+    match read_config_with(dir, io) {
         Ok(_) => report.conf_ok = true,
         Err(e) => report.problems.push(format!("{CONF_FILE}: {e}")),
     }
-    let man = match read_manifest(dir) {
+    let man = match read_manifest_with(dir, io) {
         Ok(m) => {
             report.manifest_ok = true;
             report.finished = m.finished;
@@ -973,7 +1096,7 @@ pub fn fsck_dir(dir: &Path) -> io::Result<CaptureFsck> {
     let mut index = 0u64;
     loop {
         let path = seg_path(dir, index);
-        let bytes = match fs::read(&path) {
+        let bytes = match io.read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => break,
             Err(e) => return Err(e),
@@ -1155,6 +1278,67 @@ mod tests {
         let report = Wet::fsck(&mut out.as_slice()).unwrap();
         assert!(report.is_clean(), "{report:?}");
         assert!(report.seqs_lost > 0, "fsck must account the shed streams");
+    }
+
+    #[test]
+    fn enospc_on_flush_degrades_checkpoints_and_resumes_byte_identical() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let p = crate::tests::looping_program();
+        let mut config = WetConfig::default();
+        config.capture.segment_interval = 8;
+        let bl = BallLarus::new(&p);
+        let reference = plain_bytes(&p, &[120], &config);
+
+        // Writes are numbered per class: the conf write is 1, the
+        // first segment flush is 2 — the disk "fills" right there.
+        let dir = fresh_dir("enospc");
+        let vfs = Arc::new(Vfs::with_plan(FaultPlan { at_op: 2, kind: FaultKind::Enospc, seed: 7 }));
+        let mut cap = Capture::create_with(&p, &bl, config.clone(), &dir, vfs.clone()).unwrap();
+        Interp::new(&p, &bl, InterpConfig::default()).run(&[120], &mut cap).unwrap();
+        let err = cap.finish().expect_err("the planned ENOSPC must surface");
+        assert!(is_disk_full(&err), "typed disk-full error, got {err}");
+        assert!(err.to_string().contains("resume"), "error must say how to proceed: {err}");
+        assert_eq!(vfs.faults_injected(), 1);
+        assert!(dir.join(PRESSURE_FILE).exists(), "durable pressure marker");
+
+        // Space comes back: resume (clears the marker), finish, seal —
+        // byte-identical to a run that never saw pressure.
+        let mut cap = Capture::resume(&p, &bl, &dir).unwrap();
+        assert!(!dir.join(PRESSURE_FILE).exists(), "resume clears the marker");
+        Interp::new(&p, &bl, InterpConfig::default()).run(&[120], &mut cap).unwrap();
+        cap.finish().unwrap();
+        let report = fsck_dir(&dir).unwrap();
+        assert!(report.is_clean() && report.finished, "{report:?}");
+        let wet = seal(&p, &bl, &dir, 1).unwrap();
+        let mut out = Vec::new();
+        wet.write_to(&mut out).unwrap();
+        assert_eq!(out, reference, "post-pressure seal must match a fault-free run");
+    }
+
+    #[test]
+    fn short_write_on_manifest_is_typed_and_recoverable() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let p = crate::tests::looping_program();
+        let mut config = WetConfig::default();
+        config.capture.segment_interval = 8;
+        let bl = BallLarus::new(&p);
+        let reference = plain_bytes(&p, &[120], &config);
+        let dir = fresh_dir("short-manifest");
+        // Write 3 is the first manifest replacement: a short write
+        // tears the temp file; the rename never happens, so the torn
+        // bytes stay invisible behind the replace protocol.
+        let vfs = Arc::new(Vfs::with_plan(FaultPlan { at_op: 3, kind: FaultKind::ShortWrite, seed: 11 }));
+        let mut cap = Capture::create_with(&p, &bl, config.clone(), &dir, vfs).unwrap();
+        Interp::new(&p, &bl, InterpConfig::default()).run(&[120], &mut cap).unwrap();
+        let err = cap.finish().expect_err("the planned short write must surface");
+        assert!(is_disk_full(&err), "short writes end in ENOSPC: {err}");
+        let mut cap = Capture::resume(&p, &bl, &dir).unwrap();
+        Interp::new(&p, &bl, InterpConfig::default()).run(&[120], &mut cap).unwrap();
+        cap.finish().unwrap();
+        let wet = seal(&p, &bl, &dir, 1).unwrap();
+        let mut out = Vec::new();
+        wet.write_to(&mut out).unwrap();
+        assert_eq!(out, reference);
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //! schedules must be stable across platforms and toolchain updates.
 
 use crate::serial::{section_spans, SectionSpan};
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Deterministic 64-bit PRNG (SplitMix64). Same seed → same mutation
 /// schedule, forever, on every platform.
@@ -77,6 +81,340 @@ pub enum CrashMode {
         /// Seed for the prefix-length choice.
         seed: u64,
     },
+}
+
+// ---------------------------------------------------------------------------
+// Syscall-fault chaos layer: a seedable VFS shim over the handful of
+// filesystem operations the capture, store, and serving paths perform.
+// ---------------------------------------------------------------------------
+
+/// What a planned syscall fault returns, generalizing [`CrashPlan`]
+/// (which simulates power loss) to disks that stay up but fail:
+/// `ENOSPC`, `EIO`, short writes, fsync refusals, and torn renames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The `at_op`-th write returns `ENOSPC` with nothing written.
+    Enospc,
+    /// The `at_op`-th operation of *any* class returns `EIO`.
+    Eio,
+    /// The `at_op`-th write lands a seeded prefix, then fails `ENOSPC`.
+    ShortWrite,
+    /// The `at_op`-th `sync_all` fails `EIO`; the data may or may not
+    /// be durable — exactly the ambiguity real fsync failures leave.
+    FsyncFail,
+    /// The `at_op`-th rename publishes a seeded-length prefix of the
+    /// source at the destination, unlinks the source, and fails `EIO`
+    /// — the worst case a crashing rename across a non-atomic layer
+    /// (or a corrupting controller) permits.
+    TornRename,
+}
+
+impl FaultKind {
+    /// Stable label, used in env parsing, counters, and messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Enospc => "enospc",
+            FaultKind::Eio => "eio",
+            FaultKind::ShortWrite => "short",
+            FaultKind::FsyncFail => "fsync",
+            FaultKind::TornRename => "torn-rename",
+        }
+    }
+
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "enospc" => Some(FaultKind::Enospc),
+            "eio" => Some(FaultKind::Eio),
+            "short" | "short-write" => Some(FaultKind::ShortWrite),
+            "fsync" | "fsync-fail" => Some(FaultKind::FsyncFail),
+            "torn-rename" => Some(FaultKind::TornRename),
+            _ => None,
+        }
+    }
+}
+
+/// A seeded plan for one injected syscall fault, the [`CrashPlan`]
+/// counterpart for disks that error instead of dying. Eligible
+/// operations are numbered from 1 per [`FaultKind`] class (writes for
+/// `Enospc`/`ShortWrite`, fsyncs for `FsyncFail`, renames for
+/// `TornRename`, every operation for `Eio`); the `at_op`-th one fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// 1-based index of the eligible operation that fails.
+    pub at_op: u64,
+    /// How it fails.
+    pub kind: FaultKind,
+    /// Seed for data-dependent choices (short-write and torn-rename
+    /// prefix lengths).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Reads a plan from `WET_FAULT_AT` / `WET_FAULT_KIND` /
+    /// `WET_FAULT_SEED`, mirroring the `WET_CRASH_AT` hook: unset (or
+    /// unparsable) environment means no plan.
+    pub fn from_env() -> Option<FaultPlan> {
+        let at_op: u64 = std::env::var("WET_FAULT_AT").ok()?.trim().parse().ok()?;
+        if at_op == 0 {
+            return None;
+        }
+        let kind = std::env::var("WET_FAULT_KIND")
+            .ok()
+            .and_then(|s| FaultKind::parse(s.trim()))
+            .unwrap_or(FaultKind::Eio);
+        let seed = std::env::var("WET_FAULT_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0x5eed_fa17);
+        Some(FaultPlan { at_op, kind, seed })
+    }
+}
+
+/// The operation classes [`Vfs`] counts for fault eligibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpClass {
+    Open,
+    Read,
+    Write,
+    Fsync,
+    Rename,
+    Remove,
+}
+
+/// The thin I/O seam every direct-filesystem site in wet-core and
+/// wet-serve goes through. The production implementation ([`Vfs`]
+/// without a plan) is a zero-cost passthrough to `std::fs`; with a
+/// [`FaultPlan`] it injects exactly one typed failure at a chosen
+/// operation index. All methods take `&self` so one instance can be
+/// shared (`Arc<Vfs>`) across capture, store, and log-rotation threads.
+pub trait Io: Send + Sync {
+    /// Opens an existing file for reading.
+    fn open(&self, path: &Path) -> io::Result<File>;
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Appends/overwrites `bytes` through an open handle.
+    fn write(&self, file: &mut File, bytes: &[u8]) -> io::Result<()>;
+    /// Creates (truncating) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<File>;
+    /// Durability barrier on an open handle.
+    fn fsync(&self, file: &File) -> io::Result<()>;
+    /// Atomically (in the absence of faults) replaces `to` with `from`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Unlinks a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Positional read into `buf` at `off` (no seek on the handle).
+    fn pread(&self, file: &File, buf: &mut [u8], off: u64) -> io::Result<()>;
+}
+
+/// The standard [`Io`] implementation: real filesystem calls, with an
+/// optional [`FaultPlan`] that makes one of them fail. Operation
+/// counting is per class and atomic, so a `Vfs` shared across threads
+/// still fires exactly once (the first thread to reach the index).
+#[derive(Debug, Default)]
+pub struct Vfs {
+    plan: Option<FaultPlan>,
+    opens: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    fsyncs: AtomicU64,
+    renames: AtomicU64,
+    removes: AtomicU64,
+    fired: AtomicU64,
+}
+
+/// `ENOSPC` as a typed `io::Error`.
+fn enospc() -> io::Error {
+    io::Error::from_raw_os_error(28)
+}
+
+/// `EIO` as a typed `io::Error`.
+fn eio() -> io::Error {
+    io::Error::from_raw_os_error(5)
+}
+
+/// True when `e` is the disk-full errno (the capture pressure path
+/// keys off this to degrade instead of dying).
+pub fn is_disk_full(e: &io::Error) -> bool {
+    e.raw_os_error() == Some(28) || e.kind() == io::ErrorKind::StorageFull
+}
+
+impl Vfs {
+    /// A passthrough `Vfs` with no fault plan.
+    pub fn real() -> Vfs {
+        Vfs::default()
+    }
+
+    /// A `Vfs` that will fail per `plan`.
+    pub fn with_plan(plan: FaultPlan) -> Vfs {
+        Vfs { plan: Some(plan), ..Vfs::default() }
+    }
+
+    /// A `Vfs` honoring `WET_FAULT_*` (passthrough when unset).
+    pub fn from_env() -> Vfs {
+        match FaultPlan::from_env() {
+            Some(p) => Vfs::with_plan(p),
+            None => Vfs::real(),
+        }
+    }
+
+    /// The active plan, if any.
+    pub fn plan(&self) -> Option<FaultPlan> {
+        self.plan
+    }
+
+    /// How many planned faults this instance has injected.
+    pub fn faults_injected(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Counts one logical read without performing one — the hook for
+    /// paths that read through an mmap (no syscall to intercept) or
+    /// that do their own positioned I/O. Errors when the plan fires.
+    pub fn read_gate(&self) -> io::Result<()> {
+        if self.tick(OpClass::Read).is_some() {
+            return Err(eio());
+        }
+        Ok(())
+    }
+
+    /// Counts one operation of `class`; when the plan targets this
+    /// class and the 1-based count hits `at_op`, returns the plan (the
+    /// caller then manufactures the failure). `Eio` plans target every
+    /// class and share one combined count.
+    fn tick(&self, class: OpClass) -> Option<FaultPlan> {
+        let plan = self.plan?;
+        let eligible = match plan.kind {
+            FaultKind::Eio => true,
+            FaultKind::Enospc | FaultKind::ShortWrite => class == OpClass::Write,
+            FaultKind::FsyncFail => class == OpClass::Fsync,
+            FaultKind::TornRename => class == OpClass::Rename,
+        };
+        let ctr = if plan.kind == FaultKind::Eio {
+            &self.opens // combined count lives on one counter for Eio
+        } else {
+            match class {
+                OpClass::Open => &self.opens,
+                OpClass::Read => &self.reads,
+                OpClass::Write => &self.writes,
+                OpClass::Fsync => &self.fsyncs,
+                OpClass::Rename => &self.renames,
+                OpClass::Remove => &self.removes,
+            }
+        };
+        if !eligible {
+            return None;
+        }
+        let n = ctr.fetch_add(1, Ordering::Relaxed) + 1;
+        if n == plan.at_op {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+            wet_obs::counter_add("io.faults_injected", plan.kind.name(), 1);
+            Some(plan)
+        } else {
+            None
+        }
+    }
+}
+
+impl Io for Vfs {
+    fn open(&self, path: &Path) -> io::Result<File> {
+        if self.tick(OpClass::Open).is_some() {
+            return Err(eio());
+        }
+        File::open(path)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        if self.tick(OpClass::Read).is_some() {
+            return Err(eio());
+        }
+        std::fs::read(path)
+    }
+
+    fn write(&self, file: &mut File, bytes: &[u8]) -> io::Result<()> {
+        match self.tick(OpClass::Write).map(|p| (p.kind, p.seed)) {
+            Some((FaultKind::Enospc, _)) => Err(enospc()),
+            Some((FaultKind::ShortWrite, seed)) => {
+                // A seeded prefix lands, then the device reports full —
+                // the torn state a real ENOSPC mid-write leaves behind.
+                if bytes.len() > 1 {
+                    let cut = 1 + FaultRng::new(seed).below(bytes.len() as u64 - 1) as usize;
+                    file.write_all(&bytes[..cut])?;
+                }
+                Err(enospc())
+            }
+            Some(_) => Err(eio()),
+            None => file.write_all(bytes),
+        }
+    }
+
+    fn create(&self, path: &Path) -> io::Result<File> {
+        if self.tick(OpClass::Open).is_some() {
+            return Err(eio());
+        }
+        File::create(path)
+    }
+
+    fn fsync(&self, file: &File) -> io::Result<()> {
+        if self.tick(OpClass::Fsync).is_some() {
+            // The kernel may or may not have flushed; either way the
+            // barrier was refused, so the caller must treat everything
+            // since the last successful fsync as undurable.
+            return Err(eio());
+        }
+        file.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if let Some(p) = self.tick(OpClass::Rename) {
+            // Publish a torn prefix at the destination and unlink the
+            // source: the observable end state of a rename that went
+            // through a corrupting path, never a panic-worthy one.
+            let bytes = std::fs::read(from).unwrap_or_default();
+            let cut = if bytes.is_empty() {
+                0
+            } else {
+                FaultRng::new(p.seed).below(bytes.len() as u64) as usize
+            };
+            let mut f = File::create(to)?;
+            f.write_all(&bytes[..cut])?;
+            let _ = f.sync_all();
+            let _ = std::fs::remove_file(from);
+            return Err(eio());
+        }
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        if self.tick(OpClass::Remove).is_some() {
+            return Err(eio());
+        }
+        std::fs::remove_file(path)
+    }
+
+    fn pread(&self, file: &File, buf: &mut [u8], off: u64) -> io::Result<()> {
+        if self.tick(OpClass::Read).is_some() {
+            return Err(eio());
+        }
+        pread_exact(file, buf, off)
+    }
+}
+
+/// Positional exact read: `read_exact_at` on unix, seek+read elsewhere
+/// (the non-unix fallback moves the cursor; callers that share the
+/// handle already serialize access).
+pub fn pread_exact(file: &File, buf: &mut [u8], off: u64) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.read_exact_at(buf, off)
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = file;
+        f.seek(SeekFrom::Start(off))?;
+        f.read_exact(buf)
+    }
 }
 
 /// Flips one random bit anywhere in the image.
@@ -248,6 +586,97 @@ mod tests {
         // Known first value for seed 42 locks the algorithm down.
         assert_eq!(FaultRng::new(42).next_u64(), FaultRng::new(42).next_u64());
         assert_ne!(FaultRng::new(1).next_u64(), FaultRng::new(2).next_u64());
+    }
+
+    #[test]
+    fn vfs_injects_each_fault_kind_exactly_once() {
+        let d = std::env::temp_dir().join(format!("wet-vfs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+
+        // ENOSPC on the 2nd write: first lands, second is typed, third
+        // (plan spent) lands again.
+        let vfs = Vfs::with_plan(FaultPlan { at_op: 2, kind: FaultKind::Enospc, seed: 1 });
+        let p = d.join("a");
+        let mut f = vfs.create(&p).unwrap();
+        vfs.write(&mut f, b"one").unwrap();
+        let e = vfs.write(&mut f, b"two").unwrap_err();
+        assert!(is_disk_full(&e), "expected ENOSPC, got {e}");
+        vfs.write(&mut f, b"three").unwrap();
+        assert_eq!(vfs.faults_injected(), 1);
+
+        // Short write: a strict prefix lands before the typed failure.
+        let vfs = Vfs::with_plan(FaultPlan { at_op: 1, kind: FaultKind::ShortWrite, seed: 9 });
+        let p = d.join("b");
+        let mut f = vfs.create(&p).unwrap();
+        let e = vfs.write(&mut f, b"0123456789").unwrap_err();
+        assert!(is_disk_full(&e));
+        let len = std::fs::metadata(&p).unwrap().len();
+        assert!((1..10).contains(&len), "short write landed {len} of 10");
+
+        // Torn rename: destination holds a prefix, source is gone,
+        // caller sees a typed EIO.
+        let vfs = Vfs::with_plan(FaultPlan { at_op: 1, kind: FaultKind::TornRename, seed: 3 });
+        let src = d.join("src");
+        let dst = d.join("dst");
+        std::fs::write(&src, b"payload-bytes").unwrap();
+        let e = vfs.rename(&src, &dst).unwrap_err();
+        assert_eq!(e.raw_os_error(), Some(5));
+        assert!(!src.exists(), "torn rename unlinks the source");
+        assert!(std::fs::read(&dst).unwrap().len() < 13);
+
+        // Fsync refusal is typed; a later fsync succeeds.
+        let vfs = Vfs::with_plan(FaultPlan { at_op: 1, kind: FaultKind::FsyncFail, seed: 0 });
+        let f = vfs.create(&d.join("c")).unwrap();
+        assert!(vfs.fsync(&f).is_err());
+        vfs.fsync(&f).unwrap();
+
+        // Eio counts every class on one combined counter.
+        let vfs = Vfs::with_plan(FaultPlan { at_op: 3, kind: FaultKind::Eio, seed: 0 });
+        let p = d.join("e");
+        std::fs::write(&p, b"x").unwrap();
+        assert!(vfs.open(&p).is_ok()); // op 1
+        assert!(vfs.read(&p).is_ok()); // op 2
+        assert_eq!(vfs.read(&p).unwrap_err().raw_os_error(), Some(5)); // op 3 fires
+        assert!(vfs.read(&p).is_ok());
+
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn fault_plan_env_parsing_mirrors_crash_plan() {
+        // Parsing is exercised via the pure parse helpers to avoid
+        // mutating process-global env in a threaded test binary.
+        assert_eq!(FaultKind::parse("enospc"), Some(FaultKind::Enospc));
+        assert_eq!(FaultKind::parse("short-write"), Some(FaultKind::ShortWrite));
+        assert_eq!(FaultKind::parse("torn-rename"), Some(FaultKind::TornRename));
+        assert_eq!(FaultKind::parse("fsync"), Some(FaultKind::FsyncFail));
+        assert_eq!(FaultKind::parse("eio"), Some(FaultKind::Eio));
+        assert_eq!(FaultKind::parse("nope"), None);
+        for k in [
+            FaultKind::Enospc,
+            FaultKind::Eio,
+            FaultKind::ShortWrite,
+            FaultKind::FsyncFail,
+            FaultKind::TornRename,
+        ] {
+            assert_eq!(FaultKind::parse(k.name()), Some(k), "name/parse round-trip for {k:?}");
+        }
+    }
+
+    #[test]
+    fn pread_exact_reads_at_offset() {
+        let d = std::env::temp_dir().join(format!("wet-pread-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        let p = d.join("f");
+        std::fs::write(&p, b"abcdefgh").unwrap();
+        let f = File::open(&p).unwrap();
+        let mut buf = [0u8; 3];
+        pread_exact(&f, &mut buf, 2).unwrap();
+        assert_eq!(&buf, b"cde");
+        assert!(pread_exact(&f, &mut buf, 7).is_err(), "past-EOF pread is a typed error");
+        let _ = std::fs::remove_dir_all(&d);
     }
 
     #[test]

@@ -36,12 +36,14 @@
 //! available for tests and fixtures.
 
 use crate::crc::Crc32;
+use crate::fault::Io;
 use crate::graph::{Edge, Group, IntraEdge, LabelSeq, NdetRec, Node, NodeId, NodeStmt, TsMode, Wet, WetConfig};
 use crate::salvage::{FsckReport, SectionReport, SectionStatus};
 use crate::seq::Seq;
 use crate::sizes::{WetSizes, WetStats};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
+use std::path::Path;
 use wet_ir::{BlockId, FuncId, StmtId};
 use wet_stream::serial::{r_u32, r_u64, r_u64s, r_u8, w_u32, w_u64, w_u64s, w_u8};
 use wet_stream::{CompressedStream, Method, StreamConfig};
@@ -1250,6 +1252,53 @@ impl Wet {
         }
         let (_, report) = read_v2(r)?;
         Ok(report)
+    }
+
+    /// Strictly reads a container from `path` through the
+    /// fault-injectable I/O layer — the path-level counterpart of
+    /// [`read_from`](Self::read_from) that CLI and repair code use so
+    /// a `WET_FAULT_*` plan can intercept the read.
+    ///
+    /// # Errors
+    /// I/O failures (including injected ones) and container damage.
+    pub fn read_from_path(path: &Path, io_layer: &dyn Io) -> io::Result<Self> {
+        let bytes = io_layer.read(path)?;
+        Self::read_from(&mut bytes.as_slice())
+    }
+
+    /// Salvage-reads a container from `path` through the I/O layer;
+    /// see [`read_salvaging`](Self::read_salvaging).
+    ///
+    /// # Errors
+    /// I/O failures and fatally-damaged containers.
+    pub fn read_salvaging_path(path: &Path, io_layer: &dyn Io) -> io::Result<(Self, FsckReport)> {
+        let bytes = io_layer.read(path)?;
+        Self::read_salvaging(&mut bytes.as_slice())
+    }
+
+    /// Durably writes the container at `path` through the I/O layer:
+    /// sibling temp file, fsync, then atomic rename — a fault mid-write
+    /// leaves the old file (or no file) under the final name, never a
+    /// torn container.
+    ///
+    /// # Errors
+    /// Serialization and I/O failures (including injected ones); on
+    /// error the temp file is cleaned up best-effort.
+    pub fn write_to_path(&self, path: &Path, io_layer: &dyn Io) -> io::Result<()> {
+        let mut bytes = Vec::new();
+        self.write_to(&mut bytes)?;
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
+        let write = || -> io::Result<()> {
+            let mut f = io_layer.create(&tmp)?;
+            io_layer.write(&mut f, &bytes)?;
+            io_layer.fsync(&f)?;
+            io_layer.rename(&tmp, path)
+        };
+        write().inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
     }
 
     /// Serializes the WET in the legacy v1 layout (no sections, no

@@ -43,6 +43,7 @@
 //! `store.{resident_bytes,pinned_bytes,cold_opens,lazy_decodes,evictions}`.
 //! See DESIGN.md §4 decision 11.
 
+use crate::fault::{Io, Vfs};
 use crate::query::QueryErr;
 use crate::serial::{
     self, SectionSpan, TAG_BIND, TAG_CONF, TAG_EDGL, TAG_ENDW, TAG_NDET, TAG_STAT, TAG_TSEQ, TAG_VALS,
@@ -53,7 +54,7 @@ use std::fmt;
 use std::fs::File;
 use std::io::{self, Read, Seek};
 use std::path::{Component, Path, PathBuf};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock, Weak};
 use std::time::Duration;
 use wet_ir::Program;
@@ -93,21 +94,31 @@ pub enum StoreErr {
     Conflict(String),
     /// Container damage: bad framing, CRC failure, undecodable section.
     Corrupt(String),
+    /// The trace is quarantined while a background repair runs; safe
+    /// to retry after a backoff (`wet query --retries` rides through).
+    Repairing(String),
     /// Genuine I/O failure.
     Io(io::Error),
 }
 
 impl StoreErr {
     /// Stable wire identifier (`forbidden`, `not_found`, `conflict`,
-    /// `corrupt`, `io`).
+    /// `corrupt`, `repairing`, `io`).
     pub fn kind(&self) -> &'static str {
         match self {
             StoreErr::Forbidden(_) => "forbidden",
             StoreErr::NotFound(_) => "not_found",
             StoreErr::Conflict(_) => "conflict",
             StoreErr::Corrupt(_) => "corrupt",
+            StoreErr::Repairing(_) => "repairing",
             StoreErr::Io(_) => "io",
         }
+    }
+
+    /// True when the condition is transient and a client retry is the
+    /// right move (currently only [`StoreErr::Repairing`]).
+    pub fn is_retriable(&self) -> bool {
+        matches!(self, StoreErr::Repairing(_))
     }
 }
 
@@ -118,6 +129,7 @@ impl fmt::Display for StoreErr {
             StoreErr::NotFound(m) => write!(f, "no such trace: {m}"),
             StoreErr::Conflict(m) => write!(f, "conflict: {m}"),
             StoreErr::Corrupt(m) => write!(f, "corrupt trace: {m}"),
+            StoreErr::Repairing(m) => write!(f, "repairing: {m}"),
             StoreErr::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -125,7 +137,41 @@ impl fmt::Display for StoreErr {
 
 impl From<StoreErr> for QueryErr {
     fn from(e: StoreErr) -> QueryErr {
-        QueryErr::Corrupt(e.to_string())
+        match e {
+            // Repair-in-progress is overload-shaped: transient, typed,
+            // retriable — exactly the Shed contract.
+            StoreErr::Repairing(_) => QueryErr::Shed,
+            other => QueryErr::Corrupt(other.to_string()),
+        }
+    }
+}
+
+/// Per-trace health as reported by the `list` op: `ok` unless a decode
+/// failure quarantined the trace, `repairing` while the background
+/// worker is actively rebuilding it, `failed` once the circuit breaker
+/// gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceHealth {
+    /// Serving normally.
+    Ok,
+    /// Corruption detected; queued for the repair worker.
+    Quarantined,
+    /// The repair worker is actively rebuilding it.
+    Repairing,
+    /// Repair attempts exhausted; the trace stays corrupt until closed
+    /// and re-opened (or the file is replaced).
+    Failed,
+}
+
+impl TraceHealth {
+    /// Stable wire string (`ok`, `quarantined`, `repairing`, `failed`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceHealth::Ok => "ok",
+            TraceHealth::Quarantined => "quarantined",
+            TraceHealth::Repairing => "repairing",
+            TraceHealth::Failed => "failed",
+        }
     }
 }
 
@@ -342,6 +388,9 @@ pub struct StoredTrace {
     wet: RwLock<Wet>,
     program: Option<Program>,
     backing: Option<Backing>,
+    /// Source container path, kept so the repair worker can re-read
+    /// the file; `None` for eagerly-inserted traces.
+    path: Option<PathBuf>,
     /// Pin counts per lazy section: >0 means a query between
     /// [`TraceStore::ensure`] and completion relies on it. Pin-down is
     /// lock-free (see module docs).
@@ -421,6 +470,8 @@ pub struct TraceInfo {
     pub resident_bytes: u64,
     /// Pinned structural bytes (CONF + BIND + STAT).
     pub pinned_bytes: u64,
+    /// Health: `Ok` unless quarantined/repairing/failed.
+    pub health: TraceHealth,
 }
 
 /// Global residency ledger. Single mutex: every byte-accounting or
@@ -443,14 +494,42 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// The store: sharded id → trace maps plus the residency ledger.
+/// Bookkeeping for one unhealthy trace (keyed by id in the healing
+/// map). Present = not `Ok`; removed on successful repair or close.
+struct HealEntry {
+    state: TraceHealth,
+    attempts: u32,
+}
+
+/// The store: sharded id → trace maps plus the residency ledger. Cheap
+/// to clone-share internally: the self-healing repair worker runs on
+/// background threads that hold the same inner state.
 pub struct TraceStore {
+    inner: Arc<StoreInner>,
+}
+
+struct StoreInner {
     opts: StoreOptions,
     shards: [RwLock<HashMap<String, Arc<StoredTrace>>>; N_SHARDS],
     ledger: Mutex<Ledger>,
     cold_opens: AtomicU64,
     lazy_decodes: AtomicU64,
     evictions: AtomicU64,
+    /// Self-healing switch: when set, a corrupt lazy decode
+    /// quarantines the trace and kicks a background repair instead of
+    /// answering sticky `Corrupt` forever. Off by default so embedded
+    /// stores keep the strict typed-error contract.
+    self_heal: AtomicBool,
+    /// Unhealthy traces by id. Empty in the happy path; the
+    /// `healing_n` mirror makes the per-query check one atomic load.
+    healing: Mutex<HashMap<String, HealEntry>>,
+    healing_n: AtomicU64,
+    quarantines: AtomicU64,
+    repairs_ok: AtomicU64,
+    repairs_failed: AtomicU64,
+    /// The I/O layer container reads go through; a passthrough unless
+    /// a `WET_FAULT_*` plan (or a drill via `set_vfs`) armed it.
+    vfs: Mutex<Arc<Vfs>>,
 }
 
 fn shard_of(id: &str) -> usize {
@@ -463,18 +542,29 @@ fn shard_of(id: &str) -> usize {
     (h as usize) % N_SHARDS
 }
 
-impl TraceStore {
-    pub fn new(opts: StoreOptions) -> TraceStore {
+impl StoreInner {
+    fn new(opts: StoreOptions) -> StoreInner {
         wet_obs::gauge_set("store.resident_bytes", "", 0);
         wet_obs::gauge_set("store.pinned_bytes", "", 0);
-        TraceStore {
+        StoreInner {
             opts,
             shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             ledger: Mutex::new(Ledger::default()),
             cold_opens: AtomicU64::new(0),
             lazy_decodes: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            self_heal: AtomicBool::new(false),
+            healing: Mutex::new(HashMap::new()),
+            healing_n: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+            repairs_ok: AtomicU64::new(0),
+            repairs_failed: AtomicU64::new(0),
+            vfs: Mutex::new(Arc::new(Vfs::from_env())),
         }
+    }
+
+    fn io(&self) -> Arc<Vfs> {
+        lock(&self.vfs).clone()
     }
 
     /// The configured options.
@@ -533,22 +623,36 @@ impl TraceStore {
     ///
     /// # Errors
     /// [`StoreErr::Conflict`] when the id is already open.
-    pub fn insert_resident(
+    fn insert_resident(
+        &self,
+        id: &str,
+        tenant: &str,
+        wet: Wet,
+        program: Option<Program>,
+    ) -> Result<Arc<StoredTrace>, StoreErr> {
+        self.register(self.build_resident(id, tenant, wet, program, None))
+    }
+
+    /// Builds a fully-resident trace without registering it (the
+    /// repair worker swaps one in atomically instead).
+    fn build_resident(
         &self,
         id: &str,
         tenant: &str,
         mut wet: Wet,
         program: Option<Program>,
-    ) -> Result<Arc<StoredTrace>, StoreErr> {
+        path: Option<PathBuf>,
+    ) -> Arc<StoredTrace> {
         if self.opts.budget_bytes > 0 && wet.config().serve.cache_budget_bytes == 0 {
             wet.config_mut().serve.cache_budget_bytes = self.opts.budget_bytes;
         }
-        let trace = Arc::new(StoredTrace {
+        Arc::new(StoredTrace {
             id: id.to_string(),
             tenant: tenant.to_string(),
             wet: RwLock::new(wet),
             program,
             backing: None,
+            path,
             pins: Default::default(),
             lazy: Mutex::new(std::array::from_fn(|_| SectState {
                 span: None,
@@ -558,8 +662,7 @@ impl TraceStore {
                 last_touch: 0,
             })),
             pinned_bytes: 0,
-        });
-        self.register(trace)
+        })
     }
 
     /// Opens a `.wetz` lazily: walks the section frame table, decodes
@@ -572,14 +675,29 @@ impl TraceStore {
     /// [`StoreErr::Conflict`] on a duplicate id, [`StoreErr::Corrupt`]
     /// on container damage in the eagerly-decoded parts,
     /// [`StoreErr::Io`] on file-system failure.
-    pub fn open(
+    fn open(
         &self,
         id: &str,
         tenant: &str,
         path: &Path,
         program: Option<Program>,
     ) -> Result<Arc<StoredTrace>, StoreErr> {
-        let mut file = File::open(path).map_err(StoreErr::Io)?;
+        let trace = self.load_lazy(id, tenant, path, program)?;
+        self.register(trace)
+    }
+
+    /// The body of [`TraceStore::open`] minus registration: builds the
+    /// trace without publishing it, so the repair worker can construct
+    /// a replacement and swap it in atomically.
+    fn load_lazy(
+        &self,
+        id: &str,
+        tenant: &str,
+        path: &Path,
+        program: Option<Program>,
+    ) -> Result<Arc<StoredTrace>, StoreErr> {
+        let io = self.io();
+        let mut file = io.open(path).map_err(StoreErr::Io)?;
         let mut head = [0u8; 5];
         file.read_exact(&mut head).map_err(|_| StoreErr::Corrupt("file too short".into()))?;
         if &head[..4] != serial::MAGIC {
@@ -591,7 +709,7 @@ impl TraceStore {
             let wet = Wet::read_from(&mut io::BufReader::new(file)).map_err(io_or_corrupt)?;
             self.cold_opens.fetch_add(1, Ordering::Relaxed);
             wet_obs::counter_add("store.cold_opens", "", 1);
-            return self.insert_resident(id, tenant, wet, program);
+            return Ok(self.build_resident(id, tenant, wet, program, Some(path.to_path_buf())));
         }
 
         let spans = serial::scan_spans(&mut file).map_err(io_or_corrupt)?;
@@ -605,10 +723,10 @@ impl TraceStore {
 
         let backing = Backing::open(file, self.opts.use_mmap);
         let mut scratch = Vec::new();
-        let conf = read_verified(&backing, span_of(TAG_CONF), &mut scratch)?.to_vec();
-        let bind = read_verified(&backing, span_of(TAG_BIND), &mut scratch)?.to_vec();
-        let ndet_bytes = read_verified(&backing, span_of(TAG_NDET), &mut scratch)?.to_vec();
-        let stat = read_verified(&backing, span_of(TAG_STAT), &mut scratch)?.to_vec();
+        let conf = read_verified(&backing, span_of(TAG_CONF), &mut scratch, &io)?.to_vec();
+        let bind = read_verified(&backing, span_of(TAG_BIND), &mut scratch, &io)?.to_vec();
+        let ndet_bytes = read_verified(&backing, span_of(TAG_NDET), &mut scratch, &io)?.to_vec();
+        let stat = read_verified(&backing, span_of(TAG_STAT), &mut scratch, &io)?.to_vec();
 
         let (config, tier2) = serial::parse_conf(&conf).map_err(io_or_corrupt)?;
         let bound = serial::parse_bind(&bind).map_err(io_or_corrupt)?;
@@ -650,6 +768,7 @@ impl TraceStore {
             wet: RwLock::new(wet),
             program,
             backing: Some(backing),
+            path: Some(path.to_path_buf()),
             pins: Default::default(),
             lazy: Mutex::new(std::array::from_fn(|i| SectState {
                 span: Some(span_of(LAZY_SECTIONS[i].tag())),
@@ -662,7 +781,7 @@ impl TraceStore {
         });
         self.cold_opens.fetch_add(1, Ordering::Relaxed);
         wet_obs::counter_add("store.cold_opens", "", 1);
-        self.register(trace)
+        Ok(trace)
     }
 
     fn register(&self, trace: Arc<StoredTrace>) -> Result<Arc<StoredTrace>, StoreErr> {
@@ -700,6 +819,10 @@ impl TraceStore {
         led.pinned -= trace.pinned_bytes;
         led.traces.retain(|w| w.upgrade().map(|t| !Arc::ptr_eq(&t, &trace)).unwrap_or(false));
         publish(&led);
+        drop(led);
+        // Closing an unhealthy trace abandons its repair: the worker
+        // sees the entry gone and exits.
+        self.clear_heal(id);
         Ok(())
     }
 
@@ -710,6 +833,10 @@ impl TraceStore {
             traces.extend(shard.read().unwrap_or_else(PoisonError::into_inner).values().cloned());
         }
         traces.sort_by(|a, b| a.id.cmp(&b.id));
+        let health: HashMap<String, TraceHealth> = {
+            let heal = lock(&self.healing);
+            heal.iter().map(|(id, e)| (id.clone(), e.state)).collect()
+        };
         let led = lock(&self.ledger);
         let infos = traces
             .iter()
@@ -733,6 +860,7 @@ impl TraceStore {
                     resident,
                     resident_bytes: bytes,
                     pinned_bytes: t.pinned_bytes,
+                    health: health.get(&t.id).copied().unwrap_or(TraceHealth::Ok),
                 }
             })
             .collect();
@@ -748,12 +876,15 @@ impl TraceStore {
     /// # Errors
     /// [`StoreErr::Corrupt`] when a needed section fails its CRC or
     /// decode (sticky — later touches fail the same way without
-    /// re-reading).
-    pub fn ensure(
-        &self,
+    /// re-reading). With self-healing enabled, corruption instead
+    /// quarantines the trace and every touch until repair completes
+    /// gets the retriable [`StoreErr::Repairing`].
+    fn ensure(
+        self: &Arc<Self>,
         trace: &Arc<StoredTrace>,
         needs: &[LazySection],
     ) -> Result<PinGuard, StoreErr> {
+        self.heal_gate(&trace.id)?;
         let mut guard = PinGuard { trace: trace.clone(), mask: [false; 3] };
         enum Step {
             Done,
@@ -769,11 +900,7 @@ impl TraceStore {
                     for &s in needs {
                         let st = &mut lz[s.idx()];
                         if let Some(msg) = &st.broken {
-                            return Err(StoreErr::Corrupt(format!(
-                                "{}: {} section: {msg}",
-                                trace.id,
-                                s.name()
-                            )));
+                            return Err(self.corrupt_section(trace, s, msg.clone()));
                         }
                         if st.resident {
                             st.last_touch = led.tick;
@@ -840,11 +967,7 @@ impl TraceStore {
                             st.broken = Some(msg.clone());
                             led.resident -= span.payload_len as u64;
                             publish(&led);
-                            return Err(StoreErr::Corrupt(format!(
-                                "{}: {} section: {msg}",
-                                trace.id,
-                                s.name()
-                            )));
+                            return Err(self.corrupt_section(trace, s, msg));
                         }
                     }
                 }
@@ -861,7 +984,7 @@ impl TraceStore {
             .as_ref()
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no backing file"))?;
         let mut scratch = Vec::new();
-        let payload = read_verified(backing, span, &mut scratch).map_err(|e| match e {
+        let payload = read_verified(backing, span, &mut scratch, &self.io()).map_err(|e| match e {
             StoreErr::Io(e) => e,
             other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
         })?;
@@ -926,6 +1049,329 @@ impl TraceStore {
         }
         publish(led);
     }
+
+    // -----------------------------------------------------------------
+    // Self-healing: quarantine → background repair → re-admission.
+    // -----------------------------------------------------------------
+
+    /// Per-query health check. One atomic load in the happy path; a
+    /// map lookup only while at least one trace is unhealthy.
+    fn heal_gate(&self, id: &str) -> Result<(), StoreErr> {
+        if self.healing_n.load(Ordering::Acquire) == 0 {
+            return Ok(());
+        }
+        let heal = lock(&self.healing);
+        match heal.get(id).map(|e| e.state) {
+            None | Some(TraceHealth::Ok) => Ok(()),
+            Some(TraceHealth::Quarantined) | Some(TraceHealth::Repairing) => {
+                Err(StoreErr::Repairing(format!(
+                    "trace `{id}` is quarantined while a repair runs; retry shortly"
+                )))
+            }
+            Some(TraceHealth::Failed) => Err(StoreErr::Corrupt(format!(
+                "trace `{id}`: repair attempts exhausted; close and re-open after replacing the file"
+            ))),
+        }
+    }
+
+    /// Shapes a section-corruption error. Without self-healing this is
+    /// the sticky typed `Corrupt` of PR 6; with it, the trace is
+    /// quarantined and callers (including the one that tripped the
+    /// corruption) get the retriable `Repairing` so `--retries` rides
+    /// through the repair window. Called with the ledger held — touches
+    /// only the healing lock.
+    fn corrupt_section(
+        self: &Arc<Self>,
+        trace: &Arc<StoredTrace>,
+        s: LazySection,
+        msg: String,
+    ) -> StoreErr {
+        if self.self_heal.load(Ordering::Acquire) && trace.path.is_some() {
+            self.quarantine(trace);
+            return StoreErr::Repairing(format!(
+                "trace `{}`: {} section corrupt ({msg}); quarantined for repair, retry shortly",
+                trace.id,
+                s.name()
+            ));
+        }
+        StoreErr::Corrupt(format!("{}: {} section: {msg}", trace.id, s.name()))
+    }
+
+    /// Marks the trace unhealthy and kicks a background repair worker.
+    /// Idempotent: a trace already queued (or parked as `Failed`) is
+    /// left alone. Safe to call with the ledger held — takes only the
+    /// healing lock, and the worker thread starts by sleeping.
+    fn quarantine(self: &Arc<Self>, trace: &Arc<StoredTrace>) {
+        let id = trace.id.clone();
+        {
+            let mut heal = lock(&self.healing);
+            if heal.contains_key(&id) {
+                return;
+            }
+            heal.insert(id.clone(), HealEntry { state: TraceHealth::Quarantined, attempts: 0 });
+            self.healing_n.store(heal.len() as u64, Ordering::Release);
+        }
+        self.quarantines.fetch_add(1, Ordering::Relaxed);
+        wet_obs::counter_add("store.quarantines", "", 1);
+        let inner = self.clone();
+        std::thread::spawn(move || inner.repair_worker(&id));
+    }
+
+    /// Removes a healing entry (repair finished or trace closed).
+    fn clear_heal(&self, id: &str) {
+        let mut heal = lock(&self.healing);
+        heal.remove(id);
+        self.healing_n.store(heal.len() as u64, Ordering::Release);
+    }
+
+    /// Background repair loop: re-reads the container through the
+    /// salvaging decoder under capped exponential backoff and swaps a
+    /// fresh trace in atomically. The attempt cap is the per-trace
+    /// circuit breaker — exhausting it parks the trace as `Failed`
+    /// (terminal until `close`). On the final attempt an unclean
+    /// salvage is still installed as a degraded resident trace, so the
+    /// store answers (with `Unavailable` placeholders) rather than
+    /// refusing forever.
+    fn repair_worker(self: Arc<Self>, id: &str) {
+        const MAX_ATTEMPTS: u32 = 6;
+        let mut delay = Duration::from_millis(10);
+        for attempt in 1..=MAX_ATTEMPTS {
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(Duration::from_millis(400));
+            {
+                let mut heal = lock(&self.healing);
+                let Some(entry) = heal.get_mut(id) else {
+                    return; // closed meanwhile — repair abandoned
+                };
+                entry.state = TraceHealth::Repairing;
+                entry.attempts = attempt;
+            }
+            let Some(old) = self.get(id) else {
+                self.clear_heal(id);
+                return;
+            };
+            let Some(path) = old.path.clone() else {
+                break; // eagerly-inserted: nothing on disk to re-read
+            };
+            if self.try_repair(&old, &path, attempt == MAX_ATTEMPTS) {
+                self.clear_heal(id);
+                self.repairs_ok.fetch_add(1, Ordering::Relaxed);
+                wet_obs::counter_add("store.repairs_ok", "", 1);
+                return;
+            }
+        }
+        let mut heal = lock(&self.healing);
+        if let Some(entry) = heal.get_mut(id) {
+            entry.state = TraceHealth::Failed;
+        }
+        drop(heal);
+        self.repairs_failed.fetch_add(1, Ordering::Relaxed);
+        wet_obs::counter_add("store.repairs_failed", "", 1);
+    }
+
+    /// One repair attempt. True when a replacement trace was installed:
+    /// a clean container re-opens lazily exactly like `open`; on the
+    /// final attempt an unclean salvage installs the degraded WET
+    /// (damaged sections as `Unavailable`) as a resident trace. The
+    /// file itself is never rewritten in-process — that stays the
+    /// operator's `wet fsck --repair` call (DESIGN.md §4 decision 14).
+    fn try_repair(self: &Arc<Self>, old: &Arc<StoredTrace>, path: &Path, last: bool) -> bool {
+        let io = self.io();
+        let Ok((wet, report)) = Wet::read_salvaging_path(path, io.as_ref()) else {
+            return false;
+        };
+        if report.is_clean() {
+            match self.load_lazy(&old.id, &old.tenant, path, old.program.clone()) {
+                Ok(fresh) => return self.swap_in(old, fresh),
+                Err(_) => return false,
+            }
+        }
+        if last {
+            let fresh =
+                self.build_resident(&old.id, &old.tenant, wet, old.program.clone(), Some(path.to_path_buf()));
+            return self.swap_in(old, fresh);
+        }
+        false
+    }
+
+    /// Atomically replaces `old` with `fresh` in the shard map and
+    /// rebalances the ledger (close + register, without the window
+    /// where the id is absent). False when `old` is no longer the
+    /// published entry — someone closed or replaced it concurrently,
+    /// and the repair result is discarded.
+    fn swap_in(&self, old: &Arc<StoredTrace>, fresh: Arc<StoredTrace>) -> bool {
+        let shard = &self.shards[shard_of(&old.id)];
+        {
+            let mut m = shard.write().unwrap_or_else(PoisonError::into_inner);
+            match m.get(&old.id) {
+                Some(cur) if Arc::ptr_eq(cur, old) => {}
+                _ => return false,
+            }
+            m.insert(old.id.clone(), fresh.clone());
+        }
+        let mut led = lock(&self.ledger);
+        let lz = lock(&old.lazy);
+        for st in lz.iter() {
+            if let (true, Some(span)) = (st.resident, &st.span) {
+                led.resident -= span.payload_len as u64;
+            }
+        }
+        drop(lz);
+        led.pinned -= old.pinned_bytes;
+        led.traces.retain(|w| w.upgrade().map(|t| !Arc::ptr_eq(&t, old)).unwrap_or(false));
+        led.pinned += fresh.pinned_bytes;
+        led.traces.push(Arc::downgrade(&fresh));
+        publish(&led);
+        true
+    }
+}
+
+impl TraceStore {
+    /// An empty store with the given options.
+    pub fn new(opts: StoreOptions) -> TraceStore {
+        TraceStore { inner: Arc::new(StoreInner::new(opts)) }
+    }
+
+    /// Turns self-healing on or off. Off (the default) keeps PR 6's
+    /// strict contract: corruption is a sticky typed `Corrupt`. On —
+    /// what `wet serve` runs with — corruption quarantines the trace,
+    /// a background worker repairs it, and queries meanwhile get the
+    /// retriable [`StoreErr::Repairing`].
+    pub fn set_self_heal(&self, on: bool) {
+        self.inner.self_heal.store(on, Ordering::Release);
+    }
+
+    /// Replaces the I/O layer (fault-injection drills).
+    pub fn set_vfs(&self, vfs: Arc<Vfs>) {
+        *lock(&self.inner.vfs) = vfs;
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &StoreOptions {
+        self.inner.options()
+    }
+
+    /// Resident lazy payload bytes currently charged to the budget.
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.resident_bytes()
+    }
+
+    /// Pinned structural bytes (CONF + BIND + STAT of lazy traces).
+    pub fn pinned_bytes(&self) -> u64 {
+        self.inner.pinned_bytes()
+    }
+
+    /// Cold opens served so far.
+    pub fn cold_opens(&self) -> u64 {
+        self.inner.cold_opens()
+    }
+
+    /// Lazy section decodes performed so far.
+    pub fn lazy_decodes(&self) -> u64 {
+        self.inner.lazy_decodes()
+    }
+
+    /// Sections evicted under budget pressure so far.
+    pub fn evictions(&self) -> u64 {
+        self.inner.evictions()
+    }
+
+    /// Traces quarantined so far.
+    pub fn quarantines(&self) -> u64 {
+        self.inner.quarantines.load(Ordering::Relaxed)
+    }
+
+    /// Background repairs that re-admitted a trace.
+    pub fn repairs_ok(&self) -> u64 {
+        self.inner.repairs_ok.load(Ordering::Relaxed)
+    }
+
+    /// Repairs whose circuit breaker tripped (trace parked `Failed`).
+    pub fn repairs_failed(&self) -> u64 {
+        self.inner.repairs_failed.load(Ordering::Relaxed)
+    }
+
+    /// Current health of a trace (`Ok` when not in the healing map).
+    pub fn health(&self, id: &str) -> TraceHealth {
+        let heal = lock(&self.inner.healing);
+        heal.get(id).map(|e| e.state).unwrap_or(TraceHealth::Ok)
+    }
+
+    /// Looks up an open trace by id.
+    pub fn get(&self, id: &str) -> Option<Arc<StoredTrace>> {
+        self.inner.get(id)
+    }
+
+    /// Number of open traces.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when no trace is open.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Inserts an already-loaded WET as a fully-resident trace (the
+    /// single-trace `wet serve` compatibility path; also the fallback
+    /// for v1 containers, which have no section frames to serve
+    /// lazily). Its bytes are not charged to the lazy budget.
+    ///
+    /// # Errors
+    /// [`StoreErr::Conflict`] when the id is already open.
+    pub fn insert_resident(
+        &self,
+        id: &str,
+        tenant: &str,
+        wet: Wet,
+        program: Option<Program>,
+    ) -> Result<Arc<StoredTrace>, StoreErr> {
+        self.inner.insert_resident(id, tenant, wet, program)
+    }
+
+    /// Opens a `.wetz` lazily; see [`StoreInner::load_lazy`]'s cost
+    /// model (O(BIND), independent of trace data volume).
+    ///
+    /// # Errors
+    /// [`StoreErr::Conflict`] on a duplicate id, [`StoreErr::Corrupt`]
+    /// on container damage in the eagerly-decoded parts,
+    /// [`StoreErr::Io`] on file-system failure.
+    pub fn open(
+        &self,
+        id: &str,
+        tenant: &str,
+        path: &Path,
+        program: Option<Program>,
+    ) -> Result<Arc<StoredTrace>, StoreErr> {
+        self.inner.open(id, tenant, path, program)
+    }
+
+    /// Closes a trace: removes it from the store and returns its bytes
+    /// to the ledger. In-flight queries holding the `Arc` finish
+    /// normally; the memory goes when the last reference drops.
+    pub fn close(&self, id: &str) -> Result<(), StoreErr> {
+        self.inner.close(id)
+    }
+
+    /// Every open trace, sorted by id (deterministic `list` responses).
+    pub fn list(&self) -> Vec<TraceInfo> {
+        self.inner.list()
+    }
+
+    /// Makes `needs` resident and pins them for the returned guard's
+    /// lifetime; see [`StoreInner::ensure`].
+    ///
+    /// # Errors
+    /// [`StoreErr::Corrupt`] on section corruption (sticky), or — with
+    /// self-healing on — the retriable [`StoreErr::Repairing`] while
+    /// the background worker rebuilds the trace.
+    pub fn ensure(
+        &self,
+        trace: &Arc<StoredTrace>,
+        needs: &[LazySection],
+    ) -> Result<PinGuard, StoreErr> {
+        self.inner.ensure(trace, needs)
+    }
 }
 
 /// Pushes ledger totals to wet-obs (current + running peak).
@@ -941,7 +1387,12 @@ fn read_verified<'a>(
     backing: &'a Backing,
     span: SectionSpan,
     scratch: &'a mut Vec<u8>,
+    io: &Vfs,
 ) -> Result<&'a [u8], StoreErr> {
+    // The mmap path never issues a read syscall, so the fault plan
+    // gates here: every section fetch counts as one read op no matter
+    // which backing serves it.
+    io.read_gate().map_err(StoreErr::Io)?;
     let whole = backing
         .range(span.payload_start, span.payload_len + 4, scratch)
         .map_err(StoreErr::Io)?;
@@ -1119,6 +1570,127 @@ mod tests {
             query::cf_trace_forward(&mut wa).unwrap(),
             query::cf_trace_forward(&mut wb).unwrap()
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn wait_health(store: &TraceStore, id: &str, want: TraceHealth) -> bool {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while std::time::Instant::now() < deadline {
+            if store.health(id) == want {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    #[test]
+    fn self_heal_quarantines_repairs_and_readmits() {
+        let dir = tmpdir("heal");
+        let path = saved_trace(&dir, "h.wetz", 70);
+        let good = std::fs::read(&path).unwrap();
+        let mut bytes = good.clone();
+        let spans = crate::section_spans(&bytes).unwrap();
+        let vals = spans.iter().find(|s| s.tag == TAG_VALS).unwrap();
+        bytes[vals.payload_start + 3] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let store = TraceStore::new(StoreOptions::default());
+        store.set_self_heal(true);
+        let t = store.open("h", "ten", &path, None).unwrap();
+        // The corrupting touch itself gets the retriable error...
+        let err = store.ensure(&t, &[LazySection::Vals]).unwrap_err();
+        assert!(matches!(err, StoreErr::Repairing(_)), "{err}");
+        assert!(err.is_retriable());
+        // ...and so does every touch during the repair window (not the
+        // sticky Corrupt of the non-healing store).
+        let err2 = store.ensure(&t, &[LazySection::Tseq]).unwrap_err();
+        assert!(matches!(err2, StoreErr::Repairing(_)), "{err2}");
+        let row = &store.list()[0];
+        assert!(
+            matches!(row.health, TraceHealth::Quarantined | TraceHealth::Repairing),
+            "{:?}",
+            row.health
+        );
+        assert_eq!(store.quarantines(), 1);
+
+        // Restore the container; the background worker re-admits.
+        std::fs::write(&path, &good).unwrap();
+        assert!(wait_health(&store, "h", TraceHealth::Ok), "repair never completed");
+        assert_eq!(store.repairs_ok(), 1);
+        let t = store.get("h").unwrap();
+        let _pin = store.ensure(&t, &LAZY_SECTIONS).unwrap();
+        let mut wet = t.wet().write().unwrap();
+        let repaired = query::cf_trace_forward(&mut wet).unwrap();
+        drop(wet);
+
+        // Byte-identical to a store that never saw the fault.
+        let clean = TraceStore::new(StoreOptions::default());
+        let tc = clean.open("h", "ten", &path, None).unwrap();
+        let _pc = clean.ensure(&tc, &LAZY_SECTIONS).unwrap();
+        let mut wc = tc.wet().write().unwrap();
+        assert_eq!(repaired, query::cf_trace_forward(&mut wc).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn self_heal_circuit_breaker_parks_failed() {
+        let dir = tmpdir("breaker");
+        let path = saved_trace(&dir, "f.wetz", 70);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let spans = crate::section_spans(&bytes).unwrap();
+        let vals = spans.iter().find(|s| s.tag == TAG_VALS).unwrap();
+        bytes[vals.payload_start + 3] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let store = TraceStore::new(StoreOptions::default());
+        store.set_self_heal(true);
+        let t = store.open("f", "ten", &path, None).unwrap();
+        let err = store.ensure(&t, &[LazySection::Vals]).unwrap_err();
+        assert!(matches!(err, StoreErr::Repairing(_)), "{err}");
+        // Make every repair attempt fail outright: not even salvage can
+        // assemble a WET from a destroyed container.
+        std::fs::write(&path, b"not a wetz file at all").unwrap();
+        assert!(wait_health(&store, "f", TraceHealth::Failed), "breaker never tripped");
+        assert_eq!(store.repairs_failed(), 1);
+        // Failed is terminal and non-retriable.
+        let err = store.ensure(&t, &[LazySection::Vals]).unwrap_err();
+        assert!(matches!(err, StoreErr::Corrupt(_)), "{err}");
+        assert!(!err.is_retriable());
+        assert_eq!(store.list()[0].health, TraceHealth::Failed);
+        // Close clears the breaker; the id is reusable.
+        store.close("f").unwrap();
+        assert_eq!(store.health("f"), TraceHealth::Ok);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn self_heal_persistent_corruption_installs_degraded_trace() {
+        let dir = tmpdir("degraded");
+        let path = saved_trace(&dir, "d.wetz", 70);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let spans = crate::section_spans(&bytes).unwrap();
+        let vals = spans.iter().find(|s| s.tag == TAG_VALS).unwrap();
+        bytes[vals.payload_start + 3] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let store = TraceStore::new(StoreOptions::default());
+        store.set_self_heal(true);
+        let t = store.open("d", "ten", &path, None).unwrap();
+        let err = store.ensure(&t, &[LazySection::Vals]).unwrap_err();
+        assert!(matches!(err, StoreErr::Repairing(_)), "{err}");
+        // The corruption never clears; the final attempt installs the
+        // salvaged WET (damaged section as Unavailable) so the trace
+        // serves degraded instead of refusing forever.
+        assert!(wait_health(&store, "d", TraceHealth::Ok), "degraded install never happened");
+        assert_eq!(store.repairs_ok(), 1);
+        let fresh = store.get("d").unwrap();
+        assert!(!Arc::ptr_eq(&fresh, &t), "expected a replacement trace");
+        // The degraded replacement is eagerly resident; ensure is a
+        // no-op success and TSEQ-only queries still answer.
+        let _pin = store.ensure(&fresh, &LAZY_SECTIONS).unwrap();
+        let mut wet = fresh.wet().write().unwrap();
+        assert!(query::cf_trace_forward(&mut wet).is_ok());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -13,10 +13,11 @@
 
 use crate::json::{self, Value};
 use std::fs::{File, OpenOptions};
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{SystemTime, UNIX_EPOCH};
+use wet_core::fault::{Io, Vfs};
 
 /// Default rotation threshold: 64 MiB per file, two files on disk.
 pub const DEFAULT_LOG_MAX_BYTES: u64 = 64 * 1024 * 1024;
@@ -31,17 +32,25 @@ struct Inner {
 pub struct RotatingLog {
     path: PathBuf,
     max_bytes: u64,
+    vfs: Arc<Vfs>,
     inner: Mutex<Inner>,
 }
 
 impl RotatingLog {
-    /// Opens (creating or appending to) the log at `path`.
+    /// Opens (creating or appending to) the log at `path`, honoring a
+    /// `WET_FAULT_*` plan if one is set.
     pub fn open(path: &Path, max_bytes: u64) -> io::Result<RotatingLog> {
+        Self::open_with_vfs(path, max_bytes, Arc::new(Vfs::from_env()))
+    }
+
+    /// Opens the log with an explicit I/O layer (fault drills).
+    pub fn open_with_vfs(path: &Path, max_bytes: u64, vfs: Arc<Vfs>) -> io::Result<RotatingLog> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         let written = file.metadata()?.len();
         Ok(RotatingLog {
             path: path.to_path_buf(),
             max_bytes: max_bytes.max(1),
+            vfs,
             inner: Mutex::new(Inner { file, written }),
         })
     }
@@ -62,8 +71,9 @@ impl RotatingLog {
             // acknowledged.
             let mut rotated = self.path.clone().into_os_string();
             rotated.push(".1");
-            g.file.sync_all()?;
-            if std::fs::rename(&self.path, &rotated).is_ok() {
+            let rotated = PathBuf::from(rotated);
+            self.vfs.fsync(&g.file)?;
+            if self.vfs.rename(&self.path, &rotated).is_ok() {
                 g.file = OpenOptions::new().create(true).append(true).open(&self.path)?;
                 g.written = 0;
                 if let Some(parent) = self.path.parent() {
@@ -71,12 +81,20 @@ impl RotatingLog {
                         let _ = d.sync_all();
                     }
                 }
+            } else if !self.path.exists() {
+                // A torn rename can unlink the source while failing:
+                // the old handle still works but points at an orphaned
+                // inode. Reopen at the path so every later line is
+                // durable across a restart — degraded (the rotation is
+                // incomplete) but never wedged or panicking.
+                g.file = OpenOptions::new().create(true).append(true).open(&self.path)?;
+                g.written = 0;
             }
         }
         let mut buf = Vec::with_capacity(line.len() + 1);
         buf.extend_from_slice(line.as_bytes());
         buf.push(b'\n');
-        g.file.write_all(&buf)?;
+        self.vfs.write(&mut g.file, &buf)?;
         g.written += buf.len() as u64;
         Ok(())
     }
@@ -235,6 +253,33 @@ mod tests {
         log.write_line(&line(4)).unwrap();
         let cur = std::fs::read_to_string(&p).unwrap();
         assert!(cur.ends_with(&format!("{}\n", line(4))), "appends stay line-atomic after a tear");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn rotation_rides_through_injected_rename_fault() {
+        use wet_core::fault::{FaultKind, FaultPlan};
+        let d = tmpdir("fault");
+        let p = d.join("access.log");
+        let line = |i: usize| format!("{{\"i\": {i}, \"pad\": \"xxxxxxxxxxxxxxxx\"}}");
+        let vfs =
+            Arc::new(Vfs::with_plan(FaultPlan { at_op: 1, kind: FaultKind::TornRename, seed: 11 }));
+        let log = RotatingLog::open_with_vfs(&p, 100, vfs.clone()).unwrap();
+        for i in 0..3 {
+            log.write_line(&line(i)).unwrap();
+        }
+        // The fourth line crosses the threshold; the injected torn
+        // rename unlinks the current file while failing. write_line
+        // must recover by reopening at the path — no panic, no wedge.
+        log.write_line(&line(3)).unwrap();
+        assert_eq!(vfs.faults_injected(), 1);
+        let cur = std::fs::read_to_string(&p).unwrap();
+        assert!(cur.ends_with(&format!("{}\n", line(3))), "post-fault line landed at the path");
+        // The plan is spent: later writes and rotations are normal.
+        for i in 4..8 {
+            log.write_line(&line(i)).unwrap();
+        }
+        assert!(std::fs::read_to_string(&p).unwrap().ends_with(&format!("{}\n", line(7))));
         let _ = std::fs::remove_dir_all(&d);
     }
 

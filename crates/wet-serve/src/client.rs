@@ -11,7 +11,7 @@ use crate::json::{self, Value};
 use crate::proto::{self, FrameReader, Poll};
 use crate::server::{connect, Stream};
 use std::io;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use wet_core::fault::FaultRng;
 
 /// First backoff step.
@@ -49,16 +49,65 @@ pub struct Client {
     reader: FrameReader,
     next_id: u64,
     rng: FaultRng,
+    /// Longest we will wait for any single reply; `None` blocks
+    /// indefinitely (long queries from interactive callers).
+    reply_budget: Option<Duration>,
 }
 
 impl Client {
     /// Connects to `addr` (`:`-containing means TCP, else unix socket).
+    /// No connect or reply deadline — long interactive queries block as
+    /// long as they need; use [`connect_with`](Client::connect_with)
+    /// for unattended callers that must not wedge.
     pub fn connect(addr: &str) -> io::Result<Client> {
         Ok(Client {
             stream: connect(addr)?,
             reader: FrameReader::new(),
             next_id: 1,
             rng: FaultRng::new(0x5eed_c11e),
+            reply_budget: None,
+        })
+    }
+
+    /// Connects with a bounded TCP connect and a per-reply wait budget:
+    /// if the server accepts but never answers, calls fail with
+    /// `TimedOut` instead of hanging. Unix sockets connect locally (no
+    /// connect deadline needed) but still honour the reply budget.
+    pub fn connect_with(
+        addr: &str,
+        connect_timeout: Duration,
+        reply_budget: Duration,
+    ) -> io::Result<Client> {
+        let stream = if addr.contains(':') {
+            use std::net::ToSocketAddrs;
+            let mut last = io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no addresses resolved for {addr}"),
+            );
+            let mut conn = None;
+            for sock in addr.to_socket_addrs()? {
+                match std::net::TcpStream::connect_timeout(&sock, connect_timeout) {
+                    Ok(c) => {
+                        conn = Some(c);
+                        break;
+                    }
+                    Err(e) => last = e,
+                }
+            }
+            Stream::Tcp(conn.ok_or(last)?)
+        } else {
+            connect(addr)?
+        };
+        // A short socket read timeout turns blocked reads into
+        // `Poll::Pending` ticks, letting `read_reply` check its
+        // budget; the budget, not this tick, is the caller's deadline.
+        stream.set_read_timeout(Duration::from_millis(100))?;
+        Ok(Client {
+            stream,
+            reader: FrameReader::new(),
+            next_id: 1,
+            rng: FaultRng::new(0x5eed_c11e),
+            reply_budget: Some(reply_budget),
         })
     }
 
@@ -81,7 +130,16 @@ impl Client {
     /// Reads frames until the one answering `id` arrives (the server
     /// multiplexes responses; cancel acks may interleave).
     fn read_reply(&mut self, id: u64) -> io::Result<Reply> {
+        let start = Instant::now();
         loop {
+            if let Some(budget) = self.reply_budget {
+                if start.elapsed() > budget {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("no reply within {}ms", budget.as_millis()),
+                    ));
+                }
+            }
             match self.reader.poll(&mut self.stream)? {
                 Poll::Frame(payload) => {
                     let text = String::from_utf8(payload)
@@ -202,5 +260,37 @@ pub fn decode_reply(v: &Value) -> Reply {
             .and_then(Value::as_str)
             .unwrap_or("")
             .to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A server that accepts but never answers: with a reply budget the
+    /// call fails `TimedOut` instead of blocking forever.
+    #[test]
+    fn budgeted_client_times_out_on_unanswered_call() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let hold = std::thread::spawn(move || {
+            let conn = listener.accept().map(|(c, _)| c);
+            std::thread::sleep(Duration::from_secs(2));
+            drop(conn);
+        });
+        let mut client = Client::connect_with(
+            &addr,
+            Duration::from_secs(1),
+            Duration::from_millis(300),
+        )
+        .unwrap();
+        let start = Instant::now();
+        let err = client
+            .call(vec![("op", Value::Str("stats".into()))])
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut, "got {err}");
+        assert!(start.elapsed() < Duration::from_secs(2));
+        drop(hold);
     }
 }

@@ -92,11 +92,50 @@ fn answer(mut conn: TcpStream, server: &Server) -> io::Result<()> {
     conn.write_all(resp.as_bytes())
 }
 
+/// True for the error kinds a timed-out socket operation produces on
+/// any platform. Callers use this to map a hang to the retriable /
+/// unavailable exit path rather than a generic I/O failure.
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock)
+}
+
 /// One-shot HTTP GET — the client half, for `wet scrape` and tests.
-/// Returns `(status, body)`.
+/// Returns `(status, body)`. Connect, read and write are all bounded
+/// by a 2-second timeout so a hung endpoint cannot wedge the caller.
 pub fn http_get(addr: &str, path: &str) -> io::Result<(u16, String)> {
-    let mut conn = TcpStream::connect(addr)?;
-    conn.set_read_timeout(Some(Duration::from_secs(2))).ok();
+    http_get_with(addr, path, Duration::from_secs(2), 0)
+}
+
+/// [`http_get`] with an explicit per-operation `timeout` and up to
+/// `retries` additional attempts when an attempt times out. Non-timeout
+/// errors (refused, reset, malformed response) fail immediately —
+/// retrying those just delays the inevitable.
+pub fn http_get_with(
+    addr: &str,
+    path: &str,
+    timeout: Duration,
+    retries: u32,
+) -> io::Result<(u16, String)> {
+    let mut last: Option<io::Error> = None;
+    for attempt in 0..=retries {
+        if attempt > 0 {
+            // Brief linear backoff: scrape targets that time out are
+            // usually restarting, not overloaded.
+            std::thread::sleep(Duration::from_millis(50 * attempt as u64));
+        }
+        match http_get_once(addr, path, timeout) {
+            Ok(r) => return Ok(r),
+            Err(e) if is_timeout(&e) => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "timed out")))
+}
+
+fn http_get_once(addr: &str, path: &str, timeout: Duration) -> io::Result<(u16, String)> {
+    let mut conn = connect_bounded(addr, timeout)?;
+    conn.set_read_timeout(Some(timeout)).ok();
+    conn.set_write_timeout(Some(timeout)).ok();
     let req = format!("GET {path} HTTP/1.1\r\nHost: wet\r\nConnection: close\r\n\r\n");
     conn.write_all(req.as_bytes())?;
     let mut raw = Vec::new();
@@ -112,4 +151,67 @@ pub fn http_get(addr: &str, path: &str) -> io::Result<(u16, String)> {
         None => String::new(),
     };
     Ok((status, body))
+}
+
+/// `TcpStream::connect` with a deadline: resolves `addr` and tries each
+/// candidate with [`TcpStream::connect_timeout`], returning the last
+/// error if none answers. Plain `connect` can block for minutes against
+/// a blackholed address; a metrics scrape should give up in seconds.
+fn connect_bounded(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+    use std::net::ToSocketAddrs;
+    let mut last =
+        io::Error::new(io::ErrorKind::NotFound, format!("no addresses resolved for {addr}"));
+    for sock in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&sock, timeout) {
+            Ok(conn) => return Ok(conn),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A listener that accepts and then says nothing: the scrape must
+    /// time out with a kind `is_timeout` recognises, not hang.
+    #[test]
+    fn http_get_times_out_against_silent_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let hold = std::thread::spawn(move || {
+            // Accept and hold the sockets open until the client is done.
+            let mut held = Vec::new();
+            for _ in 0..3 {
+                match listener.accept() {
+                    Ok((c, _)) => held.push(c),
+                    Err(_) => break,
+                }
+            }
+            std::thread::sleep(Duration::from_secs(2));
+        });
+        let start = std::time::Instant::now();
+        let err = http_get_with(&addr, "/metrics", Duration::from_millis(200), 1).unwrap_err();
+        assert!(is_timeout(&err), "expected timeout, got {err}");
+        // Two attempts at 200ms each plus backoff: well under the
+        // indefinite hang this test guards against.
+        assert!(start.elapsed() < Duration::from_secs(5));
+        drop(hold);
+    }
+
+    #[test]
+    fn http_get_refused_fails_fast_without_retries() {
+        // Bind then drop to get a port with (very likely) no listener.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let start = std::time::Instant::now();
+        let err = http_get_with(&addr, "/metrics", Duration::from_millis(200), 5).unwrap_err();
+        assert!(!is_timeout(&err), "refused is not a timeout: {err}");
+        // Connection refused must not burn the retry budget.
+        assert!(start.elapsed() < Duration::from_millis(500));
+    }
 }

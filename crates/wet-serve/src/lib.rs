@@ -43,5 +43,5 @@ pub use access::{AccessRecord, RotatingLog, DEFAULT_LOG_MAX_BYTES};
 pub use client::{Client, Reply};
 pub use drill::{run_drill, run_idle_storm, DrillReport, IdleStormReport};
 pub use flight::{Flight, FlightEvent, FlightKind, FLIGHT_SLOTS};
-pub use http::{bind_metrics, http_get, spawn_metrics};
+pub use http::{bind_metrics, http_get, http_get_with, is_timeout, spawn_metrics};
 pub use server::{bind, connect, Listener, Server, ServeOptions, Stream, DEFAULT_TRACE};

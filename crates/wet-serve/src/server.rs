@@ -123,7 +123,10 @@ impl Counters {
     fn bump(&self, kind: &str) {
         let c = match kind {
             "ok" => &self.ok,
-            "shed" => &self.shed,
+            // Repair-in-progress is accounted as shed: transient,
+            // retriable, not the client's fault — and the access-log
+            // ledger audit stays a seven-way partition.
+            "shed" | "repairing" => &self.shed,
             "cancelled" => &self.cancelled,
             "deadline" => &self.deadline,
             "panic" => &self.panic,
@@ -134,7 +137,7 @@ impl Counters {
         wet_obs::counter_add(
             match kind {
                 "ok" => "serve.requests_ok",
-                "shed" => "serve.requests_shed",
+                "shed" | "repairing" => "serve.requests_shed",
                 "cancelled" => "serve.requests_cancelled",
                 "deadline" => "serve.requests_deadline",
                 "panic" => "serve.requests_panic",
@@ -339,6 +342,11 @@ impl Server {
             budget_bytes: opts.store_budget,
             use_mmap: true,
         });
+        // A serving store heals itself: corruption quarantines the
+        // trace and a background worker repairs it while queries get
+        // retriable errors, instead of the embedded store's sticky
+        // `corrupt` answers.
+        store.set_self_heal(true);
         // Log files that fail to open disable that log rather than
         // refuse to serve; the CLI pre-validates the paths so an
         // operator typo still fails fast with an I/O exit code.
@@ -552,7 +560,7 @@ impl Server {
             }
             Ok(Err(Wire::Store(e))) => {
                 meta.outcome(e.kind());
-                proto::err_response(id, e.kind(), false, &e.to_string())
+                proto::err_response(id, e.kind(), e.is_retriable(), &e.to_string())
             }
             Err(panic) => {
                 meta.outcome("panic");
@@ -630,7 +638,7 @@ impl Server {
                     ]),
                 )
             }
-            Err(e) => fail(meta, id, e.kind(), false, &e.to_string()),
+            Err(e) => fail(meta, id, e.kind(), e.is_retriable(), &e.to_string()),
         }
     }
 
@@ -670,6 +678,7 @@ impl Server {
                     ),
                     ("resident_bytes", Value::Int(t.resident_bytes as i64)),
                     ("pinned_bytes", Value::Int(t.pinned_bytes as i64)),
+                    ("health", Value::Str(t.health.name().into())),
                 ])
             })
             .collect();
@@ -934,6 +943,9 @@ impl Server {
                 ("cold_opens", Value::Int(sh.store.cold_opens() as i64)),
                 ("lazy_decodes", Value::Int(sh.store.lazy_decodes() as i64)),
                 ("evictions", Value::Int(sh.store.evictions() as i64)),
+                ("quarantines", Value::Int(sh.store.quarantines() as i64)),
+                ("repairs_ok", Value::Int(sh.store.repairs_ok() as i64)),
+                ("repairs_failed", Value::Int(sh.store.repairs_failed() as i64)),
             ]),
         ));
         json::obj(pairs)

@@ -1,0 +1,125 @@
+//! Protocol-level contract for the self-healing store: the `list` op's
+//! `health` field round-trips through the JSON protocol, queries that
+//! hit a quarantined trace get a *retriable* typed error on the wire,
+//! and a client using `--retries`-style backoff rides through a repair
+//! and gets the same answer a fault-free server gives.
+
+use std::time::{Duration, Instant};
+use wet_core::serial::TAG_TSEQ;
+use wet_core::{section_spans, WetBuilder, WetConfig};
+use wet_interp::{Interp, InterpConfig};
+use wet_ir::ballarus::BallLarus;
+use wet_serve::server::{bind, ServeOptions, Server};
+use wet_serve::{Client, Reply};
+
+fn sealed_bytes() -> Vec<u8> {
+    let w = wet_workloads::build(wet_workloads::Kind::Li, 8_000);
+    let bl = BallLarus::new(&w.program);
+    let mut b = WetBuilder::new(&w.program, &bl, WetConfig::default());
+    Interp::new(&w.program, &bl, InterpConfig::default()).run(&w.inputs, &mut b).unwrap();
+    let mut wet = b.finish();
+    wet.compress();
+    let mut bytes = Vec::new();
+    wet.write_to(&mut bytes).unwrap();
+    bytes
+}
+
+fn health_of(client: &mut Client, trace: &str) -> String {
+    let Reply::Ok(rows) = client.list().unwrap() else { panic!("list failed") };
+    let rows = rows.as_arr().expect("list returns an array");
+    rows.iter()
+        .find(|r| r.get("trace").and_then(|v| v.as_str()) == Some(trace))
+        .and_then(|r| r.get("health"))
+        .and_then(|v| v.as_str())
+        .expect("every row carries a health field")
+        .to_string()
+}
+
+fn cf_trace(client: &mut Client, trace: &str, retries: u32) -> Reply {
+    use wet_serve::json::Value;
+    client
+        .call_with_retries(
+            vec![
+                ("op", Value::Str("cf_trace".into())),
+                ("trace", Value::Str(trace.into())),
+            ],
+            retries,
+        )
+        .unwrap()
+}
+
+#[test]
+fn health_round_trips_and_retries_ride_through_repair() {
+    let root = std::env::temp_dir().join(format!("wet-heal-proto-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let good = sealed_bytes();
+    let path = root.join("t.wetz");
+    std::fs::write(&path, &good).unwrap();
+
+    let sock = root.join("serve.sock");
+    let addr = sock.to_str().unwrap().to_owned();
+    let listener = bind(&addr).unwrap();
+    let srv = Server::with_store(ServeOptions {
+        store_root: Some(root.clone()),
+        ..ServeOptions::default()
+    });
+    std::thread::spawn(move || srv.serve(listener));
+
+    let mut client = Client::connect(&addr).unwrap();
+    assert!(client.open("t.wetz", Some("t"), None).unwrap().is_ok(), "open failed");
+
+    // Healthy trace: `health` arrives as the wire string "ok".
+    assert_eq!(health_of(&mut client, "t"), "ok");
+
+    // Fault-free answer, rendered — the bytes the post-repair reply
+    // must reproduce.
+    let Reply::Ok(expect) = cf_trace(&mut client, "t", 0) else {
+        panic!("baseline cf_trace failed")
+    };
+    let expect = expect.render();
+
+    // Corrupt the timestamp section on disk, then cycle the trace so
+    // the next query decodes from the damaged file.
+    let mut bad = good.clone();
+    let spans = section_spans(&bad).unwrap();
+    let tseq = spans.iter().find(|s| s.tag == TAG_TSEQ).unwrap();
+    bad[tseq.payload_start + 5] ^= 0x20;
+    std::fs::write(&path, &bad).unwrap();
+    assert!(client.close("t").unwrap().is_ok());
+    assert!(client.open("t.wetz", Some("t"), None).unwrap().is_ok());
+
+    // The corrupting touch surfaces on the wire as a typed, retriable
+    // error — not a panic, not a sticky corrupt verdict.
+    match cf_trace(&mut client, "t", 0) {
+        Reply::Err { kind, retriable, .. } => {
+            assert_eq!(kind, "repairing", "quarantine maps to the repairing kind");
+            assert!(retriable, "repairing must be retriable so --retries works");
+        }
+        Reply::Ok(_) => panic!("corrupt section served an answer"),
+    }
+
+    // While quarantined/repairing, `list` reports the transition state.
+    let h = health_of(&mut client, "t");
+    assert!(h == "quarantined" || h == "repairing", "unexpected health `{h}`");
+
+    // Heal the disk; a patient client rides through the repair window
+    // on retries alone and the answer matches the fault-free bytes.
+    std::fs::write(&path, &good).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let repaired = loop {
+        match cf_trace(&mut client, "t", 8) {
+            Reply::Ok(v) => break v,
+            Reply::Err { retriable: true, .. } if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Reply::Err { kind, message, .. } => {
+                panic!("repair never re-admitted the trace: {kind}: {message}")
+            }
+        }
+    };
+    assert_eq!(repaired.render(), expect, "post-repair reply must be byte-identical");
+    assert_eq!(health_of(&mut client, "t"), "ok");
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -184,7 +184,7 @@ proptest! {
 }
 
 #[test]
-fn crc_bad_lazy_section_is_corrupt_on_first_touch_never_a_panic() {
+fn crc_bad_lazy_section_quarantines_then_serves_degraded_never_a_panic() {
     let kind = Kind::Gzip;
     let (bytes, stmts) = trace_bytes(kind);
     let mut damaged = bytes.clone();
@@ -209,7 +209,9 @@ fn crc_bad_lazy_section_is_corrupt_on_first_touch_never_a_panic() {
     ));
     assert!(String::from_utf8_lossy(&resp).contains("\"ok\":true"), "open must succeed");
 
-    // First touch of VALS: typed corrupt, not a panic.
+    // First touch of VALS: a *serving* store quarantines the trace and
+    // answers the typed retriable `repairing` error — not a panic, and
+    // not the embedded store's sticky corrupt verdict.
     let stmt = stmts[0].0 as i64;
     let req = vec![
         ("op", Value::Str("value_trace".into())),
@@ -217,17 +219,36 @@ fn crc_bad_lazy_section_is_corrupt_on_first_touch_never_a_panic() {
         ("trace", Value::Str("bad".into())),
     ];
     let text = String::from_utf8(server.handle_frame(&frame_for(2, &req))).expect("utf-8");
-    assert!(text.contains("\"kind\":\"corrupt\""), "expected corrupt, got: {text}");
-    // Sticky on the second touch, identically typed.
+    assert!(text.contains("\"kind\":\"repairing\""), "expected repairing, got: {text}");
+    assert!(text.contains("\"retriable\":true"), "repairing must be retriable: {text}");
+
+    // The file on disk never heals, so the repair worker's final
+    // attempt installs the salvage as a degraded resident copy and
+    // re-admits the trace rather than refusing forever.
+    use wet_core::store::TraceHealth;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        match server.store().health("bad") {
+            TraceHealth::Ok => break,
+            TraceHealth::Failed => panic!("circuit breaker tripped on a salvageable container"),
+            h if std::time::Instant::now() >= deadline => panic!("repair never settled: {h:?}"),
+            _ => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    }
+
+    // Strict value queries on the degraded copy surface the damage as
+    // sticky typed corrupt on every touch...
     let text = String::from_utf8(server.handle_frame(&frame_for(3, &req))).expect("utf-8");
+    assert!(text.contains("\"kind\":\"corrupt\""), "degraded VALS must stay typed: {text}");
+    let text = String::from_utf8(server.handle_frame(&frame_for(4, &req))).expect("utf-8");
     assert!(text.contains("\"kind\":\"corrupt\""), "second touch: {text}");
 
-    // The undamaged TSEQ section still serves strict queries...
+    // ...the undamaged TSEQ section still serves strict queries...
     let cf = vec![("op", Value::Str("cf_trace".into())), ("trace", Value::Str("bad".into()))];
-    let text = String::from_utf8(server.handle_frame(&frame_for(4, &cf))).expect("utf-8");
+    let text = String::from_utf8(server.handle_frame(&frame_for(5, &cf))).expect("utf-8");
     assert!(text.contains("\"ok\":true"), "cf_trace must survive VALS damage: {text}");
     // ...and the server itself is alive and well.
-    let ping = server.handle_frame(&frame_for(5, &[("op", Value::Str("ping".into()))]));
+    let ping = server.handle_frame(&frame_for(6, &[("op", Value::Str("ping".into()))]));
     assert!(String::from_utf8_lossy(&ping).contains("pong"));
 }
 
