@@ -493,6 +493,63 @@ if [ "$drain_status" -ne 0 ]; then
     exit 1
 fi
 
+echo "==> overload gate: brownout storm drill, budget-degraded queries, typed drops"
+ov_dir="$fsck_dir/overload"
+mkdir -p "$ov_dir"
+# The seeded in-process storm: 4x sustained capacity across competing
+# tenants. Exit 0 asserts the whole overload contract (zero panics,
+# typed + hinted rejections, brownout, fairness, bounded latency,
+# recovery to nominal, byte-deterministic degraded answers). The
+# profile document must validate and carry the pressure metrics.
+"$wet" drill --overload --seed 42 --profile=json > "$ov_dir/metrics.json" 2> /dev/null
+"$jsonv" < "$ov_dir/metrics.json"
+grep -q 'serve.pressure' "$ov_dir/metrics.json"
+grep -q 'serve.brownouts' "$ov_dir/metrics.json"
+grep -q 'serve.queue_delay_us' "$ov_dir/metrics.json"
+# Budget exhaustion is degraded, not an error: exit 0 and the answer
+# says so, with the gap report. The same query un-budgeted answers
+# quality full. A budget on a slice is a usage error (exit 2), and a
+# doomed request still drops with the documented retriable exit 5.
+ov_sock="$ov_dir/ov.sock"
+rm -f "$ov_sock"
+"$wet" serve "$serve_dir/t.wetz" --listen "$ov_sock" > /dev/null 2> /dev/null &
+ov_pid=$!
+i=0
+while [ ! -S "$ov_sock" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then echo "overload server never bound $ov_sock" >&2; exit 1; fi
+    sleep 0.1
+done
+"$wet" query cf_trace --remote "$ov_sock" --budget-bytes 64 > "$ov_dir/budgeted.json"
+grep -q '"quality":"degraded"' "$ov_dir/budgeted.json"
+grep -q '"steps_missing":' "$ov_dir/budgeted.json"
+"$wet" query cf_trace --remote "$ov_sock" > "$ov_dir/full.json"
+grep -q '"quality":"full"' "$ov_dir/full.json"
+# Identical budgeted queries answer byte-identically (deterministic
+# coverage planning), and the budget is honored: bytes_spent <= budget.
+"$wet" query cf_trace --remote "$ov_sock" --budget-bytes 64 > "$ov_dir/budgeted2.json"
+cmp "$ov_dir/budgeted.json" "$ov_dir/budgeted2.json"
+slice_status=0
+"$wet" query slice --stmt 3 --node 0 --remote "$ov_sock" --budget-bytes 64 \
+    > /dev/null 2>&1 || slice_status=$?
+if [ "$slice_status" -ne 2 ]; then
+    echo "budgeted slice: expected exit 2, got $slice_status" >&2
+    exit 1
+fi
+drop_status=0
+"$wet" query cf_trace --remote "$ov_sock" --deadline-ms 0 > /dev/null 2>&1 || drop_status=$?
+if [ "$drop_status" -ne 5 ]; then
+    echo "doomed query: expected exit 5, got $drop_status" >&2
+    exit 1
+fi
+kill -TERM "$ov_pid"
+ov_drain=0
+wait "$ov_pid" || ov_drain=$?
+if [ "$ov_drain" -ne 0 ]; then
+    echo "overload-gate server drain: expected exit 0, got $ov_drain" >&2
+    exit 1
+fi
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --locked --workspace --all-targets -- -D warnings
 

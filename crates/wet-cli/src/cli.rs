@@ -112,9 +112,11 @@ usage:
             [--flight-dump PATH] [--debug-ops]
   wet query <op> --remote ADDR [--stmt N] [--node N] [--k N] [--backward]
             [--degraded] [--no-control] [--deadline-ms N] [--retries N]
+            [--budget-bytes N] [--budget-ms N]
             [--trace ID] [--tenant NAME] [--path REL]
   wet drill --remote ADDR [--seed N] [--count N] [--idle N] [--access-log PATH]
   wet drill --chaos [--seed N]
+  wet drill --overload [--seed N]
   wet top --remote ADDR [--interval-ms N] [--iters N]
   wet scrape <host:port> [path]
       names: go-like gcc-like li-like gzip-like mcf-like parser-like
@@ -188,7 +190,15 @@ usage:
             --trace/--tenant; close takes --trace. --deadline-ms
             bounds the query server-side; --retries N retries
             retriable errors (shed) with capped exponential backoff
-            and jitter. Prints the JSON result.
+            and jitter, honoring the server's retry_after_ms hint as
+            the backoff floor. --budget-bytes N / --budget-ms N bound
+            the query's decoded bytes / wall time server-side: on
+            exhaustion the answer comes back partial (exit 0) with
+            quality `degraded` and a gap report, never an error and
+            never fabricated data (cf_trace forward, value_trace,
+            address_trace; slices don't take budgets). Every query
+            response carries `quality: full|degraded`. Prints the
+            JSON result.
       drill: replay a seeded schedule of misbehaving clients
             (slow-loris, mid-frame cuts, garbage frames, deadline
             storms, cancel races) against a running server and verify
@@ -204,6 +214,14 @@ usage:
             With --idle N additionally parks N accepted-but-silent
             connections and asserts live probes (ping + cf_trace)
             still answer within a 2 s budget while the storm holds.
+            With --overload (no server needed) runs the seeded
+            brownout storm instead: an in-process daemon with tiny
+            capacity takes 4x sustained load from competing tenants;
+            the drill asserts zero panics, typed retriable rejections
+            carrying retry_after_ms, bounded latency for accepted
+            requests, per-tenant goodput (no starvation), brownout
+            answers that are gap-annotated and byte-deterministic,
+            and pressure recovery to nominal after the storm.
       observability (serve): --metrics-listen ADDR answers plain-HTTP
             GET /metrics (Prometheus text), /healthz and /readyz
             (503 while draining) on a second listener. --access-log
@@ -218,8 +236,9 @@ usage:
             injection op debug_panic.
       top: poll a server's stats every --interval-ms (default 1000)
             and render req/s, per-op p50/p99, queue depth, store
-            residency, and per-tenant activity. --iters N stops after
-            N polls (0 = run until interrupted).
+            residency, pressure level (brownouts, queue-delay p99),
+            and per-tenant activity with shed counts. --iters N stops
+            after N polls (0 = run until interrupted).
       scrape: one HTTP GET against a --metrics-listen endpoint
             (default path /metrics); prints the body, exits 5 on a
             non-200 answer.
@@ -307,6 +326,8 @@ pub(crate) struct Flags {
     pub(crate) tenant: Option<String>,
     pub(crate) path: Option<String>,
     pub(crate) deadline_ms: Option<u64>,
+    pub(crate) budget_bytes: Option<u64>,
+    pub(crate) budget_ms: Option<u64>,
     pub(crate) retries: u32,
     pub(crate) k: Option<u32>,
     pub(crate) backward: bool,
@@ -326,6 +347,7 @@ pub(crate) struct Flags {
     pub(crate) check: bool,
     pub(crate) flip_ndet: Option<usize>,
     pub(crate) chaos: bool,
+    pub(crate) overload: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags> {
@@ -357,6 +379,8 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
         tenant: None,
         path: None,
         deadline_ms: None,
+        budget_bytes: None,
+        budget_ms: None,
         retries: 0,
         k: None,
         backward: false,
@@ -376,6 +400,7 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
         check: false,
         flip_ndet: None,
         chaos: false,
+        overload: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -487,6 +512,14 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
                 i += 1;
                 f.deadline_ms = Some(args.get(i).ok_or("--deadline-ms needs a value")?.parse()?);
             }
+            "--budget-bytes" => {
+                i += 1;
+                f.budget_bytes = Some(args.get(i).ok_or("--budget-bytes needs a value")?.parse()?);
+            }
+            "--budget-ms" => {
+                i += 1;
+                f.budget_ms = Some(args.get(i).ok_or("--budget-ms needs a value")?.parse()?);
+            }
             "--retries" => {
                 i += 1;
                 f.retries = args.get(i).ok_or("--retries needs a value")?.parse()?;
@@ -546,6 +579,7 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
             }
             "--check" => f.check = true,
             "--chaos" => f.chaos = true,
+            "--overload" => f.overload = true,
             "--flip-ndet" => {
                 i += 1;
                 f.flip_ndet = Some(args.get(i).ok_or("--flip-ndet needs a record index")?.parse()?);
@@ -1193,6 +1227,12 @@ fn cmd_query(op: &str, flags: &Flags) -> Result<()> {
     if let Some(ms) = flags.deadline_ms {
         pairs.push(("deadline_ms", Value::Int(ms as i64)));
     }
+    if let Some(b) = flags.budget_bytes {
+        pairs.push(("budget_bytes", Value::Int(b as i64)));
+    }
+    if let Some(ms) = flags.budget_ms {
+        pairs.push(("budget_ms", Value::Int(ms as i64)));
+    }
     let mut client = wet_serve::Client::connect(&remote)
         .map_err(|e| io_fail(&format!("cannot connect to {remote}"), &e))?;
     let reply = client
@@ -1215,7 +1255,13 @@ fn cmd_drill(flags: &Flags) -> Result<()> {
     if flags.chaos {
         return crate::chaos::cmd_chaos(flags);
     }
-    let remote = flags.remote.clone().ok_or("drill requires --remote ADDR (or --chaos)")?;
+    if flags.overload {
+        return crate::overload::cmd_overload(flags);
+    }
+    let remote = flags
+        .remote
+        .clone()
+        .ok_or("drill requires --remote ADDR (or --chaos / --overload)")?;
     let report = wet_serve::run_drill(&remote, flags.seed, flags.count);
     say!(
         "drill: {} clients (seed {}): {} ok, {} deadline, {} cancelled, {} shed, {} other errors, {} conns dropped",
@@ -1358,6 +1404,13 @@ fn cmd_top(flags: &Flags) -> Result<()> {
             get("panic"), get("corrupt"), get("bad_request")
         );
         say!("  active {}  queued {}", get("active"), get("queued"));
+        say!(
+            "  pressure {}  brownouts {}  queue-delay p99 {} us  retry-after {} ms",
+            stats.get("pressure").and_then(Value::as_str).unwrap_or("?"),
+            get("brownouts"),
+            get("queue_delay_p99_us"),
+            get("retry_after_ms")
+        );
         if let Some(store) = stats.get("store") {
             let sg = |k: &str| store.get(k).and_then(Value::as_i64).unwrap_or(0);
             say!(
@@ -1386,10 +1439,13 @@ fn cmd_top(flags: &Flags) -> Result<()> {
                 let parts: Vec<String> = tenants
                     .iter()
                     .map(|t| {
+                        // name:requests/shed — shed counts how many of
+                        // this tenant's requests fairness turned away.
                         format!(
-                            "{}:{}",
+                            "{}:{}/{}",
                             t.get("tenant").and_then(Value::as_str).unwrap_or("?"),
-                            t.get("requests").and_then(Value::as_i64).unwrap_or(0)
+                            t.get("requests").and_then(Value::as_i64).unwrap_or(0),
+                            t.get("shed").and_then(Value::as_i64).unwrap_or(0)
                         )
                     })
                     .collect();
@@ -1478,6 +1534,15 @@ pub(crate) mod tests {
         // quarantine → repair → re-admit in the store, torn rotation
         // rename — all in-process, no server. Exit 0 is the assertion.
         dispatch(&s(&["drill", "--chaos", "--seed", "7"])).expect("chaos drill");
+    }
+
+    #[test]
+    fn overload_drill_passes_end_to_end() {
+        // The seeded brownout storm: 4× capacity across competing
+        // tenants against an in-process daemon, asserting the whole
+        // overload contract (typed + hinted rejections, brownout,
+        // fairness, recovery, determinism). Exit 0 is the assertion.
+        dispatch(&s(&["drill", "--overload", "--seed", "42"])).expect("overload drill");
     }
 
     #[test]

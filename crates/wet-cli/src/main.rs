@@ -19,6 +19,7 @@ use std::process::ExitCode;
 
 mod chaos;
 mod cli;
+mod overload;
 mod replay;
 
 fn main() -> ExitCode {

@@ -178,6 +178,65 @@ pub fn cf_trace_forward_degraded_ctl(
     Ok((steps, deg))
 }
 
+/// Budgeted forward control-flow trace: covers nodes in index order
+/// while the [`crate::query::Budget`] attached to `ctl` admits their
+/// decoded timestamp bytes (8 per execution, decided from decode-free
+/// stream lengths *before* any decompression), and reports everything
+/// it could not afford through the same gap machinery salvage uses.
+/// Exhaustion is never an error — the answer is partial, annotated,
+/// and (for a pure byte budget) byte-deterministic: the coverage plan
+/// is sequential in node order, so the same budget on the same trace
+/// always yields the same steps and the same gaps. A soft wall budget
+/// additionally stops coverage when time runs out; that cutoff is
+/// timing-dependent by nature.
+///
+/// With no budget attached this is exactly
+/// [`cf_trace_forward_degraded_ctl`].
+pub fn cf_trace_forward_budgeted_ctl(
+    wet: &Wet,
+    ctl: &Ctl,
+) -> Result<(Vec<CfStep>, crate::query::Degraded), QueryErr> {
+    let _span = wet_obs::span!("query.cf_trace_forward_budgeted");
+    let mut deg = crate::query::Degraded::default();
+    let mut steps = Vec::new();
+    for (i, n) in wet.nodes().iter().enumerate() {
+        ctl.check_every(i)?;
+        if n.n_execs == 0 {
+            continue;
+        }
+        if ctl.wall_exhausted() || !ctl.try_charge(8 * n.ts.len() as u64) {
+            deg.nodes_skipped += 1;
+            continue;
+        }
+        match n.ts.try_to_vec_snapshot() {
+            Some(ts) => {
+                for (k, &t) in ts.iter().enumerate() {
+                    steps.push(CfStep { node: NodeId(i as u32), k: k as u32, ts: t });
+                }
+            }
+            None => deg.nodes_skipped += 1,
+        }
+    }
+    ctl.check()?;
+    steps.sort_unstable_by_key(|s| s.ts);
+    let (_, first_ts) = wet.first();
+    let (_, last_ts) = wet.last();
+    let mut expected = first_ts;
+    for s in &steps {
+        if s.ts > expected {
+            deg.gaps += 1;
+            deg.steps_missing += s.ts - expected;
+        }
+        expected = s.ts + 1;
+    }
+    if expected <= last_ts {
+        deg.gaps += 1;
+        deg.steps_missing += last_ts - expected + 1;
+    }
+    ctl.note("cf.steps", steps.len() as u64);
+    Ok((steps, deg))
+}
+
 /// Locates the node execution holding timestamp `ts` by checking node
 /// timestamp ranges and probing candidates' streams.
 pub fn locate_ts(wet: &mut Wet, ts: u64) -> Option<CfStep> {

@@ -19,7 +19,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How many loop steps a query may take between two [`Ctl::check`]
 /// calls. Cancel/deadline reaction latency is bounded by this many O(1)
@@ -73,6 +73,48 @@ impl QueryErr {
     pub fn is_retriable(&self) -> bool {
         matches!(self, QueryErr::Shed | QueryErr::DeadlineExceeded)
     }
+}
+
+/// A quality budget for a query: how many lazily-decoded section bytes
+/// it may touch and (optionally) how long it may run before the engine
+/// stops *refining* and answers with what it has.
+///
+/// Exhausting a budget is **not** an error. The budgeted entry points
+/// report the uncovered remainder through the existing
+/// [`crate::query::Degraded`] gap machinery — a partial answer with an
+/// exact account of what is missing, never fabricated data. This is
+/// the "first-class quality knob" generalization of the shed/degraded
+/// failure path: `max_bytes` bounds work *deterministically* (coverage
+/// is decided from decode-free stream lengths, in node order, before
+/// any extraction), while `max_wall` is a soft wall-clock cutoff whose
+/// coverage is inherently timing-dependent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Decoded-byte allowance. `u64::MAX` means unlimited bytes (a
+    /// wall-only budget).
+    pub max_bytes: u64,
+    /// Soft wall-clock allowance, measured from the moment the budget
+    /// is attached to a [`Ctl`]. Unlike a deadline, expiry degrades
+    /// instead of erroring.
+    pub max_wall: Option<Duration>,
+}
+
+impl Budget {
+    /// A pure byte budget (the deterministic form).
+    pub fn bytes(max_bytes: u64) -> Budget {
+        Budget { max_bytes, max_wall: None }
+    }
+}
+
+/// Shared accounting behind a budgeted [`Ctl`]: every clone of the
+/// token charges the same ledger, so a worker pool spends one budget.
+#[derive(Debug)]
+struct BudgetState {
+    max_bytes: u64,
+    /// `Instant` the wall allowance runs out, fixed when the budget is
+    /// attached.
+    soft_deadline: Option<Instant>,
+    spent: AtomicU64,
 }
 
 /// Cap on buffered events per request trace: a hostile or pathological
@@ -178,6 +220,7 @@ pub struct Ctl {
     cancel: Option<Arc<AtomicBool>>,
     deadline: Option<Instant>,
     trace: Option<Arc<ReqTrace>>,
+    budget: Option<Arc<BudgetState>>,
 }
 
 impl Ctl {
@@ -188,14 +231,70 @@ impl Ctl {
 
     /// A control that expires at `deadline`.
     pub fn with_deadline(deadline: Instant) -> Ctl {
-        Ctl { cancel: None, deadline: Some(deadline), trace: None }
+        Ctl { deadline: Some(deadline), ..Ctl::default() }
     }
 
     /// A control carrying a shared cancel flag (and optionally a
     /// deadline). Setting the flag to `true` cancels every query
     /// holding a clone of this token at its next check point.
     pub fn with_cancel(cancel: Arc<AtomicBool>, deadline: Option<Instant>) -> Ctl {
-        Ctl { cancel: Some(cancel), deadline, trace: None }
+        Ctl { cancel: Some(cancel), deadline, ..Ctl::default() }
+    }
+
+    /// Attach a quality [`Budget`]: the budgeted query entry points
+    /// charge decoded bytes against it and stop refining (degrading,
+    /// never erroring) once it is spent. The wall allowance starts
+    /// counting now. Clones share the ledger.
+    pub fn with_budget(mut self, budget: Budget) -> Ctl {
+        self.budget = Some(Arc::new(BudgetState {
+            max_bytes: budget.max_bytes,
+            soft_deadline: budget.max_wall.map(|w| Instant::now() + w),
+            spent: AtomicU64::new(0),
+        }));
+        self
+    }
+
+    /// True when a quality budget is attached.
+    pub fn has_budget(&self) -> bool {
+        self.budget.is_some()
+    }
+
+    /// Tries to charge `n` decoded bytes against the budget. Returns
+    /// `true` when the charge fits (or no budget is attached — an
+    /// unbudgeted control admits everything and accounts nothing).
+    /// On `false` nothing is charged: the caller skips that unit of
+    /// work and reports it as a gap.
+    pub fn try_charge(&self, n: u64) -> bool {
+        let Some(b) = &self.budget else { return true };
+        let mut cur = b.spent.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(n);
+            if next > b.max_bytes {
+                return false;
+            }
+            match b.spent.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// True when the budget's soft wall-clock allowance has run out.
+    /// Always `false` without a budget or without `max_wall`. Unlike
+    /// [`check`](Ctl::check), this never produces an error — callers
+    /// convert remaining work into reported gaps.
+    pub fn wall_exhausted(&self) -> bool {
+        self.budget
+            .as_ref()
+            .and_then(|b| b.soft_deadline)
+            .is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Decoded bytes charged so far (0 without a budget). With a pure
+    /// byte budget this is deterministic: coverage is planned before
+    /// extraction, so the same budget always spends the same bytes.
+    pub fn bytes_spent(&self) -> u64 {
+        self.budget.as_ref().map_or(0, |b| b.spent.load(Ordering::Relaxed))
     }
 
     /// Attach a request-scoped trace: engine phases and notes recorded
@@ -342,6 +441,36 @@ mod tests {
         let (events, dropped) = trace.events();
         assert_eq!(events.len(), TRACE_EVENT_CAP);
         assert_eq!(dropped, 10);
+    }
+
+    #[test]
+    fn budget_charges_are_shared_and_never_error() {
+        let ctl = Ctl::unbounded().with_budget(Budget::bytes(100));
+        assert!(ctl.has_budget());
+        assert!(ctl.is_unbounded(), "a budget alone never makes checks fail");
+        let clone = ctl.clone();
+        assert!(ctl.try_charge(60));
+        assert!(clone.try_charge(40), "clones share one ledger");
+        assert!(!ctl.try_charge(1), "ledger is spent");
+        assert_eq!(ctl.bytes_spent(), 100, "failed charges account nothing");
+        ctl.check().unwrap();
+        // Unbudgeted controls admit everything and account nothing.
+        let bare = Ctl::unbounded();
+        assert!(bare.try_charge(u64::MAX));
+        assert_eq!(bare.bytes_spent(), 0);
+        assert!(!bare.wall_exhausted());
+    }
+
+    #[test]
+    fn wall_budget_expires_softly() {
+        let ctl = Ctl::unbounded().with_budget(Budget {
+            max_bytes: u64::MAX,
+            max_wall: Some(Duration::from_millis(0)),
+        });
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(ctl.wall_exhausted());
+        ctl.check().unwrap(); // soft: never an error
+        assert!(ctl.try_charge(1 << 40), "wall-only budget never refuses bytes");
     }
 
     #[test]

@@ -500,6 +500,136 @@ pub fn value_trace_degraded_ctl(
     Ok((out, deg))
 }
 
+/// Decode-free cost of extracting `stmt`'s value trace from one node:
+/// the bytes the extraction will materialize (8 per timestamp, unique
+/// value and pattern entry), computed from stream lengths without
+/// touching any stream — which is what lets a budget plan coverage
+/// deterministically before decompressing anything.
+fn value_cost(wet: &Wet, node: NodeId, stmt: StmtId) -> u64 {
+    let n = wet.node(node);
+    let Some(pos) = n.stmt_pos(stmt) else { return 0 };
+    let ns = n.stmts[pos];
+    if !ns.has_def {
+        return 0;
+    }
+    let g = &n.groups[ns.group as usize];
+    let pattern = g.pattern.as_ref().map_or(0, Seq::len);
+    8 * (n.ts.len() + g.uvals[ns.member as usize].len() + pattern) as u64
+}
+
+/// Budgeted [`value_trace_ctl`]: plans node coverage *sequentially in
+/// node order* against the [`crate::query::Budget`] attached to `ctl`
+/// (first-fit on decode-free costs, see [`value_cost`]), then extracts
+/// only the covered nodes on up to `num_threads` workers. Nodes the
+/// budget could not afford are skipped and counted — a partial answer
+/// through the [`crate::query::Degraded`] report, never an error and
+/// never fabricated data. Because the plan happens before extraction,
+/// a pure byte budget yields byte-identical results and byte counts
+/// for every thread count; a soft wall budget additionally converts
+/// not-yet-extracted nodes into skips when time runs out (inherently
+/// timing-dependent). With no budget attached this equals
+/// [`value_trace_degraded_ctl`].
+pub fn value_trace_budgeted_ctl(
+    wet: &Wet,
+    stmt: StmtId,
+    num_threads: usize,
+    ctl: &Ctl,
+) -> Result<(Vec<(u64, i64)>, crate::query::Degraded), QueryErr> {
+    let _span = wet_obs::span!("query.value_trace_budgeted");
+    let _p = ctl.phase("engine.value_trace_budgeted");
+    let mut deg = crate::query::Degraded::default();
+    let mut covered: Vec<NodeId> = Vec::new();
+    for n in nodes_with_stmt(wet, stmt) {
+        if !wet.node(n).values_available() {
+            deg.nodes_skipped += 1;
+            continue;
+        }
+        if ctl.wall_exhausted() || !ctl.try_charge(value_cost(wet, n, stmt)) {
+            deg.nodes_skipped += 1;
+            continue;
+        }
+        covered.push(n);
+    }
+    ctl.note("nodes", covered.len() as u64);
+    let threads = par::effective_threads(num_threads);
+    let parts = par::map(threads, &covered, |_, &node| {
+        ctl.check()?;
+        if ctl.wall_exhausted() {
+            return Ok(None);
+        }
+        values_in_node_snapshot(wet, node, stmt).map(Some)
+    });
+    let mut out: Vec<(u64, i64)> = Vec::new();
+    for part in parts {
+        match part {
+            Ok(Some(v)) => out.extend(v),
+            // Wall allowance ran out mid-extraction: the planned node
+            // becomes a reported gap, not an error.
+            Ok(None) => deg.nodes_skipped += 1,
+            Err(QueryErr::Corrupt(_)) => deg.nodes_skipped += 1,
+            Err(e) => return Err(e),
+        }
+    }
+    out.sort_unstable_by_key(|&(ts, _)| ts);
+    ctl.note("rows", out.len() as u64);
+    Ok((out, deg))
+}
+
+/// Budgeted [`address_trace_ctl`]: same coverage discipline as
+/// [`value_trace_budgeted_ctl`] — plan in node order against
+/// decode-free costs (8 bytes per timestamp plus, for register
+/// operands, 16 per resolved `(ts, address)` pair the walk
+/// materializes), extract only what the budget covered, report the
+/// rest as skipped nodes.
+pub fn address_trace_budgeted_ctl(
+    wet: &Wet,
+    program: &Program,
+    stmt: StmtId,
+    num_threads: usize,
+    ctl: &Ctl,
+) -> Result<(Vec<(u64, u64)>, crate::query::Degraded), QueryErr> {
+    let _span = wet_obs::span!("query.address_trace_budgeted");
+    let _p = ctl.phase("engine.address_trace_budgeted");
+    let mut deg = crate::query::Degraded::default();
+    let Some(op) = crate::query::addresses::addr_operand(program, stmt) else {
+        return Ok((Vec::new(), deg));
+    };
+    let mut covered: Vec<NodeId> = Vec::new();
+    for n in nodes_with_stmt(wet, stmt) {
+        let node = wet.node(n);
+        let cost = match op {
+            Operand::Imm(_) => 8 * node.ts.len() as u64,
+            Operand::Reg(_) => 8 * node.ts.len() as u64 + 16 * node.n_execs as u64,
+        };
+        if ctl.wall_exhausted() || !ctl.try_charge(cost) {
+            deg.nodes_skipped += 1;
+            continue;
+        }
+        covered.push(n);
+    }
+    ctl.note("nodes", covered.len() as u64);
+    let threads = par::effective_threads(num_threads);
+    let parts = par::map_ctx(threads, &covered, || TracedCache::new(EngineCache::for_wet(wet), ctl), |cache, _, &node| {
+        ctl.check()?;
+        if ctl.wall_exhausted() {
+            return Ok(None);
+        }
+        addresses_in_node(wet, &mut cache.cache, ctl, node, stmt, op).map(Some)
+    });
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for part in parts {
+        match part {
+            Ok(Some(v)) => out.extend(v),
+            Ok(None) => deg.nodes_skipped += 1,
+            Err(QueryErr::Corrupt(_)) => deg.nodes_skipped += 1,
+            Err(e) => return Err(e),
+        }
+    }
+    out.sort_unstable_by_key(|&(ts, _)| ts);
+    ctl.note("rows", out.len() as u64);
+    Ok((out, deg))
+}
+
 /// Whole-trace value extraction for many statements at once; the work
 /// units are `(statement, node)` streams, so parallelism is available
 /// even when each statement appears in few nodes.

@@ -14,13 +14,14 @@ pub mod slice;
 pub mod values;
 
 pub use addresses::{address_trace, address_trace_ctl};
-pub use ctl::{Ctl, PhaseGuard, QueryErr, ReqTrace, TraceEvent, CHECK_INTERVAL, TRACE_EVENT_CAP};
+pub use ctl::{Budget, Ctl, PhaseGuard, QueryErr, ReqTrace, TraceEvent, CHECK_INTERVAL, TRACE_EVENT_CAP};
+pub use engine::{address_trace_budgeted_ctl, value_trace_budgeted_ctl};
 pub use mine::{hot_paths, isomorphic_statements, value_locality, HotPath, ValueLocality};
 pub use phases::{cluster_phases, interval_vectors, IntervalVector, Phases};
 pub use cftrace::{
-    cf_trace_backward, cf_trace_backward_ctl, cf_trace_forward, cf_trace_forward_ctl,
-    cf_trace_forward_degraded, cf_trace_forward_degraded_ctl, cf_trace_from, cf_trace_from_ctl,
-    expand_blocks, locate_ts, trace_bytes, CfStep,
+    cf_trace_backward, cf_trace_backward_ctl, cf_trace_forward, cf_trace_forward_budgeted_ctl,
+    cf_trace_forward_ctl, cf_trace_forward_degraded, cf_trace_forward_degraded_ctl, cf_trace_from,
+    cf_trace_from_ctl, expand_blocks, locate_ts, trace_bytes, CfStep,
 };
 pub use slice::{
     backward_slice, backward_slice_ctl, backward_slice_degraded, backward_slice_degraded_ctl,

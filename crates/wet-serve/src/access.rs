@@ -125,6 +125,13 @@ pub struct AccessRecord {
     pub store_hit: bool,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Answer quality for successful data-plane queries: "full" or
+    /// "degraded" (budget-truncated or sections unavailable); empty for
+    /// control-plane ops and errors. Lets the exactly-once ledger audit
+    /// account degraded answers separately from full ones.
+    pub quality: String,
+    /// The daemon's pressure level when the request completed.
+    pub pressure: String,
 }
 
 /// Milliseconds since the Unix epoch, for log timestamps.
@@ -151,6 +158,8 @@ impl AccessRecord {
             ("store_hit", Value::Bool(self.store_hit)),
             ("cache_hits", Value::Int(self.cache_hits as i64)),
             ("cache_misses", Value::Int(self.cache_misses as i64)),
+            ("quality", Value::Str(self.quality.clone())),
+            ("pressure", Value::Str(self.pressure.clone())),
         ])
     }
 
@@ -314,12 +323,16 @@ mod tests {
             store_hit: true,
             cache_hits: 5,
             cache_misses: 1,
+            quality: "full".into(),
+            pressure: "nominal".into(),
         };
         let v = json::parse(&rec.to_value().render()).unwrap();
         assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("wet-access/1"));
         assert_eq!(v.get("id").and_then(|s| s.as_u64()), Some(42));
         assert_eq!(v.get("outcome").and_then(|s| s.as_str()), Some("ok"));
         assert_eq!(v.get("store_hit").and_then(|s| s.as_bool()), Some(true));
+        assert_eq!(v.get("quality").and_then(|s| s.as_str()), Some("full"));
+        assert_eq!(v.get("pressure").and_then(|s| s.as_str()), Some("nominal"));
         assert!(v.get("ts_ms").and_then(|s| s.as_u64()).unwrap() > 0);
     }
 

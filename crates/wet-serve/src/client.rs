@@ -27,6 +27,9 @@ pub enum Reply {
         kind: String,
         retriable: bool,
         message: String,
+        /// The server's backoff hint: how long it suggests waiting
+        /// before retrying, derived from its live pressure state.
+        retry_after_ms: Option<u64>,
     },
 }
 
@@ -161,19 +164,25 @@ impl Client {
 
     /// [`call`](Client::call) with up to `retries` additional attempts
     /// on retriable errors, sleeping `min(cap, base·2^attempt)` with
-    /// full jitter between attempts.
+    /// full jitter between attempts. When the server's rejection
+    /// carries a `retry_after_ms` hint, the hint is the *floor* of the
+    /// sleep: jitter still spreads retries out, but no client comes
+    /// back sooner than the overloaded server asked it to.
     pub fn call_with_retries(&mut self, pairs: Vec<(&str, Value)>, retries: u32) -> io::Result<Reply> {
         let mut attempt = 0u32;
         loop {
             let reply = self.call(pairs.clone())?;
-            let retriable = matches!(&reply, Reply::Err { retriable: true, .. });
+            let (retriable, hint) = match &reply {
+                Reply::Err { retriable: true, retry_after_ms, .. } => (true, *retry_after_ms),
+                _ => (false, None),
+            };
             if !retriable || attempt >= retries {
                 return Ok(reply);
             }
             let exp = BACKOFF_BASE_MS.saturating_mul(1u64 << attempt.min(16));
             let cap = exp.min(BACKOFF_CAP_MS);
             // Full jitter: uniform in [0, cap] decorrelates retry storms.
-            let sleep = self.rng.below(cap + 1);
+            let sleep = self.rng.below(cap + 1).max(hint.unwrap_or(0));
             std::thread::sleep(Duration::from_millis(sleep));
             attempt += 1;
         }
@@ -260,6 +269,7 @@ pub fn decode_reply(v: &Value) -> Reply {
             .and_then(Value::as_str)
             .unwrap_or("")
             .to_string(),
+        retry_after_ms: err.and_then(|e| e.get("retry_after_ms")).and_then(Value::as_u64),
     }
 }
 

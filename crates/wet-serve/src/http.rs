@@ -76,10 +76,22 @@ fn answer(mut conn: TcpStream, server: &Server) -> io::Result<()> {
             "/metrics" => (200, "OK", wet_obs::snapshot().render_prometheus()),
             "/healthz" => (200, "OK", "ok\n".into()),
             "/readyz" => {
+                // Readiness reflects overload too: a Critical daemon
+                // tells the balancer to route around it, for the same
+                // reason drain does — it would shed most of what it is
+                // sent anyway.
                 if server.draining() {
                     (503, "Service Unavailable", "draining\n".into())
                 } else {
-                    (200, "OK", "ready\n".into())
+                    match server.pressure_now() {
+                        crate::pressure::PressureLevel::Critical => {
+                            (503, "Service Unavailable", "overloaded\n".into())
+                        }
+                        crate::pressure::PressureLevel::Elevated => {
+                            (200, "OK", "ready (pressure: elevated)\n".into())
+                        }
+                        crate::pressure::PressureLevel::Nominal => (200, "OK", "ready\n".into()),
+                    }
                 }
             }
             _ => (404, "Not Found", "not found\n".into()),

@@ -13,10 +13,14 @@
 //!   loops in `wet-core` poll a [`wet_core::query::Ctl`] every few
 //!   thousand steps, so a cancel or an expired deadline stops work in
 //!   bounded time without poisoning shared state.
-//! * **Overload sheds instead of queueing unboundedly**: a concurrency
-//!   limit plus a queue watermark; past the watermark the server
-//!   answers a retriable `shed` immediately and the client backs off
-//!   with capped exponential backoff plus jitter.
+//! * **Overload browns out before it sheds**: a [`pressure`]
+//!   controller fed by live signals (queue-delay EWMA, store
+//!   residency, op latency p99) steps Nominal → Elevated → Critical.
+//!   At Elevated, budget-less queries get a default byte budget and
+//!   answer partially (gap-annotated, never fabricated); at Critical
+//!   the queue drops deadline-dead requests and sheds fairly across
+//!   tenants. Every retriable rejection carries a `retry_after_ms`
+//!   hint and the client honors it as its backoff floor.
 //! * **A panicking request costs one response, not the server**: each
 //!   request runs under `catch_unwind`, and every lock acquisition
 //!   recovers from poisoning.
@@ -24,11 +28,11 @@
 //!   their responses; new work is shed; then the process exits.
 //!
 //! Module map: [`json`] (deterministic document model), [`proto`]
-//! (length-prefixed framing), [`server`] (daemon), [`client`]
-//! (retrying client), [`drill`] (misbehaving-client fault harness),
-//! [`access`] (rotating structured request logs), [`flight`]
-//! (lock-free in-memory flight recorder), [`http`] (metrics/health
-//! scrape endpoint).
+//! (length-prefixed framing), [`server`] (daemon), [`pressure`]
+//! (adaptive overload controller), [`client`] (retrying client),
+//! [`drill`] (misbehaving-client fault harness), [`access`] (rotating
+//! structured request logs), [`flight`] (lock-free in-memory flight
+//! recorder), [`http`] (metrics/health scrape endpoint).
 
 pub mod access;
 pub mod client;
@@ -36,6 +40,7 @@ pub mod drill;
 pub mod flight;
 pub mod http;
 pub mod json;
+pub mod pressure;
 pub mod proto;
 pub mod server;
 
@@ -43,5 +48,6 @@ pub use access::{AccessRecord, RotatingLog, DEFAULT_LOG_MAX_BYTES};
 pub use client::{Client, Reply};
 pub use drill::{run_drill, run_idle_storm, DrillReport, IdleStormReport};
 pub use flight::{Flight, FlightEvent, FlightKind, FLIGHT_SLOTS};
+pub use pressure::{Pressure, PressureLevel, PressureOptions, Signals};
 pub use http::{bind_metrics, http_get, http_get_with, is_timeout, spawn_metrics};
 pub use server::{bind, connect, Listener, Server, ServeOptions, Stream, DEFAULT_TRACE};

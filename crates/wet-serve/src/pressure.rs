@@ -1,0 +1,329 @@
+//! Adaptive overload control: the daemon's pressure level, the live
+//! signals that feed it, and the brownout/shedding policy derived from
+//! it.
+//!
+//! Under sustained overload a binary admit-or-shed daemon wastes its
+//! capacity twice: deep queries queue behind each other until every
+//! answer is late, and the queue tail is served work whose deadlines
+//! already passed. The [`Pressure`] controller turns overload into a
+//! continuum instead:
+//!
+//! - **Nominal** — serve everything at full quality.
+//! - **Elevated** — *brownout*: budget-less data-plane queries get the
+//!   configured default [`wet_core::query::Budget`] auto-applied, so
+//!   they answer coarse (gap-annotated, never fabricated) instead of
+//!   queueing deep. Answering cheap beats queueing expensive.
+//! - **Critical** — deadline-aware queue drop (a request whose
+//!   remaining deadline is below the predicted service time for its op
+//!   is rejected instead of served dead-on-arrival) plus per-tenant
+//!   fair shedding, so one heavy tenant cannot starve the rest.
+//!
+//! Signals are the ones the daemon already measures: the queue-delay
+//! EWMA (how long admission actually stalls requests), resident bytes
+//! against the store budget, and per-op latency p99. Level transitions
+//! step **up** immediately and step **down** one level at a time only
+//! after every signal has stayed calm for the hysteresis window — a
+//! flapping controller would turn retry backoff hints into noise.
+//!
+//! Every retriable rejection carries a `retry_after_ms` hint derived
+//! from the same state, so well-behaved clients back off in proportion
+//! to the actual congestion instead of guessing.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// The daemon's overload state, least to most pressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PressureLevel {
+    Nominal = 0,
+    Elevated = 1,
+    Critical = 2,
+}
+
+impl PressureLevel {
+    /// Stable wire/metrics name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PressureLevel::Nominal => "nominal",
+            PressureLevel::Elevated => "elevated",
+            PressureLevel::Critical => "critical",
+        }
+    }
+
+    fn from_u8(v: u8) -> PressureLevel {
+        match v {
+            2 => PressureLevel::Critical,
+            1 => PressureLevel::Elevated,
+            _ => PressureLevel::Nominal,
+        }
+    }
+
+    /// One level calmer (saturating).
+    fn step_down(self) -> PressureLevel {
+        PressureLevel::from_u8((self as u8).saturating_sub(1))
+    }
+}
+
+/// Controller tuning. All thresholds are runtime-only knobs.
+#[derive(Debug, Clone)]
+pub struct PressureOptions {
+    /// Queue-delay EWMA (µs) at which the daemon goes Elevated.
+    pub elevated_queue_us: u64,
+    /// Queue-delay EWMA (µs) at which the daemon goes Critical.
+    pub critical_queue_us: u64,
+    /// Percentage of the store byte budget resident at which the
+    /// daemon goes Elevated (0 disables the signal; it is also
+    /// inert when the store has no budget).
+    pub store_elevated_pct: u64,
+    /// Data-plane op latency p99 (µs) at which the daemon goes
+    /// Elevated (0 disables the signal).
+    pub elevated_p99_us: u64,
+    /// How long every signal must stay below its threshold before the
+    /// level steps down one notch.
+    pub hysteresis: Duration,
+    /// Default byte budget auto-applied to budget-less data-plane
+    /// queries at Elevated (brownout). 0 disables brownout.
+    pub brownout_budget_bytes: u64,
+}
+
+impl Default for PressureOptions {
+    fn default() -> Self {
+        PressureOptions {
+            elevated_queue_us: 10_000,
+            critical_queue_us: 100_000,
+            store_elevated_pct: 90,
+            elevated_p99_us: 0,
+            hysteresis: Duration::from_millis(1_000),
+            brownout_budget_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Instantaneous signal readings the server gathers for a
+/// [`Pressure::reassess`] — everything except the queue-delay EWMA,
+/// which the controller owns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Signals {
+    /// Requests currently queued in admission.
+    pub queued: usize,
+    /// The admission queue watermark (capacity).
+    pub queue_watermark: usize,
+    /// Resident store bytes as a percentage of the store budget
+    /// (0 when the store is unbudgeted).
+    pub resident_pct: u64,
+    /// Worst data-plane op latency p99 in µs (0 = unknown).
+    pub p99_us: u64,
+}
+
+/// Idle half-life of the queue-delay EWMA: with no observations coming
+/// in, the effective EWMA halves this often, so a quiet daemon always
+/// decays back toward Nominal instead of being stuck at its last storm
+/// reading.
+const EWMA_IDLE_HALVING: Duration = Duration::from_millis(150);
+
+/// The pressure controller. All state is share-safe; one instance
+/// lives in the server's shared block.
+pub struct Pressure {
+    opts: PressureOptions,
+    level: AtomicU8,
+    /// Queue-delay EWMA in µs (α = 1/8).
+    ewma_us: AtomicU64,
+    last_obs: Mutex<Instant>,
+    /// When every signal last went calm — the hysteresis clock.
+    calm_since: Mutex<Option<Instant>>,
+    brownouts: AtomicU64,
+    /// Queue-delay distribution, interned in wet-obs so `stats`,
+    /// `wet top` and the Prometheus scrape read the same numbers.
+    qd_hist: wet_obs::LiveHist,
+}
+
+impl Pressure {
+    pub fn new(opts: PressureOptions) -> Pressure {
+        wet_obs::gauge_set("serve.pressure", "level", 0);
+        Pressure {
+            opts,
+            level: AtomicU8::new(0),
+            ewma_us: AtomicU64::new(0),
+            last_obs: Mutex::new(Instant::now()),
+            calm_since: Mutex::new(None),
+            brownouts: AtomicU64::new(0),
+            qd_hist: wet_obs::hist_handle("serve.queue_delay_us", ""),
+        }
+    }
+
+    pub fn options(&self) -> &PressureOptions {
+        &self.opts
+    }
+
+    /// The current level, as last computed by [`reassess`](Pressure::reassess).
+    pub fn level(&self) -> PressureLevel {
+        PressureLevel::from_u8(self.level.load(Ordering::Relaxed))
+    }
+
+    /// Feeds one measured admission queue delay into the EWMA and the
+    /// `serve.queue_delay_us` histogram.
+    pub fn observe_queue_delay(&self, us: u64) {
+        self.qd_hist.record(us);
+        let old = self.ewma_us.load(Ordering::Relaxed);
+        // α = 1/8; plain store — a lost race loses one sample, and the
+        // controller only needs the trend.
+        self.ewma_us.store(old - old / 8 + us / 8, Ordering::Relaxed);
+        *self.last_obs.lock().unwrap_or_else(PoisonError::into_inner) = Instant::now();
+    }
+
+    /// The queue-delay EWMA, decayed for idle time: every
+    /// [`EWMA_IDLE_HALVING`] without an observation halves it, so the
+    /// controller recovers after a storm even if no new traffic comes
+    /// in to push fresh (low) samples.
+    pub fn queue_ewma_us(&self) -> u64 {
+        let idle = self.last_obs.lock().unwrap_or_else(PoisonError::into_inner).elapsed();
+        let halvings = (idle.as_millis() / EWMA_IDLE_HALVING.as_millis()).min(63) as u32;
+        self.ewma_us.load(Ordering::Relaxed) >> halvings
+    }
+
+    /// Queue-delay p99 over the daemon's lifetime (µs).
+    pub fn queue_delay_p99_us(&self) -> u64 {
+        self.qd_hist.load().percentile(99.0)
+    }
+
+    /// Recomputes the level from the signals. Steps up immediately;
+    /// steps down one level at a time, and only once every signal has
+    /// stayed calm for the whole hysteresis window.
+    pub fn reassess(&self, sig: Signals) -> PressureLevel {
+        let ewma = self.queue_ewma_us();
+        let half_queue = sig.queue_watermark.div_ceil(2).max(1);
+        let target = if ewma >= self.opts.critical_queue_us
+            || (sig.queue_watermark > 0 && sig.queued >= sig.queue_watermark)
+        {
+            PressureLevel::Critical
+        } else if ewma >= self.opts.elevated_queue_us
+            || sig.queued >= half_queue
+            || (self.opts.store_elevated_pct > 0 && sig.resident_pct >= self.opts.store_elevated_pct)
+            || (self.opts.elevated_p99_us > 0 && sig.p99_us >= self.opts.elevated_p99_us)
+        {
+            PressureLevel::Elevated
+        } else {
+            PressureLevel::Nominal
+        };
+        let cur = self.level();
+        let next = if target > cur {
+            // Worsening: react immediately.
+            target
+        } else if target < cur {
+            let mut calm = self.calm_since.lock().unwrap_or_else(PoisonError::into_inner);
+            let since = *calm.get_or_insert_with(Instant::now);
+            if since.elapsed() >= self.opts.hysteresis {
+                *calm = Some(Instant::now()); // restart the clock for the next notch
+                cur.step_down()
+            } else {
+                cur
+            }
+        } else {
+            // Signals still justify the current level: not calm.
+            *self.calm_since.lock().unwrap_or_else(PoisonError::into_inner) = None;
+            cur
+        };
+        if next != cur {
+            self.level.store(next as u8, Ordering::Relaxed);
+            wet_obs::gauge_set("serve.pressure", "level", next as i64);
+            wet_obs::counter_add("serve.pressure_changes", next.name(), 1);
+        }
+        next
+    }
+
+    /// Counts one brownout (a default budget auto-applied at Elevated).
+    pub fn note_brownout(&self) {
+        self.brownouts.fetch_add(1, Ordering::Relaxed);
+        wet_obs::counter_add("serve.brownouts", "", 1);
+    }
+
+    /// Brownouts applied so far.
+    pub fn brownouts(&self) -> u64 {
+        self.brownouts.load(Ordering::Relaxed)
+    }
+
+    /// The backoff hint attached to every retriable rejection:
+    /// proportional to the live queue-delay EWMA, with a floor per
+    /// level so even an empty-queue rejection (drain, tenant cap)
+    /// tells the client to wait a beat, capped so a pathological EWMA
+    /// never tells clients to go away for minutes.
+    pub fn retry_after_ms(&self) -> u64 {
+        let floor = match self.level() {
+            PressureLevel::Nominal => 10,
+            PressureLevel::Elevated => 25,
+            PressureLevel::Critical => 100,
+        };
+        (2 * self.queue_ewma_us() / 1000).clamp(floor, 5_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Pressure {
+        Pressure::new(PressureOptions {
+            elevated_queue_us: 20_000,
+            critical_queue_us: 100_000,
+            store_elevated_pct: 90,
+            elevated_p99_us: 0,
+            hysteresis: Duration::from_millis(30),
+            brownout_budget_bytes: 1 << 20,
+        })
+    }
+
+    #[test]
+    fn steps_up_immediately_and_down_through_hysteresis() {
+        let p = quick();
+        assert_eq!(p.level(), PressureLevel::Nominal);
+        // Storm: queue delays far past the critical threshold.
+        for _ in 0..32 {
+            p.observe_queue_delay(400_000);
+        }
+        assert_eq!(p.reassess(Signals::default()), PressureLevel::Critical);
+        let calm = Signals::default();
+        // Idle decay drains the EWMA below every threshold...
+        std::thread::sleep(Duration::from_millis(800));
+        assert!(p.queue_ewma_us() < 20_000, "idle decay drains the EWMA");
+        // ...but the first calm reassess only starts the hysteresis
+        // clock; the level must not drop before the window elapses.
+        p.reassess(calm);
+        assert_eq!(p.level(), PressureLevel::Critical, "hysteresis holds the level");
+        std::thread::sleep(Duration::from_millis(35));
+        assert_eq!(p.reassess(calm), PressureLevel::Elevated, "one notch per window");
+        std::thread::sleep(Duration::from_millis(35));
+        assert_eq!(p.reassess(calm), PressureLevel::Nominal);
+    }
+
+    #[test]
+    fn queue_depth_alone_raises_pressure() {
+        let p = quick();
+        let sig = Signals { queued: 8, queue_watermark: 8, ..Signals::default() };
+        assert_eq!(p.reassess(sig), PressureLevel::Critical);
+        let half = Signals { queued: 4, queue_watermark: 8, ..Signals::default() };
+        // Still critical (hysteresis), but a fresh controller goes Elevated.
+        let p2 = quick();
+        assert_eq!(p2.reassess(half), PressureLevel::Elevated);
+    }
+
+    #[test]
+    fn store_residency_signal_elevates() {
+        let p = quick();
+        let sig = Signals { resident_pct: 95, ..Signals::default() };
+        assert_eq!(p.reassess(sig), PressureLevel::Elevated);
+    }
+
+    #[test]
+    fn retry_hint_tracks_level_floor_and_ewma() {
+        let p = quick();
+        assert_eq!(p.retry_after_ms(), 10, "nominal floor");
+        for _ in 0..32 {
+            p.observe_queue_delay(50_000);
+        }
+        p.reassess(Signals::default());
+        let hint = p.retry_after_ms();
+        assert!(hint >= 25, "pressed hint at least the level floor, got {hint}");
+        assert!(hint <= 5_000, "hint is capped");
+    }
+}

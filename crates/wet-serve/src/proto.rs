@@ -132,17 +132,32 @@ pub fn ok_response(id: u64, result: Value) -> Vec<u8> {
 /// `bad_request`, `panic`, `unavailable`); `retriable` tells the client
 /// whether backing off and retrying the identical request can succeed.
 pub fn err_response(id: u64, kind: &str, retriable: bool, message: &str) -> Vec<u8> {
+    err_response_hint(id, kind, retriable, message, None)
+}
+
+/// [`err_response`] plus an optional `retry_after_ms` backoff hint.
+/// Every retriable rejection the overloaded or draining daemon emits
+/// carries one, derived from the live pressure state, so clients back
+/// off in proportion to actual congestion.
+pub fn err_response_hint(
+    id: u64,
+    kind: &str,
+    retriable: bool,
+    message: &str,
+    retry_after_ms: Option<u64>,
+) -> Vec<u8> {
+    let mut error = vec![
+        ("kind", Value::Str(kind.into())),
+        ("retriable", Value::Bool(retriable)),
+        ("message", Value::Str(message.into())),
+    ];
+    if let Some(ms) = retry_after_ms {
+        error.push(("retry_after_ms", Value::Int(ms as i64)));
+    }
     crate::json::obj(vec![
         ("id", Value::Int(id as i64)),
         ("ok", Value::Bool(false)),
-        (
-            "error",
-            crate::json::obj(vec![
-                ("kind", Value::Str(kind.into())),
-                ("retriable", Value::Bool(retriable)),
-                ("message", Value::Str(message.into())),
-            ]),
-        ),
+        ("error", crate::json::obj(error)),
     ])
     .render()
     .into_bytes()

@@ -26,6 +26,7 @@
 use crate::access::{AccessRecord, RotatingLog};
 use crate::flight::{Flight, FlightKind};
 use crate::json::{self, Value};
+use crate::pressure::{Pressure, PressureLevel, PressureOptions, Signals};
 use crate::proto::{self, FrameReader, Poll};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{self, Read, Write};
@@ -34,7 +35,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
-use wet_core::query::{self, Ctl, QueryErr, ReqTrace};
+use wet_core::query::{self, Budget, Ctl, QueryErr, ReqTrace};
 use wet_core::store::{resolve_under, sections_for_op, StoreErr, StoreOptions, StoredTrace, TraceStore};
 use wet_core::Wet;
 use wet_ir::{Program, StmtId};
@@ -83,6 +84,10 @@ pub struct ServeOptions {
     /// Enables fault-injection ops (`debug_panic`) for drills and
     /// tests. Never enable on a production daemon.
     pub debug_ops: bool,
+    /// Overload-controller tuning: when the daemon browns out, when it
+    /// starts dropping deadline-dead queue entries, and how long calm
+    /// signals must hold before pressure steps back down.
+    pub pressure: PressureOptions,
 }
 
 impl Default for ServeOptions {
@@ -102,6 +107,7 @@ impl Default for ServeOptions {
             slow_ms: None,
             flight_dump: None,
             debug_ops: false,
+            pressure: PressureOptions::default(),
         }
     }
 }
@@ -191,12 +197,27 @@ impl OpLat {
 }
 
 /// Admission state: executing and queued request counts, plus
-/// per-tenant executing counts when quotas are on.
+/// per-tenant executing counts when quotas are on and per-tenant
+/// queued counts for fair shedding at Critical pressure.
 #[derive(Debug, Default)]
 struct AdmState {
     active: usize,
     queued: usize,
     per_tenant: HashMap<String, usize>,
+    queued_tenant: HashMap<String, usize>,
+}
+
+/// Removes one waiter from the queue accounting (every exit path from
+/// the wait loop goes through here so `queued_tenant` cannot leak).
+fn dequeue(st: &mut AdmState, tenant: &str) {
+    st.queued -= 1;
+    wet_obs::gauge_set("serve.queue_depth", "", st.queued as i64);
+    if let Some(n) = st.queued_tenant.get_mut(tenant) {
+        *n = n.saturating_sub(1);
+        if *n == 0 {
+            st.queued_tenant.remove(tenant);
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -220,6 +241,12 @@ struct Shared {
     /// shows as `-`). Control-plane ops don't count — `wet top` shows
     /// who is *querying*, not who is pinging.
     tenants: Mutex<BTreeMap<String, u64>>,
+    /// The overload controller: pressure level, queue-delay EWMA,
+    /// brownout count, retry hints.
+    pressure: Pressure,
+    /// Shed rejections per tenant — the fairness evidence `stats` and
+    /// `wet top` surface next to each tenant's request count.
+    sheds: Mutex<BTreeMap<String, u64>>,
 }
 
 /// SIGTERM latch, set asynchronously by the signal handler.
@@ -358,6 +385,7 @@ impl Server {
             .slow_log
             .as_deref()
             .and_then(|p| RotatingLog::open(p, opts.access_log_max_bytes).ok());
+        let pressure = Pressure::new(opts.pressure.clone());
         Server {
             shared: Arc::new(Shared {
                 store,
@@ -371,8 +399,53 @@ impl Server {
                 slow,
                 oplat: OpLat::new(),
                 tenants: Mutex::new(BTreeMap::new()),
+                pressure,
+                sheds: Mutex::new(BTreeMap::new()),
             }),
         }
+    }
+
+    /// The overload controller (read-only view for `wet top`, tests,
+    /// and the health endpoint).
+    pub fn pressure(&self) -> &Pressure {
+        &self.shared.pressure
+    }
+
+    /// Gathers the live signals and reassesses the pressure level.
+    /// Called on every data-plane request, on `stats`, on `/readyz`,
+    /// and on idle accept-loop ticks — so pressure both rises under
+    /// load and decays back to Nominal on a quiet daemon.
+    pub fn pressure_now(&self) -> PressureLevel {
+        let sh = &*self.shared;
+        let queued = sh.adm.st.lock().unwrap_or_else(PoisonError::into_inner).queued;
+        let resident_pct = sh
+            .store
+            .resident_bytes()
+            .saturating_mul(100)
+            .checked_div(sh.opts.store_budget)
+            .unwrap_or(0);
+        let p99_us = if sh.opts.pressure.elevated_p99_us > 0 {
+            ["cf_trace", "value_trace", "address_trace", "slice"]
+                .iter()
+                .map(|op| sh.oplat.get(op).load().percentile(99.0))
+                .max()
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        sh.pressure.reassess(Signals {
+            queued,
+            queue_watermark: sh.opts.queue_watermark,
+            resident_pct,
+            p99_us,
+        })
+    }
+
+    /// Accounts one shed against `tenant` for the fairness ledger.
+    fn note_shed(&self, tenant: &str) {
+        let mut sheds = self.shared.sheds.lock().unwrap_or_else(PoisonError::into_inner);
+        let name = if tenant.is_empty() { "-" } else { tenant };
+        *sheds.entry(name.to_owned()).or_insert(0) += 1;
     }
 
     /// The underlying trace store (for in-process embedding and tests).
@@ -416,6 +489,7 @@ impl Server {
         let resp = self.process_inner(payload, cancel, &mut meta);
         meta.rec.total_us = t0.elapsed().as_micros() as u64;
         meta.rec.bytes_out = resp.len() as u64;
+        meta.rec.pressure = sh.pressure.level().name().to_owned();
         sh.counters.bump(&meta.rec.outcome);
         sh.oplat.get(&meta.rec.op).record(meta.rec.total_us);
         sh.flight.record(
@@ -524,13 +598,57 @@ impl Server {
             *tn.entry(name.to_owned()).or_insert(0) += 1;
         }
 
+        // Reassess pressure on the way in so admission sees the live
+        // level (Critical switches it to deadline-aware drop and fair
+        // shedding).
+        self.pressure_now();
         let tq = Instant::now();
-        let admitted = self.admit(deadline, &tenant);
+        let admitted = self.admit(deadline, &tenant, &op);
         meta.rec.queue_us = tq.elapsed().as_micros() as u64;
+        // Feed the controller's EWMA from delays the queue actually
+        // imposed: granted requests, and rejections that waited.
+        // Instant sheds contribute nothing — a storm of zero-delay
+        // rejections must not mask the overload that causes them.
+        if admitted.is_ok() || meta.rec.queue_us > 1_000 {
+            sh.pressure.observe_queue_delay(meta.rec.queue_us);
+        }
         if let Err(e) = admitted {
             meta.outcome(e.kind());
+            if matches!(e, QueryErr::Shed) {
+                self.note_shed(&tenant);
+            }
             let msg = if self.draining() { "server draining".to_string() } else { e.to_string() };
-            return proto::err_response(id, e.kind(), e.is_retriable(), &msg);
+            let hint = e.is_retriable().then(|| sh.pressure.retry_after_ms());
+            return proto::err_response_hint(id, e.kind(), e.is_retriable(), &msg, hint);
+        }
+
+        // Budget: explicit from the request, or — at Elevated pressure
+        // and above — the brownout default auto-applied to budget-less
+        // budget-capable queries, so they answer partial-but-fast
+        // instead of deepening the overload.
+        let mut budget = match (
+            req.get("budget_bytes").and_then(Value::as_u64),
+            req.get("budget_ms").and_then(Value::as_u64),
+        ) {
+            (None, None) => None,
+            (bytes, ms) => Some(Budget {
+                max_bytes: bytes.unwrap_or(u64::MAX),
+                max_wall: ms.map(Duration::from_millis),
+            }),
+        };
+        let budget_capable = matches!(op.as_str(), "value_trace" | "address_trace")
+            || (op == "cf_trace"
+                && req.get("dir").and_then(Value::as_str).unwrap_or("forward") == "forward");
+        if budget.is_none()
+            && budget_capable
+            && sh.opts.pressure.brownout_budget_bytes > 0
+            && sh.pressure.level() >= PressureLevel::Elevated
+        {
+            budget = Some(Budget::bytes(sh.opts.pressure.brownout_budget_bytes));
+            sh.pressure.note_brownout();
+        }
+        if let Some(b) = budget {
+            ctl = ctl.with_budget(b);
         }
         // A request that sat out its whole deadline in the queue fails
         // fast instead of starting doomed work.
@@ -544,11 +662,14 @@ impl Server {
         match outcome {
             Ok(Ok(result)) => {
                 meta.outcome("ok");
+                meta.rec.quality =
+                    result.get("quality").and_then(Value::as_str).unwrap_or("").to_owned();
                 proto::ok_response(id, result)
             }
             Ok(Err(Wire::Query(e))) => {
                 meta.outcome(e.kind());
-                proto::err_response(id, e.kind(), e.is_retriable(), &e.to_string())
+                let hint = e.is_retriable().then(|| sh.pressure.retry_after_ms());
+                proto::err_response_hint(id, e.kind(), e.is_retriable(), &e.to_string(), hint)
             }
             Ok(Err(Wire::BadRequest(msg))) => {
                 meta.outcome("bad_request");
@@ -560,7 +681,8 @@ impl Server {
             }
             Ok(Err(Wire::Store(e))) => {
                 meta.outcome(e.kind());
-                proto::err_response(id, e.kind(), e.is_retriable(), &e.to_string())
+                let hint = e.is_retriable().then(|| sh.pressure.retry_after_ms());
+                proto::err_response_hint(id, e.kind(), e.is_retriable(), &e.to_string(), hint)
             }
             Err(panic) => {
                 meta.outcome("panic");
@@ -689,12 +811,35 @@ impl Server {
     /// at its per-tenant cap is shed immediately (retriable) without
     /// consuming queue capacity — one tenant's burst cannot starve the
     /// shared queue.
-    fn admit(&self, deadline: Option<Instant>, tenant: &str) -> Result<(), QueryErr> {
+    ///
+    /// At **Critical** pressure two extra policies engage:
+    ///
+    /// * *Deadline-aware drop*: a request whose remaining deadline is
+    ///   below the predicted service time (the live p99 for its op) is
+    ///   shed instead of queued or served dead-on-arrival. Waiters
+    ///   re-check on every wake-up, so the oldest entries — the ones
+    ///   with the least deadline left — drop first.
+    /// * *Per-tenant fair shed*: a tenant already holding at least its
+    ///   fair share of the queue (`watermark / distinct waiting
+    ///   tenants`) is shed on entry, so one aggressive tenant cannot
+    ///   occupy the whole queue and starve the rest.
+    fn admit(&self, deadline: Option<Instant>, tenant: &str, op: &str) -> Result<(), QueryErr> {
         let sh = &*self.shared;
         if self.draining() {
             return Err(QueryErr::Shed);
         }
         let cap = sh.opts.tenant_active;
+        // Predicted service time for deadline-aware drop; only sampled
+        // when the daemon is actually Critical.
+        let critical = sh.pressure.level() == PressureLevel::Critical;
+        let predicted = if critical {
+            Duration::from_micros(sh.oplat.get(op).load().percentile(99.0))
+        } else {
+            Duration::ZERO
+        };
+        let doomed = |d: Option<Instant>| {
+            d.is_some_and(|d| d.checked_duration_since(Instant::now()).unwrap_or_default() < predicted)
+        };
         let mut st = sh.adm.st.lock().unwrap_or_else(PoisonError::into_inner);
         if cap > 0 && st.per_tenant.get(tenant).copied().unwrap_or(0) >= cap {
             return Err(QueryErr::Shed);
@@ -709,13 +854,27 @@ impl Server {
         if st.queued >= sh.opts.queue_watermark {
             return Err(QueryErr::Shed);
         }
+        if critical {
+            if doomed(deadline) {
+                return Err(QueryErr::Shed);
+            }
+            let waiting_tenants = st.queued_tenant.len().max(1);
+            let fair = (sh.opts.queue_watermark / waiting_tenants).max(1);
+            if st.queued_tenant.get(tenant).copied().unwrap_or(0) >= fair {
+                return Err(QueryErr::Shed);
+            }
+        }
         st.queued += 1;
+        *st.queued_tenant.entry(tenant.to_owned()).or_insert(0) += 1;
         wet_obs::gauge_set("serve.queue_depth", "", st.queued as i64);
         wet_obs::gauge_max("serve.queue_depth_peak", "", st.queued as i64);
         loop {
             if self.draining() {
-                st.queued -= 1;
-                wet_obs::gauge_set("serve.queue_depth", "", st.queued as i64);
+                dequeue(&mut st, tenant);
+                return Err(QueryErr::Shed);
+            }
+            if sh.pressure.level() == PressureLevel::Critical && doomed(deadline) {
+                dequeue(&mut st, tenant);
                 return Err(QueryErr::Shed);
             }
             if st.active < sh.opts.max_active
@@ -725,16 +884,14 @@ impl Server {
                 if cap > 0 {
                     *st.per_tenant.entry(tenant.to_owned()).or_insert(0) += 1;
                 }
-                st.queued -= 1;
-                wet_obs::gauge_set("serve.queue_depth", "", st.queued as i64);
+                dequeue(&mut st, tenant);
                 return Ok(());
             }
             let wait = match deadline {
                 Some(d) => {
                     let now = Instant::now();
                     if now >= d {
-                        st.queued -= 1;
-                        wet_obs::gauge_set("serve.queue_depth", "", st.queued as i64);
+                        dequeue(&mut st, tenant);
                         return Err(QueryErr::DeadlineExceeded);
                     }
                     (d - now).min(Duration::from_millis(100))
@@ -802,42 +959,71 @@ impl Server {
                     "backward" => false,
                     other => return Err(Wire::BadRequest(format!("unknown dir `{other}`"))),
                 };
-                if strict {
+                if ctl.has_budget() {
+                    // Budgeted: answer what the byte/wall budget covers,
+                    // gap-annotate the rest. Works from snapshots, so the
+                    // shared read lock suffices.
+                    if !forward {
+                        return Err(Wire::BadRequest("budgeted cf_trace is forward-only".into()));
+                    }
+                    let wet = lock_read(trace.wet());
+                    let (steps, deg) = query::cf_trace_forward_budgeted_ctl(&wet, ctl)?;
+                    Ok(steps_value(&steps, Some(&deg), ctl.bytes_spent()))
+                } else if strict {
                     let mut wet = lock_write(trace.wet());
                     let steps = if forward {
                         query::cf_trace_forward_ctl(&mut wet, ctl)?
                     } else {
                         query::cf_trace_backward_ctl(&mut wet, ctl)?
                     };
-                    Ok(steps_value(&steps, None))
+                    Ok(steps_value(&steps, None, 0))
                 } else {
                     if !forward {
                         return Err(Wire::BadRequest("degraded cf_trace is forward-only".into()));
                     }
                     let wet = lock_read(trace.wet());
                     let (steps, deg) = query::cf_trace_forward_degraded_ctl(&wet, ctl)?;
-                    Ok(steps_value(&steps, Some(&deg)))
+                    Ok(steps_value(&steps, Some(&deg), 0))
                 }
             }
             "value_trace" => {
                 let stmt = stmt_of(req)?;
                 let wet = lock_read(trace.wet());
-                if strict {
+                if ctl.has_budget() {
+                    let (pairs, deg) = query::value_trace_budgeted_ctl(&wet, stmt, threads, ctl)?;
+                    Ok(pairs_value(&pairs, |&(ts, v)| (ts as i64, v), Some(&deg), ctl.bytes_spent()))
+                } else if strict {
                     let pairs = query::engine::value_trace_ctl(&wet, stmt, threads, ctl)?;
-                    Ok(pairs_value(&pairs, |&(ts, v)| (ts as i64, v), None))
+                    Ok(pairs_value(&pairs, |&(ts, v)| (ts as i64, v), None, 0))
                 } else {
                     let (pairs, deg) = query::engine::value_trace_degraded_ctl(&wet, stmt, threads, ctl)?;
-                    Ok(pairs_value(&pairs, |&(ts, v)| (ts as i64, v), Some(&deg)))
+                    Ok(pairs_value(&pairs, |&(ts, v)| (ts as i64, v), Some(&deg), 0))
                 }
             }
             "address_trace" => {
                 let stmt = stmt_of(req)?;
                 let program = program_of(&trace)?;
                 let wet = lock_read(trace.wet());
-                let pairs = query::engine::address_trace_ctl(&wet, program, stmt, threads, ctl)?;
-                Ok(pairs_value(&pairs, |&(ts, a)| (ts as i64, a as i64), None))
+                if ctl.has_budget() {
+                    let (pairs, deg) =
+                        query::address_trace_budgeted_ctl(&wet, program, stmt, threads, ctl)?;
+                    Ok(pairs_value(&pairs, |&(ts, a)| (ts as i64, a as i64), Some(&deg), ctl.bytes_spent()))
+                } else {
+                    let pairs = query::engine::address_trace_ctl(&wet, program, stmt, threads, ctl)?;
+                    Ok(pairs_value(&pairs, |&(ts, a)| (ts as i64, a as i64), None, 0))
+                }
             }
             "slice" => {
+                if ctl.has_budget() {
+                    // Slices chase dependence chains; truncating one
+                    // mid-chain silently changes its meaning, so slices
+                    // don't take budgets (use strict=false for the
+                    // availability-degraded variant instead).
+                    return Err(Wire::BadRequest(
+                        "budget is not supported for slice (use strict=false for a degraded slice)"
+                            .into(),
+                    ));
+                }
                 let stmt = stmt_of(req)?;
                 let program = program_of(&trace)?;
                 let node = req
@@ -880,6 +1066,10 @@ impl Server {
     /// (the single-trace fields existing dashboards read).
     pub fn stats_value(&self) -> Value {
         let sh = &*self.shared;
+        // Polling stats drives the controller too: a daemon that went
+        // quiet after a storm steps back toward Nominal as soon as
+        // anyone looks at it.
+        let level = self.pressure_now();
         let st = sh.adm.st.lock().unwrap_or_else(PoisonError::into_inner);
         let (active, queued) = (st.active, st.queued);
         drop(st);
@@ -896,6 +1086,13 @@ impl Server {
             ("queued", Value::Int(queued as i64)),
             ("draining", Value::Bool(self.draining())),
             ("uptime_ms", Value::Int(sh.start.elapsed().as_millis() as i64)),
+            ("pressure", Value::Str(level.name().into())),
+            ("brownouts", Value::Int(sh.pressure.brownouts().min(i64::MAX as u64) as i64)),
+            (
+                "queue_delay_p99_us",
+                Value::Int(sh.pressure.queue_delay_p99_us().min(i64::MAX as u64) as i64),
+            ),
+            ("retry_after_ms", Value::Int(sh.pressure.retry_after_ms() as i64)),
         ];
         let mut ops = Vec::new();
         for (name, h) in &sh.oplat.hists {
@@ -913,6 +1110,7 @@ impl Server {
         pairs.push(("ops", Value::Arr(ops)));
         {
             let tn = sh.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+            let sheds = sh.sheds.lock().unwrap_or_else(PoisonError::into_inner);
             pairs.push((
                 "tenants",
                 Value::Arr(
@@ -921,6 +1119,12 @@ impl Server {
                             json::obj(vec![
                                 ("tenant", Value::Str(t.clone())),
                                 ("requests", Value::Int((*n).min(i64::MAX as u64) as i64)),
+                                (
+                                    "shed",
+                                    Value::Int(
+                                        sheds.get(t).copied().unwrap_or(0).min(i64::MAX as u64) as i64,
+                                    ),
+                                ),
                             ])
                         })
                         .collect(),
@@ -969,6 +1173,9 @@ impl Server {
                     conns.push(std::thread::spawn(move || srv.handle_conn(stream)));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // Idle tick: let pressure decay toward Nominal even
+                    // when nobody is polling stats or /readyz.
+                    self.pressure_now();
                     std::thread::sleep(Duration::from_millis(20));
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -1132,16 +1339,35 @@ fn stmt_of(req: &Value) -> Result<StmtId, Wire> {
         .ok_or_else(|| Wire::BadRequest("missing `stmt`".into()))
 }
 
-fn degraded_value(deg: &query::Degraded) -> Value {
+fn degraded_value(deg: &query::Degraded, bytes_spent: u64) -> Value {
     json::obj(vec![
         ("nodes_skipped", Value::Int(deg.nodes_skipped as i64)),
         ("gaps", Value::Int(deg.gaps as i64)),
         ("steps_missing", Value::Int(deg.steps_missing as i64)),
         ("seqs_unavailable", Value::Int(deg.seqs_unavailable as i64)),
+        ("bytes_spent", Value::Int(bytes_spent.min(i64::MAX as u64) as i64)),
     ])
 }
 
-fn steps_value(steps: &[query::CfStep], deg: Option<&query::Degraded>) -> Value {
+/// The `quality` field every data-plane response carries: `"full"`
+/// when the answer equals the strict query's, `"degraded"` when parts
+/// were dropped (budget exhausted or sections unavailable) — in which
+/// case a `degraded` object itemizes the holes.
+fn quality_pairs(
+    pairs: &mut Vec<(&'static str, Value)>,
+    deg: Option<&query::Degraded>,
+    bytes_spent: u64,
+) {
+    let degraded = deg.is_some_and(|d| !d.is_complete());
+    pairs.push(("quality", Value::Str(if degraded { "degraded" } else { "full" }.into())));
+    if let Some(d) = deg {
+        if !d.is_complete() {
+            pairs.push(("degraded", degraded_value(d, bytes_spent)));
+        }
+    }
+}
+
+fn steps_value(steps: &[query::CfStep], deg: Option<&query::Degraded>, bytes_spent: u64) -> Value {
     let arr = Value::Arr(
         steps
             .iter()
@@ -1155,13 +1381,16 @@ fn steps_value(steps: &[query::CfStep], deg: Option<&query::Degraded>) -> Value 
             .collect(),
     );
     let mut pairs = vec![("count", Value::Int(steps.len() as i64)), ("steps", arr)];
-    if let Some(d) = deg {
-        pairs.push(("degraded", degraded_value(d)));
-    }
+    quality_pairs(&mut pairs, deg, bytes_spent);
     json::obj(pairs)
 }
 
-fn pairs_value<T>(items: &[T], f: impl Fn(&T) -> (i64, i64), deg: Option<&query::Degraded>) -> Value {
+fn pairs_value<T>(
+    items: &[T],
+    f: impl Fn(&T) -> (i64, i64),
+    deg: Option<&query::Degraded>,
+    bytes_spent: u64,
+) -> Value {
     let arr = Value::Arr(
         items
             .iter()
@@ -1172,9 +1401,7 @@ fn pairs_value<T>(items: &[T], f: impl Fn(&T) -> (i64, i64), deg: Option<&query:
             .collect(),
     );
     let mut pairs = vec![("count", Value::Int(items.len() as i64)), ("pairs", arr)];
-    if let Some(d) = deg {
-        pairs.push(("degraded", degraded_value(d)));
-    }
+    quality_pairs(&mut pairs, deg, bytes_spent);
     json::obj(pairs)
 }
 
@@ -1192,9 +1419,7 @@ fn slice_value(slice: &query::WetSlice, deg: Option<&query::Degraded>) -> Value 
         ("static_stmts", statics),
         ("stamped", stamped),
     ];
-    if let Some(d) = deg {
-        pairs.push(("degraded", degraded_value(d)));
-    }
+    quality_pairs(&mut pairs, deg, 0);
     json::obj(pairs)
 }
 
